@@ -1,0 +1,50 @@
+//! Experiment E7 — deciding condition (C3) on 3-colorability instances
+//! (Propositions 5.4, D.1 and D.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pc_core::holds_c3;
+use reductions::{three_col_to_c3_acyclic_q, three_col_to_c3_acyclic_q_prime, Graph};
+
+fn bench_d1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_colorability_d1");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    for n in [4usize, 6, 8] {
+        let graph = Graph::random(&mut rng, n, 0.5);
+        let red = three_col_to_c3_acyclic_q(&graph);
+        group.bench_with_input(BenchmarkId::new("c3", n), &red, |b, red| {
+            b.iter(|| holds_c3(&red.from, &red.to))
+        });
+        group.bench_with_input(BenchmarkId::new("coloring_oracle", n), &graph, |b, g| {
+            b.iter(|| g.is_three_colorable())
+        });
+    }
+    // The hard direction: K4 is not 3-colorable.
+    let k4 = Graph::complete(4);
+    let red = three_col_to_c3_acyclic_q(&k4);
+    group.bench_function("c3_k4_negative", |b| {
+        b.iter(|| holds_c3(&red.from, &red.to))
+    });
+    group.finish();
+}
+
+fn bench_d2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_colorability_d2");
+    group.sample_size(10);
+    for edges in [2usize, 3] {
+        // a path with `edges` edges (always 3-colorable)
+        let pairs: Vec<(usize, usize)> = (0..edges).map(|i| (i, i + 1)).collect();
+        let graph = Graph::from_edges(edges + 1, &pairs);
+        let red = three_col_to_c3_acyclic_q_prime(&graph);
+        group.bench_with_input(BenchmarkId::new("c3_acyclic_q_prime", edges), &red, |b, red| {
+            b.iter(|| holds_c3(&red.from, &red.to))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d1, bench_d2);
+criterion_main!(benches);

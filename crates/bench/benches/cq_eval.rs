@@ -1,0 +1,84 @@
+//! Ablation — the conjunctive-query evaluator: greedy join ordering versus
+//! naive source order, and core computation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cq::{satisfying_valuations_with, ConjunctiveQuery, EvalOptions, Valuation};
+use workloads::{chain_query, triangle_query, InstanceParams};
+
+fn bench_join_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_ordering");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<(&str, ConjunctiveQuery)> = vec![
+        ("triangle", triangle_query()),
+        ("chain4", chain_query(4)),
+    ];
+    for (name, query) in &queries {
+        let instance = workloads::random_instance(
+            &mut rng,
+            &query.schema(),
+            InstanceParams {
+                domain_size: 20,
+                facts_per_relation: 250,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy", name), &instance, |b, i| {
+            b.iter(|| {
+                satisfying_valuations_with(
+                    query,
+                    i,
+                    &Valuation::new(),
+                    EvalOptions {
+                        greedy_ordering: true,
+                    },
+                )
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &instance, |b, i| {
+            b.iter(|| {
+                satisfying_valuations_with(
+                    query,
+                    i,
+                    &Valuation::new(),
+                    EvalOptions {
+                        greedy_ordering: false,
+                    },
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq_minimization");
+    group.sample_size(20);
+    let queries = [
+        ("star5", workloads::star_query(5)),
+        ("star8", workloads::star_query(8)),
+        (
+            "redundant_mix",
+            ConjunctiveQuery::parse(
+                "T(x) :- R(x, y), R(y, y), R(z, z), R(u, u), R(x, w), R(w, w).",
+            )
+            .unwrap(),
+        ),
+    ];
+    for (name, query) in &queries {
+        group.bench_with_input(BenchmarkId::new("minimize", *name), query, |b, q| {
+            b.iter(|| cq::minimize(q).core.body_size())
+        });
+        group.bench_with_input(BenchmarkId::new("is_minimal", *name), query, |b, q| {
+            b.iter(|| cq::is_minimal(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_ordering, bench_minimization);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiments E6/E8 — Hypercube distributions.
+//!
+//! * `family_transfer`: deciding parallel-correctness for a Hypercube family
+//!   via condition (C3) (Corollary 5.8).
+//! * `one_round_eval`: the simulated one-round evaluation of the triangle
+//!   query under Hypercube policies of growing cluster size, on uniform and
+//!   skewed data, versus the centralized evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cq::Schema;
+use distribution::{HypercubePolicy, OneRoundEngine};
+use pc_core::hypercube_parallel_correct;
+use workloads::{triangle_query, InstanceParams};
+
+fn bench_family_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("family_transfer");
+    group.sample_size(20);
+    let anchor = triangle_query();
+    let candidates = [
+        ("edge", "U(x, y) :- E(x, y)."),
+        ("wedge", "U(x, z) :- E(x, y), E(y, z)."),
+        ("square", "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x)."),
+    ];
+    for (name, text) in candidates {
+        let q_prime = cq::ConjunctiveQuery::parse(text).unwrap();
+        group.bench_with_input(BenchmarkId::new("c3", name), &q_prime, |b, q| {
+            b.iter(|| hypercube_parallel_correct(&anchor, q).parallel_correct)
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_round_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_round_eval");
+    group.sample_size(10);
+    let query = triangle_query();
+    let schema = Schema::from_relations([("E", 2)]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = InstanceParams {
+        domain_size: 25,
+        facts_per_relation: 300,
+    };
+    let uniform = workloads::random_instance(&mut rng, &schema, params);
+    let skewed = workloads::zipf_instance(&mut rng, &schema, params, 1.2);
+
+    group.bench_function("centralized_uniform", |b| {
+        b.iter(|| cq::evaluate(&query, &uniform).len())
+    });
+    for buckets in [1usize, 2, 3] {
+        let policy = HypercubePolicy::uniform(&query, buckets).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("hypercube_uniform", buckets),
+            &policy,
+            |b, p| b.iter(|| OneRoundEngine::new(p).evaluate(&query, &uniform).result.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hypercube_skewed", buckets),
+            &policy,
+            |b, p| b.iter(|| OneRoundEngine::new(p).evaluate(&query, &skewed).result.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_family_transfer, bench_one_round_eval);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Experiment E1/E2 — deciding parallel-correctness.
+//!
+//! * `c0_vs_c1`: cost of the sufficient condition (C0) versus the exact
+//!   characterization (C1) on random explicit policies (Lemma 3.4).
+//! * `pci_qbf` / `pc_qbf`: cost of PCI and PC(Pfin) on Π₂-QBF-derived hard
+//!   instances of growing size (Theorem 3.8).
+//! * `minimal_valuation_pruning`: ablation — enumerating minimal valuations
+//!   versus all satisfying valuations for the (C1) check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pc_core::{check_parallel_correctness, check_parallel_correctness_on_instance};
+use reductions::pi2_to_pci;
+use workloads::{example_3_5_query, PolicyParams};
+
+fn bench_c0_vs_c1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c0_vs_c1");
+    group.sample_size(20);
+    let universe = workloads::complete_binary_relation("R", &["a", "b", "c"]);
+    let query = example_3_5_query();
+    let mut rng = StdRng::seed_from_u64(1);
+    let policies: Vec<_> = (0..8)
+        .map(|i| {
+            workloads::random_explicit_policy(
+                &mut rng,
+                &universe,
+                PolicyParams {
+                    nodes: 3,
+                    replication: 1 + i % 3,
+                    skip_probability: 0.0,
+                },
+            )
+        })
+        .collect();
+    group.bench_function("c0", |b| {
+        b.iter(|| {
+            policies
+                .iter()
+                .filter(|p| pc_core::holds_c0(&query, *p, &universe))
+                .count()
+        })
+    });
+    group.bench_function("c1", |b| {
+        b.iter(|| {
+            policies
+                .iter()
+                .filter(|p| pc_core::holds_c1(&query, *p, &universe))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_qbf_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pc_qbf");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for (nx, ny, k) in [(1usize, 1usize, 2usize), (2, 2, 3), (3, 2, 4)] {
+        let qbf = logic::random_pi2_qbf(&mut rng, nx, ny, k);
+        let red = pi2_to_pci(&qbf);
+        let label = format!("x{nx}_y{ny}_c{k}");
+        group.bench_with_input(BenchmarkId::new("pci", &label), &red, |b, red| {
+            b.iter(|| {
+                check_parallel_correctness_on_instance(&red.query, &red.policy, &red.instance)
+                    .is_correct()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pc", &label), &red, |b, red| {
+            b.iter(|| check_parallel_correctness(&red.query, &red.policy).is_correct())
+        });
+        group.bench_with_input(BenchmarkId::new("qbf_oracle", &label), &qbf, |b, qbf| {
+            b.iter(|| qbf.is_true())
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimal_valuation_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimal_valuation_enumeration");
+    group.sample_size(20);
+    let query = example_3_5_query();
+    let universe = workloads::complete_binary_relation("R", &["a", "b", "c"]);
+    group.bench_function("all_satisfying", |b| {
+        b.iter(|| cq::satisfying_valuations(&query, &universe).len())
+    });
+    group.bench_function("minimal_only", |b| {
+        b.iter(|| pc_core::minimal_valuations_over(&query, &universe).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_c0_vs_c1,
+    bench_qbf_reductions,
+    bench_minimal_valuation_pruning
+);
+criterion_main!(benches);

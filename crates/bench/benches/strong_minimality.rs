@@ -1,0 +1,58 @@
+//! Experiment E5 — deciding strong minimality (Lemmas 4.8 and 4.10).
+//!
+//! * `sat_reduction`: the complete decision on 3-SAT-derived queries of
+//!   growing size (Lemma C.9).
+//! * `lemma_4_8_fast_path`: the syntactic sufficient condition versus the
+//!   complete canonical-valuation search on query families where both apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pc_core::{is_strongly_minimal, satisfies_lemma_4_8};
+use reductions::sat_to_strong_minimality;
+use workloads::{chain_query, cycle_query};
+
+fn bench_sat_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_minimality_sat");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    for (vars, clauses) in [(1usize, 2usize), (2, 2), (2, 3)] {
+        let cnf = logic::random_3cnf(&mut rng, vars, clauses);
+        let query = sat_to_strong_minimality(&cnf);
+        let label = format!("v{vars}_c{clauses}");
+        group.bench_with_input(BenchmarkId::new("decide", &label), &query, |b, q| {
+            b.iter(|| is_strongly_minimal(q))
+        });
+        group.bench_with_input(BenchmarkId::new("sat_oracle", &label), &cnf, |b, cnf| {
+            b.iter(|| logic::dpll_satisfiable(cnf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma_4_8_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_minimality_fast_path");
+    group.sample_size(20);
+    for len in [3usize, 4, 5] {
+        // cycle queries are full, so both the fast path and the complete
+        // search answer "strongly minimal".
+        let query = cycle_query(len);
+        group.bench_with_input(BenchmarkId::new("lemma_4_8_only", len), &query, |b, q| {
+            b.iter(|| satisfies_lemma_4_8(q))
+        });
+        group.bench_with_input(BenchmarkId::new("complete_decision", len), &query, |b, q| {
+            b.iter(|| is_strongly_minimal(q))
+        });
+        // chains of the same length exercise the canonical-valuation search
+        // (they fail Lemma 4.8 because of the shared existential variables).
+        let chain = chain_query(len);
+        group.bench_with_input(BenchmarkId::new("chain_complete", len), &chain, |b, q| {
+            b.iter(|| is_strongly_minimal(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_reduction, bench_lemma_4_8_fast_path);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E3/E4 — deciding parallel-correctness transfer.
+//!
+//! * `transfer_qbf`: the general (C2-based) pc-trans decision on Π₃-QBF
+//!   derived pairs (Theorem 4.3).
+//! * `c2_vs_c3`: the general procedure versus the C3-based procedure for
+//!   strongly minimal sources on chain queries of growing length
+//!   (Theorem 4.7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pc_core::{check_transfer, check_transfer_strongly_minimal};
+use reductions::pi3_to_transfer;
+use workloads::chain_query;
+
+fn bench_transfer_qbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_qbf");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for (nx, ny, nz, k) in [(1usize, 1usize, 1usize, 1usize), (1, 1, 1, 2)] {
+        let qbf = logic::random_pi3_qbf(&mut rng, nx, ny, nz, k);
+        let red = pi3_to_transfer(&qbf);
+        let label = format!("x{nx}_y{ny}_z{nz}_t{k}");
+        group.bench_with_input(BenchmarkId::new("pc_trans", &label), &red, |b, red| {
+            b.iter(|| check_transfer(&red.from, &red.to).transfers())
+        });
+        group.bench_with_input(BenchmarkId::new("qbf_oracle", &label), &qbf, |b, qbf| {
+            b.iter(|| qbf.is_true())
+        });
+    }
+    group.finish();
+}
+
+fn full_chain(len: usize) -> cq::ConjunctiveQuery {
+    let var = |i: usize| cq::Variable::indexed("x", i);
+    let body = (0..len)
+        .map(|i| cq::Atom::new("R", vec![var(i), var(i + 1)]))
+        .collect();
+    let head_vars = (0..=len).map(var).collect();
+    cq::ConjunctiveQuery::new(cq::Atom::new("T", head_vars), body)
+        .expect("full chains are well-formed")
+}
+
+fn bench_c2_vs_c3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_vs_c3");
+    group.sample_size(10);
+    for len in [2usize, 3, 4] {
+        // full chains are strongly minimal, so both procedures apply
+        let from = full_chain(len + 1);
+        let to = chain_query(len);
+        group.bench_with_input(BenchmarkId::new("c2_general", len), &(), |b, _| {
+            b.iter(|| check_transfer(&from, &to).transfers())
+        });
+        group.bench_with_input(BenchmarkId::new("c3_strongly_minimal", len), &(), |b, _| {
+            b.iter(|| check_transfer_strongly_minimal(&from, &to).transfers())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer_qbf, bench_c2_vs_c3);
+criterion_main!(benches);

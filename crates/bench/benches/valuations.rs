@@ -1,0 +1,56 @@
+//! Ablation — canonical (partition-based) valuation enumeration versus the
+//! full odometer enumeration over an explicit domain, and the cost of the
+//! minimal-valuation test that underlies every decision procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cq::{all_assignments, partition_assignments, Valuation, Value};
+use pc_core::is_minimal_valuation;
+use workloads::{chain_query, example_3_5_query};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valuation_enumeration");
+    group.sample_size(20);
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("canonical_partitions", n), &n, |b, &n| {
+            b.iter(|| partition_assignments(n).len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_odometer", n), &n, |b, &n| {
+            b.iter(|| all_assignments(n, n).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimality_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valuation_minimality");
+    group.sample_size(20);
+
+    let q35 = example_3_5_query();
+    let non_minimal = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "a")]);
+    let minimal = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "c")]);
+    group.bench_function("example_3_5_non_minimal", |b| {
+        b.iter(|| is_minimal_valuation(&q35, &non_minimal))
+    });
+    group.bench_function("example_3_5_minimal", |b| {
+        b.iter(|| is_minimal_valuation(&q35, &minimal))
+    });
+
+    for len in [3usize, 5, 7] {
+        let chain = chain_query(len);
+        let vars = chain.variables();
+        // the "all distinct" valuation: the most expensive minimality check
+        let valuation = Valuation::from_pairs(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, Value::indexed("d", i))),
+        );
+        group.bench_with_input(BenchmarkId::new("chain_injective", len), &valuation, |b, v| {
+            b.iter(|| is_minimal_valuation(&chain, v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_minimality_check);
+criterion_main!(benches);

@@ -1,0 +1,525 @@
+//! The conditions (C0), (C1), (C2) and (C3) of the paper, as checkable
+//! predicates with witnesses.
+//!
+//! * **(C0)** — for every valuation `V` for `Q`, the facts `V(body_Q)` meet
+//!   at some node. Sufficient but not necessary for parallel-correctness.
+//! * **(C1)** — the same, restricted to *minimal* valuations. Characterizes
+//!   parallel-correctness (Lemma 3.4).
+//! * **(C2)** — for every minimal valuation `V'` of `Q'` there is a minimal
+//!   valuation `V` of `Q` with `V'(body_{Q'}) ⊆ V(body_Q)`. Characterizes
+//!   transferability (Lemma 4.2).
+//! * **(C3)** — there are a simplification `θ` of `Q'` and a substitution
+//!   `ρ` of `Q` with `body_{θ(Q')} ⊆ body_{ρ(Q)}`. Characterizes
+//!   transferability for strongly minimal `Q` (Lemma 4.6) and
+//!   parallel-correctness for `Q`-generous, `Q`-scattered families
+//!   (Lemma 5.2).
+//!
+//! The quantification over valuations is made finite as in the paper: (C0)
+//! and (C1) are evaluated relative to a finite fact universe (for `Pfin`
+//! policies this is `facts(P)`, cf. Lemma B.4), while (C2) uses canonical
+//! valuations over a bounded domain (Claim C.4).
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use cq::{
+    for_each_atom_mapping, Atom, ConjunctiveQuery, CoverProblem, EvalOptions, Instance,
+    Substitution, Valuation, Value, Variable,
+};
+use distribution::DistributionPolicy;
+
+use crate::minimality::is_minimal_valuation;
+
+/// A violation of condition (C1): a minimal valuation whose required facts
+/// do not meet at any node.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct C1Violation {
+    /// The offending (minimal) valuation.
+    pub valuation: Valuation,
+    /// Its required facts `V(body_Q)`.
+    pub required_facts: Instance,
+}
+
+/// Condition (C0) relative to the finite fact universe `universe`:
+/// every valuation of `query` whose required facts lie inside `universe`
+/// has its facts meeting at some node of `policy`.
+pub fn holds_c0<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+) -> bool {
+    c0_violation(query, policy, universe).is_none()
+}
+
+/// Searches for a violation of (C0) (any satisfying valuation over
+/// `universe` whose facts do not meet).
+pub fn c0_violation<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+) -> Option<C1Violation> {
+    let mut violation = None;
+    let _ = cq::for_each_satisfying(
+        query,
+        universe,
+        &Valuation::new(),
+        EvalOptions::default(),
+        |v| {
+            let required = v.required_facts(query);
+            if !policy.facts_meet(&required) {
+                violation = Some(C1Violation {
+                    valuation: v.clone(),
+                    required_facts: required,
+                });
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    violation
+}
+
+/// Condition (C1) relative to the finite fact universe `universe`:
+/// every **minimal** valuation of `query` over `universe` has its required
+/// facts meeting at some node of `policy` (Lemma 3.4 / Lemma B.4).
+pub fn holds_c1<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+) -> bool {
+    c1_violation(query, policy, universe).is_none()
+}
+
+/// Searches for a violation of (C1).
+pub fn c1_violation<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+) -> Option<C1Violation> {
+    let mut violation = None;
+    let _ = crate::minimality::for_each_minimal_valuation(query, universe, |v| {
+        let required = v.required_facts(query);
+        if !policy.facts_meet(&required) {
+            violation = Some(C1Violation {
+                valuation: v.clone(),
+                required_facts: required,
+            });
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    violation
+}
+
+/// Condition (C2): for every minimal valuation `V'` of `to`, there is a
+/// minimal valuation `V` of `from` with `V'(body_{to}) ⊆ V(body_{from})`
+/// (Lemma 4.2; `from` is the query parallel-correctness transfers *from*).
+pub fn holds_c2(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+    c2_violation(from, to).is_none()
+}
+
+/// Searches for a violation of (C2): a minimal valuation of `to` for which
+/// no covering minimal valuation of `from` exists.
+pub fn c2_violation(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<Valuation> {
+    // Canonical enumeration of the valuations of `to` (Claim C.4: equality
+    // patterns suffice).
+    for v_prime in cq::CanonicalValuations::new(to.variables()) {
+        if !is_minimal_valuation(to, &v_prime) {
+            continue;
+        }
+        let target = v_prime.required_facts(to);
+        if !exists_minimal_covering_valuation(from, &target) {
+            return Some(v_prime);
+        }
+    }
+    None
+}
+
+/// Whether there is a **minimal** valuation `V` of `query` with
+/// `target ⊆ V(body_query)`.
+///
+/// The search first covers every target fact by some body atom of `query`
+/// (binding the constrained variables), then enumerates the remaining
+/// variables over the active domain of `target` extended with canonical
+/// fresh values, and finally checks minimality of each candidate.
+pub fn exists_minimal_covering_valuation(query: &ConjunctiveQuery, target: &Instance) -> bool {
+    find_minimal_covering_valuation(query, target).is_some()
+}
+
+/// As [`exists_minimal_covering_valuation`], returning the witness.
+pub fn find_minimal_covering_valuation(
+    query: &ConjunctiveQuery,
+    target: &Instance,
+) -> Option<Valuation> {
+    let vars = query.variables();
+    let target_facts: Vec<_> = target.facts().cloned().collect();
+
+    // Domain: adom(target) plus |vars(query)| fresh values.
+    let mut domain: Vec<Value> = target.adom().into_iter().collect();
+    let fresh_base = domain.len();
+    for i in 0..vars.len() {
+        domain.push(Value::indexed("$fresh", i));
+    }
+
+    let mut result: Option<Valuation> = None;
+    let mut partial = Valuation::new();
+    cover_search(
+        query,
+        &target_facts,
+        0,
+        &mut partial,
+        &vars,
+        &domain,
+        fresh_base,
+        &mut result,
+    );
+    result
+}
+
+/// Backtracking over the target facts: each must be the image of a body atom.
+#[allow(clippy::too_many_arguments)]
+fn cover_search(
+    query: &ConjunctiveQuery,
+    target: &[cq::Fact],
+    depth: usize,
+    partial: &mut Valuation,
+    vars: &[Variable],
+    domain: &[Value],
+    fresh_base: usize,
+    result: &mut Option<Valuation>,
+) {
+    if result.is_some() {
+        return;
+    }
+    if depth == target.len() {
+        // All target facts covered; enumerate the remaining variables.
+        extend_and_check(query, partial, vars, domain, fresh_base, result);
+        return;
+    }
+    let goal = &target[depth];
+    'atoms: for atom in query.body() {
+        if atom.relation != goal.relation || atom.arity() != goal.arity() {
+            continue;
+        }
+        let mut newly_bound = Vec::new();
+        for (&var, &value) in atom.args.iter().zip(goal.values.iter()) {
+            match partial.get(var) {
+                Some(existing) if existing == value => {}
+                Some(_) => {
+                    for v in newly_bound {
+                        partial.unbind(v);
+                    }
+                    continue 'atoms;
+                }
+                None => {
+                    partial.bind(var, value);
+                    newly_bound.push(var);
+                }
+            }
+        }
+        cover_search(
+            query,
+            target,
+            depth + 1,
+            partial,
+            vars,
+            domain,
+            fresh_base,
+            result,
+        );
+        for v in newly_bound {
+            partial.unbind(v);
+        }
+        if result.is_some() {
+            return;
+        }
+    }
+}
+
+/// Enumerates values for the unbound variables (with fresh values used in
+/// canonical order to avoid isomorphic duplicates) and records the first
+/// minimal candidate valuation.
+fn extend_and_check(
+    query: &ConjunctiveQuery,
+    partial: &Valuation,
+    vars: &[Variable],
+    domain: &[Value],
+    fresh_base: usize,
+    result: &mut Option<Valuation>,
+) {
+    let unbound: Vec<Variable> = vars.iter().copied().filter(|v| !partial.binds(*v)).collect();
+
+    fn rec(
+        query: &ConjunctiveQuery,
+        unbound: &[Variable],
+        idx: usize,
+        max_fresh_used: usize,
+        current: &mut Valuation,
+        domain: &[Value],
+        fresh_base: usize,
+        result: &mut Option<Valuation>,
+    ) {
+        if result.is_some() {
+            return;
+        }
+        if idx == unbound.len() {
+            if is_minimal_valuation(query, current) {
+                *result = Some(current.clone());
+            }
+            return;
+        }
+        let var = unbound[idx];
+        // allowed values: all of adom plus fresh values up to max_fresh_used + 1
+        let limit = (fresh_base + max_fresh_used + 1).min(domain.len());
+        for (i, &value) in domain.iter().enumerate().take(limit) {
+            current.bind(var, value);
+            let new_max = if i >= fresh_base {
+                max_fresh_used.max(i - fresh_base + 1)
+            } else {
+                max_fresh_used
+            };
+            rec(
+                query, unbound, idx + 1, new_max, current, domain, fresh_base, result,
+            );
+            current.unbind(var);
+            if result.is_some() {
+                return;
+            }
+        }
+    }
+
+    let mut current = partial.clone();
+    rec(
+        query,
+        &unbound,
+        0,
+        0,
+        &mut current,
+        domain,
+        fresh_base,
+        result,
+    );
+}
+
+/// A witness for condition (C3): the simplification `θ` of `Q'` and the
+/// substitution `ρ` of `Q` with `body_{θ(Q')} ⊆ body_{ρ(Q)}`.
+#[derive(Clone, Debug)]
+pub struct C3Witness {
+    /// The simplification `θ` of `Q'`.
+    pub theta: Substitution,
+    /// The substitution `ρ` of `Q`.
+    pub rho: Substitution,
+}
+
+/// Condition (C3) for the pair (`from` = `Q`, `to` = `Q'`).
+pub fn holds_c3(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+    c3_witness(from, to).is_some()
+}
+
+/// Searches for a witness of condition (C3): enumerate simplifications `θ`
+/// of `to` (endomorphisms fixing the head with body image inside the body)
+/// and, for each, try to cover `body_{θ(to)}` by a substitution image of
+/// `body_{from}`.
+pub fn c3_witness(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<C3Witness> {
+    // Seed: head variables of `to` must be fixed (θ is a simplification).
+    let mut seed = Substitution::identity();
+    for &v in &to.head().args {
+        seed.bind(v, v);
+    }
+    let mut witness = None;
+    let mut seen_bodies: BTreeSet<Vec<Atom>> = BTreeSet::new();
+    let _ = for_each_atom_mapping(to.body(), to.body(), &seed, &mut |theta| {
+        // θ maps body(to) into body(to) and fixes the head: a simplification.
+        let image = theta.apply_atoms(to.body());
+        let mut sorted = image.clone();
+        sorted.sort();
+        if !seen_bodies.insert(sorted) {
+            // Another simplification with the same body image was already tried.
+            return ControlFlow::Continue(());
+        }
+        if let Some(rho) = CoverProblem::new(from.body().to_vec(), image).solve() {
+            witness = Some(C3Witness {
+                theta: theta.clone(),
+                rho,
+            });
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    witness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::Fact;
+    use distribution::{ExplicitPolicy, Network, Node};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    fn all_r_facts(values: &[&str]) -> Instance {
+        let mut out = Instance::new();
+        for x in values {
+            for y in values {
+                out.insert(Fact::from_names("R", &[x, y]));
+            }
+        }
+        out
+    }
+
+    /// The policy of Example 3.5: node 1 gets everything except R(a,b),
+    /// node 2 everything except R(b,a).
+    fn example_3_5_policy(universe: &Instance) -> ExplicitPolicy {
+        let r_ab = Fact::from_names("R", &["a", "b"]);
+        let r_ba = Fact::from_names("R", &["b", "a"]);
+        let mut policy = ExplicitPolicy::new(Network::with_size(2));
+        for fact in universe.facts() {
+            let mut nodes = Vec::new();
+            if *fact != r_ab {
+                nodes.push(Node::numbered(0));
+            }
+            if *fact != r_ba {
+                nodes.push(Node::numbered(1));
+            }
+            policy.assign(fact.clone(), nodes);
+        }
+        policy
+    }
+
+    #[test]
+    fn example_3_5_c0_fails_but_c1_holds() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let universe = all_r_facts(&["a", "b"]);
+        let policy = example_3_5_policy(&universe);
+
+        assert!(!holds_c0(&query, &policy, &universe));
+        let violation = c0_violation(&query, &policy, &universe).unwrap();
+        // the violating valuation requires both R(a,b) and R(b,a)
+        assert!(violation.required_facts.contains(&Fact::from_names("R", &["a", "b"])));
+        assert!(violation.required_facts.contains(&Fact::from_names("R", &["b", "a"])));
+
+        assert!(holds_c1(&query, &policy, &universe));
+        assert!(c1_violation(&query, &policy, &universe).is_none());
+    }
+
+    #[test]
+    fn c1_fails_when_a_minimal_valuation_is_split() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let universe = all_r_facts(&["a", "b"]);
+        // Round-robin splits R(a,b) and R(b,a) over different nodes, so the
+        // minimal valuation x=a,y=b,z=a never meets.
+        let policy = ExplicitPolicy::round_robin(&Network::with_size(4), &universe);
+        assert!(!holds_c1(&query, &policy, &universe));
+        let violation = c1_violation(&query, &policy, &universe).unwrap();
+        assert!(is_minimal_valuation(&query, &violation.valuation));
+    }
+
+    #[test]
+    fn c0_implies_c1() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let universe = all_r_facts(&["a", "b", "c"]);
+        let broadcast = ExplicitPolicy::broadcast(&Network::with_size(3), &universe);
+        assert!(holds_c0(&query, &broadcast, &universe));
+        assert!(holds_c1(&query, &broadcast, &universe));
+    }
+
+    #[test]
+    fn c2_holds_for_identical_queries() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        assert!(holds_c2(&query, &query));
+    }
+
+    #[test]
+    fn c2_holds_when_q_prime_is_a_restriction() {
+        // Q' asks for paths through a self-loop; Q asks for paths.
+        // Every minimal valuation of Q' requires facts that some minimal
+        // valuation of Q also requires... here Q' requires MORE facts, so
+        // inclusion of Q'-requirements in Q-requirements fails in general.
+        let q_paths = q("T(x, z) :- R(x, y), R(y, z).");
+        let q_loop = q("T(x, z) :- R(x, y), R(y, z), R(y, y).");
+        // from q_loop to q_paths: minimal valuations of q_paths require two
+        // facts R(a,b), R(b,c); the q_loop valuation x=a,y=b,z=c requires
+        // these plus R(b,b) — so a covering valuation exists and is minimal.
+        assert!(holds_c2(&q_loop, &q_paths));
+        // from q_paths to q_loop: a minimal valuation of q_loop requires
+        // R(a,b),R(b,c),R(b,b); no valuation of q_paths requires a superset
+        // that stays minimal? In fact V={x→a,y→b,z→c} of q_paths requires
+        // only two facts and can never cover three distinct facts.
+        assert!(!holds_c2(&q_paths, &q_loop));
+    }
+
+    #[test]
+    fn c2_violation_returns_a_minimal_valuation_of_q_prime() {
+        let q_paths = q("T(x, z) :- R(x, y), R(y, z).");
+        let q_loop = q("T(x, z) :- R(x, y), R(y, z), R(y, y).");
+        let violation = c2_violation(&q_paths, &q_loop).unwrap();
+        assert!(is_minimal_valuation(&q_loop, &violation));
+    }
+
+    #[test]
+    fn covering_valuation_search_respects_minimality() {
+        // Target facts of the non-minimal Example 3.5 valuation: a covering
+        // valuation of the same query exists but is not minimal; the search
+        // must reject it (no OTHER minimal valuation covers all three facts).
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let target = Instance::from_facts([
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("R", &["b", "a"]),
+            Fact::from_names("R", &["a", "a"]),
+        ]);
+        assert!(!exists_minimal_covering_valuation(&query, &target));
+
+        // A single self-loop is covered by the minimal all-equal valuation.
+        let small = Instance::from_facts([Fact::from_names("R", &["a", "a"])]);
+        let witness = find_minimal_covering_valuation(&query, &small).unwrap();
+        assert!(is_minimal_valuation(&query, &witness));
+        assert!(witness.required_facts(&query).contains_all(&small));
+    }
+
+    #[test]
+    fn c3_holds_for_identical_queries() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let witness = c3_witness(&query, &query).unwrap();
+        assert!(witness.theta.is_simplification_of(&query));
+        // ρ applied to body(Q) must cover θ(body(Q))
+        let image = witness.theta.apply_atoms(query.body());
+        let covered = witness.rho.apply_atoms(query.body());
+        for atom in image {
+            assert!(covered.contains(&atom));
+        }
+    }
+
+    #[test]
+    fn c3_for_boolean_queries_with_different_granularity() {
+        // Q  : T() :- R(x, y)            (one atom)
+        // Q' : T() :- R(u, v), R(v, w)   (two atoms)
+        // θ can collapse Q' to a single atom only by unifying u,v,w (giving
+        // R(u,u), which is NOT in body(Q') — so θ must keep both atoms);
+        // ρ maps the single atom of Q onto one of them but cannot cover both.
+        let q1 = q("T() :- R(x, y).");
+        let q2 = q("T() :- R(u, v), R(v, w).");
+        assert!(!holds_c3(&q1, &q2));
+        // The other direction: cover θ(body(Q1)) = {R(x,y)} by ρ(body(Q2)):
+        // ρ = identity works since R(u,v) can be renamed onto R(x,y).
+        assert!(holds_c3(&q2, &q1));
+    }
+
+    #[test]
+    fn c3_uses_non_trivial_simplifications() {
+        // Q' : T(x) :- R(x, y), R(x, z) simplifies to T(x) :- R(x, y);
+        // Q  : T(x) :- R(x, w). Without the simplification the two-atom body
+        // cannot be covered by a single-atom image? It can: both atoms map
+        // consistently only if y and z both map… actually ρ(R(x,w)) is a
+        // single atom and cannot equal both R(x,y) and R(x,z); the θ that
+        // collapses z onto y is required.
+        let q_from = q("T(x) :- R(x, w).");
+        let q_to = q("T(x) :- R(x, y), R(x, z).");
+        let witness = c3_witness(&q_from, &q_to).unwrap();
+        assert!(!witness.theta.is_identity());
+    }
+}

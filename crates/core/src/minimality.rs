@@ -1,0 +1,316 @@
+//! Minimal valuations (Definition 3.3), strong minimality (Definition 4.4)
+//! and the sufficient condition of Lemma 4.8.
+
+use std::ops::ControlFlow;
+
+use cq::{
+    for_each_satisfying, CanonicalValuations, ConjunctiveQuery, EvalOptions, Instance, Valuation,
+};
+
+/// Whether `valuation` is a *minimal* valuation for `query`
+/// (Definition 3.3): there is no valuation `V'` with `V' <_Q V`.
+///
+/// Any counterexample `V'` satisfies `V'(body_Q) ⊊ V(body_Q)`, so it maps all
+/// variables into the active domain of `V(body_Q)`; the search is therefore
+/// finite and is implemented as a constrained evaluation of `Q` over the
+/// instance `V(body_Q)` with the head variables pre-bound.
+pub fn is_minimal_valuation(query: &ConjunctiveQuery, valuation: &Valuation) -> bool {
+    let required = valuation.required_facts(query);
+    let head_binding = valuation.restrict(&query.head_variables());
+    let mut found_smaller = false;
+    let _ = for_each_satisfying(
+        query,
+        &required,
+        &head_binding,
+        EvalOptions::default(),
+        |candidate| {
+            // candidate(body) ⊆ required by construction; strictness is a size check.
+            if candidate.required_facts(query).len() < required.len() {
+                found_smaller = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    !found_smaller
+}
+
+/// Enumerates the valuations of `query` that are satisfying on `facts` and
+/// minimal, invoking `callback` for each.
+pub fn for_each_minimal_valuation<F>(
+    query: &ConjunctiveQuery,
+    facts: &Instance,
+    mut callback: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    for_each_satisfying(
+        query,
+        facts,
+        &Valuation::new(),
+        EvalOptions::default(),
+        |v| {
+            if is_minimal_valuation(query, v) {
+                callback(v)
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    )
+}
+
+/// The satisfying valuations of `query` on `facts` that are minimal.
+pub fn minimal_valuations_over(query: &ConjunctiveQuery, facts: &Instance) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let _ = for_each_minimal_valuation(query, facts, |v| {
+        if seen.insert(v.clone()) {
+            out.push(v.clone());
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// A report on the strong minimality of a query.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct StrongMinimalityReport {
+    /// Whether the query is strongly minimal.
+    pub strongly_minimal: bool,
+    /// Whether the sufficient syntactic condition of Lemma 4.8 holds.
+    pub lemma_4_8: bool,
+    /// Number of canonical valuations inspected by the complete check.
+    pub valuations_checked: usize,
+}
+
+/// Whether `query` is *strongly minimal* (Definition 4.4): every valuation
+/// for the query is minimal.
+///
+/// By genericity it suffices to check one representative valuation per
+/// equality pattern of the query variables (canonical set partitions).
+pub fn is_strongly_minimal(query: &ConjunctiveQuery) -> bool {
+    strong_minimality_witness(query).is_none()
+}
+
+/// Searches for a witness of non-strong-minimality: a valuation of the query
+/// that is not minimal. Returns `None` when the query is strongly minimal.
+pub fn strong_minimality_witness(query: &ConjunctiveQuery) -> Option<Valuation> {
+    // Fast path: the syntactic sufficient condition of Lemma 4.8.
+    if satisfies_lemma_4_8(query) {
+        return None;
+    }
+    CanonicalValuations::new(query.variables()).find(|v| !is_minimal_valuation(query, v))
+}
+
+/// Full report on strong minimality, including which path decided it.
+pub fn strong_minimality_report(query: &ConjunctiveQuery) -> StrongMinimalityReport {
+    let lemma = satisfies_lemma_4_8(query);
+    if lemma {
+        return StrongMinimalityReport {
+            strongly_minimal: true,
+            lemma_4_8: true,
+            valuations_checked: 0,
+        };
+    }
+    let mut checked = 0usize;
+    let mut strongly_minimal = true;
+    for v in CanonicalValuations::new(query.variables()) {
+        checked += 1;
+        if !is_minimal_valuation(query, &v) {
+            strongly_minimal = false;
+            break;
+        }
+    }
+    StrongMinimalityReport {
+        strongly_minimal,
+        lemma_4_8: false,
+        valuations_checked: checked,
+    }
+}
+
+/// The sufficient condition of Lemma 4.8: if a variable `x` occurs at a
+/// position `i` in some self-join atom and not in the head of `Q`, then all
+/// self-join atoms have `x` at position `i`.
+///
+/// In particular every full CQ and every CQ without self-joins satisfies the
+/// condition. The condition is *not* necessary (Example 4.9).
+pub fn satisfies_lemma_4_8(query: &ConjunctiveQuery) -> bool {
+    let self_join_atoms = query.self_join_atoms();
+    let head_vars = query.head_variables();
+    for atom in &self_join_atoms {
+        for (i, &var) in atom.args.iter().enumerate() {
+            if head_vars.contains(&var) {
+                continue;
+            }
+            // `var` occurs at position i of a self-join atom and is not a head
+            // variable: all self-join atoms must have `var` at position i.
+            for other in &self_join_atoms {
+                if other.args.get(i) != Some(&var) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::Valuation;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn example_3_5_minimal_and_non_minimal_valuations() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let v = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "a")]);
+        let v_prime = Valuation::from_names([("x", "a"), ("y", "a"), ("z", "a")]);
+        assert!(!is_minimal_valuation(&query, &v));
+        assert!(is_minimal_valuation(&query, &v_prime));
+    }
+
+    #[test]
+    fn injective_valuations_of_minimal_queries_are_minimal() {
+        // Lemma 3.6 (one direction): for an injective valuation, minimality
+        // of the valuation coincides with minimality of the query.
+        let minimal_query = q("T(x) :- R(x, y), R(y, z).");
+        let injective = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "c")]);
+        assert!(is_minimal_valuation(&minimal_query, &injective));
+
+        let non_minimal_query = q("T(x) :- R(x, y), R(x, z).");
+        let injective2 = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "c")]);
+        assert!(!is_minimal_valuation(&non_minimal_query, &injective2));
+    }
+
+    #[test]
+    fn lemma_3_6_equivalence_on_sample_queries() {
+        // For every sample query: Q minimal  <=>  its injective valuations are minimal.
+        let samples = [
+            "T(x) :- R(x, y), R(y, z).",
+            "T(x) :- R(x, y), R(x, z).",
+            "T(x, z) :- R(x, y), R(y, z), R(x, x).",
+            "T() :- R(x, y), R(y, x).",
+            "T() :- R(x, y), R(y, y), R(z, z), R(u, u).",
+        ];
+        for text in samples {
+            let query = q(text);
+            let vars = query.variables();
+            let injective = Valuation::from_pairs(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, cq::Value::indexed("inj", i))),
+            );
+            assert_eq!(
+                cq::is_minimal(&query),
+                is_minimal_valuation(&query, &injective),
+                "Lemma 3.6 violated for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_valuations_over_an_instance() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let instance = cq::parse_instance("R(a, a). R(a, b). R(b, a).").unwrap();
+        let minimal = minimal_valuations_over(&query, &instance);
+        // The valuation x=a,y=b,z=a is satisfying but NOT minimal (x=y=z=a is
+        // smaller); the all-a valuation is minimal; x=a,y=a|b,z=b requires
+        // R(a,b),(R(a,a) or R(b,b)),… — check that every returned valuation
+        // is indeed minimal and satisfying.
+        assert!(!minimal.is_empty());
+        for v in &minimal {
+            assert!(v.satisfies(&query, &instance));
+            assert!(is_minimal_valuation(&query, v));
+        }
+        // the non-minimal valuation is not in the list
+        let non_minimal = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "a")]);
+        assert!(!minimal.contains(&non_minimal));
+    }
+
+    #[test]
+    fn example_4_5_strongly_minimal_queries() {
+        // Q1 is full (the paper's Example 4.5 argues "by fullness of Q1";
+        // we spell the head with all body variables); Q2 has no self-joins.
+        let q1 = q("T(x1, x2, x3, x4) :- R(x1, x2), R(x2, x3), R(x3, x4).");
+        let q2 = q("T() :- R1(x1, x2), R2(x2, x3), R3(x3, x4).");
+        assert!(q1.is_full());
+        assert!(satisfies_lemma_4_8(&q1));
+        assert!(is_strongly_minimal(&q1));
+        assert!(satisfies_lemma_4_8(&q2));
+        assert!(is_strongly_minimal(&q2));
+    }
+
+    #[test]
+    fn projected_chain_with_self_joins_is_not_strongly_minimal() {
+        // The literal head of the paper's Example 4.5 (which omits x3) makes
+        // the query non-strongly-minimal: collapsing x3 onto x2's value can
+        // shrink the required facts while deriving the same head fact.
+        let query = q("T(x1, x2, x2, x4) :- R(x1, x2), R(x2, x3), R(x3, x4).");
+        assert!(!is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn example_3_5_query_is_minimal_but_not_strongly_minimal() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        assert!(cq::is_minimal(&query));
+        assert!(!is_strongly_minimal(&query));
+        let witness = strong_minimality_witness(&query).expect("witness must exist");
+        assert!(!is_minimal_valuation(&query, &witness));
+    }
+
+    #[test]
+    fn example_4_9_strongly_minimal_without_lemma_4_8() {
+        // T() :- R(x1, x2), R(x2, x1) is strongly minimal but fails the
+        // sufficient condition of Lemma 4.8.
+        let query = q("T() :- R(x1, x2), R(x2, x1).");
+        assert!(!satisfies_lemma_4_8(&query));
+        assert!(is_strongly_minimal(&query));
+        let report = strong_minimality_report(&query);
+        assert!(report.strongly_minimal);
+        assert!(!report.lemma_4_8);
+        assert!(report.valuations_checked >= 2);
+    }
+
+    #[test]
+    fn full_queries_satisfy_lemma_4_8() {
+        let query = q("T(x, y) :- R(x, y), R(y, x).");
+        assert!(satisfies_lemma_4_8(&query));
+        assert!(is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn self_join_free_queries_satisfy_lemma_4_8() {
+        let query = q("T(x) :- R(x, y), S(y, z), U(z, x).");
+        assert!(satisfies_lemma_4_8(&query));
+        assert!(is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn strongly_minimal_implies_minimal() {
+        // every strongly minimal CQ is minimal (the converse fails, see above)
+        let samples = [
+            "T() :- R(x1, x2), R(x2, x1).",
+            "T(x1, x2) :- R(x1, x2), R(x2, x3).",
+            "T() :- R1(x, y), R2(y, z).",
+        ];
+        for text in samples {
+            let query = q(text);
+            if is_strongly_minimal(&query) {
+                assert!(cq::is_minimal(&query), "strongly minimal but not minimal: {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_strongly_minimal_self_join_with_existential_variable() {
+        // T(x) :- R(x, y), R(x, x): the valuation y ↦ x-value collapses.
+        let query = q("T(x) :- R(x, y), R(x, x).");
+        assert!(!satisfies_lemma_4_8(&query));
+        assert!(!is_strongly_minimal(&query));
+    }
+}

@@ -1,0 +1,312 @@
+//! Deciding parallel-correctness (Section 3 of the paper).
+
+use cq::{evaluate, ConjunctiveQuery, Instance};
+use distribution::{DistributionPolicy, FinitePolicy, OneRoundEngine};
+
+use crate::conditions::{c1_violation, C1Violation};
+
+/// A violation of parallel-correctness: a minimal valuation whose required
+/// facts never meet, together with the concrete counterexample instance and
+/// the fact that is lost (cf. the proof of Lemma 3.4).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PcViolation {
+    /// The minimal valuation whose facts do not meet under the policy.
+    pub valuation: cq::Valuation,
+    /// The counterexample instance `V(body_Q)`.
+    pub counterexample_instance: Instance,
+    /// The fact `V(head_Q)` that the distributed evaluation misses on the
+    /// counterexample instance.
+    pub lost_fact: cq::Fact,
+}
+
+/// The result of a parallel-correctness check over all instances.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PcReport {
+    /// Whether the query is parallel-correct under the policy.
+    pub correct: bool,
+    /// A violation witness when the query is not parallel-correct.
+    pub violation: Option<PcViolation>,
+}
+
+impl PcReport {
+    /// Whether the query is parallel-correct.
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+}
+
+/// The result of a parallel-correctness check on one instance (PCI).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PcInstanceReport {
+    /// Whether `Q(I) = ⋃_κ Q(dist_P(I)(κ))` on the given instance.
+    pub correct: bool,
+    /// The centralized result `Q(I)`.
+    pub expected: Instance,
+    /// The union of the per-node results.
+    pub distributed: Instance,
+    /// Facts of `Q(I)` missing from the distributed result.
+    pub missing: Instance,
+}
+
+impl PcInstanceReport {
+    /// Whether the evaluation is correct on the instance.
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+}
+
+/// Decides parallel-correctness *on a given instance* (`PCI`,
+/// Definition 3.1): compares the centralized evaluation with the union of
+/// the per-node evaluations of the distributed instance.
+pub fn check_parallel_correctness_on_instance<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    instance: &Instance,
+) -> PcInstanceReport {
+    let expected = evaluate(query, instance);
+    let outcome = OneRoundEngine::new(policy).evaluate(query, instance);
+    let distributed = outcome.result;
+    let missing = expected.difference(&distributed);
+    PcInstanceReport {
+        correct: missing.is_empty() && distributed.contains_all(&expected),
+        expected,
+        distributed,
+        missing,
+    }
+}
+
+/// Decides parallel-correctness of `query` under a finite policy for **all**
+/// instances `I ⊆ facts(P)` (`PC(Pfin)`, Theorem 3.8), using the
+/// characterization by minimal valuations (condition (C1), Lemma 3.4 /
+/// Lemma B.4).
+pub fn check_parallel_correctness<P: FinitePolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+) -> PcReport {
+    let universe = policy.fact_universe();
+    check_parallel_correctness_bounded(query, policy, &universe)
+}
+
+/// Decides parallel-correctness restricted to instances over a finite fact
+/// universe (the `Pⁿ` restriction used for black-box policies in the paper,
+/// Section 3): the query is parallel-correct on every instance
+/// `I ⊆ universe` if and only if every minimal valuation over `universe`
+/// has its required facts meeting at some node.
+pub fn check_parallel_correctness_bounded<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+) -> PcReport {
+    match c1_violation(query, policy, universe) {
+        None => PcReport {
+            correct: true,
+            violation: None,
+        },
+        Some(C1Violation {
+            valuation,
+            required_facts,
+        }) => {
+            let lost_fact = valuation.derived_fact(query);
+            PcReport {
+                correct: false,
+                violation: Some(PcViolation {
+                    valuation,
+                    counterexample_instance: required_facts,
+                    lost_fact,
+                }),
+            }
+        }
+    }
+}
+
+/// Brute-force reference decision of `PC(Pfin)`: checks Definition 3.1 on
+/// **every** subinstance of `facts(P)`.
+///
+/// Exponential in `|facts(P)|`; used to cross-validate
+/// [`check_parallel_correctness`] in tests and benchmarks.
+pub fn check_parallel_correctness_naive<P: FinitePolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+) -> bool {
+    let universe = policy.fact_universe();
+    universe
+        .subsets()
+        .iter()
+        .all(|i| check_parallel_correctness_on_instance(query, policy, i).correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::{parse_instance, Fact};
+    use distribution::{ExplicitPolicy, HypercubePolicy, Network, Node};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    fn all_r_facts(values: &[&str]) -> Instance {
+        let mut out = Instance::new();
+        for x in values {
+            for y in values {
+                out.insert(Fact::from_names("R", &[x, y]));
+            }
+        }
+        out
+    }
+
+    fn example_3_5_policy(universe: &Instance) -> ExplicitPolicy {
+        let r_ab = Fact::from_names("R", &["a", "b"]);
+        let r_ba = Fact::from_names("R", &["b", "a"]);
+        let mut policy = ExplicitPolicy::new(Network::with_size(2));
+        for fact in universe.facts() {
+            let mut nodes = Vec::new();
+            if *fact != r_ab {
+                nodes.push(Node::numbered(0));
+            }
+            if *fact != r_ba {
+                nodes.push(Node::numbered(1));
+            }
+            policy.assign(fact.clone(), nodes);
+        }
+        policy
+    }
+
+    #[test]
+    fn example_3_5_query_is_parallel_correct_under_its_policy() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let universe = all_r_facts(&["a", "b"]);
+        let policy = example_3_5_policy(&universe);
+        let report = check_parallel_correctness(&query, &policy);
+        assert!(report.is_correct());
+        assert!(report.violation.is_none());
+        // agrees with the brute-force reference over all 2^4 subinstances
+        assert!(check_parallel_correctness_naive(&query, &policy));
+    }
+
+    #[test]
+    fn plain_path_query_is_not_parallel_correct_under_example_3_5_policy() {
+        // Without the R(x,x) atom the valuation x=a,y=b,z=a is minimal and
+        // requires R(a,b), R(b,a), which never meet.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let universe = all_r_facts(&["a", "b"]);
+        let policy = example_3_5_policy(&universe);
+        let report = check_parallel_correctness(&query, &policy);
+        assert!(!report.is_correct());
+        let violation = report.violation.unwrap();
+        assert_eq!(violation.counterexample_instance.len(), 2);
+        assert!(!check_parallel_correctness_naive(&query, &policy));
+
+        // The counterexample instance really does break Definition 3.1.
+        let pci = check_parallel_correctness_on_instance(
+            &query,
+            &policy,
+            &violation.counterexample_instance,
+        );
+        assert!(!pci.is_correct());
+        assert!(pci.missing.contains(&violation.lost_fact));
+    }
+
+    #[test]
+    fn broadcast_policies_are_always_parallel_correct() {
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let mut universe = parse_instance("R(a, b). R(b, c). S(b, d). S(c, e).").unwrap();
+        universe.insert(Fact::from_names("S", &["d", "f"]));
+        let policy = ExplicitPolicy::broadcast(&Network::with_size(3), &universe);
+        assert!(check_parallel_correctness(&query, &policy).is_correct());
+        assert!(check_parallel_correctness_naive(&query, &policy));
+    }
+
+    #[test]
+    fn round_robin_splits_joins_and_fails() {
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let universe = parse_instance("R(a, b). S(b, c).").unwrap();
+        let policy = ExplicitPolicy::round_robin(&Network::with_size(2), &universe);
+        let report = check_parallel_correctness(&query, &policy);
+        assert!(!report.is_correct());
+        assert!(!check_parallel_correctness_naive(&query, &policy));
+    }
+
+    #[test]
+    fn characterization_agrees_with_naive_on_many_small_policies() {
+        // Cross-validation of Lemma 3.4 / Lemma B.4: the (C1)-based decision
+        // agrees with the brute-force Definition 3.2 check for a collection
+        // of small queries and policies.
+        let queries = [
+            q("T(x, z) :- R(x, y), R(y, z)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T(x) :- R(x, x)."),
+            q("T() :- R(x, y), R(y, x)."),
+        ];
+        let universe = all_r_facts(&["a", "b"]);
+        let facts: Vec<Fact> = universe.facts().cloned().collect();
+
+        // A deterministic family of policies over two nodes: every subset of
+        // facts goes to node 0, the complement to node 1 (plus broadcast and
+        // skip variants).
+        for mask in 0..(1u32 << facts.len()) {
+            let mut policy = ExplicitPolicy::new(Network::with_size(2));
+            for (i, fact) in facts.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    policy.assign(fact.clone(), [Node::numbered(0)]);
+                } else {
+                    policy.assign(fact.clone(), [Node::numbered(1)]);
+                }
+            }
+            for query in &queries {
+                assert_eq!(
+                    check_parallel_correctness(query, &policy).is_correct(),
+                    check_parallel_correctness_naive(query, &policy),
+                    "mismatch for {query} under mask {mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_policies_are_parallel_correct_for_their_query() {
+        // Corollary of Lemma 5.7 (Q-generous ⇒ (C0) ⇒ (C1)).
+        let queries = [
+            q("T(x, z) :- R(x, y), S(y, z)."),
+            q("T(x, y, z) :- E(x, y), E(y, z), E(z, x)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+        ];
+        for query in &queries {
+            let policy = HypercubePolicy::uniform(query, 2).unwrap();
+            // bounded check over a small fact universe
+            let mut universe = Instance::new();
+            for rel in query.schema().relations() {
+                for x in ["a", "b", "c"] {
+                    for y in ["a", "b", "c"] {
+                        universe.insert(Fact::new(rel.name, vec![x.into(), y.into()]));
+                    }
+                }
+            }
+            let report = check_parallel_correctness_bounded(query, &policy, &universe);
+            assert!(report.is_correct(), "hypercube not PC for {query}");
+        }
+    }
+
+    #[test]
+    fn pci_report_lists_missing_facts() {
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let instance = parse_instance("R(a, b). S(b, c). R(c, b). S(b, a).").unwrap();
+        let policy = ExplicitPolicy::round_robin(&Network::with_size(4), &instance);
+        let report = check_parallel_correctness_on_instance(&query, &policy, &instance);
+        assert!(!report.is_correct());
+        assert_eq!(report.expected.len(), 4);
+        assert!(report.missing.len() >= 1);
+        assert!(report.expected.contains_all(&report.distributed));
+    }
+
+    #[test]
+    fn single_node_policies_are_always_parallel_correct() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(z, x).");
+        let universe = all_r_facts(&["a", "b"]);
+        let mut policy = ExplicitPolicy::new(Network::with_size(1));
+        for fact in universe.facts() {
+            policy.assign(fact.clone(), [Node::numbered(0)]);
+        }
+        assert!(check_parallel_correctness(&query, &policy).is_correct());
+    }
+}

@@ -1,0 +1,328 @@
+//! Parallel-correctness transfer (Section 4 of the paper).
+
+use cq::{ConjunctiveQuery, Instance, Valuation};
+
+use crate::conditions::{c2_violation, c3_witness};
+use crate::minimality::is_strongly_minimal;
+
+/// A witness that parallel-correctness does **not** transfer: a minimal
+/// valuation of `Q'` whose required facts are not contained in the required
+/// facts of any minimal valuation of `Q`. The proof of Lemma 4.2 turns such
+/// a valuation into a concrete policy separating the two queries; the
+/// separating policy can be rebuilt with
+/// [`distribution::ExplicitPolicy::all_but_one`] /
+/// [`distribution::ExplicitPolicy::skip_one`] over
+/// [`TransferViolation::required_facts`].
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TransferViolation {
+    /// The minimal valuation of `Q'` that no minimal valuation of `Q` covers.
+    pub valuation: Valuation,
+    /// Its required facts `V'(body_{Q'})`.
+    pub required_facts: Instance,
+}
+
+/// The result of a transferability check from `Q` to `Q'`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TransferReport {
+    /// Whether parallel-correctness transfers from `Q` to `Q'`.
+    pub transfers: bool,
+    /// Which decision procedure was used (`"C2"` or `"C3"`).
+    pub method: &'static str,
+    /// A violation witness when transfer fails.
+    pub violation: Option<TransferViolation>,
+}
+
+impl TransferReport {
+    /// Whether parallel-correctness transfers.
+    pub fn transfers(&self) -> bool {
+        self.transfers
+    }
+}
+
+/// Decides whether parallel-correctness transfers from `from` to `to`
+/// (Definition 4.1) using the semantic characterization by condition (C2)
+/// (Lemma 4.2). This is the general, ΠP3-complete problem (Theorem 4.3).
+pub fn check_transfer(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> TransferReport {
+    match c2_violation(from, to) {
+        None => TransferReport {
+            transfers: true,
+            method: "C2",
+            violation: None,
+        },
+        Some(valuation) => {
+            let required_facts = valuation.required_facts(to);
+            TransferReport {
+                transfers: false,
+                method: "C2",
+                violation: Some(TransferViolation {
+                    valuation,
+                    required_facts,
+                }),
+            }
+        }
+    }
+}
+
+/// Decides transferability from a **strongly minimal** query `from` to `to`
+/// using condition (C3) (Lemma 4.6) — the NP procedure of Theorem 4.7.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `from` is not strongly minimal; the
+/// characterization by (C3) is only valid for strongly minimal `from`.
+pub fn check_transfer_strongly_minimal(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+) -> TransferReport {
+    debug_assert!(
+        is_strongly_minimal(from),
+        "check_transfer_strongly_minimal requires a strongly minimal source query"
+    );
+    let transfers = c3_witness(from, to).is_some();
+    TransferReport {
+        transfers,
+        method: "C3",
+        violation: None,
+    }
+}
+
+/// Decides transferability in the setting of Remark C.3 of the paper, where
+/// distribution policies are **not allowed to skip facts** (every fact is
+/// sent to at least one node).
+///
+/// In that setting the characterization (C2) relaxes to (C2'): a minimal
+/// valuation `V'` of `Q'` that requires only a **single** fact never needs a
+/// covering valuation of `Q`, because a non-skipping policy always places
+/// that single fact somewhere.
+pub fn check_transfer_no_skip(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> TransferReport {
+    // Same canonical enumeration as the (C2) check, but single-fact
+    // requirements are exempted.
+    for v_prime in cq::CanonicalValuations::new(to.variables()) {
+        if !crate::minimality::is_minimal_valuation(to, &v_prime) {
+            continue;
+        }
+        let target = v_prime.required_facts(to);
+        if target.len() <= 1 {
+            continue;
+        }
+        if !crate::conditions::exists_minimal_covering_valuation(from, &target) {
+            return TransferReport {
+                transfers: false,
+                method: "C2'",
+                violation: Some(TransferViolation {
+                    valuation: v_prime,
+                    required_facts: target,
+                }),
+            };
+        }
+    }
+    TransferReport {
+        transfers: true,
+        method: "C2'",
+        violation: None,
+    }
+}
+
+/// Brute-force cross-check used in tests: verifies the *only-if* direction of
+/// transferability on the concrete separating policy built by Lemma 4.2's
+/// proof. Given a transfer violation for `(from, to)`, returns `true` when
+/// the constructed policy indeed witnesses non-transferability (i.e. `from`
+/// is parallel-correct under it while `to` is not).
+pub fn violation_separates(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    violation: &TransferViolation,
+) -> bool {
+    use distribution::ExplicitPolicy;
+
+    let facts: Vec<_> = violation.required_facts.facts().cloned().collect();
+    if facts.is_empty() {
+        return false;
+    }
+    let policy = if facts.len() == 1 {
+        ExplicitPolicy::skip_one(&violation.required_facts, &facts[0])
+    } else {
+        ExplicitPolicy::all_but_one(&facts)
+    };
+    // `from` must stay parallel-correct on every instance over the facts of
+    // the violation, while `to` must fail on the violation instance itself.
+    let from_ok = violation
+        .required_facts
+        .subsets()
+        .iter()
+        .all(|i| crate::pc::check_parallel_correctness_on_instance(from, &policy, i).correct);
+    let to_fails = !crate::pc::check_parallel_correctness_on_instance(
+        to,
+        &policy,
+        &violation.required_facts,
+    )
+    .correct;
+    from_ok && to_fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn no_skip_transfer_is_implied_by_general_transfer() {
+        // (C2) implies (C2'): whenever transfer holds for arbitrary policies
+        // it holds for non-skipping ones; the converse can fail exactly on
+        // single-fact requirements (Remark C.3).
+        let pairs = [
+            ("T(x, z) :- R(x, y), R(y, z), R(y, y).", "U(x, z) :- R(x, y), R(y, z)."),
+            ("T(x, y) :- R(x, y).", "U(x) :- R(x, x)."),
+            ("T(x, z) :- R(x, y), R(y, z).", "U(x, z) :- R(x, y), R(y, z), R(y, y)."),
+            ("T(x, y) :- R(x, y).", "U(x) :- S(x, x)."),
+        ];
+        for (from_text, to_text) in pairs {
+            let from = q(from_text);
+            let to = q(to_text);
+            let general = check_transfer(&from, &to).transfers();
+            let no_skip = check_transfer_no_skip(&from, &to).transfers();
+            assert!(!general || no_skip, "{from_text} => {to_text}");
+        }
+    }
+
+    #[test]
+    fn no_skip_transfer_differs_exactly_on_single_fact_requirements() {
+        // Q' = U(x) :- S(x, x) requires a single S-fact; Q never touches S.
+        // With skipping policies transfer fails (the policy can drop the
+        // S-fact); with non-skipping policies it holds (Remark C.3).
+        let from = q("T(x, y) :- R(x, y).");
+        let to = q("U(x) :- S(x, x).");
+        assert!(!check_transfer(&from, &to).transfers());
+        assert!(check_transfer_no_skip(&from, &to).transfers());
+
+        // A two-fact requirement over a foreign relation still fails in both
+        // settings.
+        let to2 = q("U(x, y) :- S(x, y), S(y, x).");
+        assert!(!check_transfer(&from, &to2).transfers());
+        let report = check_transfer_no_skip(&from, &to2);
+        assert!(!report.transfers());
+        assert_eq!(report.method, "C2'");
+        assert!(report.violation.unwrap().required_facts.len() >= 2);
+    }
+
+    #[test]
+    fn transfer_is_reflexive() {
+        let queries = [
+            q("T(x, z) :- R(x, y), R(y, z)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T() :- R(x, y), R(y, x)."),
+        ];
+        for query in &queries {
+            assert!(check_transfer(query, query).transfers(), "{query}");
+        }
+    }
+
+    #[test]
+    fn transfer_from_more_demanding_to_less_demanding_query() {
+        // Q requires a path plus a self-loop on the middle; Q' only the path.
+        // Every minimal valuation of Q' is covered by a minimal valuation of Q.
+        let q_loop = q("T(x, z) :- R(x, y), R(y, z), R(y, y).");
+        let q_path = q("T(x, z) :- R(x, y), R(y, z).");
+        assert!(check_transfer(&q_loop, &q_path).transfers());
+        // The converse fails.
+        let report = check_transfer(&q_path, &q_loop);
+        assert!(!report.transfers());
+        let violation = report.violation.unwrap();
+        // Lemma 4.2's proof: the violation yields a concrete separating policy.
+        assert!(violation_separates(&q_path, &q_loop, &violation));
+    }
+
+    #[test]
+    fn strongly_minimal_path_queries_c3_agrees_with_c2() {
+        // Both queries are full/self-join-free (strongly minimal), so the
+        // C3-based NP procedure must agree with the general C2 procedure.
+        let pairs = [
+            (
+                q("T(x, y, z) :- R(x, y), S(y, z)."),
+                q("T(x, y, z) :- R(x, y), S(y, z)."),
+            ),
+            (
+                q("T(x, y, z) :- R(x, y), S(y, z)."),
+                q("U(x, y) :- R(x, y)."),
+            ),
+            (
+                q("U(x, y) :- R(x, y)."),
+                q("T(x, y, z) :- R(x, y), S(y, z)."),
+            ),
+            (
+                q("T(x, y) :- R(x, y), S(y, x)."),
+                q("U(x) :- R(x, x), S(x, x)."),
+            ),
+        ];
+        for (from, to) in &pairs {
+            assert!(is_strongly_minimal(from));
+            let general = check_transfer(from, to).transfers();
+            let fast = check_transfer_strongly_minimal(from, to).transfers();
+            assert_eq!(general, fast, "C2 vs C3 disagree for {from} => {to}");
+        }
+    }
+
+    #[test]
+    fn transfer_to_a_query_with_extra_relations_fails() {
+        // Q' uses a relation S that Q never binds: its minimal valuations
+        // require S-facts that no valuation of Q can provide.
+        let from = q("T(x, y) :- R(x, y).");
+        let to = q("U(x) :- R(x, y), S(y, x).");
+        let report = check_transfer(&from, &to);
+        assert!(!report.transfers());
+        let violation = report.violation.unwrap();
+        assert!(violation
+            .required_facts
+            .facts()
+            .any(|f| f.relation == cq::Symbol::new("S")));
+        assert!(violation_separates(&from, &to, &violation));
+    }
+
+    #[test]
+    fn transfer_between_structurally_different_but_compatible_queries() {
+        // Q covers single edges and Q' asks only for self-loops: every
+        // minimal valuation of Q' (a self-loop fact) is covered by the
+        // minimal valuation of Q mapping both variables to the same value.
+        let from = q("T(x, y) :- R(x, y).");
+        let to = q("U(x) :- R(x, x).");
+        assert!(check_transfer(&from, &to).transfers());
+        assert!(check_transfer_strongly_minimal(&from, &to).transfers());
+    }
+
+    #[test]
+    fn self_join_free_queries_transfer_iff_relations_cover() {
+        let from = q("T(x, y, z) :- R(x, y), S(y, z).");
+        let to_subset = q("U(x, y) :- R(x, y).");
+        let to_superset = q("U(x, y, z, w) :- R(x, y), S(y, z), V(z, w).");
+        assert!(check_transfer(&from, &to_subset).transfers());
+        assert!(!check_transfer(&from, &to_superset).transfers());
+    }
+
+    #[test]
+    fn example_3_5_query_transfer_behaviour() {
+        // The Example 3.5 query is minimal but not strongly minimal; the
+        // general C2 check applies. Transfer to the plain path query fails:
+        // the path valuation {x↦a, y↦b, z↦a} is minimal and requires
+        // {R(a,b), R(b,a)}, but every valuation of the Example 3.5 query
+        // whose required facts contain that pair also requires a self-loop
+        // and is then *not* minimal (Example 3.5 itself), so no minimal
+        // covering valuation exists.
+        let q35 = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let path = q("T(x, z) :- R(x, y), R(y, z).");
+        let report = check_transfer(&q35, &path);
+        assert!(!report.transfers());
+        let violation = report.violation.unwrap();
+        assert_eq!(violation.required_facts.len(), 2);
+        assert!(violation_separates(&q35, &path, &violation));
+
+        // The converse also fails: minimal Q35-valuations can require three
+        // facts, which no path valuation (at most two required facts) covers.
+        let back = check_transfer(&path, &q35);
+        assert!(!back.transfers());
+        let violation = back.violation.unwrap();
+        assert!(violation_separates(&path, &q35, &violation));
+    }
+}

@@ -1,0 +1,175 @@
+//! Canonical enumeration of valuations.
+//!
+//! By genericity of conjunctive queries (Claim C.4 of the paper), properties
+//! such as minimality of a valuation or the containment condition (C2) only
+//! depend on the *equality pattern* of a valuation, not on the concrete data
+//! values. It therefore suffices to enumerate valuations up to isomorphism,
+//! which this module does via *restricted growth strings* (canonical set
+//! partitions): the i-th variable is assigned a class index that is at most
+//! one larger than the maximum class index used so far.
+
+use crate::atom::Variable;
+use crate::valuation::Valuation;
+use crate::value::Value;
+
+/// All restricted-growth strings of length `n`.
+///
+/// Each string `a` encodes a set partition of `{0, …, n-1}`: positions with
+/// equal entries are in the same class, and `a[0] = 0`,
+/// `a[i] ≤ max(a[..i]) + 1`. The number of strings is the Bell number `B_n`.
+pub fn partition_assignments(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+    fn rec(current: &mut Vec<usize>, pos: usize, max_used: usize, out: &mut Vec<Vec<usize>>) {
+        let n = current.len();
+        if pos == n {
+            out.push(current.clone());
+            return;
+        }
+        for class in 0..=max_used + 1 {
+            current[pos] = class;
+            let new_max = max_used.max(class);
+            rec(current, pos + 1, new_max, out);
+        }
+    }
+    if n == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    current[0] = 0;
+    rec(&mut current, 1, 0, &mut out);
+    out
+}
+
+/// All assignments of length `n` over a domain of size `domain_size`
+/// (the full odometer enumeration, `domain_size^n` entries).
+pub fn all_assignments(n: usize, domain_size: usize) -> Vec<Vec<usize>> {
+    if domain_size == 0 {
+        return if n == 0 { vec![Vec::new()] } else { Vec::new() };
+    }
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+    loop {
+        out.push(current.clone());
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                return out;
+            }
+            current[pos] += 1;
+            if current[pos] == domain_size {
+                current[pos] = 0;
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Iterator over canonical valuations of a variable list.
+///
+/// Each emitted valuation corresponds to one set partition of the variables;
+/// variables in the same class are mapped to the same synthetic [`Value`],
+/// variables in different classes to different values. Every valuation over
+/// the infinite domain **dom** is isomorphic (via a permutation of **dom**)
+/// to exactly one canonical valuation.
+pub struct CanonicalValuations {
+    vars: Vec<Variable>,
+    assignments: std::vec::IntoIter<Vec<usize>>,
+}
+
+impl CanonicalValuations {
+    /// Creates the canonical enumeration for `vars`.
+    pub fn new(vars: Vec<Variable>) -> CanonicalValuations {
+        let assignments = partition_assignments(vars.len()).into_iter();
+        CanonicalValuations { vars, assignments }
+    }
+
+    /// Number of canonical valuations (the Bell number of the variable count).
+    pub fn count_for(n_vars: usize) -> usize {
+        partition_assignments(n_vars).len()
+    }
+}
+
+impl Iterator for CanonicalValuations {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let assignment = self.assignments.next()?;
+        Some(Valuation::from_pairs(
+            self.vars
+                .iter()
+                .zip(assignment.iter())
+                .map(|(&var, &class)| (var, Value::synthetic(class))),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_counts_are_bell_numbers() {
+        // Bell numbers: 1, 1, 2, 5, 15, 52, 203
+        assert_eq!(partition_assignments(0).len(), 1);
+        assert_eq!(partition_assignments(1).len(), 1);
+        assert_eq!(partition_assignments(2).len(), 2);
+        assert_eq!(partition_assignments(3).len(), 5);
+        assert_eq!(partition_assignments(4).len(), 15);
+        assert_eq!(partition_assignments(5).len(), 52);
+        assert_eq!(partition_assignments(6).len(), 203);
+    }
+
+    #[test]
+    fn partitions_are_restricted_growth_strings() {
+        for a in partition_assignments(5) {
+            assert_eq!(a[0], 0);
+            let mut max = 0;
+            for i in 1..a.len() {
+                assert!(a[i] <= max + 1, "not an RGS: {a:?}");
+                max = max.max(a[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_assignments_is_the_full_odometer() {
+        assert_eq!(all_assignments(3, 2).len(), 8);
+        assert_eq!(all_assignments(0, 5).len(), 1);
+        assert_eq!(all_assignments(2, 0).len(), 0);
+        let assignments = all_assignments(2, 3);
+        assert_eq!(assignments.len(), 9);
+        // all distinct
+        let set: std::collections::BTreeSet<_> = assignments.iter().cloned().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn canonical_valuations_cover_all_equality_patterns() {
+        let vars = vec![Variable::new("x"), Variable::new("y"), Variable::new("z")];
+        let vals: Vec<Valuation> = CanonicalValuations::new(vars.clone()).collect();
+        assert_eq!(vals.len(), 5);
+        // one of them maps all three to the same value
+        assert!(vals.iter().any(|v| {
+            v.get(vars[0]) == v.get(vars[1]) && v.get(vars[1]) == v.get(vars[2])
+        }));
+        // one of them is injective
+        assert!(vals.iter().any(|v| v.is_injective()));
+        // all of them are total
+        assert!(vals.iter().all(|v| vars.iter().all(|&x| v.binds(x))));
+    }
+
+    #[test]
+    fn canonical_count_helper_matches_enumeration() {
+        assert_eq!(CanonicalValuations::count_for(4), 15);
+    }
+
+    #[test]
+    fn empty_variable_list_yields_the_empty_valuation() {
+        let vals: Vec<Valuation> = CanonicalValuations::new(vec![]).collect();
+        assert_eq!(vals.len(), 1);
+        assert!(vals[0].is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Evaluation of conjunctive queries over instances.
+//!
+//! The evaluator enumerates *satisfying valuations* by backtracking over the
+//! body atoms. Atoms are ordered greedily (most already-bound variables
+//! first, ties broken by smaller relations), which keeps the intermediate
+//! candidate sets small; the naive source order can be selected through
+//! [`EvalOptions`] for the ablation benchmark.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use crate::atom::{Atom, Variable};
+use crate::fact::Fact;
+use crate::instance::Instance;
+use crate::query::ConjunctiveQuery;
+use crate::valuation::Valuation;
+
+/// Options controlling the evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Use the greedy most-bound-variables-first atom ordering (default).
+    /// When `false`, atoms are matched in source order — this is the
+    /// baseline for the join-ordering ablation.
+    pub greedy_ordering: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            greedy_ordering: true,
+        }
+    }
+}
+
+/// Computes the atom processing order.
+fn atom_order(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+) -> Vec<usize> {
+    let n = query.body_size();
+    if !opts.greedy_ordering {
+        return (0..n).collect();
+    }
+    let mut bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let atom = &query.body()[i];
+                let bound_args = atom.args.iter().filter(|v| bound.contains(v)).count();
+                let size = instance.facts_of(atom.relation).len();
+                // more bound args is better; smaller relation is better
+                (bound_args as isize, -(size as isize))
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        for &v in &query.body()[best].args {
+            bound.insert(v);
+        }
+        remaining.remove(pos);
+    }
+    order
+}
+
+/// Tries to extend `binding` so that `atom` maps onto `fact`.
+///
+/// Returns the list of variables newly bound (for undo) or `None` if the
+/// fact does not match.
+fn try_match(atom: &Atom, fact: &Fact, binding: &mut Valuation) -> Option<Vec<Variable>> {
+    if atom.relation != fact.relation || atom.arity() != fact.arity() {
+        return None;
+    }
+    let mut newly_bound = Vec::new();
+    for (&var, &value) in atom.args.iter().zip(fact.values.iter()) {
+        match binding.get(var) {
+            Some(existing) if existing == value => {}
+            Some(_) => {
+                for v in newly_bound {
+                    binding.unbind(v);
+                }
+                return None;
+            }
+            None => {
+                binding.bind(var, value);
+                newly_bound.push(var);
+            }
+        }
+    }
+    Some(newly_bound)
+}
+
+fn search<F>(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Valuation,
+    callback: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    if depth == order.len() {
+        return callback(binding);
+    }
+    let atom = &query.body()[order[depth]];
+    // Collect candidate facts for the atom's relation and try each.
+    for fact in instance.facts_of(atom.relation) {
+        if let Some(newly_bound) = try_match(atom, fact, binding) {
+            let flow = search(query, instance, order, depth + 1, binding, callback);
+            for v in newly_bound {
+                binding.unbind(v);
+            }
+            flow?;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Enumerates the satisfying valuations of `query` on `instance` that extend
+/// the partial valuation `fixed`, invoking `callback` for each.
+///
+/// The callback receives a *total* valuation on the query variables and can
+/// stop the enumeration early by returning [`ControlFlow::Break`]. The
+/// function returns `Break(())` when the enumeration was stopped early.
+pub fn for_each_satisfying<F>(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+    mut callback: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    // Fixed bindings for variables that do not occur in the query are
+    // harmless; restrict to query variables so totality checks stay exact.
+    let vars = query.variables();
+    let mut binding = fixed.restrict(&vars);
+    let order = atom_order(query, instance, &binding, opts);
+    search(query, instance, &order, 0, &mut binding, &mut callback)
+}
+
+/// All satisfying valuations of `query` on `instance`.
+pub fn satisfying_valuations(query: &ConjunctiveQuery, instance: &Instance) -> Vec<Valuation> {
+    satisfying_valuations_with(query, instance, &Valuation::new(), EvalOptions::default())
+}
+
+/// All satisfying valuations extending the partial valuation `fixed`.
+pub fn satisfying_valuations_with(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    let _ = for_each_satisfying(query, instance, fixed, opts, |v| {
+        if seen.insert(v.clone()) {
+            out.push(v.clone());
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Evaluates `query` on `instance`: the set of facts derived by satisfying
+/// valuations (`Q(I)` in the paper).
+pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    let mut out = Instance::new();
+    let _ = for_each_satisfying(
+        query,
+        instance,
+        &Valuation::new(),
+        EvalOptions::default(),
+        |v| {
+            out.insert(v.derived_fact(query));
+            ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_instance;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn path_query_over_a_chain() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let i = parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
+        let result = evaluate(&query, &i);
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&Fact::from_names("T", &["a", "c"])));
+        assert!(result.contains(&Fact::from_names("T", &["b", "d"])));
+    }
+
+    #[test]
+    fn triangle_query() {
+        let query = q("T(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+        let i = parse_instance("E(a, b). E(b, c). E(c, a). E(a, d).").unwrap();
+        let result = evaluate(&query, &i);
+        // the triangle a-b-c in all three rotations
+        assert_eq!(result.len(), 3);
+        assert!(result.contains(&Fact::from_names("T", &["a", "b", "c"])));
+        assert!(result.contains(&Fact::from_names("T", &["b", "c", "a"])));
+        assert!(result.contains(&Fact::from_names("T", &["c", "a", "b"])));
+    }
+
+    #[test]
+    fn boolean_query_produces_nullary_fact() {
+        let query = q("T() :- R(x, x).");
+        let yes = parse_instance("R(a, a). R(a, b).").unwrap();
+        let no = parse_instance("R(a, b). R(b, a).").unwrap();
+        assert_eq!(evaluate(&query, &yes).len(), 1);
+        assert!(evaluate(&query, &no).is_empty());
+    }
+
+    #[test]
+    fn self_join_with_repeated_variable() {
+        // Example 3.5 query.
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let i = parse_instance("R(a, b). R(b, a). R(a, a).").unwrap();
+        let result = evaluate(&query, &i);
+        assert!(result.contains(&Fact::from_names("T", &["a", "a"])));
+        assert!(result.contains(&Fact::from_names("T", &["a", "b"])));
+        // b has no self-loop, so nothing starts at b
+        assert!(!result
+            .facts()
+            .any(|f| f.values[0] == crate::Value::new("b")));
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_result() {
+        let query = q("T(x) :- R(x, y).");
+        assert!(evaluate(&query, &Instance::new()).is_empty());
+    }
+
+    #[test]
+    fn monotonicity_on_random_like_data() {
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let small = parse_instance("R(a, b). S(b, c).").unwrap();
+        let big = parse_instance("R(a, b). S(b, c). R(b, b). S(c, a). R(c, a).").unwrap();
+        let small_res = evaluate(&query, &small);
+        let big_res = evaluate(&query, &big);
+        assert!(big_res.contains_all(&small_res));
+    }
+
+    #[test]
+    fn fixed_bindings_constrain_the_search() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let i = parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
+        let fixed = Valuation::from_names([("x", "a")]);
+        let vals = satisfying_valuations_with(&query, &i, &fixed, EvalOptions::default());
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].get(Variable::new("z")), Some(crate::Value::new("c")));
+    }
+
+    #[test]
+    fn greedy_and_naive_orderings_agree() {
+        let query = q("T(x, w) :- R(x, y), S(y, z), R(z, w).");
+        let i = parse_instance(
+            "R(a, b). R(b, c). R(c, d). R(d, a). S(b, c). S(c, d). S(d, b). S(a, a).",
+        )
+        .unwrap();
+        let greedy = satisfying_valuations_with(
+            &query,
+            &i,
+            &Valuation::new(),
+            EvalOptions {
+                greedy_ordering: true,
+            },
+        );
+        let naive = satisfying_valuations_with(
+            &query,
+            &i,
+            &Valuation::new(),
+            EvalOptions {
+                greedy_ordering: false,
+            },
+        );
+        let g: BTreeSet<_> = greedy.into_iter().collect();
+        let n: BTreeSet<_> = naive.into_iter().collect();
+        assert_eq!(g, n);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn early_termination_stops_the_search() {
+        let query = q("T(x) :- R(x, y).");
+        let i = parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
+        let mut count = 0;
+        let flow = for_each_satisfying(
+            &query,
+            &i,
+            &Valuation::new(),
+            EvalOptions::default(),
+            |_| {
+                count += 1;
+                ControlFlow::Break(())
+            },
+        );
+        assert_eq!(count, 1);
+        assert_eq!(flow, ControlFlow::Break(()));
+    }
+
+    #[test]
+    fn satisfying_valuations_are_total_and_satisfying() {
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let i = parse_instance("R(a, b). R(b, a). R(a, a). R(b, b).").unwrap();
+        let vals = satisfying_valuations(&query, &i);
+        assert!(!vals.is_empty());
+        for v in &vals {
+            assert!(v.is_total_for(&query));
+            assert!(v.satisfies(&query, &i));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Facts: relation names applied to tuples of data values.
+
+use std::fmt;
+
+use crate::intern::Symbol;
+use crate::value::Value;
+
+/// A fact `R(d₁, …, d_k)` over a database schema.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Fact {
+    /// The relation name.
+    pub relation: Symbol,
+    /// The tuple of data values.
+    pub values: Vec<Value>,
+}
+
+impl Fact {
+    /// Builds a fact from a relation name and values.
+    pub fn new(relation: impl Into<Symbol>, values: Vec<Value>) -> Fact {
+        Fact {
+            relation: relation.into(),
+            values,
+        }
+    }
+
+    /// Convenience constructor taking value names as strings.
+    pub fn from_names(relation: &str, values: &[&str]) -> Fact {
+        Fact {
+            relation: Symbol::new(relation),
+            values: values.iter().map(|v| Value::new(v)).collect(),
+        }
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The distinct data values occurring in the fact (its active domain).
+    pub fn adom(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for &v in &self.values {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_equality_is_structural() {
+        let a = Fact::from_names("R", &["a", "b"]);
+        let b = Fact::new("R", vec![Value::new("a"), Value::new("b")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn facts_with_same_values_but_different_relation_differ() {
+        let a = Fact::from_names("R", &["a", "b"]);
+        let b = Fact::from_names("S", &["a", "b"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adom_deduplicates() {
+        let f = Fact::from_names("R", &["a", "b", "a"]);
+        assert_eq!(f.adom(), vec![Value::new("a"), Value::new("b")]);
+        assert_eq!(f.arity(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Fact::from_names("Edge", &["1", "2"]);
+        assert_eq!(f.to_string(), "Edge(1, 2)");
+    }
+}

@@ -1,0 +1,394 @@
+//! Database instances: finite sets of facts with per-relation indexes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::fact::Fact;
+use crate::intern::Symbol;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A database instance: a finite set of facts.
+///
+/// Facts are kept both in a global ordered set (for deterministic iteration
+/// and set semantics) and in a per-relation vector used by the evaluation
+/// engine.
+#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Instance {
+    facts: BTreeSet<Fact>,
+    #[serde(skip)]
+    by_relation: BTreeMap<Symbol, Vec<Fact>>,
+}
+
+// Equality is on the fact set only; the per-relation index is a cache whose
+// internal ordering depends on insertion order.
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.facts == other.facts
+    }
+}
+
+impl Eq for Instance {}
+
+impl PartialOrd for Instance {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instance {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.facts.cmp(&other.facts)
+    }
+}
+
+impl std::hash::Hash for Instance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.facts.hash(state);
+    }
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from an iterator of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert(f);
+        }
+        inst
+    }
+
+    /// The complete instance over `schema` with values drawn from `values`:
+    /// every relation contains every possible tuple.
+    ///
+    /// This is the finite fact universe used when checking
+    /// parallel-correctness of black-box policies over a bounded domain (the
+    /// `Pⁿ` restriction of Section 3 of the paper). The size is
+    /// `Σ_R |values|^{ar(R)}`, so keep `values` small.
+    pub fn complete_over(schema: &Schema, values: &[Value]) -> Instance {
+        let mut inst = Instance::new();
+        for rel in schema.relations() {
+            if values.is_empty() && rel.arity > 0 {
+                continue;
+            }
+            let mut idx = vec![0usize; rel.arity];
+            loop {
+                inst.insert(Fact::new(rel.name, idx.iter().map(|&i| values[i]).collect()));
+                // advance the odometer; stop after wrapping around
+                let mut pos = 0;
+                loop {
+                    if pos == rel.arity {
+                        break;
+                    }
+                    idx[pos] += 1;
+                    if idx[pos] == values.len() {
+                        idx[pos] = 0;
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if pos == rel.arity {
+                    break;
+                }
+            }
+        }
+        inst
+    }
+
+    /// Inserts a fact. Returns `true` if the fact was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.facts.insert(fact.clone()) {
+            self.by_relation.entry(fact.relation).or_default().push(fact);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a fact. Returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if self.facts.remove(fact) {
+            if let Some(v) = self.by_relation.get_mut(&fact.relation) {
+                v.retain(|f| f != fact);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the instance contains `fact`.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    /// Whether `other` is a subset of this instance.
+    pub fn contains_all(&self, other: &Instance) -> bool {
+        other.facts.is_subset(&self.facts)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts in deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> + '_ {
+        self.facts.iter()
+    }
+
+    /// The facts of relation `relation` (empty slice if none).
+    pub fn facts_of(&self, relation: Symbol) -> &[Fact] {
+        self.by_relation
+            .get(&relation)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The active domain: all data values occurring in the instance.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.facts
+            .iter()
+            .flat_map(|f| f.values.iter().copied())
+            .collect()
+    }
+
+    /// The schema induced by the instance (each relation with the arity of
+    /// its facts). Mixed arities for the same relation keep the first arity
+    /// seen; [`Instance::is_well_formed`] reports such anomalies.
+    pub fn schema(&self) -> Schema {
+        let mut schema = Schema::new();
+        for f in &self.facts {
+            if schema.arity(f.relation).is_none() {
+                schema.add(f.relation, f.arity());
+            }
+        }
+        schema
+    }
+
+    /// Checks that every relation is used with a single arity.
+    pub fn is_well_formed(&self) -> bool {
+        let schema = self.schema();
+        self.facts.iter().all(|f| schema.admits(f))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f.clone());
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        Instance::from_facts(self.facts.intersection(&other.facts).cloned())
+    }
+
+    /// Facts of `self` not in `other`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        Instance::from_facts(self.facts.difference(&other.facts).cloned())
+    }
+
+    /// All subsets of this instance (used by brute-force cross-checks in
+    /// tests; exponential, only call on tiny instances).
+    pub fn subsets(&self) -> Vec<Instance> {
+        let facts: Vec<&Fact> = self.facts.iter().collect();
+        assert!(
+            facts.len() <= 20,
+            "subsets() is exponential; instance too large ({} facts)",
+            facts.len()
+        );
+        let mut out = Vec::with_capacity(1 << facts.len());
+        for mask in 0..(1usize << facts.len()) {
+            let mut inst = Instance::new();
+            for (i, f) in facts.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    inst.insert((*f).clone());
+                }
+            }
+            out.push(inst);
+        }
+        out
+    }
+
+    /// Converts to a plain ordered set of facts.
+    pub fn to_set(&self) -> BTreeSet<Fact> {
+        self.facts.clone()
+    }
+}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Instance::from_facts(iter)
+    }
+}
+
+impl Extend<Fact> for Instance {
+    fn extend<T: IntoIterator<Item = Fact>>(&mut self, iter: T) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+// Deserialization drops the index, so rebuild it.
+impl Instance {
+    /// Rebuilds the per-relation index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.by_relation.clear();
+        for f in self.facts.clone() {
+            self.by_relation.entry(f.relation).or_default().push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::from_facts([
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("R", &["b", "c"]),
+            Fact::from_names("S", &["a"]),
+        ])
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut i = sample();
+        assert_eq!(i.len(), 3);
+        assert!(!i.insert(Fact::from_names("R", &["a", "b"])));
+        assert_eq!(i.len(), 3);
+        assert!(i.insert(Fact::from_names("R", &["c", "d"])));
+        assert_eq!(i.len(), 4);
+    }
+
+    #[test]
+    fn remove_updates_index() {
+        let mut i = sample();
+        let f = Fact::from_names("R", &["a", "b"]);
+        assert!(i.remove(&f));
+        assert!(!i.contains(&f));
+        assert_eq!(i.facts_of(Symbol::new("R")).len(), 1);
+        assert!(!i.remove(&f));
+    }
+
+    #[test]
+    fn facts_of_partitions_by_relation() {
+        let i = sample();
+        assert_eq!(i.facts_of(Symbol::new("R")).len(), 2);
+        assert_eq!(i.facts_of(Symbol::new("S")).len(), 1);
+        assert_eq!(i.facts_of(Symbol::new("T")).len(), 0);
+    }
+
+    #[test]
+    fn adom_collects_all_values() {
+        let i = sample();
+        let adom = i.adom();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Value::new("a")));
+        assert!(adom.contains(&Value::new("c")));
+    }
+
+    #[test]
+    fn schema_and_well_formedness() {
+        let i = sample();
+        let schema = i.schema();
+        assert_eq!(schema.arity(Symbol::new("R")), Some(2));
+        assert_eq!(schema.arity(Symbol::new("S")), Some(1));
+        assert!(i.is_well_formed());
+
+        let mut bad = sample();
+        bad.insert(Fact::from_names("R", &["x"]));
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn set_operations() {
+        let i = sample();
+        let j = Instance::from_facts([
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("T", &["z"]),
+        ]);
+        assert_eq!(i.union(&j).len(), 4);
+        assert_eq!(i.intersection(&j).len(), 1);
+        assert_eq!(i.difference(&j).len(), 2);
+        assert!(i.union(&j).contains_all(&i));
+    }
+
+    #[test]
+    fn subsets_enumerates_the_powerset() {
+        let i = Instance::from_facts([
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("S", &["a"]),
+        ]);
+        let subs = i.subsets();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().any(|s| s.is_empty()));
+        assert!(subs.iter().any(|s| s == &i));
+    }
+
+    #[test]
+    fn complete_over_enumerates_all_tuples() {
+        let schema = crate::Schema::from_relations([("R", 2), ("S", 1), ("B", 0)]);
+        let values = [Value::new("a"), Value::new("b"), Value::new("c")];
+        let inst = Instance::complete_over(&schema, &values);
+        // 3^2 + 3 + 1 tuples
+        assert_eq!(inst.len(), 9 + 3 + 1);
+        assert!(inst.contains(&Fact::from_names("R", &["c", "a"])));
+        assert!(inst.contains(&Fact::from_names("S", &["b"])));
+        assert!(inst.contains(&Fact::from_names("B", &[])));
+        assert!(inst.is_well_formed());
+    }
+
+    #[test]
+    fn complete_over_with_empty_domain() {
+        let schema = crate::Schema::from_relations([("R", 2), ("B", 0)]);
+        let inst = Instance::complete_over(&schema, &[]);
+        // only the nullary fact exists
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains(&Fact::from_names("B", &[])));
+    }
+
+    #[test]
+    fn reindex_restores_lookup() {
+        let mut i = sample();
+        i.by_relation.clear();
+        assert_eq!(i.facts_of(Symbol::new("R")).len(), 0);
+        i.reindex();
+        assert_eq!(i.facts_of(Symbol::new("R")).len(), 2);
+    }
+}

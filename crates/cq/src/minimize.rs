@@ -1,0 +1,178 @@
+//! CQ minimality and core computation (Chandra–Merlin minimization).
+
+use std::ops::ControlFlow;
+
+use crate::hom::for_each_atom_mapping;
+use crate::query::ConjunctiveQuery;
+use crate::substitution::Substitution;
+
+/// The result of minimizing a conjunctive query.
+#[derive(Clone, Debug)]
+pub struct Minimization {
+    /// The minimized (core) query, equivalent to the input.
+    pub core: ConjunctiveQuery,
+    /// A simplification `θ` of the input query with `θ(Q) = core`
+    /// (in particular `θ(head_Q) = head_Q` and `θ(body_Q) = body_core`).
+    pub simplification: Substitution,
+}
+
+/// Searches for a simplification of `query` whose body image avoids at least
+/// one body atom (a "reducing" endomorphism). Returns `None` when the query
+/// is minimal.
+fn find_reducing_simplification(query: &ConjunctiveQuery) -> Option<Substitution> {
+    let body = query.body();
+    // Seed: head variables must be fixed.
+    let mut seed = Substitution::identity();
+    for &v in &query.head().args {
+        seed.bind(v, v);
+    }
+    for skip in 0..body.len() {
+        // Targets: all atoms except the one we try to avoid.
+        let targets: Vec<_> = body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let mut found = None;
+        let _ = for_each_atom_mapping(body, &targets, &seed, &mut |h| {
+            found = Some(h.clone());
+            ControlFlow::Break(())
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Whether `query` is a *minimal* conjunctive query: no equivalent CQ has
+/// strictly fewer body atoms.
+pub fn is_minimal(query: &ConjunctiveQuery) -> bool {
+    find_reducing_simplification(query).is_none()
+}
+
+/// Computes the core of `query` together with the simplification mapping the
+/// query onto its core.
+///
+/// The core is the unique (up to variable renaming) minimal query equivalent
+/// to the input; the returned simplification is a witness that the core is an
+/// image of the original query (used by the (C2) ⇒ (C3) direction of
+/// Lemma 4.6 in the paper).
+pub fn minimize(query: &ConjunctiveQuery) -> Minimization {
+    let mut current = query.clone();
+    let mut total = Substitution::identity();
+    loop {
+        match find_reducing_simplification(&current) {
+            Some(step) => {
+                total = step.compose(&total);
+                current = step.apply_query(&current);
+            }
+            None => {
+                return Minimization {
+                    core: current,
+                    simplification: total,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::equivalent;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn redundant_atoms_are_removed() {
+        let query = q("T(x) :- R(x, y), R(x, z).");
+        let min = minimize(&query);
+        assert_eq!(min.core.body_size(), 1);
+        assert!(equivalent(&query, &min.core));
+        assert!(min.simplification.is_simplification_of(&query));
+    }
+
+    #[test]
+    fn example_2_2_second_query_minimizes_to_two_atoms() {
+        // T(x) :- R(x,y), R(y,y), R(z,z), R(u,u): z,u collapse onto y.
+        let query = q("T(x) :- R(x, y), R(y, y), R(z, z), R(u, u).");
+        let min = minimize(&query);
+        assert_eq!(min.core.body_size(), 2);
+        assert!(equivalent(&query, &min.core));
+        assert!(is_minimal(&min.core));
+    }
+
+    #[test]
+    fn path_query_is_minimal() {
+        let query = q("T(x) :- R(x, y), R(y, z).");
+        assert!(is_minimal(&query));
+        let min = minimize(&query);
+        assert_eq!(min.core, query);
+        assert!(min.simplification.is_identity());
+    }
+
+    #[test]
+    fn example_3_5_query_is_minimal_but_not_strongly_minimal_later() {
+        // The query of Example 3.5 is minimal (strong minimality is handled
+        // in the pc-core crate).
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        assert!(is_minimal(&query));
+    }
+
+    #[test]
+    fn full_queries_are_minimal() {
+        let query = q("T(x1, x2, x3, x4) :- R(x1, x2), R(x2, x3), R(x3, x4).");
+        assert!(is_minimal(&query));
+    }
+
+    #[test]
+    fn boolean_cycle_collapses_to_self_loop_only_with_even_odd_structure() {
+        // A boolean 2-cycle R(x,y), R(y,x) is minimal (it is its own core):
+        // collapsing x and y would require the loop R(x,x) to be in the body.
+        let query = q("T() :- R(x, y), R(y, x).");
+        assert!(is_minimal(&query));
+
+        // Adding the self-loop makes the 2-cycle redundant.
+        let with_loop = q("T() :- R(x, y), R(y, x), R(w, w).");
+        let min = minimize(&with_loop);
+        assert_eq!(min.core.body_size(), 1);
+        assert!(equivalent(&with_loop, &min.core));
+    }
+
+    #[test]
+    fn head_variables_prevent_collapse() {
+        // Same shape as above but the head exposes x and y: no collapse allowed.
+        let query = q("T(x, y) :- R(x, y), R(y, x), R(w, w).");
+        let min = minimize(&query);
+        assert_eq!(min.core.body_size(), 3);
+        assert!(is_minimal(&query));
+    }
+
+    #[test]
+    fn minimization_simplification_maps_query_onto_core() {
+        let query = q("T(x) :- R(x, y), R(y, y), R(z, z), R(u, u).");
+        let min = minimize(&query);
+        let image = min.simplification.apply_query(&query);
+        assert_eq!(image, min.core);
+    }
+
+    #[test]
+    fn large_star_with_redundancy() {
+        // Star with many redundant rays: all rays collapse onto one.
+        let query = q("T(c) :- R(c, y1), R(c, y2), R(c, y3), R(c, y4), R(c, y5).");
+        let min = minimize(&query);
+        assert_eq!(min.core.body_size(), 1);
+    }
+
+    #[test]
+    fn cores_are_idempotent() {
+        let query = q("T(x) :- R(x, y), R(y, y), R(z, z), R(u, u).");
+        let once = minimize(&query);
+        let twice = minimize(&once.core);
+        assert_eq!(once.core, twice.core);
+    }
+}

@@ -1,0 +1,152 @@
+//! Database schemas.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::fact::Fact;
+use crate::intern::Symbol;
+
+/// A relation name together with its arity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RelationSchema {
+    /// The relation name.
+    pub name: Symbol,
+    /// The number of attributes.
+    pub arity: usize,
+}
+
+/// A database schema: a finite set of relation names with arities.
+#[derive(Clone, PartialEq, Eq, Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    relations: BTreeMap<Symbol, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    pub fn from_relations<I, S>(relations: I) -> Schema
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<Symbol>,
+    {
+        let mut schema = Schema::new();
+        for (name, arity) in relations {
+            schema.add(name, arity);
+        }
+        schema
+    }
+
+    /// Adds (or overwrites) a relation.
+    pub fn add(&mut self, name: impl Into<Symbol>, arity: usize) {
+        self.relations.insert(name.into(), arity);
+    }
+
+    /// The arity of `name`, if the relation is part of the schema.
+    pub fn arity(&self, name: Symbol) -> Option<usize> {
+        self.relations.get(&name).copied()
+    }
+
+    /// Whether `name` is a relation of the schema.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.relations.contains_key(&name)
+    }
+
+    /// The number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over the relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = RelationSchema> + '_ {
+        self.relations
+            .iter()
+            .map(|(&name, &arity)| RelationSchema { name, arity })
+    }
+
+    /// Whether `fact` is a fact over this schema (known relation, right arity).
+    pub fn admits(&self, fact: &Fact) -> bool {
+        self.arity(fact.relation) == Some(fact.arity())
+    }
+
+    /// Merges another schema into this one.
+    ///
+    /// Returns `false` (and leaves `self` unchanged for that relation) when a
+    /// relation occurs in both schemas with different arities.
+    pub fn merge(&mut self, other: &Schema) -> bool {
+        let mut consistent = true;
+        for rel in other.relations() {
+            match self.relations.get(&rel.name) {
+                Some(&arity) if arity != rel.arity => consistent = false,
+                Some(_) => {}
+                None => {
+                    self.relations.insert(rel.name, rel.arity);
+                }
+            }
+        }
+        consistent
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for rel in self.relations() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}/{}", rel.name, rel.arity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::from_relations([("R", 2), ("S", 3)]);
+        assert_eq!(s.arity(Symbol::new("R")), Some(2));
+        assert_eq!(s.arity(Symbol::new("S")), Some(3));
+        assert_eq!(s.arity(Symbol::new("T")), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn admits_checks_relation_and_arity() {
+        let s = Schema::from_relations([("R", 2)]);
+        assert!(s.admits(&Fact::from_names("R", &["a", "b"])));
+        assert!(!s.admits(&Fact::from_names("R", &["a"])));
+        assert!(!s.admits(&Fact::from_names("S", &["a", "b"])));
+    }
+
+    #[test]
+    fn merge_detects_arity_conflicts() {
+        let mut a = Schema::from_relations([("R", 2)]);
+        let b = Schema::from_relations([("R", 3), ("S", 1)]);
+        assert!(!a.merge(&b));
+        // The conflicting relation keeps its original arity; new relations are added.
+        assert_eq!(a.arity(Symbol::new("R")), Some(2));
+        assert_eq!(a.arity(Symbol::new("S")), Some(1));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let s = Schema::from_relations([("R", 2), ("S", 0)]);
+        let shown = s.to_string();
+        assert!(shown.contains("R/2"));
+        assert!(shown.contains("S/0"));
+    }
+}

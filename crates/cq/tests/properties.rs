@@ -1,0 +1,175 @@
+//! Property-based tests for the conjunctive-query substrate.
+//!
+//! These properties are the semantic laws the rest of the workspace relies
+//! on: genericity, monotonicity, soundness of containment/minimization, and
+//! parser/printer round-tripping.
+
+use std::collections::BTreeMap;
+
+use cq::{
+    contained_in, equivalent, evaluate, is_minimal, minimize, Atom, ConjunctiveQuery, Fact,
+    Instance, Value, Variable,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- strategies
+
+/// A strategy for small conjunctive queries over binary relations R0/R1.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    // each atom: (relation index, var index, var index) over a pool of 4 vars
+    let atom = (0..2usize, 0..4usize, 0..4usize);
+    (proptest::collection::vec(atom, 1..5), 0..3usize).prop_map(|(atoms, head_arity)| {
+        let var = |i: usize| Variable::indexed("x", i);
+        let body: Vec<Atom> = atoms
+            .iter()
+            .map(|&(r, a, b)| Atom::new(format!("R{r}").as_str(), vec![var(a), var(b)]))
+            .collect();
+        // head variables drawn from the body to keep the query safe
+        let mut body_vars = Vec::new();
+        for atom in &body {
+            for &v in &atom.args {
+                if !body_vars.contains(&v) {
+                    body_vars.push(v);
+                }
+            }
+        }
+        let head_vars: Vec<Variable> = body_vars.into_iter().take(head_arity).collect();
+        ConjunctiveQuery::new(Atom::new("T", head_vars), body).expect("generated query is safe")
+    })
+}
+
+/// A strategy for small instances over the binary relations R0/R1 with values
+/// drawn from a domain of size 5.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let fact = (0..2usize, 0..5usize, 0..5usize);
+    proptest::collection::vec(fact, 0..25).prop_map(|facts| {
+        Instance::from_facts(facts.into_iter().map(|(r, a, b)| {
+            Fact::new(
+                format!("R{r}").as_str(),
+                vec![Value::indexed("d", a), Value::indexed("d", b)],
+            )
+        }))
+    })
+}
+
+/// A random permutation of the value domain used by `instance_strategy`.
+fn permutation_strategy() -> impl Strategy<Value = Vec<usize>> {
+    Just((0..5usize).collect::<Vec<_>>()).prop_shuffle()
+}
+
+fn apply_permutation(instance: &Instance, perm: &[usize]) -> Instance {
+    let map: BTreeMap<Value, Value> = (0..perm.len())
+        .map(|i| (Value::indexed("d", i), Value::indexed("d", perm[i])))
+        .collect();
+    Instance::from_facts(instance.facts().map(|f| {
+        Fact::new(
+            f.relation,
+            f.values.iter().map(|v| *map.get(v).unwrap_or(v)).collect(),
+        )
+    }))
+}
+
+// ----------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing a query and parsing it back yields the same query.
+    #[test]
+    fn parser_printer_roundtrip(q in query_strategy()) {
+        let reparsed = ConjunctiveQuery::parse(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Evaluation is monotone: adding facts never removes answers.
+    #[test]
+    fn evaluation_is_monotone(q in query_strategy(), i in instance_strategy(), j in instance_strategy()) {
+        let small = evaluate(&q, &i);
+        let big = evaluate(&q, &i.union(&j));
+        prop_assert!(big.contains_all(&small));
+    }
+
+    /// Genericity: evaluating on a renamed instance gives the renamed result
+    /// (queries cannot look at the concrete data values).
+    #[test]
+    fn evaluation_is_generic(q in query_strategy(), i in instance_strategy(), perm in permutation_strategy()) {
+        let renamed_input = apply_permutation(&i, &perm);
+        let renamed_output = apply_permutation(&evaluate(&q, &i), &perm);
+        prop_assert_eq!(evaluate(&q, &renamed_input), renamed_output);
+    }
+
+    /// Containment decided by the homomorphism test is sound on concrete
+    /// instances: q1 ⊆ q2 implies q1(I) ⊆ q2(I).
+    #[test]
+    fn containment_is_sound(q1 in query_strategy(), q2 in query_strategy(), i in instance_strategy()) {
+        if contained_in(&q1, &q2) {
+            let r1 = evaluate(&q1, &i);
+            let r2 = evaluate(&q2, &i);
+            prop_assert!(r2.contains_all(&r1), "containment violated on {}", i);
+        }
+    }
+
+    /// Minimization preserves semantics and produces a minimal query that is
+    /// never larger than the input.
+    #[test]
+    fn minimization_preserves_semantics(q in query_strategy(), i in instance_strategy()) {
+        let min = minimize(&q);
+        prop_assert!(min.core.body_size() <= q.body_size());
+        prop_assert!(is_minimal(&min.core));
+        prop_assert!(equivalent(&q, &min.core));
+        prop_assert_eq!(evaluate(&q, &i), evaluate(&min.core, &i));
+        prop_assert!(min.simplification.is_simplification_of(&q));
+    }
+
+    /// The result of a query only contains facts over its output relation
+    /// with the head arity, and every answer is derived by some satisfying
+    /// valuation.
+    #[test]
+    fn answers_are_well_formed(q in query_strategy(), i in instance_strategy()) {
+        let result = evaluate(&q, &i);
+        for fact in result.facts() {
+            prop_assert_eq!(fact.relation, q.head().relation);
+            prop_assert_eq!(fact.arity(), q.head().arity());
+        }
+        let vals = cq::satisfying_valuations(&q, &i);
+        for v in &vals {
+            prop_assert!(result.contains(&v.derived_fact(&q)));
+        }
+        prop_assert_eq!(result.len() <= vals.len() || vals.is_empty(), true);
+    }
+
+    /// Instance set algebra behaves like set algebra.
+    #[test]
+    fn instance_algebra(i in instance_strategy(), j in instance_strategy()) {
+        let union = i.union(&j);
+        let inter = i.intersection(&j);
+        let diff = i.difference(&j);
+        prop_assert!(union.contains_all(&i) && union.contains_all(&j));
+        prop_assert!(i.contains_all(&inter) && j.contains_all(&inter));
+        prop_assert!(i.contains_all(&diff));
+        prop_assert_eq!(diff.len() + inter.len(), i.len());
+        prop_assert_eq!(union.len() + inter.len(), i.len() + j.len());
+    }
+
+    /// Canonical partition enumeration produces only valid restricted-growth
+    /// strings and at least one injective and one constant assignment.
+    #[test]
+    fn partition_enumeration_is_canonical(n in 1usize..7) {
+        let partitions = cq::partition_assignments(n);
+        for p in &partitions {
+            prop_assert_eq!(p[0], 0);
+            let mut max = 0;
+            for i in 1..p.len() {
+                prop_assert!(p[i] <= max + 1);
+                max = max.max(p[i]);
+            }
+        }
+        let has_constant = partitions.iter().any(|p| p.iter().all(|&c| c == 0));
+        let has_injective = partitions.iter().any(|p| {
+            let set: std::collections::BTreeSet<_> = p.iter().collect();
+            set.len() == p.len()
+        });
+        prop_assert!(has_constant);
+        prop_assert!(has_injective);
+    }
+}

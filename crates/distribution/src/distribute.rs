@@ -1,0 +1,161 @@
+//! Results of distributing an instance over a network.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cq::{Fact, Instance};
+
+use crate::network::{Network, Node};
+
+/// The result of reshuffling an instance under a policy: `dist_P(I)`, the
+/// mapping from nodes to their data chunks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Distribution {
+    chunks: BTreeMap<Node, Instance>,
+}
+
+impl Distribution {
+    /// An empty distribution over `network` (every node gets an empty chunk).
+    pub fn empty(network: &Network) -> Distribution {
+        Distribution {
+            chunks: network.nodes().map(|n| (n, Instance::new())).collect(),
+        }
+    }
+
+    /// Assigns `fact` to `node` (adding the node if it was unknown).
+    pub fn assign(&mut self, node: Node, fact: Fact) {
+        self.chunks.entry(node).or_default().insert(fact);
+    }
+
+    /// The data chunk of `node` (empty if the node is unknown).
+    pub fn chunk(&self, node: Node) -> &Instance {
+        static EMPTY: std::sync::OnceLock<Instance> = std::sync::OnceLock::new();
+        self.chunks
+            .get(&node)
+            .unwrap_or_else(|| EMPTY.get_or_init(Instance::new))
+    }
+
+    /// Iterates over `(node, chunk)` pairs in node order.
+    pub fn chunks(&self) -> impl Iterator<Item = (Node, &Instance)> + '_ {
+        self.chunks.iter().map(|(&n, i)| (n, i))
+    }
+
+    /// The nodes of the distribution.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.chunks.keys().copied()
+    }
+
+    /// The union of all chunks (the facts that were not skipped).
+    pub fn union_of_chunks(&self) -> Instance {
+        let mut out = Instance::new();
+        for chunk in self.chunks.values() {
+            out.extend(chunk.facts().cloned());
+        }
+        out
+    }
+
+    /// Communication and balance statistics of the distribution.
+    pub fn stats(&self, original: &Instance) -> DistributionStats {
+        let total_assigned: usize = self.chunks.values().map(Instance::len).sum();
+        let max_load = self.chunks.values().map(Instance::len).max().unwrap_or(0);
+        let distributed = self.union_of_chunks();
+        let distinct_assigned = distributed.len();
+        let skipped = original
+            .facts()
+            .filter(|f| !distributed.contains(f))
+            .count();
+        DistributionStats {
+            nodes: self.chunks.len(),
+            total_assigned,
+            distinct_assigned,
+            max_load,
+            skipped,
+            replication_factor: if distinct_assigned == 0 {
+                0.0
+            } else {
+                total_assigned as f64 / distinct_assigned as f64
+            },
+        }
+    }
+}
+
+/// Load and communication statistics for one distribution of an instance.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct DistributionStats {
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// Total number of (fact, node) assignments — the communication volume.
+    pub total_assigned: usize,
+    /// Number of distinct facts that reached at least one node.
+    pub distinct_assigned: usize,
+    /// Size of the largest chunk — the bottleneck node's load.
+    pub max_load: usize,
+    /// Facts of the original instance that were skipped (sent nowhere).
+    pub skipped: usize,
+    /// `total_assigned / distinct_assigned`: average copies per distributed fact.
+    pub replication_factor: f64,
+}
+
+impl fmt::Display for DistributionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} total={} distinct={} max_load={} skipped={} replication={:.2}",
+            self.nodes,
+            self.total_assigned,
+            self.distinct_assigned,
+            self.max_load,
+            self.skipped,
+            self.replication_factor
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_chunk() {
+        let network = Network::with_size(2);
+        let mut d = Distribution::empty(&network);
+        let f = Fact::from_names("R", &["a", "b"]);
+        d.assign(Node::numbered(0), f.clone());
+        assert!(d.chunk(Node::numbered(0)).contains(&f));
+        assert!(d.chunk(Node::numbered(1)).is_empty());
+        assert!(d.chunk(Node::new("unknown")).is_empty());
+    }
+
+    #[test]
+    fn union_of_chunks_deduplicates() {
+        let network = Network::with_size(2);
+        let mut d = Distribution::empty(&network);
+        let f = Fact::from_names("R", &["a", "b"]);
+        d.assign(Node::numbered(0), f.clone());
+        d.assign(Node::numbered(1), f.clone());
+        assert_eq!(d.union_of_chunks().len(), 1);
+    }
+
+    #[test]
+    fn stats_measure_replication_and_skipped() {
+        let network = Network::with_size(2);
+        let f1 = Fact::from_names("R", &["a", "b"]);
+        let f2 = Fact::from_names("R", &["b", "c"]);
+        let f3 = Fact::from_names("R", &["c", "d"]);
+        let original = Instance::from_facts([f1.clone(), f2.clone(), f3.clone()]);
+
+        let mut d = Distribution::empty(&network);
+        d.assign(Node::numbered(0), f1.clone());
+        d.assign(Node::numbered(1), f1.clone());
+        d.assign(Node::numbered(0), f2.clone());
+        // f3 skipped
+
+        let stats = d.stats(&original);
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.total_assigned, 3);
+        assert_eq!(stats.distinct_assigned, 2);
+        assert_eq!(stats.max_load, 2);
+        assert_eq!(stats.skipped, 1);
+        assert!((stats.replication_factor - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! The simulated one-round evaluation algorithm.
+//!
+//! Given a parallel-correct query/policy pair, the one-round algorithm of the
+//! paper (Section 3) proceeds as: reshuffle the input according to the
+//! policy, evaluate the query locally at every node without communication,
+//! and take the union of the local results. This module simulates that
+//! algorithm in memory, optionally evaluating the per-node chunks on OS
+//! threads, and reports communication/load statistics.
+
+use std::collections::BTreeMap;
+
+use cq::{evaluate, ConjunctiveQuery, Instance};
+
+use crate::distribute::DistributionStats;
+use crate::network::Node;
+use crate::policy::DistributionPolicy;
+
+/// The outcome of a one-round evaluation.
+#[derive(Clone, Debug)]
+pub struct OneRoundOutcome {
+    /// The union of the per-node results.
+    pub result: Instance,
+    /// Output size at each node.
+    pub per_node_output: BTreeMap<Node, usize>,
+    /// Communication/load statistics of the reshuffle phase.
+    pub stats: DistributionStats,
+}
+
+impl OneRoundOutcome {
+    /// The largest per-node output size.
+    pub fn max_node_output(&self) -> usize {
+        self.per_node_output.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// A simulated cluster executing the one-round algorithm for a policy.
+pub struct OneRoundEngine<'a, P: DistributionPolicy + ?Sized> {
+    policy: &'a P,
+    parallel: bool,
+}
+
+impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
+    /// Creates an engine over the given policy (sequential local evaluation).
+    pub fn new(policy: &'a P) -> OneRoundEngine<'a, P> {
+        OneRoundEngine {
+            policy,
+            parallel: false,
+        }
+    }
+
+    /// Evaluates the per-node chunks on OS threads (one thread per node, in
+    /// waves), simulating the communication-free parallel step.
+    pub fn parallel(mut self, enabled: bool) -> Self {
+        self.parallel = enabled;
+        self
+    }
+
+    /// Runs the one-round algorithm for `query` on `instance`.
+    pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
+        let distribution = self.policy.distribute(instance);
+        let stats = distribution.stats(instance);
+        let chunks: Vec<(Node, &Instance)> = distribution.chunks().collect();
+
+        let local_results: Vec<(Node, Instance)> = if self.parallel && chunks.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|(node, chunk)| {
+                        let node = *node;
+                        scope.spawn(move || (node, evaluate(query, chunk)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("local evaluation panicked")).collect()
+            })
+        } else {
+            chunks
+                .iter()
+                .map(|(node, chunk)| (*node, evaluate(query, chunk)))
+                .collect()
+        };
+
+        let mut result = Instance::new();
+        let mut per_node_output = BTreeMap::new();
+        for (node, local) in local_results {
+            per_node_output.insert(node, local.len());
+            result.extend(local.facts().cloned());
+        }
+        OneRoundOutcome {
+            result,
+            per_node_output,
+            stats,
+        }
+    }
+
+    /// Whether the one-round result equals the centralized result on this
+    /// instance (Definition 3.1: parallel-correctness *on* an instance).
+    pub fn is_correct_on(&self, query: &ConjunctiveQuery, instance: &Instance) -> bool {
+        self.evaluate(query, instance).result == evaluate(query, instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitPolicy;
+    use crate::hypercube::HypercubePolicy;
+    use crate::network::Network;
+    use cq::{parse_instance, Fact};
+
+    fn chain_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap()
+    }
+
+    #[test]
+    fn broadcast_policy_is_always_correct() {
+        let q = chain_query();
+        let i = parse_instance("R(a, b). R(b, c). S(b, c). S(c, d).").unwrap();
+        let network = Network::with_size(4);
+        let p = ExplicitPolicy::broadcast(&network, &i);
+        let engine = OneRoundEngine::new(&p);
+        assert!(engine.is_correct_on(&q, &i));
+        let outcome = engine.evaluate(&q, &i);
+        assert_eq!(outcome.stats.replication_factor, 4.0);
+    }
+
+    #[test]
+    fn round_robin_policy_loses_answers() {
+        // Splitting joining facts over different nodes breaks the join.
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let p = ExplicitPolicy::round_robin(&network, &i);
+        let engine = OneRoundEngine::new(&p);
+        let outcome = engine.evaluate(&q, &i);
+        assert!(outcome.result.is_empty());
+        assert!(!engine.is_correct_on(&q, &i));
+    }
+
+    #[test]
+    fn hypercube_engine_matches_centralized_and_reports_stats() {
+        let q = chain_query();
+        let i = parse_instance(
+            "R(a, b). R(b, c). R(c, d). R(d, e). S(b, x). S(c, y). S(d, z). S(e, w).",
+        )
+        .unwrap();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = OneRoundEngine::new(&p);
+        let outcome = engine.evaluate(&q, &i);
+        assert_eq!(outcome.result, cq::evaluate(&q, &i));
+        assert_eq!(outcome.stats.skipped, 0);
+        assert!(outcome.stats.max_load <= i.len());
+        assert!(outcome.max_node_output() <= outcome.result.len());
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_agree() {
+        let q = ConjunctiveQuery::parse("T(x, y, z) :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let i = parse_instance(
+            "E(a, b). E(b, c). E(c, a). E(b, d). E(d, b). E(d, d). E(c, d). E(d, a). E(a, c).",
+        )
+        .unwrap();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let seq = OneRoundEngine::new(&p).evaluate(&q, &i);
+        let par = OneRoundEngine::new(&p).parallel(true).evaluate(&q, &i);
+        assert_eq!(seq.result, par.result);
+        assert_eq!(seq.per_node_output, par.per_node_output);
+    }
+
+    #[test]
+    fn per_node_outputs_sum_to_at_least_the_result() {
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c). R(c, b). S(b, a).").unwrap();
+        let network = Network::with_size(3);
+        let p = ExplicitPolicy::broadcast(&network, &i);
+        let outcome = OneRoundEngine::new(&p).evaluate(&q, &i);
+        let total: usize = outcome.per_node_output.values().sum();
+        assert!(total >= outcome.result.len());
+        assert!(outcome
+            .per_node_output
+            .keys()
+            .all(|n| network.contains(*n)));
+        // sanity: broadcast gives every node the full result
+        assert!(outcome
+            .per_node_output
+            .values()
+            .all(|&c| c == outcome.result.len()));
+        let _ = Fact::from_names("T", &["a", "c"]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic hash functions used as the `bucket` predicates of
+//! Section 5.2 of the paper.
+
+use cq::Value;
+
+/// FNV-1a hash of a byte string with a seed (deterministic across runs).
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A (possibly partial) hash function from data values to buckets.
+///
+/// The paper's footnote 6 defines hash functions as *partial* mappings from
+/// **dom** to a finite bucket set; facts whose values fall outside the domain
+/// of the hash function are skipped by the policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HashScheme {
+    /// `h(v) = fnv1a(v, seed) mod buckets` — a total hash function.
+    Modulo {
+        /// Number of buckets (the image is `0..buckets`).
+        buckets: usize,
+        /// Seed distinguishing the hash functions of different dimensions.
+        seed: u64,
+    },
+    /// The identity hash over an explicit finite domain: the i-th listed
+    /// value is mapped to bucket i, all other values are undefined.
+    ///
+    /// This is the hash function used in the proof of Lemma 5.7 to show that
+    /// the Hypercube family is `Q`-scattered.
+    IdentityOver(Vec<Value>),
+}
+
+impl HashScheme {
+    /// The number of buckets in the image of the hash function.
+    pub fn buckets(&self) -> usize {
+        match self {
+            HashScheme::Modulo { buckets, .. } => *buckets,
+            HashScheme::IdentityOver(values) => values.len(),
+        }
+    }
+
+    /// The bucket of `value`, or `None` if the hash function is undefined on it.
+    pub fn bucket_of(&self, value: Value) -> Option<usize> {
+        match self {
+            HashScheme::Modulo { buckets, seed } => {
+                if *buckets == 0 {
+                    None
+                } else {
+                    Some((fnv1a(value.as_str().as_bytes(), *seed) % *buckets as u64) as usize)
+                }
+            }
+            HashScheme::IdentityOver(values) => values.iter().position(|&v| v == value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_seed_sensitive() {
+        let a = fnv1a(b"alpha", 0);
+        let b = fnv1a(b"alpha", 0);
+        let c = fnv1a(b"alpha", 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(fnv1a(b"alpha", 0), fnv1a(b"beta", 0));
+    }
+
+    #[test]
+    fn modulo_scheme_is_total_and_in_range() {
+        let h = HashScheme::Modulo { buckets: 4, seed: 7 };
+        for name in ["a", "b", "c", "d", "e", "0", "1", "2"] {
+            let bucket = h.bucket_of(Value::new(name)).unwrap();
+            assert!(bucket < 4);
+        }
+        assert_eq!(h.buckets(), 4);
+    }
+
+    #[test]
+    fn zero_buckets_is_undefined_everywhere() {
+        let h = HashScheme::Modulo { buckets: 0, seed: 0 };
+        assert_eq!(h.bucket_of(Value::new("a")), None);
+    }
+
+    #[test]
+    fn identity_scheme_is_partial() {
+        let h = HashScheme::IdentityOver(vec![Value::new("a"), Value::new("b")]);
+        assert_eq!(h.bucket_of(Value::new("a")), Some(0));
+        assert_eq!(h.bucket_of(Value::new("b")), Some(1));
+        assert_eq!(h.bucket_of(Value::new("c")), None);
+        assert_eq!(h.buckets(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for distribution policies and the one-round engine.
+
+use cq::{ConjunctiveQuery, Fact, Instance, Value};
+use distribution::{
+    DistributionPolicy, ExplicitPolicy, HypercubePolicy, Network, Node, OneRoundEngine,
+};
+use proptest::prelude::*;
+
+/// A strategy for small instances over one binary relation `R`.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let fact = (0..6usize, 0..6usize);
+    proptest::collection::vec(fact, 0..30).prop_map(|facts| {
+        Instance::from_facts(facts.into_iter().map(|(a, b)| {
+            Fact::new("R", vec![Value::indexed("d", a), Value::indexed("d", b)])
+        }))
+    })
+}
+
+/// A strategy for a small query over `R` (chain of length 1..4 with a random
+/// number of head variables).
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (1usize..4, 0usize..3).prop_map(|(len, head)| {
+        let var = |i: usize| cq::Variable::indexed("x", i);
+        let body: Vec<cq::Atom> = (0..len)
+            .map(|i| cq::Atom::new("R", vec![var(i), var(i + 1)]))
+            .collect();
+        let head_vars: Vec<cq::Variable> = (0..=len).take(head + 1).map(var).collect();
+        ConjunctiveQuery::new(cq::Atom::new("T", head_vars), body).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A policy only ever assigns facts to nodes of its own network, and the
+    /// distributed chunks partition-with-replication the non-skipped facts.
+    #[test]
+    fn distribution_respects_the_network(i in instance_strategy(), buckets in 1usize..4, q in query_strategy()) {
+        let policy = HypercubePolicy::uniform(&q, buckets).unwrap();
+        for fact in i.facts() {
+            for node in policy.nodes_for(fact) {
+                prop_assert!(policy.network().contains(node));
+            }
+        }
+        let dist = policy.distribute(&i);
+        let stats = dist.stats(&i);
+        prop_assert_eq!(stats.distinct_assigned + stats.skipped, i.len());
+        prop_assert!(stats.max_load <= stats.total_assigned);
+        prop_assert!(dist.union_of_chunks().len() <= i.len());
+    }
+
+    /// Hypercube generosity (Lemma 5.7): the required facts of every
+    /// satisfying valuation meet at the node addressed by the valuation.
+    #[test]
+    fn hypercube_generosity(i in instance_strategy(), buckets in 1usize..4, q in query_strategy()) {
+        let policy = HypercubePolicy::uniform(&q, buckets).unwrap();
+        for v in cq::satisfying_valuations(&q, &i).into_iter().take(25) {
+            let node = policy.node_for_valuation(&v).unwrap();
+            let meeting = policy.meeting_nodes(&v.required_facts(&q)).unwrap();
+            prop_assert!(meeting.contains(&node));
+        }
+    }
+
+    /// One-round evaluation is monotone in the policy: broadcasting gives the
+    /// exact answer, any explicit sub-policy gives a subset of it.
+    #[test]
+    fn one_round_results_are_bounded_by_the_centralized_answer(
+        i in instance_strategy(),
+        q in query_strategy(),
+        nodes in 1usize..5,
+        seedmask in 0u64..u64::MAX,
+    ) {
+        let expected = cq::evaluate(&q, &i);
+        let network = Network::with_size(nodes);
+
+        let broadcast = ExplicitPolicy::broadcast(&network, &i);
+        let b = OneRoundEngine::new(&broadcast).evaluate(&q, &i);
+        prop_assert_eq!(&b.result, &expected);
+
+        // A deterministic "random" single-assignment policy from the seed mask.
+        let mut single = ExplicitPolicy::new(network.clone());
+        for (k, fact) in i.facts().enumerate() {
+            let node = Node::numbered(((seedmask >> (k % 32)) as usize ^ k) % nodes);
+            single.assign(fact.clone(), [node]);
+        }
+        let s = OneRoundEngine::new(&single).evaluate(&q, &i);
+        prop_assert!(expected.contains_all(&s.result));
+    }
+
+    /// The engine's per-node outputs are consistent with the union result.
+    #[test]
+    fn per_node_outputs_are_consistent(i in instance_strategy(), q in query_strategy(), buckets in 1usize..3) {
+        let policy = HypercubePolicy::uniform(&q, buckets).unwrap();
+        let outcome = OneRoundEngine::new(&policy).evaluate(&q, &i);
+        let total: usize = outcome.per_node_output.values().sum();
+        prop_assert!(outcome.result.len() <= total || outcome.result.is_empty());
+        prop_assert!(outcome.max_node_output() <= outcome.result.len().max(0) || outcome.result.is_empty());
+    }
+}

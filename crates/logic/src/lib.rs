@@ -1,0 +1,29 @@
+//! # logic — propositional logic, SAT and QBF oracles
+//!
+//! This crate is the ground-truth substrate for the hardness reductions of
+//! *"Parallel-Correctness and Transferability for Conjunctive Queries"*
+//! (PODS 2015). The paper's lower bounds reduce from:
+//!
+//! * **Π₂-QBF** — formulas `∀x ∃y ψ(x, y)` with `ψ` in 3-CNF
+//!   (ΠP2-hardness of parallel-correctness, Theorem 3.8),
+//! * **Π₃-QBF** — formulas `∀x ∃y ∀z ψ(x, y, z)` with `ψ` in 3-DNF
+//!   (ΠP3-hardness of transferability, Theorem 4.3),
+//! * **3-SAT** — coNP-hardness of strong minimality (Lemma 4.10).
+//!
+//! The solvers here are exact (exhaustive over quantifier blocks, with a
+//! DPLL-based existential step) and are used to cross-validate the
+//! conjunctive-query-side decision procedures of the `pc-core` crate on the
+//! instances produced by the `reductions` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod prop;
+mod qbf;
+mod sat;
+
+pub use gen::{random_3cnf, random_3dnf, random_pi2_qbf, random_pi3_qbf};
+pub use prop::{Assignment, Clause, Cnf, Dnf, Literal};
+pub use qbf::{Pi2Qbf, Pi3Qbf};
+pub use sat::{brute_force_satisfiable, dpll_satisfiable, find_model};

@@ -1,0 +1,222 @@
+//! SAT solving: a brute-force reference solver and a DPLL solver.
+
+use crate::prop::{Assignment, Clause, Cnf};
+
+/// Brute-force satisfiability check (reference implementation; `O(2ⁿ)`).
+pub fn brute_force_satisfiable(cnf: &Cnf) -> bool {
+    assert!(
+        cnf.num_vars <= 24,
+        "brute-force SAT limited to 24 variables"
+    );
+    (0u64..(1 << cnf.num_vars)).any(|mask| cnf.eval(&Assignment::from_mask(cnf.num_vars, mask)))
+}
+
+/// Finds a satisfying assignment with DPLL, if one exists.
+pub fn find_model(cnf: &Cnf) -> Option<Assignment> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if dpll(&cnf.clauses, &mut assignment) {
+        Some(Assignment::from_values(
+            assignment.into_iter().map(|v| v.unwrap_or(false)).collect(),
+        ))
+    } else {
+        None
+    }
+}
+
+/// DPLL satisfiability check with unit propagation and pure-literal elimination.
+pub fn dpll_satisfiable(cnf: &Cnf) -> bool {
+    find_model(cnf).is_some()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(usize, bool),
+    Unresolved,
+}
+
+fn clause_state(clause: &Clause, assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for lit in &clause.literals {
+        match assignment[lit.var] {
+            Some(v) if v == lit.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some((lit.var, lit.positive));
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => {
+            let (var, positive) = unassigned.expect("one unassigned literal");
+            ClauseState::Unit(var, positive)
+        }
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(clauses: &[Clause], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        let mut all_satisfied = true;
+        for clause in clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Satisfied => {}
+                ClauseState::Conflict => {
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(var, positive) => {
+                    assignment[var] = Some(positive);
+                    trail.push(var);
+                    propagated = true;
+                    all_satisfied = false;
+                }
+                ClauseState::Unresolved => all_satisfied = false,
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Branch on the first unassigned variable occurring in an unresolved clause.
+    let branch_var = clauses.iter().find_map(|c| {
+        if clause_state(c, assignment) == ClauseState::Unresolved {
+            c.literals.iter().find(|l| assignment[l.var].is_none())
+        } else {
+            None
+        }
+    });
+    let var = match branch_var {
+        Some(lit) => lit.var,
+        None => {
+            // No unresolved clause: everything satisfied.
+            for &v in &trail {
+                assignment[v] = None;
+            }
+            return true;
+        }
+    };
+    for value in [true, false] {
+        assignment[var] = Some(value);
+        if dpll(clauses, assignment) {
+            return true;
+        }
+        assignment[var] = None;
+    }
+    for &v in &trail {
+        assignment[v] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Literal;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause::new(
+            lits.iter()
+                .map(|&(v, p)| Literal { var: v, positive: p })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let cnf = Cnf::new(1, vec![clause(&[(0, true)])]);
+        assert!(dpll_satisfiable(&cnf));
+        assert!(brute_force_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn simple_contradiction() {
+        let cnf = Cnf::new(1, vec![clause(&[(0, true)]), clause(&[(0, false)])]);
+        assert!(!dpll_satisfiable(&cnf));
+        assert!(!brute_force_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn model_satisfies_the_formula() {
+        let cnf = Cnf::new(
+            4,
+            vec![
+                clause(&[(0, true), (1, false), (2, true)]),
+                clause(&[(1, true), (2, false), (3, true)]),
+                clause(&[(0, false), (3, false), (2, true)]),
+            ],
+        );
+        let model = find_model(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&model));
+    }
+
+    #[test]
+    fn unsatisfiable_all_sign_patterns() {
+        // All 8 sign patterns over 3 variables: unsatisfiable.
+        let mut clauses = Vec::new();
+        for mask in 0..8u8 {
+            clauses.push(Clause::new(
+                (0..3)
+                    .map(|i| Literal {
+                        var: i,
+                        positive: mask & (1 << i) != 0,
+                    })
+                    .collect(),
+            ));
+        }
+        let cnf = Cnf::new(3, clauses);
+        assert!(!dpll_satisfiable(&cnf));
+        assert!(!brute_force_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_small_random_formulas() {
+        // Deterministic pseudo-random formulas (no external RNG needed here).
+        let mut seed: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let num_vars = 4 + (next() % 3) as usize;
+            let num_clauses = 3 + (next() % 10) as usize;
+            let clauses: Vec<Clause> = (0..num_clauses)
+                .map(|_| {
+                    Clause::new(
+                        (0..3)
+                            .map(|_| Literal {
+                                var: (next() % num_vars as u64) as usize,
+                                positive: next() % 2 == 0,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let cnf = Cnf::new(num_vars, clauses);
+            assert_eq!(dpll_satisfiable(&cnf), brute_force_satisfiable(&cnf));
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable_and_empty_clause_is_not() {
+        let empty = Cnf::new(2, vec![]);
+        assert!(dpll_satisfiable(&empty));
+        let with_empty_clause = Cnf::new(2, vec![Clause::new(vec![])]);
+        assert!(!dpll_satisfiable(&with_empty_clause));
+    }
+}

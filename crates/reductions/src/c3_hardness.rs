@@ -1,0 +1,214 @@
+//! Graph 3-colorability → condition (C3) (Propositions D.1 and D.2).
+//!
+//! Proposition 5.4 shows NP-hardness of deciding condition (C3) — and hence
+//! of transferability for strongly minimal queries and of
+//! parallel-correctness for Hypercube families — by two reductions from
+//! graph 3-colorability:
+//!
+//! * [`three_col_to_c3_acyclic_q`] (Prop. D.1) encodes the input graph in
+//!   `Q'` and the valid colorings in an *acyclic* `Q`,
+//! * [`three_col_to_c3_acyclic_q_prime`] (Prop. D.2) encodes the graph in
+//!   `Q` and keeps `Q'` acyclic, using edge labels and "free" atoms.
+//!
+//! In both cases the graph is 3-colorable if and only if condition (C3)
+//! holds for the produced pair `(Q, Q')`.
+
+use cq::{Atom, ConjunctiveQuery, Variable};
+
+use crate::graphs::Graph;
+
+/// The output of a 3-colorability reduction: the query pair `(Q, Q')`.
+#[derive(Clone, Debug)]
+pub struct C3Reduction {
+    /// The query `Q` (the "color side" for D.1, the "graph side" for D.2).
+    pub from: ConjunctiveQuery,
+    /// The query `Q'`.
+    pub to: ConjunctiveQuery,
+}
+
+fn color_vars() -> [Variable; 3] {
+    [Variable::new("r"), Variable::new("g"), Variable::new("b")]
+}
+
+fn vertex_var(v: usize) -> Variable {
+    Variable::indexed("u", v)
+}
+
+fn label_var(i: usize) -> Variable {
+    Variable::indexed("z", i + 1)
+}
+
+fn free_var(edge: usize, i: usize) -> Variable {
+    Variable::new(&format!("w{edge}_{i}"))
+}
+
+/// All ordered pairs of distinct colors (the set `EC`).
+fn color_pairs() -> Vec<(Variable, Variable)> {
+    let [r, g, b] = color_vars();
+    vec![(r, g), (g, r), (r, b), (b, r), (g, b), (b, g)]
+}
+
+/// Proposition D.1: the graph is encoded in `Q'`, the valid color
+/// assignments in the acyclic query `Q`.
+///
+/// `G` is 3-colorable iff condition (C3) holds for the returned pair.
+pub fn three_col_to_c3_acyclic_q(graph: &Graph) -> C3Reduction {
+    let [r, g, b] = color_vars();
+
+    // Q: () :- E(c, d) for all (c, d) ∈ EC, Fix(r, g, b).
+    // The Fix atom is listed first: it pins the color variables early, which
+    // keeps the (C3) searches fast without changing the (set) semantics.
+    let mut from_body = vec![Atom::new("Fix", vec![r, g, b])];
+    for (c, d) in color_pairs() {
+        from_body.push(Atom::new("E", vec![c, d]));
+    }
+    let from = ConjunctiveQuery::new(Atom::new("Ans", vec![]), from_body)
+        .expect("the D.1 color query is well-formed");
+
+    // Q': () :- E(x, y) for all (x, y) ∈ E, E(c, d) for all (c, d) ∈ EC, Fix(r, g, b).
+    let mut to_body = vec![Atom::new("Fix", vec![r, g, b])];
+    for (c, d) in color_pairs() {
+        to_body.push(Atom::new("E", vec![c, d]));
+    }
+    for &(u, v) in graph.edges() {
+        to_body.push(Atom::new("E", vec![vertex_var(u), vertex_var(v)]));
+    }
+    let to = ConjunctiveQuery::new(Atom::new("Ans", vec![]), to_body)
+        .expect("the D.1 graph query is well-formed");
+
+    C3Reduction { from, to }
+}
+
+/// Proposition D.2: the graph is encoded in `Q` (with edge labels and free
+/// atoms), and `Q'` is acyclic.
+///
+/// `G` is 3-colorable iff condition (C3) holds for the returned pair.
+/// The construction requires at least two edges (the Fix-chain of the paper
+/// is empty otherwise).
+pub fn three_col_to_c3_acyclic_q_prime(graph: &Graph) -> C3Reduction {
+    let m = graph.edges().len();
+    assert!(m >= 2, "the D.2 reduction requires at least two edges");
+    let [r, g, b] = color_vars();
+
+    let fix_chain: Vec<Atom> = (0..m - 1)
+        .map(|i| Atom::new("Fix", vec![label_var(i), label_var(i + 1), r, g, b]))
+        .collect();
+
+    // Q': () :- E(z, c, d) for every label z and (c, d) ∈ EC, plus the Fix chain.
+    let mut to_body = fix_chain.clone();
+    for i in 0..m {
+        for (c, d) in color_pairs() {
+            to_body.push(Atom::new("E", vec![label_var(i), c, d]));
+        }
+    }
+    let to = ConjunctiveQuery::new(Atom::new("Ans", vec![]), to_body)
+        .expect("the D.2 Q' query is well-formed");
+
+    // Q: () :- E(ℓ(x,y), x, y) for every edge, five free E-atoms per label,
+    //          plus the Fix chain.
+    let mut from_body = fix_chain;
+    for (i, &(u, v)) in graph.edges().iter().enumerate() {
+        from_body.push(Atom::new(
+            "E",
+            vec![label_var(i), vertex_var(u), vertex_var(v)],
+        ));
+    }
+    for i in 0..m {
+        for j in [1usize, 3, 5, 7, 9] {
+            from_body.push(Atom::new(
+                "E",
+                vec![label_var(i), free_var(i, j), free_var(i, j + 1)],
+            ));
+        }
+    }
+    let from = ConjunctiveQuery::new(Atom::new("Ans", vec![]), from_body)
+        .expect("the D.2 Q query is well-formed");
+
+    C3Reduction { from, to }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::is_acyclic;
+    use pc_core::holds_c3;
+
+    #[test]
+    fn d1_shapes_and_acyclicity() {
+        let g = Graph::cycle(3);
+        let red = three_col_to_c3_acyclic_q(&g);
+        assert!(is_acyclic(&red.from), "Q of D.1 must be acyclic");
+        assert_eq!(red.from.body_size(), 7);
+        assert_eq!(red.to.body_size(), 7 + 3);
+        assert!(red.from.is_boolean() && red.to.is_boolean());
+    }
+
+    #[test]
+    fn d1_colorable_graphs_satisfy_c3() {
+        for g in [Graph::cycle(3), Graph::cycle(5), Graph::complete(3)] {
+            assert!(g.is_three_colorable());
+            let red = three_col_to_c3_acyclic_q(&g);
+            assert!(holds_c3(&red.from, &red.to), "C3 must hold for a 3-colorable graph");
+        }
+    }
+
+    #[test]
+    fn d1_non_colorable_graphs_violate_c3() {
+        let k4 = Graph::complete(4);
+        assert!(!k4.is_three_colorable());
+        let red = three_col_to_c3_acyclic_q(&k4);
+        assert!(!holds_c3(&red.from, &red.to));
+
+        // K4 plus an extra pendant edge stays non-colorable.
+        let mut k4p = Graph::from_edges(5, Graph::complete(4).edges());
+        k4p.add_edge(3, 4);
+        let red2 = three_col_to_c3_acyclic_q(&k4p);
+        assert!(!holds_c3(&red2.from, &red2.to));
+    }
+
+    #[test]
+    fn d1_agreement_with_the_coloring_oracle_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [4usize, 5] {
+            for p in [0.4, 0.8] {
+                let g = Graph::random(&mut rng, n, p);
+                let red = three_col_to_c3_acyclic_q(&g);
+                assert_eq!(
+                    g.is_three_colorable(),
+                    holds_c3(&red.from, &red.to),
+                    "D.1 disagrees with the coloring oracle on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn d2_shapes_and_acyclicity() {
+        let g = Graph::cycle(3);
+        let red = three_col_to_c3_acyclic_q_prime(&g);
+        assert!(is_acyclic(&red.to), "Q' of D.2 must be acyclic");
+        let m = 3;
+        // Q': 6 E-atoms per label + (m-1) Fix atoms
+        assert_eq!(red.to.body_size(), 6 * m + (m - 1));
+        // Q: one edge atom per edge + 5 free atoms per label + (m-1) Fix atoms
+        assert_eq!(red.from.body_size(), m + 5 * m + (m - 1));
+    }
+
+    #[test]
+    fn d2_colorable_path_satisfies_c3() {
+        // A path with two edges is 3-colorable.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.is_three_colorable());
+        let red = three_col_to_c3_acyclic_q_prime(&g);
+        assert!(holds_c3(&red.from, &red.to));
+    }
+
+    #[test]
+    fn d2_requires_at_least_two_edges() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let result = std::panic::catch_unwind(|| three_col_to_c3_acyclic_q_prime(&g));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # reductions — the paper's hardness reductions as instance generators
+//!
+//! The lower bounds of *"Parallel-Correctness and Transferability for
+//! Conjunctive Queries"* (PODS 2015) are proved by reductions from complete
+//! problems of the polynomial hierarchy. This crate implements those
+//! reductions *forwards*, turning logic/graph instances into
+//! conjunctive-query instances:
+//!
+//! * [`pc_hardness`] — Π₂-QBF → `PCI(Pfin)` / `PC(Pfin)`
+//!   (Propositions B.7 and B.8, lower bound of Theorem 3.8),
+//! * [`transfer_hardness`] — Π₃-QBF → `pc-trans`
+//!   (Proposition C.6, lower bound of Theorem 4.3),
+//! * [`strongmin_hardness`] — 3-SAT → non-strong-minimality
+//!   (Lemma C.9, lower bound of Lemma 4.10),
+//! * [`c3_hardness`] — graph 3-colorability → condition (C3) with an acyclic
+//!   `Q` or an acyclic `Q'` (Propositions D.1 and D.2, Proposition 5.4),
+//! * [`graphs`] — the undirected-graph substrate (random graphs and an exact
+//!   3-coloring solver) used by the colorability reductions.
+//!
+//! Because the source problems are decided exactly by the `logic` crate and
+//! by [`graphs::Graph::is_three_colorable`], every reduction doubles as a
+//! correctness oracle for the decision procedures in `pc-core`: the tests and
+//! the benchmark harness check that both sides always agree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c3_hardness;
+pub mod graphs;
+pub mod pc_hardness;
+pub mod strongmin_hardness;
+pub mod transfer_hardness;
+
+pub use c3_hardness::{three_col_to_c3_acyclic_q, three_col_to_c3_acyclic_q_prime};
+pub use graphs::Graph;
+pub use pc_hardness::{pi2_to_pc, pi2_to_pci, Pi2Reduction};
+pub use strongmin_hardness::sat_to_strong_minimality;
+pub use transfer_hardness::pi3_to_transfer;

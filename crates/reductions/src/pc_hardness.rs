@@ -1,0 +1,269 @@
+//! Π₂-QBF → parallel-correctness (Propositions B.7 and B.8).
+//!
+//! Given `ϕ = ∀x ∃y ψ(x, y)` with `ψ` in 3-CNF, the reduction builds a query
+//! `Q_ϕ`, an instance `I_ϕ` and a two-node policy `P_ϕ` such that `ϕ` is true
+//! if and only if `Q_ϕ` is parallel-correct on `I_ϕ` under `P_ϕ` (and if and
+//! only if `Q_ϕ` is parallel-correct under `P_ϕ` on all instances
+//! `I ⊆ facts(P_ϕ)`).
+
+use cq::{Atom, ConjunctiveQuery, Fact, Instance, Value, Variable};
+use distribution::{ExplicitPolicy, Network, Node};
+use logic::{Literal, Pi2Qbf};
+
+/// The output of the Π₂-QBF reduction: query, instance and policy.
+#[derive(Clone, Debug)]
+pub struct Pi2Reduction {
+    /// The query `Q_ϕ`.
+    pub query: ConjunctiveQuery,
+    /// The instance `I_ϕ`.
+    pub instance: Instance,
+    /// The two-node policy `P_ϕ` (`κ⁺ = n0`, `κ⁻ = n1`).
+    pub policy: ExplicitPolicy,
+}
+
+fn pos_var(v: usize) -> Variable {
+    Variable::indexed("v", v)
+}
+
+fn neg_var(v: usize) -> Variable {
+    Variable::indexed("nv", v)
+}
+
+/// The query variable representing a literal: the positive variable for a
+/// positive literal, the "barred" variable for a negated one.
+fn literal_var(lit: Literal) -> Variable {
+    if lit.positive {
+        pos_var(lit.var)
+    } else {
+        neg_var(lit.var)
+    }
+}
+
+fn w1() -> Variable {
+    Variable::new("w1")
+}
+
+fn w0() -> Variable {
+    Variable::new("w0")
+}
+
+fn clause_relation(j: usize) -> String {
+    format!("C{j}")
+}
+
+/// All triples over `{w0, w1}` containing at least one `w1` (the set `W⁺`).
+fn w_plus() -> Vec<[Variable; 3]> {
+    let mut out = Vec::new();
+    for mask in 1u8..8 {
+        out.push([
+            if mask & 1 != 0 { w1() } else { w0() },
+            if mask & 2 != 0 { w1() } else { w0() },
+            if mask & 4 != 0 { w1() } else { w0() },
+        ]);
+    }
+    out
+}
+
+/// All Boolean triples as data values (`B`), and whether they are non-zero.
+fn boolean_triples() -> Vec<([Value; 3], bool)> {
+    let tv = |b: bool| Value::new(if b { "1" } else { "0" });
+    let mut out = Vec::new();
+    for mask in 0u8..8 {
+        let bits = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
+        out.push(([tv(bits[0]), tv(bits[1]), tv(bits[2])], mask != 0));
+    }
+    out
+}
+
+/// Builds the query `Q_ϕ` of Proposition B.7.
+fn build_query(qbf: &Pi2Qbf) -> ConjunctiveQuery {
+    assert!(qbf.matrix.is_3cnf(), "the reduction expects a 3-CNF matrix");
+    let head = Atom::new("H", qbf.x_vars.iter().map(|&g| pos_var(g)).collect());
+
+    let mut body = Vec::new();
+    // Cons: True/False/Neg consistency atoms.
+    body.push(Atom::new("True", vec![w1()]));
+    body.push(Atom::new("False", vec![w0()]));
+    body.push(Atom::new("Neg", vec![w1(), w0()]));
+    body.push(Atom::new("Neg", vec![w0(), w1()]));
+    // Cons: satisfying combinations for every clause relation.
+    for j in 0..qbf.matrix.clauses.len() {
+        for triple in w_plus() {
+            body.push(Atom::new(clause_relation(j).as_str(), triple.to_vec()));
+        }
+    }
+    // Struct(ψ): the Neg-atoms linking every matrix variable to its negation…
+    for &g in qbf.x_vars.iter().chain(qbf.y_vars.iter()) {
+        body.push(Atom::new("Neg", vec![pos_var(g), neg_var(g)]));
+    }
+    // …and one atom per clause over the literal variables.
+    for (j, clause) in qbf.matrix.clauses.iter().enumerate() {
+        body.push(Atom::new(
+            clause_relation(j).as_str(),
+            clause.literals.iter().map(|&l| literal_var(l)).collect(),
+        ));
+    }
+    ConjunctiveQuery::new(head, body).expect("the reduction query is well-formed")
+}
+
+/// Builds the instance `I_ϕ` and the partition `(I⁺, I⁻)` of Proposition B.7.
+fn build_instance(qbf: &Pi2Qbf) -> (Instance, Instance, Instance) {
+    let one = Value::new("1");
+    let zero = Value::new("0");
+    let mut plus = Instance::new();
+    let mut minus = Instance::new();
+    plus.insert(Fact::new("True", vec![one]));
+    plus.insert(Fact::new("False", vec![zero]));
+    plus.insert(Fact::new("Neg", vec![one, zero]));
+    plus.insert(Fact::new("Neg", vec![zero, one]));
+    for j in 0..qbf.matrix.clauses.len() {
+        for (triple, nonzero) in boolean_triples() {
+            let fact = Fact::new(clause_relation(j).as_str(), triple.to_vec());
+            if nonzero {
+                plus.insert(fact);
+            } else {
+                minus.insert(fact);
+            }
+        }
+    }
+    let all = plus.union(&minus);
+    (all, plus, minus)
+}
+
+/// The reduction of Proposition B.7: `ϕ ∈ Π₂-QBF` iff `Q_ϕ` is
+/// parallel-correct **on `I_ϕ`** under `P_ϕ`.
+pub fn pi2_to_pci(qbf: &Pi2Qbf) -> Pi2Reduction {
+    let query = build_query(qbf);
+    let (instance, plus, minus) = build_instance(qbf);
+    let kappa_plus = Node::numbered(0);
+    let kappa_minus = Node::numbered(1);
+    let mut policy = ExplicitPolicy::new(Network::new([kappa_plus, kappa_minus]));
+    for fact in plus.facts() {
+        policy.assign(fact.clone(), [kappa_plus]);
+    }
+    for fact in minus.facts() {
+        policy.assign(fact.clone(), [kappa_minus]);
+    }
+    Pi2Reduction {
+        query,
+        instance,
+        policy,
+    }
+}
+
+/// The reduction of Proposition B.8: `ϕ ∈ Π₂-QBF` iff `Q_ϕ` is
+/// parallel-correct under `P_ϕ` on **all** instances `I ⊆ facts(P_ϕ)`.
+///
+/// The construction is identical to [`pi2_to_pci`]; only the question asked
+/// about the output differs.
+pub fn pi2_to_pc(qbf: &Pi2Qbf) -> Pi2Reduction {
+    pi2_to_pci(qbf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distribution::DistributionPolicy;
+    use logic::{random_pi2_qbf, Clause, Cnf};
+    use pc_core::{check_parallel_correctness, check_parallel_correctness_on_instance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause::new(
+            lits.iter()
+                .map(|&(v, p)| Literal { var: v, positive: p })
+                .collect(),
+        )
+    }
+
+    /// ∀x0 ∃x1: (x0 ∨ x1 ∨ x1) ∧ (¬x0 ∨ ¬x1 ∨ ¬x1) — true (choose y = ¬x).
+    fn true_formula() -> Pi2Qbf {
+        Pi2Qbf::new(
+            vec![0],
+            vec![1],
+            Cnf::new(
+                2,
+                vec![
+                    clause(&[(0, true), (1, true), (1, true)]),
+                    clause(&[(0, false), (1, false), (1, false)]),
+                ],
+            ),
+        )
+    }
+
+    /// ∀x0 ∃x1: (x0 ∨ x0 ∨ x0) — false (x0 = false kills the only clause).
+    fn false_formula() -> Pi2Qbf {
+        Pi2Qbf::new(
+            vec![0],
+            vec![1],
+            Cnf::new(2, vec![clause(&[(0, true), (0, true), (0, true)])]),
+        )
+    }
+
+    #[test]
+    fn reduction_shapes_are_as_in_the_paper() {
+        let qbf = true_formula();
+        let red = pi2_to_pci(&qbf);
+        // head arity = |x|; body = 4 + 7k (Cons) + (m+n) + k (Struct)
+        assert_eq!(red.query.head().arity(), 1);
+        let k = 2;
+        assert_eq!(red.query.body_size(), 4 + 7 * k + 2 + k);
+        // instance: 4 base facts + 8 per clause
+        assert_eq!(red.instance.len(), 4 + 8 * k);
+        // the policy has exactly two nodes and covers the instance
+        assert_eq!(red.policy.network().len(), 2);
+        for fact in red.instance.facts() {
+            assert_eq!(red.policy.nodes_for(fact).len(), 1);
+        }
+    }
+
+    #[test]
+    fn true_formula_gives_parallel_correct_query() {
+        let qbf = true_formula();
+        assert!(qbf.is_true());
+        let red = pi2_to_pci(&qbf);
+        assert!(
+            check_parallel_correctness_on_instance(&red.query, &red.policy, &red.instance)
+                .is_correct()
+        );
+        assert!(check_parallel_correctness(&red.query, &red.policy).is_correct());
+    }
+
+    #[test]
+    fn false_formula_gives_a_violation() {
+        let qbf = false_formula();
+        assert!(!qbf.is_true());
+        let red = pi2_to_pci(&qbf);
+        assert!(
+            !check_parallel_correctness_on_instance(&red.query, &red.policy, &red.instance)
+                .is_correct()
+        );
+        assert!(!check_parallel_correctness(&red.query, &red.policy).is_correct());
+    }
+
+    #[test]
+    fn random_formulas_agree_with_the_qbf_oracle() {
+        let mut rng = StdRng::seed_from_u64(2015);
+        let mut seen_true = 0;
+        let mut seen_false = 0;
+        for _ in 0..6 {
+            let qbf = random_pi2_qbf(&mut rng, 2, 2, 3);
+            let expected = qbf.is_true();
+            let red = pi2_to_pci(&qbf);
+            let pci =
+                check_parallel_correctness_on_instance(&red.query, &red.policy, &red.instance)
+                    .is_correct();
+            let pc = check_parallel_correctness(&red.query, &red.policy).is_correct();
+            assert_eq!(pci, expected, "PCI disagrees with the QBF oracle");
+            assert_eq!(pc, expected, "PC disagrees with the QBF oracle");
+            if expected {
+                seen_true += 1;
+            } else {
+                seen_false += 1;
+            }
+        }
+        // the sample should not be completely one-sided (sanity of the seed)
+        assert!(seen_true + seen_false == 6);
+    }
+}

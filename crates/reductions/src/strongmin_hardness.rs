@@ -1,0 +1,196 @@
+//! 3-SAT → non-strong-minimality (Lemma C.9).
+//!
+//! Given a propositional 3-CNF formula `ϕ`, the reduction builds a
+//! conjunctive query `Q_ϕ` such that `ϕ` is satisfiable if and only if `Q_ϕ`
+//! is **not** strongly minimal. Together with the matching upper bound this
+//! shows coNP-completeness of deciding strong minimality (Lemma 4.10).
+
+use cq::{Atom, ConjunctiveQuery, Variable};
+use logic::{Cnf, Literal};
+
+fn w1() -> Variable {
+    Variable::new("w1")
+}
+
+fn w0() -> Variable {
+    Variable::new("w0")
+}
+
+fn pos_var(v: usize) -> Variable {
+    Variable::indexed("v", v)
+}
+
+fn neg_var(v: usize) -> Variable {
+    Variable::indexed("nv", v)
+}
+
+fn r0() -> Variable {
+    Variable::new("r0")
+}
+
+fn r1() -> Variable {
+    Variable::new("r1")
+}
+
+fn clause_relation(j: usize) -> String {
+    format!("C{j}")
+}
+
+/// The pair of variables representing a literal: `(x, x̄)` for a positive
+/// literal, `(x̄, x)` for a negative one.
+fn rep(lit: Literal) -> (Variable, Variable) {
+    if lit.positive {
+        (pos_var(lit.var), neg_var(lit.var))
+    } else {
+        (neg_var(lit.var), pos_var(lit.var))
+    }
+}
+
+/// The 6-tuples over `{w1, w0}` encoding satisfying truth assignments of a
+/// three-way disjunction (`U⁺`): each literal is a pair `(w1, w0)` (true) or
+/// `(w0, w1)` (false), and the all-false tuple is excluded.
+fn u_plus() -> Vec<[Variable; 6]> {
+    let mut out = Vec::new();
+    for mask in 0u8..8 {
+        if mask == 0 {
+            continue; // the all-false assignment
+        }
+        let pair = |bit: bool| if bit { (w1(), w0()) } else { (w0(), w1()) };
+        let (a, ab) = pair(mask & 1 != 0);
+        let (b, bb) = pair(mask & 2 != 0);
+        let (c, cb) = pair(mask & 4 != 0);
+        out.push([a, ab, b, bb, c, cb]);
+    }
+    out
+}
+
+/// Builds the query `Q_ϕ` of Lemma C.9 for a 3-CNF formula.
+///
+/// `ϕ` is satisfiable if and only if the returned query is not strongly
+/// minimal.
+pub fn sat_to_strong_minimality(cnf: &Cnf) -> ConjunctiveQuery {
+    assert!(cnf.is_3cnf(), "the reduction expects a 3-CNF formula");
+
+    // Head: H(w1, w0, x1, x̄1, …, xm, x̄m).
+    let mut head_args = vec![w1(), w0()];
+    for g in 0..cnf.num_vars {
+        head_args.push(pos_var(g));
+        head_args.push(neg_var(g));
+    }
+    let head = Atom::new("H", head_args);
+
+    let mut body = Vec::new();
+    // Values: the two Val-atoms over the non-head variables r0, r1.
+    body.push(Atom::new("Val", vec![r0(), r1()]));
+    body.push(Atom::new("Val", vec![r1(), r0()]));
+    // Cons: for every clause, all satisfying 6-tuples prefixed by (w1, w0).
+    for j in 0..cnf.clauses.len() {
+        for tuple in u_plus() {
+            let mut args = vec![w1(), w0()];
+            args.extend(tuple);
+            body.push(Atom::new(clause_relation(j).as_str(), args));
+        }
+    }
+    // Struct(ϕ): the actual clauses, prefixed by (r1, r0).
+    for (j, clause) in cnf.clauses.iter().enumerate() {
+        let mut args = vec![r1(), r0()];
+        for &lit in &clause.literals {
+            let (a, b) = rep(lit);
+            args.push(a);
+            args.push(b);
+        }
+        body.push(Atom::new(clause_relation(j).as_str(), args));
+    }
+    ConjunctiveQuery::new(head, body).expect("the reduction query is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::{dpll_satisfiable, Clause};
+    use pc_core::is_strongly_minimal;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause::new(
+            lits.iter()
+                .map(|&(v, p)| Literal { var: v, positive: p })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reduction_shape_matches_the_paper() {
+        let cnf = Cnf::new(
+            2,
+            vec![clause(&[(0, true), (1, false), (0, false)])],
+        );
+        let query = sat_to_strong_minimality(&cnf);
+        // head: w1, w0 plus two variables per propositional variable
+        assert_eq!(query.head().arity(), 2 + 2 * 2);
+        // body: 2 Val atoms + 7 Cons atoms per clause + 1 Struct atom per clause
+        assert_eq!(query.body_size(), 2 + 7 + 1);
+        // exactly two non-head variables (r0 and r1)
+        assert_eq!(query.existential_variables().len(), 2);
+    }
+
+    #[test]
+    fn satisfiable_formula_gives_non_strongly_minimal_query() {
+        // (x0 ∨ x1 ∨ x1) ∧ (¬x0 ∨ x1 ∨ x1): satisfiable (x1 = true).
+        let cnf = Cnf::new(
+            2,
+            vec![
+                clause(&[(0, true), (1, true), (1, true)]),
+                clause(&[(0, false), (1, true), (1, true)]),
+            ],
+        );
+        assert!(dpll_satisfiable(&cnf));
+        let query = sat_to_strong_minimality(&cnf);
+        assert!(!is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_strongly_minimal_query() {
+        // All four sign patterns over a single variable (padded to width 3):
+        // unsatisfiable.
+        let cnf = Cnf::new(
+            1,
+            vec![
+                clause(&[(0, true), (0, true), (0, true)]),
+                clause(&[(0, false), (0, false), (0, false)]),
+            ],
+        );
+        assert!(!dpll_satisfiable(&cnf));
+        let query = sat_to_strong_minimality(&cnf);
+        assert!(is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn random_small_formulas_agree_with_the_sat_oracle() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..4 {
+            let num_vars = 2;
+            let num_clauses = 2 + rng.gen_range(0..2);
+            let clauses = (0..num_clauses)
+                .map(|_| {
+                    Clause::new(
+                        (0..3)
+                            .map(|_| Literal {
+                                var: rng.gen_range(0..num_vars),
+                                positive: rng.gen_bool(0.5),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let cnf = Cnf::new(num_vars, clauses);
+            let query = sat_to_strong_minimality(&cnf);
+            assert_eq!(
+                dpll_satisfiable(&cnf),
+                !is_strongly_minimal(&query),
+                "reduction disagrees with the SAT oracle on {cnf}"
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Π₃-QBF → parallel-correctness transfer (Proposition C.6).
+//!
+//! Given `ϕ = ∀x ∃y ∀z ψ(x, y, z)` with `ψ` in 3-DNF, the reduction builds a
+//! pair `(Q_ϕ, Q'_ϕ)` of conjunctive queries such that `ϕ` is true if and
+//! only if parallel-correctness transfers from `Q_ϕ` to `Q'_ϕ`.
+//!
+//! `Q_ϕ` encodes a Boolean circuit evaluating `ψ` (Neg/And/Or gate relations
+//! plus a clause/disjunction chain), `Q'_ϕ` forces a truth assignment for the
+//! `x` block and demands a positive result (`Res(w1)`).
+
+use cq::{Atom, ConjunctiveQuery, Variable};
+use logic::{Literal, Pi3Qbf};
+
+/// The output of the Π₃-QBF reduction: the pair of queries.
+#[derive(Clone, Debug)]
+pub struct Pi3Reduction {
+    /// The query `Q_ϕ` parallel-correctness transfers *from*.
+    pub from: ConjunctiveQuery,
+    /// The query `Q'_ϕ` parallel-correctness transfers *to*.
+    pub to: ConjunctiveQuery,
+}
+
+fn w1() -> Variable {
+    Variable::new("w1")
+}
+
+fn w0() -> Variable {
+    Variable::new("w0")
+}
+
+fn pos_var(v: usize) -> Variable {
+    Variable::indexed("v", v)
+}
+
+fn neg_var(v: usize) -> Variable {
+    Variable::indexed("nv", v)
+}
+
+fn literal_var(lit: Literal) -> Variable {
+    if lit.positive {
+        pos_var(lit.var)
+    } else {
+        neg_var(lit.var)
+    }
+}
+
+fn s_var(j: usize) -> Variable {
+    Variable::indexed("s", j)
+}
+
+fn r_var(j: usize) -> Variable {
+    Variable::indexed("r", j)
+}
+
+fn yval_relation(h: usize) -> String {
+    format!("YVal{h}")
+}
+
+fn xval_relation(g: usize) -> String {
+    format!("XVal{g}")
+}
+
+/// The `Fix` atoms shared by both queries: they pin the truth values of the
+/// head variables `x_g`, `w1` and `w0`.
+fn fix_atoms(qbf: &Pi3Qbf) -> Vec<Atom> {
+    let mut out = Vec::new();
+    for (g, &xv) in qbf.x_vars.iter().enumerate() {
+        out.push(Atom::new(xval_relation(g).as_str(), vec![pos_var(xv)]));
+    }
+    out.push(Atom::new("True", vec![w1()]));
+    out.push(Atom::new("False", vec![w0()]));
+    out
+}
+
+/// The consistent gate atoms over `{w0, w1}` (the `Gates` set).
+fn gate_atoms() -> Vec<Atom> {
+    let tv = |b: bool| if b { w1() } else { w0() };
+    let mut out = vec![
+        Atom::new("Neg", vec![w0(), w1()]),
+        Atom::new("Neg", vec![w1(), w0()]),
+    ];
+    // 3-input And gates: output is the conjunction of the inputs.
+    for mask in 0u8..8 {
+        let a = mask & 1 != 0;
+        let b = mask & 2 != 0;
+        let c = mask & 4 != 0;
+        out.push(Atom::new("And", vec![tv(a), tv(b), tv(c), tv(a && b && c)]));
+    }
+    // Binary Or gates.
+    for mask in 0u8..4 {
+        let a = mask & 1 != 0;
+        let b = mask & 2 != 0;
+        out.push(Atom::new("Or", vec![tv(a), tv(b), tv(a || b)]));
+    }
+    out
+}
+
+/// The `Circuit` atoms of `Q_ϕ`: negation links for every matrix variable,
+/// one And-gate per DNF term and the Or-chain accumulating the disjunction.
+fn circuit_atoms(qbf: &Pi3Qbf) -> Vec<Atom> {
+    let mut out = Vec::new();
+    for &u in qbf
+        .x_vars
+        .iter()
+        .chain(qbf.y_vars.iter())
+        .chain(qbf.z_vars.iter())
+    {
+        out.push(Atom::new("Neg", vec![pos_var(u), neg_var(u)]));
+    }
+    for (j, term) in qbf.matrix.terms.iter().enumerate() {
+        let mut args: Vec<Variable> = term.literals.iter().map(|&l| literal_var(l)).collect();
+        args.push(s_var(j + 1));
+        out.push(Atom::new("And", args));
+    }
+    let k = qbf.matrix.terms.len();
+    if k > 0 {
+        out.push(Atom::new("Or", vec![s_var(1), s_var(1), r_var(1)]));
+        for j in 2..=k {
+            out.push(Atom::new("Or", vec![r_var(j - 1), s_var(j), r_var(j)]));
+        }
+    }
+    out
+}
+
+/// Builds the pair `(Q_ϕ, Q'_ϕ)` of Proposition C.6.
+pub fn pi3_to_transfer(qbf: &Pi3Qbf) -> Pi3Reduction {
+    assert!(
+        qbf.matrix.is_3dnf(),
+        "the reduction expects a 3-DNF matrix"
+    );
+    assert!(
+        !qbf.matrix.terms.is_empty(),
+        "the reduction expects at least one DNF term"
+    );
+    let k = qbf.matrix.terms.len();
+
+    // Q'_ϕ: head H(x₁, …, x_m, w1, w0).
+    let mut to_head_args: Vec<Variable> = qbf.x_vars.iter().map(|&g| pos_var(g)).collect();
+    to_head_args.push(w1());
+    to_head_args.push(w0());
+    let mut to_body = Vec::new();
+    for h in 0..qbf.y_vars.len() {
+        to_body.push(Atom::new(yval_relation(h).as_str(), vec![w1()]));
+        to_body.push(Atom::new(yval_relation(h).as_str(), vec![w0()]));
+    }
+    to_body.push(Atom::new("Res", vec![w1()]));
+    to_body.extend(fix_atoms(qbf));
+    let to = ConjunctiveQuery::new(Atom::new("H", to_head_args), to_body)
+        .expect("Q' of the Π₃ reduction is well-formed");
+
+    // Q_ϕ: head H(x₁, …, x_m, y₁, …, y_n, w1, w0).
+    let mut from_head_args: Vec<Variable> = qbf.x_vars.iter().map(|&g| pos_var(g)).collect();
+    from_head_args.extend(qbf.y_vars.iter().map(|&h| pos_var(h)));
+    from_head_args.push(w1());
+    from_head_args.push(w0());
+    let mut from_body = Vec::new();
+    for (h, &yv) in qbf.y_vars.iter().enumerate() {
+        from_body.push(Atom::new(yval_relation(h).as_str(), vec![pos_var(yv)]));
+        from_body.push(Atom::new(yval_relation(h).as_str(), vec![neg_var(yv)]));
+    }
+    from_body.push(Atom::new("Res", vec![w0()]));
+    from_body.push(Atom::new("Res", vec![r_var(k)]));
+    from_body.extend(fix_atoms(qbf));
+    from_body.extend(gate_atoms());
+    from_body.extend(circuit_atoms(qbf));
+    let from = ConjunctiveQuery::new(Atom::new("H", from_head_args), from_body)
+        .expect("Q of the Π₃ reduction is well-formed");
+
+    Pi3Reduction { from, to }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::{Clause, Dnf};
+    use pc_core::check_transfer;
+
+    fn term(lits: &[(usize, bool)]) -> Clause {
+        Clause::new(
+            lits.iter()
+                .map(|&(v, p)| Literal { var: v, positive: p })
+                .collect(),
+        )
+    }
+
+    /// ∀x0 ∃y(=x1) ∀z(=x2): (x1 ∧ x1 ∧ x1) ∨ (¬x1 ∧ ¬x1 ∧ ¬x1) — true.
+    fn true_formula() -> Pi3Qbf {
+        Pi3Qbf::new(
+            vec![0],
+            vec![1],
+            vec![2],
+            Dnf::new(
+                3,
+                vec![
+                    term(&[(1, true), (1, true), (1, true)]),
+                    term(&[(1, false), (1, false), (1, false)]),
+                ],
+            ),
+        )
+    }
+
+    /// ∀x0 ∃x1 ∀x2: (x2 ∧ x2 ∧ x2) — false (z = false).
+    fn false_formula() -> Pi3Qbf {
+        Pi3Qbf::new(
+            vec![0],
+            vec![1],
+            vec![2],
+            Dnf::new(3, vec![term(&[(2, true), (2, true), (2, true)])]),
+        )
+    }
+
+    /// ∀x0 ∃x1 ∀x2: (x0 ∧ x1 ∧ x2) — false (e.g. x0 = false).
+    fn false_formula_2() -> Pi3Qbf {
+        Pi3Qbf::new(
+            vec![0],
+            vec![1],
+            vec![2],
+            Dnf::new(3, vec![term(&[(0, true), (1, true), (2, true)])]),
+        )
+    }
+
+    /// ∀x0 ∃x1 ∀x2: (x1 ∧ x1 ∧ x1) — true (choose y = true; z irrelevant).
+    fn true_formula_2() -> Pi3Qbf {
+        Pi3Qbf::new(
+            vec![0],
+            vec![1],
+            vec![2],
+            Dnf::new(3, vec![term(&[(1, true), (1, true), (1, true)])]),
+        )
+    }
+
+    #[test]
+    fn reduction_shapes_are_as_in_the_paper() {
+        let qbf = true_formula();
+        let red = pi3_to_transfer(&qbf);
+        // Q' head: x-block + w1 + w0; Q head: x-block + y-block + w1 + w0.
+        assert_eq!(red.to.head().arity(), 1 + 2);
+        assert_eq!(red.from.head().arity(), 1 + 1 + 2);
+        // Q' body: 2 per y-variable + Res + |x| XVal + True + False.
+        assert_eq!(red.to.body_size(), 2 + 1 + 1 + 2);
+        // Q body contains the 14 gate atoms and the circuit.
+        assert!(red.from.body_size() > 14);
+        assert!(red
+            .from
+            .body()
+            .iter()
+            .any(|a| a.relation == cq::Symbol::new("And")));
+    }
+
+    #[test]
+    fn true_formulas_transfer() {
+        for qbf in [true_formula(), true_formula_2()] {
+            assert!(qbf.is_true());
+            let red = pi3_to_transfer(&qbf);
+            assert!(
+                check_transfer(&red.from, &red.to).transfers(),
+                "transfer must hold for a true formula"
+            );
+        }
+    }
+
+    #[test]
+    fn false_formulas_do_not_transfer() {
+        for qbf in [false_formula(), false_formula_2()] {
+            assert!(!qbf.is_true());
+            let red = pi3_to_transfer(&qbf);
+            assert!(
+                !check_transfer(&red.from, &red.to).transfers(),
+                "transfer must fail for a false formula"
+            );
+        }
+    }
+}

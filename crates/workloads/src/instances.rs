@@ -1,0 +1,165 @@
+//! Random and skewed database instances.
+
+use cq::{Fact, Instance, Schema, Value};
+use rand::Rng;
+
+/// Parameters for random instance generation.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceParams {
+    /// Size of the active domain to draw values from.
+    pub domain_size: usize,
+    /// Number of facts per relation.
+    pub facts_per_relation: usize,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        InstanceParams {
+            domain_size: 10,
+            facts_per_relation: 30,
+        }
+    }
+}
+
+fn value(i: usize) -> Value {
+    Value::indexed("d", i)
+}
+
+/// A uniformly random instance over `schema`.
+pub fn random_instance<R: Rng>(rng: &mut R, schema: &Schema, params: InstanceParams) -> Instance {
+    assert!(params.domain_size >= 1);
+    let mut out = Instance::new();
+    for rel in schema.relations() {
+        for _ in 0..params.facts_per_relation {
+            let tuple = (0..rel.arity)
+                .map(|_| value(rng.gen_range(0..params.domain_size)))
+                .collect();
+            out.insert(Fact::new(rel.name, tuple));
+        }
+    }
+    out
+}
+
+/// A skewed instance over `schema`: the first attribute of every fact follows
+/// an approximate Zipf distribution (heavy hitters), the remaining attributes
+/// are uniform. Used to exercise load imbalance in the one-round engine.
+pub fn zipf_instance<R: Rng>(
+    rng: &mut R,
+    schema: &Schema,
+    params: InstanceParams,
+    exponent: f64,
+) -> Instance {
+    assert!(params.domain_size >= 1);
+    // Precompute cumulative Zipf weights.
+    let weights: Vec<f64> = (1..=params.domain_size)
+        .map(|k| 1.0 / (k as f64).powf(exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let draw_zipf = |rng: &mut R| -> usize {
+        let u: f64 = rng.gen();
+        cumulative.iter().position(|&c| u <= c).unwrap_or(0)
+    };
+
+    let mut out = Instance::new();
+    for rel in schema.relations() {
+        for _ in 0..params.facts_per_relation {
+            let tuple = (0..rel.arity)
+                .map(|pos| {
+                    if pos == 0 {
+                        value(draw_zipf(rng))
+                    } else {
+                        value(rng.gen_range(0..params.domain_size))
+                    }
+                })
+                .collect();
+            out.insert(Fact::new(rel.name, tuple));
+        }
+    }
+    out
+}
+
+/// The complete binary relation `name` over the given values (all pairs).
+pub fn complete_binary_relation(name: &str, values: &[&str]) -> Instance {
+    let mut out = Instance::new();
+    for x in values {
+        for y in values {
+            out.insert(Fact::from_names(name, &[x, y]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::from_relations([("R", 2), ("S", 3)])
+    }
+
+    #[test]
+    fn random_instances_respect_schema_and_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = InstanceParams {
+            domain_size: 5,
+            facts_per_relation: 20,
+        };
+        let inst = random_instance(&mut rng, &schema(), params);
+        assert!(inst.is_well_formed());
+        assert!(inst.adom().len() <= 5);
+        // duplicates collapse, so at most 20 per relation
+        assert!(inst.facts_of(cq::Symbol::new("R")).len() <= 20);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn zipf_instances_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = InstanceParams {
+            domain_size: 50,
+            facts_per_relation: 400,
+        };
+        let inst = zipf_instance(&mut rng, &Schema::from_relations([("R", 2)]), params, 1.5);
+        // the most frequent first-attribute value should dominate
+        let mut counts = std::collections::BTreeMap::new();
+        for f in inst.facts() {
+            *counts.entry(f.values[0]).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = inst.len() as f64 / counts.len() as f64;
+        assert!(
+            (max as f64) > 2.0 * avg,
+            "expected skew: max={max}, avg={avg:.1}"
+        );
+    }
+
+    #[test]
+    fn complete_binary_relation_has_all_pairs() {
+        let inst = complete_binary_relation("R", &["a", "b", "c"]);
+        assert_eq!(inst.len(), 9);
+        assert!(inst.contains(&Fact::from_names("R", &["c", "a"])));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_instance(
+            &mut StdRng::seed_from_u64(3),
+            &schema(),
+            InstanceParams::default(),
+        );
+        let b = random_instance(
+            &mut StdRng::seed_from_u64(3),
+            &schema(),
+            InstanceParams::default(),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Random explicit distribution policies.
+
+use cq::Instance;
+use distribution::{ExplicitPolicy, Network, Node};
+use rand::Rng;
+
+/// Parameters for random policy generation.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyParams {
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// How many nodes each fact is replicated to (at least 1, at most `nodes`).
+    pub replication: usize,
+    /// Probability that a fact is skipped entirely (sent nowhere).
+    pub skip_probability: f64,
+}
+
+impl Default for PolicyParams {
+    fn default() -> Self {
+        PolicyParams {
+            nodes: 4,
+            replication: 1,
+            skip_probability: 0.0,
+        }
+    }
+}
+
+/// Generates a random explicit policy over the facts of `universe`: each
+/// non-skipped fact is assigned to `replication` distinct random nodes.
+pub fn random_explicit_policy<R: Rng>(
+    rng: &mut R,
+    universe: &Instance,
+    params: PolicyParams,
+) -> ExplicitPolicy {
+    assert!(params.nodes >= 1);
+    let replication = params.replication.clamp(1, params.nodes);
+    let network = Network::with_size(params.nodes);
+    let mut policy = ExplicitPolicy::new(network);
+    for fact in universe.facts() {
+        if params.skip_probability > 0.0 && rng.gen_bool(params.skip_probability) {
+            policy.skip(fact.clone());
+            continue;
+        }
+        let mut nodes = Vec::new();
+        while nodes.len() < replication {
+            let n = Node::numbered(rng.gen_range(0..params.nodes));
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        policy.assign(fact.clone(), nodes);
+    }
+    policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::complete_binary_relation;
+    use distribution::{DistributionPolicy, FinitePolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn replication_counts_are_respected() {
+        let universe = complete_binary_relation("R", &["a", "b", "c"]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = random_explicit_policy(
+            &mut rng,
+            &universe,
+            PolicyParams {
+                nodes: 5,
+                replication: 2,
+                skip_probability: 0.0,
+            },
+        );
+        for fact in universe.facts() {
+            assert_eq!(policy.nodes_for(fact).len(), 2);
+        }
+        assert_eq!(policy.fact_universe().len(), universe.len());
+    }
+
+    #[test]
+    fn skipped_facts_are_not_in_the_universe() {
+        let universe = complete_binary_relation("R", &["a", "b", "c", "d"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = random_explicit_policy(
+            &mut rng,
+            &universe,
+            PolicyParams {
+                nodes: 3,
+                replication: 1,
+                skip_probability: 0.5,
+            },
+        );
+        assert!(policy.fact_universe().len() < universe.len());
+    }
+
+    #[test]
+    fn replication_is_clamped_to_the_network_size() {
+        let universe = complete_binary_relation("R", &["a", "b"]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let policy = random_explicit_policy(
+            &mut rng,
+            &universe,
+            PolicyParams {
+                nodes: 2,
+                replication: 10,
+                skip_probability: 0.0,
+            },
+        );
+        for fact in universe.facts() {
+            assert_eq!(policy.nodes_for(fact).len(), 2);
+        }
+    }
+
+    #[test]
+    fn broadcast_like_policies_are_parallel_correct_for_any_query() {
+        let universe = complete_binary_relation("R", &["a", "b"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = random_explicit_policy(
+            &mut rng,
+            &universe,
+            PolicyParams {
+                nodes: 3,
+                replication: 3,
+                skip_probability: 0.0,
+            },
+        );
+        let query = crate::queries::chain_query(2);
+        assert!(pc_core::check_parallel_correctness(&query, &policy).is_correct());
+    }
+}

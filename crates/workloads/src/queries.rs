@@ -1,0 +1,220 @@
+//! Named query families and random conjunctive queries.
+
+use cq::{Atom, ConjunctiveQuery, Variable};
+use rand::Rng;
+
+/// The chain (path) query of length `len` over a binary relation `R`:
+/// `T(x0, x_len) :- R(x0, x1), R(x1, x2), …`.
+pub fn chain_query(len: usize) -> ConjunctiveQuery {
+    assert!(len >= 1);
+    let var = |i: usize| Variable::indexed("x", i);
+    let body = (0..len)
+        .map(|i| Atom::new("R", vec![var(i), var(i + 1)]))
+        .collect();
+    ConjunctiveQuery::new(Atom::new("T", vec![var(0), var(len)]), body)
+        .expect("chain queries are well-formed")
+}
+
+/// The star query with `rays` rays: `T(c) :- R(c, x1), …, R(c, x_rays)`.
+pub fn star_query(rays: usize) -> ConjunctiveQuery {
+    assert!(rays >= 1);
+    let c = Variable::new("c");
+    let body = (0..rays)
+        .map(|i| Atom::new("R", vec![c, Variable::indexed("x", i)]))
+        .collect();
+    ConjunctiveQuery::new(Atom::new("T", vec![c]), body).expect("star queries are well-formed")
+}
+
+/// The directed cycle query of length `len`, returning all cycle vertices:
+/// `T(x0, …, x_{len-1}) :- R(x0, x1), …, R(x_{len-1}, x0)`.
+pub fn cycle_query(len: usize) -> ConjunctiveQuery {
+    assert!(len >= 2);
+    let var = |i: usize| Variable::indexed("x", i % len);
+    let body = (0..len)
+        .map(|i| Atom::new("R", vec![var(i), var(i + 1)]))
+        .collect();
+    let head_vars = (0..len).map(var).collect();
+    ConjunctiveQuery::new(Atom::new("T", head_vars), body).expect("cycle queries are well-formed")
+}
+
+/// The triangle query over a binary relation `E`:
+/// `T(x, y, z) :- E(x, y), E(y, z), E(z, x)`.
+pub fn triangle_query() -> ConjunctiveQuery {
+    cycle_query(3)
+        .with_body(vec![
+            Atom::from_names("E", &["x0", "x1"]),
+            Atom::from_names("E", &["x1", "x2"]),
+            Atom::from_names("E", &["x2", "x0"]),
+        ])
+        .expect("triangle query is well-formed")
+}
+
+/// The query of Example 3.5 of the paper:
+/// `T(x, z) :- R(x, y), R(y, z), R(x, x)`.
+pub fn example_3_5_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z), R(x, x).")
+        .expect("the Example 3.5 query is well-formed")
+}
+
+/// Shape parameters for random conjunctive queries.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryParams {
+    /// Number of distinct relation names to draw from.
+    pub relations: usize,
+    /// Arity of every relation.
+    pub arity: usize,
+    /// Number of body atoms.
+    pub atoms: usize,
+    /// Number of variables to draw from.
+    pub variables: usize,
+    /// Number of head variables (clamped to the variables actually used).
+    pub head_variables: usize,
+    /// Whether several atoms may share a relation name (self-joins).
+    pub allow_self_joins: bool,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            relations: 2,
+            arity: 2,
+            atoms: 3,
+            variables: 4,
+            head_variables: 2,
+            allow_self_joins: true,
+        }
+    }
+}
+
+/// Generates a random conjunctive query with the given shape.
+///
+/// The generated query is always safe (head variables are drawn from the
+/// variables occurring in the body).
+pub fn random_query<R: Rng>(rng: &mut R, params: QueryParams) -> ConjunctiveQuery {
+    assert!(params.atoms >= 1 && params.variables >= 1 && params.relations >= 1);
+    let relation = |i: usize| format!("R{i}");
+    let var = |i: usize| Variable::indexed("x", i);
+
+    let mut body: Vec<Atom> = Vec::with_capacity(params.atoms);
+    for a in 0..params.atoms {
+        let rel_index = if params.allow_self_joins {
+            rng.gen_range(0..params.relations)
+        } else {
+            a % params.relations.max(params.atoms)
+        };
+        let args = (0..params.arity)
+            .map(|_| var(rng.gen_range(0..params.variables)))
+            .collect();
+        body.push(Atom::new(relation(rel_index).as_str(), args));
+    }
+    // ensure relation names are unique when self-joins are disallowed
+    if !params.allow_self_joins {
+        for (i, atom) in body.iter_mut().enumerate() {
+            atom.relation = cq::Symbol::new(&relation(i));
+        }
+    }
+
+    // head variables drawn from the body variables (safety)
+    let mut body_vars: Vec<Variable> = Vec::new();
+    for atom in &body {
+        for &v in &atom.args {
+            if !body_vars.contains(&v) {
+                body_vars.push(v);
+            }
+        }
+    }
+    let head_count = params.head_variables.min(body_vars.len());
+    let mut head_vars = Vec::with_capacity(head_count);
+    while head_vars.len() < head_count {
+        let v = body_vars[rng.gen_range(0..body_vars.len())];
+        if !head_vars.contains(&v) {
+            head_vars.push(v);
+        }
+    }
+    ConjunctiveQuery::new(Atom::new("T", head_vars), body).expect("generated query is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_queries_have_expected_shape() {
+        let q = chain_query(4);
+        assert_eq!(q.body_size(), 4);
+        assert_eq!(q.head().arity(), 2);
+        assert!(q.has_self_joins());
+        assert!(cq::is_acyclic(&q));
+    }
+
+    #[test]
+    fn star_queries_are_full_of_redundancy_but_valid() {
+        let q = star_query(3);
+        assert_eq!(q.body_size(), 3);
+        assert!(!cq::is_minimal(&q));
+    }
+
+    #[test]
+    fn cycle_and_triangle_queries() {
+        let c = cycle_query(4);
+        assert_eq!(c.body_size(), 4);
+        assert!(c.is_full());
+        assert!(!cq::is_acyclic(&c));
+
+        let t = triangle_query();
+        assert_eq!(t.body_size(), 3);
+        assert_eq!(t.schema().arity(cq::Symbol::new("E")), Some(2));
+    }
+
+    #[test]
+    fn example_3_5_query_matches_the_paper() {
+        let q = example_3_5_query();
+        assert_eq!(q.body_size(), 3);
+        assert!(cq::is_minimal(&q));
+    }
+
+    #[test]
+    fn random_queries_are_safe_and_respect_parameters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let params = QueryParams {
+                relations: 3,
+                arity: 2,
+                atoms: 4,
+                variables: 5,
+                head_variables: 2,
+                allow_self_joins: true,
+            };
+            let q = random_query(&mut rng, params);
+            assert!(q.body_size() <= 4); // duplicates may collapse
+            assert!(q.head().arity() <= 2);
+            assert!(q.variables().len() <= 5);
+        }
+    }
+
+    #[test]
+    fn self_join_free_generation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let params = QueryParams {
+            relations: 2,
+            arity: 2,
+            atoms: 4,
+            variables: 6,
+            head_variables: 1,
+            allow_self_joins: false,
+        };
+        for _ in 0..20 {
+            let q = random_query(&mut rng, params);
+            assert!(!q.has_self_joins());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_query(&mut StdRng::seed_from_u64(5), QueryParams::default());
+        let b = random_query(&mut StdRng::seed_from_u64(5), QueryParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,284 @@
+//! `pcq-analyze` — command-line static analyzer for parallel-correctness and
+//! transferability of conjunctive queries.
+//!
+//! ```text
+//! USAGE:
+//!   pcq-analyze analyze   <query>
+//!   pcq-analyze pc        <query> <policy-file>
+//!   pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]
+//!   pcq-analyze hypercube <query> <query-prime>
+//!
+//! ARGUMENTS:
+//!   <query>        either a file path or a literal query such as
+//!                  "T(x, z) :- R(x, y), R(y, z)."
+//!   <policy-file>  a text file with one line per node:
+//!                      n0: R(a, b) R(b, c)
+//!                      n1: R(b, a)
+//!                  an optional line `default: n0 n1` assigns unlisted facts.
+//! ```
+//!
+//! Exit code 0 means the property holds, 1 means it does not, 2 means a
+//! usage or parse error.
+
+use std::process::ExitCode;
+
+use pcq::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(holds) => {
+            if holds {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  pcq-analyze analyze   <query>\n  pcq-analyze pc        <query> <policy-file>\n  pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube <query> <query-prime>"
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "analyze" => {
+            let query = load_query(args.get(1).ok_or("missing <query>")?)?;
+            Ok(analyze(&query))
+        }
+        "pc" => {
+            let query = load_query(args.get(1).ok_or("missing <query>")?)?;
+            let policy = load_policy(args.get(2).ok_or("missing <policy-file>")?)?;
+            Ok(parallel_correctness(&query, &policy))
+        }
+        "transfer" => {
+            let from = load_query(args.get(1).ok_or("missing <query-from>")?)?;
+            let to = load_query(args.get(2).ok_or("missing <query-to>")?)?;
+            let mode = args.get(3).map(String::as_str);
+            transfer(&from, &to, mode)
+        }
+        "hypercube" => {
+            let query = load_query(args.get(1).ok_or("missing <query>")?)?;
+            let prime = load_query(args.get(2).ok_or("missing <query-prime>")?)?;
+            Ok(hypercube(&query, &prime))
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Loads a query from a file path, or parses the argument itself when it is
+/// not an existing file.
+fn load_query(arg: &str) -> Result<ConjunctiveQuery, String> {
+    let text = if std::path::Path::new(arg).exists() {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
+    } else {
+        arg.to_string()
+    };
+    ConjunctiveQuery::parse(text.trim()).map_err(|e| format!("cannot parse query '{arg}': {e}"))
+}
+
+/// Parses the policy-file format described in the module documentation.
+fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
+    let mut assignments: Vec<(Node, Fact)> = Vec::new();
+    let mut default_nodes: Vec<Node> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let (head, rest) = line
+            .split_once(':')
+            .ok_or(format!("line {}: expected 'node: facts…'", lineno + 1))?;
+        let head = head.trim();
+        if head == "default" {
+            for name in rest.split_whitespace() {
+                default_nodes.push(Node::new(name));
+            }
+            continue;
+        }
+        let node = Node::new(head);
+        // facts are separated by whitespace outside parentheses; reuse the
+        // instance parser which accepts whitespace/comma/period separators.
+        let facts = cq::parse_instance(rest)
+            .map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        for fact in facts.facts() {
+            assignments.push((node, fact.clone()));
+        }
+    }
+    if assignments.is_empty() && default_nodes.is_empty() {
+        return Err("the policy file assigns no facts".to_string());
+    }
+    let mut network = Network::default();
+    for (node, _) in &assignments {
+        network.add(*node);
+    }
+    for node in &default_nodes {
+        network.add(*node);
+    }
+    let mut policy = ExplicitPolicy::new(network).with_default(default_nodes);
+    // group assignments per fact
+    let mut by_fact: std::collections::BTreeMap<Fact, Vec<Node>> = std::collections::BTreeMap::new();
+    for (node, fact) in assignments {
+        by_fact.entry(fact).or_default().push(node);
+    }
+    for (fact, nodes) in by_fact {
+        policy.assign(fact, nodes);
+    }
+    Ok(policy)
+}
+
+fn load_policy(path: &str) -> Result<ExplicitPolicy, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_policy(&text)
+}
+
+fn analyze(query: &ConjunctiveQuery) -> bool {
+    println!("query:             {query}");
+    println!("input schema:      {}", query.schema());
+    println!("full:              {}", query.is_full());
+    println!("boolean:           {}", query.is_boolean());
+    println!("self-joins:        {}", query.has_self_joins());
+    println!("acyclic (GYO):     {}", cq::is_acyclic(query));
+    println!("minimal:           {}", cq::is_minimal(query));
+    let strongly = is_strongly_minimal(query);
+    println!("strongly minimal:  {strongly}");
+    println!(
+        "Lemma 4.8 applies: {}",
+        pc_core::satisfies_lemma_4_8(query)
+    );
+    let min = cq::minimize(query);
+    if min.core.body_size() < query.body_size() {
+        println!("core:              {}", min.core);
+    }
+    true
+}
+
+fn parallel_correctness(query: &ConjunctiveQuery, policy: &ExplicitPolicy) -> bool {
+    println!("query:   {query}");
+    println!("network: {}", policy.network());
+    let report = check_parallel_correctness(query, policy);
+    if report.is_correct() {
+        println!("parallel-correct: yes (every minimal valuation meets at some node)");
+        true
+    } else {
+        println!("parallel-correct: NO");
+        if let Some(violation) = &report.violation {
+            println!("  minimal valuation:       {}", violation.valuation);
+            println!("  counterexample instance: {}", violation.counterexample_instance);
+            println!("  lost fact:               {}", violation.lost_fact);
+        }
+        false
+    }
+}
+
+fn transfer(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    mode: Option<&str>,
+) -> Result<bool, String> {
+    println!("from: {from}");
+    println!("to:   {to}");
+    let report = match mode {
+        None => check_transfer(from, to),
+        Some("--no-skip") => pc_core::check_transfer_no_skip(from, to),
+        Some("--strongly-minimal") => {
+            if !is_strongly_minimal(from) {
+                return Err("--strongly-minimal requires a strongly minimal source query".into());
+            }
+            check_transfer_strongly_minimal(from, to)
+        }
+        Some(other) => return Err(format!("unknown flag '{other}'")),
+    };
+    println!(
+        "parallel-correctness transfers ({}): {}",
+        report.method,
+        if report.transfers { "yes" } else { "NO" }
+    );
+    if let Some(violation) = &report.violation {
+        println!("  witness valuation of Q':  {}", violation.valuation);
+        println!("  facts no minimal valuation of Q covers: {}", violation.required_facts);
+    }
+    Ok(report.transfers)
+}
+
+fn hypercube(query: &ConjunctiveQuery, prime: &ConjunctiveQuery) -> bool {
+    println!("family of: {query}");
+    println!("candidate: {prime}");
+    let report = hypercube_parallel_correct(query, prime);
+    println!(
+        "parallel-correct for the Hypercube family H_Q: {}",
+        if report.parallel_correct { "yes" } else { "NO" }
+    );
+    report.parallel_correct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distribution::DistributionPolicy;
+
+    #[test]
+    fn policy_file_parsing() {
+        let text = "
+            # the Example 3.5 policy over {a, b}
+            n0: R(a, a) R(b, a) R(b, b)
+            n1: R(a, a), R(a, b), R(b, b)
+        ";
+        let policy = parse_policy(text).unwrap();
+        assert_eq!(policy.network().len(), 2);
+        assert_eq!(
+            policy.nodes_for(&Fact::from_names("R", &["a", "a"])).len(),
+            2
+        );
+        assert_eq!(
+            policy.nodes_for(&Fact::from_names("R", &["a", "b"])).len(),
+            1
+        );
+        assert!(policy.nodes_for(&Fact::from_names("R", &["c", "c"])).is_empty());
+    }
+
+    #[test]
+    fn policy_file_default_line() {
+        let text = "default: n0 n1\nn0: R(a, b)";
+        let policy = parse_policy(text).unwrap();
+        assert_eq!(
+            policy.nodes_for(&Fact::from_names("R", &["z", "z"])).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn bad_policy_files_are_rejected() {
+        assert!(parse_policy("").is_err());
+        assert!(parse_policy("n0 R(a,b)").is_err());
+        assert!(parse_policy("n0: R(a,").is_err());
+    }
+
+    #[test]
+    fn literal_queries_are_accepted() {
+        let q = load_query("T(x) :- R(x, y).").unwrap();
+        assert_eq!(q.body_size(), 1);
+        assert!(load_query("not a query").is_err());
+    }
+
+    #[test]
+    fn end_to_end_pc_command() {
+        let query = load_query("T(x, z) :- R(x, y), R(y, z), R(x, x).").unwrap();
+        let policy = parse_policy(
+            "n0: R(a, a) R(b, a) R(b, b)\nn1: R(a, a) R(a, b) R(b, b)",
+        )
+        .unwrap();
+        assert!(parallel_correctness(&query, &policy));
+        let path = load_query("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        assert!(!parallel_correctness(&path, &policy));
+    }
+}

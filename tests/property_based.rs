@@ -1,0 +1,173 @@
+//! Property-based tests spanning the whole stack: parallel-correctness,
+//! transferability and the Hypercube machinery on randomly generated
+//! queries, instances and policies.
+
+use pcq::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random query from a seed using the workload generator (proptest
+/// drives the seed and the shape parameters).
+fn query_from(seed: u64, atoms: usize, variables: usize, head: usize) -> ConjunctiveQuery {
+    workloads::random_query(
+        &mut StdRng::seed_from_u64(seed),
+        workloads::QueryParams {
+            relations: 2,
+            arity: 2,
+            atoms,
+            variables,
+            head_variables: head,
+            allow_self_joins: true,
+        },
+    )
+}
+
+fn instance_from(seed: u64, schema: &Schema, domain: usize, facts: usize) -> Instance {
+    workloads::random_instance(
+        &mut StdRng::seed_from_u64(seed),
+        schema,
+        workloads::InstanceParams {
+            domain_size: domain,
+            facts_per_relation: facts,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (C0) implies (C1) implies parallel-correctness, and the (C1)-based
+    /// decision agrees with the brute-force check over all subinstances of
+    /// the (tiny) fact universe.
+    #[test]
+    fn condition_hierarchy_and_exactness(
+        qseed in 0u64..1000,
+        pseed in 0u64..1000,
+        nodes in 2usize..4,
+        replication in 1usize..3,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        let universe = workloads::complete_binary_relation("R0", &["a", "b"])
+            .union(&workloads::complete_binary_relation("R1", &["a", "b"]));
+        let policy = workloads::random_explicit_policy(
+            &mut StdRng::seed_from_u64(pseed),
+            &universe,
+            workloads::PolicyParams { nodes, replication, skip_probability: 0.0 },
+        );
+        let c0 = holds_c0(&query, &policy, &universe);
+        let c1 = holds_c1(&query, &policy, &universe);
+        let pc = check_parallel_correctness(&query, &policy).is_correct();
+        prop_assert!(!c0 || c1, "C0 must imply C1");
+        prop_assert_eq!(c1, pc, "C1 must characterize parallel-correctness");
+        // brute force over every subinstance of an 8-fact universe
+        let naive = pc_core::check_parallel_correctness_naive(&query, &policy);
+        prop_assert_eq!(pc, naive);
+    }
+
+    /// Every query is parallel-correct under every member of its own
+    /// Hypercube family, on arbitrary instances (Lemma 5.7).
+    #[test]
+    fn hypercube_members_are_parallel_correct(
+        qseed in 0u64..1000,
+        iseed in 0u64..1000,
+        buckets in 1usize..4,
+        domain in 2usize..7,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        let instance = instance_from(iseed, &query.schema(), domain, 20);
+        let policy = HypercubePolicy::uniform(&query, buckets).unwrap();
+        let outcome = OneRoundEngine::new(&policy).evaluate(&query, &instance);
+        prop_assert_eq!(outcome.result, evaluate(&query, &instance));
+    }
+
+    /// Transferability is sound: if it holds from Q to Q', then Q' is
+    /// parallel-correct under every sampled policy for which Q is.
+    #[test]
+    fn transfer_soundness_on_sampled_policies(
+        from_seed in 0u64..300,
+        to_seed in 0u64..300,
+        pseed in 0u64..300,
+    ) {
+        let from = query_from(from_seed, 2, 3, 1);
+        let to = query_from(to_seed, 2, 3, 1);
+        let transfers = check_transfer(&from, &to).transfers();
+        if transfers {
+            let universe = workloads::complete_binary_relation("R0", &["a", "b"])
+                .union(&workloads::complete_binary_relation("R1", &["a", "b"]));
+            for k in 0..4u64 {
+                let policy = workloads::random_explicit_policy(
+                    &mut StdRng::seed_from_u64(pseed ^ (k.wrapping_mul(0x9E3779B9))),
+                    &universe,
+                    workloads::PolicyParams { nodes: 2 + (k as usize % 2), replication: 1, skip_probability: 0.0 },
+                );
+                if check_parallel_correctness(&from, &policy).is_correct() {
+                    prop_assert!(
+                        check_parallel_correctness(&to, &policy).is_correct(),
+                        "transfer {from} => {to} is unsound for a sampled policy"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The strongly-minimal fast path never disagrees with the general
+    /// transfer decision when it applies, and Lemma 4.8 never misclassifies.
+    #[test]
+    fn strong_minimality_consistency(qseed in 0u64..1000, toseed in 0u64..1000) {
+        let query = query_from(qseed, 3, 4, 2);
+        if pc_core::satisfies_lemma_4_8(&query) {
+            prop_assert!(is_strongly_minimal(&query));
+        }
+        if is_strongly_minimal(&query) {
+            let to = query_from(toseed, 2, 3, 1);
+            prop_assert_eq!(
+                check_transfer(&query, &to).transfers(),
+                check_transfer_strongly_minimal(&query, &to).transfers()
+            );
+        }
+    }
+
+    /// One-round evaluation under an explicit broadcast policy always equals
+    /// the centralized result, and under a round-robin policy it never
+    /// produces more answers than the centralized result (monotonicity).
+    #[test]
+    fn one_round_evaluation_bounds(
+        qseed in 0u64..1000,
+        iseed in 0u64..1000,
+        nodes in 1usize..5,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        let instance = instance_from(iseed, &query.schema(), 4, 12);
+        let expected = evaluate(&query, &instance);
+
+        let network = Network::with_size(nodes);
+        let broadcast = ExplicitPolicy::broadcast(&network, &instance);
+        let b = OneRoundEngine::new(&broadcast).evaluate(&query, &instance);
+        prop_assert_eq!(&b.result, &expected);
+
+        let rr = ExplicitPolicy::round_robin(&network, &instance);
+        let r = OneRoundEngine::new(&rr).evaluate(&query, &instance);
+        prop_assert!(expected.contains_all(&r.result));
+    }
+
+    /// Valuation minimality is decided consistently with its definition on
+    /// small instances: a valuation is minimal iff no other satisfying
+    /// valuation on its required facts derives the same fact from strictly
+    /// fewer facts.
+    #[test]
+    fn valuation_minimality_matches_definition(qseed in 0u64..1000, iseed in 0u64..1000) {
+        let query = query_from(qseed, 3, 4, 2);
+        let instance = instance_from(iseed, &query.schema(), 3, 10);
+        for v in cq::satisfying_valuations(&query, &instance).into_iter().take(10) {
+            let required = v.required_facts(&query);
+            let brute = cq::satisfying_valuations(&query, &required)
+                .into_iter()
+                .all(|w| {
+                    w.derived_fact(&query) != v.derived_fact(&query)
+                        || w.required_facts(&query).len() >= required.len()
+                });
+            prop_assert_eq!(pc_core::is_minimal_valuation(&query, &v), brute);
+        }
+    }
+}
