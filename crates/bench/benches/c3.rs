@@ -39,9 +39,11 @@ fn bench_d2(c: &mut Criterion) {
         let pairs: Vec<(usize, usize)> = (0..edges).map(|i| (i, i + 1)).collect();
         let graph = Graph::from_edges(edges + 1, &pairs);
         let red = three_col_to_c3_acyclic_q_prime(&graph);
-        group.bench_with_input(BenchmarkId::new("c3_acyclic_q_prime", edges), &red, |b, red| {
-            b.iter(|| holds_c3(&red.from, &red.to))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("c3_acyclic_q_prime", edges),
+            &red,
+            |b, red| b.iter(|| holds_c3(&red.from, &red.to)),
+        );
     }
     group.finish();
 }

@@ -12,10 +12,8 @@ fn bench_join_ordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_ordering");
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(7);
-    let queries: Vec<(&str, ConjunctiveQuery)> = vec![
-        ("triangle", triangle_query()),
-        ("chain4", chain_query(4)),
-    ];
+    let queries: Vec<(&str, ConjunctiveQuery)> =
+        vec![("triangle", triangle_query()), ("chain4", chain_query(4))];
     for (name, query) in &queries {
         let instance = workloads::random_instance(
             &mut rng,

@@ -22,7 +22,10 @@ fn bench_family_transfer(c: &mut Criterion) {
     let candidates = [
         ("edge", "U(x, y) :- E(x, y)."),
         ("wedge", "U(x, z) :- E(x, y), E(y, z)."),
-        ("square", "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x)."),
+        (
+            "square",
+            "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x).",
+        ),
     ];
     for (name, text) in candidates {
         let q_prime = cq::ConjunctiveQuery::parse(text).unwrap();
@@ -54,12 +57,26 @@ fn bench_one_round_eval(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hypercube_uniform", buckets),
             &policy,
-            |b, p| b.iter(|| OneRoundEngine::new(p).evaluate(&query, &uniform).result.len()),
+            |b, p| {
+                b.iter(|| {
+                    OneRoundEngine::new(p)
+                        .evaluate(&query, &uniform)
+                        .result
+                        .len()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("hypercube_skewed", buckets),
             &policy,
-            |b, p| b.iter(|| OneRoundEngine::new(p).evaluate(&query, &skewed).result.len()),
+            |b, p| {
+                b.iter(|| {
+                    OneRoundEngine::new(p)
+                        .evaluate(&query, &skewed)
+                        .result
+                        .len()
+                })
+            },
         );
     }
     group.finish();

@@ -41,9 +41,11 @@ fn bench_lemma_4_8_fast_path(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lemma_4_8_only", len), &query, |b, q| {
             b.iter(|| satisfies_lemma_4_8(q))
         });
-        group.bench_with_input(BenchmarkId::new("complete_decision", len), &query, |b, q| {
-            b.iter(|| is_strongly_minimal(q))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("complete_decision", len),
+            &query,
+            |b, q| b.iter(|| is_strongly_minimal(q)),
+        );
         // chains of the same length exercise the canonical-valuation search
         // (they fail Lemma 4.8 because of the shared existential variables).
         let chain = chain_query(len);

@@ -45,9 +45,11 @@ fn bench_minimality_check(c: &mut Criterion) {
                 .enumerate()
                 .map(|(i, &v)| (v, Value::indexed("d", i))),
         );
-        group.bench_with_input(BenchmarkId::new("chain_injective", len), &valuation, |b, v| {
-            b.iter(|| is_minimal_valuation(&chain, v))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_injective", len),
+            &valuation,
+            |b, v| b.iter(|| is_minimal_valuation(&chain, v)),
+        );
     }
     group.finish();
 }

@@ -48,7 +48,10 @@ fn ms(d: Duration) -> String {
 pub fn table_t1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## T1 — (C0) vs (C1) on random policies (Lemma 3.4)\n");
-    let _ = writeln!(out, "| query | policies | C0 holds | PC holds | PC but not C0 |");
+    let _ = writeln!(
+        out,
+        "| query | policies | C0 holds | PC holds | PC but not C0 |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     let mut rng = StdRng::seed_from_u64(101);
     let universe = workloads::complete_binary_relation("R", &["a", "b"]);
@@ -56,7 +59,10 @@ pub fn table_t1() -> String {
         ("example 3.5", example_3_5_query()),
         ("2-chain", chain_query(2)),
         ("loop", ConjunctiveQuery::parse("T(x) :- R(x, x).").unwrap()),
-        ("2-cycle", ConjunctiveQuery::parse("T() :- R(x, y), R(y, x).").unwrap()),
+        (
+            "2-cycle",
+            ConjunctiveQuery::parse("T() :- R(x, y), R(y, x).").unwrap(),
+        ),
     ];
     let trials = 200;
     for (name, query) in &queries {
@@ -86,7 +92,10 @@ pub fn table_t1() -> String {
                 gap += 1;
             }
         }
-        let _ = writeln!(out, "| {name} | {trials} | {c0_count} | {pc_count} | {gap} |");
+        let _ = writeln!(
+            out,
+            "| {name} | {trials} | {c0_count} | {pc_count} | {gap} |"
+        );
     }
     out
 }
@@ -199,9 +208,21 @@ pub fn table_t4() -> String {
         ("full 3-chain → 2-chain", full_chain(3), chain_query(2)),
         ("full 4-chain → 2-chain", full_chain(4), chain_query(2)),
         ("full 4-chain → 3-chain", full_chain(4), chain_query(3)),
-        ("triangle → 2-chain", triangle_query_over_r(), chain_query(2)),
-        ("4-cycle → 2-chain", workloads::cycle_query(4), chain_query(2)),
-        ("full 4-chain → 4-cycle", full_chain(4), workloads::cycle_query(4)),
+        (
+            "triangle → 2-chain",
+            triangle_query_over_r(),
+            chain_query(2),
+        ),
+        (
+            "4-cycle → 2-chain",
+            workloads::cycle_query(4),
+            chain_query(2),
+        ),
+        (
+            "full 4-chain → 4-cycle",
+            full_chain(4),
+            workloads::cycle_query(4),
+        ),
     ];
     for (name, from, to) in pairs {
         assert!(
@@ -267,7 +288,7 @@ pub fn table_t5() -> String {
         let query = sat_to_strong_minimality(&cnf);
         let (sm, t) = time(|| is_strongly_minimal(&query));
         total += t;
-        if sm == !sat {
+        if sm != sat {
             agree += 1;
         }
     }
@@ -322,7 +343,10 @@ pub fn table_t5() -> String {
 /// parallel-correctness answers for related queries.
 pub fn table_t6() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## T6 — Hypercube families (Lemma 5.7, Corollary 5.8)\n");
+    let _ = writeln!(
+        out,
+        "## T6 — Hypercube families (Lemma 5.7, Corollary 5.8)\n"
+    );
     let _ = writeln!(
         out,
         "| query | generous | scattered | self parallel-correct | members |"
@@ -365,7 +389,10 @@ pub fn table_t6() -> String {
         ("edge projection", "U(x, y) :- E(x, y)."),
         ("wedge", "U(x, z) :- E(x, y), E(y, z)."),
         ("self-loop", "U(x) :- E(x, x)."),
-        ("4-cycle", "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x)."),
+        (
+            "4-cycle",
+            "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x).",
+        ),
     ];
     for (name, text) in candidates {
         let q_prime = ConjunctiveQuery::parse(text).unwrap();

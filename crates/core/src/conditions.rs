@@ -249,8 +249,13 @@ fn extend_and_check(
     fresh_base: usize,
     result: &mut Option<Valuation>,
 ) {
-    let unbound: Vec<Variable> = vars.iter().copied().filter(|v| !partial.binds(*v)).collect();
+    let unbound: Vec<Variable> = vars
+        .iter()
+        .copied()
+        .filter(|v| !partial.binds(*v))
+        .collect();
 
+    #[allow(clippy::too_many_arguments)] // depth-first enumerator state, recursive
     fn rec(
         query: &ConjunctiveQuery,
         unbound: &[Variable],
@@ -281,7 +286,14 @@ fn extend_and_check(
                 max_fresh_used
             };
             rec(
-                query, unbound, idx + 1, new_max, current, domain, fresh_base, result,
+                query,
+                unbound,
+                idx + 1,
+                new_max,
+                current,
+                domain,
+                fresh_base,
+                result,
             );
             current.unbind(var);
             if result.is_some() {
@@ -400,8 +412,12 @@ mod tests {
         assert!(!holds_c0(&query, &policy, &universe));
         let violation = c0_violation(&query, &policy, &universe).unwrap();
         // the violating valuation requires both R(a,b) and R(b,a)
-        assert!(violation.required_facts.contains(&Fact::from_names("R", &["a", "b"])));
-        assert!(violation.required_facts.contains(&Fact::from_names("R", &["b", "a"])));
+        assert!(violation
+            .required_facts
+            .contains(&Fact::from_names("R", &["a", "b"])));
+        assert!(violation
+            .required_facts
+            .contains(&Fact::from_names("R", &["b", "a"])));
 
         assert!(holds_c1(&query, &policy, &universe));
         assert!(c1_violation(&query, &policy, &universe).is_none());

@@ -189,7 +189,9 @@ mod tests {
         let query = q("T(x, y, z) :- R(x, y), S(y, z).");
         let sub = q("U(x, y) :- R(x, y).");
         assert!(hypercube_parallel_correct(&query, &sub).parallel_correct);
-        assert!(parallel_correct_for_generous_scattered_families(&query, &sub));
+        assert!(parallel_correct_for_generous_scattered_families(
+            &query, &sub
+        ));
     }
 
     #[test]

@@ -301,7 +301,10 @@ mod tests {
         for text in samples {
             let query = q(text);
             if is_strongly_minimal(&query) {
-                assert!(cq::is_minimal(&query), "strongly minimal but not minimal: {text}");
+                assert!(
+                    cq::is_minimal(&query),
+                    "strongly minimal but not minimal: {text}"
+                );
             }
         }
     }

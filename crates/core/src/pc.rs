@@ -295,7 +295,7 @@ mod tests {
         let report = check_parallel_correctness_on_instance(&query, &policy, &instance);
         assert!(!report.is_correct());
         assert_eq!(report.expected.len(), 4);
-        assert!(report.missing.len() >= 1);
+        assert!(!report.missing.is_empty());
         assert!(report.expected.contains_all(&report.distributed));
     }
 

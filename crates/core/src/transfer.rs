@@ -151,12 +151,9 @@ pub fn violation_separates(
         .subsets()
         .iter()
         .all(|i| crate::pc::check_parallel_correctness_on_instance(from, &policy, i).correct);
-    let to_fails = !crate::pc::check_parallel_correctness_on_instance(
-        to,
-        &policy,
-        &violation.required_facts,
-    )
-    .correct;
+    let to_fails =
+        !crate::pc::check_parallel_correctness_on_instance(to, &policy, &violation.required_facts)
+            .correct;
     from_ok && to_fails
 }
 
@@ -174,9 +171,15 @@ mod tests {
         // it holds for non-skipping ones; the converse can fail exactly on
         // single-fact requirements (Remark C.3).
         let pairs = [
-            ("T(x, z) :- R(x, y), R(y, z), R(y, y).", "U(x, z) :- R(x, y), R(y, z)."),
+            (
+                "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+                "U(x, z) :- R(x, y), R(y, z).",
+            ),
             ("T(x, y) :- R(x, y).", "U(x) :- R(x, x)."),
-            ("T(x, z) :- R(x, y), R(y, z).", "U(x, z) :- R(x, y), R(y, z), R(y, y)."),
+            (
+                "T(x, z) :- R(x, y), R(y, z).",
+                "U(x, z) :- R(x, y), R(y, z), R(y, y).",
+            ),
             ("T(x, y) :- R(x, y).", "U(x) :- S(x, x)."),
         ];
         for (from_text, to_text) in pairs {

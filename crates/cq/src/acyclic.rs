@@ -160,8 +160,12 @@ mod tests {
     #[test]
     fn duplicate_edges_do_not_break_gyo() {
         let g = Hypergraph::from_edges(vec![
-            [Variable::new("x"), Variable::new("y")].into_iter().collect(),
-            [Variable::new("x"), Variable::new("y")].into_iter().collect(),
+            [Variable::new("x"), Variable::new("y")]
+                .into_iter()
+                .collect(),
+            [Variable::new("x"), Variable::new("y")]
+                .into_iter()
+                .collect(),
         ]);
         assert!(g.is_acyclic());
     }

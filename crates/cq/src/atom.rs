@@ -5,7 +5,9 @@ use std::fmt;
 use crate::intern::Symbol;
 
 /// A variable from the universe **var** (disjoint from **dom**).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Variable(Symbol);
 
 impl Variable {

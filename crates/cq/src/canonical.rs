@@ -152,9 +152,9 @@ mod tests {
         let vals: Vec<Valuation> = CanonicalValuations::new(vars.clone()).collect();
         assert_eq!(vals.len(), 5);
         // one of them maps all three to the same value
-        assert!(vals.iter().any(|v| {
-            v.get(vars[0]) == v.get(vars[1]) && v.get(vars[1]) == v.get(vars[2])
-        }));
+        assert!(vals
+            .iter()
+            .any(|v| { v.get(vars[0]) == v.get(vars[1]) && v.get(vars[1]) == v.get(vars[2]) }));
         // one of them is injective
         assert!(vals.iter().any(|v| v.is_injective()));
         // all of them are total

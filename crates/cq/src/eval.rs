@@ -263,7 +263,10 @@ mod tests {
         let fixed = Valuation::from_names([("x", "a")]);
         let vals = satisfying_valuations_with(&query, &i, &fixed, EvalOptions::default());
         assert_eq!(vals.len(), 1);
-        assert_eq!(vals[0].get(Variable::new("z")), Some(crate::Value::new("c")));
+        assert_eq!(
+            vals[0].get(Variable::new("z")),
+            Some(crate::Value::new("c"))
+        );
     }
 
     #[test]

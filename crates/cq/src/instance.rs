@@ -78,7 +78,10 @@ impl Instance {
             }
             let mut idx = vec![0usize; rel.arity];
             loop {
-                inst.insert(Fact::new(rel.name, idx.iter().map(|&i| values[i]).collect()));
+                inst.insert(Fact::new(
+                    rel.name,
+                    idx.iter().map(|&i| values[i]).collect(),
+                ));
                 // advance the odometer; stop after wrapping around
                 let mut pos = 0;
                 loop {
@@ -104,7 +107,10 @@ impl Instance {
     /// Inserts a fact. Returns `true` if the fact was not already present.
     pub fn insert(&mut self, fact: Fact) -> bool {
         if self.facts.insert(fact.clone()) {
-            self.by_relation.entry(fact.relation).or_default().push(fact);
+            self.by_relation
+                .entry(fact.relation)
+                .or_default()
+                .push(fact);
             true
         } else {
             false

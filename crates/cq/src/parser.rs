@@ -151,13 +151,7 @@ impl<'a> Parser<'a> {
         let head = self.atom()?;
         self.skip_ws();
         // accept ":-" or "<-"
-        let ok = if self.eat(b':') {
-            self.eat(b'-')
-        } else if self.eat(b'<') {
-            self.eat(b'-')
-        } else {
-            false
-        };
+        let ok = (self.eat(b':') || self.eat(b'<')) && self.eat(b'-');
         if !ok {
             return Err(self.error("expected ':-' or '<-' after the head atom"));
         }

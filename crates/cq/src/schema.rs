@@ -7,7 +7,9 @@ use crate::fact::Fact;
 use crate::intern::Symbol;
 
 /// A relation name together with its arity.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct RelationSchema {
     /// The relation name.
     pub name: Symbol,

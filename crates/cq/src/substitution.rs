@@ -12,7 +12,9 @@ use crate::query::ConjunctiveQuery;
 /// substitution is total. Substitutions are generalized to atoms and
 /// conjunctive queries in the natural way ([`Substitution::apply_atom`],
 /// [`Substitution::apply_query`]).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Substitution {
     map: BTreeMap<Variable, Variable>,
 }
@@ -79,6 +81,11 @@ impl Substitution {
     /// Number of explicit bindings.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Whether there are no explicit bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     /// Whether the substitution is (extensionally) the identity.

@@ -11,7 +11,9 @@ use crate::intern::Symbol;
 /// compare. Synthetic values (used when the decision procedures need "fresh"
 /// values that cannot clash with user data) are created with
 /// [`Value::synthetic`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Value(Symbol);
 
 impl Value {

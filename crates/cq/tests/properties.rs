@@ -72,7 +72,9 @@ fn apply_permutation(instance: &Instance, perm: &[usize]) -> Instance {
 // ----------------------------------------------------------------- properties
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Bounded and explicitly seeded: 64 deterministic cases per property so
+    // `cargo test -q` is reproducible and fast.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xC0_5EED))]
 
     /// Printing a query and parsing it back yields the same query.
     #[test]
@@ -159,9 +161,9 @@ proptest! {
         for p in &partitions {
             prop_assert_eq!(p[0], 0);
             let mut max = 0;
-            for i in 1..p.len() {
-                prop_assert!(p[i] <= max + 1);
-                max = max.max(p[i]);
+            for &class in p.iter().skip(1) {
+                prop_assert!(class <= max + 1);
+                max = max.max(class);
             }
         }
         let has_constant = partitions.iter().any(|p| p.iter().all(|&c| c == 0));

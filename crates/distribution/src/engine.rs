@@ -70,7 +70,10 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
                         scope.spawn(move || (node, evaluate(query, chunk)))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("local evaluation panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("local evaluation panicked"))
+                    .collect()
             })
         } else {
             chunks
@@ -175,10 +178,7 @@ mod tests {
         let outcome = OneRoundEngine::new(&p).evaluate(&q, &i);
         let total: usize = outcome.per_node_output.values().sum();
         assert!(total >= outcome.result.len());
-        assert!(outcome
-            .per_node_output
-            .keys()
-            .all(|n| network.contains(*n)));
+        assert!(outcome.per_node_output.keys().all(|n| network.contains(*n)));
         // sanity: broadcast gives every node the full result
         assert!(outcome
             .per_node_output

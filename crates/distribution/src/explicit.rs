@@ -188,7 +188,7 @@ mod tests {
         let network = Network::with_size(2);
         let universe = Instance::from_facts(facts3());
         let p = ExplicitPolicy::round_robin(&network, &universe);
-        let mut counts = vec![0usize; 2];
+        let mut counts = [0usize; 2];
         for f in universe.facts() {
             let nodes = p.nodes_for(f);
             assert_eq!(nodes.len(), 1);
@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(p.network().len(), 3);
         // every node misses exactly one of the listed facts
         for node in p.network().nodes() {
-            let missing = facts.iter().filter(|f| !p.nodes_for(f).contains(&node)).count();
+            let missing = facts
+                .iter()
+                .filter(|f| !p.nodes_for(f).contains(&node))
+                .count();
             assert_eq!(missing, 1);
         }
         // the full set of listed facts never meets

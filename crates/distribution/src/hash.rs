@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn modulo_scheme_is_total_and_in_range() {
-        let h = HashScheme::Modulo { buckets: 4, seed: 7 };
+        let h = HashScheme::Modulo {
+            buckets: 4,
+            seed: 7,
+        };
         for name in ["a", "b", "c", "d", "e", "0", "1", "2"] {
             let bucket = h.bucket_of(Value::new(name)).unwrap();
             assert!(bucket < 4);
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn zero_buckets_is_undefined_everywhere() {
-        let h = HashScheme::Modulo { buckets: 0, seed: 0 };
+        let h = HashScheme::Modulo {
+            buckets: 0,
+            seed: 0,
+        };
         assert_eq!(h.bucket_of(Value::new("a")), None);
     }
 

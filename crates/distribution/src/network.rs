@@ -9,7 +9,9 @@ use cq::Symbol;
 ///
 /// The paper models nodes as values from **dom**; here they are interned
 /// names, so they are `Copy` and cheap to store in sets.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Node(Symbol);
 
 impl Node {

@@ -34,7 +34,7 @@ pub trait DistributionPolicy {
     /// Whether all facts required by a set meet at some node:
     /// `⋂_{f ∈ facts} P(f) ≠ ∅`.
     fn facts_meet(&self, facts: &Instance) -> bool {
-        self.meeting_nodes(facts).map_or(false, |s| !s.is_empty())
+        self.meeting_nodes(facts).is_some_and(|s| !s.is_empty())
     }
 
     /// The nodes at which all `facts` meet, or `None` when `facts` is empty

@@ -278,12 +278,21 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_is_rejected() {
-        let r = rule(Atom::from_names("R", &["x", "y"]), vec![AddressTerm::AnyBucket]);
+        let r = rule(
+            Atom::from_names("R", &["x", "y"]),
+            vec![AddressTerm::AnyBucket],
+        );
         let err = RuleBasedPolicy::new(
             vec![r],
             vec![
-                HashScheme::Modulo { buckets: 2, seed: 0 },
-                HashScheme::Modulo { buckets: 2, seed: 1 },
+                HashScheme::Modulo {
+                    buckets: 2,
+                    seed: 0,
+                },
+                HashScheme::Modulo {
+                    buckets: 2,
+                    seed: 1,
+                },
             ],
         )
         .unwrap_err();
@@ -296,8 +305,14 @@ mod tests {
             Atom::from_names("R", &["x", "y"]),
             vec![AddressTerm::HashOfVar(Variable::new("z"))],
         );
-        let err = RuleBasedPolicy::new(vec![r], vec![HashScheme::Modulo { buckets: 2, seed: 0 }])
-            .unwrap_err();
+        let err = RuleBasedPolicy::new(
+            vec![r],
+            vec![HashScheme::Modulo {
+                buckets: 2,
+                seed: 0,
+            }],
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             RulePolicyError::UnboundAddressVariable { .. }
@@ -311,8 +326,14 @@ mod tests {
             Atom::from_names("R", &["x", "y"]),
             vec![AddressTerm::HashOfVar(Variable::new("x"))],
         );
-        let p =
-            RuleBasedPolicy::new(vec![r], vec![HashScheme::Modulo { buckets: 2, seed: 0 }]).unwrap();
+        let p = RuleBasedPolicy::new(
+            vec![r],
+            vec![HashScheme::Modulo {
+                buckets: 2,
+                seed: 0,
+            }],
+        )
+        .unwrap();
         assert_eq!(p.network().len(), 2);
 
         let f1 = Fact::from_names("R", &["a", "b"]);
@@ -337,8 +358,14 @@ mod tests {
         let p = RuleBasedPolicy::new(
             vec![r],
             vec![
-                HashScheme::Modulo { buckets: 2, seed: 0 },
-                HashScheme::Modulo { buckets: 3, seed: 1 },
+                HashScheme::Modulo {
+                    buckets: 2,
+                    seed: 0,
+                },
+                HashScheme::Modulo {
+                    buckets: 3,
+                    seed: 1,
+                },
             ],
         )
         .unwrap();
@@ -354,8 +381,14 @@ mod tests {
             Atom::from_names("R", &["x", "x"]),
             vec![AddressTerm::HashOfVar(Variable::new("x"))],
         );
-        let p =
-            RuleBasedPolicy::new(vec![r], vec![HashScheme::Modulo { buckets: 4, seed: 0 }]).unwrap();
+        let p = RuleBasedPolicy::new(
+            vec![r],
+            vec![HashScheme::Modulo {
+                buckets: 4,
+                seed: 0,
+            }],
+        )
+        .unwrap();
         assert_eq!(p.nodes_for(&Fact::from_names("R", &["a", "a"])).len(), 1);
         assert!(p.nodes_for(&Fact::from_names("R", &["a", "b"])).is_empty());
     }
@@ -396,8 +429,14 @@ mod tests {
         let p = RuleBasedPolicy::new(
             vec![r1, r2],
             vec![
-                HashScheme::Modulo { buckets: 2, seed: 0 },
-                HashScheme::Modulo { buckets: 2, seed: 1 },
+                HashScheme::Modulo {
+                    buckets: 2,
+                    seed: 0,
+                },
+                HashScheme::Modulo {
+                    buckets: 2,
+                    seed: 1,
+                },
             ],
         )
         .unwrap();
@@ -414,8 +453,14 @@ mod tests {
             Atom::from_names("R", &["x", "y"]),
             vec![AddressTerm::HashOfVar(Variable::new("x"))],
         );
-        let p =
-            RuleBasedPolicy::new(vec![r], vec![HashScheme::Modulo { buckets: 3, seed: 0 }]).unwrap();
+        let p = RuleBasedPolicy::new(
+            vec![r],
+            vec![HashScheme::Modulo {
+                buckets: 3,
+                seed: 0,
+            }],
+        )
+        .unwrap();
         let inst = Instance::from_facts([
             Fact::from_names("R", &["a", "b"]),
             Fact::from_names("R", &["b", "c"]),

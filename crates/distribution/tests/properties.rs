@@ -10,9 +10,11 @@ use proptest::prelude::*;
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     let fact = (0..6usize, 0..6usize);
     proptest::collection::vec(fact, 0..30).prop_map(|facts| {
-        Instance::from_facts(facts.into_iter().map(|(a, b)| {
-            Fact::new("R", vec![Value::indexed("d", a), Value::indexed("d", b)])
-        }))
+        Instance::from_facts(
+            facts
+                .into_iter()
+                .map(|(a, b)| Fact::new("R", vec![Value::indexed("d", a), Value::indexed("d", b)])),
+        )
     })
 }
 
@@ -30,7 +32,9 @@ fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Bounded and explicitly seeded: 48 deterministic cases per property so
+    // `cargo test -q` is reproducible and fast.
+    #![proptest_config(ProptestConfig::with_cases(48).with_rng_seed(0xD157_5EED))]
 
     /// A policy only ever assigns facts to nodes of its own network, and the
     /// distributed chunks partition-with-replication the non-skipped facts.
@@ -94,6 +98,6 @@ proptest! {
         let outcome = OneRoundEngine::new(&policy).evaluate(&q, &i);
         let total: usize = outcome.per_node_output.values().sum();
         prop_assert!(outcome.result.len() <= total || outcome.result.is_empty());
-        prop_assert!(outcome.max_node_output() <= outcome.result.len().max(0) || outcome.result.is_empty());
+        prop_assert!(outcome.max_node_output() <= outcome.result.len() || outcome.result.is_empty());
     }
 }

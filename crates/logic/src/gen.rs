@@ -83,7 +83,10 @@ mod tests {
         assert_eq!(cnf.num_vars, 5);
         assert_eq!(cnf.clauses.len(), 12);
         assert!(cnf.is_3cnf());
-        assert!(cnf.clauses.iter().all(|c| c.literals.iter().all(|l| l.var < 5)));
+        assert!(cnf
+            .clauses
+            .iter()
+            .all(|c| c.literals.iter().all(|l| l.var < 5)));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// A propositional literal: a variable index with a sign.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct Literal {
     /// The variable index (0-based).
     pub var: usize,

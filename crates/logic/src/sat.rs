@@ -130,7 +130,10 @@ mod tests {
     fn clause(lits: &[(usize, bool)]) -> Clause {
         Clause::new(
             lits.iter()
-                .map(|&(v, p)| Literal { var: v, positive: p })
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
                 .collect(),
         )
     }

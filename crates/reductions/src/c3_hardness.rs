@@ -148,7 +148,10 @@ mod tests {
         for g in [Graph::cycle(3), Graph::cycle(5), Graph::complete(3)] {
             assert!(g.is_three_colorable());
             let red = three_col_to_c3_acyclic_q(&g);
-            assert!(holds_c3(&red.from, &red.to), "C3 must hold for a 3-colorable graph");
+            assert!(
+                holds_c3(&red.from, &red.to),
+                "C3 must hold for a 3-colorable graph"
+            );
         }
     }
 

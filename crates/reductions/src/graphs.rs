@@ -29,7 +29,10 @@ impl Graph {
 
     /// Adds the undirected edge `{u, v}` (self-loops and duplicates ignored).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.vertices && v < self.vertices, "vertex out of range");
+        assert!(
+            u < self.vertices && v < self.vertices,
+            "vertex out of range"
+        );
         if u == v {
             return;
         }

@@ -80,12 +80,13 @@ fn build_query(qbf: &Pi2Qbf) -> ConjunctiveQuery {
     assert!(qbf.matrix.is_3cnf(), "the reduction expects a 3-CNF matrix");
     let head = Atom::new("H", qbf.x_vars.iter().map(|&g| pos_var(g)).collect());
 
-    let mut body = Vec::new();
     // Cons: True/False/Neg consistency atoms.
-    body.push(Atom::new("True", vec![w1()]));
-    body.push(Atom::new("False", vec![w0()]));
-    body.push(Atom::new("Neg", vec![w1(), w0()]));
-    body.push(Atom::new("Neg", vec![w0(), w1()]));
+    let mut body = vec![
+        Atom::new("True", vec![w1()]),
+        Atom::new("False", vec![w0()]),
+        Atom::new("Neg", vec![w1(), w0()]),
+        Atom::new("Neg", vec![w0(), w1()]),
+    ];
     // Cons: satisfying combinations for every clause relation.
     for j in 0..qbf.matrix.clauses.len() {
         for triple in w_plus() {
@@ -172,7 +173,10 @@ mod tests {
     fn clause(lits: &[(usize, bool)]) -> Clause {
         Clause::new(
             lits.iter()
-                .map(|&(v, p)| Literal { var: v, positive: p })
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
                 .collect(),
         )
     }

@@ -115,17 +115,17 @@ mod tests {
     fn clause(lits: &[(usize, bool)]) -> Clause {
         Clause::new(
             lits.iter()
-                .map(|&(v, p)| Literal { var: v, positive: p })
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
                 .collect(),
         )
     }
 
     #[test]
     fn reduction_shape_matches_the_paper() {
-        let cnf = Cnf::new(
-            2,
-            vec![clause(&[(0, true), (1, false), (0, false)])],
-        );
+        let cnf = Cnf::new(2, vec![clause(&[(0, true), (1, false), (0, false)])]);
         let query = sat_to_strong_minimality(&cnf);
         // head: w1, w0 plus two variables per propositional variable
         assert_eq!(query.head().arity(), 2 + 2 * 2);

@@ -124,10 +124,7 @@ fn circuit_atoms(qbf: &Pi3Qbf) -> Vec<Atom> {
 
 /// Builds the pair `(Q_ϕ, Q'_ϕ)` of Proposition C.6.
 pub fn pi3_to_transfer(qbf: &Pi3Qbf) -> Pi3Reduction {
-    assert!(
-        qbf.matrix.is_3dnf(),
-        "the reduction expects a 3-DNF matrix"
-    );
+    assert!(qbf.matrix.is_3dnf(), "the reduction expects a 3-DNF matrix");
     assert!(
         !qbf.matrix.terms.is_empty(),
         "the reduction expects at least one DNF term"
@@ -178,7 +175,10 @@ mod tests {
     fn term(lits: &[(usize, bool)]) -> Clause {
         Clause::new(
             lits.iter()
-                .map(|&(v, p)| Literal { var: v, positive: p })
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
                 .collect(),
         )
     }

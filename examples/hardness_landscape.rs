@@ -85,7 +85,7 @@ fn main() {
             sat,
             query.body_size(),
             strongly_minimal,
-            sat == !strongly_minimal
+            sat != strongly_minimal
         );
     }
 
@@ -95,7 +95,10 @@ fn main() {
         "{:>4} {:>8} {:>8} {:>12} {:>8} {:>8}",
         "#", "vertices", "edges", "3-colorable", "C3", "agree"
     );
-    for (i, (n, p)) in [(4usize, 0.5), (5, 0.5), (5, 0.9), (6, 0.4)].iter().enumerate() {
+    for (i, (n, p)) in [(4usize, 0.5), (5, 0.5), (5, 0.9), (6, 0.4)]
+        .iter()
+        .enumerate()
+    {
         let graph = Graph::random(&mut rng, *n, *p);
         let colorable = graph.is_three_colorable();
         let red = three_col_to_c3_acyclic_q(&graph);

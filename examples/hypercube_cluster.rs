@@ -88,16 +88,18 @@ fn main() {
     // The family-level statement (Corollary 5.8): the triangle query is
     // parallel-correct for every member of its own Hypercube family, and the
     // structural validation of Lemma 5.7 passes on a concrete instance.
-    let small = parse_instance(
-        "E(a, b). E(b, c). E(c, a). E(a, d). E(d, a). E(b, d). E(d, c). E(c, c).",
-    )
-    .unwrap();
+    let small =
+        parse_instance("E(a, b). E(b, c). E(c, a). E(a, d). E(d, a). E(b, d). E(d, c). E(c, c).")
+            .unwrap();
     let validation = validate_hypercube_family(&query, &small, 3);
     println!("\nLemma 5.7 validation on a small instance:");
     println!("  members checked:         {}", validation.members_checked);
     println!("  Q-generous:              {}", validation.generous);
     println!("  Q-scattered:             {}", validation.scattered);
-    println!("  self parallel-correct:   {}", validation.self_parallel_correct);
+    println!(
+        "  self parallel-correct:   {}",
+        validation.self_parallel_correct
+    );
 
     // Reusing the triangle distribution for other queries: which ones are
     // parallel-correct for the whole family?

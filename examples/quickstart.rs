@@ -43,13 +43,23 @@ fn main() {
     }
     println!("\npolicy P over network {}", policy.network());
     for fact in universe.facts() {
-        let nodes: Vec<String> = policy.nodes_for(fact).iter().map(|n| n.to_string()).collect();
+        let nodes: Vec<String> = policy
+            .nodes_for(fact)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         println!("  P({fact}) = {{{}}}", nodes.join(", "));
     }
 
     // ----------------------------------------------------- conditions C0/C1
-    println!("\ncondition (C0) holds: {}", holds_c0(&query, &policy, &universe));
-    println!("condition (C1) holds: {}", holds_c1(&query, &policy, &universe));
+    println!(
+        "\ncondition (C0) holds: {}",
+        holds_c0(&query, &policy, &universe)
+    );
+    println!(
+        "condition (C1) holds: {}",
+        holds_c1(&query, &policy, &universe)
+    );
 
     // -------------------------------------------------- parallel-correctness
     let report = check_parallel_correctness(&query, &policy);
@@ -60,10 +70,16 @@ fn main() {
     // needs R(a,b) and R(b,a) at the same node.
     let path = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
     let path_report = check_parallel_correctness(&path, &policy);
-    println!("path query parallel-correct under P: {}", path_report.is_correct());
+    println!(
+        "path query parallel-correct under P: {}",
+        path_report.is_correct()
+    );
     if let Some(violation) = &path_report.violation {
         println!("  violating minimal valuation: {}", violation.valuation);
-        println!("  counterexample instance:     {}", violation.counterexample_instance);
+        println!(
+            "  counterexample instance:     {}",
+            violation.counterexample_instance
+        );
         println!("  lost fact:                   {}", violation.lost_fact);
     }
 
@@ -80,7 +96,13 @@ fn main() {
     // ------------------------------------------------------- transferability
     // Can the distribution used for Q be reused for the path query?
     let transfer = check_transfer(&query, &path);
-    println!("\nparallel-correctness transfers from Q to the path query: {}", transfer.transfers());
+    println!(
+        "\nparallel-correctness transfers from Q to the path query: {}",
+        transfer.transfers()
+    );
     let transfer_back = check_transfer(&path, &query);
-    println!("parallel-correctness transfers from the path query to Q: {}", transfer_back.transfers());
+    println!(
+        "parallel-correctness transfers from the path query to Q: {}",
+        transfer_back.transfers()
+    );
 }

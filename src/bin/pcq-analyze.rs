@@ -107,8 +107,7 @@ fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
         let node = Node::new(head);
         // facts are separated by whitespace outside parentheses; reuse the
         // instance parser which accepts whitespace/comma/period separators.
-        let facts = cq::parse_instance(rest)
-            .map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        let facts = cq::parse_instance(rest).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
         for fact in facts.facts() {
             assignments.push((node, fact.clone()));
         }
@@ -125,7 +124,8 @@ fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
     }
     let mut policy = ExplicitPolicy::new(network).with_default(default_nodes);
     // group assignments per fact
-    let mut by_fact: std::collections::BTreeMap<Fact, Vec<Node>> = std::collections::BTreeMap::new();
+    let mut by_fact: std::collections::BTreeMap<Fact, Vec<Node>> =
+        std::collections::BTreeMap::new();
     for (node, fact) in assignments {
         by_fact.entry(fact).or_default().push(node);
     }
@@ -136,8 +136,7 @@ fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
 }
 
 fn load_policy(path: &str) -> Result<ExplicitPolicy, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_policy(&text)
 }
 
@@ -151,10 +150,7 @@ fn analyze(query: &ConjunctiveQuery) -> bool {
     println!("minimal:           {}", cq::is_minimal(query));
     let strongly = is_strongly_minimal(query);
     println!("strongly minimal:  {strongly}");
-    println!(
-        "Lemma 4.8 applies: {}",
-        pc_core::satisfies_lemma_4_8(query)
-    );
+    println!("Lemma 4.8 applies: {}", pc_core::satisfies_lemma_4_8(query));
     let min = cq::minimize(query);
     if min.core.body_size() < query.body_size() {
         println!("core:              {}", min.core);
@@ -173,7 +169,10 @@ fn parallel_correctness(query: &ConjunctiveQuery, policy: &ExplicitPolicy) -> bo
         println!("parallel-correct: NO");
         if let Some(violation) = &report.violation {
             println!("  minimal valuation:       {}", violation.valuation);
-            println!("  counterexample instance: {}", violation.counterexample_instance);
+            println!(
+                "  counterexample instance: {}",
+                violation.counterexample_instance
+            );
             println!("  lost fact:               {}", violation.lost_fact);
         }
         false
@@ -205,7 +204,10 @@ fn transfer(
     );
     if let Some(violation) = &report.violation {
         println!("  witness valuation of Q':  {}", violation.valuation);
-        println!("  facts no minimal valuation of Q covers: {}", violation.required_facts);
+        println!(
+            "  facts no minimal valuation of Q covers: {}",
+            violation.required_facts
+        );
     }
     Ok(report.transfers)
 }
@@ -243,7 +245,9 @@ mod tests {
             policy.nodes_for(&Fact::from_names("R", &["a", "b"])).len(),
             1
         );
-        assert!(policy.nodes_for(&Fact::from_names("R", &["c", "c"])).is_empty());
+        assert!(policy
+            .nodes_for(&Fact::from_names("R", &["c", "c"]))
+            .is_empty());
     }
 
     #[test]
@@ -273,10 +277,8 @@ mod tests {
     #[test]
     fn end_to_end_pc_command() {
         let query = load_query("T(x, z) :- R(x, y), R(y, z), R(x, x).").unwrap();
-        let policy = parse_policy(
-            "n0: R(a, a) R(b, a) R(b, b)\nn1: R(a, a) R(a, b) R(b, b)",
-        )
-        .unwrap();
+        let policy =
+            parse_policy("n0: R(a, a) R(b, a) R(b, b)\nn1: R(a, a) R(a, b) R(b, b)").unwrap();
         assert!(parallel_correctness(&query, &policy));
         let path = load_query("T(x, z) :- R(x, y), R(y, z).").unwrap();
         assert!(!parallel_correctness(&path, &policy));

@@ -1,0 +1,108 @@
+//! End-to-end smoke tests for the `pcq-analyze` CLI: every subcommand is
+//! exercised through a real process spawn, checking the documented exit-code
+//! contract (0 = property holds, 1 = it does not, 2 = usage/parse error).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const TRIANGLE: &str = "T(x, y, z) :- E(x, y), E(y, z), E(z, x).";
+const PATH_2: &str = "T(x, z) :- R(x, y), R(y, z).";
+const PATH_2_WITH_LOOP: &str = "T(x, z) :- R(x, y), R(y, z), R(x, x).";
+
+/// The Example 3.5 policy over domain {a, b}: parallel-correct for the
+/// query with the R(x, x) loop, not parallel-correct for the plain 2-path.
+const EXAMPLE_3_5_POLICY: &str = "n0: R(a, a) R(b, a) R(b, b)\nn1: R(a, a) R(a, b) R(b, b)\n";
+
+fn pcq_analyze(args: &[&str]) -> i32 {
+    let status = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
+        .args(args)
+        .output()
+        .expect("failed to spawn pcq-analyze");
+    status
+        .status
+        .code()
+        .expect("pcq-analyze terminated by signal")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("pcq-smoke-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("cannot write temp file");
+    path
+}
+
+#[test]
+fn analyze_accepts_a_literal_query() {
+    assert_eq!(pcq_analyze(&["analyze", PATH_2]), 0);
+}
+
+#[test]
+fn analyze_reads_a_query_from_a_file() {
+    let path = write_temp("query.cq", TRIANGLE);
+    assert_eq!(pcq_analyze(&["analyze", path.to_str().unwrap()]), 0);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn analyze_rejects_garbage_with_usage_error() {
+    assert_eq!(pcq_analyze(&["analyze", "this is not a query"]), 2);
+}
+
+#[test]
+fn missing_and_unknown_commands_are_usage_errors() {
+    assert_eq!(pcq_analyze(&[]), 2);
+    assert_eq!(pcq_analyze(&["frobnicate", PATH_2]), 2);
+    assert_eq!(pcq_analyze(&["pc", PATH_2]), 2); // missing <policy-file>
+}
+
+#[test]
+fn pc_distinguishes_correct_from_incorrect_policies() {
+    let path = write_temp("policy.txt", EXAMPLE_3_5_POLICY);
+    let policy = path.to_str().unwrap();
+    // Example 3.5 of the paper: with the R(x, x) loop every minimal
+    // valuation meets at a node, so the query is parallel-correct...
+    assert_eq!(pcq_analyze(&["pc", PATH_2_WITH_LOOP, policy]), 0);
+    // ...while the plain 2-path loses answers under the same policy.
+    assert_eq!(pcq_analyze(&["pc", PATH_2, policy]), 1);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn pc_rejects_malformed_policy_files() {
+    let path = write_temp("bad-policy.txt", "n0 R(a, b)\n");
+    assert_eq!(pcq_analyze(&["pc", PATH_2, path.to_str().unwrap()]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn transfer_holds_reflexively_and_rejects_unknown_flags() {
+    assert_eq!(pcq_analyze(&["transfer", PATH_2, PATH_2]), 0);
+    assert_eq!(pcq_analyze(&["transfer", PATH_2, PATH_2, "--bogus"]), 2);
+}
+
+#[test]
+fn transfer_strongly_minimal_fast_path_agrees() {
+    // The full 2-path is strongly minimal, so the C3 fast path applies and
+    // must agree with the general decision (exit 0 either way here).
+    assert_eq!(
+        pcq_analyze(&["transfer", PATH_2, PATH_2, "--strongly-minimal"]),
+        0
+    );
+}
+
+#[test]
+fn hypercube_family_membership_answers_both_ways() {
+    // The edge projection is parallel-correct for the triangle family...
+    assert_eq!(
+        pcq_analyze(&["hypercube", TRIANGLE, "U(x, y) :- E(x, y)."]),
+        0
+    );
+    // ...the 4-cycle is not.
+    assert_eq!(
+        pcq_analyze(&[
+            "hypercube",
+            TRIANGLE,
+            "U(x, y, z, w) :- E(x, y), E(y, z), E(z, w), E(w, x).",
+        ]),
+        1
+    );
+}

@@ -13,10 +13,22 @@ fn transfer_guarantees_reuse_of_random_policies() {
     let mut rng = StdRng::seed_from_u64(10);
     let pairs = [
         // (from, to, expected transfer)
-        ("T(x, z) :- R(x, y), R(y, z), R(y, y).", "U(x, z) :- R(x, y), R(y, z).", true),
+        (
+            "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+            "U(x, z) :- R(x, y), R(y, z).",
+            true,
+        ),
         ("T(x, y) :- R(x, y).", "U(x) :- R(x, x).", true),
-        ("T(x, z) :- R(x, y), R(y, z).", "U(x, z) :- R(x, y), R(y, z), R(y, y).", false),
-        ("T(x, y, z) :- R(x, y), R(y, z), R(z, x).", "U(x, z) :- R(x, y), R(y, z).", true),
+        (
+            "T(x, z) :- R(x, y), R(y, z).",
+            "U(x, z) :- R(x, y), R(y, z), R(y, y).",
+            false,
+        ),
+        (
+            "T(x, y, z) :- R(x, y), R(y, z), R(z, x).",
+            "U(x, z) :- R(x, y), R(y, z).",
+            true,
+        ),
     ];
     let universe = workloads::complete_binary_relation("R", &["a", "b"]);
     for (from_text, to_text, expected) in pairs {
@@ -54,9 +66,15 @@ fn transfer_guarantees_reuse_of_random_policies() {
 #[test]
 fn failed_transfers_produce_separating_policies() {
     let pairs = [
-        ("T(x, z) :- R(x, y), R(y, z).", "U(x, z) :- R(x, y), R(y, z), R(y, y)."),
+        (
+            "T(x, z) :- R(x, y), R(y, z).",
+            "U(x, z) :- R(x, y), R(y, z), R(y, y).",
+        ),
         ("T(x, y) :- R(x, y).", "U(x) :- R(x, y), S(y, x)."),
-        ("T(x, z) :- R(x, y), R(y, z), R(x, x).", "U(x, z) :- R(x, y), R(y, z)."),
+        (
+            "T(x, z) :- R(x, y), R(y, z), R(x, x).",
+            "U(x, z) :- R(x, y), R(y, z).",
+        ),
     ];
     for (from_text, to_text) in pairs {
         let from = ConjunctiveQuery::parse(from_text).unwrap();
@@ -192,6 +210,10 @@ fn strong_minimality_landscape() {
     );
     assert!(logic::dpll_satisfiable(&sat));
     assert!(!logic::dpll_satisfiable(&unsat));
-    assert!(!is_strongly_minimal(&reductions::sat_to_strong_minimality(&sat)));
-    assert!(is_strongly_minimal(&reductions::sat_to_strong_minimality(&unsat)));
+    assert!(!is_strongly_minimal(&reductions::sat_to_strong_minimality(
+        &sat
+    )));
+    assert!(is_strongly_minimal(&reductions::sat_to_strong_minimality(
+        &unsat
+    )));
 }

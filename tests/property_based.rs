@@ -35,7 +35,10 @@ fn instance_from(seed: u64, schema: &Schema, domain: usize, facts: usize) -> Ins
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Bounded and explicitly seeded: 24 deterministic cases per property
+    // (each case drives seeded StdRng workload generators below), so
+    // `cargo test -q` is reproducible and fast.
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0x9C9_5EED))]
 
     /// (C0) implies (C1) implies parallel-correctness, and the (C1)-based
     /// decision agrees with the brute-force check over all subinstances of

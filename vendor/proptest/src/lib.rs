@@ -1,0 +1,379 @@
+//! Vendored stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace ships the subset of proptest it uses: the [`Strategy`] trait
+//! with `prop_map` / `prop_shuffle`, range and tuple strategies, [`Just`],
+//! [`collection::vec`], the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the standard assertion message; it is not minimized first.
+//! * **Fully deterministic.** Each `proptest!` test derives its RNG seed
+//!   from [`test_runner::Config::rng_seed`] (fixed, overridable) and the
+//!   test's `module_path!()::name`, so `cargo test` is reproducible run to
+//!   run and machine to machine.
+//!
+//! The names and call shapes mirror proptest 1.x so the workspace can switch
+//! back to the real crate by editing one line in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner configuration and the deterministic RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Default seed mixed into every per-test RNG. Change `rng_seed` in a
+    /// test's `proptest_config` to explore a different deterministic stream.
+    pub const DEFAULT_RNG_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+    /// Mirror of `proptest::test_runner::Config` (the fields used here).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Base seed for the deterministic per-test RNG.
+        pub rng_seed: u64,
+    }
+
+    impl Config {
+        /// A config running `cases` cases with the default fixed seed.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                rng_seed: DEFAULT_RNG_SEED,
+            }
+        }
+
+        /// Overrides the base RNG seed, keeping determinism.
+        pub fn with_rng_seed(mut self, seed: u64) -> Self {
+            self.rng_seed = seed;
+            self
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config::with_cases(256)
+        }
+    }
+
+    /// Deterministic RNG driving strategy generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one property: FNV-1a over the test's full path
+        /// mixed with the config seed, so distinct tests draw distinct but
+        /// reproducible streams.
+        pub fn deterministic(test_path: &str, base_seed: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ base_seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`] trait and the combinators used by the workspace.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// just draws a value from the deterministic [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Shuffles the generated collection (Fisher-Yates).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { source: self }
+        }
+    }
+
+    /// Strategy that always produces a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_shuffle`].
+    #[derive(Clone)]
+    pub struct Shuffle<S> {
+        source: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut items = self.source.generate(rng);
+            for i in (1..items.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                items.swap(i, j);
+            }
+            items
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+// The inclusive-range helper above needs gen_range(Range<usize>) only; keep
+// the blanket impl local to strategy.rs usage.
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, with an optional
+/// formatted message. Panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the subset of the real macro's grammar the workspace uses:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comments and a `#[test]` attribute before each property are
+///     /// accepted (and the attribute is implied).
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(0..3usize, 1..5)) {
+///         prop_assert!(x < 10);
+///         prop_assert!(v.len() < 5);
+///     }
+/// }
+/// ```
+///
+/// Each property becomes a `#[test]` that replays `cases` deterministic
+/// inputs derived from the config seed and the test's path.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.rng_seed,
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Config, TestRng};
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("tests::bounds", 1);
+        let strat = (
+            0usize..4,
+            10u64..20,
+            crate::collection::vec(0usize..3, 1..6),
+        );
+        for _ in 0..200 {
+            let (a, b, v) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..20).contains(&b));
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng::deterministic("tests::shuffle", 2);
+        let strat = crate::strategy::Just((0..10usize).collect::<Vec<_>>()).prop_shuffle();
+        for _ in 0..50 {
+            let mut p = strat.generate(&mut rng);
+            p.sort_unstable();
+            assert_eq!(p, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut rng = TestRng::deterministic("tests::det", 3);
+            let strat = crate::collection::vec(0usize..100, 5..6);
+            strat.generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    crate::proptest! {
+        #![proptest_config(Config::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..5, y in 0usize..5) {
+            crate::prop_assert!(x < 5 && y < 5);
+            crate::prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Vendored stand-in for the crates.io `serde` crate.
+//!
+//! The build environment for this repository has no network access, so this
+//! crate provides just enough of serde's surface for the workspace to
+//! compile: the [`Serialize`] / [`Deserialize`] traits (with the simplified
+//! [`Serializer`] / [`Deserializer`] contracts the manual `Symbol` impls in
+//! `cq::intern` rely on) and re-exported no-op derive macros. No data
+//! format ships with it; restoring the real serde is a one-line change in
+//! the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Simplified serializer contract: the workspace only ever serializes
+/// interned strings.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, value: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Simplified deserializer contract: the workspace only ever deserializes
+/// strings (which are then re-interned).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Reads an owned string.
+    fn read_string(self) -> Result<String, Self::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_string()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StringSerializer;
+
+    impl Serializer for StringSerializer {
+        type Ok = String;
+        type Error = ();
+
+        fn serialize_str(self, value: &str) -> Result<String, ()> {
+            Ok(value.to_owned())
+        }
+    }
+
+    struct StringDeserializer(String);
+
+    impl<'de> Deserializer<'de> for StringDeserializer {
+        type Error = ();
+
+        fn read_string(self) -> Result<String, ()> {
+            Ok(self.0)
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Annotated {
+        #[serde(skip)]
+        _field: u32,
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let out = "hello".serialize(StringSerializer).unwrap();
+        assert_eq!(out, "hello");
+        let back = String::deserialize(StringDeserializer(out)).unwrap();
+        assert_eq!(back, "hello");
+    }
+}

@@ -1,0 +1,26 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no network access, and
+//! nothing in the workspace actually serializes data yet — the
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attributes on the core
+//! types only declare intent. These derives therefore expand to nothing:
+//! the annotated types compile unchanged, `#[serde(...)]` helper attributes
+//! are accepted and ignored, and no trait impls are generated. Swapping the
+//! real serde back in (root `Cargo.toml`) restores full serialization
+//! without touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the input (and `#[serde(...)]`
+/// helper attributes) and generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the input (and `#[serde(...)]`
+/// helper attributes) and generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
