@@ -1,53 +1,124 @@
-//! Ablation — the conjunctive-query evaluator: greedy join ordering versus
-//! naive source order, and core computation cost.
+//! Ablation — the conjunctive-query evaluator: cost-aware join ordering
+//! versus naive source order, index-backed candidate retrieval versus
+//! full-relation scans, and core computation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use cq::{satisfying_valuations_with, ConjunctiveQuery, EvalOptions, Valuation};
-use workloads::{chain_query, triangle_query, InstanceParams};
+use std::ops::ControlFlow;
+
+use cq::{for_each_satisfying, ConjunctiveQuery, EvalOptions, Instance, JoinOrdering, Valuation};
+use workloads::{chain_query, star_query, triangle_query, InstanceParams};
+
+/// The four query shapes of the join-ordering ablation. `two_hop` joins a
+/// large R against a small S, so source order is a genuinely bad plan.
+fn shapes() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        ("triangle", triangle_query()),
+        ("chain4", chain_query(4)),
+        ("star4", star_query(4)),
+        (
+            "two_hop",
+            ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap(),
+        ),
+    ]
+}
+
+fn instance_for(query: &ConjunctiveQuery, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    workloads::random_instance(
+        &mut rng,
+        &query.schema(),
+        InstanceParams {
+            domain_size: 20,
+            facts_per_relation: 250,
+        },
+    )
+}
+
+/// Counts satisfying valuations through the streaming API, so the benchmark
+/// times the backtracking search rather than valuation materialization.
+fn count_valuations(query: &ConjunctiveQuery, instance: &Instance, opts: EvalOptions) -> usize {
+    let mut count = 0usize;
+    let _ = for_each_satisfying(query, instance, &Valuation::new(), opts, |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    count
+}
 
 fn bench_join_ordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_ordering");
     group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(7);
-    let queries: Vec<(&str, ConjunctiveQuery)> =
-        vec![("triangle", triangle_query()), ("chain4", chain_query(4))];
-    for (name, query) in &queries {
-        let instance = workloads::random_instance(
-            &mut rng,
-            &query.schema(),
-            InstanceParams {
-                domain_size: 20,
-                facts_per_relation: 250,
-            },
-        );
+    for (name, query) in &shapes() {
+        let mut instance = instance_for(query, 7);
+        if *name == "two_hop" {
+            // shrink S so plan choice matters: a good plan starts at S
+            let small = Instance::from_facts(
+                instance
+                    .facts()
+                    .filter(|f| f.relation != cq::Symbol::new("S"))
+                    .cloned()
+                    .chain(
+                        instance
+                            .facts_of(cq::Symbol::new("S"))
+                            .iter()
+                            .take(10)
+                            .cloned(),
+                    ),
+            );
+            instance = small;
+        }
         group.bench_with_input(BenchmarkId::new("greedy", name), &instance, |b, i| {
             b.iter(|| {
-                satisfying_valuations_with(
+                count_valuations(
                     query,
                     i,
-                    &Valuation::new(),
                     EvalOptions {
-                        greedy_ordering: true,
+                        ordering: JoinOrdering::CostAware,
+                        use_indexes: true,
                     },
                 )
-                .len()
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", name), &instance, |b, i| {
             b.iter(|| {
-                satisfying_valuations_with(
+                count_valuations(
                     query,
                     i,
-                    &Valuation::new(),
                     EvalOptions {
-                        greedy_ordering: false,
+                        ordering: JoinOrdering::Naive,
+                        use_indexes: true,
                     },
                 )
-                .len()
             })
+        });
+    }
+    group.finish();
+}
+
+/// Index-backed candidate retrieval versus the seed full-relation scan, both
+/// under the default cost-aware ordering, on the large workload instances.
+fn bench_eval_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_backend");
+    group.sample_size(10);
+    for (name, query) in &shapes() {
+        let instance = instance_for(query, 11);
+        group.bench_with_input(BenchmarkId::new("indexed", name), &instance, |b, i| {
+            b.iter(|| {
+                count_valuations(
+                    query,
+                    i,
+                    EvalOptions {
+                        ordering: JoinOrdering::CostAware,
+                        use_indexes: true,
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", name), &instance, |b, i| {
+            b.iter(|| count_valuations(query, i, EvalOptions::scan_naive()))
         });
     }
     group.finish();
@@ -78,5 +149,10 @@ fn bench_minimization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_join_ordering, bench_minimization);
+criterion_group!(
+    benches,
+    bench_join_ordering,
+    bench_eval_backend,
+    bench_minimization
+);
 criterion_main!(benches);

@@ -1,10 +1,26 @@
 //! Evaluation of conjunctive queries over instances.
 //!
 //! The evaluator enumerates *satisfying valuations* by backtracking over the
-//! body atoms. Atoms are ordered greedily (most already-bound variables
-//! first, ties broken by smaller relations), which keeps the intermediate
-//! candidate sets small; the naive source order can be selected through
-//! [`EvalOptions`] for the ablation benchmark.
+//! body atoms. Two orthogonal strategy axes are exposed through
+//! [`EvalOptions`]:
+//!
+//! * **Candidate retrieval** — by default each atom with at least one bound
+//!   argument retrieves its candidate facts through the instance's secondary
+//!   hash indexes ([`Instance::posting`]), intersecting the per-position
+//!   posting lists when several arguments are bound. `use_indexes: false`
+//!   falls back to scanning the whole relation (the seed behavior, kept as
+//!   the ablation baseline and as the ground truth for property tests).
+//! * **Join ordering** — by default atoms are ordered by a cost model that
+//!   estimates each atom's candidate-set size from the index statistics
+//!   (exact posting-list lengths for variables pre-bound to known values,
+//!   average selectivity `|R| / distinct(position)` for variables bound by
+//!   earlier atoms). [`JoinOrdering::Naive`] keeps source order for the
+//!   join-ordering ablation benchmark. With `use_indexes: false` the cost
+//!   model switches to an index-free estimate (relation size discounted per
+//!   bound argument), so the scan configuration never builds indexes at all.
+//!
+//! Both strategies enumerate exactly the same valuations; only the order of
+//! the backtracking search differs.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -14,25 +30,106 @@ use crate::fact::Fact;
 use crate::instance::Instance;
 use crate::query::ConjunctiveQuery;
 use crate::valuation::Valuation;
+use crate::value::Value;
+
+/// How the evaluator orders the body atoms before the backtracking search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinOrdering {
+    /// Source order — the baseline for the join-ordering ablation.
+    Naive,
+    /// Cheapest-estimated-candidate-set-first, using index statistics.
+    #[default]
+    CostAware,
+}
 
 /// Options controlling the evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
-    /// Use the greedy most-bound-variables-first atom ordering (default).
-    /// When `false`, atoms are matched in source order — this is the
-    /// baseline for the join-ordering ablation.
-    pub greedy_ordering: bool,
+    /// Join-order selection strategy (default: cost-aware).
+    pub ordering: JoinOrdering,
+    /// Retrieve candidate facts through the secondary hash indexes
+    /// (default). When `false`, every atom scans its whole relation.
+    pub use_indexes: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
-            greedy_ordering: true,
+            ordering: JoinOrdering::CostAware,
+            use_indexes: true,
         }
     }
 }
 
+impl EvalOptions {
+    /// The seed evaluator: full-relation scans in source order.
+    pub fn scan_naive() -> EvalOptions {
+        EvalOptions {
+            ordering: JoinOrdering::Naive,
+            use_indexes: false,
+        }
+    }
+}
+
+/// Estimated number of candidate facts for `atom`, given the variables with
+/// statically known values (`known`) and the variables bound by earlier atoms
+/// to values unknown at planning time (`bound`).
+///
+/// Starts from the relation size and multiplies in one selectivity factor
+/// per bound argument position: the exact posting-list fraction when the
+/// value is known, the average `1 / distinct(position)` otherwise.
+fn estimate_candidates(
+    atom: &Atom,
+    instance: &Instance,
+    known: &Valuation,
+    bound: &BTreeSet<Variable>,
+) -> f64 {
+    let relation_size = instance.facts_of(atom.relation).len();
+    if relation_size == 0 {
+        return 0.0;
+    }
+    let n = relation_size as f64;
+    let mut estimate = n;
+    for (position, &var) in atom.args.iter().enumerate() {
+        if let Some(value) = known.get(var) {
+            estimate *= instance.count_matching(atom.relation, position, value) as f64 / n;
+        } else if bound.contains(&var) {
+            let distinct = instance.distinct_values_at(atom.relation, position);
+            if distinct > 0 {
+                estimate /= distinct as f64;
+            }
+        }
+    }
+    estimate
+}
+
+/// Index-free candidate estimate used when `use_indexes: false`: the
+/// relation size discounted by a fixed factor per bound argument. Keeping
+/// this path off the secondary indexes makes `use_indexes: false` a genuine
+/// "no indexes anywhere" mode (ordering included), so the ablation measures
+/// what it claims to.
+fn estimate_candidates_index_free(
+    atom: &Atom,
+    instance: &Instance,
+    known: &Valuation,
+    bound: &BTreeSet<Variable>,
+) -> f64 {
+    let n = instance.facts_of(atom.relation).len() as f64;
+    let bound_args = atom
+        .args
+        .iter()
+        .filter(|v| known.binds(**v) || bound.contains(v))
+        .count() as u32;
+    // assume each bound argument keeps ~1/4 of the candidates
+    n / 4f64.powi(bound_args as i32)
+}
+
 /// Computes the atom processing order.
+///
+/// Cost-aware ordering greedily picks the atom with the smallest estimated
+/// candidate set next (ties resolved in source order, so plans are
+/// deterministic and degrade to the naive order when the model has no
+/// information to distinguish atoms).
 fn atom_order(
     query: &ConjunctiveQuery,
     instance: &Instance,
@@ -40,29 +137,30 @@ fn atom_order(
     opts: EvalOptions,
 ) -> Vec<usize> {
     let n = query.body_size();
-    if !opts.greedy_ordering {
+    if opts.ordering == JoinOrdering::Naive {
         return (0..n).collect();
     }
     let mut bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
     while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let atom = &query.body()[i];
-                let bound_args = atom.args.iter().filter(|v| bound.contains(v)).count();
-                let size = instance.facts_of(atom.relation).len();
-                // more bound args is better; smaller relation is better
-                (bound_args as isize, -(size as isize))
-            })
-            .expect("remaining is non-empty");
-        order.push(best);
-        for &v in &query.body()[best].args {
-            bound.insert(v);
+        let mut best_pos = 0;
+        let mut best_cost = f64::INFINITY;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let atom = &query.body()[i];
+            let cost = if opts.use_indexes {
+                estimate_candidates(atom, instance, fixed, &bound)
+            } else {
+                estimate_candidates_index_free(atom, instance, fixed, &bound)
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best_pos = pos;
+            }
         }
-        remaining.remove(pos);
+        let best = remaining.remove(best_pos);
+        order.push(best);
+        bound.extend(query.body()[best].args.iter().copied());
     }
     order
 }
@@ -94,32 +192,109 @@ fn try_match(atom: &Atom, fact: &Fact, binding: &mut Valuation) -> Option<Vec<Va
     Some(newly_bound)
 }
 
-fn search<F>(
-    query: &ConjunctiveQuery,
-    instance: &Instance,
-    order: &[usize],
-    depth: usize,
-    binding: &mut Valuation,
-    callback: &mut F,
-) -> ControlFlow<()>
+/// The backtracking matcher: query, plan and per-depth scratch space.
+struct Matcher<'a, F> {
+    query: &'a ConjunctiveQuery,
+    instance: &'a Instance,
+    order: Vec<usize>,
+    opts: EvalOptions,
+    callback: F,
+    /// One reusable constraint buffer per search depth, so the hot path does
+    /// not allocate per visited search-tree node.
+    constraints: Vec<Vec<(usize, Value)>>,
+}
+
+impl<F> Matcher<'_, F>
 where
     F: FnMut(&Valuation) -> ControlFlow<()>,
 {
-    if depth == order.len() {
-        return callback(binding);
-    }
-    let atom = &query.body()[order[depth]];
-    // Collect candidate facts for the atom's relation and try each.
-    for fact in instance.facts_of(atom.relation) {
-        if let Some(newly_bound) = try_match(atom, fact, binding) {
-            let flow = search(query, instance, order, depth + 1, binding, callback);
-            for v in newly_bound {
-                binding.unbind(v);
-            }
-            flow?;
+    fn search(&mut self, depth: usize, binding: &mut Valuation) -> ControlFlow<()> {
+        if depth == self.order.len() {
+            return (self.callback)(binding);
         }
+        let query = self.query;
+        let atom = &query.body()[self.order[depth]];
+
+        // Collect the (position, value) constraints the current binding
+        // imposes on the atom.
+        let mut constraints = std::mem::take(&mut self.constraints[depth]);
+        constraints.clear();
+        if self.opts.use_indexes {
+            for (position, &var) in atom.args.iter().enumerate() {
+                if let Some(value) = binding.get(var) {
+                    constraints.push((position, value));
+                }
+            }
+        }
+
+        let flow = if constraints.is_empty() {
+            // Unconstrained (or index-free) atom: scan the whole relation.
+            self.try_facts_scan(atom, depth, binding)
+        } else {
+            self.try_facts_indexed(atom, &constraints, depth, binding)
+        };
+        self.constraints[depth] = constraints;
+        flow
     }
-    ControlFlow::Continue(())
+
+    fn try_facts_scan(
+        &mut self,
+        atom: &Atom,
+        depth: usize,
+        binding: &mut Valuation,
+    ) -> ControlFlow<()> {
+        let instance = self.instance;
+        for fact in instance.facts_of(atom.relation) {
+            if let Some(newly_bound) = try_match(atom, fact, binding) {
+                let flow = self.search(depth + 1, binding);
+                for v in newly_bound {
+                    binding.unbind(v);
+                }
+                flow?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Iterates the shortest posting list and skips rows absent from the
+    /// other bound positions' lists (sorted-list intersection), so only
+    /// facts agreeing with every bound argument reach `try_match`.
+    fn try_facts_indexed(
+        &mut self,
+        atom: &Atom,
+        constraints: &[(usize, Value)],
+        depth: usize,
+        binding: &mut Valuation,
+    ) -> ControlFlow<()> {
+        let instance = self.instance;
+        let facts = instance.facts_of(atom.relation);
+        let (&(pos0, val0), rest) = constraints.split_first().expect("non-empty constraints");
+        let mut shortest = instance.posting(atom.relation, pos0, val0);
+        let mut others: Vec<&[u32]> = Vec::with_capacity(rest.len());
+        for &(pos, val) in rest {
+            let posting = instance.posting(atom.relation, pos, val);
+            if posting.len() < shortest.len() {
+                others.push(shortest);
+                shortest = posting;
+            } else {
+                others.push(posting);
+            }
+        }
+        for &row in shortest {
+            if !others.iter().all(|p| p.binary_search(&row).is_ok()) {
+                continue;
+            }
+            let fact = &facts[row as usize];
+            if let Some(newly_bound) = try_match(atom, fact, binding) {
+                let flow = self.search(depth + 1, binding);
+                for v in newly_bound {
+                    binding.unbind(v);
+                }
+                flow?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
 }
 
 /// Enumerates the satisfying valuations of `query` on `instance` that extend
@@ -133,7 +308,7 @@ pub fn for_each_satisfying<F>(
     instance: &Instance,
     fixed: &Valuation,
     opts: EvalOptions,
-    mut callback: F,
+    callback: F,
 ) -> ControlFlow<()>
 where
     F: FnMut(&Valuation) -> ControlFlow<()>,
@@ -143,7 +318,16 @@ where
     let vars = query.variables();
     let mut binding = fixed.restrict(&vars);
     let order = atom_order(query, instance, &binding, opts);
-    search(query, instance, &order, 0, &mut binding, &mut callback)
+    let depth_count = order.len();
+    let mut matcher = Matcher {
+        query,
+        instance,
+        order,
+        opts,
+        callback,
+        constraints: vec![Vec::new(); depth_count],
+    };
+    matcher.search(0, &mut binding)
 }
 
 /// All satisfying valuations of `query` on `instance`.
@@ -193,6 +377,25 @@ mod tests {
 
     fn q(text: &str) -> ConjunctiveQuery {
         ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    /// The four strategy combinations the ablation axes span.
+    fn all_options() -> [EvalOptions; 4] {
+        [
+            EvalOptions {
+                ordering: JoinOrdering::CostAware,
+                use_indexes: true,
+            },
+            EvalOptions {
+                ordering: JoinOrdering::CostAware,
+                use_indexes: false,
+            },
+            EvalOptions {
+                ordering: JoinOrdering::Naive,
+                use_indexes: true,
+            },
+            EvalOptions::scan_naive(),
+        ]
     }
 
     #[test]
@@ -261,41 +464,95 @@ mod tests {
         let query = q("T(x, z) :- R(x, y), R(y, z).");
         let i = parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
         let fixed = Valuation::from_names([("x", "a")]);
-        let vals = satisfying_valuations_with(&query, &i, &fixed, EvalOptions::default());
-        assert_eq!(vals.len(), 1);
-        assert_eq!(
-            vals[0].get(Variable::new("z")),
-            Some(crate::Value::new("c"))
-        );
+        for opts in all_options() {
+            let vals = satisfying_valuations_with(&query, &i, &fixed, opts);
+            assert_eq!(vals.len(), 1);
+            assert_eq!(
+                vals[0].get(Variable::new("z")),
+                Some(crate::Value::new("c"))
+            );
+        }
     }
 
     #[test]
-    fn greedy_and_naive_orderings_agree() {
-        let query = q("T(x, w) :- R(x, y), S(y, z), R(z, w).");
+    fn all_strategies_enumerate_the_same_valuations() {
+        let queries = [
+            q("T(x, w) :- R(x, y), S(y, z), R(z, w)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T() :- R(x, y), S(y, x)."),
+        ];
         let i = parse_instance(
-            "R(a, b). R(b, c). R(c, d). R(d, a). S(b, c). S(c, d). S(d, b). S(a, a).",
+            "R(a, b). R(b, c). R(c, d). R(d, a). R(a, a). S(b, c). S(c, d). S(d, b). S(a, a).",
         )
         .unwrap();
-        let greedy = satisfying_valuations_with(
-            &query,
-            &i,
-            &Valuation::new(),
-            EvalOptions {
-                greedy_ordering: true,
-            },
-        );
-        let naive = satisfying_valuations_with(
-            &query,
-            &i,
-            &Valuation::new(),
-            EvalOptions {
-                greedy_ordering: false,
-            },
-        );
-        let g: BTreeSet<_> = greedy.into_iter().collect();
-        let n: BTreeSet<_> = naive.into_iter().collect();
-        assert_eq!(g, n);
-        assert!(!g.is_empty());
+        for query in &queries {
+            let reference: BTreeSet<_> =
+                satisfying_valuations_with(query, &i, &Valuation::new(), EvalOptions::scan_naive())
+                    .into_iter()
+                    .collect();
+            assert!(!reference.is_empty() || query.body_size() > 1);
+            for opts in all_options() {
+                let got: BTreeSet<_> =
+                    satisfying_valuations_with(query, &i, &Valuation::new(), opts)
+                        .into_iter()
+                        .collect();
+                assert_eq!(got, reference, "options {opts:?} disagree with scan/naive");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_mode_never_builds_the_secondary_indexes() {
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let i = parse_instance("R(a, b). R(b, c). S(b, c). S(c, d).").unwrap();
+        for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
+            let opts = EvalOptions {
+                ordering,
+                use_indexes: false,
+            };
+            let vals = satisfying_valuations_with(&query, &i, &Valuation::new(), opts);
+            assert!(!vals.is_empty());
+            assert!(
+                !i.indexes_built(),
+                "{ordering:?} with use_indexes: false must not touch the indexes"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_aware_order_prefers_selective_atoms() {
+        // S is tiny compared to R, so the cost model must start at S.
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let mut text = String::new();
+        for i in 0..50 {
+            text.push_str(&format!("R(a{i}, b{i}). "));
+        }
+        text.push_str("S(b0, c0).");
+        let i = parse_instance(&text).unwrap();
+        let order = super::atom_order(&query, &i, &Valuation::new(), EvalOptions::default());
+        assert_eq!(order[0], 1, "the selective S atom must be matched first");
+    }
+
+    #[test]
+    fn cost_aware_order_ties_break_to_source_order() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let i = parse_instance("R(a, b). R(b, c).").unwrap();
+        let order = super::atom_order(&query, &i, &Valuation::new(), EvalOptions::default());
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn known_fixed_values_use_exact_posting_counts() {
+        // With x pre-bound to a value that occurs once in R but S unbound,
+        // the R atom becomes cheapest even though R is larger.
+        let query = q("T(x, z) :- S(y, z), R(x, y).");
+        let i = parse_instance(
+            "R(a, b). R(c, d). R(e, f). S(b, u). S(d, u). S(f, u). S(g, u). S(h, u).",
+        )
+        .unwrap();
+        let fixed = Valuation::from_names([("x", "a")]);
+        let order = super::atom_order(&query, &i, &fixed, EvalOptions::default());
+        assert_eq!(order[0], 1, "the pre-bound R atom must be matched first");
     }
 
     #[test]

@@ -2,22 +2,80 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::fact::Fact;
-use crate::intern::Symbol;
+use crate::intern::{Symbol, SymbolMap};
 use crate::schema::Schema;
 use crate::value::Value;
 
+/// Secondary hash index for one relation: for every argument position, a map
+/// from data value to the (sorted, ascending) positions in the relation's
+/// fact vector whose tuple carries that value at that position.
+///
+/// Facts shorter than a position simply do not appear in that position's
+/// map, so mixed-arity (ill-formed) relations index safely; the evaluator
+/// re-checks arity when matching.
+#[derive(Debug, Default)]
+struct RelationIndex {
+    by_position: Vec<SymbolMap<Value, Vec<u32>>>,
+}
+
+impl RelationIndex {
+    fn build(facts: &[Fact]) -> RelationIndex {
+        let max_arity = facts.iter().map(Fact::arity).max().unwrap_or(0);
+        let mut by_position: Vec<SymbolMap<Value, Vec<u32>>> = Vec::with_capacity(max_arity);
+        by_position.resize_with(max_arity, SymbolMap::default);
+        for (row, fact) in facts.iter().enumerate() {
+            let row = u32::try_from(row).expect("relation larger than u32::MAX facts");
+            for (position, &value) in fact.values.iter().enumerate() {
+                by_position[position].entry(value).or_default().push(row);
+            }
+        }
+        RelationIndex { by_position }
+    }
+
+    fn posting(&self, position: usize, value: Value) -> &[u32] {
+        self.by_position
+            .get(position)
+            .and_then(|m| m.get(&value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn distinct_values_at(&self, position: usize) -> usize {
+        self.by_position.get(position).map_or(0, SymbolMap::len)
+    }
+}
+
 /// A database instance: a finite set of facts.
 ///
-/// Facts are kept both in a global ordered set (for deterministic iteration
-/// and set semantics) and in a per-relation vector used by the evaluation
-/// engine.
-#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
+/// Facts are kept in a global ordered set (for deterministic iteration and
+/// set semantics), in a per-relation vector used by the evaluation engine,
+/// and — built lazily on first use — in per-relation secondary hash indexes
+/// keyed by `(argument position, value)` that let the evaluator retrieve
+/// only the candidate facts matching a partially bound atom. Any mutation
+/// (`insert`, `remove`, `extend`, …) invalidates the secondary indexes; they
+/// are rebuilt in one pass on the next indexed lookup.
+#[derive(Default, serde::Serialize, serde::Deserialize)]
 pub struct Instance {
     facts: BTreeSet<Fact>,
     #[serde(skip)]
     by_relation: BTreeMap<Symbol, Vec<Fact>>,
+    #[serde(skip)]
+    indexes: OnceLock<BTreeMap<Symbol, RelationIndex>>,
+}
+
+// The secondary indexes are a caching layer: they are never cloned (the
+// clone rebuilds lazily if and when it evaluates queries).
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            facts: self.facts.clone(),
+            by_relation: self.by_relation.clone(),
+            indexes: OnceLock::new(),
+        }
+    }
 }
 
 // Equality is on the fact set only; the per-relation index is a cache whose
@@ -105,8 +163,11 @@ impl Instance {
     }
 
     /// Inserts a fact. Returns `true` if the fact was not already present.
+    ///
+    /// Invalidates the secondary indexes.
     pub fn insert(&mut self, fact: Fact) -> bool {
         if self.facts.insert(fact.clone()) {
+            self.invalidate_indexes();
             self.by_relation
                 .entry(fact.relation)
                 .or_default()
@@ -118,8 +179,11 @@ impl Instance {
     }
 
     /// Removes a fact. Returns `true` if it was present.
+    ///
+    /// Invalidates the secondary indexes.
     pub fn remove(&mut self, fact: &Fact) -> bool {
         if self.facts.remove(fact) {
+            self.invalidate_indexes();
             if let Some(v) = self.by_relation.get_mut(&fact.relation) {
                 v.retain(|f| f != fact);
             }
@@ -127,6 +191,55 @@ impl Instance {
         } else {
             false
         }
+    }
+
+    /// Drops the lazily built secondary indexes; the next indexed lookup
+    /// rebuilds them from the current fact set.
+    fn invalidate_indexes(&mut self) {
+        self.indexes = OnceLock::new();
+    }
+
+    /// The secondary indexes, building them on first use.
+    fn indexes(&self) -> &BTreeMap<Symbol, RelationIndex> {
+        self.indexes.get_or_init(|| {
+            self.by_relation
+                .iter()
+                .map(|(&rel, facts)| (rel, RelationIndex::build(facts)))
+                .collect()
+        })
+    }
+
+    /// Whether the secondary indexes are currently built (test/diagnostic
+    /// hook; lookups build them transparently).
+    pub fn indexes_built(&self) -> bool {
+        self.indexes.get().is_some()
+    }
+
+    /// The sorted positions (into [`Instance::facts_of`]) of the facts of
+    /// `relation` whose tuple has `value` at argument position `position`.
+    ///
+    /// Builds the secondary index for the instance on first use. Facts
+    /// shorter than `position` never appear in the posting list.
+    pub fn posting(&self, relation: Symbol, position: usize, value: Value) -> &[u32] {
+        self.indexes()
+            .get(&relation)
+            .map(|idx| idx.posting(position, value))
+            .unwrap_or(&[])
+    }
+
+    /// The number of facts of `relation` with `value` at `position`
+    /// (posting-list length; exact, not an estimate).
+    pub fn count_matching(&self, relation: Symbol, position: usize, value: Value) -> usize {
+        self.posting(relation, position, value).len()
+    }
+
+    /// The number of distinct values occurring at argument position
+    /// `position` of `relation`. Cost estimation uses this as the
+    /// denominator of the average selectivity `|R| / distinct`.
+    pub fn distinct_values_at(&self, relation: Symbol, position: usize) -> usize {
+        self.indexes()
+            .get(&relation)
+            .map_or(0, |idx| idx.distinct_values_at(position))
     }
 
     /// Whether the instance contains `fact`.
@@ -269,10 +382,12 @@ impl fmt::Display for Instance {
     }
 }
 
-// Deserialization drops the index, so rebuild it.
+// Deserialization drops the indexes, so rebuild them.
 impl Instance {
-    /// Rebuilds the per-relation index (needed after deserialization).
+    /// Rebuilds the per-relation fact vectors and drops the secondary
+    /// indexes (needed after deserialization).
     pub fn reindex(&mut self) {
+        self.invalidate_indexes();
         self.by_relation.clear();
         for f in self.facts.clone() {
             self.by_relation.entry(f.relation).or_default().push(f);
@@ -396,5 +511,94 @@ mod tests {
         assert_eq!(i.facts_of(Symbol::new("R")).len(), 0);
         i.reindex();
         assert_eq!(i.facts_of(Symbol::new("R")).len(), 2);
+    }
+
+    #[test]
+    fn postings_select_matching_rows() {
+        let i = sample();
+        let r = Symbol::new("R");
+        // R = [R(a,b), R(b,c)] in insertion order
+        assert_eq!(i.posting(r, 0, Value::new("a")), &[0]);
+        assert_eq!(i.posting(r, 0, Value::new("b")), &[1]);
+        assert_eq!(i.posting(r, 1, Value::new("b")), &[0]);
+        assert!(i.posting(r, 0, Value::new("z")).is_empty());
+        assert!(i.posting(r, 7, Value::new("a")).is_empty());
+        assert!(i
+            .posting(Symbol::new("Missing"), 0, Value::new("a"))
+            .is_empty());
+        assert_eq!(i.count_matching(r, 0, Value::new("a")), 1);
+        assert_eq!(i.distinct_values_at(r, 0), 2);
+        assert_eq!(i.distinct_values_at(Symbol::new("S"), 0), 1);
+    }
+
+    #[test]
+    fn insert_invalidates_the_secondary_indexes() {
+        let mut i = sample();
+        let r = Symbol::new("R");
+        assert!(!i.indexes_built());
+        assert_eq!(i.posting(r, 0, Value::new("a")).len(), 1);
+        assert!(i.indexes_built());
+
+        // a second fact with the same leading value must show up after insert
+        assert!(i.insert(Fact::from_names("R", &["a", "z"])));
+        assert!(!i.indexes_built(), "insert must drop the index cache");
+        assert_eq!(i.posting(r, 0, Value::new("a")).len(), 2);
+
+        // inserting a duplicate leaves the set — and the index — unchanged
+        assert!(!i.insert(Fact::from_names("R", &["a", "z"])));
+        assert_eq!(i.posting(r, 0, Value::new("a")).len(), 2);
+    }
+
+    #[test]
+    fn remove_invalidates_the_secondary_indexes() {
+        let mut i = sample();
+        let r = Symbol::new("R");
+        assert_eq!(i.posting(r, 0, Value::new("b")).len(), 1);
+        assert!(i.remove(&Fact::from_names("R", &["b", "c"])));
+        assert!(!i.indexes_built(), "remove must drop the index cache");
+        assert!(i.posting(r, 0, Value::new("b")).is_empty());
+        assert_eq!(i.posting(r, 0, Value::new("a")), &[0]);
+    }
+
+    #[test]
+    fn postings_intersect_to_the_matching_rows() {
+        let i = Instance::from_facts([
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("R", &["a", "c"]),
+            Fact::from_names("R", &["b", "b"]),
+        ]);
+        let r = Symbol::new("R");
+        // posting lists are sorted, so intersection by binary search works
+        let first_a = i.posting(r, 0, Value::new("a"));
+        let second_b = i.posting(r, 1, Value::new("b"));
+        assert_eq!(first_a, &[0, 1]);
+        assert_eq!(second_b, &[0, 2]);
+        let both: Vec<u32> = first_a
+            .iter()
+            .copied()
+            .filter(|row| second_b.binary_search(row).is_ok())
+            .collect();
+        assert_eq!(both, vec![0]);
+        assert_eq!(i.facts_of(r)[0], Fact::from_names("R", &["a", "b"]));
+    }
+
+    #[test]
+    fn clone_rebuilds_indexes_lazily() {
+        let i = sample();
+        let _ = i.posting(Symbol::new("R"), 0, Value::new("a"));
+        let j = i.clone();
+        assert!(!j.indexes_built());
+        assert_eq!(j.posting(Symbol::new("R"), 0, Value::new("a")), &[0]);
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn mixed_arity_relations_index_safely() {
+        let mut i = Instance::from_facts([Fact::from_names("R", &["a", "b"])]);
+        i.insert(Fact::from_names("R", &["a"]));
+        let r = Symbol::new("R");
+        // both facts carry "a" at position 0; only the binary one has position 1
+        assert_eq!(i.posting(r, 0, Value::new("a")).len(), 2);
+        assert_eq!(i.posting(r, 1, Value::new("b")).len(), 1);
     }
 }

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::OnceLock;
 
 use parking_lot::RwLock;
@@ -93,6 +94,50 @@ impl From<String> for Symbol {
     }
 }
 
+/// A fast, deterministic hasher for symbol-backed keys (`Symbol`, `Value`,
+/// `Variable` all hash through a single `u32` id).
+///
+/// The secondary indexes of [`crate::Instance`] key hash maps by data value
+/// on the evaluator's hot path; SipHash (the `std` default) is overkill for
+/// a 4-byte id, so this hasher applies one round of Fibonacci
+/// multiply-and-xor-fold instead. It is *not* DoS-resistant — use it only
+/// for keys derived from interned symbols.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SymbolHasher(u64);
+
+impl Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        // Spread entropy into the low bits used for bucket selection.
+        self.0 ^ (self.0 >> 29)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for composite keys; symbols take the write_u32 path.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u32(&mut self, id: u32) {
+        self.0 = (self.0 ^ u64::from(id)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// [`BuildHasher`] producing [`SymbolHasher`]s; plugs into `HashMap`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SymbolHashBuilder;
+
+impl BuildHasher for SymbolHashBuilder {
+    type Hasher = SymbolHasher;
+
+    fn build_hasher(&self) -> SymbolHasher {
+        SymbolHasher::default()
+    }
+}
+
+/// A hash map keyed by interned-symbol-backed types, using [`SymbolHasher`].
+pub type SymbolMap<K, V> = HashMap<K, V, SymbolHashBuilder>;
+
 impl serde::Serialize for Symbol {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_str(self.as_str())
@@ -152,6 +197,32 @@ mod tests {
         // Minimal serializer check without pulling serde_json into this crate:
         // Symbol serializes as a plain string, so we can emulate it.
         format!("{:?}", s.as_str())
+    }
+
+    #[test]
+    fn symbol_map_behaves_like_a_hash_map() {
+        let mut map: SymbolMap<Symbol, usize> = SymbolMap::default();
+        for i in 0..100 {
+            map.insert(Symbol::new(&format!("k{i}")), i);
+        }
+        assert_eq!(map.len(), 100);
+        for i in 0..100 {
+            assert_eq!(map.get(&Symbol::new(&format!("k{i}"))), Some(&i));
+        }
+        assert_eq!(map.get(&Symbol::new("absent")), None);
+    }
+
+    #[test]
+    fn symbol_hasher_distinguishes_ids() {
+        use std::hash::{BuildHasher, Hash};
+        let build = SymbolHashBuilder;
+        let a = build.hash_one(Symbol::new("a"));
+        let b = build.hash_one(Symbol::new("b"));
+        assert_ne!(a, b);
+        // hashing is deterministic
+        let mut h = SymbolHasher::default();
+        Symbol::new("a").hash(&mut h);
+        assert_eq!(h.finish(), build.hash_one(Symbol::new("a")));
     }
 
     #[test]

@@ -55,13 +55,14 @@ pub use atom::{Atom, Variable};
 pub use canonical::{all_assignments, partition_assignments, CanonicalValuations};
 pub use eval::{
     evaluate, for_each_satisfying, satisfying_valuations, satisfying_valuations_with, EvalOptions,
+    JoinOrdering,
 };
 pub use fact::Fact;
 pub use hom::{
     contained_in, equivalent, find_cover, find_homomorphism, for_each_atom_mapping, CoverProblem,
 };
 pub use instance::Instance;
-pub use intern::Symbol;
+pub use intern::{Symbol, SymbolHashBuilder, SymbolHasher, SymbolMap};
 pub use minimize::{is_minimal, minimize, Minimization};
 pub use parser::{parse_fact, parse_instance, parse_query, ParseError};
 pub use query::{ConjunctiveQuery, QueryError};

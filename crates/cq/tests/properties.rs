@@ -140,6 +140,45 @@ proptest! {
         prop_assert_eq!(result.len() <= vals.len() || vals.is_empty(), true);
     }
 
+    /// Index-backed evaluation is observationally identical to the scan
+    /// evaluator: every strategy combination (indexed/scan × cost-aware/
+    /// naive ordering) enumerates exactly the same satisfying valuations on
+    /// random queries and instances.
+    #[test]
+    fn indexed_evaluation_equals_scan_evaluation(q in query_strategy(), i in instance_strategy()) {
+        use cq::{EvalOptions, JoinOrdering, Valuation};
+        let scan: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
+            &q, &i, &Valuation::new(), EvalOptions::scan_naive(),
+        ).into_iter().collect();
+        for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
+            for use_indexes in [false, true] {
+                let opts = EvalOptions { ordering, use_indexes };
+                let got: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
+                    &q, &i, &Valuation::new(), opts,
+                ).into_iter().collect();
+                prop_assert_eq!(&got, &scan, "{:?} disagrees with scan/naive on {}", opts, i);
+            }
+        }
+    }
+
+    /// The secondary indexes stay consistent across mutation: evaluating,
+    /// inserting more facts, and evaluating again gives the same result as
+    /// evaluating a freshly built instance with the same fact set.
+    #[test]
+    fn index_invalidation_preserves_evaluation(q in query_strategy(), i in instance_strategy(), j in instance_strategy()) {
+        let mut grown = i.clone();
+        // evaluate first so grown's indexes are built, then mutate: the
+        // inserts must invalidate them or the second evaluation sees stale
+        // candidate lists
+        let _ = evaluate(&q, &grown);
+        for f in j.facts() {
+            grown.insert(f.clone());
+        }
+        let from_mutated = evaluate(&q, &grown);
+        let from_fresh = evaluate(&q, &i.union(&j));
+        prop_assert_eq!(from_mutated, from_fresh);
+    }
+
     /// Instance set algebra behaves like set algebra.
     #[test]
     fn instance_algebra(i in instance_strategy(), j in instance_strategy()) {

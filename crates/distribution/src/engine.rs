@@ -4,10 +4,18 @@
 //! paper (Section 3) proceeds as: reshuffle the input according to the
 //! policy, evaluate the query locally at every node without communication,
 //! and take the union of the local results. This module simulates that
-//! algorithm in memory, optionally evaluating the per-node chunks on OS
-//! threads, and reports communication/load statistics.
+//! algorithm in memory and reports communication/load statistics and
+//! per-node timings.
+//!
+//! Local evaluation runs either sequentially or on a **bounded worker pool**:
+//! `workers` OS threads pull node chunks from a shared queue (an atomic
+//! cursor over the chunk list), so a cluster of hundreds of simulated nodes
+//! no longer spawns hundreds of threads, and a skewed node keeps only one
+//! worker busy while the rest drain the remaining chunks.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use cq::{evaluate, ConjunctiveQuery, Instance};
 
@@ -20,8 +28,20 @@ use crate::policy::DistributionPolicy;
 pub struct OneRoundOutcome {
     /// The union of the per-node results.
     pub result: Instance,
+    /// Input chunk size at each node (the node's load).
+    pub per_node_load: BTreeMap<Node, usize>,
     /// Output size at each node.
     pub per_node_output: BTreeMap<Node, usize>,
+    /// Wall-clock time of the local evaluation at each node, so skew is
+    /// observable: a straggler shows up as a per-node time far above the
+    /// median even when loads look balanced.
+    pub per_node_time: BTreeMap<Node, Duration>,
+    /// Wall-clock time of the reshuffle (distribution) phase.
+    pub distribute_time: Duration,
+    /// Wall-clock time of the local-evaluation phase (all nodes).
+    pub local_eval_time: Duration,
+    /// Number of pool workers used for local evaluation (1 = sequential).
+    pub workers: usize,
     /// Communication/load statistics of the reshuffle phase.
     pub stats: DistributionStats,
 }
@@ -31,66 +51,135 @@ impl OneRoundOutcome {
     pub fn max_node_output(&self) -> usize {
         self.per_node_output.values().copied().max().unwrap_or(0)
     }
+
+    /// The longest per-node local evaluation time (the straggler).
+    pub fn max_node_time(&self) -> Duration {
+        self.per_node_time
+            .values()
+            .copied()
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Ratio of the slowest node's local evaluation time to the mean —
+    /// `1.0` is perfectly balanced; large values mean one node dominates the
+    /// round's makespan.
+    pub fn time_skew(&self) -> f64 {
+        if self.per_node_time.is_empty() {
+            return 1.0;
+        }
+        let total: Duration = self.per_node_time.values().sum();
+        let mean = total.as_secs_f64() / self.per_node_time.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_node_time().as_secs_f64() / mean
+        }
+    }
 }
 
 /// A simulated cluster executing the one-round algorithm for a policy.
 pub struct OneRoundEngine<'a, P: DistributionPolicy + ?Sized> {
     policy: &'a P,
-    parallel: bool,
+    workers: usize,
 }
 
 impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
     /// Creates an engine over the given policy (sequential local evaluation).
     pub fn new(policy: &'a P) -> OneRoundEngine<'a, P> {
-        OneRoundEngine {
-            policy,
-            parallel: false,
-        }
+        OneRoundEngine { policy, workers: 1 }
     }
 
-    /// Evaluates the per-node chunks on OS threads (one thread per node, in
-    /// waves), simulating the communication-free parallel step.
-    pub fn parallel(mut self, enabled: bool) -> Self {
-        self.parallel = enabled;
+    /// Sets the size of the worker pool evaluating node chunks. `1` (the
+    /// default) evaluates sequentially on the calling thread; larger values
+    /// spawn that many scoped OS threads which pull chunks from a shared
+    /// queue. The pool is bounded by the chunk count, so asking for more
+    /// workers than nodes costs nothing.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
+    }
+
+    /// Evaluates the per-node chunks on a worker pool sized to the machine's
+    /// available parallelism (`false` restores sequential evaluation).
+    pub fn parallel(self, enabled: bool) -> Self {
+        let workers = if enabled {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            1
+        };
+        self.workers(workers)
     }
 
     /// Runs the one-round algorithm for `query` on `instance`.
     pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
+        let distribute_start = Instant::now();
         let distribution = self.policy.distribute(instance);
         let stats = distribution.stats(instance);
+        let distribute_time = distribute_start.elapsed();
         let chunks: Vec<(Node, &Instance)> = distribution.chunks().collect();
 
-        let local_results: Vec<(Node, Instance)> = if self.parallel && chunks.len() > 1 {
+        let workers = self.workers.min(chunks.len()).max(1);
+        let local_start = Instant::now();
+        let local_results: Vec<(Node, Instance, Duration)> = if workers > 1 {
+            // Bounded pool: `workers` threads steal the next unclaimed chunk
+            // index from a shared atomic cursor until the queue drains.
+            let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|(node, chunk)| {
-                        let node = *node;
-                        scope.spawn(move || (node, evaluate(query, chunk)))
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(node, chunk)) = chunks.get(i) else {
+                                    break;
+                                };
+                                let start = Instant::now();
+                                let local = evaluate(query, chunk);
+                                mine.push((node, local, start.elapsed()));
+                            }
+                            mine
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("local evaluation panicked"))
+                    .flat_map(|h| h.join().expect("local evaluation panicked"))
                     .collect()
             })
         } else {
             chunks
                 .iter()
-                .map(|(node, chunk)| (*node, evaluate(query, chunk)))
+                .map(|&(node, chunk)| {
+                    let start = Instant::now();
+                    let local = evaluate(query, chunk);
+                    (node, local, start.elapsed())
+                })
                 .collect()
         };
+        let local_eval_time = local_start.elapsed();
 
         let mut result = Instance::new();
         let mut per_node_output = BTreeMap::new();
-        for (node, local) in local_results {
+        let mut per_node_time = BTreeMap::new();
+        for (node, local, took) in local_results {
             per_node_output.insert(node, local.len());
+            per_node_time.insert(node, took);
             result.extend(local.facts().cloned());
         }
+        let per_node_load = chunks
+            .iter()
+            .map(|&(node, chunk)| (node, chunk.len()))
+            .collect();
         OneRoundOutcome {
             result,
+            per_node_load,
             per_node_output,
+            per_node_time,
+            distribute_time,
+            local_eval_time,
+            workers,
             stats,
         }
     }
@@ -156,7 +245,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_execution_agree() {
+    fn worker_pool_and_sequential_execution_agree() {
         let q = ConjunctiveQuery::parse("T(x, y, z) :- E(x, y), E(y, z), E(z, x).").unwrap();
         let i = parse_instance(
             "E(a, b). E(b, c). E(c, a). E(b, d). E(d, b). E(d, d). E(c, d). E(d, a). E(a, c).",
@@ -164,9 +253,45 @@ mod tests {
         .unwrap();
         let p = HypercubePolicy::uniform(&q, 2).unwrap();
         let seq = OneRoundEngine::new(&p).evaluate(&q, &i);
-        let par = OneRoundEngine::new(&p).parallel(true).evaluate(&q, &i);
-        assert_eq!(seq.result, par.result);
-        assert_eq!(seq.per_node_output, par.per_node_output);
+        assert_eq!(seq.workers, 1);
+        for workers in [2, 3, 16] {
+            let par = OneRoundEngine::new(&p).workers(workers).evaluate(&q, &i);
+            assert_eq!(seq.result, par.result);
+            assert_eq!(seq.per_node_output, par.per_node_output);
+            assert_eq!(seq.per_node_load, par.per_node_load);
+            assert!(par.workers >= 2, "pool must actually engage");
+        }
+        let auto = OneRoundEngine::new(&p).parallel(true).evaluate(&q, &i);
+        assert_eq!(seq.result, auto.result);
+    }
+
+    #[test]
+    fn worker_pool_is_bounded_by_chunk_count() {
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c).").unwrap();
+        let network = Network::with_size(3);
+        let p = ExplicitPolicy::broadcast(&network, &i);
+        let outcome = OneRoundEngine::new(&p).workers(64).evaluate(&q, &i);
+        assert_eq!(outcome.workers, 3, "64 requested, but only 3 chunks exist");
+    }
+
+    #[test]
+    fn outcome_reports_per_node_load_and_time() {
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c). R(c, b). S(b, a).").unwrap();
+        let network = Network::with_size(3);
+        let p = ExplicitPolicy::broadcast(&network, &i);
+        for workers in [1, 2] {
+            let outcome = OneRoundEngine::new(&p).workers(workers).evaluate(&q, &i);
+            // broadcast: every node holds the full instance and full result
+            assert_eq!(outcome.per_node_load.len(), 3);
+            assert!(outcome.per_node_load.values().all(|&l| l == i.len()));
+            let nodes: Vec<_> = outcome.per_node_output.keys().collect();
+            let timed: Vec<_> = outcome.per_node_time.keys().collect();
+            assert_eq!(nodes, timed, "every node must report a timing");
+            assert!(outcome.local_eval_time >= outcome.max_node_time() / 2);
+            assert!(outcome.time_skew() >= 1.0);
+        }
     }
 
     #[test]

@@ -84,6 +84,72 @@ pub fn zipf_instance<R: Rng>(
     out
 }
 
+/// Resolves a named workload instance spec over `schema`:
+/// `random:<domain>:<facts>[:seed]` or
+/// `zipf:<domain>:<facts>:<exponent-percent>[:seed]` (e.g. `zipf:50:400:150`
+/// draws first attributes from a Zipf distribution with exponent 1.5).
+///
+/// Generation is deterministic: the default seed is 0.
+pub fn named_instance(spec: &str, schema: &Schema) -> Result<Instance, String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut parts = spec.split(':');
+    let family = parts.next().unwrap_or_default();
+    let mut numbers = Vec::new();
+    for part in parts {
+        numbers.push(
+            part.parse::<u64>()
+                .map_err(|_| format!("instance spec '{spec}': '{part}' is not a number"))?,
+        );
+    }
+    let params_from = |numbers: &[u64]| -> Result<InstanceParams, String> {
+        let &[domain, facts] = &numbers[..2] else {
+            unreachable!("caller checks arity")
+        };
+        if domain == 0 {
+            return Err(format!(
+                "instance spec '{spec}': domain size must be at least 1"
+            ));
+        }
+        Ok(InstanceParams {
+            domain_size: domain as usize,
+            facts_per_relation: facts as usize,
+        })
+    };
+    match family {
+        "random" => {
+            if !(2..=3).contains(&numbers.len()) {
+                return Err(format!(
+                    "instance spec '{spec}': expected random:<domain>:<facts>[:seed]"
+                ));
+            }
+            let params = params_from(&numbers)?;
+            let seed = numbers.get(2).copied().unwrap_or(0);
+            Ok(random_instance(&mut StdRng::seed_from_u64(seed), schema, params))
+        }
+        "zipf" => {
+            if !(3..=4).contains(&numbers.len()) {
+                return Err(format!(
+                    "instance spec '{spec}': expected zipf:<domain>:<facts>:<exponent-percent>[:seed]"
+                ));
+            }
+            let params = params_from(&numbers)?;
+            let exponent = numbers[2] as f64 / 100.0;
+            let seed = numbers.get(3).copied().unwrap_or(0);
+            Ok(zipf_instance(
+                &mut StdRng::seed_from_u64(seed),
+                schema,
+                params,
+                exponent,
+            ))
+        }
+        other => Err(format!(
+            "unknown instance family '{other}' (expected random:<domain>:<facts>[:seed] or zipf:<domain>:<facts>:<exponent-percent>[:seed])"
+        )),
+    }
+}
+
 /// The complete binary relation `name` over the given values (all pairs).
 pub fn complete_binary_relation(name: &str, values: &[&str]) -> Instance {
     let mut out = Instance::new();
@@ -146,6 +212,35 @@ mod tests {
         let inst = complete_binary_relation("R", &["a", "b", "c"]);
         assert_eq!(inst.len(), 9);
         assert!(inst.contains(&Fact::from_names("R", &["c", "a"])));
+    }
+
+    #[test]
+    fn named_instance_specs_resolve() {
+        let schema = schema();
+        let random = named_instance("random:5:20", &schema).unwrap();
+        assert!(random.is_well_formed());
+        assert!(random.adom().len() <= 5);
+        // deterministic: same spec, same instance; different seed differs
+        assert_eq!(random, named_instance("random:5:20:0", &schema).unwrap());
+        assert_ne!(random, named_instance("random:5:20:1", &schema).unwrap());
+
+        let zipf = named_instance("zipf:50:400:150", &schema).unwrap();
+        assert!(zipf.is_well_formed());
+
+        for bad in [
+            "random",
+            "random:5",
+            "random:0:20",
+            "random:5:20:1:9",
+            "zipf:5:20",
+            "random:x:20",
+            "uniform:5:20",
+        ] {
+            assert!(
+                named_instance(bad, &schema).is_err(),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

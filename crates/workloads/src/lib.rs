@@ -13,9 +13,11 @@ pub mod instances;
 pub mod policies;
 pub mod queries;
 
-pub use instances::{complete_binary_relation, random_instance, zipf_instance, InstanceParams};
+pub use instances::{
+    complete_binary_relation, named_instance, random_instance, zipf_instance, InstanceParams,
+};
 pub use policies::{random_explicit_policy, PolicyParams};
 pub use queries::{
-    chain_query, cycle_query, example_3_5_query, random_query, star_query, triangle_query,
-    QueryParams,
+    chain_query, cycle_query, example_3_5_query, named_query, random_query, star_query,
+    triangle_query, QueryParams,
 };

@@ -56,6 +56,54 @@ pub fn example_3_5_query() -> ConjunctiveQuery {
         .expect("the Example 3.5 query is well-formed")
 }
 
+/// Resolves a named workload query spec: `triangle`, `example3.5`,
+/// `chain:<len>`, `star:<rays>`, `cycle:<len>`.
+///
+/// Returns `Err` with a description of the accepted specs when `spec` names
+/// no family (callers typically fall back to parsing `spec` as a literal
+/// query or a file path).
+pub fn named_query(spec: &str) -> Result<ConjunctiveQuery, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (spec, None),
+    };
+    let parse_param = |what: &str| -> Result<usize, String> {
+        let raw = param.ok_or(format!(
+            "query spec '{name}' needs a parameter: {name}:<{what}>"
+        ))?;
+        raw.parse::<usize>()
+            .map_err(|_| format!("query spec '{spec}': '{raw}' is not a number"))
+    };
+    match name {
+        "triangle" => Ok(triangle_query()),
+        "example3.5" | "example35" => Ok(example_3_5_query()),
+        "chain" => {
+            let len = parse_param("len")?;
+            if len == 0 {
+                return Err("chain length must be at least 1".to_string());
+            }
+            Ok(chain_query(len))
+        }
+        "star" => {
+            let rays = parse_param("rays")?;
+            if rays == 0 {
+                return Err("star ray count must be at least 1".to_string());
+            }
+            Ok(star_query(rays))
+        }
+        "cycle" => {
+            let len = parse_param("len")?;
+            if len < 2 {
+                return Err("cycle length must be at least 2".to_string());
+            }
+            Ok(cycle_query(len))
+        }
+        other => Err(format!(
+            "unknown query family '{other}' (expected triangle, example3.5, chain:<len>, star:<rays> or cycle:<len>)"
+        )),
+    }
+}
+
 /// Shape parameters for random conjunctive queries.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryParams {
@@ -139,6 +187,18 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn named_query_specs_resolve() {
+        assert_eq!(named_query("triangle").unwrap(), triangle_query());
+        assert_eq!(named_query("example3.5").unwrap(), example_3_5_query());
+        assert_eq!(named_query("chain:4").unwrap(), chain_query(4));
+        assert_eq!(named_query("star:5").unwrap(), star_query(5));
+        assert_eq!(named_query("cycle:3").unwrap(), cycle_query(3));
+        for bad in ["chain", "chain:0", "chain:x", "cycle:1", "nope", "star:0"] {
+            assert!(named_query(bad).is_err(), "{bad} must be rejected");
+        }
+    }
 
     #[test]
     fn chain_queries_have_expected_shape() {

@@ -7,18 +7,30 @@
 //!   pcq-analyze pc        <query> <policy-file>
 //!   pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]
 //!   pcq-analyze hypercube <query> <query-prime>
+//!   pcq-analyze run       <query> <policy> <instance> [--workers N] [--json]
 //!
 //! ARGUMENTS:
-//!   <query>        either a file path or a literal query such as
-//!                  "T(x, z) :- R(x, y), R(y, z)."
+//!   <query>        a named workload family (triangle, example3.5,
+//!                  chain:<len>, star:<rays>, cycle:<len>), a file path, or a
+//!                  literal query such as "T(x, z) :- R(x, y), R(y, z)."
 //!   <policy-file>  a text file with one line per node:
 //!                      n0: R(a, b) R(b, c)
 //!                      n1: R(b, a)
 //!                  an optional line `default: n0 n1` assigns unlisted facts.
+//!   <policy>       hypercube:<budget>, broadcast:<nodes>,
+//!                  round-robin:<nodes>, or a policy file as above.
+//!   <instance>     random:<domain>:<facts>[:seed],
+//!                  zipf:<domain>:<facts>:<exponent-percent>[:seed], a file
+//!                  of facts, or literal facts such as "R(a, b). R(b, c)."
 //! ```
 //!
-//! Exit code 0 means the property holds, 1 means it does not, 2 means a
-//! usage or parse error.
+//! `run` reshuffles the instance under the policy and evaluates the query
+//! through the one-round engine, reporting result size, per-node load and
+//! per-node timings (`--json` for machine-readable output).
+//!
+//! Exit code 0 means the property holds (for `run`: the one-round result
+//! equals the centralized result), 1 means it does not, 2 means a usage or
+//! parse error.
 
 use std::process::ExitCode;
 
@@ -44,7 +56,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze   <query>\n  pcq-analyze pc        <query> <policy-file>\n  pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube <query> <query-prime>"
+    "usage:\n  pcq-analyze analyze   <query>\n  pcq-analyze pc        <query> <policy-file>\n  pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube <query> <query-prime>\n  pcq-analyze run       <query> <policy> <instance> [--workers N] [--json]\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -70,6 +82,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             let prime = load_query(args.get(2).ok_or("missing <query-prime>")?)?;
             Ok(hypercube(&query, &prime))
         }
+        "run" => run_one_round(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -83,6 +96,227 @@ fn load_query(arg: &str) -> Result<ConjunctiveQuery, String> {
         arg.to_string()
     };
     ConjunctiveQuery::parse(text.trim()).map_err(|e| format!("cannot parse query '{arg}': {e}"))
+}
+
+/// Resolves a `run` query spec: a named workload family first, then the
+/// file-or-literal fallback of [`load_query`].
+fn load_run_query(arg: &str) -> Result<ConjunctiveQuery, String> {
+    match workloads::named_query(arg) {
+        Ok(q) => Ok(q),
+        Err(named_err) => load_query(arg).map_err(|parse_err| {
+            format!("cannot resolve query spec '{arg}': {named_err}; {parse_err}")
+        }),
+    }
+}
+
+/// Resolves a `run` instance spec: a named generator over the query's
+/// schema, a file of facts, or literal facts.
+fn load_run_instance(arg: &str, query: &ConjunctiveQuery) -> Result<Instance, String> {
+    match workloads::named_instance(arg, &query.schema()) {
+        Ok(i) => Ok(i),
+        Err(named_err) => {
+            let text = if std::path::Path::new(arg).exists() {
+                std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
+            } else {
+                arg.to_string()
+            };
+            cq::parse_instance(text.trim()).map_err(|parse_err| {
+                format!("cannot resolve instance spec '{arg}': {named_err}; {parse_err}")
+            })
+        }
+    }
+}
+
+/// A policy resolved from a `run` policy spec. Owns whichever concrete
+/// policy the spec named, so the engine can borrow it as a trait object.
+enum RunPolicy {
+    Hypercube(HypercubePolicy),
+    Explicit(ExplicitPolicy),
+}
+
+impl RunPolicy {
+    fn as_dyn(&self) -> &dyn DistributionPolicy {
+        match self {
+            RunPolicy::Hypercube(p) => p,
+            RunPolicy::Explicit(p) => p,
+        }
+    }
+}
+
+/// Resolves a `run` policy spec: `hypercube:<budget>`, `broadcast:<nodes>`,
+/// `round-robin:<nodes>`, or a policy file.
+fn load_run_policy(
+    arg: &str,
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+) -> Result<RunPolicy, String> {
+    let named_err = match arg.split_once(':') {
+        Some(("hypercube", budget)) => {
+            let budget: usize = budget
+                .parse()
+                .map_err(|_| format!("policy spec '{arg}': '{budget}' is not a number"))?;
+            return HypercubePolicy::uniform(query, budget)
+                .map(RunPolicy::Hypercube)
+                .map_err(|e| format!("policy spec '{arg}': {e}"));
+        }
+        Some(("broadcast", nodes)) | Some(("round-robin", nodes)) => {
+            let n: usize = nodes
+                .parse()
+                .map_err(|_| format!("policy spec '{arg}': '{nodes}' is not a number"))?;
+            if n == 0 {
+                return Err(format!("policy spec '{arg}': need at least one node"));
+            }
+            let network = Network::with_size(n);
+            let policy = if arg.starts_with("broadcast") {
+                ExplicitPolicy::broadcast(&network, instance)
+            } else {
+                ExplicitPolicy::round_robin(&network, instance)
+            };
+            return Ok(RunPolicy::Explicit(policy));
+        }
+        _ => format!("'{arg}' is not hypercube:<budget>, broadcast:<nodes> or round-robin:<nodes>"),
+    };
+    if std::path::Path::new(arg).exists() {
+        load_policy(arg).map(RunPolicy::Explicit)
+    } else {
+        Err(format!(
+            "cannot resolve policy spec: {named_err}, and no such policy file exists"
+        ))
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// node and relation names are interned identifiers, but don't rely on it.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `run` subcommand: one-round evaluation of a workload triple.
+///
+/// Returns whether the one-round result equals the centralized result (the
+/// exit-code contract: 0 = equal, 1 = answers lost).
+fn run_one_round(args: &[String]) -> Result<bool, String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut workers = 1usize;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workers" => {
+                let value = iter.next().ok_or("--workers needs a number")?;
+                workers = value
+                    .parse()
+                    .map_err(|_| format!("--workers: '{value}' is not a number"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            _ => positional.push(arg),
+        }
+    }
+    let [query_spec, policy_spec, instance_spec] = positional[..] else {
+        return Err("run needs <query> <policy> <instance>".to_string());
+    };
+
+    let query = load_run_query(query_spec)?;
+    let instance = load_run_instance(instance_spec, &query)?;
+    let policy = load_run_policy(policy_spec, &query, &instance)?;
+
+    let engine = OneRoundEngine::new(policy.as_dyn()).workers(workers);
+    // `total` covers only the one-round run; the centralized evaluation
+    // below is a correctness check, not part of the round being measured.
+    let total_start = std::time::Instant::now();
+    let outcome = engine.evaluate(&query, &instance);
+    let total = total_start.elapsed();
+    let correct = outcome.result == cq::evaluate(&query, &instance);
+
+    if json {
+        let per_node: Vec<String> = outcome
+            .per_node_output
+            .keys()
+            .map(|node| {
+                format!(
+                    r#"{{"node":"{}","load":{},"output":{},"time_us":{}}}"#,
+                    json_escape(node.as_str()),
+                    outcome.per_node_load.get(node).copied().unwrap_or(0),
+                    outcome.per_node_output.get(node).copied().unwrap_or(0),
+                    outcome
+                        .per_node_time
+                        .get(node)
+                        .copied()
+                        .unwrap_or_default()
+                        .as_micros()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"query\":\"{}\",\"policy\":\"{}\",\"instance\":\"{}\",\"instance_facts\":{},\"workers\":{},\"result_size\":{},\"parallel_correct\":{},\"stats\":{{\"nodes\":{},\"total_assigned\":{},\"distinct_assigned\":{},\"max_load\":{},\"skipped\":{},\"replication_factor\":{:.4}}},\"timings_us\":{{\"distribute\":{},\"local_eval\":{},\"total\":{}}},\"per_node\":[{}]}}",
+            json_escape(&query.to_string()),
+            json_escape(policy_spec),
+            json_escape(instance_spec),
+            instance.len(),
+            outcome.workers,
+            outcome.result.len(),
+            correct,
+            outcome.stats.nodes,
+            outcome.stats.total_assigned,
+            outcome.stats.distinct_assigned,
+            outcome.stats.max_load,
+            outcome.stats.skipped,
+            outcome.stats.replication_factor,
+            outcome.distribute_time.as_micros(),
+            outcome.local_eval_time.as_micros(),
+            total.as_micros(),
+            per_node.join(",")
+        );
+    } else {
+        println!("query:       {query}");
+        println!("policy:      {policy_spec}");
+        println!("instance:    {instance_spec} ({} facts)", instance.len());
+        println!("workers:     {}", outcome.workers);
+        println!("result size: {}", outcome.result.len());
+        println!(
+            "correct:     {}",
+            if correct {
+                "yes"
+            } else {
+                "NO (one-round result differs from centralized)"
+            }
+        );
+        println!("distribution: {}", outcome.stats);
+        println!(
+            "timings:     distribute={}µs local_eval={}µs total={}µs skew={:.2}",
+            outcome.distribute_time.as_micros(),
+            outcome.local_eval_time.as_micros(),
+            total.as_micros(),
+            outcome.time_skew()
+        );
+        for (node, output) in &outcome.per_node_output {
+            println!(
+                "  {node}: load={} output={} time={}µs",
+                outcome.per_node_load.get(node).copied().unwrap_or(0),
+                output,
+                outcome
+                    .per_node_time
+                    .get(node)
+                    .copied()
+                    .unwrap_or_default()
+                    .as_micros()
+            );
+        }
+    }
+    Ok(correct)
 }
 
 /// Parses the policy-file format described in the module documentation.

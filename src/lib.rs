@@ -47,8 +47,8 @@ pub use workloads;
 /// into scope.
 pub mod prelude {
     pub use cq::{
-        evaluate, parse_instance, Atom, ConjunctiveQuery, Fact, Instance, Schema, Substitution,
-        Symbol, Valuation, Value, Variable,
+        evaluate, parse_instance, Atom, ConjunctiveQuery, EvalOptions, Fact, Instance,
+        JoinOrdering, Schema, Substitution, Symbol, Valuation, Value, Variable,
     };
     pub use distribution::{
         DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily, HypercubePolicy,
@@ -61,7 +61,7 @@ pub mod prelude {
         is_strongly_minimal, validate_hypercube_family, PcReport, TransferReport,
     };
     pub use workloads::{
-        chain_query, example_3_5_query, random_instance, random_query, triangle_query,
-        InstanceParams, QueryParams,
+        chain_query, example_3_5_query, named_instance, named_query, random_instance, random_query,
+        star_query, triangle_query, zipf_instance, InstanceParams, QueryParams,
     };
 }

@@ -14,14 +14,19 @@ const PATH_2_WITH_LOOP: &str = "T(x, z) :- R(x, y), R(y, z), R(x, x).";
 const EXAMPLE_3_5_POLICY: &str = "n0: R(a, a) R(b, a) R(b, b)\nn1: R(a, a) R(a, b) R(b, b)\n";
 
 fn pcq_analyze(args: &[&str]) -> i32 {
-    let status = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
+    pcq_analyze_output(args).0
+}
+
+fn pcq_analyze_output(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
         .args(args)
         .output()
         .expect("failed to spawn pcq-analyze");
-    status
+    let code = output
         .status
         .code()
-        .expect("pcq-analyze terminated by signal")
+        .expect("pcq-analyze terminated by signal");
+    (code, String::from_utf8_lossy(&output.stdout).into_owned())
 }
 
 fn write_temp(name: &str, contents: &str) -> PathBuf {
@@ -87,6 +92,122 @@ fn transfer_strongly_minimal_fast_path_agrees() {
         pcq_analyze(&["transfer", PATH_2, PATH_2, "--strongly-minimal"]),
         0
     );
+}
+
+#[test]
+fn run_hypercube_is_correct_and_reports_the_round() {
+    let (code, stdout) = pcq_analyze_output(&["run", "chain:2", "hypercube:4", "random:10:60"]);
+    assert_eq!(code, 0, "hypercube one-round must match centralized");
+    assert!(stdout.contains("result size:"));
+    assert!(stdout.contains("correct:     yes"));
+    assert!(stdout.contains("load="));
+}
+
+#[test]
+fn run_round_robin_loses_answers_and_exits_one() {
+    // round-robin splits joining facts across nodes, so answers are lost
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "round-robin:4",
+        "R(a, b). R(b, c). R(c, d). R(d, e).",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("NO"));
+}
+
+#[test]
+fn run_json_output_is_a_single_json_object() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "triangle",
+        "hypercube:8",
+        "random:8:40",
+        "--workers",
+        "3",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let line = stdout.trim();
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not JSON: {line}"
+    );
+    assert_eq!(
+        line.lines().count(),
+        1,
+        "--json must print exactly one line"
+    );
+    for key in [
+        "\"query\":",
+        "\"result_size\":",
+        "\"parallel_correct\":true",
+        "\"stats\":",
+        "\"per_node\":[",
+        "\"timings_us\":",
+        "\"load\":",
+        "\"time_us\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}
+
+#[test]
+fn run_rejects_bad_specs_and_flags_with_usage_errors() {
+    // missing positional arguments
+    assert_eq!(pcq_analyze(&["run", "chain:2", "hypercube:4"]), 2);
+    // unknown families
+    assert_eq!(
+        pcq_analyze(&["run", "nope:3", "hypercube:4", "random:5:10"]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&["run", "chain:2", "bogus:4", "random:5:10"]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&["run", "chain:2", "hypercube:4", "uniform:5:10"]),
+        2
+    );
+    // malformed flags
+    assert_eq!(
+        pcq_analyze(&["run", "chain:2", "hypercube:4", "random:5:10", "--workers"]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:4",
+            "random:5:10",
+            "--workers",
+            "0"
+        ]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:4",
+            "random:5:10",
+            "--frobnicate"
+        ]),
+        2
+    );
+}
+
+#[test]
+fn run_accepts_policy_files_and_literal_instances() {
+    let path = write_temp("run-policy.txt", EXAMPLE_3_5_POLICY);
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        PATH_2_WITH_LOOP,
+        path.to_str().unwrap(),
+        "R(a, a). R(a, b). R(b, b).",
+    ]);
+    assert_eq!(code, 0, "Example 3.5 policy is parallel-correct: {stdout}");
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]

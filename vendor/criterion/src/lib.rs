@@ -11,12 +11,25 @@
 //! wall-clock time per iteration — enough to compare orders of magnitude
 //! and to keep `cargo bench` fast, while preserving source compatibility
 //! with the real crate.
+//!
+//! ## Trajectory file
+//!
+//! In addition to printing, every measurement is recorded in a process-wide
+//! registry; [`criterion_main!`] flushes the registry on exit by appending
+//! one JSON line to a trajectory file (`BENCH_results.json` in the working
+//! directory, overridable through the `PCQ_BENCH_RESULTS` environment
+//! variable). Each line is a self-contained run record
+//! `{"bench": …, "unix_ms": …, "results": [{"id": …, "mean_ns": …}, …]}`,
+//! so appending across runs yields a machine-readable performance
+//! trajectory that CI can archive and diff.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Number of timed iterations per benchmark (after one warm-up call).
 const ITERATIONS: u32 = 10;
@@ -171,6 +184,106 @@ fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, mut f: F) {
         "bench {full:<60} {:>12.3} µs/iter",
         bencher.mean.as_secs_f64() * 1e6
     );
+    results().lock().unwrap().push(BenchRecord {
+        id: full,
+        mean_ns: bencher.mean.as_nanos(),
+    });
+}
+
+/// One measured benchmark: its full id (`group/function/param`) and the
+/// mean wall-clock time per iteration in nanoseconds.
+struct BenchRecord {
+    id: String,
+    mean_ns: u128,
+}
+
+fn results() -> &'static Mutex<Vec<BenchRecord>> {
+    static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Default trajectory file name, relative to the working directory of the
+/// bench process (for `cargo bench` that is the bench crate's root).
+pub const DEFAULT_TRAJECTORY_FILE: &str = "BENCH_results.json";
+
+/// Environment variable overriding the trajectory file path.
+pub const TRAJECTORY_PATH_ENV: &str = "PCQ_BENCH_RESULTS";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_run_record(bench: &str, unix_ms: u128, records: &[BenchRecord]) -> String {
+    let results: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"id":"{}","mean_ns":{}}}"#,
+                json_escape(&r.id),
+                r.mean_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"{}\",\"unix_ms\":{},\"results\":[{}]}}",
+        json_escape(bench),
+        unix_ms,
+        results.join(",")
+    )
+}
+
+/// The bench-binary name: the executable's file stem with cargo's trailing
+/// `-<hash>` disambiguator stripped (e.g. `cq_eval-687d…` → `cq_eval`).
+fn bench_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, suffix))
+            if !suffix.is_empty() && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Appends the recorded measurements of this process to the trajectory file
+/// and clears the registry. Called by [`criterion_main!`] after all groups
+/// have run; a no-op when nothing was measured. Failures to write are
+/// reported on stderr but never fail the bench run.
+pub fn flush_results_to_trajectory() {
+    let records: Vec<BenchRecord> = std::mem::take(&mut *results().lock().unwrap());
+    if records.is_empty() {
+        return;
+    }
+    let path =
+        std::env::var(TRAJECTORY_PATH_ENV).unwrap_or_else(|_| DEFAULT_TRAJECTORY_FILE.to_string());
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let line = render_run_record(&bench_name(), unix_ms, &records);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match written {
+        Ok(()) => println!("bench trajectory appended to {path}"),
+        Err(e) => eprintln!("warning: cannot append bench trajectory to {path}: {e}"),
+    }
 }
 
 /// Bundles benchmark functions into a runnable group function.
@@ -190,12 +303,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` for a `harness = false` bench target.
+/// Generates `main` for a `harness = false` bench target. After all groups
+/// have run, appends the measurements to the trajectory file (see the
+/// crate-level documentation).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_results_to_trajectory();
         }
     };
 }
@@ -230,5 +346,61 @@ mod tests {
     #[test]
     fn macro_generated_group_runs() {
         test_group();
+    }
+
+    #[test]
+    fn run_records_render_as_one_json_line() {
+        let records = vec![
+            BenchRecord {
+                id: "g/a".to_string(),
+                mean_ns: 1500,
+            },
+            BenchRecord {
+                id: "g/b\"quoted\"".to_string(),
+                mean_ns: 0,
+            },
+        ];
+        let line = render_run_record("cq_eval", 42, &records);
+        assert_eq!(
+            line,
+            r#"{"bench":"cq_eval","unix_ms":42,"results":[{"id":"g/a","mean_ns":1500},{"id":"g/b\"quoted\"","mean_ns":0}]}"#
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn bench_name_strips_cargo_hash_suffix() {
+        // bench_name() reads argv0 of the test binary, which cargo names
+        // `criterion-<hex>`; the suffix must be stripped.
+        assert_eq!(bench_name(), "criterion");
+    }
+
+    #[test]
+    fn flushing_appends_to_the_trajectory_file() {
+        let dir = std::env::temp_dir().join(format!("criterion-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        for run in 0..2 {
+            let line = render_run_record(
+                "demo",
+                run,
+                &[BenchRecord {
+                    id: "g/x".to_string(),
+                    mean_ns: 7,
+                }],
+            );
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "{line}").unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2, "one JSON record per run");
+        assert!(content
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
