@@ -1,0 +1,190 @@
+//! Multi-round evaluation and the reshuffle-path ablation: materialized
+//! versus parallel versus streaming distribute, and the iterated
+//! (transitive-closure) engine end to end.
+//!
+//! Besides timings, the bench prints the `peak_chunks` allocation proxy of
+//! the streaming versus materialized engine paths (owned chunks alive at
+//! once) and asserts that streaming keeps it bounded by the worker-pool
+//! size rather than the network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cq::{ConjunctiveQuery, Fact, Instance, Value};
+use distribution::{
+    DistributionPolicy, HypercubePolicy, MultiRoundEngine, OneRoundEngine, RoundSchedule,
+};
+use workloads::InstanceParams;
+
+fn square_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap()
+}
+
+/// A chain with extra random chords: enough structure for several squaring
+/// rounds, enough facts for the reshuffle phase to be measurable.
+fn closure_instance(vertices: usize, extra: usize) -> Instance {
+    let mut out = Instance::new();
+    for i in 0..vertices - 1 {
+        out.insert(Fact::new(
+            "R",
+            vec![Value::indexed("v", i), Value::indexed("v", i + 1)],
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    let sample = workloads::random_instance(
+        &mut rng,
+        &square_query().schema(),
+        InstanceParams {
+            domain_size: vertices,
+            facts_per_relation: extra,
+        },
+    );
+    out.extend(sample.facts().cloned());
+    out
+}
+
+/// How many threads the machine actually has: the parallel-reshuffle bench
+/// compares against this pool size, so a single-core CI box degenerates to
+/// the sequential path instead of paying for useless thread spawns.
+fn machine_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn bench_distribute_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribute");
+    group.sample_size(10);
+    let q = square_query();
+    let instance = closure_instance(40, 1500);
+    let workers = machine_workers();
+    for buckets in [4usize, 8] {
+        let policy = HypercubePolicy::uniform(&q, buckets).unwrap();
+        let name = format!("hypercube{buckets}");
+        group.bench_with_input(
+            BenchmarkId::new("materialized", &name),
+            &instance,
+            |b, i| b.iter(|| policy.distribute(i).stats(i).total_assigned),
+        );
+        group.bench_with_input(BenchmarkId::new("parallel", &name), &instance, |b, i| {
+            b.iter(|| {
+                policy
+                    .distribute_parallel(i, workers)
+                    .stats(i)
+                    .total_assigned
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", &name), &instance, |b, i| {
+            b.iter(|| policy.distribute_stream(i, 1).stats(i).total_assigned)
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_round_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_round_path");
+    group.sample_size(10);
+    let q = square_query();
+    let instance = closure_instance(30, 600);
+    let policy = HypercubePolicy::uniform(&q, 4).unwrap();
+    let workers = machine_workers().max(2);
+
+    group.bench_with_input(
+        BenchmarkId::new("materialized", "hypercube4"),
+        &instance,
+        |b, i| {
+            b.iter(|| {
+                OneRoundEngine::new(&policy)
+                    .workers(workers)
+                    .evaluate(&q, i)
+                    .result
+                    .len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("streaming", "hypercube4"),
+        &instance,
+        |b, i| {
+            b.iter(|| {
+                OneRoundEngine::new(&policy)
+                    .workers(workers)
+                    .streaming(true)
+                    .evaluate(&q, i)
+                    .result
+                    .len()
+            })
+        },
+    );
+    group.finish();
+
+    // The allocation proxy: streaming must keep at most one owned chunk per
+    // worker alive, materialized holds one per node.
+    let materialized = OneRoundEngine::new(&policy)
+        .workers(workers)
+        .evaluate(&q, &instance);
+    let streamed = OneRoundEngine::new(&policy)
+        .workers(workers)
+        .streaming(true)
+        .evaluate(&q, &instance);
+    assert_eq!(materialized.result, streamed.result);
+    assert!(
+        streamed.peak_chunks <= workers,
+        "streaming peak {} > workers {}",
+        streamed.peak_chunks,
+        workers
+    );
+    assert_eq!(materialized.peak_chunks, materialized.stats.nodes);
+    println!(
+        "peak_chunks (allocation proxy): materialized={} streaming={} (nodes={}, workers={})",
+        materialized.peak_chunks, streamed.peak_chunks, materialized.stats.nodes, workers
+    );
+}
+
+fn bench_multi_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiround");
+    group.sample_size(10);
+    let q = square_query();
+    let instance = closure_instance(48, 0); // pure chain: log-many rounds
+    let policy = HypercubePolicy::uniform(&q, 2).unwrap();
+    let workers = machine_workers();
+
+    group.bench_with_input(
+        BenchmarkId::new("closure", "hypercube2"),
+        &instance,
+        |b, i| {
+            b.iter(|| {
+                let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                    .rounds(12)
+                    .feedback_into("R")
+                    .evaluate(&q, i);
+                assert!(outcome.converged);
+                outcome.result.len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("closure_streaming", "hypercube2"),
+        &instance,
+        |b, i| {
+            b.iter(|| {
+                let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                    .rounds(12)
+                    .feedback_into("R")
+                    .streaming(true)
+                    .workers(workers)
+                    .evaluate(&q, i);
+                assert!(outcome.converged);
+                outcome.result.len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distribute_modes,
+    bench_one_round_paths,
+    bench_multi_round
+);
+criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Deciding parallel-correctness (Section 3 of the paper).
+//! Deciding parallel-correctness (Section 3 of the paper), and its
+//! multi-round extension: comparing an iterated distributed run against the
+//! global fixpoint of the iterated query.
 
 use cq::{evaluate, ConjunctiveQuery, Instance};
-use distribution::{DistributionPolicy, FinitePolicy, OneRoundEngine};
+use distribution::{
+    DistributionPolicy, FinitePolicy, MultiRoundEngine, MultiRoundOutcome, OneRoundEngine,
+};
 
 use crate::conditions::{c1_violation, C1Violation};
 
@@ -73,6 +77,72 @@ pub fn check_parallel_correctness_on_instance<P: DistributionPolicy + ?Sized>(
         distributed,
         missing,
     }
+}
+
+/// The result of a multi-round correctness check on one instance.
+#[derive(Clone, Debug)]
+pub struct MultiRoundInstanceReport {
+    /// Whether the distributed multi-round result equals the global
+    /// fixpoint of the centralized iterated query.
+    pub correct: bool,
+    /// The centralized global fixpoint `Q^∞(I)` (all rounds' outputs).
+    pub expected: Instance,
+    /// The full distributed multi-round outcome (capped at the engine's
+    /// round limit).
+    pub outcome: MultiRoundOutcome,
+    /// Facts of the global fixpoint missing from the distributed result —
+    /// non-empty when a round's policy loses answers *or* when the round
+    /// cap stopped the run before its fixpoint.
+    pub missing: Instance,
+    /// Rounds the centralized reference needed to reach its fixpoint.
+    pub reference_rounds: usize,
+}
+
+impl MultiRoundInstanceReport {
+    /// Whether the multi-round evaluation is correct on the instance.
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+
+    /// Judges an already-computed distributed `outcome` against the global
+    /// fixpoint of the centralized iterated query — the comparison behind
+    /// [`multi_round_correct_on`], exposed separately so callers that need
+    /// to time or instrument the distributed run can evaluate it themselves
+    /// without re-implementing the verdict.
+    pub fn from_outcome(
+        query: &ConjunctiveQuery,
+        engine: &MultiRoundEngine<'_>,
+        instance: &Instance,
+        outcome: MultiRoundOutcome,
+    ) -> MultiRoundInstanceReport {
+        let reference = engine.reference_fixpoint(query, instance);
+        let missing = reference.result.difference(&outcome.result);
+        MultiRoundInstanceReport {
+            correct: missing.is_empty() && reference.result.contains_all(&outcome.result),
+            expected: reference.result,
+            outcome,
+            missing,
+            reference_rounds: reference.rounds,
+        }
+    }
+}
+
+/// Decides multi-round parallel-correctness *on a given instance*: runs the
+/// engine's distribute→evaluate cycles and compares the accumulated result
+/// against the **global fixpoint** of the centralized iterated query (same
+/// carry/feedback semantics, no round cap — guaranteed to terminate because
+/// conjunctive queries cannot invent new data values).
+///
+/// This is the multi-round analogue of Definition 3.1: correctness now
+/// requires both that no round's reshuffle loses answers *and* that the
+/// round cap suffices to reach the fixpoint.
+pub fn multi_round_correct_on(
+    query: &ConjunctiveQuery,
+    engine: &MultiRoundEngine<'_>,
+    instance: &Instance,
+) -> MultiRoundInstanceReport {
+    let outcome = engine.evaluate(query, instance);
+    MultiRoundInstanceReport::from_outcome(query, engine, instance, outcome)
 }
 
 /// Decides parallel-correctness of `query` under a finite policy for **all**
@@ -308,5 +378,58 @@ mod tests {
             policy.assign(fact.clone(), [Node::numbered(0)]);
         }
         assert!(check_parallel_correctness(&query, &policy).is_correct());
+    }
+
+    #[test]
+    fn multi_round_hypercube_closure_matches_the_global_fixpoint() {
+        // Hypercube policies are parallel-correct for their query on every
+        // instance, so each round preserves the centralized semantics and
+        // the iterated run must reach the exact global fixpoint.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let instance =
+            parse_instance("R(a, b). R(b, c). R(c, d). R(d, e). R(e, f). R(b, a).").unwrap();
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+        let engine = MultiRoundEngine::new(distribution::RoundSchedule::repeat(&policy))
+            .rounds(16)
+            .feedback_into("R");
+        let report = multi_round_correct_on(&query, &engine, &instance);
+        assert!(report.is_correct(), "missing: {}", report.missing);
+        assert!(report.outcome.converged);
+        assert!(report.missing.is_empty());
+        assert_eq!(report.outcome.rounds_run(), report.reference_rounds);
+        assert_eq!(report.outcome.result, report.expected);
+    }
+
+    #[test]
+    fn round_capped_multi_round_run_is_reported_incorrect() {
+        // Two rounds of squaring cannot close a 8-edge chain, so the capped
+        // distributed run falls short of the global fixpoint.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let text: String = (0..8).map(|i| format!("R(v{i}, v{}).", i + 1)).collect();
+        let instance = parse_instance(&text).unwrap();
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+        let engine = MultiRoundEngine::new(distribution::RoundSchedule::repeat(&policy))
+            .rounds(2)
+            .feedback_into("R");
+        let report = multi_round_correct_on(&query, &engine, &instance);
+        assert!(!report.is_correct());
+        assert!(!report.outcome.converged);
+        assert!(!report.missing.is_empty());
+        assert!(report.expected.contains_all(&report.outcome.result));
+    }
+
+    #[test]
+    fn answer_losing_policy_is_caught_by_the_multi_round_check() {
+        // Round-robin splits the joining facts, so even with a generous
+        // round cap the distributed run misses fixpoint facts.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let instance = parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
+        let policy = ExplicitPolicy::round_robin(&Network::with_size(3), &instance);
+        let engine = MultiRoundEngine::new(distribution::RoundSchedule::repeat(&policy))
+            .rounds(8)
+            .feedback_into("R");
+        let report = multi_round_correct_on(&query, &engine, &instance);
+        assert!(!report.is_correct());
+        assert!(!report.missing.is_empty());
     }
 }

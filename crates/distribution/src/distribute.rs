@@ -1,4 +1,6 @@
-//! Results of distributing an instance over a network.
+//! Results of distributing an instance over a network: the fully
+//! materialized [`Distribution`] and the borrowed, streaming
+//! [`ChunkStream`].
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -6,6 +8,7 @@ use std::fmt;
 use cq::{Fact, Instance};
 
 use crate::network::{Network, Node};
+use crate::policy::DistributionPolicy;
 
 /// The result of reshuffling an instance under a policy: `dist_P(I)`, the
 /// mapping from nodes to their data chunks.
@@ -66,6 +69,156 @@ impl Distribution {
             .count();
         DistributionStats {
             nodes: self.chunks.len(),
+            total_assigned,
+            distinct_assigned,
+            max_load,
+            skipped,
+            replication_factor: if distinct_assigned == 0 {
+                0.0
+            } else {
+                total_assigned as f64 / distinct_assigned as f64
+            },
+        }
+    }
+}
+
+/// The result of reshuffling an instance under a policy **without**
+/// materializing per-node [`Instance`] chunks: every node maps to a vector
+/// of facts *borrowed* from the original instance.
+///
+/// A materialized [`Distribution`] clones every fact once per receiving
+/// node, so its peak memory scales with `nodes × facts` (broadcast being the
+/// worst case). A `ChunkStream` stores only references; an owned chunk for a
+/// node is built on demand by [`ChunkStream::for_node_lazy`] and can be
+/// dropped as soon as the node's local evaluation finishes, so with a
+/// bounded worker pool the peak number of owned chunks is the pool size, not
+/// the network size.
+#[derive(Clone, Debug)]
+pub struct ChunkStream<'a> {
+    assignments: BTreeMap<Node, Vec<&'a Fact>>,
+}
+
+impl<'a> ChunkStream<'a> {
+    /// Reshuffles `instance` under `policy`, recording borrowed per-node
+    /// fact slices. With `workers > 1` the `nodes_for` calls are sharded
+    /// over that many scoped threads (bounded by the fact count); the result
+    /// is identical to the sequential build because a single shard loop
+    /// processes contiguous subranges of the instance's deterministic fact
+    /// order and shards are merged in shard order (the one-shard case skips
+    /// the thread spawn).
+    pub fn build<P: DistributionPolicy + ?Sized>(
+        policy: &P,
+        instance: &'a Instance,
+        workers: usize,
+    ) -> ChunkStream<'a> {
+        let mut assignments: BTreeMap<Node, Vec<&'a Fact>> =
+            policy.network().nodes().map(|n| (n, Vec::new())).collect();
+        let facts: Vec<&'a Fact> = instance.facts().collect();
+        // One OS thread per shard: cap the shard count at twice the
+        // machine's parallelism (CPU-bound work gains nothing beyond that,
+        // and an oversized --distribute-workers must not exhaust OS thread
+        // limits), and never more shards than facts.
+        let hw_cap = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .saturating_mul(2);
+        let workers = workers.min(hw_cap).clamp(1, facts.len().max(1));
+        let assign_shard = |shard: &[&'a Fact]| {
+            let mut part: BTreeMap<Node, Vec<&'a Fact>> = BTreeMap::new();
+            for &fact in shard {
+                for node in policy.nodes_for(fact) {
+                    part.entry(node).or_default().push(fact);
+                }
+            }
+            part
+        };
+        let shard_len = facts.len().div_ceil(workers).max(1);
+        let shards: Vec<&[&'a Fact]> = facts.chunks(shard_len).collect();
+        let parts: Vec<BTreeMap<Node, Vec<&'a Fact>>> = if shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || assign_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("distribute shard panicked"))
+                    .collect()
+            })
+        } else {
+            shards.into_iter().map(assign_shard).collect()
+        };
+        for part in parts {
+            for (node, mut refs) in part {
+                assignments.entry(node).or_default().append(&mut refs);
+            }
+        }
+        ChunkStream { assignments }
+    }
+
+    /// The nodes of the stream in node order (every network node, plus any
+    /// node the policy assigned facts to).
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.assignments.keys().copied()
+    }
+
+    /// The borrowed facts assigned to `node` (empty if the node is unknown).
+    pub fn facts_for(&self, node: Node) -> &[&'a Fact] {
+        self.assignments
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The load of `node` (its chunk size) without materializing the chunk.
+    pub fn len_of(&self, node: Node) -> usize {
+        self.facts_for(node).len()
+    }
+
+    /// Number of node entries in the stream.
+    pub fn chunk_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Materializes the owned chunk of a single node on demand — the
+    /// streaming counterpart of [`Distribution::chunk`]. The caller decides
+    /// the chunk's lifetime, so a worker pool keeps at most one owned chunk
+    /// alive per worker.
+    pub fn for_node_lazy(&self, node: Node) -> Instance {
+        Instance::from_facts(self.facts_for(node).iter().map(|&f| f.clone()))
+    }
+
+    /// Materializes the whole stream into a [`Distribution`] (differential
+    /// testing hook; defeats the purpose of streaming in production paths).
+    pub fn materialize(&self) -> Distribution {
+        let mut dist = Distribution {
+            chunks: self
+                .assignments
+                .keys()
+                .map(|&n| (n, Instance::new()))
+                .collect(),
+        };
+        for (&node, refs) in &self.assignments {
+            for &fact in refs {
+                dist.assign(node, fact.clone());
+            }
+        }
+        dist
+    }
+
+    /// Communication and balance statistics, identical to the stats of the
+    /// materialized [`Distribution`] of the same policy and instance.
+    /// `skipped` counts by membership, exactly like [`Distribution::stats`],
+    /// so the numbers stay well-defined even against an `original` the
+    /// stream was not built from.
+    pub fn stats(&self, original: &Instance) -> DistributionStats {
+        let total_assigned: usize = self.assignments.values().map(Vec::len).sum();
+        let max_load = self.assignments.values().map(Vec::len).max().unwrap_or(0);
+        let assigned: std::collections::BTreeSet<&Fact> =
+            self.assignments.values().flatten().copied().collect();
+        let distinct_assigned = assigned.len();
+        let skipped = original.facts().filter(|f| !assigned.contains(f)).count();
+        DistributionStats {
+            nodes: self.assignments.len(),
             total_assigned,
             distinct_assigned,
             max_load,

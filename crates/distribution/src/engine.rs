@@ -12,6 +12,15 @@
 //! cursor over the chunk list), so a cluster of hundreds of simulated nodes
 //! no longer spawns hundreds of threads, and a skewed node keeps only one
 //! worker busy while the rest drain the remaining chunks.
+//!
+//! The reshuffle phase itself has two axes of configuration:
+//! [`OneRoundEngine::distribute_workers`] shards the policy's `nodes_for`
+//! calls over threads, and [`OneRoundEngine::streaming`] switches from the
+//! fully materialized [`Distribution`](crate::Distribution) to a
+//! [`ChunkStream`](crate::ChunkStream) of borrowed fact slices: each worker
+//! materializes one node's chunk at a time and drops it after evaluating,
+//! so the peak number of owned chunks is the pool size, not the network
+//! size ([`OneRoundOutcome::peak_chunks`] reports the difference).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +51,15 @@ pub struct OneRoundOutcome {
     pub local_eval_time: Duration,
     /// Number of pool workers used for local evaluation (1 = sequential).
     pub workers: usize,
+    /// Peak number of **owned** chunk instances alive at once during the
+    /// round — the allocation proxy of the reshuffle path. Materialized
+    /// distribution holds every chunk simultaneously (`= nodes`); in
+    /// streaming mode this is the *observed* high-water mark of live
+    /// chunks, at most one per pool worker.
+    pub peak_chunks: usize,
+    /// Whether the reshuffle streamed borrowed chunks instead of
+    /// materializing a full [`Distribution`](crate::Distribution).
+    pub streamed: bool,
     /// Communication/load statistics of the reshuffle phase.
     pub stats: DistributionStats,
 }
@@ -78,16 +96,57 @@ impl OneRoundOutcome {
     }
 }
 
+/// Drains `items` through `f` on a bounded pool: `workers` scoped threads
+/// steal the next unclaimed item index from a shared atomic cursor until
+/// the queue is empty (`workers <= 1` runs on the calling thread). Both
+/// engine paths (materialized and streaming) share this loop so their pool
+/// semantics cannot drift. Results arrive in completion order.
+fn drain_pool<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        mine.push(f(item));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("local evaluation panicked"))
+            .collect()
+    })
+}
+
 /// A simulated cluster executing the one-round algorithm for a policy.
 pub struct OneRoundEngine<'a, P: DistributionPolicy + ?Sized> {
     policy: &'a P,
     workers: usize,
+    distribute_workers: usize,
+    streaming: bool,
 }
 
 impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
-    /// Creates an engine over the given policy (sequential local evaluation).
+    /// Creates an engine over the given policy (sequential local evaluation,
+    /// sequential materialized reshuffle).
     pub fn new(policy: &'a P) -> OneRoundEngine<'a, P> {
-        OneRoundEngine { policy, workers: 1 }
+        OneRoundEngine {
+            policy,
+            workers: 1,
+            distribute_workers: 1,
+            streaming: false,
+        }
     }
 
     /// Sets the size of the worker pool evaluating node chunks. `1` (the
@@ -111,55 +170,132 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         self.workers(workers)
     }
 
+    /// Sets the number of threads sharding the reshuffle phase itself
+    /// (`nodes_for` calls). `1` (the default) keeps the reshuffle on the
+    /// calling thread; the result is identical either way.
+    pub fn distribute_workers(mut self, workers: usize) -> Self {
+        self.distribute_workers = workers.max(1);
+        self
+    }
+
+    /// Switches the reshuffle to streaming mode: chunks are handed to the
+    /// evaluation workers as borrowed fact slices and materialized one at a
+    /// time per worker, so peak memory stops scaling with `nodes × facts`.
+    /// The outcome is identical to materialized mode except for
+    /// [`OneRoundOutcome::peak_chunks`] and timings.
+    pub fn streaming(mut self, enabled: bool) -> Self {
+        self.streaming = enabled;
+        self
+    }
+
     /// Runs the one-round algorithm for `query` on `instance`.
     pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
+        if self.streaming {
+            self.evaluate_streaming(query, instance)
+        } else {
+            self.evaluate_materialized(query, instance)
+        }
+    }
+
+    /// The materialized path: reshuffle into owned chunks, then drain them
+    /// on the worker pool. Every chunk is alive for the whole round.
+    fn evaluate_materialized(
+        &self,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> OneRoundOutcome {
         let distribute_start = Instant::now();
-        let distribution = self.policy.distribute(instance);
+        let distribution = self
+            .policy
+            .distribute_parallel(instance, self.distribute_workers);
         let stats = distribution.stats(instance);
         let distribute_time = distribute_start.elapsed();
         let chunks: Vec<(Node, &Instance)> = distribution.chunks().collect();
 
         let workers = self.workers.min(chunks.len()).max(1);
         let local_start = Instant::now();
-        let local_results: Vec<(Node, Instance, Duration)> = if workers > 1 {
-            // Bounded pool: `workers` threads steal the next unclaimed chunk
-            // index from a shared atomic cursor until the queue drains.
-            let cursor = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut mine = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&(node, chunk)) = chunks.get(i) else {
-                                    break;
-                                };
-                                let start = Instant::now();
-                                let local = evaluate(query, chunk);
-                                mine.push((node, local, start.elapsed()));
-                            }
-                            mine
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("local evaluation panicked"))
-                    .collect()
-            })
-        } else {
-            chunks
-                .iter()
-                .map(|&(node, chunk)| {
-                    let start = Instant::now();
-                    let local = evaluate(query, chunk);
-                    (node, local, start.elapsed())
-                })
-                .collect()
-        };
+        let local_results = drain_pool(&chunks, workers, |&(node, chunk)| {
+            let start = Instant::now();
+            let local = evaluate(query, chunk);
+            (node, local, start.elapsed())
+        });
         let local_eval_time = local_start.elapsed();
 
+        let per_node_load = chunks
+            .iter()
+            .map(|&(node, chunk)| (node, chunk.len()))
+            .collect();
+        self.assemble(
+            local_results,
+            per_node_load,
+            distribute_time,
+            local_eval_time,
+            workers,
+            chunks.len(),
+            false,
+            stats,
+        )
+    }
+
+    /// The streaming path: reshuffle into borrowed fact slices, then have
+    /// each worker materialize, evaluate and drop one chunk at a time. At
+    /// most `workers` owned chunks are alive at any moment.
+    fn evaluate_streaming(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
+        let distribute_start = Instant::now();
+        let stream = self
+            .policy
+            .distribute_stream(instance, self.distribute_workers);
+        let stats = stream.stats(instance);
+        let distribute_time = distribute_start.elapsed();
+        let nodes: Vec<Node> = stream.nodes().collect();
+
+        let workers = self.workers.min(nodes.len()).max(1);
+        // Observed high-water mark of simultaneously-alive owned chunks —
+        // measured, not derived from the pool size, so a future change that
+        // accidentally keeps chunks alive longer shows up in `peak_chunks`.
+        let live_chunks = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let local_start = Instant::now();
+        let local_results = drain_pool(&nodes, workers, |&node| {
+            let start = Instant::now();
+            // Count the chunk as live before building it, so a chunk mid-
+            // materialization on another worker is never missed by the peak.
+            let alive = live_chunks.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(alive, Ordering::SeqCst);
+            // The owned chunk lives only for this evaluation.
+            let chunk = stream.for_node_lazy(node);
+            let local = evaluate(query, &chunk);
+            drop(chunk);
+            live_chunks.fetch_sub(1, Ordering::SeqCst);
+            (node, local, start.elapsed())
+        });
+        let local_eval_time = local_start.elapsed();
+
+        let per_node_load = nodes.iter().map(|&n| (n, stream.len_of(n))).collect();
+        self.assemble(
+            local_results,
+            per_node_load,
+            distribute_time,
+            local_eval_time,
+            workers,
+            peak.load(Ordering::SeqCst),
+            true,
+            stats,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        local_results: Vec<(Node, Instance, Duration)>,
+        per_node_load: BTreeMap<Node, usize>,
+        distribute_time: Duration,
+        local_eval_time: Duration,
+        workers: usize,
+        peak_chunks: usize,
+        streamed: bool,
+        stats: DistributionStats,
+    ) -> OneRoundOutcome {
         let mut result = Instance::new();
         let mut per_node_output = BTreeMap::new();
         let mut per_node_time = BTreeMap::new();
@@ -168,10 +304,6 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             per_node_time.insert(node, took);
             result.extend(local.facts().cloned());
         }
-        let per_node_load = chunks
-            .iter()
-            .map(|&(node, chunk)| (node, chunk.len()))
-            .collect();
         OneRoundOutcome {
             result,
             per_node_load,
@@ -180,6 +312,8 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             distribute_time,
             local_eval_time,
             workers,
+            peak_chunks,
+            streamed,
             stats,
         }
     }
@@ -292,6 +426,92 @@ mod tests {
             assert!(outcome.local_eval_time >= outcome.max_node_time() / 2);
             assert!(outcome.time_skew() >= 1.0);
         }
+    }
+
+    #[test]
+    fn streaming_engine_agrees_with_materialized_engine() {
+        let q = ConjunctiveQuery::parse("T(x, y, z) :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let i = parse_instance(
+            "E(a, b). E(b, c). E(c, a). E(b, d). E(d, b). E(d, d). E(c, d). E(d, a). E(a, c).",
+        )
+        .unwrap();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let materialized = OneRoundEngine::new(&p).evaluate(&q, &i);
+        for workers in [1, 2, 4] {
+            let streamed = OneRoundEngine::new(&p)
+                .workers(workers)
+                .streaming(true)
+                .evaluate(&q, &i);
+            assert!(streamed.streamed);
+            assert_eq!(streamed.result, materialized.result);
+            assert_eq!(streamed.per_node_load, materialized.per_node_load);
+            assert_eq!(streamed.per_node_output, materialized.per_node_output);
+            assert_eq!(streamed.stats, materialized.stats);
+            // the allocation proxy: at most one owned chunk per worker,
+            // versus one per node for the materialized path
+            assert!(streamed.peak_chunks <= workers);
+            assert_eq!(materialized.peak_chunks, materialized.stats.nodes);
+        }
+    }
+
+    #[test]
+    fn parallel_reshuffle_agrees_with_sequential_reshuffle() {
+        let q = chain_query();
+        let i = parse_instance(
+            "R(a, b). R(b, c). R(c, d). R(d, e). S(b, x). S(c, y). S(d, z). S(e, w).",
+        )
+        .unwrap();
+        let p = HypercubePolicy::uniform(&q, 3).unwrap();
+        let seq = OneRoundEngine::new(&p).evaluate(&q, &i);
+        for dw in [2, 3, 8] {
+            let par = OneRoundEngine::new(&p)
+                .distribute_workers(dw)
+                .evaluate(&q, &i);
+            assert_eq!(seq.result, par.result);
+            assert_eq!(seq.per_node_load, par.per_node_load);
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn empty_network_run_is_safe_and_reports_neutral_skew() {
+        // A policy over an empty network produces no chunks at all: the
+        // outcome must be empty without panicking, and the derived metrics
+        // must stay well-defined (no divide-by-zero).
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c).").unwrap();
+        let p = ExplicitPolicy::new(Network::default());
+        for streaming in [false, true] {
+            let outcome = OneRoundEngine::new(&p)
+                .workers(4)
+                .streaming(streaming)
+                .evaluate(&q, &i);
+            assert!(outcome.result.is_empty());
+            assert!(outcome.per_node_time.is_empty());
+            assert_eq!(outcome.max_node_output(), 0);
+            assert_eq!(outcome.max_node_time(), Duration::ZERO);
+            assert_eq!(outcome.time_skew(), 1.0, "empty network must report 1.0");
+            assert_eq!(outcome.stats.nodes, 0);
+            assert_eq!(outcome.stats.replication_factor, 0.0);
+            assert_eq!(outcome.stats.skipped, i.len());
+        }
+    }
+
+    #[test]
+    fn zero_output_run_reports_zero_maxima_and_finite_skew() {
+        // Round-robin on a 2-fact join loses every answer: outputs are all
+        // zero, and per-node times may all be sub-resolution zeros — the
+        // maxima and the skew ratio must still be well-defined.
+        let q = chain_query();
+        let i = parse_instance("R(a, b). S(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let p = ExplicitPolicy::round_robin(&network, &i);
+        let outcome = OneRoundEngine::new(&p).evaluate(&q, &i);
+        assert!(outcome.result.is_empty());
+        assert_eq!(outcome.max_node_output(), 0);
+        assert!(outcome.per_node_output.values().all(|&o| o == 0));
+        let skew = outcome.time_skew();
+        assert!(skew.is_finite() && skew >= 1.0, "skew {skew} must be sane");
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //! * [`HypercubePolicy`] and [`HypercubeFamily`] — the Hypercube
 //!   distributions of Section 5.2,
 //! * [`Distribution`] — the result of reshuffling an instance
-//!   (`dist_P(I)`), with load and replication statistics,
+//!   (`dist_P(I)`), with load and replication statistics, and
+//!   [`ChunkStream`] — its streaming counterpart of borrowed per-node fact
+//!   slices (owned chunks are materialized one at a time, on demand),
 //! * [`OneRoundEngine`] — the simulated one-round evaluation algorithm:
-//!   reshuffle, evaluate locally at every node (optionally on threads),
-//!   union the results.
+//!   reshuffle (optionally sharded over threads and/or streamed), evaluate
+//!   locally at every node (optionally on a bounded worker pool), union the
+//!   results,
+//! * [`MultiRoundEngine`] — the iterated (MPC-style multi-round) algorithm:
+//!   distribute→evaluate cycles under a per-round [`RoundSchedule`], with
+//!   an optional feedback relation, fixpoint detection and a round cap.
 //!
 //! ## Example
 //!
@@ -46,13 +52,15 @@ mod hash;
 mod hypercube;
 mod network;
 mod policy;
+mod rounds;
 mod rules;
 
-pub use distribute::{Distribution, DistributionStats};
+pub use distribute::{ChunkStream, Distribution, DistributionStats};
 pub use engine::{OneRoundEngine, OneRoundOutcome};
 pub use explicit::ExplicitPolicy;
 pub use hash::{fnv1a, HashScheme};
 pub use hypercube::{HypercubeFamily, HypercubePolicy};
 pub use network::{Network, Node};
 pub use policy::{DistributionPolicy, FinitePolicy};
+pub use rounds::{IteratedFixpoint, MultiRoundEngine, MultiRoundOutcome, RoundSchedule};
 pub use rules::{AddressTerm, DistributionRule, RuleBasedPolicy, RulePolicyError};

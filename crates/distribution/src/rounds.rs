@@ -1,0 +1,573 @@
+//! Multi-round (iterated one-round) evaluation.
+//!
+//! The paper studies parallel-correctness of a *single* communication round,
+//! but its Massively Parallel Communication setting is inherently
+//! multi-round: evaluate, reshuffle the outputs, evaluate again.
+//! [`MultiRoundEngine`] simulates that loop on top of
+//! [`OneRoundEngine`]: each round reshuffles the current instance under the
+//! round's policy (a [`RoundSchedule`] may change policies between rounds),
+//! evaluates locally at every node, and merges the round's outputs back into
+//! the next round's instance.
+//!
+//! Because a conjunctive query's head relation must be outside its input
+//! schema, iteration is expressed through an optional **feedback relation**:
+//! with `feedback_into("R")`, every output fact `T(d̄)` of a round re-enters
+//! the next round as `R(d̄)`. The transitive closure of `R` by repeated
+//! squaring is then simply `T(x, z) :- R(x, y), R(y, z)` iterated with
+//! feedback into `R`.
+//!
+//! Rounds stop at the **fixpoint** (the next round instance repeats an
+//! already-visited state, so no future round can derive anything new) or at
+//! the round cap, whichever comes first; [`MultiRoundOutcome::converged`]
+//! records which. Since conjunctive queries cannot invent new data values,
+//! the reachable states are finite and the centralized iterated evaluation
+//! always terminates — [`MultiRoundEngine::reference_fixpoint`] computes
+//! that *global* fixpoint, the correctness yardstick for the distributed
+//! run (`pc_core::multi_round_correct_on`).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use cq::{evaluate, ConjunctiveQuery, Fact, Instance, Symbol};
+
+use crate::engine::{OneRoundEngine, OneRoundOutcome};
+use crate::policy::DistributionPolicy;
+
+/// A per-round policy schedule: round `r` uses the `r`-th policy, and the
+/// last policy repeats once the schedule is exhausted (so a one-element
+/// schedule is simply "the same policy every round").
+pub struct RoundSchedule<'a> {
+    policies: Vec<&'a dyn DistributionPolicy>,
+}
+
+impl<'a> RoundSchedule<'a> {
+    /// A schedule repeating a single policy every round.
+    pub fn repeat(policy: &'a dyn DistributionPolicy) -> RoundSchedule<'a> {
+        RoundSchedule {
+            policies: vec![policy],
+        }
+    }
+
+    /// A schedule from an explicit policy sequence (the last one repeats).
+    ///
+    /// # Panics
+    /// Panics when `policies` is empty.
+    pub fn of(policies: Vec<&'a dyn DistributionPolicy>) -> RoundSchedule<'a> {
+        assert!(
+            !policies.is_empty(),
+            "a round schedule needs at least one policy"
+        );
+        RoundSchedule { policies }
+    }
+
+    /// The policy of round `round` (0-based; the last policy repeats).
+    pub fn policy_for(&self, round: usize) -> &'a dyn DistributionPolicy {
+        self.policies[round.min(self.policies.len() - 1)]
+    }
+
+    /// The number of explicitly scheduled policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Always `false`: schedules are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The outcome of a multi-round evaluation.
+#[derive(Clone, Debug)]
+pub struct MultiRoundOutcome {
+    /// The per-round one-round outcomes, in round order (including the
+    /// final, converging round when the run reached its fixpoint).
+    pub rounds: Vec<OneRoundOutcome>,
+    /// The union of all rounds' outputs (head-relation facts).
+    pub result: Instance,
+    /// Every fact the run has ever seen: the initial input plus every
+    /// feedback fact produced by any round (in dataflow mode the rounds
+    /// re-distribute only the latest feedback facts, but this set still
+    /// accumulates — it is what the fixpoint test runs against).
+    pub final_state: Instance,
+    /// Whether the run reached its fixpoint (the next round instance
+    /// repeated an already-visited state, so no future round could derive
+    /// anything new) before exhausting the round cap.
+    pub converged: bool,
+}
+
+impl MultiRoundOutcome {
+    /// The number of rounds that actually ran.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Cumulative communication volume: total `(fact, node)` assignments
+    /// shipped across all reshuffle phases.
+    pub fn total_comm_volume(&self) -> usize {
+        self.rounds.iter().map(|r| r.stats.total_assigned).sum()
+    }
+
+    /// Cumulative wall-clock time of all reshuffle phases.
+    pub fn total_distribute_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.distribute_time).sum()
+    }
+
+    /// Cumulative wall-clock time of all local-evaluation phases.
+    pub fn total_local_eval_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.local_eval_time).sum()
+    }
+
+    /// The largest per-round maximum node load (the bottleneck of the run).
+    pub fn max_load(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.stats.max_load)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The centralized reference for a multi-round run: the global fixpoint of
+/// the iterated query, computed without any distribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IteratedFixpoint {
+    /// The union of all rounds' centralized outputs.
+    pub result: Instance,
+    /// Rounds needed to reach the fixpoint (including the converging one).
+    pub rounds: usize,
+}
+
+/// A simulated cluster iterating the one-round algorithm under a
+/// [`RoundSchedule`], with fixpoint detection and a round cap.
+pub struct MultiRoundEngine<'a> {
+    schedule: RoundSchedule<'a>,
+    max_rounds: usize,
+    carry_input: bool,
+    feedback: Option<Symbol>,
+    workers: usize,
+    distribute_workers: usize,
+    streaming: bool,
+}
+
+impl<'a> MultiRoundEngine<'a> {
+    /// Creates a single-round engine over `schedule`; raise the cap with
+    /// [`MultiRoundEngine::rounds`]. Defaults mirror [`OneRoundEngine`]:
+    /// sequential evaluation, sequential materialized reshuffle, carried
+    /// input, no feedback relation.
+    pub fn new(schedule: RoundSchedule<'a>) -> MultiRoundEngine<'a> {
+        MultiRoundEngine {
+            schedule,
+            max_rounds: 1,
+            carry_input: true,
+            feedback: None,
+            workers: 1,
+            distribute_workers: 1,
+            streaming: false,
+        }
+    }
+
+    /// Sets the round cap (at least 1). The engine stops earlier at the
+    /// fixpoint.
+    pub fn rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds.max(1);
+        self
+    }
+
+    /// Whether each round re-distributes the accumulated instance (`true`,
+    /// the default) or only the previous round's feedback facts (`false`) —
+    /// the difference between stateful workers and a pure dataflow of
+    /// reshuffled outputs.
+    pub fn carry_input(mut self, carry: bool) -> Self {
+        self.carry_input = carry;
+        self
+    }
+
+    /// Renames every round's output facts into `relation` before merging
+    /// them into the next round's instance, making the query effectively
+    /// recursive (see the module docs).
+    pub fn feedback_into(mut self, relation: &str) -> Self {
+        self.feedback = Some(Symbol::new(relation));
+        self
+    }
+
+    /// Pool size for local evaluation within each round (cf.
+    /// [`OneRoundEngine::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sizes the local-evaluation pool to the machine (cf.
+    /// [`OneRoundEngine::parallel`]).
+    pub fn parallel(self, enabled: bool) -> Self {
+        let workers = if enabled {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            1
+        };
+        self.workers(workers)
+    }
+
+    /// Threads sharding each round's reshuffle phase (cf.
+    /// [`OneRoundEngine::distribute_workers`]).
+    pub fn distribute_workers(mut self, workers: usize) -> Self {
+        self.distribute_workers = workers.max(1);
+        self
+    }
+
+    /// Streams chunks to workers instead of materializing every node's
+    /// chunk (cf. [`OneRoundEngine::streaming`]).
+    pub fn streaming(mut self, enabled: bool) -> Self {
+        self.streaming = enabled;
+        self
+    }
+
+    /// The configured round cap.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// The configured feedback relation, if any.
+    pub fn feedback(&self) -> Option<Symbol> {
+        self.feedback
+    }
+
+    /// Whether rounds re-distribute the accumulated instance.
+    pub fn carries_input(&self) -> bool {
+        self.carry_input
+    }
+
+    /// The round's output facts as they re-enter the next round.
+    fn feedback_facts(&self, output: &Instance) -> Instance {
+        match self.feedback {
+            Some(relation) => output
+                .facts()
+                .map(|f| Fact::new(relation, f.values.clone()))
+                .collect(),
+            None => output.clone(),
+        }
+    }
+
+    /// One iteration step shared by [`MultiRoundEngine::evaluate`] and
+    /// [`MultiRoundEngine::reference_fixpoint`], so the distributed run and
+    /// its centralized yardstick can never drift apart in their
+    /// carry/feedback/fixpoint semantics. Merges a round's `output` into
+    /// the accumulated `result`/`seen` and advances `state`, reporting
+    /// whether iteration has terminated: the next state was already
+    /// `visited`, so no future round can ever produce a new fact.
+    ///
+    /// Termination tests whole **states**, not individual facts. With
+    /// carried input states grow monotonically, so a revisited state is
+    /// exactly "this round contributed nothing new"; in dataflow mode
+    /// (`carry_input = false`) states need not grow, and a round whose
+    /// facts are all individually stale can still be a *novel combination*
+    /// whose evaluation derives new facts — only an exact state repeat
+    /// (a cycle) guarantees the run is exhausted.
+    fn advance_round(
+        &self,
+        output: &Instance,
+        result: &mut Instance,
+        seen: &mut Instance,
+        state: &mut Instance,
+        visited: &mut BTreeSet<BTreeSet<Fact>>,
+    ) -> bool {
+        let contribution = self.feedback_facts(output);
+        result.extend(output.facts().cloned());
+        let next = if self.carry_input {
+            state.union(&contribution)
+        } else {
+            contribution
+        };
+        seen.extend(next.facts().cloned());
+        if !visited.insert(next.to_set()) {
+            return true;
+        }
+        *state = next;
+        false
+    }
+
+    /// Runs up to [`MultiRoundEngine::max_rounds`] distribute→local-eval
+    /// cycles for `query` starting from `instance`.
+    pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> MultiRoundOutcome {
+        let mut state = instance.clone();
+        // Every round-instance state ever reached (for cycle detection) and
+        // every fact ever seen (the reported `final_state`). States over a
+        // fixed active domain are finite, so a repeat — and hence
+        // termination — is guaranteed even in dataflow mode.
+        let mut visited = BTreeSet::from([instance.to_set()]);
+        let mut seen = instance.clone();
+        let mut result = Instance::new();
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for round in 0..self.max_rounds {
+            let policy = self.schedule.policy_for(round);
+            let outcome = OneRoundEngine::new(policy)
+                .workers(self.workers)
+                .distribute_workers(self.distribute_workers)
+                .streaming(self.streaming)
+                .evaluate(query, &state);
+            let done = self.advance_round(
+                &outcome.result,
+                &mut result,
+                &mut seen,
+                &mut state,
+                &mut visited,
+            );
+            rounds.push(outcome);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        MultiRoundOutcome {
+            rounds,
+            result,
+            final_state: seen,
+            converged,
+        }
+    }
+
+    /// The centralized reference: iterates `evaluate(query, ·)` with the
+    /// same carry/feedback semantics but **no round cap**, until the global
+    /// fixpoint (a repeated state). Terminates on every input because
+    /// conjunctive queries cannot introduce new data values, so the set of
+    /// reachable states over the input's active domain is finite.
+    pub fn reference_fixpoint(
+        &self,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> IteratedFixpoint {
+        let mut state = instance.clone();
+        let mut visited = BTreeSet::from([instance.to_set()]);
+        let mut seen = instance.clone();
+        let mut result = Instance::new();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let output = evaluate(query, &state);
+            if self.advance_round(&output, &mut result, &mut seen, &mut state, &mut visited) {
+                break;
+            }
+        }
+        IteratedFixpoint { result, rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitPolicy;
+    use crate::hypercube::HypercubePolicy;
+    use crate::network::Network;
+    use cq::parse_instance;
+
+    fn square_query() -> ConjunctiveQuery {
+        // One squaring step of the transitive closure of R.
+        ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap()
+    }
+
+    fn chain_instance(edges: usize) -> Instance {
+        parse_instance(
+            &(0..edges)
+                .map(|i| format!("R(v{i}, v{}).", i + 1))
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_round_multi_round_matches_one_round_exactly() {
+        let q = square_query();
+        let i = chain_instance(5);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let one = OneRoundEngine::new(&p).evaluate(&q, &i);
+        let multi = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(1)
+            .evaluate(&q, &i);
+        assert_eq!(multi.rounds_run(), 1);
+        assert_eq!(multi.result, one.result);
+        assert_eq!(multi.rounds[0].result, one.result);
+        assert_eq!(multi.rounds[0].per_node_load, one.per_node_load);
+        assert_eq!(multi.rounds[0].per_node_output, one.per_node_output);
+        assert_eq!(multi.rounds[0].stats, one.stats);
+        assert_eq!(multi.total_comm_volume(), one.stats.total_assigned);
+        assert!(!multi.converged, "new T-facts appeared, no fixpoint yet");
+    }
+
+    #[test]
+    fn transitive_closure_converges_and_matches_the_reference() {
+        let q = square_query();
+        let i = chain_instance(8);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(16)
+            .feedback_into("R");
+        let outcome = engine.evaluate(&q, &i);
+        assert!(
+            outcome.converged,
+            "8-edge chain closes well within 16 rounds"
+        );
+        assert!(
+            outcome.rounds_run() < 16,
+            "fixpoint must stop the loop early"
+        );
+        // Repeated squaring with carried input closes an 8-edge chain in
+        // ceil(log2 8) = 3 productive rounds plus the converging round.
+        assert_eq!(outcome.rounds_run(), 4);
+        // The result is every pair at distance >= 2 (T is produced only for
+        // composed paths): 0..=8 gives 9 vertices, distances 2..=8.
+        let expected_pairs: usize = (2..=8).map(|d| 9 - d).sum();
+        assert_eq!(outcome.result.len(), expected_pairs);
+        let reference = engine.reference_fixpoint(&q, &i);
+        assert_eq!(outcome.result, reference.result);
+        assert_eq!(outcome.rounds_run(), reference.rounds);
+    }
+
+    #[test]
+    fn round_capped_run_reports_not_converged() {
+        let q = square_query();
+        let i = chain_instance(8);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(2)
+            .feedback_into("R")
+            .evaluate(&q, &i);
+        assert!(!outcome.converged, "2 rounds cannot close an 8-edge chain");
+        assert_eq!(outcome.rounds_run(), 2);
+        let reference = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(2)
+            .feedback_into("R")
+            .reference_fixpoint(&q, &i);
+        assert!(
+            !reference.result.contains_all(&outcome.result)
+                || outcome.result.len() < reference.result.len(),
+            "the capped run must fall short of the global fixpoint"
+        );
+    }
+
+    #[test]
+    fn without_feedback_the_second_round_converges() {
+        // Outputs keep their head relation, which the query does not read:
+        // round 2 reproduces round 1 exactly and the engine detects it.
+        let q = square_query();
+        let i = chain_instance(4);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(10)
+            .evaluate(&q, &i);
+        assert!(outcome.converged);
+        assert_eq!(outcome.rounds_run(), 2);
+        assert_eq!(outcome.result, cq::evaluate(&q, &i));
+    }
+
+    #[test]
+    fn schedule_switches_policies_between_rounds() {
+        let q = square_query();
+        let i = chain_instance(4);
+        let network = Network::with_size(3);
+        // Round 0 broadcasts (4 nodes of load = whole instance), later
+        // rounds use a hypercube (different network size).
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let hypercube = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = MultiRoundEngine::new(RoundSchedule::of(vec![&broadcast, &hypercube]))
+            .rounds(8)
+            .feedback_into("R");
+        let outcome = engine.evaluate(&q, &i);
+        assert!(outcome.converged);
+        assert_eq!(outcome.rounds[0].stats.nodes, 3);
+        assert!(outcome.rounds.len() > 1);
+        assert_eq!(outcome.rounds[1].stats.nodes, hypercube.network().len());
+        assert_eq!(outcome.result, engine.reference_fixpoint(&q, &i).result);
+    }
+
+    #[test]
+    fn dataflow_mode_redistributes_only_the_outputs() {
+        // Without carried input, round 2's instance is only the feedback
+        // facts of round 1 — loads must shrink accordingly on a broadcast
+        // policy, and the seen-set still guarantees termination.
+        let q = square_query();
+        let i = chain_instance(4);
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&broadcast))
+            .rounds(10)
+            .feedback_into("R")
+            .carry_input(false)
+            .evaluate(&q, &i);
+        assert!(outcome.converged);
+        assert!(outcome.rounds.len() >= 2);
+        let first_load = outcome.rounds[0].stats.max_load;
+        let second_load = outcome.rounds[1].stats.max_load;
+        assert_eq!(first_load, i.len());
+        assert!(second_load < first_load, "{second_load} !< {first_load}");
+    }
+
+    #[test]
+    fn dataflow_mode_continues_past_individually_stale_rounds() {
+        // Regression test for the dataflow fixpoint rule: here round 3's
+        // feedback facts have all been seen in earlier rounds, yet they
+        // form a NEW combination whose evaluation still derives new facts
+        // (T(a, b) among them). A per-fact staleness test would stop early
+        // and silently drop those answers; only an exact state repeat may
+        // end the run.
+        let q = square_query();
+        let i = parse_instance("R(a, c). R(b, c). R(c, d). R(d, b). R(d, c).").unwrap();
+        let network = Network::with_size(1);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let engine = MultiRoundEngine::new(RoundSchedule::repeat(&broadcast))
+            .rounds(50)
+            .feedback_into("R")
+            .carry_input(false);
+        let outcome = engine.evaluate(&q, &i);
+        assert!(outcome.converged);
+        for fact in ["T(a, b)", "T(b, b)"] {
+            let fact = cq::parse_instance(&format!("{fact}.")).unwrap();
+            assert!(
+                outcome.result.contains_all(&fact),
+                "dataflow run must still derive {fact} (got {})",
+                outcome.result
+            );
+        }
+        assert_eq!(outcome.result, engine.reference_fixpoint(&q, &i).result);
+    }
+
+    #[test]
+    fn round_schedule_repeats_its_last_policy() {
+        let q = square_query();
+        let a = HypercubePolicy::uniform(&q, 2).unwrap();
+        let b = HypercubePolicy::uniform(&q, 3).unwrap();
+        let schedule = RoundSchedule::of(vec![&a, &b]);
+        assert_eq!(schedule.len(), 2);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.policy_for(0).network().len(), a.network().len());
+        assert_eq!(schedule.policy_for(1).network().len(), b.network().len());
+        assert_eq!(schedule.policy_for(7).network().len(), b.network().len());
+    }
+
+    #[test]
+    fn streaming_multi_round_agrees_with_materialized_multi_round() {
+        let q = square_query();
+        let i = chain_instance(6);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let base = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(8)
+            .feedback_into("R")
+            .evaluate(&q, &i);
+        let streamed = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(8)
+            .feedback_into("R")
+            .streaming(true)
+            .workers(3)
+            .distribute_workers(2)
+            .evaluate(&q, &i);
+        assert_eq!(base.result, streamed.result);
+        assert_eq!(base.converged, streamed.converged);
+        assert_eq!(base.rounds_run(), streamed.rounds_run());
+        for (m, s) in base.rounds.iter().zip(&streamed.rounds) {
+            assert_eq!(m.result, s.result);
+            assert_eq!(m.per_node_load, s.per_node_load);
+            assert_eq!(m.stats, s.stats);
+        }
+    }
+}

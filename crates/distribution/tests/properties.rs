@@ -1,10 +1,49 @@
-//! Property-based tests for distribution policies and the one-round engine.
+//! Property-based tests for distribution policies and the one-round and
+//! multi-round engines, including the differential suites: parallel and
+//! streaming reshuffle must agree exactly with the materialized
+//! single-threaded `distribute`, and a one-round-capped `MultiRoundEngine`
+//! must agree exactly with `OneRoundEngine`.
 
 use cq::{ConjunctiveQuery, Fact, Instance, Value};
 use distribution::{
-    DistributionPolicy, ExplicitPolicy, HypercubePolicy, Network, Node, OneRoundEngine,
+    DistributionPolicy, ExplicitPolicy, HypercubePolicy, MultiRoundEngine, Network, Node,
+    OneRoundEngine, RoundSchedule,
 };
 use proptest::prelude::*;
+
+/// The four policy shapes of the differential suites over a binary `R`
+/// (broadcast, round-robin, single-key hash, hypercube), built for the
+/// given instance and query.
+fn policy_zoo(
+    i: &Instance,
+    q: &ConjunctiveQuery,
+    nodes: usize,
+    buckets: usize,
+) -> Vec<(&'static str, Box<dyn DistributionPolicy>)> {
+    let network = Network::with_size(nodes);
+    // single-key hash: buckets on the first variable only, 1 elsewhere
+    let dims = q.variables().len();
+    let mut hash_buckets = vec![1usize; dims];
+    hash_buckets[0] = buckets.max(1);
+    vec![
+        (
+            "broadcast",
+            Box::new(ExplicitPolicy::broadcast(&network, i)) as Box<dyn DistributionPolicy>,
+        ),
+        (
+            "round_robin",
+            Box::new(ExplicitPolicy::round_robin(&network, i)),
+        ),
+        (
+            "hash",
+            Box::new(HypercubePolicy::with_buckets(q, &hash_buckets).unwrap()),
+        ),
+        (
+            "hypercube",
+            Box::new(HypercubePolicy::uniform(q, buckets.max(1)).unwrap()),
+        ),
+    ]
+}
 
 /// A strategy for small instances over one binary relation `R`.
 fn instance_strategy() -> impl Strategy<Value = Instance> {
@@ -99,5 +138,90 @@ proptest! {
         let total: usize = outcome.per_node_output.values().sum();
         prop_assert!(outcome.result.len() <= total || outcome.result.is_empty());
         prop_assert!(outcome.max_node_output() <= outcome.result.len() || outcome.result.is_empty());
+    }
+
+    /// Differential: parallel and streaming reshuffle agree chunk-for-chunk
+    /// with the materialized single-threaded `distribute`, across all four
+    /// policy shapes.
+    #[test]
+    fn reshuffle_modes_agree_with_materialized_distribute(
+        i in instance_strategy(),
+        q in query_strategy(),
+        nodes in 1usize..4,
+        buckets in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        for (name, policy) in policy_zoo(&i, &q, nodes, buckets) {
+            let reference = policy.distribute(&i);
+            let parallel = policy.distribute_parallel(&i, workers);
+            prop_assert_eq!(&reference, &parallel, "parallel distribute diverged for {}", name);
+
+            let stream = policy.distribute_stream(&i, workers);
+            prop_assert_eq!(
+                &reference, &stream.materialize(),
+                "streamed chunks diverged for {}", name
+            );
+            prop_assert_eq!(
+                reference.stats(&i), stream.stats(&i),
+                "stream stats diverged for {}", name
+            );
+            for (node, chunk) in reference.chunks() {
+                prop_assert_eq!(
+                    chunk, &stream.for_node_lazy(node),
+                    "lazy chunk of {} diverged for {}", node, name
+                );
+                prop_assert_eq!(chunk, &policy.for_node_lazy(&i, node));
+            }
+        }
+    }
+
+    /// Differential: the streaming engine path produces the same outcome as
+    /// the materialized path (modulo timings and the allocation proxy).
+    #[test]
+    fn streaming_engine_agrees_with_materialized_engine(
+        i in instance_strategy(),
+        q in query_strategy(),
+        nodes in 1usize..4,
+        buckets in 1usize..4,
+        workers in 1usize..4,
+    ) {
+        for (name, policy) in policy_zoo(&i, &q, nodes, buckets) {
+            let materialized = OneRoundEngine::new(policy.as_ref()).evaluate(&q, &i);
+            let streamed = OneRoundEngine::new(policy.as_ref())
+                .workers(workers)
+                .distribute_workers(workers)
+                .streaming(true)
+                .evaluate(&q, &i);
+            prop_assert_eq!(&materialized.result, &streamed.result, "result diverged for {}", name);
+            prop_assert_eq!(&materialized.per_node_load, &streamed.per_node_load);
+            prop_assert_eq!(&materialized.per_node_output, &streamed.per_node_output);
+            prop_assert_eq!(materialized.stats, streamed.stats);
+            prop_assert!(streamed.peak_chunks <= workers.max(1));
+        }
+    }
+
+    /// Differential: a `MultiRoundEngine` capped at one round is exactly a
+    /// `OneRoundEngine`, across all four policy shapes.
+    #[test]
+    fn single_round_multi_round_is_one_round(
+        i in instance_strategy(),
+        q in query_strategy(),
+        nodes in 1usize..4,
+        buckets in 1usize..4,
+    ) {
+        for (name, policy) in policy_zoo(&i, &q, nodes, buckets) {
+            let one = OneRoundEngine::new(policy.as_ref()).evaluate(&q, &i);
+            let multi = MultiRoundEngine::new(RoundSchedule::repeat(policy.as_ref()))
+                .rounds(1)
+                .evaluate(&q, &i);
+            prop_assert_eq!(multi.rounds_run(), 1);
+            prop_assert_eq!(&multi.result, &one.result, "result diverged for {}", name);
+            let round = &multi.rounds[0];
+            prop_assert_eq!(&round.per_node_load, &one.per_node_load);
+            prop_assert_eq!(&round.per_node_output, &one.per_node_output);
+            prop_assert_eq!(round.stats, one.stats);
+            prop_assert_eq!(round.workers, one.workers);
+            prop_assert_eq!(multi.total_comm_volume(), one.stats.total_assigned);
+        }
     }
 }

@@ -4,7 +4,9 @@
 //! and the benchmark harness of the reproduction: the named query families
 //! that the paper's examples revolve around (paths, triangles, the query of
 //! Example 3.5), random conjunctive queries with tunable shape, random and
-//! skewed database instances, and random explicit distribution policies.
+//! skewed database instances, random explicit distribution policies, and
+//! named round schedules for the multi-round engine (hash-join /
+//! hypercube / broadcast policies per round).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,6 +14,7 @@
 pub mod instances;
 pub mod policies;
 pub mod queries;
+pub mod schedules;
 
 pub use instances::{
     complete_binary_relation, named_instance, random_instance, zipf_instance, InstanceParams,
@@ -21,3 +24,4 @@ pub use queries::{
     chain_query, cycle_query, example_3_5_query, named_query, random_query, star_query,
     triangle_query, QueryParams,
 };
+pub use schedules::{hash_join_policy, named_schedule, total_broadcast_policy};

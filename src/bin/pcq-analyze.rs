@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! USAGE:
-//!   pcq-analyze analyze   <query>
-//!   pcq-analyze pc        <query> <policy-file>
-//!   pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]
-//!   pcq-analyze hypercube <query> <query-prime>
-//!   pcq-analyze run       <query> <policy> <instance> [--workers N] [--json]
+//!   pcq-analyze analyze    <query>
+//!   pcq-analyze pc         <query> <policy-file>
+//!   pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]
+//!   pcq-analyze hypercube  <query> <query-prime>
+//!   pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]
+//!                          [--rounds N] [--schedule S] [--feedback R]
+//!                          [--streaming] [--distribute-workers N]
+//!   pcq-analyze bench-diff <trajectory-file> [--threshold-pct P]
+//!                          [--min-ns N] [--bench NAME]...
 //!
 //! ARGUMENTS:
 //!   <query>        a named workload family (triangle, example3.5,
@@ -26,11 +30,24 @@
 //!
 //! `run` reshuffles the instance under the policy and evaluates the query
 //! through the one-round engine, reporting result size, per-node load and
-//! per-node timings (`--json` for machine-readable output).
+//! per-node timings (`--json` for machine-readable output). With
+//! `--rounds N` it iterates distribute→evaluate cycles through the
+//! multi-round engine instead: `--schedule` names per-round policies
+//! (`hash-join:<k>,hypercube:<b>,…`; default: the `<policy>` argument every
+//! round), `--feedback R` renames each round's outputs into relation `R`
+//! before the next reshuffle (making the query effectively recursive), and
+//! the result is compared against the global fixpoint of the centralized
+//! iterated query. `--streaming` streams chunks to workers instead of
+//! materializing them; `--distribute-workers` shards the reshuffle phase.
 //!
-//! Exit code 0 means the property holds (for `run`: the one-round result
-//! equals the centralized result), 1 means it does not, 2 means a usage or
-//! parse error.
+//! `bench-diff` compares the two most recent entries per bench in a
+//! `BENCH_results.json` trajectory and fails (exit 1) when any benchmark
+//! regressed by more than the threshold (default 25%, ignoring entries
+//! faster than `--min-ns`, default 100µs) — the CI regression gate.
+//!
+//! Exit code 0 means the property holds (for `run`: the distributed result
+//! equals the centralized reference; for `bench-diff`: no regression),
+//! 1 means it does not, 2 means a usage or parse error.
 
 use std::process::ExitCode;
 
@@ -56,7 +73,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze   <query>\n  pcq-analyze pc        <query> <policy-file>\n  pcq-analyze transfer  <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube <query> <query-prime>\n  pcq-analyze run       <query> <policy> <instance> [--workers N] [--json]\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--distribute-workers N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -82,7 +99,8 @@ fn run(args: &[String]) -> Result<bool, String> {
             let prime = load_query(args.get(2).ok_or("missing <query-prime>")?)?;
             Ok(hypercube(&query, &prime))
         }
-        "run" => run_one_round(&args[1..]),
+        "run" => run_command(&args[1..]),
+        "bench-diff" => bench_diff(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -127,36 +145,21 @@ fn load_run_instance(arg: &str, query: &ConjunctiveQuery) -> Result<Instance, St
     }
 }
 
-/// A policy resolved from a `run` policy spec. Owns whichever concrete
-/// policy the spec named, so the engine can borrow it as a trait object.
-enum RunPolicy {
-    Hypercube(HypercubePolicy),
-    Explicit(ExplicitPolicy),
-}
-
-impl RunPolicy {
-    fn as_dyn(&self) -> &dyn DistributionPolicy {
-        match self {
-            RunPolicy::Hypercube(p) => p,
-            RunPolicy::Explicit(p) => p,
-        }
-    }
-}
-
 /// Resolves a `run` policy spec: `hypercube:<budget>`, `broadcast:<nodes>`,
-/// `round-robin:<nodes>`, or a policy file.
+/// `round-robin:<nodes>`, or a policy file. Boxed so single- and
+/// multi-round paths can mix spec-named and schedule-named policies.
 fn load_run_policy(
     arg: &str,
     query: &ConjunctiveQuery,
     instance: &Instance,
-) -> Result<RunPolicy, String> {
+) -> Result<Box<dyn DistributionPolicy>, String> {
     let named_err = match arg.split_once(':') {
         Some(("hypercube", budget)) => {
             let budget: usize = budget
                 .parse()
                 .map_err(|_| format!("policy spec '{arg}': '{budget}' is not a number"))?;
             return HypercubePolicy::uniform(query, budget)
-                .map(RunPolicy::Hypercube)
+                .map(|p| Box::new(p) as Box<dyn DistributionPolicy>)
                 .map_err(|e| format!("policy spec '{arg}': {e}"));
         }
         Some(("broadcast", nodes)) | Some(("round-robin", nodes)) => {
@@ -172,12 +175,12 @@ fn load_run_policy(
             } else {
                 ExplicitPolicy::round_robin(&network, instance)
             };
-            return Ok(RunPolicy::Explicit(policy));
+            return Ok(Box::new(policy));
         }
         _ => format!("'{arg}' is not hypercube:<budget>, broadcast:<nodes> or round-robin:<nodes>"),
     };
     if std::path::Path::new(arg).exists() {
-        load_policy(arg).map(RunPolicy::Explicit)
+        load_policy(arg).map(|p| Box::new(p) as Box<dyn DistributionPolicy>)
     } else {
         Err(format!(
             "cannot resolve policy spec: {named_err}, and no such policy file exists"
@@ -200,26 +203,67 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// The `run` subcommand: one-round evaluation of a workload triple.
+/// Parsed flags of the `run` subcommand.
+struct RunOptions {
+    workers: usize,
+    distribute_workers: usize,
+    streaming: bool,
+    json: bool,
+    rounds: Option<usize>,
+    schedule: Option<String>,
+    feedback: Option<String>,
+}
+
+/// The `run` subcommand: one-round evaluation of a workload triple, or —
+/// with `--rounds` — the iterated multi-round evaluation.
 ///
-/// Returns whether the one-round result equals the centralized result (the
-/// exit-code contract: 0 = equal, 1 = answers lost).
-fn run_one_round(args: &[String]) -> Result<bool, String> {
+/// Exit-code contract: 0 = the distributed result equals the centralized
+/// reference (one-round result, or the global fixpoint of the iterated
+/// query), 1 = answers lost or round cap too small.
+fn run_command(args: &[String]) -> Result<bool, String> {
     let mut positional: Vec<&String> = Vec::new();
-    let mut workers = 1usize;
-    let mut json = false;
+    let mut opts = RunOptions {
+        workers: 1,
+        distribute_workers: 1,
+        streaming: false,
+        json: false,
+        rounds: None,
+        schedule: None,
+        feedback: None,
+    };
     let mut iter = args.iter();
+    let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        let value = value.ok_or(format!("{flag} needs a number"))?;
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("{flag}: '{value}' is not a number"))?;
+        if n == 0 {
+            return Err(format!("{flag} must be at least 1"));
+        }
+        Ok(n)
+    };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--workers" => {
-                let value = iter.next().ok_or("--workers needs a number")?;
-                workers = value
-                    .parse()
-                    .map_err(|_| format!("--workers: '{value}' is not a number"))?;
-                if workers == 0 {
-                    return Err("--workers must be at least 1".to_string());
-                }
+            "--json" => opts.json = true,
+            "--streaming" => opts.streaming = true,
+            "--workers" => opts.workers = parse_count("--workers", iter.next())?,
+            "--distribute-workers" => {
+                opts.distribute_workers = parse_count("--distribute-workers", iter.next())?
+            }
+            "--rounds" => opts.rounds = Some(parse_count("--rounds", iter.next())?),
+            "--schedule" => {
+                opts.schedule = Some(
+                    iter.next()
+                        .ok_or("--schedule needs a policy list")?
+                        .to_string(),
+                )
+            }
+            "--feedback" => {
+                opts.feedback = Some(
+                    iter.next()
+                        .ok_or("--feedback needs a relation name")?
+                        .to_string(),
+                )
             }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             _ => positional.push(arg),
@@ -229,11 +273,30 @@ fn run_one_round(args: &[String]) -> Result<bool, String> {
         return Err("run needs <query> <policy> <instance>".to_string());
     };
 
+    if opts.rounds.is_none() {
+        // These flags only mean something across rounds; silently running a
+        // single round instead would misreport what the user asked for.
+        if opts.schedule.is_some() {
+            return Err("--schedule requires --rounds".to_string());
+        }
+        if opts.feedback.is_some() {
+            return Err("--feedback requires --rounds".to_string());
+        }
+    }
+
     let query = load_run_query(query_spec)?;
     let instance = load_run_instance(instance_spec, &query)?;
-    let policy = load_run_policy(policy_spec, &query, &instance)?;
 
-    let engine = OneRoundEngine::new(policy.as_dyn()).workers(workers);
+    if opts.rounds.is_some() {
+        return run_multi_round(&query, policy_spec, instance_spec, &instance, &opts);
+    }
+
+    let policy = load_run_policy(policy_spec, &query, &instance)?;
+    let engine = OneRoundEngine::new(policy.as_ref())
+        .workers(opts.workers)
+        .distribute_workers(opts.distribute_workers)
+        .streaming(opts.streaming);
+    let json = opts.json;
     // `total` covers only the one-round run; the centralized evaluation
     // below is a correctness check, not part of the round being measured.
     let total_start = std::time::Instant::now();
@@ -317,6 +380,310 @@ fn run_one_round(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(correct)
+}
+
+/// The multi-round arm of `run`: iterated distribute→evaluate cycles,
+/// compared against the global fixpoint of the centralized iterated query.
+fn run_multi_round(
+    query: &ConjunctiveQuery,
+    policy_spec: &str,
+    instance_spec: &str,
+    instance: &Instance,
+    opts: &RunOptions,
+) -> Result<bool, String> {
+    let rounds = opts.rounds.unwrap_or(1);
+    // The <policy> positional is always resolved — a typo'd spec must fail
+    // even when --schedule overrides which policies actually run; without
+    // --schedule the single <policy> spec repeats every round.
+    let positional_policy = load_run_policy(policy_spec, query, instance)?;
+    let policies: Vec<Box<dyn DistributionPolicy>> = match &opts.schedule {
+        Some(spec) => workloads::named_schedule(spec, query)?,
+        None => vec![positional_policy],
+    };
+    let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
+    let mut engine = MultiRoundEngine::new(RoundSchedule::of(refs))
+        .rounds(rounds)
+        .workers(opts.workers)
+        .distribute_workers(opts.distribute_workers)
+        .streaming(opts.streaming);
+    if let Some(feedback) = &opts.feedback {
+        // A feedback relation the query never reads — or reads at a
+        // different arity — would make the recursion silently inert; the
+        // user asked for iteration, so that is a usage error.
+        let head_arity = query.head().arity();
+        match query.schema().arity(Symbol::new(feedback)) {
+            Some(arity) if arity == head_arity => {}
+            Some(arity) => {
+                return Err(format!(
+                    "--feedback {feedback}: the query reads '{feedback}' with arity {arity}, but the head has arity {head_arity}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "--feedback {feedback}: the query does not read relation '{feedback}'"
+                ))
+            }
+        }
+        engine = engine.feedback_into(feedback);
+    }
+
+    // `total` covers only the distributed multi-round run (same contract as
+    // the one-round arm); the centralized reference fixpoint inside the
+    // report is a correctness check, not part of the rounds being measured.
+    let total_start = std::time::Instant::now();
+    let outcome = engine.evaluate(query, instance);
+    let total = total_start.elapsed();
+    let report = MultiRoundInstanceReport::from_outcome(query, &engine, instance, outcome);
+    let outcome = &report.outcome;
+
+    if opts.json {
+        let per_round: Vec<String> = outcome
+            .rounds
+            .iter()
+            .enumerate()
+            .map(|(i, round)| {
+                format!(
+                    r#"{{"round":{},"result_size":{},"nodes":{},"total_assigned":{},"max_load":{},"skipped":{},"replication_factor":{:.4},"peak_chunks":{},"distribute_us":{},"local_eval_us":{}}}"#,
+                    i,
+                    round.result.len(),
+                    round.stats.nodes,
+                    round.stats.total_assigned,
+                    round.stats.max_load,
+                    round.stats.skipped,
+                    round.stats.replication_factor,
+                    round.peak_chunks,
+                    round.distribute_time.as_micros(),
+                    round.local_eval_time.as_micros(),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"query\":\"{}\",\"policy\":\"{}\",\"schedule\":{},\"instance\":\"{}\",\"instance_facts\":{},\"workers\":{},\"streaming\":{},\"rounds_requested\":{},\"rounds_run\":{},\"reference_rounds\":{},\"converged\":{},\"multi_round_correct\":{},\"result_size\":{},\"missing\":{},\"total_comm_volume\":{},\"timings_us\":{{\"distribute\":{},\"local_eval\":{},\"total\":{}}},\"rounds\":[{}]}}",
+            json_escape(&query.to_string()),
+            json_escape(policy_spec),
+            match &opts.schedule {
+                Some(s) => format!("\"{}\"", json_escape(s)),
+                None => "null".to_string(),
+            },
+            json_escape(instance_spec),
+            instance.len(),
+            opts.workers,
+            opts.streaming,
+            rounds,
+            outcome.rounds_run(),
+            report.reference_rounds,
+            outcome.converged,
+            report.correct,
+            outcome.result.len(),
+            report.missing.len(),
+            outcome.total_comm_volume(),
+            outcome.total_distribute_time().as_micros(),
+            outcome.total_local_eval_time().as_micros(),
+            total.as_micros(),
+            per_round.join(",")
+        );
+    } else {
+        println!("query:       {query}");
+        match &opts.schedule {
+            Some(s) => println!("schedule:    {s}"),
+            None => println!("policy:      {policy_spec} (every round)"),
+        }
+        if let Some(feedback) = &opts.feedback {
+            println!("feedback:    outputs re-enter as {feedback}");
+        }
+        println!("instance:    {instance_spec} ({} facts)", instance.len());
+        println!(
+            "rounds:      {} run / {} requested (reference fixpoint: {})",
+            outcome.rounds_run(),
+            rounds,
+            report.reference_rounds
+        );
+        println!("converged:   {}", outcome.converged);
+        println!("result size: {}", outcome.result.len());
+        println!(
+            "correct:     {}",
+            if report.correct {
+                "yes (equals the global fixpoint)"
+            } else {
+                "NO (distributed result differs from the iterated fixpoint)"
+            }
+        );
+        println!(
+            "comm volume: {} fact-assignments over all rounds",
+            outcome.total_comm_volume()
+        );
+        println!(
+            "timings:     distribute={}µs local_eval={}µs total={}µs",
+            outcome.total_distribute_time().as_micros(),
+            outcome.total_local_eval_time().as_micros(),
+            total.as_micros()
+        );
+        for (i, round) in outcome.rounds.iter().enumerate() {
+            println!(
+                "  round {i}: output={} {} peak_chunks={} time={}µs",
+                round.result.len(),
+                round.stats,
+                round.peak_chunks,
+                (round.distribute_time + round.local_eval_time).as_micros()
+            );
+        }
+    }
+    Ok(report.correct)
+}
+
+/// One parsed trajectory record: a bench name and its `(id, mean_ns)` rows.
+struct BenchRun {
+    bench: String,
+    results: Vec<(String, u128)>,
+}
+
+/// Parses one JSONL line of the trajectory format written by the vendored
+/// criterion (`{"bench":…,"unix_ms":…,"results":[{"id":…,"mean_ns":…},…]}`).
+/// Hand-rolled because the vendored serde is a no-op; the format is
+/// machine-generated, so a scanning extractor is sufficient.
+fn parse_bench_line(line: &str) -> Result<BenchRun, String> {
+    /// Reads the JSON string following `key`, unescaping the `\"` and `\\`
+    /// sequences criterion's `json_escape` emits (other escapes pass
+    /// through verbatim — both runs go through this same parser, so ids
+    /// still compare consistently). Returns the string and the offset just
+    /// past its closing quote.
+    fn string_after(text: &str, key: &str) -> Option<(String, usize)> {
+        let start = text.find(key)? + key.len();
+        let mut out = String::new();
+        let mut escaped = false;
+        for (offset, c) in text[start..].char_indices() {
+            if escaped {
+                match c {
+                    '"' | '\\' => out.push(c),
+                    other => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some((out, start + offset + 1));
+            } else {
+                out.push(c);
+            }
+        }
+        None // unterminated string
+    }
+    let (bench, _) = string_after(line, "\"bench\":\"").ok_or("line has no \"bench\" field")?;
+    let mut results = Vec::new();
+    let mut rest = line;
+    while let Some((id, consumed)) = string_after(rest, "\"id\":\"") {
+        rest = &rest[consumed..];
+        let mean_key = "\"mean_ns\":";
+        let at = rest
+            .find(mean_key)
+            .ok_or(format!("id '{id}' has no mean_ns"))?;
+        let digits: String = rest[at + mean_key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let mean_ns: u128 = digits
+            .parse()
+            .map_err(|_| format!("id '{id}': malformed mean_ns"))?;
+        results.push((id, mean_ns));
+    }
+    if results.is_empty() {
+        return Err(format!("bench '{bench}' record has no results"));
+    }
+    Ok(BenchRun { bench, results })
+}
+
+/// The `bench-diff` subcommand: the CI bench-regression gate. Compares, for
+/// every bench (or only `--bench`-named ones), the most recent trajectory
+/// record against the previous one; exits 1 when any benchmark slowed down
+/// by more than `--threshold-pct` (entries below `--min-ns` in both runs
+/// are noise and are skipped).
+fn bench_diff(args: &[String]) -> Result<bool, String> {
+    let mut path: Option<&String> = None;
+    let mut threshold_pct = 25.0f64;
+    let mut min_ns = 100_000u128;
+    let mut only: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let value = iter.next().ok_or("--threshold-pct needs a number")?;
+                threshold_pct = value
+                    .parse()
+                    .map_err(|_| format!("--threshold-pct: '{value}' is not a number"))?;
+                if threshold_pct <= 0.0 {
+                    return Err("--threshold-pct must be positive".to_string());
+                }
+            }
+            "--min-ns" => {
+                let value = iter.next().ok_or("--min-ns needs a number")?;
+                min_ns = value
+                    .parse()
+                    .map_err(|_| format!("--min-ns: '{value}' is not a number"))?;
+            }
+            "--bench" => only.push(iter.next().ok_or("--bench needs a name")?.to_string()),
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            _ if path.is_none() => path = Some(arg),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let path = path.ok_or("bench-diff needs a <trajectory-file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    // Latest-two records per bench name, in file (= chronological) order.
+    let mut history: std::collections::BTreeMap<String, Vec<BenchRun>> =
+        std::collections::BTreeMap::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let run = parse_bench_line(line)?;
+        history.entry(run.bench.clone()).or_default().push(run);
+    }
+    if history.is_empty() {
+        return Err(format!("{path} contains no bench records"));
+    }
+    for name in &only {
+        if !history.contains_key(name) {
+            return Err(format!("bench '{name}' does not appear in {path}"));
+        }
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (bench, runs) in &history {
+        if !only.is_empty() && !only.contains(bench) {
+            continue;
+        }
+        let [.., previous, latest] = &runs[..] else {
+            println!("bench-diff: {bench}: only one run recorded, nothing to compare");
+            continue;
+        };
+        let baseline: std::collections::BTreeMap<&str, u128> = previous
+            .results
+            .iter()
+            .map(|(id, ns)| (id.as_str(), *ns))
+            .collect();
+        for (id, new_ns) in &latest.results {
+            let Some(&old_ns) = baseline.get(id.as_str()) else {
+                continue;
+            };
+            if old_ns.max(*new_ns) < min_ns {
+                continue; // sub-resolution noise
+            }
+            compared += 1;
+            let change_pct = (*new_ns as f64 - old_ns as f64) / old_ns as f64 * 100.0;
+            if change_pct > threshold_pct {
+                regressions += 1;
+                println!(
+                    "REGRESSION {bench}/{id}: {old_ns}ns -> {new_ns}ns (+{change_pct:.1}% > {threshold_pct:.0}%)"
+                );
+            }
+        }
+    }
+    println!(
+        "bench-diff: {compared} benchmarks compared, {regressions} regression(s) above {threshold_pct:.0}%"
+    );
+    Ok(regressions == 0)
 }
 
 /// Parses the policy-file format described in the module documentation.

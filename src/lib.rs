@@ -51,17 +51,20 @@ pub mod prelude {
         JoinOrdering, Schema, Substitution, Symbol, Valuation, Value, Variable,
     };
     pub use distribution::{
-        DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily, HypercubePolicy,
-        Network, Node, OneRoundEngine, RuleBasedPolicy,
+        ChunkStream, DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily,
+        HypercubePolicy, MultiRoundEngine, MultiRoundOutcome, Network, Node, OneRoundEngine,
+        RoundSchedule, RuleBasedPolicy,
     };
     pub use pc_core::{
         check_parallel_correctness, check_parallel_correctness_bounded,
         check_parallel_correctness_on_instance, check_transfer, check_transfer_strongly_minimal,
         holds_c0, holds_c1, holds_c2, holds_c3, hypercube_parallel_correct, is_minimal_valuation,
-        is_strongly_minimal, validate_hypercube_family, PcReport, TransferReport,
+        is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
+        MultiRoundInstanceReport, PcReport, TransferReport,
     };
     pub use workloads::{
-        chain_query, example_3_5_query, named_instance, named_query, random_instance, random_query,
-        star_query, triangle_query, zipf_instance, InstanceParams, QueryParams,
+        chain_query, example_3_5_query, named_instance, named_query, named_schedule,
+        random_instance, random_query, star_query, triangle_query, zipf_instance, InstanceParams,
+        QueryParams,
     };
 }

@@ -197,6 +197,289 @@ fn run_rejects_bad_specs_and_flags_with_usage_errors() {
     );
 }
 
+const CHAIN_FACTS: &str = "R(a, b). R(b, c). R(c, d). R(d, e).";
+
+#[test]
+fn run_multi_round_closure_converges_and_exits_zero() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--rounds",
+        "8",
+        "--feedback",
+        "R",
+    ]);
+    assert_eq!(
+        code, 0,
+        "converged closure must equal the fixpoint: {stdout}"
+    );
+    assert!(stdout.contains("converged:   true"));
+    assert!(stdout.contains("correct:     yes"));
+    assert!(stdout.contains("round 0:"), "per-round lines expected");
+    assert!(stdout.contains("comm volume:"));
+}
+
+#[test]
+fn run_multi_round_capped_below_fixpoint_exits_one() {
+    // An 8-edge chain needs 3 squaring rounds; a 2-round cap falls short of
+    // the global fixpoint and must exit 1.
+    let long_chain = "R(a,b). R(b,c). R(c,d). R(d,e). R(e,f). R(f,g). R(g,h). R(h,i).";
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        long_chain,
+        "--rounds",
+        "2",
+        "--feedback",
+        "R",
+    ]);
+    assert_eq!(code, 1, "round-capped run must be incorrect: {stdout}");
+    assert!(stdout.contains("converged:   false"));
+}
+
+#[test]
+fn run_multi_round_json_has_the_per_round_shape() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--rounds",
+        "6",
+        "--feedback",
+        "R",
+        "--streaming",
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    let line = stdout.trim();
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not JSON: {line}"
+    );
+    assert_eq!(
+        line.lines().count(),
+        1,
+        "--json must print exactly one line"
+    );
+    for key in [
+        "\"rounds_requested\":6",
+        "\"rounds_run\":",
+        "\"reference_rounds\":",
+        "\"converged\":true",
+        "\"multi_round_correct\":true",
+        "\"streaming\":true",
+        "\"total_comm_volume\":",
+        "\"rounds\":[{\"round\":0,",
+        "\"peak_chunks\":",
+        "\"distribute_us\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}
+
+#[test]
+fn run_multi_round_accepts_schedules_and_rejects_bad_ones() {
+    let (code, _) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--rounds",
+        "6",
+        "--feedback",
+        "R",
+        "--schedule",
+        "hash-join:3,hypercube:2",
+    ]);
+    assert_eq!(code, 0);
+    // malformed schedules and flags are usage errors
+    for bad in [
+        vec![
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--rounds",
+            "2",
+            "--schedule",
+            "bogus:3",
+        ],
+        vec![
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--rounds",
+            "0",
+        ],
+        vec!["run", "chain:2", "hypercube:2", CHAIN_FACTS, "--rounds"],
+        vec![
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--rounds",
+            "2",
+            "--feedback",
+        ],
+    ] {
+        assert_eq!(pcq_analyze(&bad), 2, "{bad:?} must be a usage error");
+    }
+}
+
+#[test]
+fn run_rejects_feedback_relations_the_query_cannot_read() {
+    // Feeding outputs into a relation the query never reads (or reads at a
+    // different arity) would make the recursion silently inert.
+    let triangle_facts = "E(a, b). E(b, c). E(c, a).";
+    for feedback in ["E", "Z"] {
+        let code = pcq_analyze(&[
+            "run",
+            TRIANGLE,
+            "hypercube:2",
+            triangle_facts,
+            "--rounds",
+            "4",
+            "--feedback",
+            feedback,
+        ]);
+        assert_eq!(code, 2, "--feedback {feedback} on an arity-3-head query");
+    }
+}
+
+#[test]
+fn run_rejects_multi_round_flags_without_rounds() {
+    // --schedule / --feedback mean nothing in a single-round run; silently
+    // ignoring them would misreport what the user asked for.
+    for flags in [["--feedback", "R"], ["--schedule", "hypercube:2"]] {
+        let mut args = vec!["run", "chain:2", "hypercube:2", CHAIN_FACTS];
+        args.extend(flags);
+        assert_eq!(pcq_analyze(&args), 2, "{flags:?} without --rounds");
+    }
+}
+
+#[test]
+fn run_single_round_streaming_agrees_with_the_default_path() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:4",
+        "random:10:60",
+        "--streaming",
+        "--distribute-workers",
+        "2",
+    ]);
+    assert_eq!(
+        code, 0,
+        "streaming single round must stay correct: {stdout}"
+    );
+    assert!(stdout.contains("correct:     yes"));
+}
+
+/// Two trajectory records for the same bench: the second regresses one
+/// benchmark by 2x and improves another.
+const REGRESSED_TRAJECTORY: &str = concat!(
+    r#"{"bench":"cq_eval","unix_ms":1,"results":[{"id":"a/slow","mean_ns":1000000},{"id":"a/fast","mean_ns":2000000}]}"#,
+    "\n",
+    r#"{"bench":"cq_eval","unix_ms":2,"results":[{"id":"a/slow","mean_ns":2000000},{"id":"a/fast","mean_ns":1000000}]}"#,
+    "\n",
+);
+
+const STABLE_TRAJECTORY: &str = concat!(
+    r#"{"bench":"cq_eval","unix_ms":1,"results":[{"id":"a/x","mean_ns":1000000}]}"#,
+    "\n",
+    r#"{"bench":"cq_eval","unix_ms":2,"results":[{"id":"a/x","mean_ns":1100000}]}"#,
+    "\n",
+);
+
+#[test]
+fn bench_diff_fails_on_regression_and_names_it() {
+    let path = write_temp("regressed.json", REGRESSED_TRAJECTORY);
+    let (code, stdout) = pcq_analyze_output(&["bench-diff", path.to_str().unwrap()]);
+    assert_eq!(code, 1, "a 2x regression must fail the gate: {stdout}");
+    assert!(stdout.contains("REGRESSION cq_eval/a/slow"));
+    assert!(
+        !stdout.contains("REGRESSION cq_eval/a/fast"),
+        "improvements pass"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bench_diff_passes_within_threshold_and_respects_flags() {
+    let path = write_temp("stable.json", STABLE_TRAJECTORY);
+    let file = path.to_str().unwrap();
+    // +10% is inside the default 25% threshold
+    assert_eq!(pcq_analyze(&["bench-diff", file]), 0);
+    // ...but outside a 5% threshold
+    assert_eq!(
+        pcq_analyze(&["bench-diff", file, "--threshold-pct", "5"]),
+        1
+    );
+    // ...unless the whole entry is below the noise floor
+    assert_eq!(
+        pcq_analyze(&[
+            "bench-diff",
+            file,
+            "--threshold-pct",
+            "5",
+            "--min-ns",
+            "10000000",
+        ]),
+        0
+    );
+    // restricting to an unknown bench is a usage error
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--bench", "nope"]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bench_diff_unescapes_quoted_benchmark_ids() {
+    // criterion's json_escape writes ids containing quotes as \" — the
+    // parser must unescape them so baseline lookups and reports match.
+    let trajectory = concat!(
+        r#"{"bench":"cq_eval","unix_ms":1,"results":[{"id":"a/\"quoted\"","mean_ns":1000000}]}"#,
+        "\n",
+        r#"{"bench":"cq_eval","unix_ms":2,"results":[{"id":"a/\"quoted\"","mean_ns":3000000}]}"#,
+        "\n",
+    );
+    let path = write_temp("escaped.json", trajectory);
+    let (code, stdout) = pcq_analyze_output(&["bench-diff", path.to_str().unwrap()]);
+    assert_eq!(code, 1, "the escaped id must still be compared: {stdout}");
+    assert!(
+        stdout.contains("REGRESSION cq_eval/a/\"quoted\""),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bench_diff_usage_and_parse_errors_exit_two() {
+    assert_eq!(pcq_analyze(&["bench-diff"]), 2);
+    assert_eq!(pcq_analyze(&["bench-diff", "/nonexistent/file.json"]), 2);
+    let path = write_temp("garbage.json", "not json at all\n");
+    assert_eq!(pcq_analyze(&["bench-diff", path.to_str().unwrap()]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bench_diff_accepts_a_single_run_without_comparison() {
+    let path = write_temp(
+        "single.json",
+        r#"{"bench":"cq_eval","unix_ms":1,"results":[{"id":"a/x","mean_ns":5}]}"#,
+    );
+    let (code, stdout) = pcq_analyze_output(&["bench-diff", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("only one run recorded"));
+    let _ = std::fs::remove_file(path);
+}
+
 #[test]
 fn run_accepts_policy_files_and_literal_instances() {
     let path = write_temp("run-policy.txt", EXAMPLE_3_5_POLICY);

@@ -154,6 +154,90 @@ proptest! {
         prop_assert!(expected.contains_all(&r.result));
     }
 
+    /// Differential: at the whole-stack level, a one-round-capped
+    /// `MultiRoundEngine` agrees exactly with `OneRoundEngine` on random
+    /// explicit policies (including skipping, replicating ones).
+    #[test]
+    fn multi_round_capped_at_one_agrees_with_one_round(
+        qseed in 0u64..1000,
+        iseed in 0u64..1000,
+        pseed in 0u64..1000,
+        nodes in 1usize..4,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        let instance = instance_from(iseed, &query.schema(), 3, 8);
+        let policy = workloads::random_explicit_policy(
+            &mut StdRng::seed_from_u64(pseed),
+            &instance,
+            workloads::PolicyParams { nodes, replication: 2, skip_probability: 0.25 },
+        );
+        let one = OneRoundEngine::new(&policy).evaluate(&query, &instance);
+        let multi = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(1)
+            .evaluate(&query, &instance);
+        prop_assert_eq!(multi.rounds_run(), 1);
+        prop_assert_eq!(&multi.result, &one.result);
+        prop_assert_eq!(&multi.rounds[0].per_node_load, &one.per_node_load);
+        prop_assert_eq!(&multi.rounds[0].per_node_output, &one.per_node_output);
+        prop_assert_eq!(multi.rounds[0].stats, one.stats);
+    }
+
+    /// Multi-round evaluation under a query's own Hypercube policy with
+    /// feedback reaches exactly the global fixpoint of the iterated query:
+    /// each round is parallel-correct (Lemma 5.7), so the iteration must
+    /// converge to the centralized reference.
+    #[test]
+    fn hypercube_multi_round_reaches_the_global_fixpoint(
+        qseed in 0u64..1000,
+        iseed in 0u64..1000,
+        buckets in 1usize..3,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        // feedback requires the head arity to match the input relations
+        if query.head().arity() == 2 {
+            let instance = instance_from(iseed, &query.schema(), 4, 10);
+            let policy = HypercubePolicy::uniform(&query, buckets).unwrap();
+            let engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                .rounds(40)
+                .feedback_into("R0");
+            let report = multi_round_correct_on(&query, &engine, &instance);
+            prop_assert!(report.outcome.converged, "40 rounds over a 4-value domain must converge");
+            prop_assert!(report.is_correct(), "missing: {}", report.missing);
+            prop_assert_eq!(report.outcome.rounds_run(), report.reference_rounds);
+        }
+    }
+
+    /// Streaming, parallel-reshuffle multi-round runs agree with the
+    /// materialized engine round for round at the whole-stack level.
+    #[test]
+    fn streaming_multi_round_agrees_with_materialized(
+        qseed in 0u64..500,
+        iseed in 0u64..500,
+    ) {
+        let query = query_from(qseed, 3, 4, 2);
+        if query.head().arity() == 2 {
+            let instance = instance_from(iseed, &query.schema(), 3, 8);
+            let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+            let configure = || MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                .rounds(20)
+                .feedback_into("R0");
+            let base = configure().evaluate(&query, &instance);
+            let streamed = configure()
+                .streaming(true)
+                .workers(3)
+                .distribute_workers(2)
+                .evaluate(&query, &instance);
+            prop_assert_eq!(&base.result, &streamed.result);
+            prop_assert_eq!(base.converged, streamed.converged);
+            prop_assert_eq!(base.rounds_run(), streamed.rounds_run());
+            for (m, s) in base.rounds.iter().zip(&streamed.rounds) {
+                prop_assert_eq!(&m.result, &s.result);
+                prop_assert_eq!(&m.per_node_load, &s.per_node_load);
+                prop_assert_eq!(m.stats, s.stats);
+            }
+        }
+    }
+
     /// Valuation minimality is decided consistently with its definition on
     /// small instances: a valuation is minimal iff no other satisfying
     /// valuation on its required facts derives the same fact from strictly
