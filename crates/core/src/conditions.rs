@@ -32,7 +32,7 @@ use crate::minimality::is_minimal_valuation;
 
 /// A violation of condition (C1): a minimal valuation whose required facts
 /// do not meet at any node.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct C1Violation {
     /// The offending (minimal) valuation.
     pub valuation: Valuation,

@@ -41,7 +41,7 @@ pub fn hypercube_parallel_correct(
 
 /// Result of the randomized/structural validation of the Hypercube family
 /// properties (Lemma 5.7) on concrete instances and members.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct FamilyValidation {
     /// Number of Hypercube members inspected.
     pub members_checked: usize,

@@ -75,7 +75,7 @@ pub fn minimal_valuations_over(query: &ConjunctiveQuery, facts: &Instance) -> Ve
 }
 
 /// A report on the strong minimality of a query.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct StrongMinimalityReport {
     /// Whether the query is strongly minimal.
     pub strongly_minimal: bool,

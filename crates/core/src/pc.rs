@@ -12,7 +12,7 @@ use crate::conditions::{c1_violation, C1Violation};
 /// A violation of parallel-correctness: a minimal valuation whose required
 /// facts never meet, together with the concrete counterexample instance and
 /// the fact that is lost (cf. the proof of Lemma 3.4).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct PcViolation {
     /// The minimal valuation whose facts do not meet under the policy.
     pub valuation: cq::Valuation,
@@ -24,7 +24,7 @@ pub struct PcViolation {
 }
 
 /// The result of a parallel-correctness check over all instances.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct PcReport {
     /// Whether the query is parallel-correct under the policy.
     pub correct: bool,
@@ -40,7 +40,7 @@ impl PcReport {
 }
 
 /// The result of a parallel-correctness check on one instance (PCI).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct PcInstanceReport {
     /// Whether `Q(I) = ⋃_κ Q(dist_P(I)(κ))` on the given instance.
     pub correct: bool,

@@ -13,7 +13,7 @@ use crate::minimality::is_strongly_minimal;
 /// [`distribution::ExplicitPolicy::all_but_one`] /
 /// [`distribution::ExplicitPolicy::skip_one`] over
 /// [`TransferViolation::required_facts`].
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TransferViolation {
     /// The minimal valuation of `Q'` that no minimal valuation of `Q` covers.
     pub valuation: Valuation,
@@ -22,7 +22,7 @@ pub struct TransferViolation {
 }
 
 /// The result of a transferability check from `Q` to `Q'`.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TransferReport {
     /// Whether parallel-correctness transfers from `Q` to `Q'`.
     pub transfers: bool,

@@ -5,9 +5,7 @@ use std::fmt;
 use crate::intern::Symbol;
 
 /// A variable from the universe **var** (disjoint from **dom**).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Variable(Symbol);
 
 impl Variable {
@@ -54,7 +52,7 @@ impl From<&str> for Variable {
 ///
 /// As in the paper, conjunctive queries do not use constants, so atom
 /// arguments are always variables.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Atom {
     /// The relation name.
     pub relation: Symbol,

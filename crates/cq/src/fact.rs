@@ -6,7 +6,7 @@ use crate::intern::Symbol;
 use crate::value::Value;
 
 /// A fact `R(d₁, …, d_k)` over a database schema.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fact {
     /// The relation name.
     pub relation: Symbol,

@@ -57,12 +57,10 @@ impl RelationIndex {
 /// only the candidate facts matching a partially bound atom. Any mutation
 /// (`insert`, `remove`, `extend`, …) invalidates the secondary indexes; they
 /// are rebuilt in one pass on the next indexed lookup.
-#[derive(Default, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
 pub struct Instance {
     facts: BTreeSet<Fact>,
-    #[serde(skip)]
     by_relation: BTreeMap<Symbol, Vec<Fact>>,
-    #[serde(skip)]
     indexes: OnceLock<BTreeMap<Symbol, RelationIndex>>,
 }
 
@@ -382,10 +380,10 @@ impl fmt::Display for Instance {
     }
 }
 
-// Deserialization drops the indexes, so rebuild them.
 impl Instance {
     /// Rebuilds the per-relation fact vectors and drops the secondary
-    /// indexes (needed after deserialization).
+    /// indexes — the repair hook for callers that reconstruct an instance
+    /// from its bare fact set (e.g. after wire decoding by-hand).
     pub fn reindex(&mut self) {
         self.invalidate_indexes();
         self.by_relation.clear();

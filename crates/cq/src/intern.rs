@@ -138,19 +138,6 @@ impl BuildHasher for SymbolHashBuilder {
 /// A hash map keyed by interned-symbol-backed types, using [`SymbolHasher`].
 pub type SymbolMap<K, V> = HashMap<K, V, SymbolHashBuilder>;
 
-impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Symbol::new(&s))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,19 +171,6 @@ mod tests {
         let a: Symbol = "xyz".into();
         let b: Symbol = String::from("xyz").into();
         assert_eq!(a, b);
-    }
-
-    #[test]
-    fn serde_roundtrip_preserves_name() {
-        let s = Symbol::new("Rel42");
-        let json = serde_json_like(&s);
-        assert_eq!(json, "\"Rel42\"");
-    }
-
-    fn serde_json_like(s: &Symbol) -> String {
-        // Minimal serializer check without pulling serde_json into this crate:
-        // Symbol serializes as a plain string, so we can emulate it.
-        format!("{:?}", s.as_str())
     }
 
     #[test]

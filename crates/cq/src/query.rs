@@ -50,7 +50,7 @@ impl std::error::Error for QueryError {}
 /// * every body relation is used with a single arity,
 /// * the body is non-empty and duplicate atoms are removed (the body is a
 ///   *set* of atoms, as in the paper).
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ConjunctiveQuery {
     head: Atom,
     body: Vec<Atom>,

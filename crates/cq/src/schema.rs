@@ -7,9 +7,7 @@ use crate::fact::Fact;
 use crate::intern::Symbol;
 
 /// A relation name together with its arity.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RelationSchema {
     /// The relation name.
     pub name: Symbol,
@@ -18,7 +16,7 @@ pub struct RelationSchema {
 }
 
 /// A database schema: a finite set of relation names with arities.
-#[derive(Clone, PartialEq, Eq, Default, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
 pub struct Schema {
     relations: BTreeMap<Symbol, usize>,
 }

@@ -12,9 +12,7 @@ use crate::query::ConjunctiveQuery;
 /// substitution is total. Substitutions are generalized to atoms and
 /// conjunctive queries in the natural way ([`Substitution::apply_atom`],
 /// [`Substitution::apply_query`]).
-#[derive(
-    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Substitution {
     map: BTreeMap<Variable, Variable>,
 }

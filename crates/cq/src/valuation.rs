@@ -15,9 +15,7 @@ use crate::value::Value;
 /// on `vars(Q)`; [`Valuation::is_total_for`] checks totality. Partial
 /// valuations are used internally by the evaluation engine and by the
 /// decision procedures (e.g. pre-binding head variables).
-#[derive(
-    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Valuation {
     map: BTreeMap<Variable, Value>,
 }

@@ -11,9 +11,7 @@ use crate::intern::Symbol;
 /// compare. Synthetic values (used when the decision procedures need "fresh"
 /// values that cannot clash with user data) are created with
 /// [`Value::synthetic`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value(Symbol);
 
 impl Value {

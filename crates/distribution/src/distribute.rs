@@ -57,6 +57,13 @@ impl Distribution {
         out
     }
 
+    /// Consumes the distribution into owned `(node, chunk)` pairs in node
+    /// order — the shipping side of a round hands each chunk to a
+    /// [`Transport`](crate::Transport) without re-cloning it.
+    pub fn into_chunks(self) -> impl Iterator<Item = (Node, Instance)> {
+        self.chunks.into_iter()
+    }
+
     /// Communication and balance statistics of the distribution.
     pub fn stats(&self, original: &Instance) -> DistributionStats {
         let total_assigned: usize = self.chunks.values().map(Instance::len).sum();
@@ -233,7 +240,7 @@ impl<'a> ChunkStream<'a> {
 }
 
 /// Load and communication statistics for one distribution of an instance.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DistributionStats {
     /// Number of nodes in the network.
     pub nodes: usize,

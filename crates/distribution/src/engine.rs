@@ -31,6 +31,7 @@ use cq::{evaluate, ConjunctiveQuery, Instance};
 use crate::distribute::DistributionStats;
 use crate::network::Node;
 use crate::policy::DistributionPolicy;
+use crate::transport::{drain_pool, InMemoryTransport, Transport, TransportError};
 
 /// The outcome of a one-round evaluation.
 #[derive(Clone, Debug)]
@@ -94,39 +95,6 @@ impl OneRoundOutcome {
             self.max_node_time().as_secs_f64() / mean
         }
     }
-}
-
-/// Drains `items` through `f` on a bounded pool: `workers` scoped threads
-/// steal the next unclaimed item index from a shared atomic cursor until
-/// the queue is empty (`workers <= 1` runs on the calling thread). Both
-/// engine paths (materialized and streaming) share this loop so their pool
-/// semantics cannot drift. Results arrive in completion order.
-fn drain_pool<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else {
-                            break;
-                        };
-                        mine.push(f(item));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("local evaluation panicked"))
-            .collect()
-    })
 }
 
 /// A simulated cluster executing the one-round algorithm for a policy.
@@ -197,44 +165,70 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         }
     }
 
-    /// The materialized path: reshuffle into owned chunks, then drain them
-    /// on the worker pool. Every chunk is alive for the whole round.
+    /// The materialized path: reshuffle into owned chunks, then ship them
+    /// through an [`InMemoryTransport`] whose barrier drains the same
+    /// bounded worker pool this engine always used.
     fn evaluate_materialized(
         &self,
         query: &ConjunctiveQuery,
         instance: &Instance,
     ) -> OneRoundOutcome {
+        let mut transport = InMemoryTransport::new(self.workers);
+        self.evaluate_via(&mut transport, 0, query, instance)
+            .expect("the in-memory transport is infallible")
+    }
+
+    /// Runs one round of the algorithm through an explicit [`Transport`]:
+    /// reshuffle locally, ship every node's chunk, wait at the barrier,
+    /// collect the per-node outputs. `round` tags the transport messages
+    /// (multi-round runs number their rounds; standalone calls pass 0).
+    ///
+    /// This is the same algorithm as [`OneRoundEngine::evaluate`] — the
+    /// default path is exactly `evaluate_via` over an [`InMemoryTransport`]
+    /// — but the chunks may now cross a process boundary, so the call can
+    /// fail with a [`TransportError`].
+    pub fn evaluate_via(
+        &self,
+        transport: &mut dyn Transport,
+        round: usize,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> Result<OneRoundOutcome, TransportError> {
         let distribute_start = Instant::now();
         let distribution = self
             .policy
             .distribute_parallel(instance, self.distribute_workers);
         let stats = distribution.stats(instance);
         let distribute_time = distribute_start.elapsed();
-        let chunks: Vec<(Node, &Instance)> = distribution.chunks().collect();
 
-        let workers = self.workers.min(chunks.len()).max(1);
         let local_start = Instant::now();
-        let local_results = drain_pool(&chunks, workers, |&(node, chunk)| {
-            let start = Instant::now();
-            let local = evaluate(query, chunk);
-            (node, local, start.elapsed())
-        });
+        transport.begin_round(round, query)?;
+        let mut per_node_load = BTreeMap::new();
+        let mut nodes = Vec::new();
+        for (node, chunk) in distribution.into_chunks() {
+            per_node_load.insert(node, chunk.len());
+            nodes.push(node);
+            transport.send_chunk(node, chunk)?;
+        }
+        transport.barrier()?;
+        let mut local_results = Vec::with_capacity(nodes.len());
+        for &node in &nodes {
+            let result = transport.recv_chunk(node)?;
+            local_results.push((node, result.output, result.eval_time));
+        }
         let local_eval_time = local_start.elapsed();
 
-        let per_node_load = chunks
-            .iter()
-            .map(|&(node, chunk)| (node, chunk.len()))
-            .collect();
-        self.assemble(
+        let workers = transport.parallelism().min(nodes.len()).max(1);
+        Ok(self.assemble(
             local_results,
             per_node_load,
             distribute_time,
             local_eval_time,
             workers,
-            chunks.len(),
+            nodes.len(),
             false,
             stats,
-        )
+        ))
     }
 
     /// The streaming path: reshuffle into borrowed fact slices, then have

@@ -23,7 +23,12 @@
 //!   results,
 //! * [`MultiRoundEngine`] — the iterated (MPC-style multi-round) algorithm:
 //!   distribute→evaluate cycles under a per-round [`RoundSchedule`], with
-//!   an optional feedback relation, fixpoint detection and a round cap.
+//!   an optional feedback relation, fixpoint detection and a round cap,
+//! * [`Transport`] — the pluggable chunk-shipping seam between the engines
+//!   and wherever local evaluation happens: [`InMemoryTransport`] is the
+//!   classic in-process path refactored behind the trait, and
+//!   `wire::ProcessTransport` ships binary-encoded chunks to
+//!   `pcq-analyze worker` subprocesses over stdio.
 //!
 //! ## Example
 //!
@@ -54,6 +59,7 @@ mod network;
 mod policy;
 mod rounds;
 mod rules;
+mod transport;
 
 pub use distribute::{ChunkStream, Distribution, DistributionStats};
 pub use engine::{OneRoundEngine, OneRoundOutcome};
@@ -64,3 +70,4 @@ pub use network::{Network, Node};
 pub use policy::{DistributionPolicy, FinitePolicy};
 pub use rounds::{IteratedFixpoint, MultiRoundEngine, MultiRoundOutcome, RoundSchedule};
 pub use rules::{AddressTerm, DistributionRule, RuleBasedPolicy, RulePolicyError};
+pub use transport::{InMemoryTransport, NodeResult, Transport, TransportError};

@@ -9,9 +9,7 @@ use cq::Symbol;
 ///
 /// The paper models nodes as values from **dom**; here they are interned
 /// names, so they are `Copy` and cheap to store in sets.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Node(Symbol);
 
 impl Node {
@@ -56,7 +54,7 @@ impl From<&str> for Node {
 }
 
 /// A non-empty finite set of computing nodes.
-#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Network {
     nodes: BTreeSet<Node>,
 }

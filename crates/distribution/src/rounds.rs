@@ -32,6 +32,7 @@ use cq::{evaluate, ConjunctiveQuery, Fact, Instance, Symbol};
 
 use crate::engine::{OneRoundEngine, OneRoundOutcome};
 use crate::policy::DistributionPolicy;
+use crate::transport::{Transport, TransportError};
 
 /// A per-round policy schedule: round `r` uses the `r`-th policy, and the
 /// last policy repeats once the schedule is exhausted (so a one-element
@@ -289,6 +290,46 @@ impl<'a> MultiRoundEngine<'a> {
     /// Runs up to [`MultiRoundEngine::max_rounds`] distribute→local-eval
     /// cycles for `query` starting from `instance`.
     pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> MultiRoundOutcome {
+        self.run_rounds(query, instance, |engine, _round, query, state| {
+            Ok(engine
+                .workers(self.workers)
+                .streaming(self.streaming)
+                .evaluate(query, state))
+        })
+        .expect("in-memory rounds are infallible")
+    }
+
+    /// Like [`MultiRoundEngine::evaluate`], but every round ships its
+    /// chunks through `transport` — the rounds become genuinely
+    /// cross-process when the transport is process-backed. The engine's
+    /// `workers`/`streaming` knobs do not apply (the transport owns local
+    /// evaluation); `distribute_workers` still shards the reshuffle.
+    pub fn evaluate_via(
+        &self,
+        transport: &mut dyn Transport,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> Result<MultiRoundOutcome, TransportError> {
+        self.run_rounds(query, instance, |engine, round, query, state| {
+            engine.evaluate_via(transport, round, query, state)
+        })
+    }
+
+    /// The shared round loop of [`MultiRoundEngine::evaluate`] and
+    /// [`MultiRoundEngine::evaluate_via`]: only *how one round is
+    /// evaluated* differs between the in-memory and transport paths, so the
+    /// carry/feedback/fixpoint bookkeeping cannot drift between them.
+    fn run_rounds(
+        &self,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+        mut eval_round: impl FnMut(
+            OneRoundEngine<'a, dyn DistributionPolicy + 'a>,
+            usize,
+            &ConjunctiveQuery,
+            &Instance,
+        ) -> Result<OneRoundOutcome, TransportError>,
+    ) -> Result<MultiRoundOutcome, TransportError> {
         let mut state = instance.clone();
         // Every round-instance state ever reached (for cycle detection) and
         // every fact ever seen (the reported `final_state`). States over a
@@ -301,11 +342,8 @@ impl<'a> MultiRoundEngine<'a> {
         let mut converged = false;
         for round in 0..self.max_rounds {
             let policy = self.schedule.policy_for(round);
-            let outcome = OneRoundEngine::new(policy)
-                .workers(self.workers)
-                .distribute_workers(self.distribute_workers)
-                .streaming(self.streaming)
-                .evaluate(query, &state);
+            let engine = OneRoundEngine::new(policy).distribute_workers(self.distribute_workers);
+            let outcome = eval_round(engine, round, query, &state)?;
             let done = self.advance_round(
                 &outcome.result,
                 &mut result,
@@ -319,12 +357,12 @@ impl<'a> MultiRoundEngine<'a> {
                 break;
             }
         }
-        MultiRoundOutcome {
+        Ok(MultiRoundOutcome {
             rounds,
             result,
             final_state: seen,
             converged,
-        }
+        })
     }
 
     /// The centralized reference: iterates `evaluate(query, ·)` with the

@@ -1,0 +1,293 @@
+//! The transport abstraction for shipping chunks between rounds.
+//!
+//! The engines in this crate historically evaluated every node's chunk in
+//! the coordinating process — the cluster was simulated in one address
+//! space. [`Transport`] factors the *shipping* side of a round out of the
+//! engine: the engine computes `dist_P(I)` and hands each node's chunk to
+//! the transport, the transport gets the chunk evaluated *somewhere* (in
+//! this process, in a worker subprocess, on another machine), and the
+//! engine collects the per-node results after a barrier.
+//!
+//! A round through a transport is always the same four-step conversation:
+//!
+//! ```text
+//! begin_round(r, Q)              announce the round and its query
+//! send_chunk(node, chunk) …      ship every node's data chunk
+//! barrier()                      wait until every node finished evaluating
+//! recv_chunk(node) …             collect every node's local output
+//! ```
+//!
+//! [`InMemoryTransport`] is the refactored in-process path: chunks are
+//! buffered, the barrier drains them through the same bounded worker pool
+//! the engine always used, and `recv_chunk` hands the results back. The
+//! cross-process implementation (`wire::ProcessTransport`) speaks the same
+//! conversation over stdio pipes to `pcq-analyze worker` subprocesses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use cq::{evaluate, ConjunctiveQuery, Instance};
+
+use crate::network::Node;
+
+/// Errors raised by a [`Transport`].
+///
+/// The in-memory transport never fails; process-backed transports surface
+/// spawn, pipe and protocol failures through this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// An I/O error talking to a worker (pipe closed, spawn failed, …).
+    Io(String),
+    /// The peer violated the wire protocol (unexpected message, bad frame).
+    Protocol(String),
+    /// A chunk was requested for a node the transport never received
+    /// (or was asked for twice).
+    UnknownNode(Node),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(detail) => write!(f, "transport I/O error: {detail}"),
+            TransportError::Protocol(detail) => write!(f, "transport protocol error: {detail}"),
+            TransportError::UnknownNode(node) => {
+                write!(f, "transport has no result for node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One node's local evaluation result, as returned by
+/// [`Transport::recv_chunk`].
+#[derive(Clone, Debug)]
+pub struct NodeResult {
+    /// The node's local query output.
+    pub output: Instance,
+    /// Wall-clock time of the node's local evaluation (as measured by
+    /// whoever evaluated the chunk — a pool worker or a subprocess).
+    pub eval_time: Duration,
+}
+
+/// A pluggable mechanism for shipping chunks to nodes and collecting their
+/// local evaluation results (see the module docs for the conversation).
+///
+/// Implementations may evaluate eagerly on `send_chunk` or lazily at the
+/// `barrier`; callers must not read results before the barrier returns.
+pub trait Transport {
+    /// Announces a new round: `query` is what every node will evaluate over
+    /// the chunk it is about to receive.
+    fn begin_round(&mut self, round: usize, query: &ConjunctiveQuery)
+        -> Result<(), TransportError>;
+
+    /// Ships `chunk` — the node's portion of `dist_P(I)` — to `node`.
+    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError>;
+
+    /// Blocks until every chunk sent this round has been evaluated.
+    fn barrier(&mut self) -> Result<(), TransportError>;
+
+    /// Collects `node`'s local output for the round. Each node's result can
+    /// be received exactly once, after the [`Transport::barrier`].
+    fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError>;
+
+    /// How many chunks the transport can evaluate concurrently (pool
+    /// workers, subprocesses, …) — reporting only; `1` means sequential.
+    fn parallelism(&self) -> usize {
+        1
+    }
+}
+
+/// Drains `items` through `f` on a bounded pool: `workers` scoped threads
+/// steal the next unclaimed item index from a shared atomic cursor until
+/// the queue is empty (`workers <= 1` runs on the calling thread). The
+/// transport barrier and the streaming engine path share this loop so their
+/// pool semantics cannot drift. Results arrive in completion order.
+pub(crate) fn drain_pool<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        mine.push(f(item));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("local evaluation panicked"))
+            .collect()
+    })
+}
+
+/// The in-process [`Transport`]: buffers chunks as they are sent and
+/// evaluates them at the barrier on a bounded worker pool of scoped OS
+/// threads (`workers <= 1` evaluates sequentially on the calling thread).
+///
+/// This is the classic simulated-cluster path of [`OneRoundEngine`]
+/// refactored behind the transport seam; it is infallible and allocates
+/// nothing beyond the chunks themselves.
+///
+/// [`OneRoundEngine`]: crate::OneRoundEngine
+pub struct InMemoryTransport {
+    workers: usize,
+    query: Option<ConjunctiveQuery>,
+    pending: Vec<(Node, Instance)>,
+    ready: BTreeMap<Node, NodeResult>,
+}
+
+impl InMemoryTransport {
+    /// A transport evaluating on a pool of up to `workers` threads.
+    pub fn new(workers: usize) -> InMemoryTransport {
+        InMemoryTransport {
+            workers: workers.max(1),
+            query: None,
+            pending: Vec::new(),
+            ready: BTreeMap::new(),
+        }
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn begin_round(
+        &mut self,
+        _round: usize,
+        query: &ConjunctiveQuery,
+    ) -> Result<(), TransportError> {
+        self.query = Some(query.clone());
+        self.pending.clear();
+        self.ready.clear();
+        Ok(())
+    }
+
+    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.pending.push((node, chunk));
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        let query = self
+            .query
+            .as_ref()
+            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".into()))?;
+        // The pool is bounded by the chunk count: asking for more workers
+        // than chunks costs nothing.
+        let workers = self.workers.min(self.pending.len()).max(1);
+        let results = drain_pool(&self.pending, workers, |(node, chunk)| {
+            let start = Instant::now();
+            let output = evaluate(query, chunk);
+            (
+                *node,
+                NodeResult {
+                    output,
+                    eval_time: start.elapsed(),
+                },
+            )
+        });
+        self.pending.clear();
+        self.ready.extend(results);
+        Ok(())
+    }
+
+    fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.ready
+            .remove(&node)
+            .ok_or(TransportError::UnknownNode(node))
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitPolicy;
+    use crate::network::Network;
+    use crate::policy::DistributionPolicy;
+    use cq::parse_instance;
+
+    fn two_hop() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap()
+    }
+
+    #[test]
+    fn in_memory_transport_round_trips_chunks() {
+        let q = two_hop();
+        let i = parse_instance("R(a, b). S(b, c). R(c, d). S(d, e).").unwrap();
+        let network = Network::with_size(2);
+        let policy = ExplicitPolicy::broadcast(&network, &i);
+        let dist = policy.distribute(&i);
+
+        for workers in [1, 3] {
+            let mut transport = InMemoryTransport::new(workers);
+            transport.begin_round(0, &q).unwrap();
+            for (node, chunk) in dist.chunks() {
+                transport.send_chunk(node, chunk.clone()).unwrap();
+            }
+            transport.barrier().unwrap();
+            for node in network.nodes() {
+                let result = transport.recv_chunk(node).unwrap();
+                assert_eq!(result.output, cq::evaluate(&q, &i));
+            }
+        }
+    }
+
+    #[test]
+    fn recv_without_send_reports_unknown_node() {
+        let mut transport = InMemoryTransport::new(1);
+        transport.begin_round(0, &two_hop()).unwrap();
+        transport.barrier().unwrap();
+        let node = Node::numbered(9);
+        assert!(matches!(
+            transport.recv_chunk(node),
+            Err(TransportError::UnknownNode(n)) if n == node
+        ));
+    }
+
+    #[test]
+    fn barrier_before_begin_round_is_a_protocol_error() {
+        let mut transport = InMemoryTransport::new(1);
+        assert!(matches!(
+            transport.barrier(),
+            Err(TransportError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn node_result_eq_needs_no_derive() {
+        // NodeResult intentionally has no PartialEq (durations differ run to
+        // run); equality checks go through `.output`.
+        let mut transport = InMemoryTransport::new(2);
+        transport.begin_round(0, &two_hop()).unwrap();
+        transport
+            .send_chunk(
+                Node::numbered(0),
+                parse_instance("R(a, b). S(b, c).").unwrap(),
+            )
+            .unwrap();
+        transport.barrier().unwrap();
+        let r = transport.recv_chunk(Node::numbered(0)).unwrap();
+        assert_eq!(r.output.len(), 1);
+        // a second recv for the same node is an error (results are moved out)
+        assert!(transport.recv_chunk(Node::numbered(0)).is_err());
+    }
+}

@@ -3,9 +3,7 @@
 use std::fmt;
 
 /// A propositional literal: a variable index with a sign.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Literal {
     /// The variable index (0-based).
     pub var: usize,
@@ -58,7 +56,7 @@ impl fmt::Display for Literal {
 ///
 /// In a [`Cnf`] a clause is a disjunction; in a [`Dnf`] the same type is used
 /// for conjunctive terms.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Clause {
     /// The literals of the clause.
     pub literals: Vec<Literal>,
@@ -95,7 +93,7 @@ impl fmt::Display for Clause {
 }
 
 /// A total truth assignment over variables `0..len`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Assignment {
     values: Vec<bool>,
 }
@@ -161,7 +159,7 @@ impl Assignment {
 }
 
 /// A CNF formula: a conjunction of disjunctive clauses.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Cnf {
     /// Number of propositional variables (indices `0..num_vars`).
     pub num_vars: usize,
@@ -199,7 +197,7 @@ impl fmt::Display for Cnf {
 }
 
 /// A DNF formula: a disjunction of conjunctive terms.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Dnf {
     /// Number of propositional variables (indices `0..num_vars`).
     pub num_vars: usize,

@@ -1,0 +1,658 @@
+//! The binary codec: varint primitives, the per-message symbol table and
+//! the [`Encode`] / [`Decode`] traits with impls for every shippable type.
+//!
+//! ## Layout
+//!
+//! A codec *body* (the payload of one [frame](crate::frame)) is:
+//!
+//! ```text
+//! body    := symtab payload
+//! symtab  := varint(count) { varint(len) utf8-bytes }*
+//! payload := type-specific, see the Encode impls
+//! ```
+//!
+//! Every interned name in a message — relation names, data values,
+//! variables, node names — is collected into the message's symbol table
+//! while the payload is encoded, and the payload references it by varint
+//! index. A chunk of ten thousand facts over relation `R` ships the string
+//! `"R"` once, not ten thousand times, and repeated data values (the
+//! common case under skew) ship as small integers.
+//!
+//! Varints are LEB128: 7 payload bits per byte, high bit = continuation.
+//!
+//! Decoding never panics: every length is bounds-checked against the
+//! remaining input, symbol references are checked against the table, and
+//! semantic invariants (e.g. query safety) are re-validated on decode.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cq::{Atom, ConjunctiveQuery, Fact, Instance, Symbol, Value, Variable};
+use distribution::{Network, Node};
+
+/// Errors raised while decoding wire data. Corrupted, truncated or
+/// malicious input surfaces here; decoding never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A varint ran over 10 bytes (no u64 needs more).
+    VarintOverflow,
+    /// The payload referenced a symbol index outside the message's table.
+    SymbolIndexOutOfRange {
+        /// The out-of-range index.
+        index: u64,
+        /// Number of entries in the message's symbol table.
+        table_len: usize,
+    },
+    /// A symbol table entry was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum tag byte had no corresponding variant.
+    UnknownTag {
+        /// The type being decoded.
+        context: &'static str,
+        /// The unexpected tag byte.
+        tag: u8,
+    },
+    /// Input remained after the value was fully decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+    /// The bytes decoded structurally but violate a semantic invariant
+    /// (e.g. an unsafe conjunctive query).
+    Invalid(String),
+    /// The frame header did not start with the `PCQW` magic.
+    BadMagic([u8; 4]),
+    /// The frame version is not one this build understands.
+    UnsupportedVersion(u8),
+    /// The frame declared a body longer than the sanity limit.
+    FrameTooLarge {
+        /// Declared body length.
+        len: u64,
+        /// The limit ([`crate::frame::MAX_BODY_LEN`]).
+        limit: u64,
+    },
+    /// An I/O error while reading a frame from a stream.
+    Io(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            DecodeError::SymbolIndexOutOfRange { index, table_len } => {
+                write!(
+                    f,
+                    "symbol index {index} out of range (table has {table_len})"
+                )
+            }
+            DecodeError::InvalidUtf8 => write!(f, "symbol table entry is not valid UTF-8"),
+            DecodeError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag} while decoding {context}")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after the value")
+            }
+            DecodeError::Invalid(detail) => write!(f, "decoded value is invalid: {detail}"),
+            DecodeError::BadMagic(found) => {
+                write!(f, "bad frame magic {found:?} (expected \"PCQW\")")
+            }
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            DecodeError::FrameTooLarge { len, limit } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            DecodeError::Io(detail) => write!(f, "I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends `value` to `out` as a LEB128 varint.
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `input`, returning the value
+/// and the number of bytes consumed.
+pub(crate) fn read_varint(input: &[u8]) -> Result<(u64, usize), DecodeError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= 10 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        let payload = u64::from(byte & 0x7f);
+        value |= payload
+            .checked_shl(7 * i as u32)
+            .ok_or(DecodeError::VarintOverflow)?;
+        if byte & 0x80 == 0 {
+            // Overlong encodings (continuation past bit 63) are rejected by
+            // the checked shift above; a 10th byte with payload > 1 is too.
+            if i == 9 && byte > 1 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            return Ok((value, i + 1));
+        }
+    }
+    Err(DecodeError::Truncated)
+}
+
+/// Builds one message body: collects symbols into the per-message table
+/// while the payload is written, then [`Encoder::finish`] emits
+/// `symtab ++ payload`.
+#[derive(Default)]
+pub struct Encoder {
+    symbols: Vec<Symbol>,
+    index: HashMap<Symbol, u64>,
+    payload: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Writes a varint.
+    pub fn u64(&mut self, value: u64) {
+        write_varint(&mut self.payload, value);
+    }
+
+    /// Writes a `usize` as a varint.
+    pub fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    /// Writes a raw byte (enum tags).
+    pub fn byte(&mut self, value: u8) {
+        self.payload.push(value);
+    }
+
+    /// Writes a bool as a byte.
+    pub fn bool(&mut self, value: bool) {
+        self.byte(u8::from(value));
+    }
+
+    /// Writes a symbol as its table index, interning it into the table on
+    /// first occurrence.
+    pub fn symbol(&mut self, symbol: Symbol) {
+        let next = self.symbols.len() as u64;
+        let index = *self.index.entry(symbol).or_insert_with(|| {
+            self.symbols.push(symbol);
+            next
+        });
+        self.u64(index);
+    }
+
+    /// Finishes the body: symbol table first, then the payload.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 16 * self.symbols.len() + 4);
+        write_varint(&mut out, self.symbols.len() as u64);
+        for symbol in &self.symbols {
+            let bytes = symbol.as_str().as_bytes();
+            write_varint(&mut out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Reads one message body produced by [`Encoder`]: the symbol table is
+/// parsed (and re-interned) up front, then values are read from the
+/// payload cursor.
+pub struct Decoder<'a> {
+    symbols: Vec<Symbol>,
+    payload: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Parses the symbol table at the front of `body` and positions the
+    /// cursor on the payload.
+    pub fn new(body: &'a [u8]) -> Result<Decoder<'a>, DecodeError> {
+        let mut rest = body;
+        let (count, used) = read_varint(rest)?;
+        rest = &rest[used..];
+        // A symbol needs at least one length byte, so `count` can never
+        // legitimately exceed the remaining input — reject early instead of
+        // trusting a corrupted count with a huge allocation.
+        if count > rest.len() as u64 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut symbols = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (len, used) = read_varint(rest)?;
+            rest = &rest[used..];
+            if len > rest.len() as u64 {
+                return Err(DecodeError::Truncated);
+            }
+            let (name, tail) = rest.split_at(len as usize);
+            let name = std::str::from_utf8(name).map_err(|_| DecodeError::InvalidUtf8)?;
+            symbols.push(Symbol::new(name));
+            rest = tail;
+        }
+        Ok(Decoder {
+            symbols,
+            payload: rest,
+        })
+    }
+
+    /// Reads a varint.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let (value, used) = read_varint(self.payload)?;
+        self.payload = &self.payload[used..];
+        Ok(value)
+    }
+
+    /// Reads a varint as a `usize`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::VarintOverflow)
+    }
+
+    /// Reads a raw byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let (&byte, rest) = self.payload.split_first().ok_or(DecodeError::Truncated)?;
+        self.payload = rest;
+        Ok(byte)
+    }
+
+    /// Reads a bool byte (`0` or `1`).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::UnknownTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+
+    /// Reads a symbol-table reference.
+    pub fn symbol(&mut self) -> Result<Symbol, DecodeError> {
+        let index = self.u64()?;
+        self.symbols
+            .get(usize::try_from(index).unwrap_or(usize::MAX))
+            .copied()
+            .ok_or(DecodeError::SymbolIndexOutOfRange {
+                index,
+                table_len: self.symbols.len(),
+            })
+    }
+
+    /// Number of unread payload bytes.
+    pub fn remaining(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.payload.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes {
+                count: self.payload.len(),
+            })
+        }
+    }
+}
+
+/// A value that can be written to the binary wire format.
+pub trait Encode {
+    /// Appends `self` to the encoder's payload (interning symbols into the
+    /// message's table as a side effect).
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// A value that can be read back from the binary wire format.
+pub trait Decode: Sized {
+    /// Reads one value from the decoder's payload cursor.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.u64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(*self);
+    }
+}
+
+impl Decode for usize {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.usize()
+    }
+}
+
+impl Encode for Symbol {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(*self);
+    }
+}
+
+impl Decode for Symbol {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.symbol()
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(self.symbol());
+    }
+}
+
+impl Decode for Value {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Value::new(dec.symbol()?.as_str()))
+    }
+}
+
+impl Encode for Variable {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(self.symbol());
+    }
+}
+
+impl Decode for Variable {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Variable::new(dec.symbol()?.as_str()))
+    }
+}
+
+impl Encode for Node {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(Symbol::new(self.as_str()));
+    }
+}
+
+impl Decode for Node {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Node::new(dec.symbol()?.as_str()))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.usize()?;
+        // Each element consumes at least one payload byte, so a length
+        // beyond the remaining input is corrupt — check before reserving.
+        if len > dec.remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.byte(0),
+            Some(value) => {
+                enc.byte(1);
+                value.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            tag => Err(DecodeError::UnknownTag {
+                context: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for Fact {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(self.relation);
+        self.values.encode(enc);
+    }
+}
+
+impl Decode for Fact {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let relation = dec.symbol()?;
+        let values = Vec::<Value>::decode(dec)?;
+        Ok(Fact::new(relation, values))
+    }
+}
+
+impl Encode for Atom {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(self.relation);
+        self.args.encode(enc);
+    }
+}
+
+impl Decode for Atom {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let relation = dec.symbol()?;
+        let args = Vec::<Variable>::decode(dec)?;
+        Ok(Atom::new(relation, args))
+    }
+}
+
+impl Encode for Instance {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for fact in self.facts() {
+            fact.encode(enc);
+        }
+    }
+}
+
+impl Decode for Instance {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let facts = Vec::<Fact>::decode(dec)?;
+        Ok(Instance::from_facts(facts))
+    }
+}
+
+impl Encode for ConjunctiveQuery {
+    fn encode(&self, enc: &mut Encoder) {
+        self.head().encode(enc);
+        enc.usize(self.body().len());
+        for atom in self.body() {
+            atom.encode(enc);
+        }
+    }
+}
+
+impl Decode for ConjunctiveQuery {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let head = Atom::decode(dec)?;
+        let body = Vec::<Atom>::decode(dec)?;
+        // Re-validate the paper's invariants (safety, arity consistency,
+        // head relation outside the body): bytes from an untrusted peer
+        // must not bypass them.
+        ConjunctiveQuery::new(head, body).map_err(|e| DecodeError::Invalid(e.to_string()))
+    }
+}
+
+impl Encode for Network {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for node in self.nodes() {
+            node.encode(enc);
+        }
+    }
+}
+
+impl Decode for Network {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Network::new(Vec::<Node>::decode(dec)?))
+    }
+}
+
+/// Encodes `value` as a bare codec body (symbol table + payload) without
+/// the frame header; see [`crate::frame::encode_frame`] for framed bytes.
+pub fn encode_body<T: Encode>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.finish()
+}
+
+/// Decodes one value from a bare codec body, requiring the payload to be
+/// fully consumed.
+pub fn decode_body<T: Decode>(body: &[u8]) -> Result<T, DecodeError> {
+    let mut dec = Decoder::new(body)?;
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert_eq!(read_varint(&[]), Err(DecodeError::Truncated));
+        assert_eq!(read_varint(&[0x80]), Err(DecodeError::Truncated));
+        // 11 continuation bytes can encode nothing a u64 holds
+        assert_eq!(read_varint(&[0x80; 11]), Err(DecodeError::VarintOverflow));
+        // 10th byte carrying more than the top u64 bit is overlong
+        let mut overlong = vec![0xff; 9];
+        overlong.push(0x02);
+        assert_eq!(read_varint(&overlong), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn symbol_table_deduplicates_repeated_names() {
+        // A star: the relation name and the hub value recur in all 100
+        // facts, so the per-message table must beat shipping every string
+        // per occurrence (length byte + bytes, the naive encoding).
+        let facts: Vec<Fact> = (0..100)
+            .map(|i| Fact::from_names("Edge", &["hub", &format!("spoke{i}")]))
+            .collect();
+        let instance = Instance::from_facts(facts);
+        assert_eq!(instance.len(), 100);
+        let body = encode_body(&instance);
+        let naive: usize = instance
+            .facts()
+            .map(|f| {
+                let strings = f.relation.as_str().len()
+                    + 1
+                    + f.values.iter().map(|v| v.as_str().len() + 1).sum::<usize>();
+                strings + 1 // arity varint
+            })
+            .sum();
+        assert!(
+            body.len() < naive,
+            "symbol table failed to compress: {} >= {naive}",
+            body.len()
+        );
+        let back: Instance = decode_body(&body).unwrap();
+        assert_eq!(back, instance);
+    }
+
+    #[test]
+    fn queries_re_validate_on_decode() {
+        // Hand-craft a body whose head variable is not in the body atom:
+        // the decoder must reject it, not construct an unsafe query.
+        let q = ConjunctiveQuery::parse("T(x) :- R(x, y).").unwrap();
+        let mut enc = Encoder::new();
+        // head T(w) — w never occurs in the body
+        Atom::from_names("T", &["w"]).encode(&mut enc);
+        enc.usize(1);
+        q.body()[0].encode(&mut enc);
+        let body = enc.finish();
+        let err = decode_body::<ConjunctiveQuery>(&body).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_symbol_references_are_bounds_checked() {
+        let mut enc = Encoder::new();
+        enc.u64(999); // symbol index into an empty table
+        let body = enc.finish();
+        let err = decode_body::<Symbol>(&body).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::SymbolIndexOutOfRange { index: 999, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = encode_body(&Fact::from_names("R", &["a"]));
+        body.push(0x00);
+        let err = decode_body::<Fact>(&body).unwrap_err();
+        assert_eq!(err, DecodeError::TrailingBytes { count: 1 });
+    }
+
+    #[test]
+    fn every_truncation_of_a_body_errors_not_panics() {
+        let q = ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap();
+        let body = encode_body(&q);
+        for cut in 0..body.len() {
+            assert!(
+                decode_body::<ConjunctiveQuery>(&body[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+}

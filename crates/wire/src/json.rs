@@ -1,0 +1,207 @@
+//! A small JSON document builder.
+//!
+//! `pcq-analyze run --json` historically rendered its report with nested
+//! `format!` strings — every new field risked an escaping or comma bug the
+//! compiler could not see. [`JsonValue`] builds the document as a tree and
+//! serializes it compactly (no whitespace, one line) with correct string
+//! escaping everywhere; it is the serialization-subsystem counterpart of
+//! the binary codec for human/tool-facing output.
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counts, sizes, microseconds).
+    UInt(u128),
+    /// A float rendered with a fixed number of decimals (ratios). NaN and
+    /// infinities render as `null` (JSON has no spelling for them).
+    Fixed {
+        /// The value.
+        value: f64,
+        /// Number of decimal places.
+        decimals: u8,
+    },
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved as inserted.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// A float rendered with `decimals` decimal places.
+    pub fn fixed(value: f64, decimals: u8) -> JsonValue {
+        JsonValue::Fixed { value, decimals }
+    }
+
+    /// Appends a `(key, value)` pair to an object.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object — that is a programming error,
+    /// not a data error.
+    pub fn push(&mut self, key: impl Into<String>, value: JsonValue) -> &mut JsonValue {
+        match self {
+            JsonValue::Object(pairs) => pairs.push((key.into(), value)),
+            other => panic!("JsonValue::push on a non-object {other:?}"),
+        }
+        self
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(value: bool) -> JsonValue {
+        JsonValue::Bool(value)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(value: usize) -> JsonValue {
+        JsonValue::UInt(value as u128)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(value: u64) -> JsonValue {
+        JsonValue::UInt(u128::from(value))
+    }
+}
+
+impl From<u128> for JsonValue {
+    fn from(value: u128) -> JsonValue {
+        JsonValue::UInt(value)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(value: &str) -> JsonValue {
+        JsonValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(value: String) -> JsonValue {
+        JsonValue::Str(value)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(value: Option<T>) -> JsonValue {
+        value.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(n) => write!(f, "{n}"),
+            JsonValue::Fixed { value, decimals } => {
+                if value.is_finite() {
+                    write!(f, "{value:.*}", usize::from(*decimals))
+                } else {
+                    write!(f, "null")
+                }
+            }
+            JsonValue::Str(s) => write!(f, "\"{}\"", escape(s)),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{value}", escape(key))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let mut doc = JsonValue::object([
+            ("name", JsonValue::from("T(x) :- R(x, \"y\").")),
+            ("count", JsonValue::from(42usize)),
+            ("ratio", JsonValue::fixed(1.5, 4)),
+            ("ok", JsonValue::from(true)),
+            ("missing", JsonValue::Null),
+        ]);
+        doc.push(
+            "items",
+            JsonValue::array([JsonValue::from(1u64), JsonValue::from(2u64)]),
+        );
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"T(x) :- R(x, \"y\").","count":42,"ratio":1.5000,"ok":true,"missing":null,"items":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\nb\t\"c\"\\"), "a\\nb\\t\\\"c\\\"\\\\");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(JsonValue::fixed(f64::NAN, 2).to_string(), "null");
+        assert_eq!(JsonValue::fixed(f64::INFINITY, 2).to_string(), "null");
+    }
+
+    #[test]
+    fn options_lift_into_null() {
+        assert_eq!(JsonValue::from(None::<&str>), JsonValue::Null);
+        assert_eq!(JsonValue::from(Some("x")).to_string(), "\"x\"".to_string());
+    }
+}

@@ -1,0 +1,254 @@
+//! The top-level message vocabulary of the wire protocol.
+//!
+//! Every frame on a wire stream carries one [`Message`]. The
+//! `EvalChunk`/`ChunkResult` pair ships work to workers and answers back;
+//! `Barrier`/`BarrierAck`/`Shutdown` are the round-control messages the
+//! [`ProcessTransport`](crate::ProcessTransport) synchronizes rounds with;
+//! the `Query`/`Instance`/`Scenario` variants are standalone payloads used
+//! by `pcq-analyze encode`/`decode`.
+
+use cq::{ConjunctiveQuery, Instance};
+use distribution::Node;
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use crate::scenario::Scenario;
+
+/// One node's data chunk for one round — the unit the reshuffle phase
+/// ships across the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkBatch {
+    /// The round the chunk belongs to (guards against stream desync).
+    pub round: u64,
+    /// The node the chunk is addressed to.
+    pub node: Node,
+    /// The facts assigned to the node by the round's policy.
+    pub chunk: Instance,
+}
+
+impl Encode for ChunkBatch {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.round);
+        self.node.encode(enc);
+        self.chunk.encode(enc);
+    }
+}
+
+impl Decode for ChunkBatch {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ChunkBatch {
+            round: dec.u64()?,
+            node: Node::decode(dec)?,
+            chunk: Instance::decode(dec)?,
+        })
+    }
+}
+
+/// A complete wire message (the payload of one frame).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// A standalone conjunctive query.
+    Query(ConjunctiveQuery),
+    /// A standalone database instance.
+    Instance(Instance),
+    /// A standalone evaluation scenario.
+    Scenario(Scenario),
+    /// Coordinator → worker: evaluate `query` over the batch's chunk.
+    EvalChunk {
+        /// The query to evaluate locally.
+        query: ConjunctiveQuery,
+        /// The chunk to evaluate it over.
+        batch: ChunkBatch,
+    },
+    /// Worker → coordinator: the local output for one chunk.
+    ChunkResult {
+        /// The batch's round/node with the node's local output as `chunk`.
+        batch: ChunkBatch,
+        /// Local evaluation wall-clock time, in microseconds.
+        eval_us: u64,
+    },
+    /// Coordinator → worker: the round's chunks are all sent.
+    Barrier {
+        /// The round being closed.
+        round: u64,
+    },
+    /// Worker → coordinator: all of the round's results are flushed.
+    BarrierAck {
+        /// The round being acknowledged.
+        round: u64,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+}
+
+const TAG_QUERY: u8 = 0;
+const TAG_INSTANCE: u8 = 1;
+const TAG_SCENARIO: u8 = 2;
+const TAG_EVAL_CHUNK: u8 = 3;
+const TAG_CHUNK_RESULT: u8 = 4;
+const TAG_BARRIER: u8 = 5;
+const TAG_BARRIER_ACK: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+impl Message {
+    /// A short human-readable name for the message kind (log lines,
+    /// protocol errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Query(_) => "query",
+            Message::Instance(_) => "instance",
+            Message::Scenario(_) => "scenario",
+            Message::EvalChunk { .. } => "eval-chunk",
+            Message::ChunkResult { .. } => "chunk-result",
+            Message::Barrier { .. } => "barrier",
+            Message::BarrierAck { .. } => "barrier-ack",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A borrowed view of [`Message::EvalChunk`]: encodes the identical
+/// frame bytes without cloning the query or the chunk. The transport
+/// ships one of these per node per round, so the owned `Message` variant
+/// would cost a full chunk copy per send.
+pub struct EvalChunkRef<'a> {
+    /// The query the worker should evaluate.
+    pub query: &'a ConjunctiveQuery,
+    /// The chunk (with its round/node routing) to evaluate it over.
+    pub batch: &'a ChunkBatch,
+}
+
+impl Encode for EvalChunkRef<'_> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.byte(TAG_EVAL_CHUNK);
+        self.query.encode(enc);
+        self.batch.encode(enc);
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Message::Query(query) => {
+                enc.byte(TAG_QUERY);
+                query.encode(enc);
+            }
+            Message::Instance(instance) => {
+                enc.byte(TAG_INSTANCE);
+                instance.encode(enc);
+            }
+            Message::Scenario(scenario) => {
+                enc.byte(TAG_SCENARIO);
+                scenario.encode(enc);
+            }
+            Message::EvalChunk { query, batch } => EvalChunkRef { query, batch }.encode(enc),
+            Message::ChunkResult { batch, eval_us } => {
+                enc.byte(TAG_CHUNK_RESULT);
+                batch.encode(enc);
+                enc.u64(*eval_us);
+            }
+            Message::Barrier { round } => {
+                enc.byte(TAG_BARRIER);
+                enc.u64(*round);
+            }
+            Message::BarrierAck { round } => {
+                enc.byte(TAG_BARRIER_ACK);
+                enc.u64(*round);
+            }
+            Message::Shutdown => enc.byte(TAG_SHUTDOWN),
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.byte()? {
+            TAG_QUERY => Ok(Message::Query(ConjunctiveQuery::decode(dec)?)),
+            TAG_INSTANCE => Ok(Message::Instance(Instance::decode(dec)?)),
+            TAG_SCENARIO => Ok(Message::Scenario(Scenario::decode(dec)?)),
+            TAG_EVAL_CHUNK => Ok(Message::EvalChunk {
+                query: ConjunctiveQuery::decode(dec)?,
+                batch: ChunkBatch::decode(dec)?,
+            }),
+            TAG_CHUNK_RESULT => Ok(Message::ChunkResult {
+                batch: ChunkBatch::decode(dec)?,
+                eval_us: dec.u64()?,
+            }),
+            TAG_BARRIER => Ok(Message::Barrier { round: dec.u64()? }),
+            TAG_BARRIER_ACK => Ok(Message::BarrierAck { round: dec.u64()? }),
+            TAG_SHUTDOWN => Ok(Message::Shutdown),
+            tag => Err(DecodeError::UnknownTag {
+                context: "Message",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame};
+    use cq::parse_instance;
+
+    #[test]
+    fn every_message_variant_round_trips() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let instance = parse_instance("R(a, b). R(b, c).").unwrap();
+        let batch = ChunkBatch {
+            round: 3,
+            node: Node::numbered(1),
+            chunk: instance.clone(),
+        };
+        let messages = [
+            Message::Query(query.clone()),
+            Message::Instance(instance.clone()),
+            Message::EvalChunk {
+                query: query.clone(),
+                batch: batch.clone(),
+            },
+            Message::ChunkResult {
+                batch,
+                eval_us: 1234,
+            },
+            Message::Barrier { round: 7 },
+            Message::BarrierAck { round: 7 },
+            Message::Shutdown,
+        ];
+        for message in &messages {
+            let frame = encode_frame(message);
+            let back: Message = decode_frame(&frame).unwrap();
+            assert_eq!(&back, message, "{} failed to round-trip", message.kind());
+        }
+    }
+
+    #[test]
+    fn borrowed_eval_chunk_encodes_the_identical_frame() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let batch = ChunkBatch {
+            round: 2,
+            node: Node::numbered(3),
+            chunk: parse_instance("R(a, b). R(b, c).").unwrap(),
+        };
+        let borrowed = encode_frame(&EvalChunkRef {
+            query: &query,
+            batch: &batch,
+        });
+        let owned = encode_frame(&Message::EvalChunk { query, batch });
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn unknown_message_tags_error() {
+        let mut enc = Encoder::new();
+        enc.byte(200);
+        let body = enc.finish();
+        let err = crate::codec::decode_body::<Message>(&body).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnknownTag {
+                context: "Message",
+                tag: 200
+            }
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The cross-process transport: rounds whose local evaluation really runs
+//! in other OS processes.
+//!
+//! [`ProcessTransport`] spawns a pool of worker subprocesses (by default
+//! this same executable re-invoked as `pcq-analyze worker`) and implements
+//! [`distribution::Transport`] by shipping binary-encoded
+//! [`Message`] frames over the workers' stdio pipes:
+//!
+//! ```text
+//! coordinator                        worker k
+//!   EvalChunk{query, batch}  ──────▶  evaluate locally
+//!   …                        ◀──────  ChunkResult{batch, eval_us}
+//!   Barrier{round}           ──────▶
+//!                            ◀──────  BarrierAck{round}
+//!   (Drop) Shutdown          ──────▶  exit 0
+//! ```
+//!
+//! Chunks are dealt to workers round-robin; at the barrier one scoped
+//! thread per worker walks its queue in lock step (write a chunk, read its
+//! result), so the pipes can never deadlock on full buffers, while the
+//! workers themselves evaluate genuinely in parallel. Workers persist
+//! across rounds — a multi-round run pays the spawn cost once.
+//!
+//! [`run_worker`] is the other side: the read-eval-respond loop behind the
+//! `pcq-analyze worker` subcommand.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use cq::{ConjunctiveQuery, Instance};
+use distribution::{Node, NodeResult, Transport, TransportError};
+
+use crate::frame::{read_frame, write_frame};
+use crate::message::{ChunkBatch, EvalChunkRef, Message};
+
+/// One spawned worker subprocess with its pipe endpoints.
+struct Worker {
+    child: Child,
+    stdin: BufWriter<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+/// A [`Transport`] that ships chunks to worker subprocesses over stdio
+/// pipes (see the module docs for the protocol).
+pub struct ProcessTransport {
+    workers: Vec<Worker>,
+    query: Option<ConjunctiveQuery>,
+    round: u64,
+    /// Per-worker job queues for the current round.
+    jobs: Vec<Vec<ChunkBatch>>,
+    next_worker: usize,
+    results: BTreeMap<Node, NodeResult>,
+}
+
+impl ProcessTransport {
+    /// Spawns `workers` subprocesses of this same executable re-invoked as
+    /// `worker` — the usual configuration for `pcq-analyze`.
+    pub fn spawn(workers: usize) -> Result<ProcessTransport, TransportError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| TransportError::Io(format!("cannot find current executable: {e}")))?;
+        ProcessTransport::spawn_command(exe, &["worker".to_string()], workers)
+    }
+
+    /// Spawns `workers` subprocesses of an explicit `program` with `args`
+    /// (each must speak the worker protocol on stdio). Tests use this to
+    /// point at a freshly built `pcq-analyze`.
+    pub fn spawn_command(
+        program: PathBuf,
+        args: &[String],
+        workers: usize,
+    ) -> Result<ProcessTransport, TransportError> {
+        let workers = workers.max(1);
+        let mut spawned = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let mut child = Command::new(&program)
+                .args(args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| {
+                    TransportError::Io(format!("cannot spawn worker {}: {e}", program.display()))
+                })?;
+            let stdin = child
+                .stdin
+                .take()
+                .ok_or_else(|| TransportError::Io("worker stdin not piped".to_string()))?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| TransportError::Io("worker stdout not piped".to_string()))?;
+            spawned.push(Worker {
+                child,
+                stdin: BufWriter::new(stdin),
+                stdout: BufReader::new(stdout),
+            });
+        }
+        Ok(ProcessTransport {
+            workers: spawned,
+            query: None,
+            round: 0,
+            jobs: vec![Vec::new(); workers],
+            next_worker: 0,
+            results: BTreeMap::new(),
+        })
+    }
+
+    /// Number of worker subprocesses in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+/// Runs one worker's queue in lock step: write a chunk, read back its
+/// result, repeat; then exchange `Barrier`/`BarrierAck`.
+fn drive_worker(
+    worker: &mut Worker,
+    query: &ConjunctiveQuery,
+    round: u64,
+    jobs: &[ChunkBatch],
+) -> Result<Vec<(Node, NodeResult)>, TransportError> {
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let node = job.node;
+        write_frame(&mut worker.stdin, &EvalChunkRef { query, batch: job })
+            .map_err(|e| TransportError::Io(format!("sending chunk for {node}: {e}")))?;
+        match read_frame::<Message>(&mut worker.stdout) {
+            Ok(Some(Message::ChunkResult { batch, eval_us })) => {
+                if batch.round != round || batch.node != node {
+                    return Err(TransportError::Protocol(format!(
+                        "worker answered round {} node {} to a round {round} chunk for {node}",
+                        batch.round, batch.node
+                    )));
+                }
+                results.push((
+                    node,
+                    NodeResult {
+                        output: batch.chunk,
+                        eval_time: Duration::from_micros(eval_us),
+                    },
+                ));
+            }
+            Ok(Some(other)) => {
+                return Err(TransportError::Protocol(format!(
+                    "expected a chunk-result, worker sent {}",
+                    other.kind()
+                )))
+            }
+            Ok(None) => {
+                return Err(TransportError::Io(
+                    "worker closed its pipe mid-round".to_string(),
+                ))
+            }
+            Err(e) => return Err(TransportError::Protocol(e.to_string())),
+        }
+    }
+    write_frame(&mut worker.stdin, &Message::Barrier { round })
+        .map_err(|e| TransportError::Io(format!("sending barrier: {e}")))?;
+    match read_frame::<Message>(&mut worker.stdout) {
+        Ok(Some(Message::BarrierAck { round: acked })) if acked == round => Ok(results),
+        Ok(Some(other)) => Err(TransportError::Protocol(format!(
+            "expected barrier-ack for round {round}, worker sent {}",
+            other.kind()
+        ))),
+        Ok(None) => Err(TransportError::Io(
+            "worker closed its pipe at the barrier".to_string(),
+        )),
+        Err(e) => Err(TransportError::Protocol(e.to_string())),
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn begin_round(
+        &mut self,
+        round: usize,
+        query: &ConjunctiveQuery,
+    ) -> Result<(), TransportError> {
+        self.query = Some(query.clone());
+        self.round = round as u64;
+        for queue in &mut self.jobs {
+            queue.clear();
+        }
+        self.next_worker = 0;
+        self.results.clear();
+        Ok(())
+    }
+
+    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        let batch = ChunkBatch {
+            round: self.round,
+            node,
+            chunk,
+        };
+        self.jobs[self.next_worker].push(batch);
+        self.next_worker = (self.next_worker + 1) % self.workers.len();
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        let query = self
+            .query
+            .clone()
+            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".to_string()))?;
+        let round = self.round;
+        let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); self.workers.len()]);
+        // One scoped thread per worker with jobs; each drives its own pipes
+        // so the workers evaluate concurrently.
+        let outcomes: Vec<Result<Vec<(Node, NodeResult)>, TransportError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .zip(&jobs)
+                    .filter(|(_, jobs)| !jobs.is_empty())
+                    .map(|(worker, jobs)| {
+                        let query = &query;
+                        scope.spawn(move || drive_worker(worker, query, round, jobs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker driver thread panicked"))
+                    .collect()
+            });
+        for outcome in outcomes {
+            self.results.extend(outcome?);
+        }
+        Ok(())
+    }
+
+    fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.results
+            .remove(&node)
+            .ok_or(TransportError::UnknownNode(node))
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ProcessTransport {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Best-effort clean shutdown; a worker that already exited (or
+            // a broken pipe) is fine — we still reap the child below.
+            let _ = write_frame(&mut worker.stdin, &Message::Shutdown);
+        }
+        for worker in &mut self.workers {
+            let _ = worker.child.wait();
+        }
+    }
+}
+
+/// The worker side of the protocol: reads [`Message`] frames from `input`,
+/// evaluates `EvalChunk`s, acknowledges `Barrier`s, and exits on
+/// `Shutdown` or a clean EOF. Returns an error message on protocol or I/O
+/// failure (the CLI maps it to a non-zero exit).
+pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
+    let mut input = BufReader::new(input);
+    let mut output = BufWriter::new(output);
+    loop {
+        match read_frame::<Message>(&mut input) {
+            Ok(None) | Ok(Some(Message::Shutdown)) => return Ok(()),
+            Ok(Some(Message::EvalChunk { query, batch })) => {
+                let start = Instant::now();
+                let local = cq::evaluate(&query, &batch.chunk);
+                let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let reply = Message::ChunkResult {
+                    batch: ChunkBatch {
+                        round: batch.round,
+                        node: batch.node,
+                        chunk: local,
+                    },
+                    eval_us,
+                };
+                write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
+            }
+            Ok(Some(Message::Barrier { round })) => {
+                write_frame(&mut output, &Message::BarrierAck { round })
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(Some(other)) => {
+                return Err(format!("unexpected {} message on a worker", other.kind()))
+            }
+            Err(e) => return Err(format!("bad frame on worker stdin: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+
+    /// Drives `run_worker` entirely in memory (no subprocess): feed it a
+    /// frame script, collect its reply frames.
+    fn worker_script(messages: &[Message]) -> Result<Vec<Message>, String> {
+        let mut input = Vec::new();
+        for m in messages {
+            input.extend(encode_frame(m));
+        }
+        let mut output = Vec::new();
+        run_worker(std::io::Cursor::new(input), &mut output)?;
+        let mut replies = Vec::new();
+        let mut cursor = std::io::Cursor::new(output);
+        while let Some(m) = read_frame::<Message>(&mut cursor).map_err(|e| e.to_string())? {
+            replies.push(m);
+        }
+        Ok(replies)
+    }
+
+    #[test]
+    fn worker_evaluates_chunks_and_acks_barriers() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let chunk = cq::parse_instance("R(a, b). R(b, c).").unwrap();
+        let replies = worker_script(&[
+            Message::EvalChunk {
+                query: query.clone(),
+                batch: ChunkBatch {
+                    round: 0,
+                    node: Node::numbered(0),
+                    chunk: chunk.clone(),
+                },
+            },
+            Message::Barrier { round: 0 },
+            Message::Shutdown,
+        ])
+        .unwrap();
+        assert_eq!(replies.len(), 2);
+        match &replies[0] {
+            Message::ChunkResult { batch, .. } => {
+                assert_eq!(batch.node, Node::numbered(0));
+                assert_eq!(batch.chunk, cq::evaluate(&query, &chunk));
+            }
+            other => panic!("expected a chunk-result, got {}", other.kind()),
+        }
+        assert_eq!(replies[1], Message::BarrierAck { round: 0 });
+    }
+
+    #[test]
+    fn worker_exits_cleanly_on_eof() {
+        assert_eq!(worker_script(&[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn worker_rejects_garbage_and_misdirected_messages() {
+        let mut output = Vec::new();
+        let err =
+            run_worker(std::io::Cursor::new(b"not a frame".to_vec()), &mut output).unwrap_err();
+        assert!(err.contains("bad frame"), "{err}");
+
+        let err = worker_script(&[Message::BarrierAck { round: 0 }]).unwrap_err();
+        assert!(err.contains("unexpected"), "{err}");
+    }
+}

@@ -1,0 +1,819 @@
+//! The textual scenario format: one file describing a complete distributed
+//! evaluation — query, data, per-round policies, round cap and feedback
+//! relation.
+//!
+//! The grammar extends the `cq::parser` grammar (same identifiers, same
+//! query and fact syntax, same `%`/`#` line comments) with the stanzas the
+//! query language cannot express — networks, distribution policies and
+//! round schedules:
+//!
+//! ```text
+//! scenario := stanza*
+//! stanza   := "query" QUERY                       # cq query, ends at '.'
+//!           | "instance" "{" FACT* "}"            # cq instance syntax
+//!           | "schedule" policy ("," policy)*     # one entry per round
+//!           | "rounds" NUMBER
+//!           | "feedback" IDENT
+//! policy   := "broadcast"   network
+//!           | "round-robin" network
+//!           | "hash"        "(" NUMBER ")"        # buckets on the join var
+//!           | "hypercube"   "(" NUMBER ("," NUMBER)* ")"
+//!                                                 # one uniform budget, or
+//!                                                 # per-dimension buckets
+//! network  := "(" NUMBER ")"                      # n0 … n{N-1}
+//!           | "{" IDENT+ "}"                      # explicitly named nodes
+//! ```
+//!
+//! `query`, `instance` and `schedule` are required, each stanza at most
+//! once; `rounds` defaults to 1 and `feedback` to none. The schedule's
+//! last policy repeats past the end, exactly like
+//! [`distribution::RoundSchedule`].
+//!
+//! [`Scenario`]'s `Display` impl is the pretty-printer; parsing is its
+//! exact inverse (`Scenario::parse(s.to_string()) == s` for every value),
+//! which the property suite pins.
+
+use std::fmt;
+
+use cq::{ConjunctiveQuery, Instance, Symbol};
+use distribution::{DistributionPolicy, ExplicitPolicy, HypercubePolicy, Network, Node};
+use workloads::hash_join_policy;
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// A parse error in a scenario file, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Byte offset at which the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The network a broadcast / round-robin policy runs over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkSpec {
+    /// `N` standard-named nodes `n0 … n{N-1}`.
+    Size(usize),
+    /// Explicitly named nodes. Names that are all digits are reserved for
+    /// [`NetworkSpec::Size`] and rejected by the parser.
+    Named(Vec<Symbol>),
+}
+
+impl NetworkSpec {
+    /// Materializes the network.
+    pub fn build(&self) -> Result<Network, String> {
+        match self {
+            NetworkSpec::Size(0) => Err("a network needs at least one node".to_string()),
+            NetworkSpec::Size(n) => Ok(Network::with_size(*n)),
+            NetworkSpec::Named(names) if names.is_empty() => {
+                Err("a network needs at least one node".to_string())
+            }
+            NetworkSpec::Named(names) => {
+                Ok(Network::new(names.iter().map(|n| Node::new(n.as_str()))))
+            }
+        }
+    }
+}
+
+impl fmt::Display for NetworkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkSpec::Size(n) => write!(f, "({n})"),
+            NetworkSpec::Named(names) => {
+                write!(f, "{{")?;
+                for (i, name) in names.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{name}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// One round's distribution policy, by name and parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Every fact — listed or produced by a later round — to every node.
+    Broadcast(NetworkSpec),
+    /// The scenario instance's facts dealt round-robin over the nodes
+    /// (facts produced by later rounds are skipped, as the CLI's
+    /// `round-robin:<n>` spec does).
+    RoundRobin(NetworkSpec),
+    /// Single-key hash partitioning on the query's first join variable
+    /// (`workloads::hash_join_policy`).
+    Hash {
+        /// Number of hash buckets (= nodes).
+        buckets: usize,
+    },
+    /// A Hypercube policy: one uniform budget, or per-dimension bucket
+    /// counts (one per query variable).
+    Hypercube {
+        /// Bucket counts; length 1 means a uniform budget per dimension.
+        buckets: Vec<usize>,
+    },
+}
+
+impl PolicySpec {
+    /// Builds the concrete policy for `query` over `instance` (round-robin
+    /// enumerates the instance's facts; the hash-based policies only need
+    /// the query).
+    pub fn build(
+        &self,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> Result<Box<dyn DistributionPolicy>, String> {
+        match self {
+            PolicySpec::Broadcast(network) => {
+                let network = network.build()?;
+                Ok(Box::new(
+                    ExplicitPolicy::new(network.clone()).with_default(network.nodes()),
+                ))
+            }
+            PolicySpec::RoundRobin(network) => {
+                let network = network.build()?;
+                Ok(Box::new(ExplicitPolicy::round_robin(&network, instance)))
+            }
+            PolicySpec::Hash { buckets } => hash_join_policy(query, *buckets)
+                .map(|p| Box::new(p) as Box<dyn DistributionPolicy>),
+            PolicySpec::Hypercube { buckets } => {
+                let policy = match buckets.as_slice() {
+                    [] => return Err("hypercube needs at least one bucket count".to_string()),
+                    [budget] => HypercubePolicy::uniform(query, *budget),
+                    per_dimension => {
+                        let dims = query.variables().len();
+                        if per_dimension.len() != dims {
+                            return Err(format!(
+                                "hypercube lists {} bucket counts, but the query has {dims} variables",
+                                per_dimension.len()
+                            ));
+                        }
+                        HypercubePolicy::with_buckets(query, per_dimension)
+                    }
+                };
+                policy
+                    .map(|p| Box::new(p) as Box<dyn DistributionPolicy>)
+                    .map_err(|e| format!("hypercube policy: {e}"))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Broadcast(network) => write!(f, "broadcast{network}"),
+            PolicySpec::RoundRobin(network) => write!(f, "round-robin{network}"),
+            PolicySpec::Hash { buckets } => write!(f, "hash({buckets})"),
+            PolicySpec::Hypercube { buckets } => {
+                write!(f, "hypercube(")?;
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A complete distributed-evaluation scenario: everything `pcq-analyze run`
+/// needs, in one parseable, printable, binary-encodable value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// The conjunctive query to evaluate.
+    pub query: ConjunctiveQuery,
+    /// The initial database instance.
+    pub instance: Instance,
+    /// Per-round policy specs (the last one repeats past the end).
+    pub schedule: Vec<PolicySpec>,
+    /// Maximum number of rounds (≥ 1; the run may stop earlier at the
+    /// fixpoint).
+    pub rounds: usize,
+    /// Optional feedback relation: each round's outputs re-enter the next
+    /// round renamed into this relation.
+    pub feedback: Option<Symbol>,
+}
+
+impl Scenario {
+    /// Parses a scenario file (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        Parser::new(text).scenario()
+    }
+
+    /// Builds the concrete per-round policies of the schedule.
+    pub fn build_schedule(&self) -> Result<Vec<Box<dyn DistributionPolicy>>, String> {
+        self.schedule
+            .iter()
+            .map(|spec| {
+                spec.build(&self.query, &self.instance)
+                    .map_err(|e| format!("schedule entry '{spec}': {e}"))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "% pcq scenario")?;
+        writeln!(f, "query {}", self.query)?;
+        writeln!(f, "instance {{")?;
+        for fact in self.instance.facts() {
+            writeln!(f, "  {fact}.")?;
+        }
+        writeln!(f, "}}")?;
+        write!(f, "schedule ")?;
+        for (i, policy) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{policy}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "rounds {}", self.rounds)?;
+        if let Some(feedback) = self.feedback {
+            writeln!(f, "feedback {feedback}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Encode for Scenario {
+    fn encode(&self, enc: &mut Encoder) {
+        self.query.encode(enc);
+        self.instance.encode(enc);
+        enc.usize(self.schedule.len());
+        for policy in &self.schedule {
+            policy.encode(enc);
+        }
+        enc.usize(self.rounds);
+        self.feedback.encode(enc);
+    }
+}
+
+impl Decode for Scenario {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let query = ConjunctiveQuery::decode(dec)?;
+        let instance = Instance::decode(dec)?;
+        let schedule = Vec::<PolicySpec>::decode(dec)?;
+        if schedule.is_empty() {
+            return Err(DecodeError::Invalid(
+                "scenario has an empty schedule".to_string(),
+            ));
+        }
+        let rounds = dec.usize()?;
+        if rounds == 0 {
+            return Err(DecodeError::Invalid("scenario has rounds 0".to_string()));
+        }
+        let feedback = Option::<Symbol>::decode(dec)?;
+        Ok(Scenario {
+            query,
+            instance,
+            schedule,
+            rounds,
+            feedback,
+        })
+    }
+}
+
+const TAG_BROADCAST: u8 = 0;
+const TAG_ROUND_ROBIN: u8 = 1;
+const TAG_HASH: u8 = 2;
+const TAG_HYPERCUBE: u8 = 3;
+
+impl Encode for PolicySpec {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PolicySpec::Broadcast(network) => {
+                enc.byte(TAG_BROADCAST);
+                network.encode(enc);
+            }
+            PolicySpec::RoundRobin(network) => {
+                enc.byte(TAG_ROUND_ROBIN);
+                network.encode(enc);
+            }
+            PolicySpec::Hash { buckets } => {
+                enc.byte(TAG_HASH);
+                enc.usize(*buckets);
+            }
+            PolicySpec::Hypercube { buckets } => {
+                enc.byte(TAG_HYPERCUBE);
+                buckets.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for PolicySpec {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.byte()? {
+            TAG_BROADCAST => Ok(PolicySpec::Broadcast(NetworkSpec::decode(dec)?)),
+            TAG_ROUND_ROBIN => Ok(PolicySpec::RoundRobin(NetworkSpec::decode(dec)?)),
+            TAG_HASH => Ok(PolicySpec::Hash {
+                buckets: dec.usize()?,
+            }),
+            TAG_HYPERCUBE => Ok(PolicySpec::Hypercube {
+                buckets: Vec::<usize>::decode(dec)?,
+            }),
+            tag => Err(DecodeError::UnknownTag {
+                context: "PolicySpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for NetworkSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            NetworkSpec::Size(n) => {
+                enc.byte(0);
+                enc.usize(*n);
+            }
+            NetworkSpec::Named(names) => {
+                enc.byte(1);
+                names.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for NetworkSpec {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.byte()? {
+            0 => Ok(NetworkSpec::Size(dec.usize()?)),
+            1 => Ok(NetworkSpec::Named(Vec::<Symbol>::decode(dec)?)),
+            tag => Err(DecodeError::UnknownTag {
+                context: "NetworkSpec",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Recursive-descent scenario parser, in the style of `cq::parser` (which
+/// it delegates to for the embedded query and facts).
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.bytes();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'%' || c == b'#' {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ScenarioError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", c as char)))
+        }
+    }
+
+    /// An identifier in the cq charset, optionally extended with interior
+    /// dashes (for the `round-robin` keyword).
+    fn ident(&mut self) -> Result<&'a str, ScenarioError> {
+        self.skip_ws();
+        let bytes = self.bytes();
+        let start = self.pos;
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos];
+            let interior_dash = c == b'-' && self.pos > start;
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || interior_dash {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected an identifier"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn number(&mut self) -> Result<usize, ScenarioError> {
+        let word = self.ident()?;
+        word.parse()
+            .map_err(|_| self.error(format!("'{word}' is not a number")))
+    }
+
+    /// Captures the text up to and including the next `terminator`
+    /// (exclusive in the returned slice) and hands it to `parse`. A
+    /// terminator inside a `%`/`#` line comment does not count — the
+    /// captured text keeps its comments (the `cq` parsers skip them too).
+    fn delegate<T>(
+        &mut self,
+        terminator: u8,
+        what: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, ScenarioError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && bytes[self.pos] != terminator {
+            if bytes[self.pos] == b'%' || bytes[self.pos] == b'#' {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        if self.pos == bytes.len() {
+            return Err(ScenarioError {
+                position: start,
+                message: format!("unterminated {what}: expected '{}'", terminator as char),
+            });
+        }
+        let text = &self.input[start..self.pos];
+        self.pos += 1; // consume the terminator
+        parse(text).map_err(|message| ScenarioError {
+            position: start,
+            message,
+        })
+    }
+
+    fn network_spec(&mut self) -> Result<NetworkSpec, ScenarioError> {
+        self.skip_ws();
+        if self.eat(b'(') {
+            let n = self.number()?;
+            self.skip_ws();
+            self.expect(b')')?;
+            return Ok(NetworkSpec::Size(n));
+        }
+        self.expect(b'{')
+            .map_err(|_| self.error("expected '(size)' or '{node names}'"))?;
+        let mut names = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let name = self.ident()?;
+            if name.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(self.error(format!(
+                    "node name '{name}' is all digits; use ({name}) for a sized network"
+                )));
+            }
+            names.push(Symbol::new(name));
+        }
+        if names.is_empty() {
+            return Err(self.error("a named network needs at least one node"));
+        }
+        Ok(NetworkSpec::Named(names))
+    }
+
+    fn policy(&mut self) -> Result<PolicySpec, ScenarioError> {
+        let name = self.ident()?;
+        match name {
+            "broadcast" => Ok(PolicySpec::Broadcast(self.network_spec()?)),
+            "round-robin" => Ok(PolicySpec::RoundRobin(self.network_spec()?)),
+            "hash" => {
+                self.skip_ws();
+                self.expect(b'(')?;
+                let buckets = self.number()?;
+                self.skip_ws();
+                self.expect(b')')?;
+                Ok(PolicySpec::Hash { buckets })
+            }
+            "hypercube" => {
+                self.skip_ws();
+                self.expect(b'(')?;
+                let mut buckets = vec![self.number()?];
+                loop {
+                    self.skip_ws();
+                    if self.eat(b')') {
+                        break;
+                    }
+                    self.expect(b',')?;
+                    buckets.push(self.number()?);
+                }
+                Ok(PolicySpec::Hypercube { buckets })
+            }
+            other => Err(self.error(format!(
+                "unknown policy '{other}' (expected broadcast, round-robin, hash or hypercube)"
+            ))),
+        }
+    }
+
+    fn scenario(&mut self) -> Result<Scenario, ScenarioError> {
+        let mut query: Option<ConjunctiveQuery> = None;
+        let mut instance: Option<Instance> = None;
+        let mut schedule: Option<Vec<PolicySpec>> = None;
+        let mut rounds: Option<usize> = None;
+        let mut feedback: Option<Symbol> = None;
+        loop {
+            self.skip_ws();
+            if self.pos == self.input.len() {
+                break;
+            }
+            let keyword_at = self.pos;
+            let keyword = self.ident()?;
+            let duplicate = |p: &Parser<'_>| ScenarioError {
+                position: keyword_at,
+                message: format!("duplicate '{}' stanza", &p.input[keyword_at..p.pos]),
+            };
+            match keyword {
+                "query" => {
+                    if query.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    // A query ends at its first '.', which cannot occur in
+                    // an identifier — capture through it and let cq parse.
+                    query = Some(self.delegate(b'.', "query", |text| {
+                        ConjunctiveQuery::parse(&format!("{text}."))
+                            .map_err(|e| format!("in query stanza: {e}"))
+                    })?);
+                }
+                "instance" => {
+                    if instance.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    self.skip_ws();
+                    self.expect(b'{')?;
+                    instance = Some(self.delegate(b'}', "instance block", |text| {
+                        cq::parse_instance(text).map_err(|e| format!("in instance stanza: {e}"))
+                    })?);
+                }
+                "schedule" => {
+                    if schedule.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    let mut policies = vec![self.policy()?];
+                    loop {
+                        self.skip_ws();
+                        if self.eat(b',') {
+                            policies.push(self.policy()?);
+                        } else {
+                            break;
+                        }
+                    }
+                    schedule = Some(policies);
+                }
+                "rounds" => {
+                    if rounds.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    let n = self.number()?;
+                    if n == 0 {
+                        return Err(self.error("rounds must be at least 1"));
+                    }
+                    rounds = Some(n);
+                }
+                "feedback" => {
+                    if feedback.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    let name = self.ident()?;
+                    if name.contains('-') {
+                        return Err(self.error(format!(
+                            "feedback relation '{name}' is not a cq identifier"
+                        )));
+                    }
+                    feedback = Some(Symbol::new(name));
+                }
+                other => {
+                    return Err(ScenarioError {
+                        position: keyword_at,
+                        message: format!(
+                            "unknown stanza '{other}' (expected query, instance, schedule, rounds or feedback)"
+                        ),
+                    })
+                }
+            }
+        }
+        let query = query.ok_or(ScenarioError {
+            position: self.input.len(),
+            message: "scenario has no 'query' stanza".to_string(),
+        })?;
+        let instance = instance.ok_or(ScenarioError {
+            position: self.input.len(),
+            message: "scenario has no 'instance' stanza".to_string(),
+        })?;
+        let schedule = schedule.ok_or(ScenarioError {
+            position: self.input.len(),
+            message: "scenario has no 'schedule' stanza".to_string(),
+        })?;
+        Ok(Scenario {
+            query,
+            instance,
+            schedule,
+            rounds: rounds.unwrap_or(1),
+            feedback,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            query: ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
+            instance: cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap(),
+            schedule: vec![
+                PolicySpec::Hash { buckets: 3 },
+                PolicySpec::Hypercube { buckets: vec![2] },
+            ],
+            rounds: 6,
+            feedback: Some(Symbol::new("R")),
+        }
+    }
+
+    #[test]
+    fn pretty_printed_scenarios_re_parse_to_equal_values() {
+        let s = sample();
+        let text = s.to_string();
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, s, "pretty-printer output:\n{text}");
+    }
+
+    #[test]
+    fn parses_a_hand_written_file_with_comments() {
+        let text = "
+            % transitive closure by repeated squaring (cf. sec 3.5.)
+            query T(x, z) :- % squaring step, i.e. R∘R.
+                  R(x, y), R(y, z).
+            instance {
+              R(a, b). R(b, c)   # separators are flexible, {braces} too
+              R(c, d).
+            }
+            schedule broadcast(2), hypercube(2, 2, 2)
+            rounds 8
+            feedback R
+        ";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.instance.len(), 3);
+        assert_eq!(s.rounds, 8);
+        assert_eq!(s.feedback, Some(Symbol::new("R")));
+        assert_eq!(
+            s.schedule,
+            vec![
+                PolicySpec::Broadcast(NetworkSpec::Size(2)),
+                PolicySpec::Hypercube {
+                    buckets: vec![2, 2, 2]
+                },
+            ]
+        );
+        // and it round-trips through the printer too
+        assert_eq!(Scenario::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn named_networks_parse_and_roundtrip() {
+        let text = "
+            query T(x) :- R(x, y).
+            instance { R(a, b). }
+            schedule round-robin{east west}, broadcast{solo}
+        ";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(
+            s.schedule[0],
+            PolicySpec::RoundRobin(NetworkSpec::Named(vec![
+                Symbol::new("east"),
+                Symbol::new("west")
+            ]))
+        );
+        assert_eq!(s.rounds, 1);
+        assert_eq!(Scenario::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_malformed_scenarios_with_positions() {
+        for (text, needle) in [
+            ("instance { R(a). }\nschedule hash(2)", "no 'query'"),
+            ("query T(x) :- R(x).", "no 'instance'"),
+            ("query T(x) :- R(x).\ninstance { R(a). }", "no 'schedule'"),
+            ("query T(x) :- R(x).\nquery T(y) :- R(y).", "duplicate"),
+            ("frobnicate 3", "unknown stanza"),
+            (
+                "query T(x) :- R(x).\ninstance { R(a). }\nschedule teleport(3)",
+                "unknown policy",
+            ),
+            (
+                "query T(x) :- R(x).\ninstance { R(a). }\nschedule hash(2)\nrounds 0",
+                "at least 1",
+            ),
+            (
+                "query T(x) :- R(x).\ninstance { R(a). }\nschedule broadcast{12}",
+                "all digits",
+            ),
+            ("query T(x) :- R(x, y", "unterminated"),
+            (
+                "query T(w) :- R(x).\ninstance { }\nschedule hash(2)",
+                "query stanza",
+            ),
+        ] {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?} gave {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_build_into_working_policies() {
+        let s = Scenario::parse(
+            "query T(x, z) :- R(x, y), S(y, z).
+             instance { R(a, b). S(b, c). R(c, d). S(d, e). }
+             schedule broadcast(3), round-robin(2), hash(4), hypercube(2)",
+        )
+        .unwrap();
+        let policies = s.build_schedule().unwrap();
+        assert_eq!(policies.len(), 4);
+        assert_eq!(policies[0].network().len(), 3);
+        assert_eq!(policies[1].network().len(), 2);
+        assert_eq!(policies[2].network().len(), 4);
+        // a broadcast round is parallel-correct: one round must match
+        let outcome =
+            distribution::OneRoundEngine::new(policies[0].as_ref()).evaluate(&s.query, &s.instance);
+        assert_eq!(outcome.result, cq::evaluate(&s.query, &s.instance));
+    }
+
+    #[test]
+    fn bad_schedule_parameters_fail_at_build_time() {
+        let s = Scenario::parse(
+            "query T(x, z) :- R(x, y), R(y, z).
+             instance { R(a, b). }
+             schedule hypercube(2, 2)",
+        )
+        .unwrap();
+        let err = match s.build_schedule() {
+            Ok(_) => panic!("mismatched hypercube dimensions must not build"),
+            Err(err) => err,
+        };
+        assert!(err.contains("3 variables"), "{err}");
+
+        let s = Scenario::parse("query T(x) :- R(x).\ninstance { R(a). }\nschedule broadcast(0)")
+            .unwrap();
+        assert!(s.build_schedule().is_err());
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_the_binary_codec() {
+        let s = sample();
+        let bytes = crate::frame::encode_frame(&s);
+        let back: Scenario = crate::frame::decode_frame(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based round-trip laws of the wire subsystem:
+//!
+//! * binary: `decode(encode(x)) == x` for random facts, instances,
+//!   queries, chunk batches and scenarios, through both the bare codec
+//!   body and the framed byte stream,
+//! * textual: `parse(print(s)) == s` for random scenarios,
+//! * robustness: corrupted and truncated frames return errors — decoding
+//!   never panics, whatever the bytes.
+
+use cq::{Atom, ConjunctiveQuery, Fact, Instance, Value, Variable};
+use distribution::Node;
+use proptest::prelude::*;
+use wire::{
+    decode_body, decode_frame, encode_body, encode_frame, ChunkBatch, Message, NetworkSpec,
+    PolicySpec, Scenario,
+};
+
+// ---------------------------------------------------------------- strategies
+
+/// Random facts over a pool of relations and values, mixed arities 0..=3.
+fn fact_strategy() -> impl Strategy<Value = Fact> {
+    (0..4usize, proptest::collection::vec(0..6usize, 0..4)).prop_map(|(rel, values)| {
+        Fact::new(
+            format!("R{rel}").as_str(),
+            values.into_iter().map(|v| Value::indexed("d", v)).collect(),
+        )
+    })
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(fact_strategy(), 0..30).prop_map(Instance::from_facts)
+}
+
+/// Random safe queries over binary relations (same shape as the cq
+/// property suite's generator).
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = (0..3usize, 0..4usize, 0..4usize);
+    (proptest::collection::vec(atom, 1..5), 0..3usize).prop_map(|(atoms, head_arity)| {
+        let var = |i: usize| Variable::indexed("x", i);
+        let body: Vec<Atom> = atoms
+            .iter()
+            .map(|&(r, a, b)| Atom::new(format!("R{r}").as_str(), vec![var(a), var(b)]))
+            .collect();
+        let mut body_vars = Vec::new();
+        for atom in &body {
+            for &v in &atom.args {
+                if !body_vars.contains(&v) {
+                    body_vars.push(v);
+                }
+            }
+        }
+        let head_vars: Vec<Variable> = body_vars.into_iter().take(head_arity).collect();
+        ConjunctiveQuery::new(Atom::new("T", head_vars), body).expect("generated query is safe")
+    })
+}
+
+fn policy_spec_strategy() -> impl Strategy<Value = PolicySpec> {
+    (
+        0..5usize,
+        1..5usize,
+        proptest::collection::vec(1..4usize, 1..4),
+    )
+        .prop_map(|(kind, n, buckets)| match kind {
+            0 => PolicySpec::Broadcast(NetworkSpec::Size(n)),
+            1 => PolicySpec::RoundRobin(NetworkSpec::Named(
+                (0..n)
+                    .map(|i| cq::Symbol::new(&format!("host{i}")))
+                    .collect(),
+            )),
+            2 => PolicySpec::Hash { buckets: n },
+            3 => PolicySpec::Hypercube { buckets: vec![n] },
+            _ => PolicySpec::Hypercube { buckets },
+        })
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        query_strategy(),
+        instance_strategy(),
+        proptest::collection::vec(policy_spec_strategy(), 1..4),
+        1..9usize,
+        0..2usize,
+    )
+        .prop_map(|(query, instance, schedule, rounds, feedback)| Scenario {
+            // feedback must be a relation the printer/parser can round-trip;
+            // any body relation name works (the parser does not re-validate
+            // against the query, the CLI does).
+            feedback: (feedback == 1).then(|| query.body()[0].relation),
+            query,
+            instance,
+            schedule,
+            rounds,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn facts_round_trip_through_the_codec(fact in fact_strategy()) {
+        prop_assert_eq!(decode_body::<Fact>(&encode_body(&fact)).unwrap(), fact.clone());
+        prop_assert_eq!(decode_frame::<Fact>(&encode_frame(&fact)).unwrap(), fact);
+    }
+
+    #[test]
+    fn instances_round_trip_through_the_codec(instance in instance_strategy()) {
+        let framed = encode_frame(&instance);
+        prop_assert_eq!(decode_frame::<Instance>(&framed).unwrap(), instance);
+    }
+
+    #[test]
+    fn queries_round_trip_through_the_codec(query in query_strategy()) {
+        let framed = encode_frame(&query);
+        prop_assert_eq!(decode_frame::<ConjunctiveQuery>(&framed).unwrap(), query);
+    }
+
+    #[test]
+    fn chunk_batches_round_trip_through_the_codec(
+        instance in instance_strategy(),
+        round in 0..5u64,
+        node in 0..8usize,
+    ) {
+        let batch = ChunkBatch { round, node: Node::numbered(node), chunk: instance };
+        let framed = encode_frame(&batch);
+        prop_assert_eq!(decode_frame::<ChunkBatch>(&framed).unwrap(), batch);
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_both_formats(scenario in scenario_strategy()) {
+        // textual: the pretty-printer is the parser's exact inverse
+        let text = scenario.to_string();
+        let reparsed = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("printed scenario failed to parse: {e}\n{text}"));
+        prop_assert_eq!(&reparsed, &scenario);
+
+        // binary: framed bytes decode to an equal value
+        let framed = encode_frame(&Message::Scenario(scenario.clone()));
+        prop_assert_eq!(
+            decode_frame::<Message>(&framed).unwrap(),
+            Message::Scenario(scenario)
+        );
+    }
+
+    #[test]
+    fn truncated_frames_error_and_never_panic(
+        instance in instance_strategy(),
+        cut_permille in 0..1000usize,
+    ) {
+        let framed = encode_frame(&Message::Instance(instance));
+        let cut = cut_permille * framed.len() / 1000;
+        prop_assert!(cut < framed.len());
+        prop_assert!(decode_frame::<Message>(&framed[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        query in query_strategy(),
+        instance in instance_strategy(),
+        byte in 0..4096usize,
+        flip in 1..255u8,
+    ) {
+        // Flip one byte anywhere in the frame: the decoder must return
+        // *something* (an error, or — e.g. for a flipped value index that
+        // stays in range — a structurally valid other message) without
+        // panicking or over-allocating.
+        let batch = ChunkBatch { round: 0, node: Node::numbered(0), chunk: instance };
+        let mut framed = encode_frame(&Message::EvalChunk { query, batch });
+        let at = byte % framed.len();
+        framed[at] ^= flip;
+        let _ = decode_frame::<Message>(&framed);
+    }
+}
+
+#[test]
+fn arbitrary_garbage_is_rejected() {
+    for garbage in [
+        &b""[..],
+        b"PCQ",
+        b"PCQX\x01\x00",
+        b"not a frame at all",
+        b"PCQW",
+        b"PCQW\x01",
+        b"PCQW\x02\x00",
+    ] {
+        assert!(
+            decode_frame::<Message>(garbage).is_err(),
+            "{garbage:?} must not decode"
+        );
+    }
+}

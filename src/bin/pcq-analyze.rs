@@ -10,8 +10,14 @@
 //!   pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]
 //!                          [--rounds N] [--schedule S] [--feedback R]
 //!                          [--streaming] [--distribute-workers N]
+//!                          [--transport memory|process]
+//!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
+//!                          [--rounds N] [--feedback R] [--transport T]
+//!   pcq-analyze encode     (query|instance|scenario) <spec>
+//!   pcq-analyze decode
+//!   pcq-analyze worker
 //!   pcq-analyze bench-diff <trajectory-file> [--threshold-pct P]
-//!                          [--min-ns N] [--bench NAME]...
+//!                          [--min-ns N] [--window N] [--bench NAME]...
 //!
 //! ARGUMENTS:
 //!   <query>        a named workload family (triangle, example3.5,
@@ -26,24 +32,39 @@
 //!   <instance>     random:<domain>:<facts>[:seed],
 //!                  zipf:<domain>:<facts>:<exponent-percent>[:seed], a file
 //!                  of facts, or literal facts such as "R(a, b). R(b, c)."
+//!   <file.pcq>     a scenario file in the wire crate's textual format:
+//!                  query, instance, schedule, rounds, feedback in one file.
 //! ```
 //!
 //! `run` reshuffles the instance under the policy and evaluates the query
 //! through the one-round engine, reporting result size, per-node load and
-//! per-node timings (`--json` for machine-readable output). With
-//! `--rounds N` it iterates distribute→evaluate cycles through the
-//! multi-round engine instead: `--schedule` names per-round policies
-//! (`hash-join:<k>,hypercube:<b>,…`; default: the `<policy>` argument every
-//! round), `--feedback R` renames each round's outputs into relation `R`
-//! before the next reshuffle (making the query effectively recursive), and
-//! the result is compared against the global fixpoint of the centralized
-//! iterated query. `--streaming` streams chunks to workers instead of
-//! materializing them; `--distribute-workers` shards the reshuffle phase.
+//! per-node timings (`--json` for machine-readable output, emitted through
+//! the `wire::json` serializer). With `--rounds N` it iterates
+//! distribute→evaluate cycles through the multi-round engine instead:
+//! `--schedule` names per-round policies (`hash-join:<k>,hypercube:<b>,…`;
+//! default: the `<policy>` argument every round), `--feedback R` renames
+//! each round's outputs into relation `R` before the next reshuffle
+//! (making the query effectively recursive), and the result is compared
+//! against the global fixpoint of the centralized iterated query.
+//! `--streaming` streams chunks to workers instead of materializing them;
+//! `--distribute-workers` shards the reshuffle phase. With
+//! `--transport process` local evaluation leaves this process entirely:
+//! chunks are binary-encoded and shipped over stdio pipes to `--workers N`
+//! `pcq-analyze worker` subprocesses. `--scenario file.pcq` replaces the
+//! three positional specs with one scenario file.
 //!
-//! `bench-diff` compares the two most recent entries per bench in a
-//! `BENCH_results.json` trajectory and fails (exit 1) when any benchmark
-//! regressed by more than the threshold (default 25%, ignoring entries
-//! faster than `--min-ns`, default 100µs) — the CI regression gate.
+//! `encode` writes one binary frame (magic `PCQW`) for a query, an
+//! instance or a scenario to stdout; `decode` reads one frame from stdin
+//! and prints its textual form — `encode … | decode` is the identity.
+//! `worker` runs the chunk-evaluation loop that `--transport process`
+//! drives; it is not meant to be invoked interactively.
+//!
+//! `bench-diff` compares the most recent entry per bench in a
+//! `BENCH_results.json` trajectory against the **median of the previous
+//! `--window` entries** (default 3; window 1 reproduces plain
+//! latest-vs-previous) and fails (exit 1) when any benchmark regressed by
+//! more than the threshold (default 25%, ignoring entries faster than
+//! `--min-ns`, default 100µs) — the CI regression gate.
 //!
 //! Exit code 0 means the property holds (for `run`: the distributed result
 //! equals the centralized reference; for `bench-diff`: no regression),
@@ -52,6 +73,7 @@
 use std::process::ExitCode;
 
 use pcq::prelude::*;
+use pcq::wire;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,7 +95,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--distribute-workers N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--distribute-workers N]\n                         [--transport memory|process]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -100,19 +122,36 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok(hypercube(&query, &prime))
         }
         "run" => run_command(&args[1..]),
+        "encode" => encode_command(&args[1..]),
+        "decode" => decode_command(&args[1..]),
+        "worker" => {
+            if args.len() > 1 {
+                return Err("worker takes no arguments".to_string());
+            }
+            wire::run_worker(std::io::stdin().lock(), std::io::stdout().lock())
+                .map(|()| true)
+                .map_err(|e| format!("worker failed: {e}"))
+        }
         "bench-diff" => bench_diff(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Reads `spec` as a file when one exists at that path, else treats the
+/// spec itself as the literal text — the shared resolution rule for every
+/// file-or-literal argument (queries, instances, scenarios).
+fn read_spec_text(spec: &str) -> Result<String, String> {
+    if std::path::Path::new(spec).exists() {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))
+    } else {
+        Ok(spec.to_string())
     }
 }
 
 /// Loads a query from a file path, or parses the argument itself when it is
 /// not an existing file.
 fn load_query(arg: &str) -> Result<ConjunctiveQuery, String> {
-    let text = if std::path::Path::new(arg).exists() {
-        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
-    } else {
-        arg.to_string()
-    };
+    let text = read_spec_text(arg)?;
     ConjunctiveQuery::parse(text.trim()).map_err(|e| format!("cannot parse query '{arg}': {e}"))
 }
 
@@ -133,11 +172,7 @@ fn load_run_instance(arg: &str, query: &ConjunctiveQuery) -> Result<Instance, St
     match workloads::named_instance(arg, &query.schema()) {
         Ok(i) => Ok(i),
         Err(named_err) => {
-            let text = if std::path::Path::new(arg).exists() {
-                std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
-            } else {
-                arg.to_string()
-            };
+            let text = read_spec_text(arg)?;
             cq::parse_instance(text.trim()).map_err(|parse_err| {
                 format!("cannot resolve instance spec '{arg}': {named_err}; {parse_err}")
             })
@@ -188,19 +223,23 @@ fn load_run_policy(
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control characters) —
-/// node and relation names are interned identifiers, but don't rely on it.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// Which side of the [`Transport`] seam evaluates node chunks.
+enum TransportChoice {
+    /// The classic simulated cluster: chunks evaluate on an in-process
+    /// worker pool ([`InMemoryTransport`]).
+    Memory,
+    /// Chunks are binary-encoded and shipped to `pcq-analyze worker`
+    /// subprocesses over stdio pipes ([`ProcessTransport`]).
+    Process,
+}
+
+impl TransportChoice {
+    fn label(&self) -> &'static str {
+        match self {
+            TransportChoice::Memory => "memory",
+            TransportChoice::Process => "process",
         }
     }
-    out
 }
 
 /// Parsed flags of the `run` subcommand.
@@ -212,10 +251,17 @@ struct RunOptions {
     rounds: Option<usize>,
     schedule: Option<String>,
     feedback: Option<String>,
+    scenario: Option<String>,
+    transport: TransportChoice,
+}
+
+/// Starts the worker subprocesses behind `--transport process`.
+fn spawn_process_transport(workers: usize) -> Result<ProcessTransport, String> {
+    ProcessTransport::spawn(workers).map_err(|e| format!("cannot start process transport: {e}"))
 }
 
 /// The `run` subcommand: one-round evaluation of a workload triple, or —
-/// with `--rounds` — the iterated multi-round evaluation.
+/// with `--rounds` or `--scenario` — the iterated multi-round evaluation.
 ///
 /// Exit-code contract: 0 = the distributed result equals the centralized
 /// reference (one-round result, or the global fixpoint of the iterated
@@ -230,6 +276,8 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         rounds: None,
         schedule: None,
         feedback: None,
+        scenario: None,
+        transport: TransportChoice::Memory,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -265,12 +313,79 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                         .to_string(),
                 )
             }
+            "--scenario" => {
+                opts.scenario = Some(
+                    iter.next()
+                        .ok_or("--scenario needs a file path")?
+                        .to_string(),
+                )
+            }
+            "--transport" => {
+                let name = iter.next().ok_or("--transport needs a name")?;
+                opts.transport = match name.as_str() {
+                    "memory" | "mem" => TransportChoice::Memory,
+                    "process" => TransportChoice::Process,
+                    other => {
+                        return Err(format!(
+                            "--transport: '{other}' is not 'memory' or 'process'"
+                        ))
+                    }
+                };
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             _ => positional.push(arg),
         }
     }
+    if matches!(opts.transport, TransportChoice::Process) && opts.streaming {
+        // Streaming is an in-memory allocation optimization (borrowed
+        // chunks); shipping to a subprocess always materializes.
+        return Err("--streaming cannot be combined with --transport process".to_string());
+    }
+
+    if let Some(path) = opts.scenario.clone() {
+        if !positional.is_empty() {
+            return Err(
+                "--scenario replaces the positional <query> <policy> <instance> specs".to_string(),
+            );
+        }
+        if opts.schedule.is_some() {
+            return Err(
+                "--schedule cannot be combined with --scenario (the file has its own schedule)"
+                    .to_string(),
+            );
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let policies = scenario
+            .build_schedule()
+            .map_err(|e| format!("{path}: {e}"))?;
+        let rounds = opts.rounds.unwrap_or(scenario.rounds);
+        let feedback = opts
+            .feedback
+            .clone()
+            .or_else(|| scenario.feedback.map(|f| f.to_string()));
+        let schedule_label = scenario
+            .schedule
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        return run_multi_round(
+            &scenario.query,
+            &format!("scenario:{path}"),
+            Some(schedule_label),
+            &path,
+            &scenario.instance,
+            policies,
+            rounds,
+            feedback.as_deref(),
+            &opts,
+        );
+    }
+
     let [query_spec, policy_spec, instance_spec] = positional[..] else {
-        return Err("run needs <query> <policy> <instance>".to_string());
+        return Err("run needs <query> <policy> <instance> (or --scenario <file>)".to_string());
     };
 
     if opts.rounds.is_none() {
@@ -287,8 +402,26 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let query = load_run_query(query_spec)?;
     let instance = load_run_instance(instance_spec, &query)?;
 
-    if opts.rounds.is_some() {
-        return run_multi_round(&query, policy_spec, instance_spec, &instance, &opts);
+    if let Some(rounds) = opts.rounds {
+        // The <policy> positional is always resolved — a typo'd spec must
+        // fail even when --schedule overrides which policies actually run;
+        // without --schedule the single <policy> spec repeats every round.
+        let positional_policy = load_run_policy(policy_spec, &query, &instance)?;
+        let policies: Vec<Box<dyn DistributionPolicy>> = match &opts.schedule {
+            Some(spec) => workloads::named_schedule(spec, &query)?,
+            None => vec![positional_policy],
+        };
+        return run_multi_round(
+            &query,
+            policy_spec,
+            opts.schedule.clone(),
+            instance_spec,
+            &instance,
+            policies,
+            rounds,
+            opts.feedback.as_deref(),
+            &opts,
+        );
     }
 
     let policy = load_run_policy(policy_spec, &query, &instance)?;
@@ -296,58 +429,98 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         .workers(opts.workers)
         .distribute_workers(opts.distribute_workers)
         .streaming(opts.streaming);
-    let json = opts.json;
     // `total` covers only the one-round run; the centralized evaluation
     // below is a correctness check, not part of the round being measured.
     let total_start = std::time::Instant::now();
-    let outcome = engine.evaluate(&query, &instance);
+    let outcome = match opts.transport {
+        TransportChoice::Memory => engine.evaluate(&query, &instance),
+        TransportChoice::Process => {
+            let mut transport = spawn_process_transport(opts.workers)?;
+            engine
+                .evaluate_via(&mut transport, 0, &query, &instance)
+                .map_err(|e| e.to_string())?
+        }
+    };
     let total = total_start.elapsed();
     let correct = outcome.result == cq::evaluate(&query, &instance);
 
-    if json {
-        let per_node: Vec<String> = outcome
-            .per_node_output
-            .keys()
-            .map(|node| {
-                format!(
-                    r#"{{"node":"{}","load":{},"output":{},"time_us":{}}}"#,
-                    json_escape(node.as_str()),
-                    outcome.per_node_load.get(node).copied().unwrap_or(0),
-                    outcome.per_node_output.get(node).copied().unwrap_or(0),
-                    outcome
-                        .per_node_time
-                        .get(node)
-                        .copied()
-                        .unwrap_or_default()
-                        .as_micros()
-                )
-            })
-            .collect();
-        println!(
-            "{{\"query\":\"{}\",\"policy\":\"{}\",\"instance\":\"{}\",\"instance_facts\":{},\"workers\":{},\"result_size\":{},\"parallel_correct\":{},\"stats\":{{\"nodes\":{},\"total_assigned\":{},\"distinct_assigned\":{},\"max_load\":{},\"skipped\":{},\"replication_factor\":{:.4}}},\"timings_us\":{{\"distribute\":{},\"local_eval\":{},\"total\":{}}},\"per_node\":[{}]}}",
-            json_escape(&query.to_string()),
-            json_escape(policy_spec),
-            json_escape(instance_spec),
-            instance.len(),
-            outcome.workers,
-            outcome.result.len(),
-            correct,
-            outcome.stats.nodes,
-            outcome.stats.total_assigned,
-            outcome.stats.distinct_assigned,
-            outcome.stats.max_load,
-            outcome.stats.skipped,
-            outcome.stats.replication_factor,
-            outcome.distribute_time.as_micros(),
-            outcome.local_eval_time.as_micros(),
-            total.as_micros(),
-            per_node.join(",")
-        );
+    if opts.json {
+        let per_node = JsonValue::array(outcome.per_node_output.keys().map(|node| {
+            JsonValue::object([
+                ("node", JsonValue::from(node.as_str())),
+                (
+                    "load",
+                    JsonValue::from(outcome.per_node_load.get(node).copied().unwrap_or(0)),
+                ),
+                (
+                    "output",
+                    JsonValue::from(outcome.per_node_output.get(node).copied().unwrap_or(0)),
+                ),
+                (
+                    "time_us",
+                    JsonValue::from(
+                        outcome
+                            .per_node_time
+                            .get(node)
+                            .copied()
+                            .unwrap_or_default()
+                            .as_micros(),
+                    ),
+                ),
+            ])
+        }));
+        let doc = JsonValue::object([
+            ("query", JsonValue::from(query.to_string())),
+            ("policy", JsonValue::from(policy_spec.as_str())),
+            ("instance", JsonValue::from(instance_spec.as_str())),
+            ("instance_facts", JsonValue::from(instance.len())),
+            ("workers", JsonValue::from(outcome.workers)),
+            ("transport", JsonValue::from(opts.transport.label())),
+            ("result_size", JsonValue::from(outcome.result.len())),
+            ("parallel_correct", JsonValue::from(correct)),
+            (
+                "stats",
+                JsonValue::object([
+                    ("nodes", JsonValue::from(outcome.stats.nodes)),
+                    (
+                        "total_assigned",
+                        JsonValue::from(outcome.stats.total_assigned),
+                    ),
+                    (
+                        "distinct_assigned",
+                        JsonValue::from(outcome.stats.distinct_assigned),
+                    ),
+                    ("max_load", JsonValue::from(outcome.stats.max_load)),
+                    ("skipped", JsonValue::from(outcome.stats.skipped)),
+                    (
+                        "replication_factor",
+                        JsonValue::fixed(outcome.stats.replication_factor, 4),
+                    ),
+                ]),
+            ),
+            (
+                "timings_us",
+                JsonValue::object([
+                    (
+                        "distribute",
+                        JsonValue::from(outcome.distribute_time.as_micros()),
+                    ),
+                    (
+                        "local_eval",
+                        JsonValue::from(outcome.local_eval_time.as_micros()),
+                    ),
+                    ("total", JsonValue::from(total.as_micros())),
+                ]),
+            ),
+            ("per_node", per_node),
+        ]);
+        println!("{doc}");
     } else {
         println!("query:       {query}");
         println!("policy:      {policy_spec}");
         println!("instance:    {instance_spec} ({} facts)", instance.len());
         println!("workers:     {}", outcome.workers);
+        println!("transport:   {}", opts.transport.label());
         println!("result size: {}", outcome.result.len());
         println!(
             "correct:     {}",
@@ -382,31 +555,28 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     Ok(correct)
 }
 
-/// The multi-round arm of `run`: iterated distribute→evaluate cycles,
-/// compared against the global fixpoint of the centralized iterated query.
+/// The multi-round arm of `run`: iterated distribute→evaluate cycles under
+/// a resolved policy schedule, compared against the global fixpoint of the
+/// centralized iterated query.
+#[allow(clippy::too_many_arguments)]
 fn run_multi_round(
     query: &ConjunctiveQuery,
-    policy_spec: &str,
-    instance_spec: &str,
+    policy_label: &str,
+    schedule_label: Option<String>,
+    instance_label: &str,
     instance: &Instance,
+    policies: Vec<Box<dyn DistributionPolicy>>,
+    rounds: usize,
+    feedback: Option<&str>,
     opts: &RunOptions,
 ) -> Result<bool, String> {
-    let rounds = opts.rounds.unwrap_or(1);
-    // The <policy> positional is always resolved — a typo'd spec must fail
-    // even when --schedule overrides which policies actually run; without
-    // --schedule the single <policy> spec repeats every round.
-    let positional_policy = load_run_policy(policy_spec, query, instance)?;
-    let policies: Vec<Box<dyn DistributionPolicy>> = match &opts.schedule {
-        Some(spec) => workloads::named_schedule(spec, query)?,
-        None => vec![positional_policy],
-    };
     let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
     let mut engine = MultiRoundEngine::new(RoundSchedule::of(refs))
         .rounds(rounds)
         .workers(opts.workers)
         .distribute_workers(opts.distribute_workers)
         .streaming(opts.streaming);
-    if let Some(feedback) = &opts.feedback {
+    if let Some(feedback) = feedback {
         // A feedback relation the query never reads — or reads at a
         // different arity — would make the recursion silently inert; the
         // user asked for iteration, so that is a usage error.
@@ -431,67 +601,94 @@ fn run_multi_round(
     // the one-round arm); the centralized reference fixpoint inside the
     // report is a correctness check, not part of the rounds being measured.
     let total_start = std::time::Instant::now();
-    let outcome = engine.evaluate(query, instance);
+    let outcome = match opts.transport {
+        TransportChoice::Memory => engine.evaluate(query, instance),
+        TransportChoice::Process => {
+            let mut transport = spawn_process_transport(opts.workers)?;
+            engine
+                .evaluate_via(&mut transport, query, instance)
+                .map_err(|e| e.to_string())?
+        }
+    };
     let total = total_start.elapsed();
     let report = MultiRoundInstanceReport::from_outcome(query, &engine, instance, outcome);
     let outcome = &report.outcome;
 
     if opts.json {
-        let per_round: Vec<String> = outcome
-            .rounds
-            .iter()
-            .enumerate()
-            .map(|(i, round)| {
-                format!(
-                    r#"{{"round":{},"result_size":{},"nodes":{},"total_assigned":{},"max_load":{},"skipped":{},"replication_factor":{:.4},"peak_chunks":{},"distribute_us":{},"local_eval_us":{}}}"#,
-                    i,
-                    round.result.len(),
-                    round.stats.nodes,
-                    round.stats.total_assigned,
-                    round.stats.max_load,
-                    round.stats.skipped,
-                    round.stats.replication_factor,
-                    round.peak_chunks,
-                    round.distribute_time.as_micros(),
-                    round.local_eval_time.as_micros(),
-                )
-            })
-            .collect();
-        println!(
-            "{{\"query\":\"{}\",\"policy\":\"{}\",\"schedule\":{},\"instance\":\"{}\",\"instance_facts\":{},\"workers\":{},\"streaming\":{},\"rounds_requested\":{},\"rounds_run\":{},\"reference_rounds\":{},\"converged\":{},\"multi_round_correct\":{},\"result_size\":{},\"missing\":{},\"total_comm_volume\":{},\"timings_us\":{{\"distribute\":{},\"local_eval\":{},\"total\":{}}},\"rounds\":[{}]}}",
-            json_escape(&query.to_string()),
-            json_escape(policy_spec),
-            match &opts.schedule {
-                Some(s) => format!("\"{}\"", json_escape(s)),
-                None => "null".to_string(),
-            },
-            json_escape(instance_spec),
-            instance.len(),
-            opts.workers,
-            opts.streaming,
-            rounds,
-            outcome.rounds_run(),
-            report.reference_rounds,
-            outcome.converged,
-            report.correct,
-            outcome.result.len(),
-            report.missing.len(),
-            outcome.total_comm_volume(),
-            outcome.total_distribute_time().as_micros(),
-            outcome.total_local_eval_time().as_micros(),
-            total.as_micros(),
-            per_round.join(",")
-        );
+        let per_round = JsonValue::array(outcome.rounds.iter().enumerate().map(|(i, round)| {
+            JsonValue::object([
+                ("round", JsonValue::from(i)),
+                ("result_size", JsonValue::from(round.result.len())),
+                ("nodes", JsonValue::from(round.stats.nodes)),
+                (
+                    "total_assigned",
+                    JsonValue::from(round.stats.total_assigned),
+                ),
+                ("max_load", JsonValue::from(round.stats.max_load)),
+                ("skipped", JsonValue::from(round.stats.skipped)),
+                (
+                    "replication_factor",
+                    JsonValue::fixed(round.stats.replication_factor, 4),
+                ),
+                ("peak_chunks", JsonValue::from(round.peak_chunks)),
+                (
+                    "distribute_us",
+                    JsonValue::from(round.distribute_time.as_micros()),
+                ),
+                (
+                    "local_eval_us",
+                    JsonValue::from(round.local_eval_time.as_micros()),
+                ),
+            ])
+        }));
+        let doc = JsonValue::object([
+            ("query", JsonValue::from(query.to_string())),
+            ("policy", JsonValue::from(policy_label)),
+            ("schedule", JsonValue::from(schedule_label)),
+            ("instance", JsonValue::from(instance_label)),
+            ("instance_facts", JsonValue::from(instance.len())),
+            ("workers", JsonValue::from(opts.workers)),
+            ("streaming", JsonValue::from(opts.streaming)),
+            ("transport", JsonValue::from(opts.transport.label())),
+            ("rounds_requested", JsonValue::from(rounds)),
+            ("rounds_run", JsonValue::from(outcome.rounds_run())),
+            ("reference_rounds", JsonValue::from(report.reference_rounds)),
+            ("converged", JsonValue::from(outcome.converged)),
+            ("multi_round_correct", JsonValue::from(report.correct)),
+            ("result_size", JsonValue::from(outcome.result.len())),
+            ("missing", JsonValue::from(report.missing.len())),
+            (
+                "total_comm_volume",
+                JsonValue::from(outcome.total_comm_volume()),
+            ),
+            (
+                "timings_us",
+                JsonValue::object([
+                    (
+                        "distribute",
+                        JsonValue::from(outcome.total_distribute_time().as_micros()),
+                    ),
+                    (
+                        "local_eval",
+                        JsonValue::from(outcome.total_local_eval_time().as_micros()),
+                    ),
+                    ("total", JsonValue::from(total.as_micros())),
+                ]),
+            ),
+            ("rounds", per_round),
+        ]);
+        println!("{doc}");
     } else {
         println!("query:       {query}");
-        match &opts.schedule {
+        match &schedule_label {
             Some(s) => println!("schedule:    {s}"),
-            None => println!("policy:      {policy_spec} (every round)"),
+            None => println!("policy:      {policy_label} (every round)"),
         }
-        if let Some(feedback) = &opts.feedback {
+        if let Some(feedback) = feedback {
             println!("feedback:    outputs re-enter as {feedback}");
         }
-        println!("instance:    {instance_spec} ({} facts)", instance.len());
+        println!("instance:    {instance_label} ({} facts)", instance.len());
+        println!("transport:   {}", opts.transport.label());
         println!(
             "rounds:      {} run / {} requested (reference fixpoint: {})",
             outcome.rounds_run(),
@@ -529,6 +726,71 @@ fn run_multi_round(
         }
     }
     Ok(report.correct)
+}
+
+/// The `encode` subcommand: writes one binary frame for a query, an
+/// instance or a scenario to stdout (pipe it to `pcq-analyze decode`, a
+/// file, or another process).
+fn encode_command(args: &[String]) -> Result<bool, String> {
+    let kind = args
+        .first()
+        .ok_or("encode needs (query|instance|scenario)")?;
+    let spec = args.get(1).ok_or("encode needs a <spec> after the kind")?;
+    if args.len() > 2 {
+        return Err(format!("unexpected argument '{}'", args[2]));
+    }
+    let message = match kind.as_str() {
+        "query" => wire::Message::Query(load_run_query(spec)?),
+        "instance" => {
+            let text = read_spec_text(spec)?;
+            let instance = cq::parse_instance(text.trim())
+                .map_err(|e| format!("cannot parse instance '{spec}': {e}"))?;
+            wire::Message::Instance(instance)
+        }
+        "scenario" => {
+            let text = read_spec_text(spec)?;
+            let scenario = Scenario::parse(&text)
+                .map_err(|e| format!("cannot parse scenario '{spec}': {e}"))?;
+            wire::Message::Scenario(scenario)
+        }
+        other => return Err(format!("cannot encode '{other}' (query|instance|scenario)")),
+    };
+    use std::io::Write;
+    std::io::stdout()
+        .write_all(&wire::encode_frame(&message))
+        .map_err(|e| format!("cannot write frame: {e}"))?;
+    Ok(true)
+}
+
+/// The `decode` subcommand: reads one binary frame from stdin and prints
+/// its textual form (queries and facts in `cq` syntax, scenarios in the
+/// scenario format) — the inverse of `encode`.
+fn decode_command(args: &[String]) -> Result<bool, String> {
+    if !args.is_empty() {
+        return Err("decode reads a frame from stdin and takes no arguments".to_string());
+    }
+    use std::io::Read;
+    let mut bytes = Vec::new();
+    std::io::stdin()
+        .read_to_end(&mut bytes)
+        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    let message: wire::Message =
+        wire::decode_frame(&bytes).map_err(|e| format!("cannot decode frame: {e}"))?;
+    match message {
+        wire::Message::Query(query) => println!("{query}"),
+        wire::Message::Instance(instance) => {
+            for fact in instance.facts() {
+                println!("{fact}.");
+            }
+        }
+        wire::Message::Scenario(scenario) => print!("{scenario}"),
+        other => {
+            // Protocol messages decode fine but have no canonical textual
+            // source form; describe them instead of inventing one.
+            println!("{}: {other:?}", other.kind());
+        }
+    }
+    Ok(true)
 }
 
 /// One parsed trajectory record: a bench name and its `(id, mean_ns)` rows.
@@ -595,15 +857,17 @@ fn parse_bench_line(line: &str) -> Result<BenchRun, String> {
     Ok(BenchRun { bench, results })
 }
 
-/// The `bench-diff` subcommand: the CI bench-regression gate. Compares, for
-/// every bench (or only `--bench`-named ones), the most recent trajectory
-/// record against the previous one; exits 1 when any benchmark slowed down
-/// by more than `--threshold-pct` (entries below `--min-ns` in both runs
-/// are noise and are skipped).
+/// The `bench-diff` subcommand: the CI bench-regression gate. Compares,
+/// for every bench (or only `--bench`-named ones), the most recent
+/// trajectory record against the **median of the previous `--window`
+/// records** (default 3; window 1 is plain latest-vs-previous); exits 1
+/// when any benchmark slowed down by more than `--threshold-pct` (entries
+/// below `--min-ns` in both runs are noise and are skipped).
 fn bench_diff(args: &[String]) -> Result<bool, String> {
     let mut path: Option<&String> = None;
     let mut threshold_pct = 25.0f64;
     let mut min_ns = 100_000u128;
+    let mut window = 3usize;
     let mut only: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -622,6 +886,15 @@ fn bench_diff(args: &[String]) -> Result<bool, String> {
                 min_ns = value
                     .parse()
                     .map_err(|_| format!("--min-ns: '{value}' is not a number"))?;
+            }
+            "--window" => {
+                let value = iter.next().ok_or("--window needs a number")?;
+                window = value
+                    .parse()
+                    .map_err(|_| format!("--window: '{value}' is not a number"))?;
+                if window == 0 {
+                    return Err("--window must be at least 1".to_string());
+                }
             }
             "--bench" => only.push(iter.next().ok_or("--bench needs a name")?.to_string()),
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
@@ -654,19 +927,29 @@ fn bench_diff(args: &[String]) -> Result<bool, String> {
         if !only.is_empty() && !only.contains(bench) {
             continue;
         }
-        let [.., previous, latest] = &runs[..] else {
+        let [baseline_runs @ .., latest] = &runs[..] else {
+            unreachable!("history entries are created non-empty");
+        };
+        if baseline_runs.is_empty() {
             println!("bench-diff: {bench}: only one run recorded, nothing to compare");
             continue;
-        };
-        let baseline: std::collections::BTreeMap<&str, u128> = previous
-            .results
-            .iter()
-            .map(|(id, ns)| (id.as_str(), *ns))
-            .collect();
+        }
+        // Trend-aware baseline: per benchmark id, the median over the last
+        // `window` runs before the latest — one noisy CI run can no longer
+        // fake (or mask) a regression. Window 1 is plain latest-vs-previous.
+        let tail = &baseline_runs[baseline_runs.len().saturating_sub(window)..];
+        let mut baseline: std::collections::BTreeMap<&str, Vec<u128>> =
+            std::collections::BTreeMap::new();
+        for run in tail {
+            for (id, ns) in &run.results {
+                baseline.entry(id.as_str()).or_default().push(*ns);
+            }
+        }
         for (id, new_ns) in &latest.results {
-            let Some(&old_ns) = baseline.get(id.as_str()) else {
+            let Some(history_ns) = baseline.get_mut(id.as_str()) else {
                 continue;
             };
+            let old_ns = median(history_ns);
             if old_ns.max(*new_ns) < min_ns {
                 continue; // sub-resolution noise
             }
@@ -675,15 +958,24 @@ fn bench_diff(args: &[String]) -> Result<bool, String> {
             if change_pct > threshold_pct {
                 regressions += 1;
                 println!(
-                    "REGRESSION {bench}/{id}: {old_ns}ns -> {new_ns}ns (+{change_pct:.1}% > {threshold_pct:.0}%)"
+                    "REGRESSION {bench}/{id}: median({} run(s)) {old_ns}ns -> {new_ns}ns (+{change_pct:.1}% > {threshold_pct:.0}%)",
+                    history_ns.len()
                 );
             }
         }
     }
     println!(
-        "bench-diff: {compared} benchmarks compared, {regressions} regression(s) above {threshold_pct:.0}%"
+        "bench-diff: {compared} benchmarks compared, {regressions} regression(s) above {threshold_pct:.0}% (window {window})"
     );
     Ok(regressions == 0)
+}
+
+/// The median of a non-empty sample (lower-middle for even sizes — the
+/// conservative choice for a regression baseline: it never exceeds both
+/// middle values). Sorts in place.
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[(samples.len() - 1) / 2]
 }
 
 /// Parses the policy-file format described in the module documentation.

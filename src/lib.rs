@@ -15,6 +15,8 @@
 //!   transferability, strong minimality, conditions C0–C3.
 //! * [`logic`] — SAT / QBF solvers used as ground-truth oracles.
 //! * [`reductions`] — the paper's hardness reductions as instance generators.
+//! * [`wire`] — the serialization subsystem: binary codec and framing,
+//!   textual scenario format, JSON emitter and the cross-process transport.
 //! * [`workloads`] — random query / instance / policy generators.
 //!
 //! ## Quick start
@@ -41,6 +43,7 @@ pub use distribution;
 pub use logic;
 pub use pc_core;
 pub use reductions;
+pub use wire;
 pub use workloads;
 
 /// Convenience prelude bringing the most commonly used types and functions
@@ -52,8 +55,8 @@ pub mod prelude {
     };
     pub use distribution::{
         ChunkStream, DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily,
-        HypercubePolicy, MultiRoundEngine, MultiRoundOutcome, Network, Node, OneRoundEngine,
-        RoundSchedule, RuleBasedPolicy,
+        HypercubePolicy, InMemoryTransport, MultiRoundEngine, MultiRoundOutcome, Network, Node,
+        OneRoundEngine, RoundSchedule, RuleBasedPolicy, Transport, TransportError,
     };
     pub use pc_core::{
         check_parallel_correctness, check_parallel_correctness_bounded,
@@ -62,6 +65,7 @@ pub mod prelude {
         is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
         MultiRoundInstanceReport, PcReport, TransferReport,
     };
+    pub use wire::{JsonValue, ProcessTransport, Scenario};
     pub use workloads::{
         chain_query, example_3_5_query, named_instance, named_query, named_schedule,
         random_instance, random_query, star_query, triangle_query, zipf_instance, InstanceParams,

@@ -510,3 +510,249 @@ fn hypercube_family_membership_answers_both_ways() {
         1
     );
 }
+
+// ------------------------------------------------------------ wire: encode /
+// decode / scenarios / transports / bench-diff windows
+
+/// Runs `pcq-analyze` with bytes piped to stdin, returning exit code,
+/// stdout bytes and stderr text.
+fn pcq_analyze_piped(args: &[&str], stdin_bytes: &[u8]) -> (i32, Vec<u8>) {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn pcq-analyze");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin_bytes)
+        .expect("cannot write to stdin");
+    let output = child.wait_with_output().expect("wait failed");
+    (
+        output.status.code().expect("terminated by signal"),
+        output.stdout,
+    )
+}
+
+#[test]
+fn encode_decode_pipe_is_the_identity_for_instances() {
+    let (code, frame) = pcq_analyze_piped(&["encode", "instance", "R(a, b). R(b, c)."], b"");
+    assert_eq!(code, 0);
+    assert_eq!(&frame[..4], b"PCQW", "frames open with the magic");
+    let (code, text) = pcq_analyze_piped(&["decode"], &frame);
+    assert_eq!(code, 0);
+    assert_eq!(String::from_utf8_lossy(&text), "R(a, b).\nR(b, c).\n");
+}
+
+#[test]
+fn encode_decode_pipe_round_trips_queries_and_scenarios() {
+    let (code, frame) = pcq_analyze_piped(&["encode", "query", PATH_2], b"");
+    assert_eq!(code, 0);
+    let (code, text) = pcq_analyze_piped(&["decode"], &frame);
+    assert_eq!(code, 0);
+    assert_eq!(String::from_utf8_lossy(&text).trim(), PATH_2);
+
+    let scenario = "query T(x, z) :- R(x, y), R(y, z).\n\
+                    instance { R(a, b). R(b, c). }\n\
+                    schedule hash(2), hypercube(2)\n\
+                    rounds 4\n\
+                    feedback R\n";
+    let path = write_temp("scenario.pcq", scenario);
+    let (code, frame) = pcq_analyze_piped(&["encode", "scenario", path.to_str().unwrap()], b"");
+    assert_eq!(code, 0);
+    let (code, text) = pcq_analyze_piped(&["decode"], &frame);
+    assert_eq!(code, 0);
+    // decode prints the canonical pretty-printed form; encoding that text
+    // again must produce the same frame (the formats are exact inverses)
+    let text = String::from_utf8_lossy(&text).into_owned();
+    let path2 = write_temp("scenario2.pcq", &text);
+    let (code, frame2) = pcq_analyze_piped(&["encode", "scenario", path2.to_str().unwrap()], b"");
+    assert_eq!(code, 0);
+    assert_eq!(frame, frame2, "re-encoding the decoded text must agree");
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path2);
+}
+
+#[test]
+fn encode_and_decode_reject_garbage_with_usage_errors() {
+    assert_eq!(pcq_analyze(&["encode"]), 2);
+    assert_eq!(pcq_analyze(&["encode", "frobnicate", "x"]), 2);
+    assert_eq!(pcq_analyze(&["encode", "query", "not a query"]), 2);
+    let (code, _) = pcq_analyze_piped(&["decode"], b"this is not a frame");
+    assert_eq!(code, 2);
+    let (code, _) = pcq_analyze_piped(&["decode"], b"");
+    assert_eq!(code, 2);
+    // decode takes no arguments
+    let (code, _) = pcq_analyze_piped(&["decode", "extra"], b"");
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn run_scenario_file_reaches_the_fixpoint() {
+    let scenario = "query T(x, z) :- R(x, y), R(y, z).\n\
+                    instance { R(v0, v1). R(v1, v2). R(v2, v3). R(v3, v4). }\n\
+                    schedule hash(2), hypercube(2)\n\
+                    rounds 8\n\
+                    feedback R\n";
+    let path = write_temp("run-scenario.pcq", scenario);
+    let (code, stdout) =
+        pcq_analyze_output(&["run", "--scenario", path.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    for key in [
+        "\"policy\":\"scenario:",
+        "\"schedule\":\"hash(2), hypercube(2)\"",
+        "\"converged\":true",
+        "\"multi_round_correct\":true",
+        "\"transport\":\"memory\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_scenario_conflicts_are_usage_errors() {
+    let path = write_temp(
+        "conflict.pcq",
+        "query T(x) :- R(x, y).\ninstance { R(a, b). }\nschedule broadcast(2)\n",
+    );
+    let file = path.to_str().unwrap();
+    // positionals and --scenario are mutually exclusive
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "triangle",
+            "hypercube:2",
+            "R(a, b).",
+            "--scenario",
+            file
+        ]),
+        2
+    );
+    // the scenario owns the schedule
+    assert_eq!(
+        pcq_analyze(&["run", "--scenario", file, "--schedule", "hypercube:2"]),
+        2
+    );
+    assert_eq!(pcq_analyze(&["run", "--scenario", "/nonexistent.pcq"]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_process_transport_matches_memory_and_reports_itself() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        "random:10:30",
+        "--workers",
+        "2",
+        "--transport",
+        "process",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"transport\":\"process\""), "{stdout}");
+    assert!(stdout.contains("\"parallel_correct\":true"), "{stdout}");
+}
+
+#[test]
+fn run_multi_round_process_transport_converges() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        "R(v0, v1). R(v1, v2). R(v2, v3). R(v3, v4).",
+        "--rounds",
+        "8",
+        "--feedback",
+        "R",
+        "--workers",
+        "2",
+        "--transport",
+        "process",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"transport\":\"process\""), "{stdout}");
+    assert!(stdout.contains("\"converged\":true"), "{stdout}");
+    assert!(stdout.contains("\"multi_round_correct\":true"), "{stdout}");
+}
+
+#[test]
+fn run_transport_flag_is_validated() {
+    let args = ["run", "chain:2", "hypercube:2", "R(a, b).", "--transport"];
+    assert_eq!(pcq_analyze(&args), 2, "missing transport name");
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            "R(a, b).",
+            "--transport",
+            "carrier-pigeon"
+        ]),
+        2
+    );
+    // streaming is an in-memory optimization
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            "R(a, b).",
+            "--streaming",
+            "--transport",
+            "process"
+        ]),
+        2
+    );
+    // worker takes no arguments
+    assert_eq!(pcq_analyze(&["worker", "extra"]), 2);
+}
+
+/// Four runs of one bench: a noisy fast outlier right before a normal
+/// latest run. Latest-vs-previous flags a bogus +44% regression; the
+/// median over the default window of 3 absorbs the outlier.
+const NOISY_TRAJECTORY: &str = concat!(
+    r#"{"bench":"cq_eval","unix_ms":1,"results":[{"id":"a/x","mean_ns":1300000}]}"#,
+    "\n",
+    r#"{"bench":"cq_eval","unix_ms":2,"results":[{"id":"a/x","mean_ns":1300000}]}"#,
+    "\n",
+    r#"{"bench":"cq_eval","unix_ms":3,"results":[{"id":"a/x","mean_ns":900000}]}"#,
+    "\n",
+    r#"{"bench":"cq_eval","unix_ms":4,"results":[{"id":"a/x","mean_ns":1300000}]}"#,
+    "\n",
+);
+
+#[test]
+fn bench_diff_window_median_absorbs_noisy_outliers() {
+    let path = write_temp("noisy.json", NOISY_TRAJECTORY);
+    let file = path.to_str().unwrap();
+    // window 1 = plain latest-vs-previous: the fast outlier makes the
+    // normal latest run look like a +44% regression
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "1"]), 1);
+    // the default window of 3 takes the median of {1300000, 1300000,
+    // 900000} = 1300000: no regression
+    assert_eq!(pcq_analyze(&["bench-diff", file]), 0);
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "3"]), 0);
+    // window flag validation
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "0"]), 2);
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "x"]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+/// A genuine slow regression must still fail whatever the window.
+#[test]
+fn bench_diff_window_still_catches_real_regressions() {
+    let path = write_temp("real-regression.json", REGRESSED_TRAJECTORY);
+    let file = path.to_str().unwrap();
+    assert_eq!(pcq_analyze(&["bench-diff", file]), 1);
+    assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "3"]), 1);
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,181 @@
+//! Differential test of the transport seam: cross-process rounds must
+//! produce **byte-identical** query answers to the in-memory path — on
+//! every named workload family, for single rounds and for iterated
+//! (feedback) runs.
+//!
+//! Worker subprocesses are real spawns of the freshly built `pcq-analyze`
+//! binary re-invoked as `worker`, so this exercises the whole stack:
+//! reshuffle → binary encode → frame → pipe → decode → evaluate → reply.
+
+use pcq::prelude::*;
+use std::path::PathBuf;
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pcq-analyze"))
+}
+
+fn spawn_transport(workers: usize) -> ProcessTransport {
+    ProcessTransport::spawn_command(worker_binary(), &["worker".to_string()], workers)
+        .expect("cannot spawn worker subprocesses")
+}
+
+/// The named workload families of `workloads::named_query`, with a
+/// feedback relation for the iterated runs where one applies.
+fn named_workloads() -> Vec<(&'static str, Option<&'static str>)> {
+    vec![
+        ("triangle", None),
+        ("example3.5", Some("R")),
+        ("chain:2", Some("R")),
+        ("chain:4", None),
+        ("star:3", None),
+        ("cycle:3", None),
+    ]
+}
+
+fn instance_for(query: &ConjunctiveQuery, seed: u64) -> Instance {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_instance(
+        &mut rng,
+        &query.schema(),
+        InstanceParams {
+            domain_size: 8,
+            facts_per_relation: 30,
+        },
+    )
+}
+
+#[test]
+fn one_round_process_transport_matches_in_memory_on_all_named_workloads() {
+    let mut transport = spawn_transport(3);
+    for (name, _) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 11);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+        let engine = OneRoundEngine::new(&policy).workers(2);
+
+        let in_memory = engine.evaluate(&query, &instance);
+        let cross_process = engine
+            .evaluate_via(&mut transport, 0, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: process transport failed: {e}"));
+
+        assert_eq!(
+            cross_process.result, in_memory.result,
+            "{name}: cross-process result diverged"
+        );
+        // byte-identical: the rendered answers match exactly
+        assert_eq!(
+            cross_process.result.to_string(),
+            in_memory.result.to_string(),
+            "{name}: rendered answers diverged"
+        );
+        assert_eq!(cross_process.per_node_load, in_memory.per_node_load);
+        assert_eq!(cross_process.per_node_output, in_memory.per_node_output);
+        assert_eq!(cross_process.stats, in_memory.stats);
+    }
+}
+
+#[test]
+fn multi_round_process_transport_matches_in_memory_on_all_named_workloads() {
+    let mut transport = spawn_transport(2);
+    for (name, feedback) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 23);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+
+        let build_engine = || {
+            let mut engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy)).rounds(5);
+            if let Some(relation) = feedback {
+                engine = engine.feedback_into(relation);
+            }
+            engine
+        };
+
+        let in_memory = build_engine().evaluate(&query, &instance);
+        let cross_process = build_engine()
+            .evaluate_via(&mut transport, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: process transport failed: {e}"));
+
+        assert_eq!(
+            cross_process.result.to_string(),
+            in_memory.result.to_string(),
+            "{name}: multi-round answers diverged"
+        );
+        assert_eq!(cross_process.converged, in_memory.converged, "{name}");
+        assert_eq!(cross_process.rounds_run(), in_memory.rounds_run(), "{name}");
+        assert_eq!(cross_process.final_state, in_memory.final_state, "{name}");
+        for (mem_round, proc_round) in in_memory.rounds.iter().zip(&cross_process.rounds) {
+            assert_eq!(
+                mem_round.result, proc_round.result,
+                "{name}: a round diverged"
+            );
+            assert_eq!(mem_round.per_node_load, proc_round.per_node_load, "{name}");
+            assert_eq!(mem_round.stats, proc_round.stats, "{name}");
+        }
+    }
+}
+
+#[test]
+fn process_transport_survives_rounds_with_empty_and_skewed_chunks() {
+    // Round-robin skips nothing but produces lopsided chunks; an explicit
+    // skipping policy produces empty ones. Neither may wedge the pipes.
+    let query = named_query("chain:2").unwrap();
+    let instance = cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap();
+    let network = Network::with_size(4);
+    let policy = ExplicitPolicy::round_robin(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+
+    let mut transport = spawn_transport(2);
+    let via_process = engine
+        .evaluate_via(&mut transport, 0, &query, &instance)
+        .unwrap();
+    let in_memory = engine.evaluate(&query, &instance);
+    assert_eq!(via_process.result, in_memory.result);
+    assert_eq!(via_process.per_node_load, in_memory.per_node_load);
+}
+
+#[test]
+fn scenario_files_drive_identical_runs_across_transports() {
+    // The acceptance path end to end: a scenario written by the
+    // pretty-printer re-parses to an equal value, builds its schedule, and
+    // evaluates identically across both transports.
+    let scenario = Scenario::parse(
+        "query T(x, z) :- R(x, y), R(y, z).
+         instance {
+           R(v0, v1). R(v1, v2). R(v2, v3). R(v3, v4). R(v4, v0).
+         }
+         schedule hash(3), hypercube(2)
+         rounds 6
+         feedback R",
+    )
+    .unwrap();
+    assert_eq!(
+        Scenario::parse(&scenario.to_string()).unwrap(),
+        scenario,
+        "pretty-printed scenario must re-parse to an equal value"
+    );
+
+    let policies = scenario.build_schedule().unwrap();
+    let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
+    fn build_engine<'a>(
+        refs: Vec<&'a dyn DistributionPolicy>,
+        scenario: &Scenario,
+    ) -> MultiRoundEngine<'a> {
+        MultiRoundEngine::new(RoundSchedule::of(refs))
+            .rounds(scenario.rounds)
+            .feedback_into(scenario.feedback.unwrap().as_str())
+    }
+
+    let in_memory =
+        build_engine(refs.clone(), &scenario).evaluate(&scenario.query, &scenario.instance);
+    let mut transport = spawn_transport(2);
+    let cross_process = build_engine(refs, &scenario)
+        .evaluate_via(&mut transport, &scenario.query, &scenario.instance)
+        .unwrap();
+    assert_eq!(
+        cross_process.result.to_string(),
+        in_memory.result.to_string()
+    );
+    assert!(in_memory.converged && cross_process.converged);
+}
