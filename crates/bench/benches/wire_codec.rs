@@ -77,6 +77,7 @@ fn bench_scenario_text(c: &mut Criterion) {
     let scenario = Scenario {
         query,
         instance,
+        policy: None,
         schedule: vec![
             wire::PolicySpec::Hash { buckets: 4 },
             wire::PolicySpec::Hypercube { buckets: vec![2] },

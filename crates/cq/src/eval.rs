@@ -193,9 +193,14 @@ fn try_match(atom: &Atom, fact: &Fact, binding: &mut Valuation) -> Option<Vec<Va
 }
 
 /// The backtracking matcher: query, plan and per-depth scratch space.
+///
+/// `instances[d]` is the instance atom `order[d]` draws its candidate facts
+/// from. The plain evaluator uses the same instance at every depth; the
+/// semi-naive differential pass pins its pivot atom to the delta instance
+/// and every other atom to the full instance.
 struct Matcher<'a, F> {
     query: &'a ConjunctiveQuery,
-    instance: &'a Instance,
+    instances: Vec<&'a Instance>,
     order: Vec<usize>,
     opts: EvalOptions,
     callback: F,
@@ -243,7 +248,7 @@ where
         depth: usize,
         binding: &mut Valuation,
     ) -> ControlFlow<()> {
-        let instance = self.instance;
+        let instance = self.instances[depth];
         for fact in instance.facts_of(atom.relation) {
             if let Some(newly_bound) = try_match(atom, fact, binding) {
                 let flow = self.search(depth + 1, binding);
@@ -266,7 +271,7 @@ where
         depth: usize,
         binding: &mut Valuation,
     ) -> ControlFlow<()> {
-        let instance = self.instance;
+        let instance = self.instances[depth];
         let facts = instance.facts_of(atom.relation);
         let (&(pos0, val0), rest) = constraints.split_first().expect("non-empty constraints");
         let mut shortest = instance.posting(atom.relation, pos0, val0);
@@ -321,13 +326,127 @@ where
     let depth_count = order.len();
     let mut matcher = Matcher {
         query,
-        instance,
+        instances: vec![instance; depth_count],
         order,
         opts,
         callback,
         constraints: vec![Vec::new(); depth_count],
     };
     matcher.search(0, &mut binding)
+}
+
+/// Computes the atom processing order with atom `first` forced to the
+/// front; the remaining atoms follow the cost-aware greedy order (or source
+/// order under [`JoinOrdering::Naive`]) with `first`'s variables counted as
+/// already bound. This is the plan shape of a semi-naive differential pass:
+/// the pivot atom matches the (small) delta first, everything else joins
+/// against the full instance.
+fn atom_order_with_first(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+    first: usize,
+) -> Vec<usize> {
+    let n = query.body_size();
+    let mut order = Vec::with_capacity(n);
+    order.push(first);
+    if opts.ordering == JoinOrdering::Naive {
+        order.extend((0..n).filter(|&i| i != first));
+        return order;
+    }
+    let mut bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
+    bound.extend(query.body()[first].args.iter().copied());
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_cost = f64::INFINITY;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let atom = &query.body()[i];
+            let cost = if opts.use_indexes {
+                estimate_candidates(atom, instance, fixed, &bound)
+            } else {
+                estimate_candidates_index_free(atom, instance, fixed, &bound)
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best_pos = pos;
+            }
+        }
+        let best = remaining.remove(best_pos);
+        order.push(best);
+        bound.extend(query.body()[best].args.iter().copied());
+    }
+    order
+}
+
+/// One semi-naive differential step: the facts `query` derives on `full`
+/// through at least one valuation that uses a `delta` fact — evaluated
+/// without re-joining the old instance against itself.
+///
+/// The contract (`full` must contain `delta`, i.e. `full = old ∪ delta`):
+///
+/// ```text
+/// evaluate(Q, full)  =  evaluate(Q, old)  ∪  evaluate_seminaive_step(Q, full, delta)
+/// ```
+///
+/// For each body atom in turn (the *pivot*), one differential pass
+/// enumerates the valuations whose pivot atom matches inside `delta` while
+/// every other atom matches the full instance. Any valuation using at
+/// least one delta fact is found by the pass pivoted on that fact's atom,
+/// so the union over passes covers every new derivation; valuations using
+/// no delta fact are exactly the old ones. Passes whose pivot relation has
+/// no delta facts are skipped entirely, which is what makes late rounds of
+/// an iterated evaluation cheap: the work is proportional to the delta,
+/// not to the accumulated instance.
+///
+/// Duplicate derivations across passes collapse by the output's set
+/// semantics. Facts already derivable from `old` can reappear (a *new*
+/// valuation may re-derive an *old* fact); callers tracking a derived-set
+/// difference filter against their previous output.
+pub fn evaluate_seminaive_step_with(
+    query: &ConjunctiveQuery,
+    full: &Instance,
+    delta: &Instance,
+    opts: EvalOptions,
+) -> Instance {
+    let mut out = Instance::new();
+    let vars = query.variables();
+    for pivot in 0..query.body_size() {
+        let atom = &query.body()[pivot];
+        if delta.facts_of(atom.relation).is_empty() {
+            continue;
+        }
+        let mut binding = Valuation::new().restrict(&vars);
+        let order = atom_order_with_first(query, full, &binding, opts, pivot);
+        let instances: Vec<&Instance> = order
+            .iter()
+            .map(|&i| if i == pivot { delta } else { full })
+            .collect();
+        let depth_count = order.len();
+        let mut matcher = Matcher {
+            query,
+            instances,
+            order,
+            opts,
+            callback: |v: &Valuation| {
+                out.insert(v.derived_fact(query));
+                ControlFlow::Continue(())
+            },
+            constraints: vec![Vec::new(); depth_count],
+        };
+        let _ = matcher.search(0, &mut binding);
+    }
+    out
+}
+
+/// [`evaluate_seminaive_step_with`] under the default [`EvalOptions`].
+pub fn evaluate_seminaive_step(
+    query: &ConjunctiveQuery,
+    full: &Instance,
+    delta: &Instance,
+) -> Instance {
+    evaluate_seminaive_step_with(query, full, delta, EvalOptions::default())
 }
 
 /// All satisfying valuations of `query` on `instance`.
@@ -572,6 +691,104 @@ mod tests {
         );
         assert_eq!(count, 1);
         assert_eq!(flow, ControlFlow::Break(()));
+    }
+
+    /// Splits `facts` into (old, delta, full) instances at `split`.
+    fn split_instance(text: &str, split: usize) -> (Instance, Instance, Instance) {
+        let full = parse_instance(text).unwrap();
+        let facts: Vec<_> = full.facts().cloned().collect();
+        let old = Instance::from_facts(facts[..split].iter().cloned());
+        let delta = Instance::from_facts(facts[split..].iter().cloned());
+        (old, delta, full)
+    }
+
+    #[test]
+    fn seminaive_step_completes_the_old_evaluation() {
+        let queries = [
+            q("T(x, z) :- R(x, y), R(y, z)."),
+            q("T(x, w) :- R(x, y), S(y, z), R(z, w)."),
+            q("T() :- R(x, y), S(y, x)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+        ];
+        let text =
+            "R(a, b). R(b, c). R(c, d). R(d, a). R(a, a). S(b, c). S(c, d). S(d, b). S(a, a).";
+        let full_count = parse_instance(text).unwrap().len();
+        for query in &queries {
+            for split in 0..=full_count {
+                let (old, delta, full) = split_instance(text, split);
+                for opts in all_options() {
+                    let step = evaluate_seminaive_step_with(query, &full, &delta, opts);
+                    let combined = evaluate(query, &old).union(&step);
+                    assert_eq!(
+                        combined,
+                        evaluate(query, &full),
+                        "query {query}, split {split}, options {opts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seminaive_step_with_empty_delta_is_empty() {
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let full = parse_instance("R(a, b). R(b, c).").unwrap();
+        let step = evaluate_seminaive_step(&query, &full, &Instance::new());
+        assert!(step.is_empty());
+    }
+
+    #[test]
+    fn seminaive_step_with_full_delta_is_full_evaluation() {
+        let query = q("T(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+        let full = parse_instance("E(a, b). E(b, c). E(c, a). E(a, d).").unwrap();
+        let step = evaluate_seminaive_step(&query, &full, &full);
+        assert_eq!(step, evaluate(&query, &full));
+    }
+
+    #[test]
+    fn seminaive_step_skips_pivots_without_delta_facts() {
+        // The delta touches only S; derivations must still appear (via the
+        // S pivot) while R pivots are skipped — observable through a delta
+        // that, were R pivoted over it, would contribute nothing anyway.
+        let query = q("T(x, z) :- R(x, y), S(y, z).");
+        let full = parse_instance("R(a, b). R(c, b). S(b, d).").unwrap();
+        let delta = parse_instance("S(b, d).").unwrap();
+        let step = evaluate_seminaive_step(&query, &full, &delta);
+        assert_eq!(step.len(), 2);
+        assert!(step.contains(&Fact::from_names("T", &["a", "d"])));
+        assert!(step.contains(&Fact::from_names("T", &["c", "d"])));
+    }
+
+    #[test]
+    fn seminaive_step_finds_cross_derivations() {
+        // The new derivation joins one old fact with one delta fact in both
+        // orders — each direction is covered by a different pivot pass.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let old = parse_instance("R(a, b). R(e, a).").unwrap();
+        let delta = parse_instance("R(b, c). R(c, e).").unwrap();
+        let full = old.union(&delta);
+        let step = evaluate_seminaive_step(&query, &full, &delta);
+        assert!(step.contains(&Fact::from_names("T", &["a", "c"]))); // old ⋈ delta
+        assert!(step.contains(&Fact::from_names("T", &["c", "a"]))); // delta ⋈ old
+        assert!(step.contains(&Fact::from_names("T", &["b", "e"]))); // delta ⋈ delta
+                                                                     // old ⋈ old derivations use no delta fact and must not reappear
+        assert!(!step.contains(&Fact::from_names("T", &["e", "b"])));
+    }
+
+    #[test]
+    fn forced_first_atom_order_is_a_permutation() {
+        let query = q("T(x, w) :- R(x, y), S(y, z), R(z, w).");
+        let i = parse_instance("R(a, b). S(b, c). R(c, d).").unwrap();
+        for opts in all_options() {
+            for first in 0..query.body_size() {
+                let order =
+                    super::atom_order_with_first(&query, &i, &Valuation::new(), opts, first);
+                assert_eq!(order[0], first);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2], "{order:?} is not a permutation");
+            }
+        }
     }
 
     #[test]

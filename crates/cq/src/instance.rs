@@ -22,6 +22,24 @@ struct RelationIndex {
 }
 
 impl RelationIndex {
+    /// Appends one fact's postings for the row that is about to be pushed at
+    /// the end of the relation's fact vector. Because `row` is larger than
+    /// every row already indexed, pushing keeps the posting lists sorted —
+    /// this is what makes insertion maintain the index instead of
+    /// invalidating it.
+    fn append(&mut self, row: u32, fact: &Fact) {
+        if fact.arity() > self.by_position.len() {
+            self.by_position
+                .resize_with(fact.arity(), SymbolMap::default);
+        }
+        for (position, &value) in fact.values.iter().enumerate() {
+            self.by_position[position]
+                .entry(value)
+                .or_default()
+                .push(row);
+        }
+    }
+
     fn build(facts: &[Fact]) -> RelationIndex {
         let max_arity = facts.iter().map(Fact::arity).max().unwrap_or(0);
         let mut by_position: Vec<SymbolMap<Value, Vec<u32>>> = Vec::with_capacity(max_arity);
@@ -54,9 +72,10 @@ impl RelationIndex {
 /// set semantics), in a per-relation vector used by the evaluation engine,
 /// and — built lazily on first use — in per-relation secondary hash indexes
 /// keyed by `(argument position, value)` that let the evaluator retrieve
-/// only the candidate facts matching a partially bound atom. Any mutation
-/// (`insert`, `remove`, `extend`, …) invalidates the secondary indexes; they
-/// are rebuilt in one pass on the next indexed lookup.
+/// only the candidate facts matching a partially bound atom. Insertion
+/// maintains built indexes incrementally (appended rows keep the posting
+/// lists sorted); `remove` invalidates them, and they are rebuilt in one
+/// pass on the next indexed lookup.
 #[derive(Default)]
 pub struct Instance {
     facts: BTreeSet<Fact>,
@@ -162,14 +181,20 @@ impl Instance {
 
     /// Inserts a fact. Returns `true` if the fact was not already present.
     ///
-    /// Invalidates the secondary indexes.
+    /// If the secondary indexes are already built, they are **maintained
+    /// incrementally**: the new fact is appended to the per-position posting
+    /// lists (which stay sorted, because the new row id is the largest), so
+    /// growing an instance — the hot path of delta-driven multi-round
+    /// evaluation — never throws away index work. Only [`Instance::remove`]
+    /// still invalidates.
     pub fn insert(&mut self, fact: Fact) -> bool {
         if self.facts.insert(fact.clone()) {
-            self.invalidate_indexes();
-            self.by_relation
-                .entry(fact.relation)
-                .or_default()
-                .push(fact);
+            let rows = self.by_relation.entry(fact.relation).or_default();
+            if let Some(indexes) = self.indexes.get_mut() {
+                let row = u32::try_from(rows.len()).expect("relation larger than u32::MAX facts");
+                indexes.entry(fact.relation).or_default().append(row, &fact);
+            }
+            rows.push(fact);
             true
         } else {
             false
@@ -530,21 +555,63 @@ mod tests {
     }
 
     #[test]
-    fn insert_invalidates_the_secondary_indexes() {
+    fn insert_maintains_the_secondary_indexes_incrementally() {
         let mut i = sample();
         let r = Symbol::new("R");
         assert!(!i.indexes_built());
         assert_eq!(i.posting(r, 0, Value::new("a")).len(), 1);
         assert!(i.indexes_built());
 
-        // a second fact with the same leading value must show up after insert
+        // a second fact with the same leading value must show up after
+        // insert — without dropping the already-built index
         assert!(i.insert(Fact::from_names("R", &["a", "z"])));
-        assert!(!i.indexes_built(), "insert must drop the index cache");
-        assert_eq!(i.posting(r, 0, Value::new("a")).len(), 2);
+        assert!(i.indexes_built(), "insert must keep the index warm");
+        assert_eq!(i.posting(r, 0, Value::new("a")), &[0, 2]);
 
         // inserting a duplicate leaves the set — and the index — unchanged
         assert!(!i.insert(Fact::from_names("R", &["a", "z"])));
         assert_eq!(i.posting(r, 0, Value::new("a")).len(), 2);
+
+        // a brand-new relation indexes through the same incremental path
+        assert!(i.insert(Fact::from_names("W", &["a"])));
+        assert!(i.indexes_built());
+        assert_eq!(i.posting(Symbol::new("W"), 0, Value::new("a")), &[0]);
+    }
+
+    #[test]
+    fn incremental_insert_equals_a_fresh_rebuild() {
+        // Growing an indexed instance fact by fact must leave exactly the
+        // postings a from-scratch build produces.
+        let facts = [
+            Fact::from_names("R", &["a", "b"]),
+            Fact::from_names("R", &["a", "c"]),
+            Fact::from_names("S", &["b"]),
+            Fact::from_names("R", &["b", "b"]),
+            Fact::from_names("S", &["a"]),
+        ];
+        let mut grown = Instance::new();
+        let _ = grown.posting(Symbol::new("R"), 0, Value::new("a")); // force-build
+        for f in &facts {
+            grown.insert(f.clone());
+            assert!(grown.indexes_built());
+        }
+        let fresh = Instance::from_facts(facts.iter().cloned());
+        for rel in ["R", "S"] {
+            let rel = Symbol::new(rel);
+            for position in 0..2 {
+                for value in ["a", "b", "c"] {
+                    assert_eq!(
+                        grown.posting(rel, position, Value::new(value)),
+                        fresh.posting(rel, position, Value::new(value)),
+                        "postings diverged at {rel}/{position}/{value}"
+                    );
+                }
+                assert_eq!(
+                    grown.distinct_values_at(rel, position),
+                    fresh.distinct_values_at(rel, position)
+                );
+            }
+        }
     }
 
     #[test]

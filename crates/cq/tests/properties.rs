@@ -161,15 +161,39 @@ proptest! {
         }
     }
 
+    /// The semi-naive differential law the incremental round engine is
+    /// built on: evaluating `old ∪ delta` equals evaluating `old` plus one
+    /// differential step joining the delta against the combined instance —
+    /// under every evaluation-strategy combination.
+    #[test]
+    fn seminaive_step_equals_full_reevaluation(q in query_strategy(), old in instance_strategy(), delta in instance_strategy()) {
+        use cq::{EvalOptions, JoinOrdering};
+        let full = old.union(&delta);
+        let reference = evaluate(&q, &full);
+        for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
+            for use_indexes in [false, true] {
+                let opts = EvalOptions { ordering, use_indexes };
+                let step = cq::evaluate_seminaive_step_with(&q, &full, &delta, opts);
+                prop_assert_eq!(
+                    evaluate(&q, &old).union(&step),
+                    reference.clone(),
+                    "options {:?}", opts
+                );
+                // soundness on its own: the step derives nothing beyond Q(full)
+                prop_assert!(reference.contains_all(&step));
+            }
+        }
+    }
+
     /// The secondary indexes stay consistent across mutation: evaluating,
     /// inserting more facts, and evaluating again gives the same result as
     /// evaluating a freshly built instance with the same fact set.
     #[test]
-    fn index_invalidation_preserves_evaluation(q in query_strategy(), i in instance_strategy(), j in instance_strategy()) {
+    fn index_maintenance_preserves_evaluation(q in query_strategy(), i in instance_strategy(), j in instance_strategy()) {
         let mut grown = i.clone();
         // evaluate first so grown's indexes are built, then mutate: the
-        // inserts must invalidate them or the second evaluation sees stale
-        // candidate lists
+        // inserts maintain the postings in place, and the second evaluation
+        // must see exactly the candidates a fresh build would produce
         let _ = evaluate(&q, &grown);
         for f in j.facts() {
             grown.insert(f.clone());

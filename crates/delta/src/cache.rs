@@ -1,0 +1,190 @@
+//! A content-addressed cache of evaluation-ready instances.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use cq::Instance;
+
+/// A small LRU cache that lets repeated `evaluate` calls on **equal**
+/// instances share one instance value — and therefore share its lazily
+/// built secondary hash indexes instead of rebuilding them per call.
+///
+/// The motivating pattern is a broadcast (or highly replicated) round:
+/// every node's chunk is the same instance, but each materialized copy
+/// would build its own indexes from scratch. Warming the chunks through a
+/// shared `IndexCache` collapses them onto one [`Arc`]`<`[`Instance`]`>`,
+/// whose indexes are built once (the first evaluation that needs them) and
+/// reused by every other node — across rounds too, for as long as the
+/// entry stays resident.
+///
+/// Keys are a hash of the fact set; a hit is confirmed by full equality,
+/// so a hash collision can cost a comparison but never wrong results.
+#[derive(Debug)]
+pub struct IndexCache {
+    capacity: usize,
+    /// Most-recently used first.
+    entries: Vec<(u64, Arc<Instance>)>,
+    hits: u64,
+    misses: u64,
+}
+
+fn fingerprint(instance: &Instance) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    instance.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl IndexCache {
+    /// A cache holding at most `capacity` instances (at least 1).
+    pub fn new(capacity: usize) -> IndexCache {
+        IndexCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Moves the entry equal to `instance` to the front and returns its
+    /// handle, if resident.
+    fn lookup(&mut self, key: u64, instance: &Instance) -> Option<Arc<Instance>> {
+        let at = self
+            .entries
+            .iter()
+            .position(|(k, cached)| *k == key && &**cached == instance)?;
+        self.hits += 1;
+        let entry = self.entries.remove(at);
+        let handle = entry.1.clone();
+        self.entries.insert(0, entry);
+        Some(handle)
+    }
+
+    fn admit(&mut self, key: u64, instance: Instance) -> Arc<Instance> {
+        self.misses += 1;
+        let handle = Arc::new(instance);
+        self.entries.insert(0, (key, handle.clone()));
+        self.entries.truncate(self.capacity);
+        handle
+    }
+
+    /// Returns the cached instance equal to `instance`, inserting
+    /// `instance` itself on a miss. The returned handle keeps its built
+    /// indexes for as long as any caller holds it.
+    pub fn warm_owned(&mut self, instance: Instance) -> Arc<Instance> {
+        let key = fingerprint(&instance);
+        match self.lookup(key, &instance) {
+            Some(handle) => handle,
+            None => self.admit(key, instance),
+        }
+    }
+
+    /// Like [`IndexCache::warm_owned`] for a borrowed instance (clones on
+    /// a miss).
+    pub fn warm(&mut self, instance: &Instance) -> Arc<Instance> {
+        let key = fingerprint(instance);
+        match self.lookup(key, instance) {
+            Some(handle) => handle,
+            None => self.admit(key, instance.clone()),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of resident instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every resident instance (the hit/miss counters survive).
+    /// Callers with a natural sharing horizon — e.g. a transport whose
+    /// chunks can only repeat within one round — clear at the horizon so
+    /// the cache never pins stale instances.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for IndexCache {
+    /// A cache sized for a typical simulated network (16 entries).
+    fn default() -> IndexCache {
+        IndexCache::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_instance;
+
+    #[test]
+    fn equal_instances_share_one_entry() {
+        let mut cache = IndexCache::new(4);
+        let a = parse_instance("R(a, b). R(b, c).").unwrap();
+        let first = cache.warm(&a);
+        let second = cache.warm(&a.clone());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_entries_share_their_indexes() {
+        let mut cache = IndexCache::new(4);
+        let chunk = parse_instance("R(a, b). R(b, c).").unwrap();
+        let first = cache.warm_owned(chunk.clone());
+        // Force an indexed lookup on the shared handle…
+        let _ = first.posting(cq::Symbol::new("R"), 0, cq::Value::new("a"));
+        assert!(first.indexes_built());
+        // …and the next warm of an equal chunk sees them already built.
+        let second = cache.warm_owned(chunk);
+        assert!(second.indexes_built());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = IndexCache::new(2);
+        let a = parse_instance("R(a, a).").unwrap();
+        let b = parse_instance("R(b, b).").unwrap();
+        let c = parse_instance("R(c, c).").unwrap();
+        cache.warm(&a);
+        cache.warm(&b);
+        cache.warm(&a); // refresh a; b is now least recent
+        cache.warm(&c); // evicts b
+        assert_eq!(cache.len(), 2);
+        cache.warm(&a);
+        assert_eq!(cache.hits(), 2, "a must still be resident");
+        cache.warm(&b);
+        assert_eq!(cache.misses(), 4, "b must have been evicted");
+    }
+
+    #[test]
+    fn collisionless_lookup_is_by_value_not_just_by_hash() {
+        let mut cache = IndexCache::new(4);
+        let a = parse_instance("R(a, b).").unwrap();
+        let b = parse_instance("R(a, c).").unwrap();
+        let wa = cache.warm(&a);
+        let wb = cache.warm(&b);
+        assert!(!Arc::ptr_eq(&wa, &wb));
+        assert_eq!(&*wa, &a);
+        assert_eq!(&*wb, &b);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -61,6 +61,12 @@ pub struct OneRoundOutcome {
     /// Whether the reshuffle streamed borrowed chunks instead of
     /// materializing a full [`Distribution`](crate::Distribution).
     pub streamed: bool,
+    /// Bytes actually serialized onto a process boundary this round, as
+    /// counted by the transport ([`Transport::take_bytes_shipped`]) — `0`
+    /// for in-process rounds, where nothing is serialized. This is the
+    /// honest byte-level counterpart of `stats.total_assigned`, which
+    /// counts `(fact, node)` assignments.
+    pub comm_bytes: u64,
     /// Communication/load statistics of the reshuffle phase.
     pub stats: DistributionStats,
 }
@@ -217,6 +223,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             local_results.push((node, result.output, result.eval_time));
         }
         let local_eval_time = local_start.elapsed();
+        let comm_bytes = transport.take_bytes_shipped();
 
         let workers = transport.parallelism().min(nodes.len()).max(1);
         Ok(self.assemble(
@@ -227,6 +234,75 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             workers,
             nodes.len(),
             false,
+            comm_bytes,
+            stats,
+        ))
+    }
+
+    /// One **incremental** round through a transport: `delta` holds only
+    /// the facts that are new since the previous round, the reshuffle
+    /// distributes just those, and the nodes — which keep their accumulated
+    /// state inside the transport — answer with only their new derivations
+    /// ([`Transport::send_delta`]/[`Transport::recv_delta`]).
+    ///
+    /// Round 0 must ship a (possibly empty) delta chunk to **every** node
+    /// so the transport can reset per-node state; later rounds skip nodes
+    /// whose delta chunk is empty — they could neither learn nor derive
+    /// anything, which is exactly the late-round saving of semi-naive
+    /// evaluation. The outcome's `result` is the union of the per-node
+    /// *output deltas*, and `per_node_load`/`stats` describe the delta
+    /// reshuffle (what was actually shipped), not the accumulated state.
+    pub fn evaluate_delta_via(
+        &self,
+        transport: &mut dyn Transport,
+        round: usize,
+        query: &ConjunctiveQuery,
+        delta: &Instance,
+    ) -> Result<OneRoundOutcome, TransportError> {
+        let distribute_start = Instant::now();
+        let distribution = self
+            .policy
+            .distribute_parallel(delta, self.distribute_workers);
+        let stats = distribution.stats(delta);
+        let distribute_time = distribute_start.elapsed();
+
+        let local_start = Instant::now();
+        transport.begin_round(round, query)?;
+        let mut per_node_load = BTreeMap::new();
+        let mut sent = Vec::new();
+        let mut skipped = Vec::new();
+        for (node, chunk) in distribution.into_chunks() {
+            per_node_load.insert(node, chunk.len());
+            if round > 0 && chunk.is_empty() {
+                skipped.push(node);
+                continue;
+            }
+            sent.push(node);
+            transport.send_delta(node, chunk)?;
+        }
+        transport.barrier()?;
+        let mut local_results = Vec::with_capacity(sent.len() + skipped.len());
+        for &node in &sent {
+            let result = transport.recv_delta(node)?;
+            local_results.push((node, result.output, result.eval_time));
+        }
+        for node in skipped {
+            local_results.push((node, Instance::new(), Duration::ZERO));
+        }
+        let local_eval_time = local_start.elapsed();
+        let comm_bytes = transport.take_bytes_shipped();
+
+        let workers = transport.parallelism().min(sent.len()).max(1);
+        let peak_chunks = sent.len();
+        Ok(self.assemble(
+            local_results,
+            per_node_load,
+            distribute_time,
+            local_eval_time,
+            workers,
+            peak_chunks,
+            false,
+            comm_bytes,
             stats,
         ))
     }
@@ -274,6 +350,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             workers,
             peak.load(Ordering::SeqCst),
             true,
+            0,
             stats,
         )
     }
@@ -288,6 +365,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         workers: usize,
         peak_chunks: usize,
         streamed: bool,
+        comm_bytes: u64,
         stats: DistributionStats,
     ) -> OneRoundOutcome {
         let mut result = Instance::new();
@@ -308,6 +386,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             workers,
             peak_chunks,
             streamed,
+            comm_bytes,
             stats,
         }
     }

@@ -23,7 +23,12 @@
 //!   results,
 //! * [`MultiRoundEngine`] — the iterated (MPC-style multi-round) algorithm:
 //!   distribute→evaluate cycles under a per-round [`RoundSchedule`], with
-//!   an optional feedback relation, fixpoint detection and a round cap,
+//!   an optional feedback relation, fixpoint detection and a round cap;
+//!   [`MultiRoundEngine::semi_naive`] switches the rounds to **incremental
+//!   mode** — only the facts new since the previous round are reshuffled
+//!   (`Transport::send_delta`), nodes keep their accumulated state across
+//!   rounds, and local evaluation is one semi-naive differential pass
+//!   instead of a full re-evaluation,
 //! * [`Transport`] — the pluggable chunk-shipping seam between the engines
 //!   and wherever local evaluation happens: [`InMemoryTransport`] is the
 //!   classic in-process path refactored behind the trait, and

@@ -29,10 +29,11 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 use cq::{evaluate, ConjunctiveQuery, Fact, Instance, Symbol};
+use delta::DeltaInstance;
 
 use crate::engine::{OneRoundEngine, OneRoundOutcome};
 use crate::policy::DistributionPolicy;
-use crate::transport::{Transport, TransportError};
+use crate::transport::{InMemoryTransport, Transport, TransportError};
 
 /// A per-round policy schedule: round `r` uses the `r`-th policy, and the
 /// last policy repeats once the schedule is exhausted (so a one-element
@@ -103,9 +104,20 @@ impl MultiRoundOutcome {
     }
 
     /// Cumulative communication volume: total `(fact, node)` assignments
-    /// shipped across all reshuffle phases.
+    /// shipped across all reshuffle phases. Each round's statistics
+    /// describe what that round **actually distributed** — the accumulated
+    /// state in full re-evaluation mode, only the per-round delta in
+    /// semi-naive mode — so the two modes report their genuinely different
+    /// shipping honestly.
     pub fn total_comm_volume(&self) -> usize {
         self.rounds.iter().map(|r| r.stats.total_assigned).sum()
+    }
+
+    /// Cumulative bytes serialized onto a process boundary across all
+    /// rounds, as counted by the transport. `0` for purely in-process runs
+    /// (nothing was serialized — an honest zero, not an estimate).
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comm_bytes).sum()
     }
 
     /// Cumulative wall-clock time of all reshuffle phases.
@@ -148,6 +160,7 @@ pub struct MultiRoundEngine<'a> {
     workers: usize,
     distribute_workers: usize,
     streaming: bool,
+    semi_naive: bool,
 }
 
 impl<'a> MultiRoundEngine<'a> {
@@ -164,6 +177,7 @@ impl<'a> MultiRoundEngine<'a> {
             workers: 1,
             distribute_workers: 1,
             streaming: false,
+            semi_naive: false,
         }
     }
 
@@ -221,6 +235,48 @@ impl<'a> MultiRoundEngine<'a> {
     pub fn streaming(mut self, enabled: bool) -> Self {
         self.streaming = enabled;
         self
+    }
+
+    /// Switches the run to **semi-naive incremental** rounds: each round
+    /// reshuffles only the facts that are new since the previous round
+    /// (round 0 ships everything), the nodes keep their accumulated state
+    /// across rounds inside the transport, and each node's local evaluation
+    /// is one differential pass over its delta
+    /// (`cq::evaluate_seminaive_step`) rather than a full re-evaluation.
+    ///
+    /// The final `result`, `converged` flag and round count are **provably
+    /// identical** to full re-evaluation mode; per-round
+    /// [`OneRoundOutcome`]s differ in the documented ways (each round's
+    /// `result` holds only the *new* facts, and the loads/statistics
+    /// describe the delta reshuffle). Requires carried input and a
+    /// single-policy schedule — both checked at evaluation time — because
+    /// a node's accumulated state is only meaningful when every round
+    /// routes facts the same way and nothing is ever retracted. The
+    /// `streaming` knob does not apply (deltas are materialized; they are
+    /// small by construction).
+    pub fn semi_naive(mut self, enabled: bool) -> Self {
+        self.semi_naive = enabled;
+        self
+    }
+
+    /// Whether the engine runs semi-naive incremental rounds.
+    pub fn is_semi_naive(&self) -> bool {
+        self.semi_naive
+    }
+
+    /// Panics unless the configuration combination supports incremental
+    /// rounds (see [`MultiRoundEngine::semi_naive`]).
+    fn check_semi_naive_config(&self) {
+        assert!(
+            self.carry_input,
+            "semi-naive rounds require carried input: in dataflow mode the \
+             round instance is not monotone, so there is no delta to ship"
+        );
+        assert!(
+            self.schedule.len() == 1,
+            "semi-naive rounds require a single-policy schedule: a policy \
+             switch would re-route facts that were already shipped"
+        );
     }
 
     /// The configured round cap.
@@ -290,6 +346,14 @@ impl<'a> MultiRoundEngine<'a> {
     /// Runs up to [`MultiRoundEngine::max_rounds`] distribute→local-eval
     /// cycles for `query` starting from `instance`.
     pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> MultiRoundOutcome {
+        if self.semi_naive {
+            // Incremental rounds need per-node state that outlives a round,
+            // so the whole run shares one transport.
+            let mut transport = InMemoryTransport::new(self.workers);
+            return self
+                .run_rounds_delta(&mut transport, query, instance)
+                .expect("in-memory rounds are infallible");
+        }
         self.run_rounds(query, instance, |engine, _round, query, state| {
             Ok(engine
                 .workers(self.workers)
@@ -303,15 +367,60 @@ impl<'a> MultiRoundEngine<'a> {
     /// chunks through `transport` — the rounds become genuinely
     /// cross-process when the transport is process-backed. The engine's
     /// `workers`/`streaming` knobs do not apply (the transport owns local
-    /// evaluation); `distribute_workers` still shards the reshuffle.
+    /// evaluation); `distribute_workers` still shards the reshuffle. With
+    /// [`MultiRoundEngine::semi_naive`] the rounds ship per-round deltas
+    /// instead of full chunks.
     pub fn evaluate_via(
         &self,
         transport: &mut dyn Transport,
         query: &ConjunctiveQuery,
         instance: &Instance,
     ) -> Result<MultiRoundOutcome, TransportError> {
+        if self.semi_naive {
+            return self.run_rounds_delta(transport, query, instance);
+        }
         self.run_rounds(query, instance, |engine, round, query, state| {
             engine.evaluate_via(transport, round, query, state)
+        })
+    }
+
+    /// The incremental round loop: ship each round's delta, collect each
+    /// node's new derivations, feed them back, stop when a round adds
+    /// nothing. With carried input the round states grow monotonically, so
+    /// "the delta is empty" is exactly the repeated-state fixpoint test of
+    /// the full-re-evaluation loop — the two modes converge on the same
+    /// round with the same cumulative result (the differential suites pin
+    /// this).
+    fn run_rounds_delta(
+        &self,
+        transport: &mut dyn Transport,
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+    ) -> Result<MultiRoundOutcome, TransportError> {
+        self.check_semi_naive_config();
+        let policy = self.schedule.policy_for(0);
+        let mut acc = DeltaInstance::from_initial(instance.clone());
+        let mut result = Instance::new();
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for round in 0..self.max_rounds {
+            let round_delta = acc.take_delta();
+            let engine = OneRoundEngine::new(policy).distribute_workers(self.distribute_workers);
+            let outcome = engine.evaluate_delta_via(transport, round, query, &round_delta)?;
+            let contribution = self.feedback_facts(&outcome.result);
+            result.extend(outcome.result.facts().cloned());
+            acc.absorb(contribution.facts().cloned());
+            rounds.push(outcome);
+            if acc.is_quiescent() {
+                converged = true;
+                break;
+            }
+        }
+        Ok(MultiRoundOutcome {
+            rounds,
+            result,
+            final_state: acc.full().clone(),
+            converged,
         })
     }
 
@@ -581,6 +690,177 @@ mod tests {
         assert_eq!(schedule.policy_for(0).network().len(), a.network().len());
         assert_eq!(schedule.policy_for(1).network().len(), b.network().len());
         assert_eq!(schedule.policy_for(7).network().len(), b.network().len());
+    }
+
+    /// Runs the same workload in full-re-evaluation and semi-naive modes
+    /// and asserts the outcome-level contract: same cumulative result,
+    /// same convergence verdict, same round count.
+    fn assert_semi_naive_parity<'a>(
+        engine: impl Fn() -> MultiRoundEngine<'a>,
+        q: &ConjunctiveQuery,
+        i: &Instance,
+    ) -> (MultiRoundOutcome, MultiRoundOutcome) {
+        let full = engine().evaluate(q, i);
+        let semi = engine().semi_naive(true).evaluate(q, i);
+        assert_eq!(semi.result, full.result, "results diverged");
+        assert_eq!(semi.converged, full.converged, "convergence diverged");
+        assert_eq!(
+            semi.rounds_run(),
+            full.rounds_run(),
+            "round counts diverged"
+        );
+        assert_eq!(semi.final_state, full.final_state, "final states diverged");
+        (full, semi)
+    }
+
+    #[test]
+    fn semi_naive_transitive_closure_matches_full_reevaluation() {
+        let q = square_query();
+        let i = chain_instance(8);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || {
+            MultiRoundEngine::new(RoundSchedule::repeat(&p))
+                .rounds(16)
+                .feedback_into("R")
+                .workers(2)
+        };
+        let (full, semi) = assert_semi_naive_parity(engine, &q, &i);
+        assert!(semi.converged);
+        assert_eq!(semi.result, engine().reference_fixpoint(&q, &i).result);
+        // The whole point: late rounds ship deltas, not the accumulated
+        // state, so the cumulative fact-shipping volume must shrink.
+        assert!(
+            semi.total_comm_volume() < full.total_comm_volume(),
+            "semi-naive shipped {} fact-assignments, full mode {}",
+            semi.total_comm_volume(),
+            full.total_comm_volume()
+        );
+        // Round 0 ships the same initial instance in both modes; every
+        // later round ships a strict subset (the delta, not the
+        // accumulated state).
+        assert_eq!(
+            semi.rounds[0].stats.total_assigned,
+            full.rounds[0].stats.total_assigned
+        );
+        for (r, (s, f)) in semi.rounds.iter().zip(&full.rounds).enumerate().skip(1) {
+            assert!(
+                s.stats.total_assigned < f.stats.total_assigned,
+                "round {r}: semi shipped {} >= full {}",
+                s.stats.total_assigned,
+                f.stats.total_assigned
+            );
+        }
+    }
+
+    #[test]
+    fn semi_naive_round_one_delta_is_the_whole_input() {
+        // Round 0 of an incremental run ships everything (every fact is
+        // new), making it exactly a full evaluation.
+        let q = square_query();
+        let i = chain_instance(5);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let semi = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(1)
+            .semi_naive(true)
+            .evaluate(&q, &i);
+        let one = OneRoundEngine::new(&p).evaluate(&q, &i);
+        assert_eq!(semi.rounds[0].result, one.result);
+        assert_eq!(semi.rounds[0].per_node_load, one.per_node_load);
+        assert_eq!(semi.rounds[0].stats, one.stats);
+    }
+
+    #[test]
+    fn semi_naive_empty_instance_converges_on_empty_round_one_deltas() {
+        // Edge case: the very first delta is already empty. Every node
+        // receives an empty round-0 chunk, derives nothing, and the run
+        // converges after one round — in both modes.
+        let q = square_query();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || {
+            MultiRoundEngine::new(RoundSchedule::repeat(&p))
+                .rounds(4)
+                .feedback_into("R")
+        };
+        let (_, semi) = assert_semi_naive_parity(engine, &q, &Instance::new());
+        assert!(semi.converged);
+        assert_eq!(semi.rounds_run(), 1);
+        assert!(semi.result.is_empty());
+        assert!(semi.rounds[0].per_node_load.values().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn semi_naive_feedback_rederiving_only_known_facts_converges() {
+        // Edge case: the feedback facts of the productive round are all
+        // already present in the input (R(a, c) pre-exists), so the
+        // incremental run must recognize quiescence even though the round
+        // produced output.
+        let q = square_query();
+        let i = cq::parse_instance("R(a, b). R(b, c). R(a, c).").unwrap();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || {
+            MultiRoundEngine::new(RoundSchedule::repeat(&p))
+                .rounds(8)
+                .feedback_into("R")
+        };
+        let (_, semi) = assert_semi_naive_parity(engine, &q, &i);
+        assert!(semi.converged);
+        assert_eq!(semi.rounds_run(), 1, "nothing new ever enters the state");
+        assert_eq!(semi.result, cq::parse_instance("T(a, c).").unwrap());
+    }
+
+    #[test]
+    fn semi_naive_round_cap_short_of_fixpoint_reports_not_converged() {
+        // Edge case: the cap stops the run mid-closure; both modes must
+        // agree on the partial result and on not having converged.
+        let q = square_query();
+        let i = chain_instance(8);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || {
+            MultiRoundEngine::new(RoundSchedule::repeat(&p))
+                .rounds(2)
+                .feedback_into("R")
+        };
+        let (_, semi) = assert_semi_naive_parity(engine, &q, &i);
+        assert!(!semi.converged);
+        assert_eq!(semi.rounds_run(), 2);
+        let fixpoint = engine().rounds(16).reference_fixpoint(&q, &i);
+        assert!(semi.result.len() < fixpoint.result.len());
+    }
+
+    #[test]
+    fn semi_naive_without_feedback_converges_on_the_second_round() {
+        let q = square_query();
+        let i = chain_instance(4);
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || MultiRoundEngine::new(RoundSchedule::repeat(&p)).rounds(10);
+        let (_, semi) = assert_semi_naive_parity(engine, &q, &i);
+        assert!(semi.converged);
+        assert_eq!(semi.rounds_run(), 2);
+        assert!(semi.rounds[1].result.is_empty(), "round 2 is a pure probe");
+    }
+
+    #[test]
+    #[should_panic(expected = "carried input")]
+    fn semi_naive_rejects_dataflow_mode() {
+        let q = square_query();
+        let p = HypercubePolicy::uniform(&q, 2).unwrap();
+        let _ = MultiRoundEngine::new(RoundSchedule::repeat(&p))
+            .rounds(4)
+            .carry_input(false)
+            .semi_naive(true)
+            .evaluate(&q, &chain_instance(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-policy schedule")]
+    fn semi_naive_rejects_multi_policy_schedules() {
+        let q = square_query();
+        let a = HypercubePolicy::uniform(&q, 2).unwrap();
+        let b = HypercubePolicy::uniform(&q, 3).unwrap();
+        let _ = MultiRoundEngine::new(RoundSchedule::of(vec![&a, &b]))
+            .rounds(4)
+            .semi_naive(true)
+            .evaluate(&q, &chain_instance(3));
     }
 
     #[test]

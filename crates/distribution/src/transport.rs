@@ -22,13 +22,22 @@
 //! the engine always used, and `recv_chunk` hands the results back. The
 //! cross-process implementation (`wire::ProcessTransport`) speaks the same
 //! conversation over stdio pipes to `pcq-analyze worker` subprocesses.
+//!
+//! Incremental (semi-naive) rounds replace the chunk pair with
+//! `send_delta`/`recv_delta`: the transport keeps **persistent per-node
+//! state** across rounds (a [`delta::DeltaNode`]), each round ships only
+//! the facts new since the previous round, and each node answers with only
+//! the output facts it has never produced before. A delta round numbered 0
+//! resets the per-node state, so one transport can serve several runs.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cq::{evaluate, ConjunctiveQuery, Instance};
+use delta::{DeltaNode, IndexCache};
 
 use crate::network::Node;
 
@@ -93,6 +102,34 @@ pub trait Transport {
     /// be received exactly once, after the [`Transport::barrier`].
     fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError>;
 
+    /// Ships only the round's **delta** — the facts assigned to `node`
+    /// that are new since the previous round — to a node that keeps its
+    /// accumulated state across rounds. A delta sent for round 0 starts the
+    /// node from an empty state.
+    ///
+    /// The default declines: a transport must opt into incremental rounds.
+    fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        let _ = delta;
+        let _ = node;
+        Err(TransportError::Protocol(
+            "this transport does not ship deltas".to_string(),
+        ))
+    }
+
+    /// Collects `node`'s **output delta** for the round: only the facts the
+    /// node derived for the first time. Same once-per-node-after-barrier
+    /// contract as [`Transport::recv_chunk`].
+    fn recv_delta(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        Err(TransportError::UnknownNode(node))
+    }
+
+    /// Bytes actually serialized onto a process boundary since the last
+    /// call (taking resets the counter). In-process transports ship no
+    /// bytes and report 0 — the honest answer, not an estimate.
+    fn take_bytes_shipped(&mut self) -> u64 {
+        0
+    }
+
     /// How many chunks the transport can evaluate concurrently (pool
     /// workers, subprocesses, …) — reporting only; `1` means sequential.
     fn parallelism(&self) -> usize {
@@ -150,7 +187,17 @@ pub struct InMemoryTransport {
     workers: usize,
     query: Option<ConjunctiveQuery>,
     pending: Vec<(Node, Instance)>,
+    pending_deltas: Vec<(Node, Instance)>,
     ready: BTreeMap<Node, NodeResult>,
+    /// Persistent per-node incremental state (delta rounds only); cleared
+    /// when a delta round numbered 0 begins.
+    nodes: BTreeMap<Node, DeltaNode>,
+    /// Shares one indexed instance between equal chunks (a broadcast round
+    /// evaluates the same chunk at every node). Cleared at every
+    /// `begin_round`: chunks can only repeat within a round, so holding
+    /// them longer would pin memory without ever hitting.
+    cache: IndexCache,
+    round: usize,
 }
 
 impl InMemoryTransport {
@@ -160,37 +207,48 @@ impl InMemoryTransport {
             workers: workers.max(1),
             query: None,
             pending: Vec::new(),
+            pending_deltas: Vec::new(),
             ready: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            cache: IndexCache::default(),
+            round: 0,
         }
     }
-}
 
-impl Transport for InMemoryTransport {
-    fn begin_round(
-        &mut self,
-        _round: usize,
-        query: &ConjunctiveQuery,
-    ) -> Result<(), TransportError> {
-        self.query = Some(query.clone());
-        self.pending.clear();
-        self.ready.clear();
-        Ok(())
+    /// Index-cache statistics: `(hits, misses)` of the shared chunk cache
+    /// (diagnostic hook for tests and benches).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
-    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
-        self.pending.push((node, chunk));
-        Ok(())
-    }
-
-    fn barrier(&mut self) -> Result<(), TransportError> {
-        let query = self
-            .query
-            .as_ref()
-            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".into()))?;
-        // The pool is bounded by the chunk count: asking for more workers
-        // than chunks costs nothing.
-        let workers = self.workers.min(self.pending.len()).max(1);
-        let results = drain_pool(&self.pending, workers, |(node, chunk)| {
+    /// Evaluates the buffered full chunks on the pool, sharing indexes
+    /// between equal chunks through the cache.
+    ///
+    /// Only chunks whose size another chunk of the round repeats go
+    /// through the cache — distinct sizes cannot be equal, so hashing them
+    /// (and pinning them in the cache) would be pure overhead on the
+    /// common partitioning policies. Replicating policies (broadcast) get
+    /// the full benefit: their equal-sized, equal chunks collapse onto one
+    /// shared instance whose indexes are built once.
+    fn drain_chunks(&mut self, query: &ConjunctiveQuery) -> Vec<(Node, NodeResult)> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut size_counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for (_, chunk) in &pending {
+            *size_counts.entry(chunk.len()).or_default() += 1;
+        }
+        let jobs: Vec<(Node, std::sync::Arc<Instance>)> = pending
+            .into_iter()
+            .map(|(node, chunk)| {
+                let shared = if size_counts[&chunk.len()] > 1 {
+                    self.cache.warm_owned(chunk)
+                } else {
+                    std::sync::Arc::new(chunk)
+                };
+                (node, shared)
+            })
+            .collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        drain_pool(&jobs, workers, |(node, chunk)| {
             let start = Instant::now();
             let output = evaluate(query, chunk);
             (
@@ -200,9 +258,83 @@ impl Transport for InMemoryTransport {
                     eval_time: start.elapsed(),
                 },
             )
+        })
+    }
+
+    /// Runs one incremental step per buffered delta on the pool. Each
+    /// node's persistent [`DeltaNode`] is taken out of the state map for
+    /// the duration of its step and reinstated with the results.
+    fn drain_deltas(&mut self, query: &ConjunctiveQuery) -> Vec<(Node, NodeResult)> {
+        let pending = std::mem::take(&mut self.pending_deltas);
+        let jobs: Vec<Mutex<Option<(Node, Instance, DeltaNode)>>> = pending
+            .into_iter()
+            .map(|(node, chunk)| {
+                let state = self.nodes.remove(&node).unwrap_or_default();
+                Mutex::new(Some((node, chunk, state)))
+            })
+            .collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        let results = drain_pool(&jobs, workers, |slot| {
+            let (node, chunk, mut state) = slot
+                .lock()
+                .expect("delta job mutex poisoned")
+                .take()
+                .expect("each delta job is drained exactly once");
+            let start = Instant::now();
+            let fresh = state.step(query, &chunk);
+            (node, state, fresh, start.elapsed())
         });
+        results
+            .into_iter()
+            .map(|(node, state, output, eval_time)| {
+                self.nodes.insert(node, state);
+                (node, NodeResult { output, eval_time })
+            })
+            .collect()
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn begin_round(
+        &mut self,
+        round: usize,
+        query: &ConjunctiveQuery,
+    ) -> Result<(), TransportError> {
+        self.query = Some(query.clone());
+        self.round = round;
         self.pending.clear();
-        self.ready.extend(results);
+        self.pending_deltas.clear();
+        self.ready.clear();
+        // Chunks can only repeat within one round; drop last round's.
+        self.cache.clear();
+        Ok(())
+    }
+
+    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.pending.push((node, chunk));
+        Ok(())
+    }
+
+    fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        if self.round == 0 {
+            // Round 0 opens a fresh incremental run: the node starts over.
+            self.nodes.remove(&node);
+        }
+        self.pending_deltas.push((node, delta));
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        let query = self
+            .query
+            .clone()
+            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".into()))?;
+        // The pool is bounded by the chunk count: asking for more workers
+        // than chunks costs nothing.
+        let full = self.drain_chunks(&query);
+        self.ready.extend(full);
+        let incremental = self.drain_deltas(&query);
+        self.ready.extend(incremental);
         Ok(())
     }
 
@@ -210,6 +342,10 @@ impl Transport for InMemoryTransport {
         self.ready
             .remove(&node)
             .ok_or(TransportError::UnknownNode(node))
+    }
+
+    fn recv_delta(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.recv_chunk(node)
     }
 
     fn parallelism(&self) -> usize {
@@ -270,6 +406,150 @@ mod tests {
             transport.barrier(),
             Err(TransportError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn delta_rounds_accumulate_state_across_rounds() {
+        let q = two_hop();
+        let node = Node::numbered(0);
+        let mut transport = InMemoryTransport::new(2);
+
+        // Round 0: R only — no joins yet.
+        transport.begin_round(0, &q).unwrap();
+        transport
+            .send_delta(node, parse_instance("R(a, b).").unwrap())
+            .unwrap();
+        transport.barrier().unwrap();
+        assert!(transport.recv_delta(node).unwrap().output.is_empty());
+
+        // Round 1: the S half arrives; the join closes against the state
+        // retained from round 0.
+        transport.begin_round(1, &q).unwrap();
+        transport
+            .send_delta(node, parse_instance("S(b, c).").unwrap())
+            .unwrap();
+        transport.barrier().unwrap();
+        let result = transport.recv_delta(node).unwrap();
+        assert_eq!(result.output, parse_instance("T(a, c).").unwrap());
+
+        // Round 2: a re-announced fact derives nothing new.
+        transport.begin_round(2, &q).unwrap();
+        transport
+            .send_delta(node, parse_instance("R(a, b).").unwrap())
+            .unwrap();
+        transport.barrier().unwrap();
+        assert!(transport.recv_delta(node).unwrap().output.is_empty());
+    }
+
+    #[test]
+    fn delta_round_zero_resets_per_node_state() {
+        let q = two_hop();
+        let node = Node::numbered(0);
+        let mut transport = InMemoryTransport::new(1);
+        for _run in 0..2 {
+            // If state leaked between runs, the second run's round-1 output
+            // would be empty (T(a, c) already shipped by the first run).
+            transport.begin_round(0, &q).unwrap();
+            transport
+                .send_delta(node, parse_instance("R(a, b).").unwrap())
+                .unwrap();
+            transport.barrier().unwrap();
+            assert!(transport.recv_delta(node).unwrap().output.is_empty());
+
+            transport.begin_round(1, &q).unwrap();
+            transport
+                .send_delta(node, parse_instance("S(b, c).").unwrap())
+                .unwrap();
+            transport.barrier().unwrap();
+            assert_eq!(
+                transport.recv_delta(node).unwrap().output,
+                parse_instance("T(a, c).").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_chunks_share_one_cached_instance() {
+        // Every node of a broadcast round receives an equal chunk: the
+        // index cache must collapse them onto one entry (nodes - 1 hits).
+        let q = two_hop();
+        let i = parse_instance("R(a, b). S(b, c). R(c, d). S(d, e).").unwrap();
+        let network = Network::with_size(4);
+        let policy = ExplicitPolicy::broadcast(&network, &i);
+        let dist = policy.distribute(&i);
+        let mut transport = InMemoryTransport::new(2);
+        transport.begin_round(0, &q).unwrap();
+        for (node, chunk) in dist.chunks() {
+            transport.send_chunk(node, chunk.clone()).unwrap();
+        }
+        transport.barrier().unwrap();
+        let (hits, misses) = transport.cache_stats();
+        assert_eq!((hits, misses), (3, 1), "4 equal chunks, one build");
+        for node in network.nodes() {
+            assert_eq!(
+                transport.recv_chunk(node).unwrap().output,
+                cq::evaluate(&q, &i)
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_size_chunks_never_touch_the_cache() {
+        // A partitioning policy's chunks (all different sizes here) cannot
+        // be equal, so the transport must not pay to hash or retain them.
+        let q = two_hop();
+        let mut transport = InMemoryTransport::new(2);
+        transport.begin_round(0, &q).unwrap();
+        transport
+            .send_chunk(Node::numbered(0), parse_instance("R(a, b).").unwrap())
+            .unwrap();
+        transport
+            .send_chunk(
+                Node::numbered(1),
+                parse_instance("R(a, b). S(b, c).").unwrap(),
+            )
+            .unwrap();
+        transport.barrier().unwrap();
+        assert_eq!(transport.cache_stats(), (0, 0), "no chunk may be hashed");
+        assert_eq!(
+            transport.recv_chunk(Node::numbered(1)).unwrap().output,
+            parse_instance("T(a, c).").unwrap()
+        );
+    }
+
+    #[test]
+    fn default_transport_declines_deltas() {
+        // A minimal transport that opts out of the delta protocol must
+        // surface the default errors, not panic or mis-route.
+        struct ChunksOnly;
+        impl Transport for ChunksOnly {
+            fn begin_round(
+                &mut self,
+                _round: usize,
+                _query: &ConjunctiveQuery,
+            ) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn send_chunk(&mut self, _node: Node, _chunk: Instance) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn barrier(&mut self) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+                Err(TransportError::UnknownNode(node))
+            }
+        }
+        let mut t = ChunksOnly;
+        assert!(matches!(
+            t.send_delta(Node::numbered(0), Instance::new()),
+            Err(TransportError::Protocol(_))
+        ));
+        assert!(matches!(
+            t.recv_delta(Node::numbered(0)),
+            Err(TransportError::UnknownNode(_))
+        ));
+        assert_eq!(t.take_bytes_shipped(), 0);
     }
 
     #[test]

@@ -59,6 +59,6 @@ mod scenario;
 pub use codec::{decode_body, encode_body, Decode, DecodeError, Decoder, Encode, Encoder};
 pub use frame::{decode_frame, encode_frame, read_frame, write_frame};
 pub use json::JsonValue;
-pub use message::{ChunkBatch, EvalChunkRef, Message};
+pub use message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
 pub use process::{run_worker, ProcessTransport};
-pub use scenario::{NetworkSpec, PolicySpec, Scenario, ScenarioError};
+pub use scenario::{ExplicitSpec, NetworkSpec, PolicySpec, Scenario, ScenarioError};

@@ -2,7 +2,11 @@
 //!
 //! Every frame on a wire stream carries one [`Message`]. The
 //! `EvalChunk`/`ChunkResult` pair ships work to workers and answers back;
-//! `Barrier`/`BarrierAck`/`Shutdown` are the round-control messages the
+//! `EvalDelta`/`DeltaResult` are their incremental counterparts — the
+//! [`DeltaBatch`] carries only the facts new since the previous round, the
+//! worker keeps its accumulated per-node state, and the answer carries only
+//! the node's new derivations; `Barrier`/`BarrierAck`/`Shutdown` are the
+//! round-control messages the
 //! [`ProcessTransport`](crate::ProcessTransport) synchronizes rounds with;
 //! the `Query`/`Instance`/`Scenario` variants are standalone payloads used
 //! by `pcq-analyze encode`/`decode`.
@@ -43,6 +47,40 @@ impl Decode for ChunkBatch {
     }
 }
 
+/// One node's **delta** for one incremental round: only the facts that are
+/// new since the previous round (coordinator → worker), or only the facts
+/// the node derived for the first time (worker → coordinator). The shape
+/// mirrors [`ChunkBatch`]; the distinct type keeps full-chunk and delta
+/// rounds from being confused on a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// The round the delta belongs to. Round 0 resets the node's
+    /// accumulated state on the worker.
+    pub round: u64,
+    /// The node the delta is addressed to (or answering for).
+    pub node: Node,
+    /// The new facts (inbound) or new derivations (outbound).
+    pub delta: Instance,
+}
+
+impl Encode for DeltaBatch {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.round);
+        self.node.encode(enc);
+        self.delta.encode(enc);
+    }
+}
+
+impl Decode for DeltaBatch {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(DeltaBatch {
+            round: dec.u64()?,
+            node: Node::decode(dec)?,
+            delta: Instance::decode(dec)?,
+        })
+    }
+}
+
 /// A complete wire message (the payload of one frame).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
@@ -78,6 +116,22 @@ pub enum Message {
     },
     /// Coordinator → worker: exit cleanly.
     Shutdown,
+    /// Coordinator → worker: absorb the delta into the node's accumulated
+    /// state and evaluate `query` semi-naively over it (round 0 starts the
+    /// node from an empty state).
+    EvalDelta {
+        /// The query of the incremental run.
+        query: ConjunctiveQuery,
+        /// The node's new facts for this round.
+        batch: DeltaBatch,
+    },
+    /// Worker → coordinator: the node's new derivations for one delta.
+    DeltaResult {
+        /// The batch's round/node with the node's output delta as `delta`.
+        batch: DeltaBatch,
+        /// Local evaluation wall-clock time, in microseconds.
+        eval_us: u64,
+    },
 }
 
 const TAG_QUERY: u8 = 0;
@@ -88,6 +142,8 @@ const TAG_CHUNK_RESULT: u8 = 4;
 const TAG_BARRIER: u8 = 5;
 const TAG_BARRIER_ACK: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_EVAL_DELTA: u8 = 8;
+const TAG_DELTA_RESULT: u8 = 9;
 
 impl Message {
     /// A short human-readable name for the message kind (log lines,
@@ -102,7 +158,26 @@ impl Message {
             Message::Barrier { .. } => "barrier",
             Message::BarrierAck { .. } => "barrier-ack",
             Message::Shutdown => "shutdown",
+            Message::EvalDelta { .. } => "eval-delta",
+            Message::DeltaResult { .. } => "delta-result",
         }
+    }
+}
+
+/// A borrowed view of [`Message::EvalDelta`]: encodes the identical frame
+/// bytes without cloning the query or the delta (cf. [`EvalChunkRef`]).
+pub struct EvalDeltaRef<'a> {
+    /// The query of the incremental run.
+    pub query: &'a ConjunctiveQuery,
+    /// The delta (with its round/node routing) to absorb and evaluate.
+    pub batch: &'a DeltaBatch,
+}
+
+impl Encode for EvalDeltaRef<'_> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.byte(TAG_EVAL_DELTA);
+        self.query.encode(enc);
+        self.batch.encode(enc);
     }
 }
 
@@ -155,6 +230,12 @@ impl Encode for Message {
                 enc.u64(*round);
             }
             Message::Shutdown => enc.byte(TAG_SHUTDOWN),
+            Message::EvalDelta { query, batch } => EvalDeltaRef { query, batch }.encode(enc),
+            Message::DeltaResult { batch, eval_us } => {
+                enc.byte(TAG_DELTA_RESULT);
+                batch.encode(enc);
+                enc.u64(*eval_us);
+            }
         }
     }
 }
@@ -176,6 +257,14 @@ impl Decode for Message {
             TAG_BARRIER => Ok(Message::Barrier { round: dec.u64()? }),
             TAG_BARRIER_ACK => Ok(Message::BarrierAck { round: dec.u64()? }),
             TAG_SHUTDOWN => Ok(Message::Shutdown),
+            TAG_EVAL_DELTA => Ok(Message::EvalDelta {
+                query: ConjunctiveQuery::decode(dec)?,
+                batch: DeltaBatch::decode(dec)?,
+            }),
+            TAG_DELTA_RESULT => Ok(Message::DeltaResult {
+                batch: DeltaBatch::decode(dec)?,
+                eval_us: dec.u64()?,
+            }),
             tag => Err(DecodeError::UnknownTag {
                 context: "Message",
                 tag,
@@ -210,6 +299,22 @@ mod tests {
                 batch,
                 eval_us: 1234,
             },
+            Message::EvalDelta {
+                query: query.clone(),
+                batch: DeltaBatch {
+                    round: 4,
+                    node: Node::numbered(2),
+                    delta: instance.clone(),
+                },
+            },
+            Message::DeltaResult {
+                batch: DeltaBatch {
+                    round: 4,
+                    node: Node::numbered(2),
+                    delta: instance.clone(),
+                },
+                eval_us: 99,
+            },
             Message::Barrier { round: 7 },
             Message::BarrierAck { round: 7 },
             Message::Shutdown,
@@ -234,6 +339,22 @@ mod tests {
             batch: &batch,
         });
         let owned = encode_frame(&Message::EvalChunk { query, batch });
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn borrowed_eval_delta_encodes_the_identical_frame() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let batch = DeltaBatch {
+            round: 5,
+            node: Node::numbered(1),
+            delta: parse_instance("R(a, b).").unwrap(),
+        };
+        let borrowed = encode_frame(&EvalDeltaRef {
+            query: &query,
+            batch: &batch,
+        });
+        let owned = encode_frame(&Message::EvalDelta { query, batch });
         assert_eq!(borrowed, owned);
     }
 

@@ -31,16 +31,38 @@ use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use cq::{ConjunctiveQuery, Instance};
+use delta::DeltaNode;
 use distribution::{Node, NodeResult, Transport, TransportError};
 
-use crate::frame::{read_frame, write_frame};
-use crate::message::{ChunkBatch, EvalChunkRef, Message};
+use crate::frame::{encode_frame, read_frame, write_frame};
+use crate::message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
+
+/// The per-worker outcome of one barrier: node results plus payload bytes
+/// written to that worker.
+type DriveOutcome = Result<(Vec<(Node, NodeResult)>, u64), TransportError>;
 
 /// One spawned worker subprocess with its pipe endpoints.
 struct Worker {
     child: Child,
     stdin: BufWriter<ChildStdin>,
     stdout: BufReader<ChildStdout>,
+}
+
+/// One unit of work queued for a worker this round: a full chunk (classic
+/// rounds) or a delta (incremental rounds).
+#[derive(Clone)]
+enum Job {
+    Chunk(ChunkBatch),
+    Delta(DeltaBatch),
+}
+
+impl Job {
+    fn node(&self) -> Node {
+        match self {
+            Job::Chunk(batch) => batch.node,
+            Job::Delta(batch) => batch.node,
+        }
+    }
 }
 
 /// A [`Transport`] that ships chunks to worker subprocesses over stdio
@@ -50,9 +72,17 @@ pub struct ProcessTransport {
     query: Option<ConjunctiveQuery>,
     round: u64,
     /// Per-worker job queues for the current round.
-    jobs: Vec<Vec<ChunkBatch>>,
+    jobs: Vec<Vec<Job>>,
+    /// Stable node→worker assignment (dealt round-robin on first sight and
+    /// never changed): incremental rounds keep per-node state inside the
+    /// worker process, so a node must always talk to the same worker.
+    worker_for: BTreeMap<Node, usize>,
     next_worker: usize,
     results: BTreeMap<Node, NodeResult>,
+    /// Bytes of chunk/delta payload frames written to workers since the
+    /// last [`Transport::take_bytes_shipped`] (round-control frames are
+    /// O(1) and excluded).
+    bytes_shipped: u64,
 }
 
 impl ProcessTransport {
@@ -102,8 +132,10 @@ impl ProcessTransport {
             query: None,
             round: 0,
             jobs: vec![Vec::new(); workers],
+            worker_for: BTreeMap::new(),
             next_worker: 0,
             results: BTreeMap::new(),
+            bytes_shipped: 0,
         })
     }
 
@@ -111,55 +143,95 @@ impl ProcessTransport {
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
+
+    /// Queues `job` on the worker that owns its node (assigning one
+    /// round-robin on first sight).
+    fn enqueue(&mut self, job: Job) {
+        let node = job.node();
+        let worker = match self.worker_for.get(&node) {
+            Some(&w) => w,
+            None => {
+                let w = self.next_worker;
+                self.next_worker = (self.next_worker + 1) % self.workers.len();
+                self.worker_for.insert(node, w);
+                w
+            }
+        };
+        self.jobs[worker].push(job);
+    }
 }
 
-/// Runs one worker's queue in lock step: write a chunk, read back its
-/// result, repeat; then exchange `Barrier`/`BarrierAck`.
+/// Runs one worker's queue in lock step: write a chunk or delta, read back
+/// its result, repeat; then exchange `Barrier`/`BarrierAck`. Returns the
+/// per-node results and the payload bytes written to the worker (the
+/// honest byte-level communication volume of the round).
 fn drive_worker(
     worker: &mut Worker,
     query: &ConjunctiveQuery,
     round: u64,
-    jobs: &[ChunkBatch],
-) -> Result<Vec<(Node, NodeResult)>, TransportError> {
+    jobs: &[Job],
+) -> Result<(Vec<(Node, NodeResult)>, u64), TransportError> {
     let mut results = Vec::with_capacity(jobs.len());
+    let mut bytes = 0u64;
     for job in jobs {
-        let node = job.node;
-        write_frame(&mut worker.stdin, &EvalChunkRef { query, batch: job })
-            .map_err(|e| TransportError::Io(format!("sending chunk for {node}: {e}")))?;
-        match read_frame::<Message>(&mut worker.stdout) {
-            Ok(Some(Message::ChunkResult { batch, eval_us })) => {
-                if batch.round != round || batch.node != node {
-                    return Err(TransportError::Protocol(format!(
-                        "worker answered round {} node {} to a round {round} chunk for {node}",
-                        batch.round, batch.node
-                    )));
-                }
-                results.push((
-                    node,
-                    NodeResult {
-                        output: batch.chunk,
-                        eval_time: Duration::from_micros(eval_us),
-                    },
-                ));
-            }
-            Ok(Some(other)) => {
-                return Err(TransportError::Protocol(format!(
-                    "expected a chunk-result, worker sent {}",
-                    other.kind()
-                )))
-            }
+        let node = job.node();
+        let frame = match job {
+            Job::Chunk(batch) => encode_frame(&EvalChunkRef { query, batch }),
+            Job::Delta(batch) => encode_frame(&EvalDeltaRef { query, batch }),
+        };
+        bytes += frame.len() as u64;
+        worker
+            .stdin
+            .write_all(&frame)
+            .and_then(|()| worker.stdin.flush())
+            .map_err(|e| TransportError::Io(format!("sending work for {node}: {e}")))?;
+        let reply = match read_frame::<Message>(&mut worker.stdout) {
+            Ok(Some(reply)) => reply,
             Ok(None) => {
                 return Err(TransportError::Io(
                     "worker closed its pipe mid-round".to_string(),
                 ))
             }
             Err(e) => return Err(TransportError::Protocol(e.to_string())),
+        };
+        let (answered_round, answered_node, output, eval_us) = match (job, reply) {
+            (Job::Chunk(_), Message::ChunkResult { batch, eval_us }) => {
+                (batch.round, batch.node, batch.chunk, eval_us)
+            }
+            (Job::Delta(_), Message::DeltaResult { batch, eval_us }) => {
+                (batch.round, batch.node, batch.delta, eval_us)
+            }
+            (Job::Chunk(_), other) => {
+                return Err(TransportError::Protocol(format!(
+                    "expected a chunk-result, worker sent {}",
+                    other.kind()
+                )))
+            }
+            (Job::Delta(_), other) => {
+                return Err(TransportError::Protocol(format!(
+                    "expected a delta-result, worker sent {}",
+                    other.kind()
+                )))
+            }
+        };
+        if answered_round != round || answered_node != node {
+            return Err(TransportError::Protocol(format!(
+                "worker answered round {answered_round} node {answered_node} \
+                 to a round {round} job for {node}"
+            )));
         }
+        results.push((
+            node,
+            NodeResult {
+                output,
+                eval_time: Duration::from_micros(eval_us),
+            },
+        ));
     }
     write_frame(&mut worker.stdin, &Message::Barrier { round })
         .map_err(|e| TransportError::Io(format!("sending barrier: {e}")))?;
     match read_frame::<Message>(&mut worker.stdout) {
-        Ok(Some(Message::BarrierAck { round: acked })) if acked == round => Ok(results),
+        Ok(Some(Message::BarrierAck { round: acked })) if acked == round => Ok((results, bytes)),
         Ok(Some(other)) => Err(TransportError::Protocol(format!(
             "expected barrier-ack for round {round}, worker sent {}",
             other.kind()
@@ -188,13 +260,20 @@ impl Transport for ProcessTransport {
     }
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
-        let batch = ChunkBatch {
+        self.enqueue(Job::Chunk(ChunkBatch {
             round: self.round,
             node,
             chunk,
-        };
-        self.jobs[self.next_worker].push(batch);
-        self.next_worker = (self.next_worker + 1) % self.workers.len();
+        }));
+        Ok(())
+    }
+
+    fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        self.enqueue(Job::Delta(DeltaBatch {
+            round: self.round,
+            node,
+            delta,
+        }));
         Ok(())
     }
 
@@ -207,25 +286,26 @@ impl Transport for ProcessTransport {
         let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); self.workers.len()]);
         // One scoped thread per worker with jobs; each drives its own pipes
         // so the workers evaluate concurrently.
-        let outcomes: Vec<Result<Vec<(Node, NodeResult)>, TransportError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .zip(&jobs)
-                    .filter(|(_, jobs)| !jobs.is_empty())
-                    .map(|(worker, jobs)| {
-                        let query = &query;
-                        scope.spawn(move || drive_worker(worker, query, round, jobs))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker driver thread panicked"))
-                    .collect()
-            });
+        let outcomes: Vec<DriveOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .zip(&jobs)
+                .filter(|(_, jobs)| !jobs.is_empty())
+                .map(|(worker, jobs)| {
+                    let query = &query;
+                    scope.spawn(move || drive_worker(worker, query, round, jobs))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker driver thread panicked"))
+                .collect()
+        });
         for outcome in outcomes {
-            self.results.extend(outcome?);
+            let (results, bytes) = outcome?;
+            self.results.extend(results);
+            self.bytes_shipped += bytes;
         }
         Ok(())
     }
@@ -234,6 +314,14 @@ impl Transport for ProcessTransport {
         self.results
             .remove(&node)
             .ok_or(TransportError::UnknownNode(node))
+    }
+
+    fn recv_delta(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.recv_chunk(node)
+    }
+
+    fn take_bytes_shipped(&mut self) -> u64 {
+        std::mem::take(&mut self.bytes_shipped)
     }
 
     fn parallelism(&self) -> usize {
@@ -255,12 +343,16 @@ impl Drop for ProcessTransport {
 }
 
 /// The worker side of the protocol: reads [`Message`] frames from `input`,
-/// evaluates `EvalChunk`s, acknowledges `Barrier`s, and exits on
-/// `Shutdown` or a clean EOF. Returns an error message on protocol or I/O
-/// failure (the CLI maps it to a non-zero exit).
+/// evaluates `EvalChunk`s statelessly and `EvalDelta`s against persistent
+/// per-node [`DeltaNode`] state (an `EvalDelta` for round 0 resets its
+/// node — the coordinator ships every node a round-0 delta, so one worker
+/// process can serve several incremental runs), acknowledges `Barrier`s,
+/// and exits on `Shutdown` or a clean EOF. Returns an error message on
+/// protocol or I/O failure (the CLI maps it to a non-zero exit).
 pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
     let mut input = BufReader::new(input);
     let mut output = BufWriter::new(output);
+    let mut nodes: BTreeMap<Node, DeltaNode> = BTreeMap::new();
     loop {
         match read_frame::<Message>(&mut input) {
             Ok(None) | Ok(Some(Message::Shutdown)) => return Ok(()),
@@ -273,6 +365,24 @@ pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
                         round: batch.round,
                         node: batch.node,
                         chunk: local,
+                    },
+                    eval_us,
+                };
+                write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
+            }
+            Ok(Some(Message::EvalDelta { query, batch })) => {
+                if batch.round == 0 {
+                    nodes.insert(batch.node, DeltaNode::new());
+                }
+                let state = nodes.entry(batch.node).or_default();
+                let start = Instant::now();
+                let fresh = state.step(&query, &batch.delta);
+                let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let reply = Message::DeltaResult {
+                    batch: DeltaBatch {
+                        round: batch.round,
+                        node: batch.node,
+                        delta: fresh,
                     },
                     eval_us,
                 };
@@ -338,6 +448,44 @@ mod tests {
             other => panic!("expected a chunk-result, got {}", other.kind()),
         }
         assert_eq!(replies[1], Message::BarrierAck { round: 0 });
+    }
+
+    #[test]
+    fn worker_accumulates_deltas_and_resets_on_round_zero() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap();
+        let node = Node::numbered(0);
+        let delta = |round, text: &str| Message::EvalDelta {
+            query: query.clone(),
+            batch: DeltaBatch {
+                round,
+                node,
+                delta: cq::parse_instance(text).unwrap(),
+            },
+        };
+        let replies = worker_script(&[
+            // Run 1: the join closes in round 1 against round-0 state.
+            delta(0, "R(a, b)."),
+            delta(1, "S(b, c)."),
+            // Run 2 (round 0 again): state must reset, so the same S fact
+            // alone derives nothing.
+            delta(0, "S(b, c)."),
+            Message::Shutdown,
+        ])
+        .unwrap();
+        let outputs: Vec<&Instance> = replies
+            .iter()
+            .map(|m| match m {
+                Message::DeltaResult { batch, .. } => &batch.delta,
+                other => panic!("expected a delta-result, got {}", other.kind()),
+            })
+            .collect();
+        assert!(outputs[0].is_empty(), "R alone joins nothing");
+        assert_eq!(outputs[1], &cq::parse_instance("T(a, c).").unwrap());
+        assert!(
+            outputs[2].is_empty(),
+            "round 0 must reset the node's state, got {}",
+            outputs[2]
+        );
     }
 
     #[test]

@@ -11,15 +11,19 @@
 //! scenario := stanza*
 //! stanza   := "query" QUERY                       # cq query, ends at '.'
 //!           | "instance" "{" FACT* "}"            # cq instance syntax
+//!           | "policy" "{" entry* "}"             # explicit per-fact policy
 //!           | "schedule" policy ("," policy)*     # one entry per round
 //!           | "rounds" NUMBER
 //!           | "feedback" IDENT
+//! entry    := IDENT ":" FACT*                     # node: its facts (one line,
+//!           | "default" ":" IDENT*                #   or terminated by ';')
 //! policy   := "broadcast"   network
 //!           | "round-robin" network
 //!           | "hash"        "(" NUMBER ")"        # buckets on the join var
 //!           | "hypercube"   "(" NUMBER ("," NUMBER)* ")"
 //!                                                 # one uniform budget, or
 //!                                                 # per-dimension buckets
+//!           | "explicit"                          # the policy stanza
 //! network  := "(" NUMBER ")"                      # n0 … n{N-1}
 //!           | "{" IDENT+ "}"                      # explicitly named nodes
 //! ```
@@ -29,13 +33,21 @@
 //! last policy repeats past the end, exactly like
 //! [`distribution::RoundSchedule`].
 //!
+//! The `policy` stanza is the scenario form of the `pc` policy-file format
+//! ("one line per node, an optional `default:` line assigns unlisted
+//! facts"): it defines one explicit fact→nodes policy, and a schedule
+//! entry `explicit` runs a round under it. Entries end at a newline, a
+//! `;`, or the closing `}`; facts on an entry line use the cq fact syntax
+//! with flexible separators.
+//!
 //! [`Scenario`]'s `Display` impl is the pretty-printer; parsing is its
 //! exact inverse (`Scenario::parse(s.to_string()) == s` for every value),
 //! which the property suite pins.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use cq::{ConjunctiveQuery, Instance, Symbol};
+use cq::{ConjunctiveQuery, Fact, Instance, Symbol};
 use distribution::{DistributionPolicy, ExplicitPolicy, HypercubePolicy, Network, Node};
 use workloads::hash_join_policy;
 
@@ -106,6 +118,115 @@ impl fmt::Display for NetworkSpec {
     }
 }
 
+/// The scenario form of the `pc` policy-file format: an explicit per-fact
+/// distribution policy — which nodes each listed fact goes to, plus the
+/// default nodes receiving every unlisted fact.
+///
+/// The assignment map is canonical (nodes sorted, facts as a set), so the
+/// pretty-printer's output re-parses to an equal value; the default node
+/// list keeps its written order (it is an argument list, not a set).
+/// Node names must satisfy [`ExplicitSpec::is_node_name`] — in particular
+/// an assignment key may not be the reserved word `default` — which both
+/// the stanza parser and the binary decoder enforce, so every parsed *or
+/// decoded* spec survives the print∘parse round trip.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExplicitSpec {
+    /// Per-node fact assignments.
+    pub assignments: BTreeMap<Symbol, Instance>,
+    /// Nodes receiving every fact not listed in `assignments`.
+    pub default: Vec<Symbol>,
+}
+
+impl ExplicitSpec {
+    /// Whether `name` can appear as a node name in the textual stanza: the
+    /// scenario identifier charset (alphanumerics, `_`, `'`, interior
+    /// dashes), non-empty.
+    pub fn is_node_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.bytes().enumerate().all(|(i, b)| {
+                b.is_ascii_alphanumeric() || b == b'_' || b == b'\'' || (b == b'-' && i > 0)
+            })
+            && !name.ends_with('-')
+    }
+
+    /// Checks the invariants the textual format relies on (see the type
+    /// docs); the parser upholds them by construction, the binary decoder
+    /// by calling this.
+    fn validate(&self) -> Result<(), String> {
+        for name in self.assignments.keys() {
+            if name.as_str() == "default" {
+                return Err("'default' is reserved and cannot name a policy node".to_string());
+            }
+            if !ExplicitSpec::is_node_name(name.as_str()) {
+                return Err(format!("'{name}' is not a node name"));
+            }
+        }
+        for name in &self.default {
+            if !ExplicitSpec::is_node_name(name.as_str()) {
+                return Err(format!("'{name}' is not a node name"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the [`ExplicitPolicy`]: the network is every node
+    /// mentioned anywhere in the spec, each listed fact maps to the nodes
+    /// whose entries list it, and unlisted facts map to the default nodes.
+    pub fn build(&self) -> Result<Box<dyn DistributionPolicy>, String> {
+        self.build_policy()
+            .map(|p| Box::new(p) as Box<dyn DistributionPolicy>)
+    }
+
+    /// [`ExplicitSpec::build`] with the concrete policy type — the one
+    /// materialization of the `pc` policy-file semantics (the CLI's
+    /// policy-file loader delegates here too).
+    pub fn build_policy(&self) -> Result<ExplicitPolicy, String> {
+        if self.assignments.is_empty() && self.default.is_empty() {
+            return Err("the policy stanza assigns no facts".to_string());
+        }
+        let mut network = Network::default();
+        for name in self.assignments.keys().chain(self.default.iter()) {
+            network.add(Node::new(name.as_str()));
+        }
+        let default_nodes: Vec<Node> = self.default.iter().map(|n| Node::new(n.as_str())).collect();
+        let mut policy = ExplicitPolicy::new(network).with_default(default_nodes);
+        let mut by_fact: BTreeMap<&Fact, Vec<Node>> = BTreeMap::new();
+        for (node, facts) in &self.assignments {
+            for fact in facts.facts() {
+                by_fact
+                    .entry(fact)
+                    .or_default()
+                    .push(Node::new(node.as_str()));
+            }
+        }
+        for (fact, nodes) in by_fact {
+            policy.assign(fact.clone(), nodes);
+        }
+        Ok(policy)
+    }
+}
+
+impl fmt::Display for ExplicitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy {{")?;
+        for (node, facts) in &self.assignments {
+            write!(f, "  {node}:")?;
+            for fact in facts.facts() {
+                write!(f, " {fact}")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.default.is_empty() {
+            write!(f, "  default:")?;
+            for node in &self.default {
+                write!(f, " {node}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
 /// One round's distribution policy, by name and parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PolicySpec {
@@ -127,6 +248,9 @@ pub enum PolicySpec {
         /// Bucket counts; length 1 means a uniform budget per dimension.
         buckets: Vec<usize>,
     },
+    /// The scenario's explicit per-fact policy (its `policy { … }` stanza);
+    /// built through [`Scenario::build_schedule`], which owns the stanza.
+    Explicit,
 }
 
 impl PolicySpec {
@@ -170,6 +294,11 @@ impl PolicySpec {
                     .map(|p| Box::new(p) as Box<dyn DistributionPolicy>)
                     .map_err(|e| format!("hypercube policy: {e}"))
             }
+            PolicySpec::Explicit => Err(
+                "an 'explicit' schedule entry is built from the scenario's policy stanza \
+                 (use Scenario::build_schedule)"
+                    .to_string(),
+            ),
         }
     }
 }
@@ -190,6 +319,7 @@ impl fmt::Display for PolicySpec {
                 }
                 write!(f, ")")
             }
+            PolicySpec::Explicit => write!(f, "explicit"),
         }
     }
 }
@@ -202,6 +332,9 @@ pub struct Scenario {
     pub query: ConjunctiveQuery,
     /// The initial database instance.
     pub instance: Instance,
+    /// The explicit per-fact policy stanza, if the file has one (required
+    /// when the schedule contains [`PolicySpec::Explicit`]).
+    pub policy: Option<ExplicitSpec>,
     /// Per-round policy specs (the last one repeats past the end).
     pub schedule: Vec<PolicySpec>,
     /// Maximum number of rounds (≥ 1; the run may stop earlier at the
@@ -218,13 +351,24 @@ impl Scenario {
         Parser::new(text).scenario()
     }
 
-    /// Builds the concrete per-round policies of the schedule.
+    /// Builds the concrete per-round policies of the schedule. `explicit`
+    /// entries are built from the scenario's policy stanza.
     pub fn build_schedule(&self) -> Result<Vec<Box<dyn DistributionPolicy>>, String> {
         self.schedule
             .iter()
             .map(|spec| {
-                spec.build(&self.query, &self.instance)
-                    .map_err(|e| format!("schedule entry '{spec}': {e}"))
+                match spec {
+                    PolicySpec::Explicit => self
+                        .policy
+                        .as_ref()
+                        .ok_or_else(|| {
+                            "the schedule says 'explicit' but the scenario has no policy stanza"
+                                .to_string()
+                        })
+                        .and_then(ExplicitSpec::build),
+                    other => other.build(&self.query, &self.instance),
+                }
+                .map_err(|e| format!("schedule entry '{spec}': {e}"))
             })
             .collect()
     }
@@ -239,6 +383,9 @@ impl fmt::Display for Scenario {
             writeln!(f, "  {fact}.")?;
         }
         writeln!(f, "}}")?;
+        if let Some(policy) = &self.policy {
+            write!(f, "{policy}")?;
+        }
         write!(f, "schedule ")?;
         for (i, policy) in self.schedule.iter().enumerate() {
             if i > 0 {
@@ -259,6 +406,7 @@ impl Encode for Scenario {
     fn encode(&self, enc: &mut Encoder) {
         self.query.encode(enc);
         self.instance.encode(enc);
+        self.policy.encode(enc);
         enc.usize(self.schedule.len());
         for policy in &self.schedule {
             policy.encode(enc);
@@ -272,10 +420,16 @@ impl Decode for Scenario {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let query = ConjunctiveQuery::decode(dec)?;
         let instance = Instance::decode(dec)?;
+        let policy = Option::<ExplicitSpec>::decode(dec)?;
         let schedule = Vec::<PolicySpec>::decode(dec)?;
         if schedule.is_empty() {
             return Err(DecodeError::Invalid(
                 "scenario has an empty schedule".to_string(),
+            ));
+        }
+        if schedule.contains(&PolicySpec::Explicit) && policy.is_none() {
+            return Err(DecodeError::Invalid(
+                "scenario schedule says 'explicit' but carries no policy stanza".to_string(),
             ));
         }
         let rounds = dec.usize()?;
@@ -286,6 +440,7 @@ impl Decode for Scenario {
         Ok(Scenario {
             query,
             instance,
+            policy,
             schedule,
             rounds,
             feedback,
@@ -293,10 +448,45 @@ impl Decode for Scenario {
     }
 }
 
+impl Encode for ExplicitSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.usize(self.assignments.len());
+        for (node, facts) in &self.assignments {
+            node.encode(enc);
+            facts.encode(enc);
+        }
+        self.default.encode(enc);
+    }
+}
+
+impl Decode for ExplicitSpec {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let entries = dec.usize()?;
+        let mut assignments = BTreeMap::new();
+        for _ in 0..entries {
+            let node = Symbol::decode(dec)?;
+            let facts = Instance::decode(dec)?;
+            assignments.insert(node, facts);
+        }
+        let default = Vec::<Symbol>::decode(dec)?;
+        let spec = ExplicitSpec {
+            assignments,
+            default,
+        };
+        // Decoded specs must satisfy the same naming invariants the stanza
+        // parser enforces, or printing them would not re-parse (e.g. a node
+        // literally named "default" would print as the default-nodes line).
+        spec.validate()
+            .map_err(|message| DecodeError::Invalid(format!("policy stanza: {message}")))?;
+        Ok(spec)
+    }
+}
+
 const TAG_BROADCAST: u8 = 0;
 const TAG_ROUND_ROBIN: u8 = 1;
 const TAG_HASH: u8 = 2;
 const TAG_HYPERCUBE: u8 = 3;
+const TAG_EXPLICIT: u8 = 4;
 
 impl Encode for PolicySpec {
     fn encode(&self, enc: &mut Encoder) {
@@ -317,6 +507,7 @@ impl Encode for PolicySpec {
                 enc.byte(TAG_HYPERCUBE);
                 buckets.encode(enc);
             }
+            PolicySpec::Explicit => enc.byte(TAG_EXPLICIT),
         }
     }
 }
@@ -332,6 +523,7 @@ impl Decode for PolicySpec {
             TAG_HYPERCUBE => Ok(PolicySpec::Hypercube {
                 buckets: Vec::<usize>::decode(dec)?,
             }),
+            TAG_EXPLICIT => Ok(PolicySpec::Explicit),
             tag => Err(DecodeError::UnknownTag {
                 context: "PolicySpec",
                 tag,
@@ -548,15 +740,109 @@ impl<'a> Parser<'a> {
                 }
                 Ok(PolicySpec::Hypercube { buckets })
             }
+            "explicit" => Ok(PolicySpec::Explicit),
             other => Err(self.error(format!(
-                "unknown policy '{other}' (expected broadcast, round-robin, hash or hypercube)"
+                "unknown policy '{other}' (expected broadcast, round-robin, hash, \
+                 hypercube or explicit)"
             ))),
         }
+    }
+
+    /// Captures one policy-stanza entry body: everything up to the next
+    /// newline, `;` or `}` (the `}` is left for the stanza loop). A `%`/`#`
+    /// comment ends the body early and is skipped to its end of line.
+    fn entry_body(&mut self) -> &'a str {
+        let bytes = self.bytes();
+        let start = self.pos;
+        let mut end = self.pos;
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'\n' | b';' => {
+                    self.pos += 1; // consume the terminator
+                    return &self.input[start..end];
+                }
+                b'}' => return &self.input[start..end],
+                b'%' | b'#' => {
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    end = self.pos;
+                }
+            }
+        }
+        &self.input[start..end]
+    }
+
+    /// Parses the body of a `policy { … }` stanza (the `{` is already
+    /// consumed): `node: facts…` entries plus at most one
+    /// `default: nodes…` line.
+    fn policy_stanza(&mut self) -> Result<ExplicitSpec, ScenarioError> {
+        let mut spec = ExplicitSpec::default();
+        let mut saw_default = false;
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            if self.eat(b';') {
+                continue;
+            }
+            if self.pos == self.input.len() {
+                return Err(self.error("unterminated policy stanza: expected '}'"));
+            }
+            let entry_at = self.pos;
+            let name = self.ident()?;
+            self.skip_ws();
+            self.expect(b':')
+                .map_err(|_| self.error(format!("expected ':' after '{name}'")))?;
+            let body = self.entry_body();
+            if name == "default" {
+                if saw_default {
+                    return Err(ScenarioError {
+                        position: entry_at,
+                        message: "duplicate 'default' line in the policy stanza".to_string(),
+                    });
+                }
+                saw_default = true;
+                for node in body.split_whitespace() {
+                    if !ExplicitSpec::is_node_name(node) {
+                        return Err(ScenarioError {
+                            position: entry_at,
+                            message: format!("'{node}' is not a node name"),
+                        });
+                    }
+                    spec.default.push(Symbol::new(node));
+                }
+            } else {
+                if !ExplicitSpec::is_node_name(name) {
+                    return Err(ScenarioError {
+                        position: entry_at,
+                        message: format!("'{name}' is not a node name"),
+                    });
+                }
+                let facts = cq::parse_instance(body).map_err(|e| ScenarioError {
+                    position: entry_at,
+                    message: format!("in policy entry '{name}': {e}"),
+                })?;
+                spec.assignments
+                    .entry(Symbol::new(name))
+                    .or_default()
+                    .extend(facts.facts().cloned());
+            }
+        }
+        if spec.assignments.is_empty() && spec.default.is_empty() {
+            return Err(self.error("the policy stanza assigns no facts"));
+        }
+        Ok(spec)
     }
 
     fn scenario(&mut self) -> Result<Scenario, ScenarioError> {
         let mut query: Option<ConjunctiveQuery> = None;
         let mut instance: Option<Instance> = None;
+        let mut policy: Option<ExplicitSpec> = None;
         let mut schedule: Option<Vec<PolicySpec>> = None;
         let mut rounds: Option<usize> = None;
         let mut feedback: Option<Symbol> = None;
@@ -592,6 +878,14 @@ impl<'a> Parser<'a> {
                     instance = Some(self.delegate(b'}', "instance block", |text| {
                         cq::parse_instance(text).map_err(|e| format!("in instance stanza: {e}"))
                     })?);
+                }
+                "policy" => {
+                    if policy.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    self.skip_ws();
+                    self.expect(b'{')?;
+                    policy = Some(self.policy_stanza()?);
                 }
                 "schedule" => {
                     if schedule.is_some() {
@@ -634,7 +928,7 @@ impl<'a> Parser<'a> {
                     return Err(ScenarioError {
                         position: keyword_at,
                         message: format!(
-                            "unknown stanza '{other}' (expected query, instance, schedule, rounds or feedback)"
+                            "unknown stanza '{other}' (expected query, instance, policy, schedule, rounds or feedback)"
                         ),
                     })
                 }
@@ -652,9 +946,17 @@ impl<'a> Parser<'a> {
             position: self.input.len(),
             message: "scenario has no 'schedule' stanza".to_string(),
         })?;
+        if schedule.contains(&PolicySpec::Explicit) && policy.is_none() {
+            return Err(ScenarioError {
+                position: self.input.len(),
+                message: "the schedule says 'explicit' but the scenario has no 'policy' stanza"
+                    .to_string(),
+            });
+        }
         Ok(Scenario {
             query,
             instance,
+            policy,
             schedule,
             rounds: rounds.unwrap_or(1),
             feedback,
@@ -670,12 +972,33 @@ mod tests {
         Scenario {
             query: ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
             instance: cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap(),
+            policy: None,
             schedule: vec![
                 PolicySpec::Hash { buckets: 3 },
                 PolicySpec::Hypercube { buckets: vec![2] },
             ],
             rounds: 6,
             feedback: Some(Symbol::new("R")),
+        }
+    }
+
+    fn sample_explicit() -> Scenario {
+        let mut assignments = BTreeMap::new();
+        assignments.insert(
+            Symbol::new("n0"),
+            cq::parse_instance("R(a, b). R(b, c).").unwrap(),
+        );
+        assignments.insert(Symbol::new("n1"), cq::parse_instance("R(b, c).").unwrap());
+        Scenario {
+            query: ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
+            instance: cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap(),
+            policy: Some(ExplicitSpec {
+                assignments,
+                default: vec![Symbol::new("n0"), Symbol::new("n1")],
+            }),
+            schedule: vec![PolicySpec::Explicit, PolicySpec::Hash { buckets: 2 }],
+            rounds: 2,
+            feedback: None,
         }
     }
 
@@ -811,9 +1134,130 @@ mod tests {
 
     #[test]
     fn scenarios_round_trip_through_the_binary_codec() {
-        let s = sample();
+        for s in [sample(), sample_explicit()] {
+            let bytes = crate::frame::encode_frame(&s);
+            let back: Scenario = crate::frame::decode_frame(&bytes).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn policy_stanza_parses_prints_and_reparses() {
+        let s = sample_explicit();
+        let text = s.to_string();
+        assert!(
+            text.contains("policy {"),
+            "printer must emit the stanza:\n{text}"
+        );
+        assert!(text.contains("schedule explicit, hash(2)"));
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, s, "printed scenario:\n{text}");
+    }
+
+    #[test]
+    fn hand_written_policy_stanzas_parse() {
+        // Newline- and semicolon-terminated entries, duplicate node lines
+        // merging, comments, and the default line — the pc policy-file
+        // format embedded in a scenario.
+        let s = Scenario::parse(
+            "query T(x, z) :- R(x, y), R(y, z), R(x, x).
+             instance { R(a, a). R(a, b). R(b, a). R(b, b). }
+             policy {
+               n0: R(a, a) R(b, a)   % the loop lives on both
+               n0: R(b, b)           # merges with the line above
+               n1: R(a, a), R(a, b); n1: R(b, b)
+               default: n0 n1
+             }
+             schedule explicit",
+        )
+        .unwrap();
+        let spec = s.policy.as_ref().unwrap();
+        assert_eq!(spec.assignments[&Symbol::new("n0")].len(), 3);
+        assert_eq!(spec.assignments[&Symbol::new("n1")].len(), 3);
+        assert_eq!(spec.default.len(), 2);
+        // Example 3.5: the policy is parallel-correct for the loop query.
+        let policies = s.build_schedule().unwrap();
+        let outcome =
+            distribution::OneRoundEngine::new(policies[0].as_ref()).evaluate(&s.query, &s.instance);
+        assert_eq!(outcome.result, cq::evaluate(&s.query, &s.instance));
+        // and the whole thing round-trips
+        assert_eq!(Scenario::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn explicit_policy_default_routes_unlisted_facts() {
+        let s = Scenario::parse(
+            "query T(x) :- R(x, y).
+             instance { R(a, b). R(c, d). }
+             policy {
+               n0: R(a, b)
+               default: n1
+             }
+             schedule explicit",
+        )
+        .unwrap();
+        let policies = s.build_schedule().unwrap();
+        let listed = policies[0].nodes_for(&cq::Fact::from_names("R", &["a", "b"]));
+        let unlisted = policies[0].nodes_for(&cq::Fact::from_names("R", &["c", "d"]));
+        assert_eq!(listed.into_iter().collect::<Vec<_>>(), [Node::new("n0")]);
+        assert_eq!(unlisted.into_iter().collect::<Vec<_>>(), [Node::new("n1")]);
+    }
+
+    #[test]
+    fn decoded_policy_stanzas_must_survive_the_print_parse_round_trip() {
+        // A spec whose assignment key is the reserved word "default" (or
+        // not a node name at all) would print as something the parser
+        // cannot read back; the binary decoder must reject it instead of
+        // producing a value that violates parse∘print = id.
+        for bad_name in ["default", "has space", "-dash", "a-"] {
+            let mut assignments = BTreeMap::new();
+            assignments.insert(Symbol::new(bad_name), cq::parse_instance("R(a).").unwrap());
+            let spec = ExplicitSpec {
+                assignments,
+                default: vec![],
+            };
+            let bytes = crate::frame::encode_frame(&spec);
+            let err = crate::frame::decode_frame::<ExplicitSpec>(&bytes).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Invalid(_)),
+                "node name {bad_name:?} must be rejected, got {err:?}"
+            );
+        }
+        // Dashed-but-valid node names pass end to end, parser included.
+        let s = Scenario::parse(
+            "query T(x) :- R(x).\ninstance { R(a). }\n\
+             policy { east-1: R(a)\n default: east-1 }\nschedule explicit",
+        )
+        .unwrap();
         let bytes = crate::frame::encode_frame(&s);
-        let back: Scenario = crate::frame::decode_frame(&bytes).unwrap();
-        assert_eq!(back, s);
+        assert_eq!(crate::frame::decode_frame::<Scenario>(&bytes).unwrap(), s);
+        assert_eq!(Scenario::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_policy_stanzas_are_rejected() {
+        let base = "query T(x) :- R(x).\ninstance { R(a). }\n";
+        for (tail, needle) in [
+            ("schedule explicit", "no 'policy' stanza"),
+            ("policy { }\nschedule explicit", "assigns no facts"),
+            ("policy { n0 R(a). }\nschedule explicit", "expected ':'"),
+            (
+                "policy { n0: R(a)\ndefault: n1\ndefault: n2 }\nschedule explicit",
+                "duplicate 'default'",
+            ),
+            ("policy { n0: R(a(b)) }\nschedule explicit", "policy entry"),
+            ("policy { n0: R(a)", "unterminated policy stanza"),
+            (
+                "policy { n0: R(a). }\npolicy { n1: R(a). }\nschedule explicit",
+                "duplicate",
+            ),
+        ] {
+            let text = format!("{base}{tail}");
+            let err = Scenario::parse(&text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{tail:?} gave {err} (wanted {needle:?})"
+            );
+        }
     }
 }

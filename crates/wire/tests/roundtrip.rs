@@ -11,8 +11,8 @@ use cq::{Atom, ConjunctiveQuery, Fact, Instance, Value, Variable};
 use distribution::Node;
 use proptest::prelude::*;
 use wire::{
-    decode_body, decode_frame, encode_body, encode_frame, ChunkBatch, Message, NetworkSpec,
-    PolicySpec, Scenario,
+    decode_body, decode_frame, encode_body, encode_frame, ChunkBatch, DeltaBatch, ExplicitSpec,
+    Message, NetworkSpec, PolicySpec, Scenario,
 };
 
 // ---------------------------------------------------------------- strategies
@@ -73,6 +73,34 @@ fn policy_spec_strategy() -> impl Strategy<Value = PolicySpec> {
         })
 }
 
+/// A random explicit per-fact policy stanza: a few nodes with small fact
+/// sets, optionally a default node list.
+fn explicit_spec_strategy() -> impl Strategy<Value = ExplicitSpec> {
+    (
+        proptest::collection::vec(
+            (0..4usize, proptest::collection::vec(fact_strategy(), 0..6)),
+            1..4,
+        ),
+        proptest::collection::vec(0..4usize, 0..3),
+    )
+        .prop_map(|(entries, default)| {
+            let mut assignments = std::collections::BTreeMap::new();
+            for (n, facts) in entries {
+                assignments
+                    .entry(cq::Symbol::new(&format!("node{n}")))
+                    .or_insert_with(Instance::new)
+                    .extend(facts);
+            }
+            ExplicitSpec {
+                assignments,
+                default: default
+                    .into_iter()
+                    .map(|n| cq::Symbol::new(&format!("node{n}")))
+                    .collect(),
+            }
+        })
+}
+
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
         query_strategy(),
@@ -80,17 +108,31 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         proptest::collection::vec(policy_spec_strategy(), 1..4),
         1..9usize,
         0..2usize,
+        // 0 = no policy stanza; 1 = stanza present but unused;
+        // 2 = stanza present and an `explicit` entry in the schedule
+        (0..3usize, explicit_spec_strategy()),
     )
-        .prop_map(|(query, instance, schedule, rounds, feedback)| Scenario {
-            // feedback must be a relation the printer/parser can round-trip;
-            // any body relation name works (the parser does not re-validate
-            // against the query, the CLI does).
-            feedback: (feedback == 1).then(|| query.body()[0].relation),
-            query,
-            instance,
-            schedule,
-            rounds,
-        })
+        .prop_map(
+            |(query, instance, mut schedule, rounds, feedback, (policy_mode, spec))| {
+                let policy = (policy_mode > 0).then_some(spec);
+                // an `explicit` schedule entry is only well-formed alongside
+                // a policy stanza
+                if policy_mode == 2 {
+                    schedule.push(PolicySpec::Explicit);
+                }
+                Scenario {
+                    // feedback must be a relation the printer/parser can
+                    // round-trip; any body relation name works (the parser
+                    // does not re-validate against the query, the CLI does).
+                    feedback: (feedback == 1).then(|| query.body()[0].relation),
+                    query,
+                    instance,
+                    policy,
+                    schedule,
+                    rounds,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -123,6 +165,20 @@ proptest! {
         let batch = ChunkBatch { round, node: Node::numbered(node), chunk: instance };
         let framed = encode_frame(&batch);
         prop_assert_eq!(decode_frame::<ChunkBatch>(&framed).unwrap(), batch);
+    }
+
+    #[test]
+    fn delta_batches_round_trip_through_the_codec(
+        instance in instance_strategy(),
+        round in 0..5u64,
+        node in 0..8usize,
+    ) {
+        let batch = DeltaBatch { round, node: Node::numbered(node), delta: instance };
+        let framed = encode_frame(&batch);
+        prop_assert_eq!(decode_frame::<DeltaBatch>(&framed).unwrap(), batch.clone());
+        // and as full protocol messages
+        let message = Message::DeltaResult { batch, eval_us: 7 };
+        prop_assert_eq!(decode_frame::<Message>(&encode_frame(&message)).unwrap(), message);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //!   pcq-analyze hypercube  <query> <query-prime>
 //!   pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]
 //!                          [--rounds N] [--schedule S] [--feedback R]
-//!                          [--streaming] [--distribute-workers N]
+//!                          [--streaming] [--semi-naive]
+//!                          [--distribute-workers N]
 //!                          [--transport memory|process]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
-//!                          [--rounds N] [--feedback R] [--transport T]
+//!                          [--rounds N] [--feedback R] [--semi-naive]
+//!                          [--transport T]
 //!   pcq-analyze encode     (query|instance|scenario) <spec>
 //!   pcq-analyze decode
 //!   pcq-analyze worker
@@ -47,7 +49,13 @@
 //! (making the query effectively recursive), and the result is compared
 //! against the global fixpoint of the centralized iterated query.
 //! `--streaming` streams chunks to workers instead of materializing them;
-//! `--distribute-workers` shards the reshuffle phase. With
+//! `--semi-naive` switches the rounds to incremental mode: only the facts
+//! new since the previous round are reshuffled, nodes keep their
+//! accumulated state across rounds, and each local evaluation is one
+//! differential pass over the delta — the final result is identical to
+//! full re-evaluation, the late-round work is not (requires a
+//! single-policy schedule); `--distribute-workers` shards the reshuffle
+//! phase. With
 //! `--transport process` local evaluation leaves this process entirely:
 //! chunks are binary-encoded and shipped over stdio pipes to `--workers N`
 //! `pcq-analyze worker` subprocesses. `--scenario file.pcq` replaces the
@@ -95,7 +103,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--distribute-workers N]\n                         [--transport memory|process]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--transport memory|process]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -247,6 +255,7 @@ struct RunOptions {
     workers: usize,
     distribute_workers: usize,
     streaming: bool,
+    semi_naive: bool,
     json: bool,
     rounds: Option<usize>,
     schedule: Option<String>,
@@ -272,6 +281,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         workers: 1,
         distribute_workers: 1,
         streaming: false,
+        semi_naive: false,
         json: false,
         rounds: None,
         schedule: None,
@@ -294,6 +304,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--streaming" => opts.streaming = true,
+            "--semi-naive" => opts.semi_naive = true,
             "--workers" => opts.workers = parse_count("--workers", iter.next())?,
             "--distribute-workers" => {
                 opts.distribute_workers = parse_count("--distribute-workers", iter.next())?
@@ -340,6 +351,16 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         // Streaming is an in-memory allocation optimization (borrowed
         // chunks); shipping to a subprocess always materializes.
         return Err("--streaming cannot be combined with --transport process".to_string());
+    }
+    if opts.semi_naive {
+        if opts.rounds.is_none() && opts.scenario.is_none() {
+            return Err("--semi-naive requires --rounds (it is a multi-round mode)".to_string());
+        }
+        if opts.streaming {
+            // Deltas are materialized (and small by construction); the
+            // borrowed-chunk streaming path does not apply to them.
+            return Err("--semi-naive cannot be combined with --streaming".to_string());
+        }
     }
 
     if let Some(path) = opts.scenario.clone() {
@@ -570,12 +591,21 @@ fn run_multi_round(
     feedback: Option<&str>,
     opts: &RunOptions,
 ) -> Result<bool, String> {
+    if opts.semi_naive && policies.len() > 1 {
+        // The engine would panic on this; surface it as a usage error.
+        return Err(
+            "--semi-naive requires a single-policy schedule: a policy switch would re-route \
+             facts that were already shipped"
+                .to_string(),
+        );
+    }
     let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
     let mut engine = MultiRoundEngine::new(RoundSchedule::of(refs))
         .rounds(rounds)
         .workers(opts.workers)
         .distribute_workers(opts.distribute_workers)
-        .streaming(opts.streaming);
+        .streaming(opts.streaming)
+        .semi_naive(opts.semi_naive);
     if let Some(feedback) = feedback {
         // A feedback relation the query never reads — or reads at a
         // different arity — would make the recursion silently inert; the
@@ -631,6 +661,7 @@ fn run_multi_round(
                     JsonValue::fixed(round.stats.replication_factor, 4),
                 ),
                 ("peak_chunks", JsonValue::from(round.peak_chunks)),
+                ("comm_bytes", JsonValue::from(round.comm_bytes)),
                 (
                     "distribute_us",
                     JsonValue::from(round.distribute_time.as_micros()),
@@ -649,6 +680,7 @@ fn run_multi_round(
             ("instance_facts", JsonValue::from(instance.len())),
             ("workers", JsonValue::from(opts.workers)),
             ("streaming", JsonValue::from(opts.streaming)),
+            ("semi_naive", JsonValue::from(opts.semi_naive)),
             ("transport", JsonValue::from(opts.transport.label())),
             ("rounds_requested", JsonValue::from(rounds)),
             ("rounds_run", JsonValue::from(outcome.rounds_run())),
@@ -660,6 +692,10 @@ fn run_multi_round(
             (
                 "total_comm_volume",
                 JsonValue::from(outcome.total_comm_volume()),
+            ),
+            (
+                "total_comm_bytes",
+                JsonValue::from(outcome.total_comm_bytes()),
             ),
             (
                 "timings_us",
@@ -689,6 +725,9 @@ fn run_multi_round(
         }
         println!("instance:    {instance_label} ({} facts)", instance.len());
         println!("transport:   {}", opts.transport.label());
+        if opts.semi_naive {
+            println!("mode:        semi-naive (rounds ship deltas, nodes keep state)");
+        }
         println!(
             "rounds:      {} run / {} requested (reference fixpoint: {})",
             outcome.rounds_run(),
@@ -706,8 +745,9 @@ fn run_multi_round(
             }
         );
         println!(
-            "comm volume: {} fact-assignments over all rounds",
-            outcome.total_comm_volume()
+            "comm volume: {} fact-assignments over all rounds ({} bytes on the wire)",
+            outcome.total_comm_volume(),
+            outcome.total_comm_bytes()
         );
         println!(
             "timings:     distribute={}µs local_eval={}µs total={}µs",
@@ -978,10 +1018,12 @@ fn median(samples: &mut [u128]) -> u128 {
     samples[(samples.len() - 1) / 2]
 }
 
-/// Parses the policy-file format described in the module documentation.
+/// Parses the policy-file format described in the module documentation
+/// into a `wire::ExplicitSpec` and delegates the materialization — the
+/// file format and the scenario `policy { … }` stanza share one
+/// definition of what an explicit policy *means*.
 fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
-    let mut assignments: Vec<(Node, Fact)> = Vec::new();
-    let mut default_nodes: Vec<Node> = Vec::new();
+    let mut spec = ExplicitSpec::default();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
@@ -993,39 +1035,19 @@ fn parse_policy(text: &str) -> Result<ExplicitPolicy, String> {
         let head = head.trim();
         if head == "default" {
             for name in rest.split_whitespace() {
-                default_nodes.push(Node::new(name));
+                spec.default.push(Symbol::new(name));
             }
             continue;
         }
-        let node = Node::new(head);
         // facts are separated by whitespace outside parentheses; reuse the
         // instance parser which accepts whitespace/comma/period separators.
         let facts = cq::parse_instance(rest).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
-        for fact in facts.facts() {
-            assignments.push((node, fact.clone()));
-        }
+        spec.assignments
+            .entry(Symbol::new(head))
+            .or_default()
+            .extend(facts.facts().cloned());
     }
-    if assignments.is_empty() && default_nodes.is_empty() {
-        return Err("the policy file assigns no facts".to_string());
-    }
-    let mut network = Network::default();
-    for (node, _) in &assignments {
-        network.add(*node);
-    }
-    for node in &default_nodes {
-        network.add(*node);
-    }
-    let mut policy = ExplicitPolicy::new(network).with_default(default_nodes);
-    // group assignments per fact
-    let mut by_fact: std::collections::BTreeMap<Fact, Vec<Node>> =
-        std::collections::BTreeMap::new();
-    for (node, fact) in assignments {
-        by_fact.entry(fact).or_default().push(node);
-    }
-    for (fact, nodes) in by_fact {
-        policy.assign(fact, nodes);
-    }
-    Ok(policy)
+    spec.build_policy()
 }
 
 fn load_policy(path: &str) -> Result<ExplicitPolicy, String> {

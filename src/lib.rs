@@ -9,6 +9,8 @@
 //!
 //! * [`cq`] — conjunctive-query substrate (schemas, instances, valuations,
 //!   evaluation, homomorphisms, minimization).
+//! * [`delta`] — the incremental-evaluation substrate: delta-tracking
+//!   instances, node-side semi-naive state and the index-reuse cache.
 //! * [`distribution`] — distribution policies, Hypercube distributions and
 //!   the simulated one-round evaluation engine.
 //! * [`pc_core`] — the paper's contribution: parallel-correctness,
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub use cq;
+pub use delta;
 pub use distribution;
 pub use logic;
 pub use pc_core;
@@ -50,9 +53,10 @@ pub use workloads;
 /// into scope.
 pub mod prelude {
     pub use cq::{
-        evaluate, parse_instance, Atom, ConjunctiveQuery, EvalOptions, Fact, Instance,
-        JoinOrdering, Schema, Substitution, Symbol, Valuation, Value, Variable,
+        evaluate, evaluate_seminaive_step, parse_instance, Atom, ConjunctiveQuery, EvalOptions,
+        Fact, Instance, JoinOrdering, Schema, Substitution, Symbol, Valuation, Value, Variable,
     };
+    pub use delta::{DeltaInstance, DeltaNode, IndexCache};
     pub use distribution::{
         ChunkStream, DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily,
         HypercubePolicy, InMemoryTransport, MultiRoundEngine, MultiRoundOutcome, Network, Node,
@@ -65,7 +69,7 @@ pub mod prelude {
         is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
         MultiRoundInstanceReport, PcReport, TransferReport,
     };
-    pub use wire::{JsonValue, ProcessTransport, Scenario};
+    pub use wire::{DeltaBatch, ExplicitSpec, JsonValue, ProcessTransport, Scenario};
     pub use workloads::{
         chain_query, example_3_5_query, named_instance, named_query, named_schedule,
         random_instance, random_query, star_query, triangle_query, zipf_instance, InstanceParams,

@@ -616,6 +616,189 @@ fn run_scenario_file_reaches_the_fixpoint() {
 }
 
 #[test]
+fn run_semi_naive_matches_the_fixpoint_and_reports_itself() {
+    let long_chain = "R(a,b). R(b,c). R(c,d). R(d,e). R(e,f). R(f,g). R(g,h). R(h,i).";
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        long_chain,
+        "--rounds",
+        "8",
+        "--feedback",
+        "R",
+        "--semi-naive",
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    for key in [
+        "\"semi_naive\":true",
+        "\"multi_round_correct\":true",
+        "\"converged\":true",
+        "\"total_comm_bytes\":0",
+        "\"comm_bytes\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+
+    // The human-readable arm announces the mode.
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        long_chain,
+        "--rounds",
+        "8",
+        "--feedback",
+        "R",
+        "--semi-naive",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("mode:        semi-naive"));
+    assert!(stdout.contains("correct:     yes"));
+}
+
+#[test]
+fn run_semi_naive_flag_combinations_are_validated() {
+    // --semi-naive is a multi-round mode…
+    assert_eq!(
+        pcq_analyze(&["run", "chain:2", "hypercube:2", CHAIN_FACTS, "--semi-naive"]),
+        2
+    );
+    // …that materializes its (small) deltas…
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--rounds",
+            "4",
+            "--semi-naive",
+            "--streaming",
+        ]),
+        2
+    );
+    // …and requires a single-policy schedule.
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--rounds",
+            "4",
+            "--semi-naive",
+            "--schedule",
+            "broadcast:2,hypercube:2",
+        ]),
+        2
+    );
+}
+
+#[test]
+fn run_scenario_with_explicit_policy_stanza() {
+    // The pc policy-file format embedded in a scenario: Example 3.5's
+    // policy is parallel-correct for the query with the loop atom.
+    let scenario = "query T(x, z) :- R(x, y), R(y, z), R(x, x).\n\
+                    instance { R(a, a). R(a, b). R(b, a). R(b, b). }\n\
+                    policy {\n\
+                      n0: R(a, a) R(b, a) R(b, b)\n\
+                      n1: R(a, a) R(a, b) R(b, b)\n\
+                    }\n\
+                    schedule explicit\n";
+    let path = write_temp("explicit-policy.pcq", scenario);
+    let (code, stdout) =
+        pcq_analyze_output(&["run", "--scenario", path.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"schedule\":\"explicit\""), "{stdout}");
+    assert!(stdout.contains("\"multi_round_correct\":true"), "{stdout}");
+
+    // a schedule that says explicit without the stanza is a parse error
+    let bad = write_temp(
+        "explicit-missing.pcq",
+        "query T(x) :- R(x, y).\ninstance { R(a, b). }\nschedule explicit\n",
+    );
+    assert_eq!(
+        pcq_analyze(&["run", "--scenario", bad.to_str().unwrap()]),
+        2
+    );
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn encode_decode_round_trips_scenarios_with_policy_stanzas() {
+    let scenario = "query T(x) :- R(x, y).\n\
+                    instance { R(a, b). R(c, d). }\n\
+                    policy {\n\
+                      n0: R(a, b)\n\
+                      default: n1\n\
+                    }\n\
+                    schedule explicit\n";
+    let path = write_temp("encode-policy.pcq", scenario);
+    let encoded = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
+        .args(["encode", "scenario", path.to_str().unwrap()])
+        .output()
+        .expect("encode failed to spawn");
+    assert!(encoded.status.success());
+    use std::io::Write;
+    let mut decode = Command::new(env!("CARGO_BIN_EXE_pcq-analyze"))
+        .arg("decode")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("decode failed to spawn");
+    decode
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&encoded.stdout)
+        .unwrap();
+    let out = decode.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let printed = String::from_utf8_lossy(&out.stdout);
+    assert!(printed.contains("policy {"), "{printed}");
+    assert!(printed.contains("n0: R(a, b)"), "{printed}");
+    assert!(printed.contains("default: n1"), "{printed}");
+    assert!(printed.contains("schedule explicit"), "{printed}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_multi_round_semi_naive_process_transport_converges() {
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        "random:12:40",
+        "--rounds",
+        "6",
+        "--feedback",
+        "R",
+        "--workers",
+        "3",
+        "--transport",
+        "process",
+        "--semi-naive",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    for key in [
+        "\"transport\":\"process\"",
+        "\"semi_naive\":true",
+        "\"multi_round_correct\":true",
+        "\"converged\":true",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    // real bytes crossed the pipes
+    assert!(!stdout.contains("\"total_comm_bytes\":0"), "{stdout}");
+}
+
+#[test]
 fn run_scenario_conflicts_are_usage_errors() {
     let path = write_temp(
         "conflict.pcq",

@@ -117,6 +117,118 @@ fn multi_round_process_transport_matches_in_memory_on_all_named_workloads() {
 }
 
 #[test]
+fn semi_naive_delta_shipping_matches_full_chunk_shipping_on_all_named_workloads() {
+    // The acceptance differential: on every named workload, the incremental
+    // run (deltas over the wire, per-node state in the workers, semi-naive
+    // local evaluation) must produce byte-identical answers to the classic
+    // full-chunk run — in memory and across processes.
+    let mut transport = spawn_transport(2);
+    for (name, feedback) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 37);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+
+        let build_engine = || {
+            let mut engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy)).rounds(6);
+            if let Some(relation) = feedback {
+                engine = engine.feedback_into(relation);
+            }
+            engine
+        };
+
+        let full = build_engine().evaluate(&query, &instance);
+        let semi_memory = build_engine().semi_naive(true).evaluate(&query, &instance);
+        let semi_process = build_engine()
+            .semi_naive(true)
+            .evaluate_via(&mut transport, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: semi-naive process transport failed: {e}"));
+
+        for (label, semi) in [("memory", &semi_memory), ("process", &semi_process)] {
+            assert_eq!(
+                semi.result.to_string(),
+                full.result.to_string(),
+                "{name}/{label}: semi-naive answers diverged from full re-evaluation"
+            );
+            assert_eq!(semi.converged, full.converged, "{name}/{label}");
+            assert_eq!(semi.rounds_run(), full.rounds_run(), "{name}/{label}");
+            assert_eq!(semi.final_state, full.final_state, "{name}/{label}");
+        }
+        // The two semi-naive paths must agree round by round, not just in
+        // the end: same delta loads, same delta outputs.
+        for (m, p) in semi_memory.rounds.iter().zip(&semi_process.rounds) {
+            assert_eq!(m.result, p.result, "{name}: a semi-naive round diverged");
+            assert_eq!(m.per_node_load, p.per_node_load, "{name}");
+            assert_eq!(m.stats, p.stats, "{name}");
+        }
+    }
+}
+
+#[test]
+fn delta_shipping_moves_fewer_bytes_than_full_chunk_shipping() {
+    // On a TC-style feedback workload the late rounds of a full-chunk run
+    // re-ship the whole accumulated state; the incremental run ships only
+    // deltas. The transport counts real serialized bytes, so the saving is
+    // measured, not estimated.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 23);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let build_engine = || {
+        MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(8)
+            .feedback_into("R")
+    };
+
+    let mut transport = spawn_transport(2);
+    let full = build_engine()
+        .evaluate_via(&mut transport, &query, &instance)
+        .unwrap();
+    let semi = build_engine()
+        .semi_naive(true)
+        .evaluate_via(&mut transport, &query, &instance)
+        .unwrap();
+    assert_eq!(semi.result, full.result);
+    assert!(semi.rounds_run() > 1, "need late rounds for the claim");
+    assert!(
+        semi.total_comm_bytes() < full.total_comm_bytes(),
+        "delta shipping moved {} bytes, full-chunk shipping {}",
+        semi.total_comm_bytes(),
+        full.total_comm_bytes()
+    );
+    // In-memory runs serialize nothing and must say so.
+    assert_eq!(
+        build_engine()
+            .evaluate(&query, &instance)
+            .total_comm_bytes(),
+        0
+    );
+}
+
+#[test]
+fn one_process_transport_serves_consecutive_incremental_runs() {
+    // Worker processes persist across runs; the round-0 reset must isolate
+    // one incremental run from the next (stale per-node state would make
+    // the second run's outputs disappear).
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 51);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let mut transport = spawn_transport(2);
+    let reference = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+        .rounds(5)
+        .feedback_into("R")
+        .evaluate(&query, &instance);
+    for run in 0..2 {
+        let semi = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(5)
+            .feedback_into("R")
+            .semi_naive(true)
+            .evaluate_via(&mut transport, &query, &instance)
+            .unwrap();
+        assert_eq!(semi.result, reference.result, "run {run} diverged");
+        assert_eq!(semi.rounds_run(), reference.rounds_run(), "run {run}");
+    }
+}
+
+#[test]
 fn process_transport_survives_rounds_with_empty_and_skewed_chunks() {
     // Round-robin skips nothing but produces lopsided chunks; an explicit
     // skipping policy produces empty ones. Neither may wedge the pipes.
