@@ -61,11 +61,13 @@ pub struct OneRoundOutcome {
     /// Whether the reshuffle streamed borrowed chunks instead of
     /// materializing a full [`Distribution`](crate::Distribution).
     pub streamed: bool,
-    /// Bytes actually serialized onto a process boundary this round, as
-    /// counted by the transport ([`Transport::take_bytes_shipped`]) — `0`
-    /// for in-process rounds, where nothing is serialized. This is the
-    /// honest byte-level counterpart of `stats.total_assigned`, which
-    /// counts `(fact, node)` assignments.
+    /// Bytes actually serialized onto a process boundary this round, in
+    /// both directions (request frames plus the result frames they
+    /// provoke), as counted by the transport
+    /// ([`Transport::take_bytes_shipped`]) — `0` for in-process rounds,
+    /// where nothing is serialized. This is the honest byte-level
+    /// counterpart of `stats.total_assigned`, which counts `(fact, node)`
+    /// assignments.
     pub comm_bytes: u64,
     /// Communication/load statistics of the reshuffle phase.
     pub stats: DistributionStats,

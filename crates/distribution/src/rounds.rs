@@ -114,8 +114,9 @@ impl MultiRoundOutcome {
     }
 
     /// Cumulative bytes serialized onto a process boundary across all
-    /// rounds, as counted by the transport. `0` for purely in-process runs
-    /// (nothing was serialized — an honest zero, not an estimate).
+    /// rounds, in both directions (requests and results), as counted by
+    /// the transport. `0` for purely in-process runs (nothing was
+    /// serialized — an honest zero, not an estimate).
     pub fn total_comm_bytes(&self) -> u64 {
         self.rounds.iter().map(|r| r.comm_bytes).sum()
     }

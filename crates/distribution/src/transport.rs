@@ -124,8 +124,11 @@ pub trait Transport {
     }
 
     /// Bytes actually serialized onto a process boundary since the last
-    /// call (taking resets the counter). In-process transports ship no
-    /// bytes and report 0 — the honest answer, not an estimate.
+    /// call (taking resets the counter), in **both** directions: the wire
+    /// transports count coordinator→worker chunk/delta frames and the
+    /// worker→coordinator result frames they provoke (round-control
+    /// frames are O(1) per round and excluded). In-process transports
+    /// ship no bytes and report 0 — the honest answer, not an estimate.
     fn take_bytes_shipped(&mut self) -> u64 {
         0
     }

@@ -1,0 +1,752 @@
+//! The shared pipelined driver behind both wire transports.
+//!
+//! [`PipelinedCore`] owns everything the process- and socket-backed
+//! transports have in common: the node→worker assignment map (dealt
+//! round-robin on first sight from a **persistent** cursor, so nodes
+//! introduced in later rounds keep spreading across the whole pool), the
+//! per-worker job queues, and the barrier driver that keeps up to
+//! `window` chunk/delta jobs in flight per worker:
+//!
+//! ```text
+//!               writer thread                     reader (barrier thread)
+//!   jobs ──▶ gate.acquire ──▶ frame ──▶ pipe ──▶ reply₀, reply₁, …  ──▶ gate.release
+//!                 ▲                                (in job order)            │
+//!                 └────────────── bounded window (backpressure) ◀───────────┘
+//! ```
+//!
+//! The writer streams frames ahead of the replies instead of the old
+//! write-one-read-one lock step; the window bounds how far ahead it may
+//! run (window 1 reproduces lock step exactly). Replies arrive in job
+//! order because every worker processes its stream sequentially, so the
+//! reader can attribute them without sequence numbers. Both request and
+//! reply payload frames are counted toward `bytes_shipped` — the honest
+//! bidirectional communication volume (round-control frames are O(1) per
+//! round and excluded).
+//!
+//! **Fault tolerance.** When a worker dies mid-round (broken pipe, closed
+//! socket, crash), the driver marks it dead, reaps its process, and
+//! requeues the jobs the worker never answered onto the survivors via the
+//! assignment map. Full chunks are stateless and requeue as-is; a delta
+//! job's per-node state died with the worker, so the coordinator keeps a
+//! ledger of every delta it shipped (`shipped_state`) and converts the
+//! requeued job into a round-0 **state rebuild** carrying the node's full
+//! accumulated input. The rebuilt node re-derives outputs it had already
+//! shipped — harmless for the fixpoint (the engine unions results and
+//! deduplicates deltas) — and later rounds go back to shipping plain
+//! deltas. With fault tolerance off, the first worker failure surfaces as
+//! the round's `TransportError`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::Child;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cq::{ConjunctiveQuery, Instance};
+use distribution::{Node, NodeResult, TransportError};
+
+use crate::frame::{encode_frame, read_frame_counted, write_frame};
+use crate::message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
+
+/// Default number of jobs the writer may run ahead of the replies.
+pub(crate) const DEFAULT_WINDOW: usize = 8;
+
+/// Default bound on how long `Drop` waits for a worker to exit after
+/// `Shutdown` before killing it.
+pub(crate) const DEFAULT_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// One worker's two stream halves. For a subprocess these are its stdin
+/// and stdout pipes; for a socket worker, the two clones of the TCP
+/// stream.
+pub(crate) struct Endpoint {
+    writer: BufWriter<Box<dyn Write + Send>>,
+    reader: BufReader<Box<dyn Read + Send>>,
+}
+
+impl Endpoint {
+    /// Wraps a writer/reader pair in the buffered halves the driver uses.
+    pub(crate) fn new(
+        writer: impl Write + Send + 'static,
+        reader: impl Read + Send + 'static,
+    ) -> Endpoint {
+        Endpoint {
+            writer: BufWriter::new(Box::new(writer)),
+            reader: BufReader::new(Box::new(reader)),
+        }
+    }
+
+    /// Best-effort clean-shutdown frame (used on drop).
+    fn send_shutdown(&mut self) {
+        let _ = write_frame(&mut self.writer, &Message::Shutdown);
+    }
+}
+
+/// One unit of work queued for a worker this round: a full chunk (classic
+/// rounds) or a delta (incremental rounds).
+#[derive(Clone)]
+pub(crate) enum Job {
+    Chunk(ChunkBatch),
+    Delta(DeltaBatch),
+}
+
+impl Job {
+    fn node(&self) -> Node {
+        match self {
+            Job::Chunk(batch) => batch.node,
+            Job::Delta(batch) => batch.node,
+        }
+    }
+
+    /// The round stamped on the job itself — a requeued state rebuild
+    /// carries round 0 even when the transport is mid-run, so replies are
+    /// validated against this, not the transport's current round.
+    fn round(&self) -> u64 {
+        match self {
+            Job::Chunk(batch) => batch.round,
+            Job::Delta(batch) => batch.round,
+        }
+    }
+
+    fn encode(&self, query: &ConjunctiveQuery) -> Vec<u8> {
+        match self {
+            Job::Chunk(batch) => encode_frame(&EvalChunkRef { query, batch }),
+            Job::Delta(batch) => encode_frame(&EvalDeltaRef { query, batch }),
+        }
+    }
+}
+
+/// The bounded in-flight window shared between one worker's writer thread
+/// and the reply reader: the writer blocks in [`WindowGate::acquire`]
+/// while `window` jobs are unanswered, the reader releases a slot per
+/// reply, and a reader-side failure aborts the writer out of its wait.
+struct WindowGate {
+    /// `(in_flight, aborted)`.
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl WindowGate {
+    fn new() -> WindowGate {
+        WindowGate {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until fewer than `window` jobs are in flight. Returns
+    /// `false` when the round was aborted instead.
+    fn acquire(&self, window: usize) -> bool {
+        let mut state = self.state.lock().expect("window gate poisoned");
+        while state.0 >= window && !state.1 {
+            state = self.cv.wait(state).expect("window gate poisoned");
+        }
+        if state.1 {
+            return false;
+        }
+        state.0 += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("window gate poisoned");
+        state.0 = state.0.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) {
+        self.state.lock().expect("window gate poisoned").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The per-worker outcome of one pipelined drive.
+pub(crate) struct DriveReport {
+    /// Results of the jobs the worker answered, in job order.
+    results: Vec<(Node, NodeResult)>,
+    /// Request + reply payload bytes that actually crossed the boundary.
+    bytes: u64,
+    /// The jobs the worker never answered (empty unless `error` is set).
+    failed: Vec<Job>,
+    /// The failure that ended the drive, if any.
+    error: Option<TransportError>,
+}
+
+/// Decodes one reply frame and validates it against the job it answers.
+/// Returns the node's result plus the reply frame's wire length.
+fn read_reply(
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+    job: &Job,
+) -> Result<(Node, NodeResult, u64), TransportError> {
+    let node = job.node();
+    let (reply, reply_bytes) = match read_frame_counted::<Message>(reader) {
+        Ok(Some(reply)) => reply,
+        Ok(None) => {
+            return Err(TransportError::Io(
+                "worker closed its connection mid-round".to_string(),
+            ))
+        }
+        Err(e) => return Err(TransportError::Protocol(e.to_string())),
+    };
+    let (answered_round, answered_node, output, eval_us) = match (job, reply) {
+        (Job::Chunk(_), Message::ChunkResult { batch, eval_us }) => {
+            (batch.round, batch.node, batch.chunk, eval_us)
+        }
+        (Job::Delta(_), Message::DeltaResult { batch, eval_us }) => {
+            (batch.round, batch.node, batch.delta, eval_us)
+        }
+        (Job::Chunk(_), other) => {
+            return Err(TransportError::Protocol(format!(
+                "expected a chunk-result, worker sent {}",
+                other.kind()
+            )))
+        }
+        (Job::Delta(_), other) => {
+            return Err(TransportError::Protocol(format!(
+                "expected a delta-result, worker sent {}",
+                other.kind()
+            )))
+        }
+    };
+    if answered_round != job.round() || answered_node != node {
+        return Err(TransportError::Protocol(format!(
+            "worker answered round {answered_round} node {answered_node} \
+             to a round {} job for {node}",
+            job.round()
+        )));
+    }
+    Ok((
+        node,
+        NodeResult {
+            output,
+            eval_time: Duration::from_micros(eval_us),
+        },
+        reply_bytes,
+    ))
+}
+
+/// Drives one worker's queue with up to `window` jobs in flight: a scoped
+/// writer thread streams request frames under the gate's backpressure
+/// (then closes the round with `Barrier`), while the calling thread reads
+/// the replies in job order and releases gate slots. Never deadlocks: the
+/// reader drains the reply pipe concurrently, so the writer cannot wedge
+/// on a full buffer, and a dead worker surfaces as a write error or a
+/// read-side EOF, never a hang.
+pub(crate) fn drive(
+    endpoint: &mut Endpoint,
+    query: &ConjunctiveQuery,
+    barrier_round: u64,
+    jobs: &[Job],
+    window: usize,
+) -> DriveReport {
+    let window = window.max(1);
+    let gate = WindowGate::new();
+    let Endpoint { writer, reader } = endpoint;
+
+    let (results, bytes, error) = std::thread::scope(|scope| {
+        let gate = &gate;
+        let writer_handle = scope.spawn(move || -> (u64, Option<TransportError>) {
+            let mut sent = 0u64;
+            for job in jobs {
+                if !gate.acquire(window) {
+                    // The reader failed and aborted the round; stop
+                    // writing so the thread can be joined.
+                    return (sent, None);
+                }
+                let frame = job.encode(query);
+                sent += frame.len() as u64;
+                if let Err(e) = writer.write_all(&frame).and_then(|()| writer.flush()) {
+                    return (
+                        sent,
+                        Some(TransportError::Io(format!(
+                            "sending work for {}: {e}",
+                            job.node()
+                        ))),
+                    );
+                }
+            }
+            match write_frame(
+                writer,
+                &Message::Barrier {
+                    round: barrier_round,
+                },
+            ) {
+                Ok(()) => (sent, None),
+                Err(e) => (
+                    sent,
+                    Some(TransportError::Io(format!("sending barrier: {e}"))),
+                ),
+            }
+        });
+
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut reply_bytes = 0u64;
+        let mut error: Option<TransportError> = None;
+        for job in jobs {
+            match read_reply(reader, job) {
+                Ok((node, result, bytes)) => {
+                    reply_bytes += bytes;
+                    results.push((node, result));
+                    gate.release();
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        if error.is_none() {
+            error = match read_frame_counted::<Message>(reader) {
+                Ok(Some((Message::BarrierAck { round }, _))) if round == barrier_round => None,
+                Ok(Some((other, _))) => Some(TransportError::Protocol(format!(
+                    "expected barrier-ack for round {barrier_round}, worker sent {}",
+                    other.kind()
+                ))),
+                Ok(None) => Some(TransportError::Io(
+                    "worker closed its connection at the barrier".to_string(),
+                )),
+                Err(e) => Some(TransportError::Protocol(e.to_string())),
+            };
+        }
+        if error.is_some() {
+            gate.abort();
+        }
+        let (request_bytes, write_error) =
+            writer_handle.join().expect("worker writer thread panicked");
+        if error.is_none() {
+            error = write_error;
+        }
+        (results, request_bytes + reply_bytes, error)
+    });
+
+    let failed = if error.is_some() {
+        jobs[results.len()..].to_vec()
+    } else {
+        Vec::new()
+    };
+    DriveReport {
+        results,
+        bytes,
+        failed,
+        error,
+    }
+}
+
+/// The full transport state shared by `ProcessTransport` and
+/// `SocketTransport`: worker endpoints (with their child processes where
+/// the transport spawned them), the persistent node→worker assignment,
+/// the per-round job queues, and the fault-tolerance ledger. The wrappers
+/// delegate every [`distribution::Transport`] method here.
+pub(crate) struct PipelinedCore {
+    /// One slot per worker; `None` marks a worker that died.
+    endpoints: Vec<Option<Endpoint>>,
+    /// Child processes for spawned workers (`None` for external workers
+    /// that connected on their own, and for reaped dead workers).
+    children: Vec<Option<Child>>,
+    query: Option<ConjunctiveQuery>,
+    round: u64,
+    /// Per-worker job queues for the current round.
+    jobs: Vec<Vec<Job>>,
+    /// Stable node→worker assignment (dealt round-robin on first sight):
+    /// incremental rounds keep per-node state inside the worker, so a node
+    /// must keep talking to the same worker until that worker dies.
+    worker_for: BTreeMap<Node, usize>,
+    /// Persistent dealing cursor — intentionally **not** reset per round,
+    /// so nodes first seen in later rounds keep spreading across the pool
+    /// instead of piling onto worker 0.
+    next_worker: usize,
+    results: BTreeMap<Node, NodeResult>,
+    /// Request + reply payload bytes since the last `take_bytes_shipped`.
+    bytes_shipped: u64,
+    window: usize,
+    fault_tolerance: bool,
+    /// Every delta shipped per node this run (fault tolerance only): the
+    /// state to re-ship when the node's worker dies.
+    shipped_state: BTreeMap<Node, Instance>,
+    /// Nodes whose worker died after they were shipped state; their next
+    /// delta becomes a round-0 rebuild on the new worker.
+    needs_rebuild: BTreeSet<Node>,
+    shutdown_grace: Duration,
+}
+
+impl PipelinedCore {
+    pub(crate) fn new(endpoints: Vec<Endpoint>, children: Vec<Option<Child>>) -> PipelinedCore {
+        let count = endpoints.len();
+        debug_assert_eq!(count, children.len());
+        PipelinedCore {
+            endpoints: endpoints.into_iter().map(Some).collect(),
+            children,
+            query: None,
+            round: 0,
+            jobs: vec![Vec::new(); count],
+            worker_for: BTreeMap::new(),
+            next_worker: 0,
+            results: BTreeMap::new(),
+            bytes_shipped: 0,
+            window: DEFAULT_WINDOW,
+            fault_tolerance: true,
+            shipped_state: BTreeMap::new(),
+            needs_rebuild: BTreeSet::new(),
+            shutdown_grace: DEFAULT_SHUTDOWN_GRACE,
+        }
+    }
+
+    pub(crate) fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    pub(crate) fn set_fault_tolerance(&mut self, enabled: bool) {
+        self.fault_tolerance = enabled;
+        if !enabled {
+            self.shipped_state.clear();
+            self.needs_rebuild.clear();
+        }
+    }
+
+    pub(crate) fn set_shutdown_grace(&mut self, grace: Duration) {
+        self.shutdown_grace = grace;
+    }
+
+    pub(crate) fn worker_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Workers still alive (endpoints not torn down by a failure).
+    pub(crate) fn alive_workers(&self) -> usize {
+        self.endpoints.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The worker a node is currently assigned to, if any (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn assignment_of(&self, node: Node) -> Option<usize> {
+        self.worker_for.get(&node).copied()
+    }
+
+    /// Queues `job` on the worker that owns its node, assigning a live
+    /// worker round-robin from the persistent cursor on first sight.
+    fn enqueue(&mut self, job: Job) -> Result<(), TransportError> {
+        let node = job.node();
+        let worker = match self.worker_for.get(&node) {
+            Some(&w) if self.endpoints[w].is_some() => w,
+            _ => {
+                let w = self.next_live_worker()?;
+                self.worker_for.insert(node, w);
+                w
+            }
+        };
+        self.jobs[worker].push(job);
+        Ok(())
+    }
+
+    fn next_live_worker(&mut self) -> Result<usize, TransportError> {
+        let count = self.endpoints.len();
+        for _ in 0..count {
+            let w = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % count;
+            if self.endpoints[w].is_some() {
+                return Ok(w);
+            }
+        }
+        Err(TransportError::Io(
+            "no live workers left in the pool".to_string(),
+        ))
+    }
+
+    /// Tears down a dead worker: closes its endpoint, reaps its process,
+    /// and orphans its nodes so they get reassigned (and, for stateful
+    /// delta nodes, rebuilt) on their next job.
+    fn mark_dead(&mut self, worker: usize) {
+        self.endpoints[worker] = None;
+        if let Some(mut child) = self.children[worker].take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let orphaned: Vec<Node> = self
+            .worker_for
+            .iter()
+            .filter(|&(_, &w)| w == worker)
+            .map(|(&node, _)| node)
+            .collect();
+        for node in orphaned {
+            self.worker_for.remove(&node);
+            self.needs_rebuild.insert(node);
+        }
+    }
+
+    /// Converts a job that died with its worker into the job to requeue on
+    /// a survivor: chunks are stateless and go as-is; a delta's per-node
+    /// state is gone, so it becomes a round-0 rebuild carrying the node's
+    /// full shipped state (which already includes this round's delta).
+    fn requeued_job(&mut self, job: Job) -> Job {
+        match job {
+            Job::Chunk(batch) => Job::Chunk(batch),
+            Job::Delta(batch) => {
+                let node = batch.node;
+                self.needs_rebuild.remove(&node);
+                let delta = self
+                    .shipped_state
+                    .get(&node)
+                    .cloned()
+                    .unwrap_or(batch.delta);
+                Job::Delta(DeltaBatch {
+                    round: 0,
+                    node,
+                    delta,
+                })
+            }
+        }
+    }
+
+    pub(crate) fn begin_round(
+        &mut self,
+        round: usize,
+        query: &ConjunctiveQuery,
+    ) -> Result<(), TransportError> {
+        self.query = Some(query.clone());
+        self.round = round as u64;
+        for queue in &mut self.jobs {
+            queue.clear();
+        }
+        self.results.clear();
+        Ok(())
+    }
+
+    pub(crate) fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.enqueue(Job::Chunk(ChunkBatch {
+            round: self.round,
+            node,
+            chunk,
+        }))
+    }
+
+    pub(crate) fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        let round = self.round;
+        if self.fault_tolerance {
+            // Ledger first: the rebuild snapshot below must already
+            // include this round's delta.
+            if round == 0 {
+                self.shipped_state.insert(node, delta.clone());
+                self.needs_rebuild.remove(&node);
+            } else {
+                self.shipped_state
+                    .entry(node)
+                    .or_default()
+                    .extend(delta.facts().cloned());
+            }
+        }
+        let batch = if round > 0 && self.fault_tolerance && self.needs_rebuild.remove(&node) {
+            // The node's worker died since it last got a delta: ship the
+            // full accumulated state as a round-0 reset instead.
+            let state = self
+                .shipped_state
+                .get(&node)
+                .cloned()
+                .unwrap_or_else(|| delta.clone());
+            DeltaBatch {
+                round: 0,
+                node,
+                delta: state,
+            }
+        } else {
+            DeltaBatch { round, node, delta }
+        };
+        self.enqueue(Job::Delta(batch))
+    }
+
+    pub(crate) fn barrier(&mut self) -> Result<(), TransportError> {
+        let query = self
+            .query
+            .clone()
+            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".to_string()))?;
+        let round = self.round;
+        let window = self.window;
+        loop {
+            let count = self.endpoints.len();
+            let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); count]);
+            if jobs.iter().all(|queue| queue.is_empty()) {
+                return Ok(());
+            }
+            // One scoped thread per worker with jobs; each drives its own
+            // endpoint so the workers evaluate concurrently.
+            let reports: Vec<(usize, DriveReport)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .endpoints
+                    .iter_mut()
+                    .enumerate()
+                    .zip(&jobs)
+                    .filter(|((_, endpoint), queue)| endpoint.is_some() && !queue.is_empty())
+                    .map(|((i, endpoint), queue)| {
+                        let query = &query;
+                        let endpoint = endpoint.as_mut().expect("filtered on live endpoints");
+                        scope.spawn(move || (i, drive(endpoint, query, round, queue, window)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker driver thread panicked"))
+                    .collect()
+            });
+            let mut requeue: Vec<Job> = Vec::new();
+            // Jobs that landed on a worker that was already dead (cannot
+            // happen through enqueue, but cheap to sweep defensively).
+            for (i, queue) in jobs.into_iter().enumerate() {
+                if self.endpoints[i].is_none() && !queue.is_empty() {
+                    requeue.extend(queue);
+                }
+            }
+            for (worker, report) in reports {
+                self.bytes_shipped += report.bytes;
+                self.results.extend(report.results);
+                if let Some(error) = report.error {
+                    if !self.fault_tolerance {
+                        return Err(error);
+                    }
+                    self.mark_dead(worker);
+                    requeue.extend(report.failed);
+                }
+            }
+            if requeue.is_empty() {
+                return Ok(());
+            }
+            if self.alive_workers() == 0 {
+                return Err(TransportError::Io(format!(
+                    "all {count} workers died; {} unanswered job(s) cannot be requeued",
+                    requeue.len()
+                )));
+            }
+            for job in requeue {
+                let job = self.requeued_job(job);
+                self.enqueue(job)?;
+            }
+            // Loop: drive the requeued jobs on the survivors.
+        }
+    }
+
+    pub(crate) fn recv(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.results
+            .remove(&node)
+            .ok_or(TransportError::UnknownNode(node))
+    }
+
+    pub(crate) fn take_bytes_shipped(&mut self) -> u64 {
+        std::mem::take(&mut self.bytes_shipped)
+    }
+
+    pub(crate) fn parallelism(&self) -> usize {
+        self.alive_workers().max(1)
+    }
+}
+
+impl Drop for PipelinedCore {
+    fn drop(&mut self) {
+        for endpoint in self.endpoints.iter_mut().flatten() {
+            endpoint.send_shutdown();
+        }
+        // Closing the endpoints (pipes / sockets) is the second shutdown
+        // signal: a worker blocked in a read sees EOF and exits.
+        self.endpoints.clear();
+        // Bounded reaping: a wedged worker that ignores both signals is
+        // killed after the grace period instead of hanging the drop.
+        let deadline = Instant::now() + self.shutdown_grace;
+        for child in self.children.iter_mut().flatten() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A core with `count` inert workers (writes vanish, reads see EOF) —
+    /// enough to exercise assignment without subprocesses.
+    fn inert_core(count: usize) -> PipelinedCore {
+        let endpoints = (0..count)
+            .map(|_| Endpoint::new(std::io::sink(), std::io::empty()))
+            .collect();
+        let children = (0..count).map(|_| None).collect();
+        PipelinedCore::new(endpoints, children)
+    }
+
+    #[test]
+    fn dealing_cursor_persists_across_rounds() {
+        // Regression: `begin_round` used to reset the cursor to worker 0
+        // every round, so nodes first seen in later rounds piled onto the
+        // low-index workers. Two rounds introducing disjoint node sets
+        // must spread across all three workers.
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let mut core = inert_core(3);
+
+        core.begin_round(0, &query).unwrap();
+        core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
+        core.send_chunk(Node::numbered(1), Instance::new()).unwrap();
+        assert_eq!(core.assignment_of(Node::numbered(0)), Some(0));
+        assert_eq!(core.assignment_of(Node::numbered(1)), Some(1));
+
+        core.begin_round(1, &query).unwrap();
+        core.send_chunk(Node::numbered(2), Instance::new()).unwrap();
+        core.send_chunk(Node::numbered(3), Instance::new()).unwrap();
+        assert_eq!(
+            core.assignment_of(Node::numbered(2)),
+            Some(2),
+            "round 1's first new node must continue from the cursor, not worker 0"
+        );
+        assert_eq!(core.assignment_of(Node::numbered(3)), Some(0));
+
+        let assigned: BTreeSet<usize> = (0..4)
+            .filter_map(|i| core.assignment_of(Node::numbered(i)))
+            .collect();
+        assert_eq!(
+            assigned,
+            BTreeSet::from([0, 1, 2]),
+            "disjoint node sets across two rounds must cover every worker"
+        );
+    }
+
+    #[test]
+    fn earlier_assignments_are_sticky() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let mut core = inert_core(2);
+        core.begin_round(0, &query).unwrap();
+        core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
+        core.begin_round(1, &query).unwrap();
+        core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
+        core.send_chunk(Node::numbered(1), Instance::new()).unwrap();
+        assert_eq!(core.assignment_of(Node::numbered(0)), Some(0));
+        assert_eq!(
+            core.assignment_of(Node::numbered(1)),
+            Some(1),
+            "a re-seen node must not advance the cursor"
+        );
+    }
+
+    #[test]
+    fn window_gate_blocks_at_capacity_and_aborts() {
+        let gate = WindowGate::new();
+        assert!(gate.acquire(2));
+        assert!(gate.acquire(2));
+        // A third acquire would block; abort from another thread unblocks.
+        std::thread::scope(|scope| {
+            let gate = &gate;
+            let blocked = scope.spawn(move || gate.acquire(2));
+            std::thread::sleep(Duration::from_millis(20));
+            gate.abort();
+            assert!(!blocked.join().unwrap(), "abort must unblock acquire");
+        });
+        // After abort, acquire always declines.
+        gate.release();
+        assert!(!gate.acquire(2));
+    }
+}

@@ -90,6 +90,14 @@ pub fn write_frame<T: Encode>(w: &mut impl Write, value: &T) -> Result<(), Decod
 /// frame boundary (the peer closed the pipe between messages); EOF in the
 /// middle of a frame is [`DecodeError::Truncated`].
 pub fn read_frame<T: Decode>(r: &mut impl Read) -> Result<Option<T>, DecodeError> {
+    Ok(read_frame_counted(r)?.map(|(value, _)| value))
+}
+
+/// Reads one frame from a stream like [`read_frame`] and also reports the
+/// number of bytes the frame occupied on the wire (magic + version +
+/// length varint + body) — the honest size transports add to their
+/// communication-volume counters for worker→coordinator reply frames.
+pub fn read_frame_counted<T: Decode>(r: &mut impl Read) -> Result<Option<(T, u64)>, DecodeError> {
     let mut magic = [0u8; 4];
     match read_exact_or_eof(r, &mut magic)? {
         0 => return Ok(None),
@@ -105,7 +113,7 @@ pub fn read_frame<T: Decode>(r: &mut impl Read) -> Result<Option<T>, DecodeError
     if version[0] != VERSION {
         return Err(DecodeError::UnsupportedVersion(version[0]));
     }
-    let len = read_stream_varint(r)?;
+    let (len, varint_bytes) = read_stream_varint(r)?;
     if len > MAX_BODY_LEN {
         return Err(DecodeError::FrameTooLarge {
             len,
@@ -121,7 +129,8 @@ pub fn read_frame<T: Decode>(r: &mut impl Read) -> Result<Option<T>, DecodeError
     if (body.len() as u64) < len {
         return Err(DecodeError::Truncated);
     }
-    decode_body(&body).map(Some)
+    let wire_len = MAGIC.len() as u64 + 1 + varint_bytes as u64 + len;
+    decode_body(&body).map(|value| Some((value, wire_len)))
 }
 
 /// Fills `buf` from `r`, tolerating EOF: returns how many bytes were read
@@ -147,16 +156,17 @@ fn io_or_truncated(e: &std::io::Error) -> DecodeError {
     }
 }
 
-/// Reads a LEB128 varint byte-by-byte from a stream.
-fn read_stream_varint(r: &mut impl Read) -> Result<u64, DecodeError> {
+/// Reads a LEB128 varint byte-by-byte from a stream, returning the value
+/// and how many bytes it occupied.
+fn read_stream_varint(r: &mut impl Read) -> Result<(u64, usize), DecodeError> {
     let mut bytes = Vec::with_capacity(10);
     loop {
         let mut byte = [0u8; 1];
         r.read_exact(&mut byte).map_err(|e| io_or_truncated(&e))?;
         bytes.push(byte[0]);
         if byte[0] & 0x80 == 0 {
-            let (value, _) = read_varint(&bytes)?;
-            return Ok(value);
+            let (value, used) = read_varint(&bytes)?;
+            return Ok((value, used));
         }
         if bytes.len() > 10 {
             return Err(DecodeError::VarintOverflow);
@@ -187,6 +197,25 @@ mod tests {
         assert_eq!(read_frame::<Fact>(&mut cursor).unwrap(), Some(a));
         assert_eq!(read_frame::<Fact>(&mut cursor).unwrap(), Some(b));
         assert_eq!(read_frame::<Fact>(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn counted_reads_report_the_exact_wire_length() {
+        let a = Fact::from_names("R", &["x", "y"]);
+        let b = Fact::from_names("SomeLongerRelationName", &["value1", "value2", "value3"]);
+        let frame_a = encode_frame(&a);
+        let frame_b = encode_frame(&b);
+        let mut stream = frame_a.clone();
+        stream.extend(frame_b.clone());
+
+        let mut cursor = std::io::Cursor::new(stream);
+        let (back_a, len_a) = read_frame_counted::<Fact>(&mut cursor).unwrap().unwrap();
+        let (back_b, len_b) = read_frame_counted::<Fact>(&mut cursor).unwrap().unwrap();
+        assert_eq!(back_a, a);
+        assert_eq!(back_b, b);
+        assert_eq!(len_a, frame_a.len() as u64, "counted = bytes produced");
+        assert_eq!(len_b, frame_b.len() as u64);
+        assert_eq!(read_frame_counted::<Fact>(&mut cursor).unwrap(), None);
     }
 
     #[test]

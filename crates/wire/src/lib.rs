@@ -18,7 +18,13 @@
 //! * [`ProcessTransport`] — a [`distribution::Transport`] that spawns
 //!   `pcq-analyze worker` subprocesses and ships binary-encoded chunks
 //!   over their stdio pipes, making engine rounds genuinely cross-process
-//!   ([`run_worker`] is the worker side).
+//!   ([`run_worker`] is the worker side),
+//! * [`SocketTransport`] — the same protocol over TCP: a listener-side
+//!   coordinator, workers connecting with `pcq-analyze worker --connect`
+//!   ([`run_worker_connect`] is that side), shared with the process
+//!   transport through one pipelined driver that keeps a bounded window
+//!   of jobs in flight per worker and requeues a dead worker's
+//!   unanswered jobs onto the survivors.
 //!
 //! The vendored `serde` stub played no part here: the codec is
 //! hand-rolled against the concrete types, dependency-free, and tested for
@@ -50,15 +56,18 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+mod driver;
 pub mod frame;
 pub mod json;
 mod message;
 mod process;
 mod scenario;
+mod socket;
 
 pub use codec::{decode_body, encode_body, Decode, DecodeError, Decoder, Encode, Encoder};
-pub use frame::{decode_frame, encode_frame, read_frame, write_frame};
+pub use frame::{decode_frame, encode_frame, read_frame, read_frame_counted, write_frame};
 pub use json::JsonValue;
 pub use message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
-pub use process::{run_worker, ProcessTransport};
+pub use process::{run_worker, run_worker_with_fault, ProcessTransport};
 pub use scenario::{ExplicitSpec, NetworkSpec, PolicySpec, Scenario, ScenarioError};
+pub use socket::{run_worker_connect, SocketTransport};

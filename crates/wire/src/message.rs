@@ -132,6 +132,14 @@ pub enum Message {
         /// Local evaluation wall-clock time, in microseconds.
         eval_us: u64,
     },
+    /// Worker → coordinator: the first frame on a freshly connected socket.
+    /// `worker` echoes the spawn token the coordinator handed the worker on
+    /// its command line, so the coordinator can map the anonymous TCP
+    /// connection back to the worker slot (and child process) it belongs to.
+    Hello {
+        /// The worker's slot index in the coordinator's pool.
+        worker: u64,
+    },
 }
 
 const TAG_QUERY: u8 = 0;
@@ -144,6 +152,7 @@ const TAG_BARRIER_ACK: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
 const TAG_EVAL_DELTA: u8 = 8;
 const TAG_DELTA_RESULT: u8 = 9;
+const TAG_HELLO: u8 = 10;
 
 impl Message {
     /// A short human-readable name for the message kind (log lines,
@@ -160,6 +169,7 @@ impl Message {
             Message::Shutdown => "shutdown",
             Message::EvalDelta { .. } => "eval-delta",
             Message::DeltaResult { .. } => "delta-result",
+            Message::Hello { .. } => "hello",
         }
     }
 }
@@ -236,6 +246,10 @@ impl Encode for Message {
                 batch.encode(enc);
                 enc.u64(*eval_us);
             }
+            Message::Hello { worker } => {
+                enc.byte(TAG_HELLO);
+                enc.u64(*worker);
+            }
         }
     }
 }
@@ -265,6 +279,7 @@ impl Decode for Message {
                 batch: DeltaBatch::decode(dec)?,
                 eval_us: dec.u64()?,
             }),
+            TAG_HELLO => Ok(Message::Hello { worker: dec.u64()? }),
             tag => Err(DecodeError::UnknownTag {
                 context: "Message",
                 tag,
@@ -318,6 +333,7 @@ mod tests {
             Message::Barrier { round: 7 },
             Message::BarrierAck { round: 7 },
             Message::Shutdown,
+            Message::Hello { worker: 3 },
         ];
         for message in &messages {
             let frame = encode_frame(message);

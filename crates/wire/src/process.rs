@@ -9,17 +9,22 @@
 //! ```text
 //! coordinator                        worker k
 //!   EvalChunk{query, batch}  ──────▶  evaluate locally
+//!   EvalChunk{query, batch}  ──────▶  (up to `window` in flight)
 //!   …                        ◀──────  ChunkResult{batch, eval_us}
 //!   Barrier{round}           ──────▶
 //!                            ◀──────  BarrierAck{round}
 //!   (Drop) Shutdown          ──────▶  exit 0
 //! ```
 //!
-//! Chunks are dealt to workers round-robin; at the barrier one scoped
-//! thread per worker walks its queue in lock step (write a chunk, read its
-//! result), so the pipes can never deadlock on full buffers, while the
-//! workers themselves evaluate genuinely in parallel. Workers persist
-//! across rounds — a multi-round run pays the spawn cost once.
+//! Chunks are dealt to workers round-robin; at the barrier the shared
+//! pipelined driver (see [`crate::driver`]) runs one thread per worker,
+//! keeping up to a window of jobs in flight on each pipe while the workers
+//! evaluate genuinely in parallel. Workers persist across rounds — a
+//! multi-round run pays the spawn cost once. A worker that dies mid-round
+//! has its unanswered jobs requeued onto the survivors (see the driver
+//! docs for the delta-state rebuild); disable with
+//! [`ProcessTransport::fault_tolerance`] to surface the first failure as a
+//! [`TransportError`] instead.
 //!
 //! [`run_worker`] is the other side: the read-eval-respond loop behind the
 //! `pcq-analyze worker` subcommand.
@@ -27,62 +32,21 @@
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use cq::{ConjunctiveQuery, Instance};
 use delta::DeltaNode;
 use distribution::{Node, NodeResult, Transport, TransportError};
 
-use crate::frame::{encode_frame, read_frame, write_frame};
-use crate::message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
-
-/// The per-worker outcome of one barrier: node results plus payload bytes
-/// written to that worker.
-type DriveOutcome = Result<(Vec<(Node, NodeResult)>, u64), TransportError>;
-
-/// One spawned worker subprocess with its pipe endpoints.
-struct Worker {
-    child: Child,
-    stdin: BufWriter<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
-}
-
-/// One unit of work queued for a worker this round: a full chunk (classic
-/// rounds) or a delta (incremental rounds).
-#[derive(Clone)]
-enum Job {
-    Chunk(ChunkBatch),
-    Delta(DeltaBatch),
-}
-
-impl Job {
-    fn node(&self) -> Node {
-        match self {
-            Job::Chunk(batch) => batch.node,
-            Job::Delta(batch) => batch.node,
-        }
-    }
-}
+use crate::driver::{Endpoint, PipelinedCore};
+use crate::frame::{read_frame, write_frame};
+use crate::message::{ChunkBatch, DeltaBatch, Message};
 
 /// A [`Transport`] that ships chunks to worker subprocesses over stdio
 /// pipes (see the module docs for the protocol).
 pub struct ProcessTransport {
-    workers: Vec<Worker>,
-    query: Option<ConjunctiveQuery>,
-    round: u64,
-    /// Per-worker job queues for the current round.
-    jobs: Vec<Vec<Job>>,
-    /// Stable node→worker assignment (dealt round-robin on first sight and
-    /// never changed): incremental rounds keep per-node state inside the
-    /// worker process, so a node must always talk to the same worker.
-    worker_for: BTreeMap<Node, usize>,
-    next_worker: usize,
-    results: BTreeMap<Node, NodeResult>,
-    /// Bytes of chunk/delta payload frames written to workers since the
-    /// last [`Transport::take_bytes_shipped`] (round-control frames are
-    /// O(1) and excluded).
-    bytes_shipped: u64,
+    core: PipelinedCore,
 }
 
 impl ProcessTransport {
@@ -103,8 +67,20 @@ impl ProcessTransport {
         workers: usize,
     ) -> Result<ProcessTransport, TransportError> {
         let workers = workers.max(1);
-        let mut spawned = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        let per_worker: Vec<Vec<String>> = (0..workers).map(|_| args.to_vec()).collect();
+        ProcessTransport::spawn_commands(program, &per_worker)
+    }
+
+    /// Spawns one subprocess per argument list, letting each worker get
+    /// different flags (fault-injection tests give one worker
+    /// `--fail-after N`).
+    pub fn spawn_commands(
+        program: PathBuf,
+        per_worker_args: &[Vec<String>],
+    ) -> Result<ProcessTransport, TransportError> {
+        let mut endpoints = Vec::with_capacity(per_worker_args.len());
+        let mut children = Vec::with_capacity(per_worker_args.len());
+        for args in per_worker_args {
             let mut child = Command::new(&program)
                 .args(args)
                 .stdin(Stdio::piped())
@@ -121,125 +97,44 @@ impl ProcessTransport {
                 .stdout
                 .take()
                 .ok_or_else(|| TransportError::Io("worker stdout not piped".to_string()))?;
-            spawned.push(Worker {
-                child,
-                stdin: BufWriter::new(stdin),
-                stdout: BufReader::new(stdout),
-            });
+            endpoints.push(Endpoint::new(stdin, stdout));
+            children.push(Some(child));
         }
         Ok(ProcessTransport {
-            workers: spawned,
-            query: None,
-            round: 0,
-            jobs: vec![Vec::new(); workers],
-            worker_for: BTreeMap::new(),
-            next_worker: 0,
-            results: BTreeMap::new(),
-            bytes_shipped: 0,
+            core: PipelinedCore::new(endpoints, children),
         })
     }
 
     /// Number of worker subprocesses in the pool.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.core.worker_count()
     }
 
-    /// Queues `job` on the worker that owns its node (assigning one
-    /// round-robin on first sight).
-    fn enqueue(&mut self, job: Job) {
-        let node = job.node();
-        let worker = match self.worker_for.get(&node) {
-            Some(&w) => w,
-            None => {
-                let w = self.next_worker;
-                self.next_worker = (self.next_worker + 1) % self.workers.len();
-                self.worker_for.insert(node, w);
-                w
-            }
-        };
-        self.jobs[worker].push(job);
+    /// Workers that have not died (diagnostics; fault tests assert a kill
+    /// actually happened).
+    pub fn alive_workers(&self) -> usize {
+        self.core.alive_workers()
     }
-}
 
-/// Runs one worker's queue in lock step: write a chunk or delta, read back
-/// its result, repeat; then exchange `Barrier`/`BarrierAck`. Returns the
-/// per-node results and the payload bytes written to the worker (the
-/// honest byte-level communication volume of the round).
-fn drive_worker(
-    worker: &mut Worker,
-    query: &ConjunctiveQuery,
-    round: u64,
-    jobs: &[Job],
-) -> Result<(Vec<(Node, NodeResult)>, u64), TransportError> {
-    let mut results = Vec::with_capacity(jobs.len());
-    let mut bytes = 0u64;
-    for job in jobs {
-        let node = job.node();
-        let frame = match job {
-            Job::Chunk(batch) => encode_frame(&EvalChunkRef { query, batch }),
-            Job::Delta(batch) => encode_frame(&EvalDeltaRef { query, batch }),
-        };
-        bytes += frame.len() as u64;
-        worker
-            .stdin
-            .write_all(&frame)
-            .and_then(|()| worker.stdin.flush())
-            .map_err(|e| TransportError::Io(format!("sending work for {node}: {e}")))?;
-        let reply = match read_frame::<Message>(&mut worker.stdout) {
-            Ok(Some(reply)) => reply,
-            Ok(None) => {
-                return Err(TransportError::Io(
-                    "worker closed its pipe mid-round".to_string(),
-                ))
-            }
-            Err(e) => return Err(TransportError::Protocol(e.to_string())),
-        };
-        let (answered_round, answered_node, output, eval_us) = match (job, reply) {
-            (Job::Chunk(_), Message::ChunkResult { batch, eval_us }) => {
-                (batch.round, batch.node, batch.chunk, eval_us)
-            }
-            (Job::Delta(_), Message::DeltaResult { batch, eval_us }) => {
-                (batch.round, batch.node, batch.delta, eval_us)
-            }
-            (Job::Chunk(_), other) => {
-                return Err(TransportError::Protocol(format!(
-                    "expected a chunk-result, worker sent {}",
-                    other.kind()
-                )))
-            }
-            (Job::Delta(_), other) => {
-                return Err(TransportError::Protocol(format!(
-                    "expected a delta-result, worker sent {}",
-                    other.kind()
-                )))
-            }
-        };
-        if answered_round != round || answered_node != node {
-            return Err(TransportError::Protocol(format!(
-                "worker answered round {answered_round} node {answered_node} \
-                 to a round {round} job for {node}"
-            )));
-        }
-        results.push((
-            node,
-            NodeResult {
-                output,
-                eval_time: Duration::from_micros(eval_us),
-            },
-        ));
+    /// Sets the pipelining window (jobs in flight per worker); 1 restores
+    /// the historic write-one-read-one lock step. Returns `self` for
+    /// builder-style construction.
+    pub fn pipeline_window(mut self, window: usize) -> ProcessTransport {
+        self.core.set_window(window);
+        self
     }
-    write_frame(&mut worker.stdin, &Message::Barrier { round })
-        .map_err(|e| TransportError::Io(format!("sending barrier: {e}")))?;
-    match read_frame::<Message>(&mut worker.stdout) {
-        Ok(Some(Message::BarrierAck { round: acked })) if acked == round => Ok((results, bytes)),
-        Ok(Some(other)) => Err(TransportError::Protocol(format!(
-            "expected barrier-ack for round {round}, worker sent {}",
-            other.kind()
-        ))),
-        Ok(None) => Err(TransportError::Io(
-            "worker closed its pipe at the barrier".to_string(),
-        )),
-        Err(e) => Err(TransportError::Protocol(e.to_string())),
+
+    /// Enables (default) or disables mid-round worker-failure recovery.
+    pub fn fault_tolerance(mut self, enabled: bool) -> ProcessTransport {
+        self.core.set_fault_tolerance(enabled);
+        self
+    }
+
+    /// Bounds how long `Drop` waits for a worker to exit after `Shutdown`
+    /// before killing it (default 5 s).
+    pub fn shutdown_grace(mut self, grace: Duration) -> ProcessTransport {
+        self.core.set_shutdown_grace(grace);
+        self
     }
 }
 
@@ -249,96 +144,35 @@ impl Transport for ProcessTransport {
         round: usize,
         query: &ConjunctiveQuery,
     ) -> Result<(), TransportError> {
-        self.query = Some(query.clone());
-        self.round = round as u64;
-        for queue in &mut self.jobs {
-            queue.clear();
-        }
-        self.next_worker = 0;
-        self.results.clear();
-        Ok(())
+        self.core.begin_round(round, query)
     }
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
-        self.enqueue(Job::Chunk(ChunkBatch {
-            round: self.round,
-            node,
-            chunk,
-        }));
-        Ok(())
+        self.core.send_chunk(node, chunk)
     }
 
     fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
-        self.enqueue(Job::Delta(DeltaBatch {
-            round: self.round,
-            node,
-            delta,
-        }));
-        Ok(())
+        self.core.send_delta(node, delta)
     }
 
     fn barrier(&mut self) -> Result<(), TransportError> {
-        let query = self
-            .query
-            .clone()
-            .ok_or_else(|| TransportError::Protocol("barrier before begin_round".to_string()))?;
-        let round = self.round;
-        let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); self.workers.len()]);
-        // One scoped thread per worker with jobs; each drives its own pipes
-        // so the workers evaluate concurrently.
-        let outcomes: Vec<DriveOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .zip(&jobs)
-                .filter(|(_, jobs)| !jobs.is_empty())
-                .map(|(worker, jobs)| {
-                    let query = &query;
-                    scope.spawn(move || drive_worker(worker, query, round, jobs))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker driver thread panicked"))
-                .collect()
-        });
-        for outcome in outcomes {
-            let (results, bytes) = outcome?;
-            self.results.extend(results);
-            self.bytes_shipped += bytes;
-        }
-        Ok(())
+        self.core.barrier()
     }
 
     fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError> {
-        self.results
-            .remove(&node)
-            .ok_or(TransportError::UnknownNode(node))
+        self.core.recv(node)
     }
 
     fn recv_delta(&mut self, node: Node) -> Result<NodeResult, TransportError> {
-        self.recv_chunk(node)
+        self.core.recv(node)
     }
 
     fn take_bytes_shipped(&mut self) -> u64 {
-        std::mem::take(&mut self.bytes_shipped)
+        self.core.take_bytes_shipped()
     }
 
     fn parallelism(&self) -> usize {
-        self.workers.len()
-    }
-}
-
-impl Drop for ProcessTransport {
-    fn drop(&mut self) {
-        for worker in &mut self.workers {
-            // Best-effort clean shutdown; a worker that already exited (or
-            // a broken pipe) is fine — we still reap the child below.
-            let _ = write_frame(&mut worker.stdin, &Message::Shutdown);
-        }
-        for worker in &mut self.workers {
-            let _ = worker.child.wait();
-        }
+        self.core.parallelism()
     }
 }
 
@@ -350,13 +184,39 @@ impl Drop for ProcessTransport {
 /// and exits on `Shutdown` or a clean EOF. Returns an error message on
 /// protocol or I/O failure (the CLI maps it to a non-zero exit).
 pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
+    run_worker_with_fault(input, output, None)
+}
+
+/// [`run_worker`] with optional fault injection: with `fail_after =
+/// Some(n)`, the worker processes `n` eval jobs normally and then dies on
+/// the next one — it returns an error *without replying*, guaranteeing an
+/// unacknowledged job for the coordinator's requeue path. Only
+/// `EvalChunk`/`EvalDelta` frames count toward `n` (barriers don't), so
+/// the death point is deterministic. Exposed through `pcq-analyze worker
+/// --fail-after N` for fault-injection tests and smokes.
+pub fn run_worker_with_fault(
+    input: impl Read,
+    output: impl Write,
+    fail_after: Option<u64>,
+) -> Result<(), String> {
     let mut input = BufReader::new(input);
     let mut output = BufWriter::new(output);
     let mut nodes: BTreeMap<Node, DeltaNode> = BTreeMap::new();
+    let mut evals_seen = 0u64;
+    let mut note_eval = || -> Result<(), String> {
+        evals_seen += 1;
+        match fail_after {
+            Some(limit) if evals_seen > limit => Err(format!(
+                "injected fault: worker dying on eval job {evals_seen}"
+            )),
+            _ => Ok(()),
+        }
+    };
     loop {
         match read_frame::<Message>(&mut input) {
             Ok(None) | Ok(Some(Message::Shutdown)) => return Ok(()),
             Ok(Some(Message::EvalChunk { query, batch })) => {
+                note_eval()?;
                 let start = Instant::now();
                 let local = cq::evaluate(&query, &batch.chunk);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -371,6 +231,7 @@ pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
                 write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
             }
             Ok(Some(Message::EvalDelta { query, batch })) => {
+                note_eval()?;
                 if batch.round == 0 {
                     nodes.insert(batch.node, DeltaNode::new());
                 }
@@ -408,18 +269,27 @@ mod tests {
     /// Drives `run_worker` entirely in memory (no subprocess): feed it a
     /// frame script, collect its reply frames.
     fn worker_script(messages: &[Message]) -> Result<Vec<Message>, String> {
+        worker_script_with_fault(messages, None).0
+    }
+
+    /// Like [`worker_script`] but with fault injection, and always
+    /// returning whatever replies made it out before a failure.
+    fn worker_script_with_fault(
+        messages: &[Message],
+        fail_after: Option<u64>,
+    ) -> (Result<Vec<Message>, String>, Vec<Message>) {
         let mut input = Vec::new();
         for m in messages {
             input.extend(encode_frame(m));
         }
         let mut output = Vec::new();
-        run_worker(std::io::Cursor::new(input), &mut output)?;
+        let run = run_worker_with_fault(std::io::Cursor::new(input), &mut output, fail_after);
         let mut replies = Vec::new();
         let mut cursor = std::io::Cursor::new(output);
-        while let Some(m) = read_frame::<Message>(&mut cursor).map_err(|e| e.to_string())? {
+        while let Ok(Some(m)) = read_frame::<Message>(&mut cursor) {
             replies.push(m);
         }
-        Ok(replies)
+        (run.map(|()| replies.clone()), replies)
     }
 
     #[test]
@@ -502,5 +372,39 @@ mod tests {
 
         let err = worker_script(&[Message::BarrierAck { round: 0 }]).unwrap_err();
         assert!(err.contains("unexpected"), "{err}");
+    }
+
+    #[test]
+    fn fault_injection_dies_on_the_exact_eval_job_without_replying() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let eval = |node| Message::EvalChunk {
+            query: query.clone(),
+            batch: ChunkBatch {
+                round: 0,
+                node: Node::numbered(node),
+                chunk: cq::parse_instance("R(a, b). R(b, c).").unwrap(),
+            },
+        };
+        // Barriers must not count toward the limit: with fail-after 2 the
+        // worker answers two evals (and the barrier between them), then
+        // dies on the third eval without replying to it.
+        let script = [
+            eval(0),
+            Message::Barrier { round: 0 },
+            eval(1),
+            eval(2),
+            Message::Shutdown,
+        ];
+        let (run, replies) = worker_script_with_fault(&script, Some(2));
+        let err = run.unwrap_err();
+        assert!(err.contains("injected fault"), "{err}");
+        assert_eq!(replies.len(), 3, "two results + one barrier-ack");
+        assert!(matches!(replies[0], Message::ChunkResult { .. }));
+        assert_eq!(replies[1], Message::BarrierAck { round: 0 });
+        assert!(matches!(replies[2], Message::ChunkResult { .. }));
+
+        // Without the fault flag the same script completes.
+        let (run, _) = worker_script_with_fault(&script, None);
+        assert_eq!(run.unwrap().len(), 4);
     }
 }

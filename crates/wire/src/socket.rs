@@ -1,0 +1,329 @@
+//! The socket transport: the same worker protocol as
+//! [`ProcessTransport`](crate::ProcessTransport), carried over TCP instead
+//! of stdio pipes — the step from a simulated cluster to workers that can
+//! live on other machines.
+//!
+//! The coordinator binds a listener; each worker connects (spawned locally
+//! with `--connect`, or started by hand anywhere the address is reachable)
+//! and introduces itself with a `Hello { worker }` frame echoing the slot
+//! token it was handed:
+//!
+//! ```text
+//! coordinator (listener)              worker k  (pcq-analyze worker --connect addr --token k)
+//!       ◀───────────  connect
+//!       ◀───────────  Hello{worker: k}
+//!   EvalChunk…  ───▶                   (then exactly the stdio protocol,
+//!       ◀───────────  ChunkResult…      pipelined under the same driver)
+//! ```
+//!
+//! The `PCQW` frames are self-delimiting, so they concatenate on the
+//! stream without any extra record layer; `TCP_NODELAY` keeps the small
+//! control frames from stalling behind Nagle's algorithm. After the
+//! handshake, rounds run on the shared pipelined driver
+//! (see [`crate::driver`]) — the socket transport gets the same in-flight
+//! window, byte accounting, and worker-death requeue as the process
+//! transport, byte-identically.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use cq::{ConjunctiveQuery, Instance};
+use distribution::{Node, NodeResult, Transport, TransportError};
+
+use crate::driver::{Endpoint, PipelinedCore};
+use crate::frame::{read_frame, write_frame};
+use crate::message::Message;
+use crate::process::run_worker_with_fault;
+
+/// How long the coordinator waits for spawned workers to connect back.
+const SPAWN_ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long [`SocketTransport::listen`] waits for external workers.
+const LISTEN_ACCEPT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How long a connected socket may dawdle over its `Hello` frame.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A [`Transport`] whose workers evaluate on the far end of TCP
+/// connections (see the module docs for the handshake).
+pub struct SocketTransport {
+    core: PipelinedCore,
+}
+
+impl SocketTransport {
+    /// Spawns `workers` local subprocesses of this same executable
+    /// re-invoked as `worker --connect <addr> --token <i>` against an
+    /// ephemeral loopback listener — the socket-transport analogue of
+    /// [`ProcessTransport::spawn`](crate::ProcessTransport::spawn).
+    pub fn spawn(workers: usize) -> Result<SocketTransport, TransportError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| TransportError::Io(format!("cannot find current executable: {e}")))?;
+        SocketTransport::spawn_command(exe, &["worker".to_string()], workers)
+    }
+
+    /// Spawns `workers` local subprocesses of an explicit `program` with
+    /// `args` (each gets `--connect`/`--token` appended).
+    pub fn spawn_command(
+        program: PathBuf,
+        args: &[String],
+        workers: usize,
+    ) -> Result<SocketTransport, TransportError> {
+        let workers = workers.max(1);
+        let per_worker: Vec<Vec<String>> = (0..workers).map(|_| args.to_vec()).collect();
+        SocketTransport::spawn_commands(program, &per_worker)
+    }
+
+    /// Spawns one subprocess per argument list (each gets
+    /// `--connect`/`--token` appended), letting individual workers carry
+    /// extra flags — fault-injection tests give one worker
+    /// `--fail-after N`.
+    pub fn spawn_commands(
+        program: PathBuf,
+        per_worker_args: &[Vec<String>],
+    ) -> Result<SocketTransport, TransportError> {
+        let listener = bind("127.0.0.1:0")?;
+        let addr = local_addr(&listener)?;
+        let mut children = Vec::with_capacity(per_worker_args.len());
+        for (token, args) in per_worker_args.iter().enumerate() {
+            let child = Command::new(&program)
+                .args(args)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--token")
+                .arg(token.to_string())
+                .spawn()
+                .map_err(|e| {
+                    TransportError::Io(format!("cannot spawn worker {}: {e}", program.display()))
+                })?;
+            children.push(Some(child));
+        }
+        let endpoints = accept_workers(
+            &listener,
+            per_worker_args.len(),
+            SPAWN_ACCEPT_DEADLINE,
+            Some(&mut children),
+        )?;
+        Ok(SocketTransport {
+            core: PipelinedCore::new(endpoints, children),
+        })
+    }
+
+    /// Binds `addr` and waits (up to a minute) for `workers` external
+    /// workers to connect and introduce themselves — each must be started
+    /// elsewhere as `pcq-analyze worker --connect <addr> --token <i>` with
+    /// distinct tokens `0..workers`. The coordinator does not own their
+    /// processes; a dead connection is handled by the requeue path alone.
+    pub fn listen(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<SocketTransport, TransportError> {
+        let workers = workers.max(1);
+        let listener = bind(addr)?;
+        let endpoints = accept_workers(&listener, workers, LISTEN_ACCEPT_DEADLINE, None)?;
+        let children = (0..workers).map(|_| None).collect();
+        Ok(SocketTransport {
+            core: PipelinedCore::new(endpoints, children),
+        })
+    }
+
+    /// Number of workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.core.worker_count()
+    }
+
+    /// Workers whose connections are still live.
+    pub fn alive_workers(&self) -> usize {
+        self.core.alive_workers()
+    }
+
+    /// Sets the pipelining window (jobs in flight per worker); 1 restores
+    /// write-one-read-one lock step.
+    pub fn pipeline_window(mut self, window: usize) -> SocketTransport {
+        self.core.set_window(window);
+        self
+    }
+
+    /// Enables (default) or disables mid-round worker-failure recovery.
+    pub fn fault_tolerance(mut self, enabled: bool) -> SocketTransport {
+        self.core.set_fault_tolerance(enabled);
+        self
+    }
+
+    /// Bounds how long `Drop` waits for a spawned worker to exit after
+    /// `Shutdown` before killing it (default 5 s).
+    pub fn shutdown_grace(mut self, grace: Duration) -> SocketTransport {
+        self.core.set_shutdown_grace(grace);
+        self
+    }
+}
+
+fn bind(addr: impl ToSocketAddrs) -> Result<TcpListener, TransportError> {
+    TcpListener::bind(addr).map_err(|e| TransportError::Io(format!("cannot bind listener: {e}")))
+}
+
+fn local_addr(listener: &TcpListener) -> Result<SocketAddr, TransportError> {
+    listener
+        .local_addr()
+        .map_err(|e| TransportError::Io(format!("cannot read listener address: {e}")))
+}
+
+/// Accepts connections until every worker slot `0..expected` has
+/// introduced itself with a valid `Hello`, or the deadline passes. With
+/// `children`, a worker that exits before connecting is reported as such
+/// (instead of an opaque timeout).
+fn accept_workers(
+    listener: &TcpListener,
+    expected: usize,
+    deadline: Duration,
+    mut children: Option<&mut Vec<Option<Child>>>,
+) -> Result<Vec<Endpoint>, TransportError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Io(format!("cannot poll listener: {e}")))?;
+    let deadline = Instant::now() + deadline;
+    let mut slots: Vec<Option<Endpoint>> = (0..expected).map(|_| None).collect();
+    let mut connected = 0usize;
+    while connected < expected {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let token = handshake(&stream)?;
+                if token >= expected as u64 {
+                    return Err(TransportError::Protocol(format!(
+                        "worker introduced itself with token {token}, expected 0..{expected}"
+                    )));
+                }
+                let slot = &mut slots[token as usize];
+                if slot.is_some() {
+                    return Err(TransportError::Protocol(format!(
+                        "two workers claimed token {token}"
+                    )));
+                }
+                let writer = stream
+                    .try_clone()
+                    .map_err(|e| TransportError::Io(format!("cannot clone worker stream: {e}")))?;
+                *slot = Some(Endpoint::new(writer, stream));
+                connected += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if let Some(children) = children.as_deref_mut() {
+                    for (i, child) in children.iter_mut().enumerate() {
+                        let exited = child
+                            .as_mut()
+                            .is_some_and(|c| matches!(c.try_wait(), Ok(Some(_))));
+                        if exited && slots[i].is_none() {
+                            return Err(TransportError::Io(format!(
+                                "worker {i} exited before connecting back"
+                            )));
+                        }
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Io(format!(
+                        "only {connected} of {expected} workers connected before the deadline"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(TransportError::Io(format!("accept failed: {e}"))),
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect())
+}
+
+/// Reads and validates the `Hello` frame off a fresh connection, returning
+/// the worker's token. Configures the stream (blocking, `TCP_NODELAY`) on
+/// the way.
+fn handshake(stream: &TcpStream) -> Result<u64, TransportError> {
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| TransportError::Io(format!("cannot configure worker stream: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| TransportError::Io(format!("cannot configure worker stream: {e}")))?;
+    stream
+        .set_read_timeout(Some(HELLO_TIMEOUT))
+        .map_err(|e| TransportError::Io(format!("cannot configure worker stream: {e}")))?;
+    let mut reader = stream;
+    let hello = match read_frame::<Message>(&mut reader) {
+        Ok(Some(Message::Hello { worker })) => worker,
+        Ok(Some(other)) => {
+            return Err(TransportError::Protocol(format!(
+                "expected hello as a connection's first frame, got {}",
+                other.kind()
+            )))
+        }
+        Ok(None) => {
+            return Err(TransportError::Io(
+                "worker closed its connection before saying hello".to_string(),
+            ))
+        }
+        Err(e) => return Err(TransportError::Protocol(format!("bad hello frame: {e}"))),
+    };
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| TransportError::Io(format!("cannot configure worker stream: {e}")))?;
+    Ok(hello)
+}
+
+impl Transport for SocketTransport {
+    fn begin_round(
+        &mut self,
+        round: usize,
+        query: &ConjunctiveQuery,
+    ) -> Result<(), TransportError> {
+        self.core.begin_round(round, query)
+    }
+
+    fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.core.send_chunk(node, chunk)
+    }
+
+    fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        self.core.send_delta(node, delta)
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        self.core.barrier()
+    }
+
+    fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.core.recv(node)
+    }
+
+    fn recv_delta(&mut self, node: Node) -> Result<NodeResult, TransportError> {
+        self.core.recv(node)
+    }
+
+    fn take_bytes_shipped(&mut self) -> u64 {
+        self.core.take_bytes_shipped()
+    }
+
+    fn parallelism(&self) -> usize {
+        self.core.parallelism()
+    }
+}
+
+/// The worker side of the socket transport: connects to the coordinator at
+/// `addr`, introduces itself with `Hello { worker: token }`, then runs the
+/// ordinary worker loop over the connection (see
+/// [`run_worker`](crate::run_worker)). `fail_after` injects a
+/// mid-round death after that many eval jobs, for fault-tolerance tests.
+/// Backs `pcq-analyze worker --connect addr --token k`.
+pub fn run_worker_connect(addr: &str, token: u64, fail_after: Option<u64>) -> Result<(), String> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to coordinator at {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("cannot configure stream: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    write_frame(&mut writer, &Message::Hello { worker: token })
+        .map_err(|e| format!("cannot send hello: {e}"))?;
+    run_worker_with_fault(stream, writer, fail_after)
+}

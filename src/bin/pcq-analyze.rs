@@ -11,13 +11,14 @@
 //!                          [--rounds N] [--schedule S] [--feedback R]
 //!                          [--streaming] [--semi-naive]
 //!                          [--distribute-workers N]
-//!                          [--transport memory|process]
+//!                          [--transport memory|process|socket]
+//!                          [--fault-inject N]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
 //!                          [--rounds N] [--feedback R] [--semi-naive]
 //!                          [--transport T]
 //!   pcq-analyze encode     (query|instance|scenario) <spec>
 //!   pcq-analyze decode
-//!   pcq-analyze worker
+//!   pcq-analyze worker     [--connect host:port --token K] [--fail-after N]
 //!   pcq-analyze bench-diff <trajectory-file> [--threshold-pct P]
 //!                          [--min-ns N] [--window N] [--bench NAME]...
 //!
@@ -58,14 +59,22 @@
 //! phase. With
 //! `--transport process` local evaluation leaves this process entirely:
 //! chunks are binary-encoded and shipped over stdio pipes to `--workers N`
-//! `pcq-analyze worker` subprocesses. `--scenario file.pcq` replaces the
-//! three positional specs with one scenario file.
+//! `pcq-analyze worker` subprocesses; `--transport socket` carries the
+//! same protocol over TCP — the coordinator binds a loopback listener and
+//! each worker connects back with `--connect host:port --token K`. Both
+//! wire transports pipeline several jobs per worker and survive a worker
+//! dying mid-round by requeueing its unanswered jobs onto the survivors;
+//! `--fault-inject N` demonstrates that path by making worker 0 die after
+//! N eval jobs (requires ≥ 2 workers and a wire transport). `--scenario
+//! file.pcq` replaces the three positional specs with one scenario file.
 //!
 //! `encode` writes one binary frame (magic `PCQW`) for a query, an
 //! instance or a scenario to stdout; `decode` reads one frame from stdin
 //! and prints its textual form — `encode … | decode` is the identity.
 //! `worker` runs the chunk-evaluation loop that `--transport process`
-//! drives; it is not meant to be invoked interactively.
+//! drives (over stdio) or, with `--connect`, the socket-transport variant
+//! that dials the coordinator; it is not meant to be invoked
+//! interactively.
 //!
 //! `bench-diff` compares the most recent entry per bench in a
 //! `BENCH_results.json` trajectory against the **median of the previous
@@ -95,15 +104,19 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{}", usage());
+            // A worker's runtime failure (protocol desync, injected fault)
+            // is not a usage mistake; the usage text would only bury it.
+            if !message.starts_with("worker failed:") {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             ExitCode::from(2)
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--transport memory|process]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -132,14 +145,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "run" => run_command(&args[1..]),
         "encode" => encode_command(&args[1..]),
         "decode" => decode_command(&args[1..]),
-        "worker" => {
-            if args.len() > 1 {
-                return Err("worker takes no arguments".to_string());
-            }
-            wire::run_worker(std::io::stdin().lock(), std::io::stdout().lock())
-                .map(|()| true)
-                .map_err(|e| format!("worker failed: {e}"))
-        }
+        "worker" => worker_command(&args[1..]),
         "bench-diff" => bench_diff(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -239,6 +245,9 @@ enum TransportChoice {
     /// Chunks are binary-encoded and shipped to `pcq-analyze worker`
     /// subprocesses over stdio pipes ([`ProcessTransport`]).
     Process,
+    /// The same worker protocol over TCP: the coordinator listens on
+    /// loopback and spawned workers connect back ([`SocketTransport`]).
+    Socket,
 }
 
 impl TransportChoice {
@@ -246,6 +255,7 @@ impl TransportChoice {
         match self {
             TransportChoice::Memory => "memory",
             TransportChoice::Process => "process",
+            TransportChoice::Socket => "socket",
         }
     }
 }
@@ -262,11 +272,92 @@ struct RunOptions {
     feedback: Option<String>,
     scenario: Option<String>,
     transport: TransportChoice,
+    /// `--fault-inject N`: worker 0 dies after N eval jobs, exercising the
+    /// wire transports' mid-round requeue path.
+    fault_inject: Option<usize>,
+}
+
+/// The per-worker `pcq-analyze worker …` argument lists for a wire
+/// transport: with fault injection, worker 0 gets `--fail-after N`.
+fn worker_argv(workers: usize, fault_inject: Option<usize>) -> Vec<Vec<String>> {
+    (0..workers)
+        .map(|i| {
+            let mut args = vec!["worker".to_string()];
+            if i == 0 {
+                if let Some(n) = fault_inject {
+                    args.push("--fail-after".to_string());
+                    args.push(n.to_string());
+                }
+            }
+            args
+        })
+        .collect()
+}
+
+fn coordinator_exe() -> Result<std::path::PathBuf, String> {
+    std::env::current_exe().map_err(|e| format!("cannot find current executable: {e}"))
 }
 
 /// Starts the worker subprocesses behind `--transport process`.
-fn spawn_process_transport(workers: usize) -> Result<ProcessTransport, String> {
-    ProcessTransport::spawn(workers).map_err(|e| format!("cannot start process transport: {e}"))
+fn spawn_process_transport(opts: &RunOptions) -> Result<ProcessTransport, String> {
+    ProcessTransport::spawn_commands(
+        coordinator_exe()?,
+        &worker_argv(opts.workers, opts.fault_inject),
+    )
+    .map_err(|e| format!("cannot start process transport: {e}"))
+}
+
+/// Starts the listener and connecting workers behind `--transport socket`.
+fn spawn_socket_transport(opts: &RunOptions) -> Result<SocketTransport, String> {
+    SocketTransport::spawn_commands(
+        coordinator_exe()?,
+        &worker_argv(opts.workers, opts.fault_inject),
+    )
+    .map_err(|e| format!("cannot start socket transport: {e}"))
+}
+
+/// The `worker` subcommand: the far side of the wire transports. With no
+/// flags it speaks the protocol on stdio (the process transport); with
+/// `--connect host:port --token K` it dials a socket-transport
+/// coordinator. `--fail-after N` injects a mid-round death for
+/// fault-tolerance tests and smokes.
+fn worker_command(args: &[String]) -> Result<bool, String> {
+    let mut connect: Option<String> = None;
+    let mut token: u64 = 0;
+    let mut fail_after: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(iter.next().ok_or("--connect needs host:port")?.to_string())
+            }
+            "--token" => {
+                let value = iter.next().ok_or("--token needs a number")?;
+                token = value
+                    .parse()
+                    .map_err(|_| format!("--token: '{value}' is not a number"))?;
+            }
+            "--fail-after" => {
+                let value = iter.next().ok_or("--fail-after needs a number")?;
+                fail_after = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--fail-after: '{value}' is not a number"))?,
+                );
+            }
+            other => return Err(format!("unknown worker argument '{other}'")),
+        }
+    }
+    match connect {
+        Some(addr) => wire::run_worker_connect(&addr, token, fail_after),
+        None => wire::run_worker_with_fault(
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+            fail_after,
+        ),
+    }
+    .map(|()| true)
+    .map_err(|e| format!("worker failed: {e}"))
 }
 
 /// The `run` subcommand: one-round evaluation of a workload triple, or —
@@ -288,6 +379,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         feedback: None,
         scenario: None,
         transport: TransportChoice::Memory,
+        fault_inject: None,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -336,21 +428,39 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                 opts.transport = match name.as_str() {
                     "memory" | "mem" => TransportChoice::Memory,
                     "process" => TransportChoice::Process,
+                    "socket" => TransportChoice::Socket,
                     other => {
                         return Err(format!(
-                            "--transport: '{other}' is not 'memory' or 'process'"
+                            "--transport: '{other}' is not 'memory', 'process' or 'socket'"
                         ))
                     }
                 };
+            }
+            "--fault-inject" => {
+                opts.fault_inject = Some(parse_count("--fault-inject", iter.next())?)
             }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             _ => positional.push(arg),
         }
     }
-    if matches!(opts.transport, TransportChoice::Process) && opts.streaming {
+    if !matches!(opts.transport, TransportChoice::Memory) && opts.streaming {
         // Streaming is an in-memory allocation optimization (borrowed
-        // chunks); shipping to a subprocess always materializes.
-        return Err("--streaming cannot be combined with --transport process".to_string());
+        // chunks); shipping to another process always materializes.
+        return Err("--streaming cannot be combined with a wire transport".to_string());
+    }
+    if opts.fault_inject.is_some() {
+        if matches!(opts.transport, TransportChoice::Memory) {
+            return Err(
+                "--fault-inject needs a wire transport (--transport process|socket)".to_string(),
+            );
+        }
+        if opts.workers < 2 {
+            return Err(
+                "--fault-inject needs --workers >= 2 (survivors must absorb the dead \
+                 worker's jobs)"
+                    .to_string(),
+            );
+        }
     }
     if opts.semi_naive {
         if opts.rounds.is_none() && opts.scenario.is_none() {
@@ -456,7 +566,13 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let outcome = match opts.transport {
         TransportChoice::Memory => engine.evaluate(&query, &instance),
         TransportChoice::Process => {
-            let mut transport = spawn_process_transport(opts.workers)?;
+            let mut transport = spawn_process_transport(&opts)?;
+            engine
+                .evaluate_via(&mut transport, 0, &query, &instance)
+                .map_err(|e| e.to_string())?
+        }
+        TransportChoice::Socket => {
+            let mut transport = spawn_socket_transport(&opts)?;
             engine
                 .evaluate_via(&mut transport, 0, &query, &instance)
                 .map_err(|e| e.to_string())?
@@ -634,7 +750,13 @@ fn run_multi_round(
     let outcome = match opts.transport {
         TransportChoice::Memory => engine.evaluate(query, instance),
         TransportChoice::Process => {
-            let mut transport = spawn_process_transport(opts.workers)?;
+            let mut transport = spawn_process_transport(opts)?;
+            engine
+                .evaluate_via(&mut transport, query, instance)
+                .map_err(|e| e.to_string())?
+        }
+        TransportChoice::Socket => {
+            let mut transport = spawn_socket_transport(opts)?;
             engine
                 .evaluate_via(&mut transport, query, instance)
                 .map_err(|e| e.to_string())?

@@ -69,7 +69,9 @@ pub mod prelude {
         is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
         MultiRoundInstanceReport, PcReport, TransferReport,
     };
-    pub use wire::{DeltaBatch, ExplicitSpec, JsonValue, ProcessTransport, Scenario};
+    pub use wire::{
+        DeltaBatch, ExplicitSpec, JsonValue, ProcessTransport, Scenario, SocketTransport,
+    };
     pub use workloads::{
         chain_query, example_3_5_query, named_instance, named_query, named_schedule,
         random_instance, random_query, star_query, triangle_query, zipf_instance, InstanceParams,

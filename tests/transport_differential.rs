@@ -291,3 +291,342 @@ fn scenario_files_drive_identical_runs_across_transports() {
     );
     assert!(in_memory.converged && cross_process.converged);
 }
+
+// ---------------------------------------------------------------------------
+// Socket transport: the TCP-backed coordinator must be indistinguishable
+// from the stdio-pipe transport, which in turn matches in-memory.
+// ---------------------------------------------------------------------------
+
+fn spawn_socket_transport(workers: usize) -> SocketTransport {
+    SocketTransport::spawn_command(worker_binary(), &["worker".to_string()], workers)
+        .expect("cannot spawn socket workers")
+}
+
+#[test]
+fn one_round_socket_transport_matches_memory_and_process_on_all_named_workloads() {
+    let mut socket = spawn_socket_transport(3);
+    let mut process = spawn_transport(3);
+    for (name, _) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 11);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+        let engine = OneRoundEngine::new(&policy).workers(2);
+
+        let in_memory = engine.evaluate(&query, &instance);
+        let via_socket = engine
+            .evaluate_via(&mut socket, 0, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: socket transport failed: {e}"));
+        let via_process = engine
+            .evaluate_via(&mut process, 0, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: process transport failed: {e}"));
+
+        assert_eq!(
+            via_socket.result.to_string(),
+            in_memory.result.to_string(),
+            "{name}: socket answers diverged from memory"
+        );
+        assert_eq!(
+            via_socket.result.to_string(),
+            via_process.result.to_string(),
+            "{name}: socket answers diverged from process"
+        );
+        assert_eq!(via_socket.per_node_load, in_memory.per_node_load, "{name}");
+        assert_eq!(
+            via_socket.per_node_output, in_memory.per_node_output,
+            "{name}"
+        );
+        assert_eq!(via_socket.stats, in_memory.stats, "{name}");
+    }
+}
+
+#[test]
+fn multi_round_socket_transport_matches_memory_on_all_named_workloads() {
+    let mut socket = spawn_socket_transport(2);
+    for (name, feedback) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 23);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+
+        let build_engine = || {
+            let mut engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy)).rounds(5);
+            if let Some(relation) = feedback {
+                engine = engine.feedback_into(relation);
+            }
+            engine
+        };
+
+        let in_memory = build_engine().evaluate(&query, &instance);
+        let via_socket = build_engine()
+            .evaluate_via(&mut socket, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: socket transport failed: {e}"));
+
+        assert_eq!(
+            via_socket.result.to_string(),
+            in_memory.result.to_string(),
+            "{name}: multi-round socket answers diverged"
+        );
+        assert_eq!(via_socket.converged, in_memory.converged, "{name}");
+        assert_eq!(via_socket.rounds_run(), in_memory.rounds_run(), "{name}");
+        assert_eq!(via_socket.final_state, in_memory.final_state, "{name}");
+        for (mem_round, sock_round) in in_memory.rounds.iter().zip(&via_socket.rounds) {
+            assert_eq!(
+                mem_round.result, sock_round.result,
+                "{name}: a round diverged"
+            );
+            assert_eq!(mem_round.per_node_load, sock_round.per_node_load, "{name}");
+            assert_eq!(mem_round.stats, sock_round.stats, "{name}");
+        }
+    }
+}
+
+#[test]
+fn semi_naive_socket_transport_matches_memory_on_all_named_workloads() {
+    let mut socket = spawn_socket_transport(2);
+    for (name, feedback) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 37);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+
+        let build_engine = || {
+            let mut engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy)).rounds(6);
+            if let Some(relation) = feedback {
+                engine = engine.feedback_into(relation);
+            }
+            engine
+        };
+
+        let semi_memory = build_engine().semi_naive(true).evaluate(&query, &instance);
+        let semi_socket = build_engine()
+            .semi_naive(true)
+            .evaluate_via(&mut socket, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: semi-naive socket transport failed: {e}"));
+
+        assert_eq!(
+            semi_socket.result.to_string(),
+            semi_memory.result.to_string(),
+            "{name}: semi-naive socket answers diverged"
+        );
+        assert_eq!(semi_socket.converged, semi_memory.converged, "{name}");
+        assert_eq!(semi_socket.rounds_run(), semi_memory.rounds_run(), "{name}");
+        for (m, s) in semi_memory.rounds.iter().zip(&semi_socket.rounds) {
+            assert_eq!(m.result, s.result, "{name}: a semi-naive round diverged");
+            assert_eq!(m.per_node_load, s.per_node_load, "{name}");
+            assert_eq!(m.stats, s.stats, "{name}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte accounting: comm_bytes must count worker→coordinator result frames,
+// not just the requests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn comm_bytes_exceed_request_frames_alone_on_both_wire_transports() {
+    // Broadcast gives every node the full instance, so the request frames
+    // are exactly reconstructible here: one EvalChunk per node carrying the
+    // whole instance. A transport that only counted requests (the old bug)
+    // would report exactly this sum; counting the replies too must land
+    // strictly above it on a high-output round.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let network = Network::with_size(4);
+    let policy = ExplicitPolicy::broadcast(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+
+    let request_bytes: u64 = network
+        .nodes()
+        .map(|node| {
+            let batch = pcq::wire::ChunkBatch {
+                round: 0,
+                node,
+                chunk: instance.clone(),
+            };
+            pcq::wire::encode_frame(&pcq::wire::EvalChunkRef {
+                query: &query,
+                batch: &batch,
+            })
+            .len() as u64
+        })
+        .sum();
+    assert!(request_bytes > 0);
+
+    let mut process = spawn_transport(2);
+    let via_process = engine
+        .evaluate_via(&mut process, 0, &query, &instance)
+        .unwrap();
+    assert!(!via_process.result.is_empty(), "need real result frames");
+    assert!(
+        via_process.comm_bytes > request_bytes,
+        "process transport reported {} comm bytes; the requests alone are {} — \
+         result frames are not being counted",
+        via_process.comm_bytes,
+        request_bytes
+    );
+
+    let mut socket = spawn_socket_transport(2);
+    let via_socket = engine
+        .evaluate_via(&mut socket, 0, &query, &instance)
+        .unwrap();
+    assert!(
+        via_socket.comm_bytes > request_bytes,
+        "socket transport reported {} comm bytes; the requests alone are {}",
+        via_socket.comm_bytes,
+        request_bytes
+    );
+    assert_eq!(via_socket.result, via_process.result);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: a worker dying mid-round must not lose the round.
+// ---------------------------------------------------------------------------
+
+/// Argument lists for a pool whose worker 0 dies after `fail_after` eval
+/// jobs (the others run normally).
+fn faulty_argv(workers: usize, fail_after: u64) -> Vec<Vec<String>> {
+    (0..workers)
+        .map(|i| {
+            if i == 0 {
+                vec![
+                    "worker".to_string(),
+                    "--fail-after".to_string(),
+                    fail_after.to_string(),
+                ]
+            } else {
+                vec!["worker".to_string()]
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn full_mode_round_survives_a_worker_dying_mid_round() {
+    // Six round-robin nodes across three workers; worker 0 dies on its
+    // second job. The round must complete via requeue with the result of a
+    // healthy run, and the pool must visibly have lost a worker (proving
+    // the fault fired rather than the test silently passing).
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let network = Network::with_size(6);
+    let policy = ExplicitPolicy::round_robin(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+    let in_memory = engine.evaluate(&query, &instance);
+
+    for label in ["process", "socket"] {
+        let (outcome, before, after) = if label == "process" {
+            let mut t =
+                ProcessTransport::spawn_commands(worker_binary(), &faulty_argv(3, 1)).unwrap();
+            let before = t.alive_workers();
+            let outcome = engine.evaluate_via(&mut t, 0, &query, &instance);
+            (outcome, before, t.alive_workers())
+        } else {
+            let mut t =
+                SocketTransport::spawn_commands(worker_binary(), &faulty_argv(3, 1)).unwrap();
+            let before = t.alive_workers();
+            let outcome = engine.evaluate_via(&mut t, 0, &query, &instance);
+            (outcome, before, t.alive_workers())
+        };
+        let outcome = outcome.unwrap_or_else(|e| panic!("{label}: round did not survive: {e}"));
+        assert_eq!(
+            outcome.result, in_memory.result,
+            "{label}: requeued round diverged"
+        );
+        assert_eq!(before, 3, "{label}");
+        assert!(
+            after < before,
+            "{label}: no worker died — the fault injection never fired"
+        );
+    }
+}
+
+#[test]
+fn semi_naive_run_rebuilds_dead_workers_state_on_survivors() {
+    // The hard path: the dead worker held per-node DeltaNode state. The
+    // coordinator must re-ship the node's full accumulated input as a
+    // round-0 rebuild on a survivor, and the run must still converge to
+    // the same fixpoint as the in-memory reference — including rounds
+    // *after* the death, which exercise the needs_rebuild bookkeeping.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 23);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let build_engine = || {
+        MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(6)
+            .feedback_into("R")
+            .semi_naive(true)
+    };
+    let reference = build_engine().evaluate(&query, &instance);
+    assert!(reference.rounds_run() > 2, "need rounds after the death");
+
+    for label in ["process", "socket"] {
+        let (outcome, after, total) = if label == "process" {
+            let mut t =
+                ProcessTransport::spawn_commands(worker_binary(), &faulty_argv(2, 1)).unwrap();
+            let outcome = build_engine().evaluate_via(&mut t, &query, &instance);
+            (outcome, t.alive_workers(), t.worker_count())
+        } else {
+            let mut t =
+                SocketTransport::spawn_commands(worker_binary(), &faulty_argv(2, 1)).unwrap();
+            let outcome = build_engine().evaluate_via(&mut t, &query, &instance);
+            (outcome, t.alive_workers(), t.worker_count())
+        };
+        let outcome = outcome.unwrap_or_else(|e| panic!("{label}: run did not survive: {e}"));
+        assert_eq!(
+            outcome.result.to_string(),
+            reference.result.to_string(),
+            "{label}: post-fault fixpoint diverged"
+        );
+        assert_eq!(outcome.converged, reference.converged, "{label}");
+        assert!(
+            after < total,
+            "{label}: no worker died — the fault injection never fired"
+        );
+    }
+}
+
+#[test]
+fn with_fault_tolerance_off_a_worker_death_is_a_clean_error() {
+    // No panic, no hang: the engine surfaces the first failure as a
+    // TransportError and the transport still drops promptly.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let network = Network::with_size(6);
+    let policy = ExplicitPolicy::round_robin(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+
+    let mut t = ProcessTransport::spawn_commands(worker_binary(), &faulty_argv(2, 0))
+        .unwrap()
+        .fault_tolerance(false);
+    let err = engine
+        .evaluate_via(&mut t, 0, &query, &instance)
+        .expect_err("a dead worker without fault tolerance must error");
+    match err {
+        TransportError::Io(_) | TransportError::Protocol(_) => {}
+        other => panic!("unexpected error kind: {other:?}"),
+    }
+    drop(t);
+
+    let mut t = SocketTransport::spawn_commands(worker_binary(), &faulty_argv(2, 0))
+        .unwrap()
+        .fault_tolerance(false);
+    engine
+        .evaluate_via(&mut t, 0, &query, &instance)
+        .expect_err("socket transport must surface the death too");
+}
+
+#[test]
+fn dropping_a_transport_with_a_wedged_worker_is_bounded() {
+    // `sleep 30` never speaks the protocol and ignores Shutdown; the old
+    // Drop would block in child.wait() for the full 30 seconds. The
+    // bounded grace must kill it quickly instead.
+    let transport = ProcessTransport::spawn_command(PathBuf::from("sleep"), &["30".to_string()], 1)
+        .unwrap()
+        .shutdown_grace(std::time::Duration::from_millis(250));
+    let start = std::time::Instant::now();
+    drop(transport);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "drop took {:?} — the shutdown grace is not bounding the wait",
+        start.elapsed()
+    );
+}
