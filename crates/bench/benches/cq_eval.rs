@@ -77,7 +77,7 @@ fn bench_join_ordering(c: &mut Criterion) {
                     i,
                     EvalOptions {
                         ordering: JoinOrdering::CostAware,
-                        use_indexes: true,
+                        ..EvalOptions::default()
                     },
                 )
             })
@@ -89,7 +89,7 @@ fn bench_join_ordering(c: &mut Criterion) {
                     i,
                     EvalOptions {
                         ordering: JoinOrdering::Naive,
-                        use_indexes: true,
+                        ..EvalOptions::default()
                     },
                 )
             })
@@ -112,7 +112,7 @@ fn bench_eval_backend(c: &mut Criterion) {
                     i,
                     EvalOptions {
                         ordering: JoinOrdering::CostAware,
-                        use_indexes: true,
+                        ..EvalOptions::default()
                     },
                 )
             })

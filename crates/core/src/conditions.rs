@@ -26,9 +26,10 @@ use cq::{
     for_each_atom_mapping, Atom, ConjunctiveQuery, CoverProblem, EvalOptions, Instance,
     Substitution, Valuation, Value, Variable,
 };
+use delta::IndexCache;
 use distribution::DistributionPolicy;
 
-use crate::minimality::is_minimal_valuation;
+use crate::minimality::is_minimal_valuation_cached;
 
 /// A violation of condition (C1): a minimal valuation whose required facts
 /// do not meet at any node.
@@ -97,8 +98,21 @@ pub fn c1_violation<P: DistributionPolicy + ?Sized>(
     policy: &P,
     universe: &Instance,
 ) -> Option<C1Violation> {
+    let mut cache = IndexCache::default();
+    c1_violation_cached(query, policy, universe, &mut cache)
+}
+
+/// [`c1_violation`] with the per-candidate minimality checks warmed through
+/// a caller-owned [`IndexCache`]. The verdict and the witness are identical
+/// to the scratch search; only the index work is shared across candidates.
+pub fn c1_violation_cached<P: DistributionPolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+    universe: &Instance,
+    cache: &mut IndexCache,
+) -> Option<C1Violation> {
     let mut violation = None;
-    let _ = crate::minimality::for_each_minimal_valuation(query, universe, |v| {
+    let _ = crate::minimality::for_each_minimal_valuation_cached(query, universe, cache, |v| {
         let required = v.required_facts(query);
         if !policy.facts_meet(&required) {
             violation = Some(C1Violation {
@@ -123,14 +137,26 @@ pub fn holds_c2(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
 /// Searches for a violation of (C2): a minimal valuation of `to` for which
 /// no covering minimal valuation of `from` exists.
 pub fn c2_violation(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<Valuation> {
+    let mut cache = IndexCache::default();
+    c2_violation_cached(from, to, &mut cache)
+}
+
+/// [`c2_violation`] with every minimality check warmed through a
+/// caller-owned [`IndexCache`]. Verdict and witness are identical to the
+/// scratch search.
+pub fn c2_violation_cached(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    cache: &mut IndexCache,
+) -> Option<Valuation> {
     // Canonical enumeration of the valuations of `to` (Claim C.4: equality
     // patterns suffice).
     for v_prime in cq::CanonicalValuations::new(to.variables()) {
-        if !is_minimal_valuation(to, &v_prime) {
+        if !is_minimal_valuation_cached(to, &v_prime, cache) {
             continue;
         }
         let target = v_prime.required_facts(to);
-        if !exists_minimal_covering_valuation(from, &target) {
+        if find_minimal_covering_valuation_cached(from, &target, cache).is_none() {
             return Some(v_prime);
         }
     }
@@ -153,6 +179,17 @@ pub fn find_minimal_covering_valuation(
     query: &ConjunctiveQuery,
     target: &Instance,
 ) -> Option<Valuation> {
+    let mut cache = IndexCache::default();
+    find_minimal_covering_valuation_cached(query, target, &mut cache)
+}
+
+/// As [`find_minimal_covering_valuation`], with the per-candidate minimality
+/// checks warmed through a caller-owned [`IndexCache`].
+pub fn find_minimal_covering_valuation_cached(
+    query: &ConjunctiveQuery,
+    target: &Instance,
+    cache: &mut IndexCache,
+) -> Option<Valuation> {
     let vars = query.variables();
     let target_facts: Vec<_> = target.facts().cloned().collect();
 
@@ -173,6 +210,7 @@ pub fn find_minimal_covering_valuation(
         &vars,
         &domain,
         fresh_base,
+        cache,
         &mut result,
     );
     result
@@ -188,6 +226,7 @@ fn cover_search(
     vars: &[Variable],
     domain: &[Value],
     fresh_base: usize,
+    cache: &mut IndexCache,
     result: &mut Option<Valuation>,
 ) {
     if result.is_some() {
@@ -195,7 +234,7 @@ fn cover_search(
     }
     if depth == target.len() {
         // All target facts covered; enumerate the remaining variables.
-        extend_and_check(query, partial, vars, domain, fresh_base, result);
+        extend_and_check(query, partial, vars, domain, fresh_base, cache, result);
         return;
     }
     let goal = &target[depth];
@@ -227,6 +266,7 @@ fn cover_search(
             vars,
             domain,
             fresh_base,
+            cache,
             result,
         );
         for v in newly_bound {
@@ -241,12 +281,14 @@ fn cover_search(
 /// Enumerates values for the unbound variables (with fresh values used in
 /// canonical order to avoid isomorphic duplicates) and records the first
 /// minimal candidate valuation.
+#[allow(clippy::too_many_arguments)]
 fn extend_and_check(
     query: &ConjunctiveQuery,
     partial: &Valuation,
     vars: &[Variable],
     domain: &[Value],
     fresh_base: usize,
+    cache: &mut IndexCache,
     result: &mut Option<Valuation>,
 ) {
     let unbound: Vec<Variable> = vars
@@ -264,13 +306,14 @@ fn extend_and_check(
         current: &mut Valuation,
         domain: &[Value],
         fresh_base: usize,
+        cache: &mut IndexCache,
         result: &mut Option<Valuation>,
     ) {
         if result.is_some() {
             return;
         }
         if idx == unbound.len() {
-            if is_minimal_valuation(query, current) {
+            if is_minimal_valuation_cached(query, current, cache) {
                 *result = Some(current.clone());
             }
             return;
@@ -293,6 +336,7 @@ fn extend_and_check(
                 current,
                 domain,
                 fresh_base,
+                cache,
                 result,
             );
             current.unbind(var);
@@ -311,6 +355,7 @@ fn extend_and_check(
         &mut current,
         domain,
         fresh_base,
+        cache,
         result,
     );
 }
@@ -367,6 +412,7 @@ pub fn c3_witness(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<C3Wi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::minimality::is_minimal_valuation;
     use cq::Fact;
     use distribution::{ExplicitPolicy, Network, Node};
 
@@ -421,6 +467,40 @@ mod tests {
 
         assert!(holds_c1(&query, &policy, &universe));
         assert!(c1_violation(&query, &policy, &universe).is_none());
+    }
+
+    #[test]
+    fn cached_c1_search_is_byte_identical_to_scratch() {
+        // Same witness (valuation AND required facts), not just the same
+        // verdict, whether the minimality checks run scratch or through a
+        // shared cache — over a family of policies that exercises both the
+        // violation and the no-violation paths.
+        let queries = [
+            q("T(x, z) :- R(x, y), R(y, z)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T() :- R(x, y), R(y, x)."),
+        ];
+        let universe = all_r_facts(&["a", "b"]);
+        let policies = [
+            example_3_5_policy(&universe),
+            ExplicitPolicy::round_robin(&Network::with_size(4), &universe),
+            ExplicitPolicy::broadcast(&Network::with_size(2), &universe),
+        ];
+        for query in &queries {
+            for policy in &policies {
+                let scratch = c1_violation(query, policy, &universe);
+                let mut cache = IndexCache::default();
+                let cached = c1_violation_cached(query, policy, &universe, &mut cache);
+                match (scratch, cached) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.valuation, b.valuation, "{query}");
+                        assert_eq!(a.required_facts, b.required_facts, "{query}");
+                    }
+                    (a, b) => panic!("witness mismatch for {query}: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -69,13 +69,15 @@ pub use family::{
     hypercube_parallel_correct, validate_hypercube_family, FamilyReport, FamilyValidation,
 };
 pub use minimality::{
-    is_minimal_valuation, is_strongly_minimal, minimal_valuations_over, satisfies_lemma_4_8,
-    strong_minimality_witness, StrongMinimalityReport,
+    is_minimal_valuation, is_minimal_valuation_cached, is_strongly_minimal,
+    minimal_valuations_over, satisfies_lemma_4_8, strong_minimality_witness,
+    StrongMinimalityReport,
 };
 pub use pc::{
     check_parallel_correctness, check_parallel_correctness_bounded,
-    check_parallel_correctness_naive, check_parallel_correctness_on_instance,
-    multi_round_correct_on, MultiRoundInstanceReport, PcInstanceReport, PcReport, PcViolation,
+    check_parallel_correctness_naive, check_parallel_correctness_naive_incremental,
+    check_parallel_correctness_on_instance, multi_round_correct_on, IncrementalPcReport,
+    IncrementalPcStats, MultiRoundInstanceReport, PcInstanceReport, PcReport, PcViolation,
 };
 pub use transfer::{
     check_transfer, check_transfer_no_skip, check_transfer_strongly_minimal, TransferReport,

@@ -6,21 +6,21 @@ use std::ops::ControlFlow;
 use cq::{
     for_each_satisfying, CanonicalValuations, ConjunctiveQuery, EvalOptions, Instance, Valuation,
 };
+use delta::IndexCache;
 
-/// Whether `valuation` is a *minimal* valuation for `query`
-/// (Definition 3.3): there is no valuation `V'` with `V' <_Q V`.
-///
-/// Any counterexample `V'` satisfies `V'(body_Q) ⊊ V(body_Q)`, so it maps all
-/// variables into the active domain of `V(body_Q)`; the search is therefore
-/// finite and is implemented as a constrained evaluation of `Q` over the
-/// instance `V(body_Q)` with the head variables pre-bound.
-pub fn is_minimal_valuation(query: &ConjunctiveQuery, valuation: &Valuation) -> bool {
-    let required = valuation.required_facts(query);
+/// The search for a strictly smaller valuation over an already-materialized
+/// required-fact instance. Shared by the scratch and cached entry points so
+/// the two can never diverge semantically.
+fn smaller_valuation_exists(
+    query: &ConjunctiveQuery,
+    valuation: &Valuation,
+    required: &Instance,
+) -> bool {
     let head_binding = valuation.restrict(&query.head_variables());
     let mut found_smaller = false;
     let _ = for_each_satisfying(
         query,
-        &required,
+        required,
         &head_binding,
         EvalOptions::default(),
         |candidate| {
@@ -33,7 +33,36 @@ pub fn is_minimal_valuation(query: &ConjunctiveQuery, valuation: &Valuation) -> 
             }
         },
     );
-    !found_smaller
+    found_smaller
+}
+
+/// Whether `valuation` is a *minimal* valuation for `query`
+/// (Definition 3.3): there is no valuation `V'` with `V' <_Q V`.
+///
+/// Any counterexample `V'` satisfies `V'(body_Q) ⊊ V(body_Q)`, so it maps all
+/// variables into the active domain of `V(body_Q)`; the search is therefore
+/// finite and is implemented as a constrained evaluation of `Q` over the
+/// instance `V(body_Q)` with the head variables pre-bound.
+pub fn is_minimal_valuation(query: &ConjunctiveQuery, valuation: &Valuation) -> bool {
+    let required = valuation.required_facts(query);
+    !smaller_valuation_exists(query, valuation, &required)
+}
+
+/// [`is_minimal_valuation`] with the candidate's required-fact instance
+/// warmed through a shared [`IndexCache`].
+///
+/// The decision procedures check minimality for thousands of valuations
+/// whose required-fact sets coincide up to variable collapses; warming the
+/// instance hoists the secondary-index build out of the per-candidate loop —
+/// equal required sets share one resident instance whose indexes are built
+/// once.
+pub fn is_minimal_valuation_cached(
+    query: &ConjunctiveQuery,
+    valuation: &Valuation,
+    cache: &mut IndexCache,
+) -> bool {
+    let required = cache.warm_owned(valuation.required_facts(query));
+    !smaller_valuation_exists(query, valuation, &required)
 }
 
 /// Enumerates the valuations of `query` that are satisfying on `facts` and
@@ -41,6 +70,22 @@ pub fn is_minimal_valuation(query: &ConjunctiveQuery, valuation: &Valuation) -> 
 pub fn for_each_minimal_valuation<F>(
     query: &ConjunctiveQuery,
     facts: &Instance,
+    callback: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    let mut cache = IndexCache::default();
+    for_each_minimal_valuation_cached(query, facts, &mut cache, callback)
+}
+
+/// [`for_each_minimal_valuation`] with the per-candidate minimality checks
+/// warmed through a caller-owned [`IndexCache`], so consecutive candidates
+/// with equal required-fact sets share one indexed instance.
+pub fn for_each_minimal_valuation_cached<F>(
+    query: &ConjunctiveQuery,
+    facts: &Instance,
+    cache: &mut IndexCache,
     mut callback: F,
 ) -> ControlFlow<()>
 where
@@ -52,7 +97,7 @@ where
         &Valuation::new(),
         EvalOptions::default(),
         |v| {
-            if is_minimal_valuation(query, v) {
+            if is_minimal_valuation_cached(query, v, cache) {
                 callback(v)
             } else {
                 ControlFlow::Continue(())
@@ -315,5 +360,48 @@ mod tests {
         let query = q("T(x) :- R(x, y), R(x, x).");
         assert!(!satisfies_lemma_4_8(&query));
         assert!(!is_strongly_minimal(&query));
+    }
+
+    #[test]
+    fn cached_minimality_agrees_with_scratch_on_canonical_valuations() {
+        let samples = [
+            "T(x, z) :- R(x, y), R(y, z), R(x, x).",
+            "T(x) :- R(x, y), R(x, z).",
+            "T() :- R(x, y), R(y, x).",
+            "T(x) :- E(x, y), E(y, z), E(z, x).",
+        ];
+        for text in samples {
+            let query = q(text);
+            let mut cache = IndexCache::default();
+            for v in CanonicalValuations::new(query.variables()) {
+                assert_eq!(
+                    is_minimal_valuation(&query, &v),
+                    is_minimal_valuation_cached(&query, &v, &mut cache),
+                    "cached minimality diverged for {text} on {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_minimality_builds_indexes_once_per_required_set() {
+        // Regression: the per-candidate loop used to rebuild the secondary
+        // indexes of each candidate's required-fact instance from scratch.
+        // With the cache, repeated checks of valuations with equal required
+        // sets share one resident instance whose indexes are built once.
+        let query = q("T(x, z) :- R(x, y), R(y, z), R(x, x).");
+        let v = Valuation::from_names([("x", "a"), ("y", "b"), ("z", "a")]);
+        let mut cache = IndexCache::default();
+        for _ in 0..5 {
+            assert!(!is_minimal_valuation_cached(&query, &v, &mut cache));
+        }
+        assert_eq!(cache.misses(), 1, "one distinct required set");
+        assert_eq!(cache.hits(), 4, "later checks reuse the resident entry");
+        let resident = cache.warm_owned(v.required_facts(&query));
+        assert_eq!(
+            resident.index_builds(),
+            1,
+            "indexes of the shared required instance were built exactly once"
+        );
     }
 }

@@ -2,12 +2,13 @@
 //! multi-round extension: comparing an iterated distributed run against the
 //! global fixpoint of the iterated query.
 
-use cq::{evaluate, ConjunctiveQuery, Instance};
+use cq::{evaluate, evaluate_seminaive_step, ConjunctiveQuery, Fact, Instance};
+use delta::{CacheStats, IndexCache};
 use distribution::{
     DistributionPolicy, FinitePolicy, MultiRoundEngine, MultiRoundOutcome, OneRoundEngine,
 };
 
-use crate::conditions::{c1_violation, C1Violation};
+use crate::conditions::{c1_violation_cached, C1Violation};
 
 /// A violation of parallel-correctness: a minimal valuation whose required
 /// facts never meet, together with the concrete counterexample instance and
@@ -30,12 +31,20 @@ pub struct PcReport {
     pub correct: bool,
     /// A violation witness when the query is not parallel-correct.
     pub violation: Option<PcViolation>,
+    /// Hit/miss counters of the [`IndexCache`] the minimality search warmed
+    /// its candidate instances through.
+    pub cache: CacheStats,
 }
 
 impl PcReport {
     /// Whether the query is parallel-correct.
     pub fn is_correct(&self) -> bool {
         self.correct
+    }
+
+    /// The index-cache counters accumulated while deciding the verdict.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 }
 
@@ -167,10 +176,14 @@ pub fn check_parallel_correctness_bounded<P: DistributionPolicy + ?Sized>(
     policy: &P,
     universe: &Instance,
 ) -> PcReport {
-    match c1_violation(query, policy, universe) {
+    let mut cache = IndexCache::default();
+    let violation = c1_violation_cached(query, policy, universe, &mut cache);
+    let cache_stats = cache.stats();
+    match violation {
         None => PcReport {
             correct: true,
             violation: None,
+            cache: cache_stats,
         },
         Some(C1Violation {
             valuation,
@@ -184,6 +197,7 @@ pub fn check_parallel_correctness_bounded<P: DistributionPolicy + ?Sized>(
                     counterexample_instance: required_facts,
                     lost_fact,
                 }),
+                cache: cache_stats,
             }
         }
     }
@@ -203,6 +217,209 @@ pub fn check_parallel_correctness_naive<P: FinitePolicy + ?Sized>(
         .subsets()
         .iter()
         .all(|i| check_parallel_correctness_on_instance(query, policy, i).correct)
+}
+
+/// Statistics of the incremental brute-force search
+/// ([`check_parallel_correctness_naive_incremental`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalPcStats {
+    /// Candidate subinstances whose PCI verdict was checked (`2^|facts(P)|`).
+    pub subsets_checked: u64,
+    /// Semi-naive differential evaluation steps performed — one per
+    /// (inserted fact, affected instance) pair, instead of one full
+    /// evaluation per candidate instance and node.
+    pub seminaive_steps: u64,
+    /// Hit/miss counters of the [`IndexCache`] the candidate instances were
+    /// warmed through.
+    pub cache: CacheStats,
+}
+
+/// The result of the incremental brute-force `PC(Pfin)` decision.
+#[derive(Clone, Debug)]
+pub struct IncrementalPcReport {
+    /// Whether the query is parallel-correct under the policy.
+    pub correct: bool,
+    /// A counterexample subinstance violating Definition 3.1, when not.
+    pub counterexample: Option<Instance>,
+    /// Search statistics.
+    pub stats: IncrementalPcStats,
+}
+
+impl IncrementalPcReport {
+    /// Whether the query is parallel-correct.
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+
+    /// The index-cache counters accumulated during the search.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats.cache
+    }
+}
+
+/// Incremental brute-force decision of `PC(Pfin)`: checks Definition 3.1 on
+/// every subinstance of `facts(P)` like
+/// [`check_parallel_correctness_naive`], but walks the subset lattice
+/// depth-first and re-evaluates only the **delta** between consecutive
+/// candidate instances.
+///
+/// Including one fact `f` extends the running global instance and the
+/// chunks of the nodes `f` is assigned to; each extension costs one
+/// [`evaluate_seminaive_step`] (joining the single-fact delta against the
+/// grown instance) instead of a from-scratch evaluation of every candidate
+/// at every node. The candidate instances are warmed through a shared
+/// [`IndexCache`], so replicated chunks (a broadcast node set, or a chunk
+/// equal to the global instance) share one set of secondary indexes.
+pub fn check_parallel_correctness_naive_incremental<P: FinitePolicy + ?Sized>(
+    query: &ConjunctiveQuery,
+    policy: &P,
+) -> IncrementalPcReport {
+    let universe = policy.fact_universe();
+    let facts: Vec<Fact> = universe.facts().cloned().collect();
+    let nodes: Vec<distribution::Node> = policy.network().nodes().collect();
+    let mut search = IncrementalSearch {
+        query,
+        facts,
+        full: Instance::new(),
+        derived: Instance::new(),
+        chunks: vec![Instance::new(); nodes.len()],
+        node_derived: vec![Instance::new(); nodes.len()],
+        cache: IndexCache::default(),
+        stats: IncrementalPcStats::default(),
+        counterexample: None,
+    };
+    let assigned: Vec<Vec<usize>> = search
+        .facts
+        .iter()
+        .map(|f| {
+            let at = policy.nodes_for(f);
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| at.contains(n))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    search.dfs(0, &assigned);
+    let mut stats = search.stats;
+    stats.cache = search.cache.stats();
+    IncrementalPcReport {
+        correct: search.counterexample.is_none(),
+        counterexample: search.counterexample,
+        stats,
+    }
+}
+
+/// The mutable state of the depth-first subset-lattice walk.
+struct IncrementalSearch<'a> {
+    query: &'a ConjunctiveQuery,
+    facts: Vec<Fact>,
+    /// The candidate global instance for the current lattice position.
+    full: Instance,
+    /// `Q(full)`, maintained by differential steps.
+    derived: Instance,
+    /// Per-node chunk of `full` under the policy.
+    chunks: Vec<Instance>,
+    /// Per-node `Q(chunk)`, maintained by differential steps.
+    node_derived: Vec<Instance>,
+    cache: IndexCache,
+    stats: IncrementalPcStats,
+    counterexample: Option<Instance>,
+}
+
+impl IncrementalSearch<'_> {
+    /// One differential step: inserts `fact` into `target`, derives what is
+    /// new via a semi-naive step against the grown (cache-warmed) instance,
+    /// merges it into `derived`, and returns the merged facts for undo.
+    fn step(
+        query: &ConjunctiveQuery,
+        cache: &mut IndexCache,
+        stats: &mut IncrementalPcStats,
+        target: &mut Instance,
+        derived: &mut Instance,
+        fact: &Fact,
+        delta: &Instance,
+    ) -> Vec<Fact> {
+        target.insert(fact.clone());
+        let warmed = cache.warm(target);
+        let new = evaluate_seminaive_step(query, &warmed, delta);
+        stats.seminaive_steps += 1;
+        let added: Vec<Fact> = new
+            .facts()
+            .filter(|g| !derived.contains(g))
+            .cloned()
+            .collect();
+        for g in &added {
+            derived.insert(g.clone());
+        }
+        added
+    }
+
+    fn dfs(&mut self, depth: usize, assigned: &[Vec<usize>]) {
+        if self.counterexample.is_some() {
+            return;
+        }
+        if depth == self.facts.len() {
+            self.stats.subsets_checked += 1;
+            // Q is monotone, so every node derives a subset of Q(full);
+            // the verdict reduces to "does the union cover Q(full)?".
+            let mut distributed = Instance::new();
+            for nd in &self.node_derived {
+                distributed = distributed.union(nd);
+            }
+            if !self.derived.difference(&distributed).is_empty() {
+                self.counterexample = Some(self.full.clone());
+            }
+            return;
+        }
+
+        // Exclude facts[depth]: state is unchanged.
+        self.dfs(depth + 1, assigned);
+        if self.counterexample.is_some() {
+            return;
+        }
+
+        // Include facts[depth]: one differential step per affected instance.
+        let fact = self.facts[depth].clone();
+        let delta = Instance::from_facts([fact.clone()]);
+        let added_global = Self::step(
+            self.query,
+            &mut self.cache,
+            &mut self.stats,
+            &mut self.full,
+            &mut self.derived,
+            &fact,
+            &delta,
+        );
+        let mut added_per_node = Vec::with_capacity(assigned[depth].len());
+        for &node in &assigned[depth] {
+            let added = Self::step(
+                self.query,
+                &mut self.cache,
+                &mut self.stats,
+                &mut self.chunks[node],
+                &mut self.node_derived[node],
+                &fact,
+                &delta,
+            );
+            added_per_node.push((node, added));
+        }
+
+        self.dfs(depth + 1, assigned);
+
+        // Undo the inclusion; a counterexample keeps its clone of `full`.
+        for (node, added) in added_per_node {
+            for g in &added {
+                self.node_derived[node].remove(g);
+            }
+            self.chunks[node].remove(&fact);
+        }
+        for g in &added_global {
+            self.derived.remove(g);
+        }
+        self.full.remove(&fact);
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +548,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_search_agrees_with_scratch_on_many_small_policies() {
+        // The incremental subset-lattice walk must reach exactly the verdict
+        // of the from-scratch brute force on the same policy family, and any
+        // counterexample it reports must genuinely violate Definition 3.1.
+        let queries = [
+            q("T(x, z) :- R(x, y), R(y, z)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T(x) :- R(x, x)."),
+            q("T() :- R(x, y), R(y, x)."),
+        ];
+        let universe = all_r_facts(&["a", "b"]);
+        let facts: Vec<Fact> = universe.facts().cloned().collect();
+        for mask in 0..(1u32 << facts.len()) {
+            let mut policy = ExplicitPolicy::new(Network::with_size(2));
+            for (i, fact) in facts.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    policy.assign(fact.clone(), [Node::numbered(0)]);
+                } else {
+                    policy.assign(fact.clone(), [Node::numbered(1)]);
+                }
+            }
+            for query in &queries {
+                let scratch = check_parallel_correctness_naive(query, &policy);
+                let report = check_parallel_correctness_naive_incremental(query, &policy);
+                assert_eq!(
+                    report.is_correct(),
+                    scratch,
+                    "incremental diverged for {query} under mask {mask:b}"
+                );
+                if report.is_correct() {
+                    assert_eq!(report.stats.subsets_checked, 1 << facts.len());
+                } else {
+                    assert!(report.stats.subsets_checked <= 1 << facts.len());
+                }
+                if let Some(counterexample) = &report.counterexample {
+                    let pci =
+                        check_parallel_correctness_on_instance(query, &policy, counterexample);
+                    assert!(!pci.is_correct(), "bogus counterexample for {query}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_search_shares_indexes_on_replicated_chunks() {
+        // Under a broadcast policy every node's chunk equals the global
+        // instance, so warming the candidates through the cache must produce
+        // hits (shared indexes) rather than per-node rebuilds.
+        let query = q("T(x, z) :- R(x, y), R(y, z).");
+        let universe = all_r_facts(&["a", "b"]);
+        let policy = ExplicitPolicy::broadcast(&Network::with_size(3), &universe);
+        let report = check_parallel_correctness_naive_incremental(&query, &policy);
+        assert!(report.is_correct());
+        assert!(
+            report.cache_stats().hits > report.cache_stats().misses,
+            "broadcast chunks must mostly hit the shared cache: {:?}",
+            report.stats
+        );
+        assert!(report.stats.seminaive_steps > 0);
     }
 
     #[test]

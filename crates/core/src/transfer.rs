@@ -1,8 +1,9 @@
 //! Parallel-correctness transfer (Section 4 of the paper).
 
 use cq::{ConjunctiveQuery, Instance, Valuation};
+use delta::{CacheStats, IndexCache};
 
-use crate::conditions::{c2_violation, c3_witness};
+use crate::conditions::{c2_violation_cached, c3_witness};
 use crate::minimality::is_strongly_minimal;
 
 /// A witness that parallel-correctness does **not** transfer: a minimal
@@ -30,6 +31,10 @@ pub struct TransferReport {
     pub method: &'static str,
     /// A violation witness when transfer fails.
     pub violation: Option<TransferViolation>,
+    /// Hit/miss counters of the [`IndexCache`] the minimality checks warmed
+    /// their candidate instances through (all zero for the syntactic C3
+    /// procedure, which evaluates no instances).
+    pub cache: CacheStats,
 }
 
 impl TransferReport {
@@ -37,17 +42,25 @@ impl TransferReport {
     pub fn transfers(&self) -> bool {
         self.transfers
     }
+
+    /// The index-cache counters accumulated while deciding the verdict.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+    }
 }
 
 /// Decides whether parallel-correctness transfers from `from` to `to`
 /// (Definition 4.1) using the semantic characterization by condition (C2)
 /// (Lemma 4.2). This is the general, ΠP3-complete problem (Theorem 4.3).
 pub fn check_transfer(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> TransferReport {
-    match c2_violation(from, to) {
+    let mut cache = IndexCache::default();
+    let violation = c2_violation_cached(from, to, &mut cache);
+    match violation {
         None => TransferReport {
             transfers: true,
             method: "C2",
             violation: None,
+            cache: cache.stats(),
         },
         Some(valuation) => {
             let required_facts = valuation.required_facts(to);
@@ -58,6 +71,7 @@ pub fn check_transfer(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Transfe
                     valuation,
                     required_facts,
                 }),
+                cache: cache.stats(),
             }
         }
     }
@@ -83,6 +97,7 @@ pub fn check_transfer_strongly_minimal(
         transfers,
         method: "C3",
         violation: None,
+        cache: CacheStats::default(),
     }
 }
 
@@ -97,15 +112,18 @@ pub fn check_transfer_strongly_minimal(
 pub fn check_transfer_no_skip(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> TransferReport {
     // Same canonical enumeration as the (C2) check, but single-fact
     // requirements are exempted.
+    let mut cache = IndexCache::default();
     for v_prime in cq::CanonicalValuations::new(to.variables()) {
-        if !crate::minimality::is_minimal_valuation(to, &v_prime) {
+        if !crate::minimality::is_minimal_valuation_cached(to, &v_prime, &mut cache) {
             continue;
         }
         let target = v_prime.required_facts(to);
         if target.len() <= 1 {
             continue;
         }
-        if !crate::conditions::exists_minimal_covering_valuation(from, &target) {
+        if crate::conditions::find_minimal_covering_valuation_cached(from, &target, &mut cache)
+            .is_none()
+        {
             return TransferReport {
                 transfers: false,
                 method: "C2'",
@@ -113,6 +131,7 @@ pub fn check_transfer_no_skip(from: &ConjunctiveQuery, to: &ConjunctiveQuery) ->
                     valuation: v_prime,
                     required_facts: target,
                 }),
+                cache: cache.stats(),
             };
         }
     }
@@ -120,6 +139,7 @@ pub fn check_transfer_no_skip(from: &ConjunctiveQuery, to: &ConjunctiveQuery) ->
         transfers: true,
         method: "C2'",
         violation: None,
+        cache: cache.stats(),
     }
 }
 
@@ -209,6 +229,69 @@ mod tests {
         assert!(!report.transfers());
         assert_eq!(report.method, "C2'");
         assert!(report.violation.unwrap().required_facts.len() >= 2);
+    }
+
+    #[test]
+    fn shared_cache_transfer_reports_are_byte_identical_to_scratch() {
+        // The long-lived cache threaded through the C2 search must not
+        // change the verdict, the witness valuation, or its required facts
+        // relative to a per-candidate scratch enumeration.
+        let pairs = [
+            (
+                "T(x, z) :- R(x, y), R(y, z).",
+                "T(x, z) :- R(x, y), R(y, z).",
+            ),
+            (
+                "T(x, z) :- R(x, y), R(y, z).",
+                "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+            ),
+            (
+                "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+                "T(x, z) :- R(x, y), R(y, z).",
+            ),
+            ("T(x, y) :- R(x, y).", "U(x) :- R(x, y), S(y, x)."),
+            (
+                "T(x, z) :- R(x, y), R(y, z), R(x, x).",
+                "T(x, z) :- R(x, y), R(y, z).",
+            ),
+        ];
+        for (from_text, to_text) in pairs {
+            let from = q(from_text);
+            let to = q(to_text);
+            // Scratch reference: the same canonical enumeration with a fresh
+            // cache for every candidate (i.e. no sharing across candidates).
+            let mut scratch = None;
+            for v_prime in cq::CanonicalValuations::new(to.variables()) {
+                if !crate::minimality::is_minimal_valuation(&to, &v_prime) {
+                    continue;
+                }
+                let target = v_prime.required_facts(&to);
+                if crate::conditions::find_minimal_covering_valuation(&from, &target).is_none() {
+                    scratch = Some(v_prime);
+                    break;
+                }
+            }
+            let report = check_transfer(&from, &to);
+            assert_eq!(
+                report.transfers(),
+                scratch.is_none(),
+                "{from_text} => {to_text}"
+            );
+            match (report.violation, scratch) {
+                (None, None) => {}
+                (Some(violation), Some(expected)) => {
+                    assert_eq!(violation.valuation, expected, "{from_text} => {to_text}");
+                    assert_eq!(
+                        violation.required_facts,
+                        expected.required_facts(&to),
+                        "{from_text} => {to_text}"
+                    );
+                }
+                (got, want) => {
+                    panic!("witness mismatch for {from_text} => {to_text}: {got:?} vs {want:?}")
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,25 @@
 //!   join-ordering ablation benchmark. With `use_indexes: false` the cost
 //!   model switches to an index-free estimate (relation size discounted per
 //!   bound argument), so the scan configuration never builds indexes at all.
+//! * **Join strategy** — under [`JoinStrategy::Auto`] (the default) acyclic
+//!   queries run the classic atom-at-a-time binary join, while queries
+//!   whose join graph is cyclic (GYO reduction, [`crate::is_acyclic`])
+//!   switch to a leapfrog-style *worst-case-optimal multiway join*: one
+//!   variable is bound at a time and every atom containing it narrows its
+//!   candidate rows by posting-list intersection, which avoids the
+//!   intermediate-result blowup binary plans pay on triangles and other
+//!   cycles. The multiway join *is* a posting-list intersection, so it
+//!   needs `use_indexes: true`; without indexes the evaluator always falls
+//!   back to the binary scan join.
+//! * **Adaptive reordering** — with a nonzero `adaptive_factor`, the binary
+//!   matcher compares each depth's observed candidate count against the
+//!   planner's estimate and re-ranks the remaining atoms mid-search (using
+//!   the now-concrete bindings as known values, i.e. exact posting counts)
+//!   when observation exceeds the estimate by more than the factor, so one
+//!   bad early estimate stops poisoning the rest of the search.
 //!
-//! Both strategies enumerate exactly the same valuations; only the order of
-//! the backtracking search differs.
+//! All strategies enumerate exactly the same valuations; only the order and
+//! shape of the backtracking search differ.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -42,6 +58,42 @@ pub enum JoinOrdering {
     CostAware,
 }
 
+/// Which join algorithm the evaluator runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// The classic atom-at-a-time backtracking join.
+    Binary,
+    /// The leapfrog-style variable-at-a-time multiway join over the sorted
+    /// posting lists. Requires `use_indexes: true`; falls back to binary
+    /// otherwise.
+    Multiway,
+    /// Plan per query: multiway when the join graph is cyclic (GYO
+    /// reduction), binary otherwise.
+    #[default]
+    Auto,
+}
+
+impl JoinStrategy {
+    /// Parses a CLI-style strategy name.
+    pub fn parse(name: &str) -> Option<JoinStrategy> {
+        match name {
+            "binary" => Some(JoinStrategy::Binary),
+            "multiway" => Some(JoinStrategy::Multiway),
+            "auto" => Some(JoinStrategy::Auto),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name of the strategy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinStrategy::Binary => "binary",
+            JoinStrategy::Multiway => "multiway",
+            JoinStrategy::Auto => "auto",
+        }
+    }
+}
+
 /// Options controlling the evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
@@ -50,6 +102,15 @@ pub struct EvalOptions {
     /// Retrieve candidate facts through the secondary hash indexes
     /// (default). When `false`, every atom scans its whole relation.
     pub use_indexes: bool,
+    /// Join algorithm selection (default: [`JoinStrategy::Auto`] — multiway
+    /// on cyclic queries, binary otherwise).
+    pub join_strategy: JoinStrategy,
+    /// Adaptive mid-search reordering threshold for the binary join: when
+    /// an atom's observed candidate count exceeds `adaptive_factor ×` its
+    /// planned estimate, the remaining atoms are re-ranked with the current
+    /// concrete bindings. `0` disables; only applies under
+    /// [`JoinOrdering::CostAware`].
+    pub adaptive_factor: u32,
 }
 
 impl Default for EvalOptions {
@@ -57,6 +118,8 @@ impl Default for EvalOptions {
         EvalOptions {
             ordering: JoinOrdering::CostAware,
             use_indexes: true,
+            join_strategy: JoinStrategy::Auto,
+            adaptive_factor: 4,
         }
     }
 }
@@ -67,6 +130,36 @@ impl EvalOptions {
         EvalOptions {
             ordering: JoinOrdering::Naive,
             use_indexes: false,
+            join_strategy: JoinStrategy::Binary,
+            adaptive_factor: 0,
+        }
+    }
+
+    /// Returns the options with the given join strategy.
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> EvalOptions {
+        self.join_strategy = strategy;
+        self
+    }
+
+    /// The join algorithm these options select for `query`: the multiway
+    /// matcher on an explicit [`JoinStrategy::Multiway`] or on
+    /// [`JoinStrategy::Auto`] with a cyclic join graph — and only when the
+    /// secondary indexes are enabled, because the multiway join *is* a
+    /// posting-list intersection.
+    pub fn resolved_strategy(&self, query: &ConjunctiveQuery) -> JoinStrategy {
+        if !self.use_indexes {
+            return JoinStrategy::Binary;
+        }
+        match self.join_strategy {
+            JoinStrategy::Binary => JoinStrategy::Binary,
+            JoinStrategy::Multiway => JoinStrategy::Multiway,
+            JoinStrategy::Auto => {
+                if crate::acyclic::is_acyclic(query) {
+                    JoinStrategy::Binary
+                } else {
+                    JoinStrategy::Multiway
+                }
+            }
         }
     }
 }
@@ -124,34 +217,30 @@ fn estimate_candidates_index_free(
     n / 4f64.powi(bound_args as i32)
 }
 
-/// Computes the atom processing order.
-///
-/// Cost-aware ordering greedily picks the atom with the smallest estimated
-/// candidate set next (ties resolved in source order, so plans are
-/// deterministic and degrade to the naive order when the model has no
-/// information to distinguish atoms).
-fn atom_order(
+/// Greedily ranks `remaining` atoms cheapest-estimated-candidate-set-first
+/// (ties resolved in source order, so plans are deterministic), starting
+/// from the given already-bound variable set. Returns `(atom, estimate)`
+/// pairs in processing order — the shared cost-model core of the upfront
+/// planner ([`atom_order`], [`atom_order_with_first`]) and the adaptive
+/// mid-search re-ranking.
+fn rank_remaining(
     query: &ConjunctiveQuery,
     instance: &Instance,
-    fixed: &Valuation,
+    known: &Valuation,
+    mut bound: BTreeSet<Variable>,
     opts: EvalOptions,
-) -> Vec<usize> {
-    let n = query.body_size();
-    if opts.ordering == JoinOrdering::Naive {
-        return (0..n).collect();
-    }
-    let mut bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order = Vec::with_capacity(n);
+    mut remaining: Vec<usize>,
+) -> Vec<(usize, f64)> {
+    let mut ranked = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
         let mut best_pos = 0;
         let mut best_cost = f64::INFINITY;
         for (pos, &i) in remaining.iter().enumerate() {
             let atom = &query.body()[i];
             let cost = if opts.use_indexes {
-                estimate_candidates(atom, instance, fixed, &bound)
+                estimate_candidates(atom, instance, known, &bound)
             } else {
-                estimate_candidates_index_free(atom, instance, fixed, &bound)
+                estimate_candidates_index_free(atom, instance, known, &bound)
             };
             if cost < best_cost {
                 best_cost = cost;
@@ -159,10 +248,45 @@ fn atom_order(
             }
         }
         let best = remaining.remove(best_pos);
-        order.push(best);
+        ranked.push((best, best_cost));
         bound.extend(query.body()[best].args.iter().copied());
     }
-    order
+    ranked
+}
+
+/// Computes the atom processing order and the planner's per-depth candidate
+/// estimates (infinite under [`JoinOrdering::Naive`], which never
+/// estimates — the adaptive reorderer then never fires).
+fn plan(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+) -> (Vec<usize>, Vec<f64>) {
+    let n = query.body_size();
+    if opts.ordering == JoinOrdering::Naive {
+        return ((0..n).collect(), vec![f64::INFINITY; n]);
+    }
+    let bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
+    rank_remaining(query, instance, fixed, bound, opts, (0..n).collect())
+        .into_iter()
+        .unzip()
+}
+
+/// Computes the atom processing order.
+///
+/// Cost-aware ordering greedily picks the atom with the smallest estimated
+/// candidate set next (ties resolved in source order, so plans are
+/// deterministic and degrade to the naive order when the model has no
+/// information to distinguish atoms).
+#[cfg(test)]
+fn atom_order(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    fixed: &Valuation,
+    opts: EvalOptions,
+) -> Vec<usize> {
+    plan(query, instance, fixed, opts).0
 }
 
 /// Tries to extend `binding` so that `atom` maps onto `fact`.
@@ -207,6 +331,14 @@ struct Matcher<'a, F> {
     /// One reusable constraint buffer per search depth, so the hot path does
     /// not allocate per visited search-tree node.
     constraints: Vec<Vec<(usize, Value)>>,
+    /// The planner's per-depth candidate estimates (parallel to `order`);
+    /// the adaptive reorderer compares them against observed counts.
+    estimates: Vec<f64>,
+    /// Whether mid-search re-ranking is enabled: uniform-instance searches
+    /// under cost-aware ordering with a nonzero `adaptive_factor`. Off in
+    /// semi-naive passes, whose per-depth instances must stay aligned with
+    /// the pivot plan.
+    adaptive: bool,
 }
 
 impl<F> Matcher<'_, F>
@@ -232,6 +364,10 @@ where
             }
         }
 
+        if self.adaptive && depth + 2 < self.order.len() {
+            self.maybe_rerank_tail(depth, &constraints, binding);
+        }
+
         let flow = if constraints.is_empty() {
             // Unconstrained (or index-free) atom: scan the whole relation.
             self.try_facts_scan(atom, depth, binding)
@@ -240,6 +376,50 @@ where
         };
         self.constraints[depth] = constraints;
         flow
+    }
+
+    /// The adaptive reorderer: when the candidate count observed at `depth`
+    /// exceeds `adaptive_factor ×` the planner's estimate, the remaining
+    /// atoms are re-ranked through the same cost model — but with the
+    /// concrete bindings accumulated so far as known values, so the model
+    /// now works from exact posting counts instead of planning-time
+    /// averages. Re-ranking only permutes the tail of `order`; every
+    /// subtree still covers all atoms, so the enumerated valuations are
+    /// unchanged.
+    fn maybe_rerank_tail(
+        &mut self,
+        depth: usize,
+        constraints: &[(usize, Value)],
+        binding: &Valuation,
+    ) {
+        let atom = &self.query.body()[self.order[depth]];
+        let instance = self.instances[depth];
+        let observed = if constraints.is_empty() {
+            instance.facts_of(atom.relation).len()
+        } else {
+            constraints
+                .iter()
+                .map(|&(p, v)| instance.posting(atom.relation, p, v).len())
+                .min()
+                .unwrap_or(0)
+        };
+        let factor = f64::from(self.opts.adaptive_factor);
+        if (observed as f64) <= factor * self.estimates[depth].max(1.0) {
+            return;
+        }
+        // Remember the surprise so sibling subtrees with similar observed
+        // counts do not replan over and over.
+        self.estimates[depth] = observed as f64;
+        let mut bound: BTreeSet<Variable> = BTreeSet::new();
+        for d in 0..=depth {
+            bound.extend(self.query.body()[self.order[d]].args.iter().copied());
+        }
+        let remaining: Vec<usize> = self.order[depth + 1..].to_vec();
+        let ranked = rank_remaining(self.query, instance, binding, bound, self.opts, remaining);
+        for (offset, (atom_idx, estimate)) in ranked.into_iter().enumerate() {
+            self.order[depth + 1 + offset] = atom_idx;
+            self.estimates[depth + 1 + offset] = estimate;
+        }
     }
 
     fn try_facts_scan(
@@ -302,6 +482,185 @@ where
     }
 }
 
+/// Intersection of two sorted, duplicate-free row-id lists: iterates the
+/// shorter and binary-searches the longer.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .copied()
+        .filter(|row| large.binary_search(row).is_ok())
+        .collect()
+}
+
+/// The worst-case-optimal multiway matcher: binds one *variable* at a time
+/// instead of matching one atom at a time.
+///
+/// Every atom keeps a sorted set of candidate row ids into its relation's
+/// fact vector. Binding a variable to a value intersects, for every
+/// position of every atom the variable occurs in, the atom's candidate
+/// rows with the posting list of that value — so all atoms narrow
+/// together, leapfrog-style, and a binary join's intermediate results
+/// (pairs that can never close a cycle) are never materialized. Once all
+/// variables are bound, every surviving row set is non-empty and agrees
+/// with the binding at every position, so the binding satisfies the query.
+struct MultiwayMatcher<'a, F> {
+    query: &'a ConjunctiveQuery,
+    instance: &'a Instance,
+    /// Variable binding order: most-constrained (most occurrences) first.
+    var_order: Vec<Variable>,
+    /// `occurrences[d]` = the `(atom, position)` pairs where `var_order[d]`
+    /// occurs in the body.
+    occurrences: Vec<Vec<(usize, usize)>>,
+    /// Per-atom sorted candidate row ids (into [`Instance::facts_of`]).
+    rows: Vec<Vec<u32>>,
+    callback: F,
+}
+
+impl<F> MultiwayMatcher<'_, F>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    fn search(&mut self, depth: usize, binding: &mut Valuation) -> ControlFlow<()> {
+        if depth == self.var_order.len() {
+            return (self.callback)(binding);
+        }
+        let var = self.var_order[depth];
+        let instance = self.instance;
+        // Take the frame's occurrence list out of `self` so narrowing can
+        // borrow the matcher mutably; restored before returning.
+        let occs = std::mem::take(&mut self.occurrences[depth]);
+        // The atom with the fewest candidate rows bounds the value set.
+        let (src_atom, src_pos) = occs
+            .iter()
+            .copied()
+            .min_by_key(|&(atom, _)| self.rows[atom].len())
+            .expect("ordered variables occur in at least one atom");
+        let src_facts = instance.facts_of(self.query.body()[src_atom].relation);
+        let mut candidates: BTreeSet<Value> = BTreeSet::new();
+        'rows: for &row in &self.rows[src_atom] {
+            let fact = &src_facts[row as usize];
+            let value = fact.values[src_pos];
+            // A variable repeated inside the source atom must agree across
+            // its positions for the row to propose a value at all.
+            for &(atom, position) in occs.iter() {
+                if atom == src_atom && fact.values[position] != value {
+                    continue 'rows;
+                }
+            }
+            candidates.insert(value);
+        }
+        let mut result = ControlFlow::Continue(());
+        for value in candidates {
+            // Narrow every occurrence to the rows carrying `value` at that
+            // position; an empty intersection prunes the whole branch.
+            let mut trail: Vec<(usize, Vec<u32>)> = Vec::with_capacity(occs.len());
+            let mut alive = true;
+            for &(atom, position) in occs.iter() {
+                let relation = self.query.body()[atom].relation;
+                let posting = instance.posting(relation, position, value);
+                let narrowed = intersect_sorted(&self.rows[atom], posting);
+                alive = !narrowed.is_empty();
+                trail.push((atom, std::mem::replace(&mut self.rows[atom], narrowed)));
+                if !alive {
+                    break;
+                }
+            }
+            let flow = if alive {
+                binding.bind(var, value);
+                let flow = self.search(depth + 1, binding);
+                binding.unbind(var);
+                flow
+            } else {
+                ControlFlow::Continue(())
+            };
+            for (atom, saved) in trail.into_iter().rev() {
+                self.rows[atom] = saved;
+            }
+            if flow.is_break() {
+                result = ControlFlow::Break(());
+                break;
+            }
+        }
+        self.occurrences[depth] = occs;
+        result
+    }
+}
+
+/// Runs the multiway join: seeds each atom's candidate rows from the
+/// pre-bound variables' posting lists, orders the unbound variables
+/// most-occurrences-first, and searches variable by variable.
+fn for_each_satisfying_multiway<F>(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    binding: &mut Valuation,
+    callback: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Valuation) -> ControlFlow<()>,
+{
+    let body = query.body();
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(body.len());
+    for atom in body {
+        let fact_count = instance.facts_of(atom.relation).len();
+        let fact_count = u32::try_from(fact_count).expect("relation larger than u32::MAX facts");
+        let mut candidate_rows: Vec<u32> = (0..fact_count).collect();
+        for (position, &var) in atom.args.iter().enumerate() {
+            if let Some(value) = binding.get(var) {
+                let posting = instance.posting(atom.relation, position, value);
+                candidate_rows = intersect_sorted(&candidate_rows, posting);
+            }
+        }
+        if candidate_rows.is_empty() {
+            // Some atom cannot match at all (empty relation, or a
+            // pre-bound value that occurs nowhere): no valuations.
+            return ControlFlow::Continue(());
+        }
+        rows.push(candidate_rows);
+    }
+    // Distinct unbound body variables in first-occurrence order, then
+    // stably sorted most-occurrences-first (ties keep source order).
+    let mut var_order: Vec<Variable> = Vec::new();
+    for atom in body {
+        for &var in &atom.args {
+            if !binding.binds(var) && !var_order.contains(&var) {
+                var_order.push(var);
+            }
+        }
+    }
+    let occurrence_count = |v: Variable| {
+        body.iter()
+            .flat_map(|a| a.args.iter())
+            .filter(|&&w| w == v)
+            .count()
+    };
+    var_order.sort_by_key(|&v| std::cmp::Reverse(occurrence_count(v)));
+    let occurrences: Vec<Vec<(usize, usize)>> = var_order
+        .iter()
+        .map(|&v| {
+            body.iter()
+                .enumerate()
+                .flat_map(|(atom, a)| {
+                    a.args
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(_, &w)| w == v)
+                        .map(move |(position, _)| (atom, position))
+                })
+                .collect()
+        })
+        .collect();
+    let mut matcher = MultiwayMatcher {
+        query,
+        instance,
+        var_order,
+        occurrences,
+        rows,
+        callback,
+    };
+    matcher.search(0, binding)
+}
+
 /// Enumerates the satisfying valuations of `query` on `instance` that extend
 /// the partial valuation `fixed`, invoking `callback` for each.
 ///
@@ -322,7 +681,10 @@ where
     // harmless; restrict to query variables so totality checks stay exact.
     let vars = query.variables();
     let mut binding = fixed.restrict(&vars);
-    let order = atom_order(query, instance, &binding, opts);
+    if opts.resolved_strategy(query) == JoinStrategy::Multiway {
+        return for_each_satisfying_multiway(query, instance, &mut binding, callback);
+    }
+    let (order, estimates) = plan(query, instance, &binding, opts);
     let depth_count = order.len();
     let mut matcher = Matcher {
         query,
@@ -331,6 +693,8 @@ where
         opts,
         callback,
         constraints: vec![Vec::new(); depth_count],
+        estimates,
+        adaptive: opts.adaptive_factor > 0 && opts.ordering == JoinOrdering::CostAware,
     };
     matcher.search(0, &mut binding)
 }
@@ -357,26 +721,12 @@ fn atom_order_with_first(
     }
     let mut bound: BTreeSet<Variable> = fixed.bindings().map(|(v, _)| v).collect();
     bound.extend(query.body()[first].args.iter().copied());
-    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
-    while !remaining.is_empty() {
-        let mut best_pos = 0;
-        let mut best_cost = f64::INFINITY;
-        for (pos, &i) in remaining.iter().enumerate() {
-            let atom = &query.body()[i];
-            let cost = if opts.use_indexes {
-                estimate_candidates(atom, instance, fixed, &bound)
-            } else {
-                estimate_candidates_index_free(atom, instance, fixed, &bound)
-            };
-            if cost < best_cost {
-                best_cost = cost;
-                best_pos = pos;
-            }
-        }
-        let best = remaining.remove(best_pos);
-        order.push(best);
-        bound.extend(query.body()[best].args.iter().copied());
-    }
+    let remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+    order.extend(
+        rank_remaining(query, instance, fixed, bound, opts, remaining)
+            .into_iter()
+            .map(|(i, _)| i),
+    );
     order
 }
 
@@ -434,6 +784,11 @@ pub fn evaluate_seminaive_step_with(
                 ControlFlow::Continue(())
             },
             constraints: vec![Vec::new(); depth_count],
+            // Differential passes pin per-depth instances to the pivot
+            // plan, so mid-search re-ranking (which permutes the tail)
+            // stays off here.
+            estimates: vec![f64::INFINITY; depth_count],
+            adaptive: false,
         };
         let _ = matcher.search(0, &mut binding);
     }
@@ -475,17 +830,16 @@ pub fn satisfying_valuations_with(
 /// Evaluates `query` on `instance`: the set of facts derived by satisfying
 /// valuations (`Q(I)` in the paper).
 pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Instance {
+    evaluate_with(query, instance, EvalOptions::default())
+}
+
+/// Evaluates `query` on `instance` under explicit evaluation options.
+pub fn evaluate_with(query: &ConjunctiveQuery, instance: &Instance, opts: EvalOptions) -> Instance {
     let mut out = Instance::new();
-    let _ = for_each_satisfying(
-        query,
-        instance,
-        &Valuation::new(),
-        EvalOptions::default(),
-        |v| {
-            out.insert(v.derived_fact(query));
-            ControlFlow::Continue(())
-        },
-    );
+    let _ = for_each_satisfying(query, instance, &Valuation::new(), opts, |v| {
+        out.insert(v.derived_fact(query));
+        ControlFlow::Continue(())
+    });
     out
 }
 
@@ -504,14 +858,17 @@ mod tests {
             EvalOptions {
                 ordering: JoinOrdering::CostAware,
                 use_indexes: true,
+                ..EvalOptions::default()
             },
             EvalOptions {
                 ordering: JoinOrdering::CostAware,
                 use_indexes: false,
+                ..EvalOptions::default()
             },
             EvalOptions {
                 ordering: JoinOrdering::Naive,
                 use_indexes: true,
+                ..EvalOptions::default()
             },
             EvalOptions::scan_naive(),
         ]
@@ -625,16 +982,152 @@ mod tests {
         let query = q("T(x, z) :- R(x, y), S(y, z).");
         let i = parse_instance("R(a, b). R(b, c). S(b, c). S(c, d).").unwrap();
         for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
-            let opts = EvalOptions {
-                ordering,
-                use_indexes: false,
-            };
-            let vals = satisfying_valuations_with(&query, &i, &Valuation::new(), opts);
-            assert!(!vals.is_empty());
-            assert!(
-                !i.indexes_built(),
-                "{ordering:?} with use_indexes: false must not touch the indexes"
-            );
+            // even an explicit Multiway request must fall back to the scan
+            // join rather than build the indexes it was told not to use
+            for join_strategy in [
+                JoinStrategy::Binary,
+                JoinStrategy::Multiway,
+                JoinStrategy::Auto,
+            ] {
+                let opts = EvalOptions {
+                    ordering,
+                    use_indexes: false,
+                    join_strategy,
+                    ..EvalOptions::default()
+                };
+                let vals = satisfying_valuations_with(&query, &i, &Valuation::new(), opts);
+                assert!(!vals.is_empty());
+                assert!(
+                    !i.indexes_built(),
+                    "{ordering:?}/{join_strategy:?} with use_indexes: false must not touch the indexes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_strategy_resolves_by_cyclicity() {
+        let triangle = q("T(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+        let chain = q("T(x, z) :- R(x, y), R(y, z).");
+        let opts = EvalOptions::default();
+        assert_eq!(opts.resolved_strategy(&triangle), JoinStrategy::Multiway);
+        assert_eq!(opts.resolved_strategy(&chain), JoinStrategy::Binary);
+        let forced = opts.with_join_strategy(JoinStrategy::Multiway);
+        assert_eq!(forced.resolved_strategy(&chain), JoinStrategy::Multiway);
+        let scan = EvalOptions::scan_naive().with_join_strategy(JoinStrategy::Multiway);
+        assert_eq!(
+            scan.resolved_strategy(&triangle),
+            JoinStrategy::Binary,
+            "multiway needs the secondary indexes"
+        );
+    }
+
+    #[test]
+    fn multiway_agrees_with_binary_on_cyclic_and_acyclic_queries() {
+        let queries = [
+            q("T(x, y, z) :- E(x, y), E(y, z), E(z, x)."), // cyclic
+            q("T(x) :- E(x, y), E(y, z), E(z, w), E(w, x), E(x, z)."), // chordal 4-cycle
+            q("T(x, w) :- R(x, y), S(y, z), R(z, w)."),    // acyclic chain
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),    // self-join
+            q("T() :- R(x, y), S(y, x)."),                 // boolean
+        ];
+        let i = parse_instance(
+            "R(a, b). R(b, c). R(c, d). R(d, a). R(a, a). S(b, c). S(c, d). S(d, b). S(a, a). \
+             E(a, b). E(b, c). E(c, a). E(a, d). E(d, c). E(c, c). E(b, a).",
+        )
+        .unwrap();
+        for query in &queries {
+            let reference: BTreeSet<_> =
+                satisfying_valuations_with(query, &i, &Valuation::new(), EvalOptions::scan_naive())
+                    .into_iter()
+                    .collect();
+            for base in all_options() {
+                for strategy in [
+                    JoinStrategy::Binary,
+                    JoinStrategy::Multiway,
+                    JoinStrategy::Auto,
+                ] {
+                    let opts = base.with_join_strategy(strategy);
+                    let got: BTreeSet<_> =
+                        satisfying_valuations_with(query, &i, &Valuation::new(), opts)
+                            .into_iter()
+                            .collect();
+                    assert_eq!(
+                        got, reference,
+                        "{query}: {opts:?} disagrees with scan/naive"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_respects_fixed_bindings() {
+        let query = q("T(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+        let i = parse_instance("E(a, b). E(b, c). E(c, a). E(a, d).").unwrap();
+        let opts = EvalOptions::default().with_join_strategy(JoinStrategy::Multiway);
+        let fixed = Valuation::from_names([("x", "a")]);
+        let vals = satisfying_valuations_with(&query, &i, &fixed, opts);
+        assert_eq!(vals.len(), 1);
+        assert_eq!(
+            vals[0].get(Variable::new("y")),
+            Some(crate::Value::new("b"))
+        );
+        // a pre-bound value absent from the instance prunes everything
+        let absent = Valuation::from_names([("x", "zzz")]);
+        assert!(satisfying_valuations_with(&query, &i, &absent, opts).is_empty());
+    }
+
+    #[test]
+    fn multiway_early_termination_stops_the_search() {
+        let query = q("T(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+        let i = parse_instance("E(a, b). E(b, c). E(c, a).").unwrap();
+        let opts = EvalOptions::default().with_join_strategy(JoinStrategy::Multiway);
+        let mut count = 0;
+        let flow = for_each_satisfying(&query, &i, &Valuation::new(), opts, |_| {
+            count += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(count, 1);
+        assert_eq!(flow, ControlFlow::Break(()));
+    }
+
+    #[test]
+    fn adaptive_reordering_matches_static_order_results() {
+        let queries = [
+            q("T(x, w) :- R(x, y), S(y, z), R(z, w)."),
+            q("T(x, z) :- R(x, y), R(y, z), R(x, x)."),
+            q("T(x, y, z) :- E(x, y), E(y, z), E(z, x)."),
+        ];
+        let i = parse_instance(
+            "R(a, b). R(b, c). R(c, d). R(d, a). R(a, a). S(b, c). S(c, d). S(d, b). S(a, a). \
+             E(a, b). E(b, c). E(c, a). E(a, d).",
+        )
+        .unwrap();
+        for query in &queries {
+            for use_indexes in [true, false] {
+                let bare = EvalOptions {
+                    use_indexes,
+                    adaptive_factor: 0,
+                    join_strategy: JoinStrategy::Binary,
+                    ..EvalOptions::default()
+                };
+                // factor 1 re-ranks on any divergence — the most aggressive
+                // setting, and still only a permutation of the search
+                let eager = EvalOptions {
+                    adaptive_factor: 1,
+                    ..bare
+                };
+                let static_vals: BTreeSet<_> =
+                    satisfying_valuations_with(query, &i, &Valuation::new(), bare)
+                        .into_iter()
+                        .collect();
+                let adaptive_vals: BTreeSet<_> =
+                    satisfying_valuations_with(query, &i, &Valuation::new(), eager)
+                        .into_iter()
+                        .collect();
+                assert_eq!(adaptive_vals, static_vals, "{query}: adaptive diverged");
+            }
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::fact::Fact;
@@ -81,16 +82,23 @@ pub struct Instance {
     facts: BTreeSet<Fact>,
     by_relation: BTreeMap<Symbol, Vec<Fact>>,
     indexes: OnceLock<BTreeMap<Symbol, RelationIndex>>,
+    /// How many times the secondary indexes were built from scratch over
+    /// this instance's lifetime — the regression counter behind
+    /// [`Instance::index_builds`]. Atomic because lazily building through
+    /// `&self` must stay `Sync`.
+    index_builds: AtomicU64,
 }
 
 // The secondary indexes are a caching layer: they are never cloned (the
-// clone rebuilds lazily if and when it evaluates queries).
+// clone rebuilds lazily if and when it evaluates queries). The build
+// counter restarts with the fresh cache.
 impl Clone for Instance {
     fn clone(&self) -> Instance {
         Instance {
             facts: self.facts.clone(),
             by_relation: self.by_relation.clone(),
             indexes: OnceLock::new(),
+            index_builds: AtomicU64::new(0),
         }
     }
 }
@@ -225,6 +233,7 @@ impl Instance {
     /// The secondary indexes, building them on first use.
     fn indexes(&self) -> &BTreeMap<Symbol, RelationIndex> {
         self.indexes.get_or_init(|| {
+            self.index_builds.fetch_add(1, Ordering::Relaxed);
             self.by_relation
                 .iter()
                 .map(|(&rel, facts)| (rel, RelationIndex::build(facts)))
@@ -236,6 +245,15 @@ impl Instance {
     /// hook; lookups build them transparently).
     pub fn indexes_built(&self) -> bool {
         self.indexes.get().is_some()
+    }
+
+    /// How many times this instance built its secondary indexes from
+    /// scratch (incremental insert maintenance does not count; `remove`
+    /// invalidates, so the next lookup counts again). Regression tests pin
+    /// this to catch code that rebuilds per candidate instead of reusing a
+    /// warm instance; clones restart at 0.
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds.load(Ordering::Relaxed)
     }
 
     /// The sorted positions (into [`Instance::facts_of`]) of the facts of
@@ -645,6 +663,26 @@ mod tests {
             .collect();
         assert_eq!(both, vec![0]);
         assert_eq!(i.facts_of(r)[0], Fact::from_names("R", &["a", "b"]));
+    }
+
+    #[test]
+    fn index_builds_counts_scratch_builds_only() {
+        let mut i = sample();
+        assert_eq!(i.index_builds(), 0);
+        let _ = i.posting(Symbol::new("R"), 0, Value::new("a"));
+        let _ = i.posting(Symbol::new("R"), 1, Value::new("b"));
+        assert_eq!(i.index_builds(), 1, "repeated lookups reuse one build");
+        // incremental insert maintenance is not a rebuild
+        i.insert(Fact::from_names("R", &["x", "y"]));
+        let _ = i.posting(Symbol::new("R"), 0, Value::new("x"));
+        assert_eq!(i.index_builds(), 1);
+        // remove invalidates; the next lookup builds again
+        assert!(i.remove(&Fact::from_names("R", &["x", "y"])));
+        let _ = i.posting(Symbol::new("R"), 0, Value::new("a"));
+        assert_eq!(i.index_builds(), 2);
+        // clones start over with a cold cache and a zero counter
+        let j = i.clone();
+        assert_eq!(j.index_builds(), 0);
     }
 
     #[test]

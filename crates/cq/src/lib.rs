@@ -54,8 +54,9 @@ pub use acyclic::{is_acyclic, Hypergraph};
 pub use atom::{Atom, Variable};
 pub use canonical::{all_assignments, partition_assignments, CanonicalValuations};
 pub use eval::{
-    evaluate, evaluate_seminaive_step, evaluate_seminaive_step_with, for_each_satisfying,
-    satisfying_valuations, satisfying_valuations_with, EvalOptions, JoinOrdering,
+    evaluate, evaluate_seminaive_step, evaluate_seminaive_step_with, evaluate_with,
+    for_each_satisfying, satisfying_valuations, satisfying_valuations_with, EvalOptions,
+    JoinOrdering, JoinStrategy,
 };
 pub use fact::Fact;
 pub use hom::{

@@ -142,22 +142,56 @@ proptest! {
 
     /// Index-backed evaluation is observationally identical to the scan
     /// evaluator: every strategy combination (indexed/scan × cost-aware/
-    /// naive ordering) enumerates exactly the same satisfying valuations on
-    /// random queries and instances.
+    /// naive ordering × binary/multiway/auto join) enumerates exactly the
+    /// same satisfying valuations on random queries and instances. The
+    /// generated queries are a mix of cyclic and acyclic shapes, so the
+    /// auto planner exercises both joins and the multiway matcher is pinned
+    /// against the binary one on the same inputs.
     #[test]
     fn indexed_evaluation_equals_scan_evaluation(q in query_strategy(), i in instance_strategy()) {
-        use cq::{EvalOptions, JoinOrdering, Valuation};
+        use cq::{EvalOptions, JoinOrdering, JoinStrategy, Valuation};
         let scan: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
             &q, &i, &Valuation::new(), EvalOptions::scan_naive(),
         ).into_iter().collect();
         for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
             for use_indexes in [false, true] {
-                let opts = EvalOptions { ordering, use_indexes };
-                let got: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
-                    &q, &i, &Valuation::new(), opts,
-                ).into_iter().collect();
-                prop_assert_eq!(&got, &scan, "{:?} disagrees with scan/naive on {}", opts, i);
+                for join_strategy in [JoinStrategy::Binary, JoinStrategy::Multiway, JoinStrategy::Auto] {
+                    let opts = EvalOptions {
+                        ordering,
+                        use_indexes,
+                        join_strategy,
+                        ..EvalOptions::default()
+                    };
+                    let got: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
+                        &q, &i, &Valuation::new(), opts,
+                    ).into_iter().collect();
+                    prop_assert_eq!(&got, &scan, "{:?} disagrees with scan/naive on {}", opts, i);
+                }
             }
+        }
+    }
+
+    /// Adaptive mid-search reordering only permutes the backtracking search:
+    /// the most aggressive re-ranking threshold (factor 1) enumerates
+    /// exactly the valuations the static plan does.
+    #[test]
+    fn adaptive_reordering_equals_static_order(q in query_strategy(), i in instance_strategy()) {
+        use cq::{EvalOptions, JoinStrategy, Valuation};
+        for use_indexes in [false, true] {
+            let static_opts = EvalOptions {
+                use_indexes,
+                join_strategy: JoinStrategy::Binary,
+                adaptive_factor: 0,
+                ..EvalOptions::default()
+            };
+            let adaptive_opts = EvalOptions { adaptive_factor: 1, ..static_opts };
+            let static_vals: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
+                &q, &i, &Valuation::new(), static_opts,
+            ).into_iter().collect();
+            let adaptive_vals: std::collections::BTreeSet<_> = cq::satisfying_valuations_with(
+                &q, &i, &Valuation::new(), adaptive_opts,
+            ).into_iter().collect();
+            prop_assert_eq!(&adaptive_vals, &static_vals, "adaptive diverged on {}", i);
         }
     }
 
@@ -172,7 +206,7 @@ proptest! {
         let reference = evaluate(&q, &full);
         for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
             for use_indexes in [false, true] {
-                let opts = EvalOptions { ordering, use_indexes };
+                let opts = EvalOptions { ordering, use_indexes, ..EvalOptions::default() };
                 let step = cq::evaluate_seminaive_step_with(&q, &full, &delta, opts);
                 prop_assert_eq!(
                     evaluate(&q, &old).union(&step),

@@ -28,6 +28,26 @@ pub struct IndexCache {
     misses: u64,
 }
 
+/// A snapshot of an [`IndexCache`]'s hit/miss counters, suitable for
+/// embedding in decision reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Warm requests answered by a resident instance.
+    pub hits: u64,
+    /// Warm requests that had to admit a new instance.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Pointwise sum with another snapshot.
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
 fn fingerprint(instance: &Instance) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     instance.hash(&mut hasher);
@@ -96,6 +116,14 @@ impl IndexCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// A copyable snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// Number of resident instances.

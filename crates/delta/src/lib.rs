@@ -46,6 +46,6 @@ mod cache;
 mod instance;
 mod node;
 
-pub use cache::IndexCache;
+pub use cache::{CacheStats, IndexCache};
 pub use instance::DeltaInstance;
 pub use node::DeltaNode;

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use cq::{evaluate, ConjunctiveQuery, Instance};
+use cq::{evaluate, evaluate_with, ConjunctiveQuery, EvalOptions, Instance};
 
 use crate::distribute::DistributionStats;
 use crate::network::Node;
@@ -69,6 +69,14 @@ pub struct OneRoundOutcome {
     /// counterpart of `stats.total_assigned`, which counts `(fact, node)`
     /// assignments.
     pub comm_bytes: u64,
+    /// Hits of the transport's shared index cache this round: how many node
+    /// chunks reused another node's indexed instance instead of rebuilding
+    /// hash indexes (nonzero only for replicating policies on transports
+    /// that keep a cache; see [`Transport::index_cache_stats`]).
+    pub index_cache_hits: u64,
+    /// Misses of the transport's shared index cache this round (chunks that
+    /// entered the cache without finding an equal resident).
+    pub index_cache_misses: u64,
     /// Communication/load statistics of the reshuffle phase.
     pub stats: DistributionStats,
 }
@@ -111,6 +119,7 @@ pub struct OneRoundEngine<'a, P: DistributionPolicy + ?Sized> {
     workers: usize,
     distribute_workers: usize,
     streaming: bool,
+    eval_options: EvalOptions,
 }
 
 impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
@@ -122,6 +131,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             workers: 1,
             distribute_workers: 1,
             streaming: false,
+            eval_options: EvalOptions::default(),
         }
     }
 
@@ -164,6 +174,16 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         self
     }
 
+    /// Sets the [`EvalOptions`] every node's local evaluation runs with —
+    /// notably the join strategy (`Binary`, `Multiway` or `Auto`). Applies
+    /// to the in-process paths (materialized and streaming); rounds routed
+    /// through an explicit wire transport evaluate with the workers' own
+    /// defaults, since the options are not part of the wire protocol.
+    pub fn eval_options(mut self, options: EvalOptions) -> Self {
+        self.eval_options = options;
+        self
+    }
+
     /// Runs the one-round algorithm for `query` on `instance`.
     pub fn evaluate(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
         if self.streaming {
@@ -181,7 +201,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         query: &ConjunctiveQuery,
         instance: &Instance,
     ) -> OneRoundOutcome {
-        let mut transport = InMemoryTransport::new(self.workers);
+        let mut transport = InMemoryTransport::new(self.workers).eval_options(self.eval_options);
         self.evaluate_via(&mut transport, 0, query, instance)
             .expect("the in-memory transport is infallible")
     }
@@ -226,6 +246,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         }
         let local_eval_time = local_start.elapsed();
         let comm_bytes = transport.take_bytes_shipped();
+        let cache = transport.index_cache_stats();
 
         let workers = transport.parallelism().min(nodes.len()).max(1);
         Ok(self.assemble(
@@ -237,6 +258,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             nodes.len(),
             false,
             comm_bytes,
+            cache,
             stats,
         ))
     }
@@ -293,6 +315,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         }
         let local_eval_time = local_start.elapsed();
         let comm_bytes = transport.take_bytes_shipped();
+        let cache = transport.index_cache_stats();
 
         let workers = transport.parallelism().min(sent.len()).max(1);
         let peak_chunks = sent.len();
@@ -305,6 +328,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             peak_chunks,
             false,
             comm_bytes,
+            cache,
             stats,
         ))
     }
@@ -336,7 +360,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             peak.fetch_max(alive, Ordering::SeqCst);
             // The owned chunk lives only for this evaluation.
             let chunk = stream.for_node_lazy(node);
-            let local = evaluate(query, &chunk);
+            let local = evaluate_with(query, &chunk, self.eval_options);
             drop(chunk);
             live_chunks.fetch_sub(1, Ordering::SeqCst);
             (node, local, start.elapsed())
@@ -353,6 +377,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             peak.load(Ordering::SeqCst),
             true,
             0,
+            (0, 0),
             stats,
         )
     }
@@ -368,6 +393,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         peak_chunks: usize,
         streamed: bool,
         comm_bytes: u64,
+        index_cache: (u64, u64),
         stats: DistributionStats,
     ) -> OneRoundOutcome {
         let mut result = Instance::new();
@@ -389,6 +415,8 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
             peak_chunks,
             streamed,
             comm_bytes,
+            index_cache_hits: index_cache.0,
+            index_cache_misses: index_cache.1,
             stats,
         }
     }
@@ -587,6 +615,41 @@ mod tests {
         assert!(outcome.per_node_output.values().all(|&o| o == 0));
         let skew = outcome.time_skew();
         assert!(skew.is_finite() && skew >= 1.0, "skew {skew} must be sane");
+    }
+
+    #[test]
+    fn eval_options_strategies_agree_and_broadcast_reports_cache_hits() {
+        use cq::JoinStrategy;
+        let q = ConjunctiveQuery::parse("T(x, y, z) :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let i = parse_instance(
+            "E(a, b). E(b, c). E(c, a). E(b, d). E(d, b). E(c, d). E(d, a). E(a, c).",
+        )
+        .unwrap();
+        let network = Network::with_size(3);
+        let p = ExplicitPolicy::broadcast(&network, &i);
+        let baseline = OneRoundEngine::new(&p).evaluate(&q, &i);
+        for strategy in [
+            JoinStrategy::Binary,
+            JoinStrategy::Multiway,
+            JoinStrategy::Auto,
+        ] {
+            let outcome = OneRoundEngine::new(&p)
+                .eval_options(EvalOptions {
+                    join_strategy: strategy,
+                    ..EvalOptions::default()
+                })
+                .evaluate(&q, &i);
+            assert_eq!(outcome.result, baseline.result, "{strategy:?}");
+        }
+        // Broadcast ships three equal chunks: the transport's shared index
+        // cache admits one and reuses it twice, and the outcome surfaces it.
+        assert_eq!(baseline.index_cache_misses, 1);
+        assert_eq!(baseline.index_cache_hits, 2);
+        // The streaming path keeps no shared cache and reports zeros.
+        let streamed = OneRoundEngine::new(&p).streaming(true).evaluate(&q, &i);
+        assert_eq!(streamed.result, baseline.result);
+        assert_eq!(streamed.index_cache_hits, 0);
+        assert_eq!(streamed.index_cache_misses, 0);
     }
 
     #[test]

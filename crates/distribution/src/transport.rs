@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use cq::{evaluate, ConjunctiveQuery, Instance};
+use cq::{evaluate_with, ConjunctiveQuery, EvalOptions, Instance};
 use delta::{DeltaNode, IndexCache};
 
 use crate::network::Node;
@@ -138,6 +138,15 @@ pub trait Transport {
     fn parallelism(&self) -> usize {
         1
     }
+
+    /// Cumulative `(hits, misses)` of the transport's shared index cache,
+    /// if it keeps one: a hit means a node's chunk reused another node's
+    /// indexed instance instead of rebuilding hash indexes from scratch.
+    /// Transports without a cache (including the wire transports, where
+    /// every worker owns its memory) report `(0, 0)`.
+    fn index_cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Drains `items` through `f` on a bounded pool: `workers` scoped threads
@@ -201,6 +210,7 @@ pub struct InMemoryTransport {
     /// them longer would pin memory without ever hitting.
     cache: IndexCache,
     round: usize,
+    eval_options: EvalOptions,
 }
 
 impl InMemoryTransport {
@@ -215,7 +225,16 @@ impl InMemoryTransport {
             nodes: BTreeMap::new(),
             cache: IndexCache::default(),
             round: 0,
+            eval_options: EvalOptions::default(),
         }
+    }
+
+    /// Sets the evaluation options every node chunk is evaluated with
+    /// (join strategy, ordering, indexing). Defaults to
+    /// [`EvalOptions::default()`].
+    pub fn eval_options(mut self, options: EvalOptions) -> Self {
+        self.eval_options = options;
+        self
     }
 
     /// Index-cache statistics: `(hits, misses)` of the shared chunk cache
@@ -251,9 +270,10 @@ impl InMemoryTransport {
             })
             .collect();
         let workers = self.workers.min(jobs.len()).max(1);
+        let options = self.eval_options;
         drain_pool(&jobs, workers, |(node, chunk)| {
             let start = Instant::now();
-            let output = evaluate(query, chunk);
+            let output = evaluate_with(query, chunk, options);
             (
                 *node,
                 NodeResult {
@@ -353,6 +373,10 @@ impl Transport for InMemoryTransport {
 
     fn parallelism(&self) -> usize {
         self.workers
+    }
+
+    fn index_cache_stats(&self) -> (u64, u64) {
+        self.cache_stats()
     }
 }
 

@@ -49,6 +49,24 @@ pub fn triangle_query() -> ConjunctiveQuery {
         .expect("triangle query is well-formed")
 }
 
+/// The chordal 4-cycle query over `E`: the directed 4-cycle plus the chord
+/// `E(x0, x2)`. Cyclic even after the chord (two triangles sharing an edge),
+/// so the auto planner routes it to the multiway join.
+pub fn chordal4_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::parse(
+        "T(x0, x1, x2, x3) :- E(x0, x1), E(x1, x2), E(x2, x3), E(x3, x0), E(x0, x2).",
+    )
+    .expect("chordal-4 query is well-formed")
+}
+
+/// The directed 4-clique query over `E`: one atom per ordered pair `i < j`.
+pub fn clique4_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::parse(
+        "T(x0, x1, x2, x3) :- E(x0, x1), E(x0, x2), E(x0, x3), E(x1, x2), E(x1, x3), E(x2, x3).",
+    )
+    .expect("clique-4 query is well-formed")
+}
+
 /// The query of Example 3.5 of the paper:
 /// `T(x, z) :- R(x, y), R(y, z), R(x, x)`.
 pub fn example_3_5_query() -> ConjunctiveQuery {
@@ -76,6 +94,8 @@ pub fn named_query(spec: &str) -> Result<ConjunctiveQuery, String> {
     };
     match name {
         "triangle" => Ok(triangle_query()),
+        "chordal4" => Ok(chordal4_query()),
+        "clique4" => Ok(clique4_query()),
         "example3.5" | "example35" => Ok(example_3_5_query()),
         "chain" => {
             let len = parse_param("len")?;
@@ -99,7 +119,7 @@ pub fn named_query(spec: &str) -> Result<ConjunctiveQuery, String> {
             Ok(cycle_query(len))
         }
         other => Err(format!(
-            "unknown query family '{other}' (expected triangle, example3.5, chain:<len>, star:<rays> or cycle:<len>)"
+            "unknown query family '{other}' (expected triangle, chordal4, clique4, example3.5, chain:<len>, star:<rays> or cycle:<len>)"
         )),
     }
 }
@@ -195,6 +215,8 @@ mod tests {
         assert_eq!(named_query("chain:4").unwrap(), chain_query(4));
         assert_eq!(named_query("star:5").unwrap(), star_query(5));
         assert_eq!(named_query("cycle:3").unwrap(), cycle_query(3));
+        assert_eq!(named_query("chordal4").unwrap(), chordal4_query());
+        assert_eq!(named_query("clique4").unwrap(), clique4_query());
         for bad in ["chain", "chain:0", "chain:x", "cycle:1", "nope", "star:0"] {
             assert!(named_query(bad).is_err(), "{bad} must be rejected");
         }
@@ -226,6 +248,20 @@ mod tests {
         let t = triangle_query();
         assert_eq!(t.body_size(), 3);
         assert_eq!(t.schema().arity(cq::Symbol::new("E")), Some(2));
+    }
+
+    #[test]
+    fn chordal_and_clique_queries_are_cyclic() {
+        let chordal = chordal4_query();
+        assert_eq!(chordal.body_size(), 5);
+        assert!(chordal.is_full());
+        assert!(!cq::is_acyclic(&chordal));
+
+        let clique = clique4_query();
+        assert_eq!(clique.body_size(), 6);
+        assert!(clique.is_full());
+        assert!(!cq::is_acyclic(&clique));
+        assert_eq!(clique.schema().arity(cq::Symbol::new("E")), Some(2));
     }
 
     #[test]

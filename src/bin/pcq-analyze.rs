@@ -11,6 +11,7 @@
 //!                          [--rounds N] [--schedule S] [--feedback R]
 //!                          [--streaming] [--semi-naive]
 //!                          [--distribute-workers N]
+//!                          [--join-strategy binary|multiway|auto]
 //!                          [--transport memory|process|socket]
 //!                          [--fault-inject N]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
@@ -56,7 +57,11 @@
 //! differential pass over the delta — the final result is identical to
 //! full re-evaluation, the late-round work is not (requires a
 //! single-policy schedule); `--distribute-workers` shards the reshuffle
-//! phase. With
+//! phase. `--join-strategy` picks the local join algorithm every node runs
+//! (`binary` = pairwise hash joins, `multiway` = the leapfrog-style
+//! worst-case-optimal join, `auto` = multiway exactly for cyclic queries;
+//! default auto) — a single-round, in-memory option: wire workers and the
+//! multi-round engine evaluate with their own defaults. With
 //! `--transport process` local evaluation leaves this process entirely:
 //! chunks are binary-encoded and shipped over stdio pipes to `--workers N`
 //! `pcq-analyze worker` subprocesses; `--transport socket` carries the
@@ -116,7 +121,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -275,6 +280,9 @@ struct RunOptions {
     /// `--fault-inject N`: worker 0 dies after N eval jobs, exercising the
     /// wire transports' mid-round requeue path.
     fault_inject: Option<usize>,
+    /// `--join-strategy`: the local join algorithm every node evaluates
+    /// with (`None` = the evaluator's default, auto).
+    join_strategy: Option<JoinStrategy>,
 }
 
 /// The per-worker `pcq-analyze worker …` argument lists for a wire
@@ -380,6 +388,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         scenario: None,
         transport: TransportChoice::Memory,
         fault_inject: None,
+        join_strategy: None,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -439,6 +448,12 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             "--fault-inject" => {
                 opts.fault_inject = Some(parse_count("--fault-inject", iter.next())?)
             }
+            "--join-strategy" => {
+                let name = iter.next().ok_or("--join-strategy needs a name")?;
+                opts.join_strategy = Some(JoinStrategy::parse(name).ok_or(format!(
+                    "--join-strategy: '{name}' is not 'binary', 'multiway' or 'auto'"
+                ))?);
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             _ => positional.push(arg),
         }
@@ -458,6 +473,24 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             return Err(
                 "--fault-inject needs --workers >= 2 (survivors must absorb the dead \
                  worker's jobs)"
+                    .to_string(),
+            );
+        }
+    }
+    if opts.join_strategy.is_some() {
+        if !matches!(opts.transport, TransportChoice::Memory) {
+            // The options are not part of the wire protocol; workers would
+            // silently evaluate with their own defaults.
+            return Err(
+                "--join-strategy cannot be combined with a wire transport (workers evaluate \
+                 with their own defaults)"
+                    .to_string(),
+            );
+        }
+        if opts.rounds.is_some() || opts.scenario.is_some() {
+            return Err(
+                "--join-strategy applies to single-round runs only (the multi-round engine \
+                 evaluates with its own defaults)"
                     .to_string(),
             );
         }
@@ -556,10 +589,16 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     }
 
     let policy = load_run_policy(policy_spec, &query, &instance)?;
+    let eval_options = EvalOptions {
+        join_strategy: opts.join_strategy.unwrap_or_default(),
+        ..EvalOptions::default()
+    };
+    let resolved = eval_options.resolved_strategy(&query);
     let engine = OneRoundEngine::new(policy.as_ref())
         .workers(opts.workers)
         .distribute_workers(opts.distribute_workers)
-        .streaming(opts.streaming);
+        .streaming(opts.streaming)
+        .eval_options(eval_options);
     // `total` covers only the one-round run; the centralized evaluation
     // below is a correctness check, not part of the round being measured.
     let total_start = std::time::Instant::now();
@@ -613,6 +652,23 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             ("instance_facts", JsonValue::from(instance.len())),
             ("workers", JsonValue::from(outcome.workers)),
             ("transport", JsonValue::from(opts.transport.label())),
+            (
+                "join_strategy",
+                JsonValue::object([
+                    (
+                        "requested",
+                        JsonValue::from(eval_options.join_strategy.label()),
+                    ),
+                    ("resolved", JsonValue::from(resolved.label())),
+                ]),
+            ),
+            (
+                "index_cache",
+                JsonValue::object([
+                    ("hits", JsonValue::from(outcome.index_cache_hits)),
+                    ("misses", JsonValue::from(outcome.index_cache_misses)),
+                ]),
+            ),
             ("result_size", JsonValue::from(outcome.result.len())),
             ("parallel_correct", JsonValue::from(correct)),
             (
@@ -658,6 +714,15 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         println!("instance:    {instance_spec} ({} facts)", instance.len());
         println!("workers:     {}", outcome.workers);
         println!("transport:   {}", opts.transport.label());
+        println!(
+            "join:        {} (resolved: {})",
+            eval_options.join_strategy.label(),
+            resolved.label()
+        );
+        println!(
+            "index cache: {} hits / {} misses",
+            outcome.index_cache_hits, outcome.index_cache_misses
+        );
         println!("result size: {}", outcome.result.len());
         println!(
             "correct:     {}",
@@ -1199,6 +1264,11 @@ fn parallel_correctness(query: &ConjunctiveQuery, policy: &ExplicitPolicy) -> bo
     println!("query:   {query}");
     println!("network: {}", policy.network());
     let report = check_parallel_correctness(query, policy);
+    let cache = report.cache_stats();
+    println!(
+        "index cache: {} hits / {} misses across candidate instances",
+        cache.hits, cache.misses
+    );
     if report.is_correct() {
         println!("parallel-correct: yes (every minimal valuation meets at some node)");
         true
@@ -1234,6 +1304,11 @@ fn transfer(
         }
         Some(other) => return Err(format!("unknown flag '{other}'")),
     };
+    let cache = report.cache_stats();
+    println!(
+        "index cache: {} hits / {} misses across candidate valuations",
+        cache.hits, cache.misses
+    );
     println!(
         "parallel-correctness transfers ({}): {}",
         report.method,

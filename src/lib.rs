@@ -53,10 +53,11 @@ pub use workloads;
 /// into scope.
 pub mod prelude {
     pub use cq::{
-        evaluate, evaluate_seminaive_step, parse_instance, Atom, ConjunctiveQuery, EvalOptions,
-        Fact, Instance, JoinOrdering, Schema, Substitution, Symbol, Valuation, Value, Variable,
+        evaluate, evaluate_seminaive_step, evaluate_with, parse_instance, Atom, ConjunctiveQuery,
+        EvalOptions, Fact, Instance, JoinOrdering, JoinStrategy, Schema, Substitution, Symbol,
+        Valuation, Value, Variable,
     };
-    pub use delta::{DeltaInstance, DeltaNode, IndexCache};
+    pub use delta::{CacheStats, DeltaInstance, DeltaNode, IndexCache};
     pub use distribution::{
         ChunkStream, DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily,
         HypercubePolicy, InMemoryTransport, MultiRoundEngine, MultiRoundOutcome, Network, Node,
@@ -64,10 +65,12 @@ pub mod prelude {
     };
     pub use pc_core::{
         check_parallel_correctness, check_parallel_correctness_bounded,
-        check_parallel_correctness_on_instance, check_transfer, check_transfer_strongly_minimal,
-        holds_c0, holds_c1, holds_c2, holds_c3, hypercube_parallel_correct, is_minimal_valuation,
+        check_parallel_correctness_naive_incremental, check_parallel_correctness_on_instance,
+        check_transfer, check_transfer_strongly_minimal, holds_c0, holds_c1, holds_c2, holds_c3,
+        hypercube_parallel_correct, is_minimal_valuation, is_minimal_valuation_cached,
         is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
-        MultiRoundInstanceReport, PcReport, TransferReport,
+        IncrementalPcReport, IncrementalPcStats, MultiRoundInstanceReport, PcReport,
+        TransferReport,
     };
     pub use wire::{
         DeltaBatch, ExplicitSpec, JsonValue, ProcessTransport, Scenario, SocketTransport,

@@ -365,6 +365,104 @@ fn run_rejects_multi_round_flags_without_rounds() {
 }
 
 #[test]
+fn run_join_strategy_flag_selects_and_reports_the_strategy() {
+    // The triangle is cyclic: auto resolves to multiway; every strategy
+    // produces the same (correct) result.
+    for (requested, resolved) in [
+        ("binary", "binary"),
+        ("multiway", "multiway"),
+        ("auto", "multiway"),
+    ] {
+        let (code, stdout) = pcq_analyze_output(&[
+            "run",
+            "triangle",
+            "broadcast:2",
+            "E(a, b). E(b, c). E(c, a). E(a, c).",
+            "--join-strategy",
+            requested,
+        ]);
+        assert_eq!(code, 0, "{requested}: {stdout}");
+        assert!(
+            stdout.contains(&format!("join:        {requested} (resolved: {resolved})")),
+            "{requested}: {stdout}"
+        );
+        assert!(stdout.contains("index cache:"), "{stdout}");
+    }
+    // The acyclic 2-path resolves auto to binary, and --json carries the
+    // strategy and the transport's index-cache counters.
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "broadcast:2",
+        CHAIN_FACTS,
+        "--join-strategy",
+        "auto",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    for key in [
+        "\"join_strategy\":{\"requested\":\"auto\",\"resolved\":\"binary\"}",
+        "\"index_cache\":{\"hits\":1,\"misses\":1}",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn run_join_strategy_flag_is_validated() {
+    // unknown strategy names
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--join-strategy",
+            "leapfrog"
+        ]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--join-strategy"
+        ]),
+        2
+    );
+    // wire workers evaluate with their own defaults
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--join-strategy",
+            "multiway",
+            "--transport",
+            "process"
+        ]),
+        2
+    );
+    // the multi-round engine evaluates with its own defaults
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--join-strategy",
+            "multiway",
+            "--rounds",
+            "2"
+        ]),
+        2
+    );
+}
+
+#[test]
 fn run_single_round_streaming_agrees_with_the_default_path() {
     let (code, stdout) = pcq_analyze_output(&[
         "run",
