@@ -50,6 +50,7 @@ fn bench_encode_decode(c: &mut Criterion) {
         });
         let message = Message::EvalChunk {
             query: query.clone(),
+            options: cq::EvalOptions::default(),
             batch: ChunkBatch {
                 round: 0,
                 node: Node::numbered(0),
@@ -75,7 +76,7 @@ fn bench_scenario_text(c: &mut Criterion) {
     group.sample_size(10);
     let (_, query, instance) = shapes().remove(1); // chain4: the largest schema
     let scenario = Scenario {
-        query,
+        queries: vec![query],
         instance,
         policy: None,
         schedule: vec![

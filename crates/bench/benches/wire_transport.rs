@@ -64,7 +64,9 @@ fn drive_round(
     q: &ConjunctiveQuery,
     chunks: &[(Node, Instance)],
 ) -> usize {
-    transport.begin_round(0, q).unwrap();
+    transport
+        .begin_round(0, q, cq::EvalOptions::default())
+        .unwrap();
     for (node, chunk) in chunks {
         transport.send_chunk(*node, chunk.clone()).unwrap();
     }

@@ -80,6 +80,6 @@ pub use pc::{
     IncrementalPcStats, MultiRoundInstanceReport, PcInstanceReport, PcReport, PcViolation,
 };
 pub use transfer::{
-    check_transfer, check_transfer_no_skip, check_transfer_strongly_minimal, TransferReport,
-    TransferViolation,
+    check_transfer, check_transfer_no_skip, check_transfer_strongly_minimal, TransferCache,
+    TransferReport, TransferViolation,
 };

@@ -1,5 +1,7 @@
 //! Parallel-correctness transfer (Section 4 of the paper).
 
+use std::collections::BTreeMap;
+
 use cq::{ConjunctiveQuery, Instance, Valuation};
 use delta::{CacheStats, IndexCache};
 
@@ -140,6 +142,61 @@ pub fn check_transfer_no_skip(from: &ConjunctiveQuery, to: &ConjunctiveQuery) ->
         method: "C2'",
         violation: None,
         cache: cache.stats(),
+    }
+}
+
+/// Memoizes [`check_transfer`] verdicts per `(from, to)` query pair — the
+/// runtime face of the transfer decider.
+///
+/// The multi-query engine (`distribution::MultiRoundEngine::
+/// evaluate_queries`) consults transferability at every query boundary
+/// where shards are resident; a workload cycling through a handful of
+/// queries would otherwise re-run the ΠP3-hard (C2) decision procedure for
+/// the same pair over and over. The cache is keyed by the queries'
+/// canonical printed form (equal queries print equally), stores only the
+/// boolean verdict, and adapts directly to the engine's
+/// `TransferOracle` signature:
+///
+/// ```ignore
+/// let mut cache = TransferCache::new();
+/// engine.evaluate_queries(&queries, &instance, &mut |p, q| cache.transfers(p, q));
+/// ```
+#[derive(Debug, Default)]
+pub struct TransferCache {
+    verdicts: BTreeMap<(String, String), bool>,
+    hits: usize,
+    misses: usize,
+}
+
+impl TransferCache {
+    /// An empty cache.
+    pub fn new() -> TransferCache {
+        TransferCache::default()
+    }
+
+    /// Whether parallel-correctness transfers from `from` to `to`,
+    /// deciding via [`check_transfer`] on the first ask and replaying the
+    /// memoized verdict afterwards.
+    pub fn transfers(&mut self, from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+        let key = (from.to_string(), to.to_string());
+        if let Some(&verdict) = self.verdicts.get(&key) {
+            self.hits += 1;
+            return verdict;
+        }
+        self.misses += 1;
+        let verdict = check_transfer(from, to).transfers();
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+
+    /// How many asks were answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// How many asks actually ran the decision procedure.
+    pub fn misses(&self) -> usize {
+        self.misses
     }
 }
 
@@ -291,6 +348,27 @@ mod tests {
                     panic!("witness mismatch for {from_text} => {to_text}: {got:?} vs {want:?}")
                 }
             }
+        }
+    }
+
+    #[test]
+    fn transfer_cache_memoizes_verdicts() {
+        let q_loop = q("T(x, z) :- R(x, y), R(y, z), R(y, y).");
+        let q_path = q("T(x, z) :- R(x, y), R(y, z).");
+        let mut cache = TransferCache::new();
+        // First asks decide; repeats replay.
+        assert!(cache.transfers(&q_loop, &q_path));
+        assert!(!cache.transfers(&q_path, &q_loop));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(cache.transfers(&q_loop, &q_path));
+        assert!(!cache.transfers(&q_path, &q_loop));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // Direction matters in the key; verdicts agree with the decider.
+        for (from, to) in [(&q_loop, &q_path), (&q_path, &q_loop)] {
+            assert_eq!(
+                cache.transfers(from, to),
+                check_transfer(from, to).transfers()
+            );
         }
     }
 

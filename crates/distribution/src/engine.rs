@@ -175,10 +175,10 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
     }
 
     /// Sets the [`EvalOptions`] every node's local evaluation runs with —
-    /// notably the join strategy (`Binary`, `Multiway` or `Auto`). Applies
-    /// to the in-process paths (materialized and streaming); rounds routed
-    /// through an explicit wire transport evaluate with the workers' own
-    /// defaults, since the options are not part of the wire protocol.
+    /// notably the join strategy (`Binary`, `Multiway` or `Auto`). The
+    /// options travel with [`Transport::begin_round`], so they apply on
+    /// every path: in-process pools, streaming, and wire transports whose
+    /// workers live in other processes.
     pub fn eval_options(mut self, options: EvalOptions) -> Self {
         self.eval_options = options;
         self
@@ -201,7 +201,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         query: &ConjunctiveQuery,
         instance: &Instance,
     ) -> OneRoundOutcome {
-        let mut transport = InMemoryTransport::new(self.workers).eval_options(self.eval_options);
+        let mut transport = InMemoryTransport::new(self.workers);
         self.evaluate_via(&mut transport, 0, query, instance)
             .expect("the in-memory transport is infallible")
     }
@@ -230,7 +230,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         let distribute_time = distribute_start.elapsed();
 
         let local_start = Instant::now();
-        transport.begin_round(round, query)?;
+        transport.begin_round(round, query, self.eval_options)?;
         let mut per_node_load = BTreeMap::new();
         let mut nodes = Vec::new();
         for (node, chunk) in distribution.into_chunks() {
@@ -291,7 +291,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         let distribute_time = distribute_start.elapsed();
 
         let local_start = Instant::now();
-        transport.begin_round(round, query)?;
+        transport.begin_round(round, query, self.eval_options)?;
         let mut per_node_load = BTreeMap::new();
         let mut sent = Vec::new();
         let mut skipped = Vec::new();

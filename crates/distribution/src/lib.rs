@@ -73,6 +73,9 @@ pub use hash::{fnv1a, HashScheme};
 pub use hypercube::{HypercubeFamily, HypercubePolicy};
 pub use network::{Network, Node};
 pub use policy::{DistributionPolicy, FinitePolicy};
-pub use rounds::{IteratedFixpoint, MultiRoundEngine, MultiRoundOutcome, RoundSchedule};
+pub use rounds::{
+    IteratedFixpoint, MultiQueryOutcome, MultiRoundEngine, MultiRoundOutcome, RoundSchedule,
+    TransferOracle,
+};
 pub use rules::{AddressTerm, DistributionRule, RuleBasedPolicy, RulePolicyError};
 pub use transport::{InMemoryTransport, NodeResult, Transport, TransportError};

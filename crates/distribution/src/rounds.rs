@@ -25,15 +25,25 @@
 //! that *global* fixpoint, the correctness yardstick for the distributed
 //! run (`pc_core::multi_round_correct_on`).
 
-use std::collections::BTreeSet;
-use std::time::Duration;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
-use cq::{evaluate, ConjunctiveQuery, Fact, Instance, Symbol};
+use cq::{evaluate, ConjunctiveQuery, EvalOptions, Fact, Instance, Symbol};
 use delta::DeltaInstance;
 
+use crate::distribute::DistributionStats;
 use crate::engine::{OneRoundEngine, OneRoundOutcome};
+use crate::network::Node;
 use crate::policy::DistributionPolicy;
 use crate::transport::{InMemoryTransport, Transport, TransportError};
+
+/// Decides whether parallel-correctness transfers from the first query to
+/// the second. The decision procedure itself (Section 4 of the paper)
+/// lives *above* this crate — `pc_core::TransferCache` memoizes
+/// `check_transfer` verdicts behind exactly this signature — so the
+/// multi-query engine takes the oracle as an argument instead of
+/// depending on it.
+pub type TransferOracle<'o> = &'o mut dyn FnMut(&ConjunctiveQuery, &ConjunctiveQuery) -> bool;
 
 /// A per-round policy schedule: round `r` uses the `r`-th policy, and the
 /// last policy repeats once the schedule is exhausted (so a one-element
@@ -53,18 +63,33 @@ impl<'a> RoundSchedule<'a> {
     /// A schedule from an explicit policy sequence (the last one repeats).
     ///
     /// # Panics
-    /// Panics when `policies` is empty.
+    /// Panics when `policies` is empty; [`RoundSchedule::try_of`] returns
+    /// the error instead.
     pub fn of(policies: Vec<&'a dyn DistributionPolicy>) -> RoundSchedule<'a> {
-        assert!(
-            !policies.is_empty(),
-            "a round schedule needs at least one policy"
-        );
-        RoundSchedule { policies }
+        RoundSchedule::try_of(policies).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A schedule from an explicit policy sequence (the last one repeats),
+    /// rejecting an empty sequence with an error instead of panicking —
+    /// [`RoundSchedule::policy_for`] would otherwise underflow its index
+    /// on the first round.
+    pub fn try_of(policies: Vec<&'a dyn DistributionPolicy>) -> Result<RoundSchedule<'a>, String> {
+        if policies.is_empty() {
+            return Err("a round schedule needs at least one policy".to_string());
+        }
+        Ok(RoundSchedule { policies })
     }
 
     /// The policy of round `round` (0-based; the last policy repeats).
     pub fn policy_for(&self, round: usize) -> &'a dyn DistributionPolicy {
-        self.policies[round.min(self.policies.len() - 1)]
+        self.policies[self.policy_index(round)]
+    }
+
+    /// The schedule index of the policy used in round `round` — two rounds
+    /// with equal indices run the *same* policy, which is what the
+    /// semi-naive loop uses to detect a policy switch (a re-shard point).
+    fn policy_index(&self, round: usize) -> usize {
+        round.min(self.policies.len() - 1)
     }
 
     /// The number of explicitly scheduled policies.
@@ -95,6 +120,15 @@ pub struct MultiRoundOutcome {
     /// repeated an already-visited state, so no future round could derive
     /// anything new) before exhausting the round cap.
     pub converged: bool,
+    /// How many reshuffles this run elided by evaluating directly on the
+    /// shards resident from a previous query (`1` for a run that is a
+    /// single resident round, `0` for a run that re-distributed normally).
+    pub elided_reshuffles: usize,
+    /// Round indices that were explicit state-reset/re-shard rounds: a
+    /// semi-naive run whose schedule switched policies re-ships the full
+    /// accumulated state under the new policy at these rounds (their
+    /// statistics describe that full re-shard, not a delta).
+    pub reshard_rounds: Vec<usize>,
 }
 
 impl MultiRoundOutcome {
@@ -151,6 +185,43 @@ pub struct IteratedFixpoint {
     pub rounds: usize,
 }
 
+/// The outcome of a multi-query run ([`MultiRoundEngine::evaluate_queries`]):
+/// one [`MultiRoundOutcome`] per query, in input order, plus the transfer
+/// bookkeeping of the elision decisions taken between consecutive queries.
+#[derive(Clone, Debug)]
+pub struct MultiQueryOutcome {
+    /// Per-query outcomes, in the order the queries were given.
+    pub per_query: Vec<MultiRoundOutcome>,
+    /// How many transferability checks the run performed (one per query
+    /// boundary where shards were resident and elision was allowed).
+    pub transfer_checks: usize,
+}
+
+impl MultiQueryOutcome {
+    /// Total reshuffles elided across all queries: the number of queries
+    /// that ran directly on the resident shards of their predecessor.
+    pub fn elided_reshuffles(&self) -> usize {
+        self.per_query.iter().map(|o| o.elided_reshuffles).sum()
+    }
+
+    /// Total explicit re-shard rounds shipped across all queries.
+    pub fn reshard_rounds(&self) -> usize {
+        self.per_query.iter().map(|o| o.reshard_rounds.len()).sum()
+    }
+
+    /// Cumulative `(fact, node)` assignments shipped across all queries.
+    pub fn total_comm_volume(&self) -> usize {
+        self.per_query.iter().map(|o| o.total_comm_volume()).sum()
+    }
+
+    /// Cumulative bytes serialized onto a process boundary across all
+    /// queries, in both directions (cf.
+    /// [`MultiRoundOutcome::total_comm_bytes`]).
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.per_query.iter().map(|o| o.total_comm_bytes()).sum()
+    }
+}
+
 /// A simulated cluster iterating the one-round algorithm under a
 /// [`RoundSchedule`], with fixpoint detection and a round cap.
 pub struct MultiRoundEngine<'a> {
@@ -162,6 +233,8 @@ pub struct MultiRoundEngine<'a> {
     distribute_workers: usize,
     streaming: bool,
     semi_naive: bool,
+    eval_options: EvalOptions,
+    reshuffle_always: bool,
 }
 
 impl<'a> MultiRoundEngine<'a> {
@@ -179,7 +252,27 @@ impl<'a> MultiRoundEngine<'a> {
             distribute_workers: 1,
             streaming: false,
             semi_naive: false,
+            eval_options: EvalOptions::default(),
+            reshuffle_always: false,
         }
+    }
+
+    /// Sets the [`EvalOptions`] every round's local evaluation runs with —
+    /// the join strategy in particular. The options travel with the round
+    /// over every transport (they are part of the wire protocol), so
+    /// in-memory and cross-process rounds evaluate identically.
+    pub fn eval_options(mut self, options: EvalOptions) -> Self {
+        self.eval_options = options;
+        self
+    }
+
+    /// Disables reshuffle elision in [`MultiRoundEngine::evaluate_queries`]:
+    /// every query re-distributes from scratch even when transferability
+    /// would allow running it on the resident shards. This is the baseline
+    /// the comm-bytes saving of elision is measured against.
+    pub fn reshuffle_always(mut self, always: bool) -> Self {
+        self.reshuffle_always = always;
+        self
     }
 
     /// Sets the round cap (at least 1). The engine stops earlier at the
@@ -249,12 +342,15 @@ impl<'a> MultiRoundEngine<'a> {
     /// identical** to full re-evaluation mode; per-round
     /// [`OneRoundOutcome`]s differ in the documented ways (each round's
     /// `result` holds only the *new* facts, and the loads/statistics
-    /// describe the delta reshuffle). Requires carried input and a
-    /// single-policy schedule — both checked at evaluation time — because
-    /// a node's accumulated state is only meaningful when every round
-    /// routes facts the same way and nothing is ever retracted. The
-    /// `streaming` knob does not apply (deltas are materialized; they are
-    /// small by construction).
+    /// describe the delta reshuffle). Requires carried input — checked at
+    /// evaluation time — because in dataflow mode the round instance is
+    /// not monotone, so there is no delta to ship. A schedule that
+    /// switches policies between rounds is handled with an explicit
+    /// **re-shard round**: the full accumulated state is re-shipped under
+    /// the new policy as a fresh round-0 reset (recorded in
+    /// [`MultiRoundOutcome::reshard_rounds`]), and delta shipping resumes
+    /// from the rebuilt state. The `streaming` knob does not apply
+    /// (deltas are materialized; they are small by construction).
     pub fn semi_naive(mut self, enabled: bool) -> Self {
         self.semi_naive = enabled;
         self
@@ -272,11 +368,6 @@ impl<'a> MultiRoundEngine<'a> {
             self.carry_input,
             "semi-naive rounds require carried input: in dataflow mode the \
              round instance is not monotone, so there is no delta to ship"
-        );
-        assert!(
-            self.schedule.len() == 1,
-            "semi-naive rounds require a single-policy schedule: a policy \
-             switch would re-route facts that were already shipped"
         );
     }
 
@@ -385,6 +476,173 @@ impl<'a> MultiRoundEngine<'a> {
         })
     }
 
+    /// Runs a **sequence of queries** over `instance`, consulting
+    /// `transfer` at each query boundary: when the oracle says parallel
+    /// correctness transfers from the previous query to the next (and the
+    /// previous run left its fixpoint resident at the nodes), the next
+    /// query's reshuffle is **elided** — it evaluates directly on the
+    /// resident shards, shipping zero input facts. Otherwise the query
+    /// re-shards from scratch through the ordinary round loop.
+    ///
+    /// In-memory convenience over [`MultiRoundEngine::evaluate_queries_via`].
+    pub fn evaluate_queries(
+        &self,
+        queries: &[ConjunctiveQuery],
+        instance: &Instance,
+        transfer: TransferOracle<'_>,
+    ) -> MultiQueryOutcome {
+        let mut transport = InMemoryTransport::new(self.workers);
+        self.evaluate_queries_via(&mut transport, queries, instance, transfer)
+            .expect("in-memory rounds are infallible")
+    }
+
+    /// [`MultiRoundEngine::evaluate_queries`] through an explicit
+    /// transport. The elision decision per boundary is:
+    ///
+    /// 1. The previous query's run must have **converged with carried
+    ///    input and no feedback rewrite** — only then is the fixpoint
+    ///    state resident at the nodes, sharded by the last round's policy.
+    /// 2. [`MultiRoundEngine::reshuffle_always`] must be off (the
+    ///    baseline knob for measuring what elision saves).
+    /// 3. The `transfer` oracle must confirm the previous query's parallel
+    ///    correctness transfers to the next one (paper §4): the new query
+    ///    is then correct on *any* shards the previous one was correct on
+    ///    — including the resident ones. Transferability is transitive, so
+    ///    checking consecutive pairs suffices across a chain of elisions.
+    ///
+    /// An elided query runs as a single reshuffle-free round and leaves
+    /// the resident shards untouched; a re-sharding query replaces them
+    /// with its own fixpoint.
+    pub fn evaluate_queries_via(
+        &self,
+        transport: &mut dyn Transport,
+        queries: &[ConjunctiveQuery],
+        instance: &Instance,
+        transfer: TransferOracle<'_>,
+    ) -> Result<MultiQueryOutcome, TransportError> {
+        let mut per_query = Vec::with_capacity(queries.len());
+        let mut transfer_checks = 0;
+        // The query whose fixpoint is currently sharded across the nodes,
+        // and which nodes hold a piece of it.
+        let mut resident: Option<(ConjunctiveQuery, Vec<Node>)> = None;
+        for query in queries {
+            let elide = match &resident {
+                Some((prev, nodes)) if !self.reshuffle_always && !nodes.is_empty() => {
+                    transfer_checks += 1;
+                    transfer(prev, query)
+                }
+                _ => false,
+            };
+            let outcome = if elide {
+                let (_, nodes) = resident.as_ref().expect("elide implies resident shards");
+                let round = self.resident_round(transport, query, &nodes.clone())?;
+                let result = round.result.clone();
+                MultiRoundOutcome {
+                    rounds: vec![round],
+                    final_state: instance.union(&result),
+                    result,
+                    converged: true,
+                    elided_reshuffles: 1,
+                    reshard_rounds: Vec::new(),
+                }
+            } else {
+                self.evaluate_via(transport, query, instance)?
+            };
+            if elide {
+                // The shards are untouched, but the transferability chain
+                // now hangs off this query (transitivity keeps it sound).
+                if let Some((prev, _)) = resident.as_mut() {
+                    *prev = query.clone();
+                }
+            } else {
+                resident = self
+                    .resident_nodes(&outcome)
+                    .map(|nodes| (query.clone(), nodes));
+            }
+            per_query.push(outcome);
+        }
+        Ok(MultiQueryOutcome {
+            per_query,
+            transfer_checks,
+        })
+    }
+
+    /// Which nodes hold the just-finished run's fixpoint, if any do:
+    /// requires carried input (dataflow rounds drop state), no feedback
+    /// rewrite (the resident facts would be renamed copies, not the
+    /// state), and convergence (a round-capped run's nodes hold an
+    /// intermediate state, not the fixpoint). The shards then sit exactly
+    /// where the anchor round shipped them — the last round in full mode
+    /// (each full round re-ships the whole state), the last reset round in
+    /// semi-naive mode (later delta rounds only top nodes up).
+    fn resident_nodes(&self, outcome: &MultiRoundOutcome) -> Option<Vec<Node>> {
+        if !self.carry_input || self.feedback.is_some() || !outcome.converged {
+            return None;
+        }
+        let anchor = if self.semi_naive {
+            *outcome.reshard_rounds.last().unwrap_or(&0)
+        } else {
+            outcome.rounds.len().saturating_sub(1)
+        };
+        outcome
+            .rounds
+            .get(anchor)
+            .map(|round| round.per_node_load.keys().copied().collect())
+    }
+
+    /// One reshuffle-free round: every node in `nodes` evaluates `query`
+    /// over the shard it already holds ([`Transport::send_resident`]) and
+    /// replies with its full local output. Nothing is distributed, so the
+    /// distribution side of the outcome is all zeros; `comm_bytes` still
+    /// counts whatever result frames an actual wire transport ships back.
+    fn resident_round(
+        &self,
+        transport: &mut dyn Transport,
+        query: &ConjunctiveQuery,
+        nodes: &[Node],
+    ) -> Result<OneRoundOutcome, TransportError> {
+        let local_start = Instant::now();
+        transport.begin_round(0, query, self.eval_options)?;
+        for &node in nodes {
+            transport.send_resident(node)?;
+        }
+        transport.barrier()?;
+        let mut result = Instance::new();
+        let mut per_node_output = BTreeMap::new();
+        let mut per_node_time = BTreeMap::new();
+        for &node in nodes {
+            let reply = transport.recv_chunk(node)?;
+            per_node_output.insert(node, reply.output.len());
+            per_node_time.insert(node, reply.eval_time);
+            result.extend(reply.output.facts().cloned());
+        }
+        let local_eval_time = local_start.elapsed();
+        let comm_bytes = transport.take_bytes_shipped();
+        let (index_cache_hits, index_cache_misses) = transport.index_cache_stats();
+        Ok(OneRoundOutcome {
+            result,
+            per_node_load: nodes.iter().map(|&n| (n, 0)).collect(),
+            per_node_output,
+            per_node_time,
+            distribute_time: Duration::ZERO,
+            local_eval_time,
+            workers: transport.parallelism().min(nodes.len()).max(1),
+            peak_chunks: 0,
+            streamed: false,
+            comm_bytes,
+            index_cache_hits,
+            index_cache_misses,
+            stats: DistributionStats {
+                nodes: nodes.len(),
+                total_assigned: 0,
+                distinct_assigned: 0,
+                max_load: 0,
+                skipped: 0,
+                replication_factor: 0.0,
+            },
+        })
+    }
+
     /// The incremental round loop: ship each round's delta, collect each
     /// node's new derivations, feed them back, stop when a round adds
     /// nothing. With carried input the round states grow monotonically, so
@@ -399,15 +657,37 @@ impl<'a> MultiRoundEngine<'a> {
         instance: &Instance,
     ) -> Result<MultiRoundOutcome, TransportError> {
         self.check_semi_naive_config();
-        let policy = self.schedule.policy_for(0);
         let mut acc = DeltaInstance::from_initial(instance.clone());
         let mut result = Instance::new();
         let mut rounds = Vec::new();
+        let mut reshard_rounds = Vec::new();
         let mut converged = false;
+        // Round numbering as seen by the transport: 0 resets per-node
+        // state, so every re-shard restarts the count at 0 and ships the
+        // full accumulated state under the new policy.
+        let mut transport_round = 0;
+        let mut active_policy = self.schedule.policy_index(0);
         for round in 0..self.max_rounds {
-            let round_delta = acc.take_delta();
-            let engine = OneRoundEngine::new(policy).distribute_workers(self.distribute_workers);
-            let outcome = engine.evaluate_delta_via(transport, round, query, &round_delta)?;
+            let policy_index = self.schedule.policy_index(round);
+            let reshard = round > 0 && policy_index != active_policy;
+            active_policy = policy_index;
+            let policy = self.schedule.policy_for(round);
+            let round_delta = if reshard {
+                // A policy switch re-routes facts that were already
+                // shipped: reset the nodes and re-shard everything.
+                reshard_rounds.push(round);
+                transport_round = 0;
+                let _ = acc.take_delta();
+                acc.full().clone()
+            } else {
+                acc.take_delta()
+            };
+            let engine = OneRoundEngine::new(policy)
+                .distribute_workers(self.distribute_workers)
+                .eval_options(self.eval_options);
+            let outcome =
+                engine.evaluate_delta_via(transport, transport_round, query, &round_delta)?;
+            transport_round += 1;
             let contribution = self.feedback_facts(&outcome.result);
             result.extend(outcome.result.facts().cloned());
             acc.absorb(contribution.facts().cloned());
@@ -422,6 +702,8 @@ impl<'a> MultiRoundEngine<'a> {
             result,
             final_state: acc.full().clone(),
             converged,
+            elided_reshuffles: 0,
+            reshard_rounds,
         })
     }
 
@@ -452,7 +734,9 @@ impl<'a> MultiRoundEngine<'a> {
         let mut converged = false;
         for round in 0..self.max_rounds {
             let policy = self.schedule.policy_for(round);
-            let engine = OneRoundEngine::new(policy).distribute_workers(self.distribute_workers);
+            let engine = OneRoundEngine::new(policy)
+                .distribute_workers(self.distribute_workers)
+                .eval_options(self.eval_options);
             let outcome = eval_round(engine, round, query, &state)?;
             let done = self.advance_round(
                 &outcome.result,
@@ -472,6 +756,8 @@ impl<'a> MultiRoundEngine<'a> {
             result,
             final_state: seen,
             converged,
+            elided_reshuffles: 0,
+            reshard_rounds: Vec::new(),
         })
     }
 
@@ -853,15 +1139,197 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "single-policy schedule")]
-    fn semi_naive_rejects_multi_policy_schedules() {
+    fn round_schedule_try_of_rejects_an_empty_sequence() {
+        // Regression: `RoundSchedule::of(vec![])` used to build fine and
+        // then panic inside `policy_for` on the first round; emptiness is
+        // now a construction-time error.
+        let err = RoundSchedule::try_of(Vec::new()).err().unwrap();
+        assert!(err.contains("at least one policy"), "{err}");
+    }
+
+    #[test]
+    fn semi_naive_multi_policy_schedule_reshards_and_matches_full_mode() {
+        // A schedule that switches policies used to be rejected in
+        // semi-naive mode; it now runs via an explicit re-shard round at
+        // the switch and must agree with full re-evaluation exactly.
         let q = square_query();
-        let a = HypercubePolicy::uniform(&q, 2).unwrap();
-        let b = HypercubePolicy::uniform(&q, 3).unwrap();
-        let _ = MultiRoundEngine::new(RoundSchedule::of(vec![&a, &b]))
-            .rounds(4)
-            .semi_naive(true)
-            .evaluate(&q, &chain_instance(3));
+        let i = chain_instance(8);
+        let network = Network::with_size(3);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let hypercube = HypercubePolicy::uniform(&q, 2).unwrap();
+        let engine = || {
+            MultiRoundEngine::new(RoundSchedule::of(vec![&broadcast, &hypercube]))
+                .rounds(16)
+                .feedback_into("R")
+        };
+        let (full, semi) = assert_semi_naive_parity(engine, &q, &i);
+        assert!(semi.converged);
+        assert_eq!(
+            semi.reshard_rounds,
+            vec![1],
+            "the policy switch at round 1 must re-shard"
+        );
+        assert!(full.reshard_rounds.is_empty());
+        assert_eq!(semi.result, engine().reference_fixpoint(&q, &i).result);
+        // The re-shard round ships the full accumulated state under the
+        // new policy, exactly like full mode's same round.
+        assert_eq!(
+            semi.rounds[1].stats.total_assigned,
+            full.rounds[1].stats.total_assigned
+        );
+    }
+
+    // ------------------------------------------------- multi-query elision
+
+    fn loop_query() -> ConjunctiveQuery {
+        // PC transfers from this query to `square_query` (paper §4).
+        ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z), R(y, y).").unwrap()
+    }
+
+    fn broadcast_engine<'a>(broadcast: &'a ExplicitPolicy) -> MultiRoundEngine<'a> {
+        MultiRoundEngine::new(RoundSchedule::repeat(broadcast)).rounds(4)
+    }
+
+    #[test]
+    fn transferable_query_sequences_elide_the_reshuffle() {
+        let queries = [loop_query(), square_query()];
+        let i = parse_instance("R(a, a). R(a, b). R(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let mut checked = Vec::new();
+        let outcome = broadcast_engine(&broadcast).evaluate_queries(
+            &queries,
+            &i,
+            &mut |p: &ConjunctiveQuery, q: &ConjunctiveQuery| {
+                checked.push((p.clone(), q.clone()));
+                true
+            },
+        );
+        assert_eq!(outcome.transfer_checks, 1);
+        assert_eq!(outcome.elided_reshuffles(), 1);
+        assert_eq!(checked, vec![(queries[0].clone(), queries[1].clone())]);
+        // The elided query's answers match a from-scratch evaluation...
+        assert_eq!(outcome.per_query[1].result, cq::evaluate(&queries[1], &i));
+        // ...yet it shipped zero input facts.
+        assert_eq!(outcome.per_query[1].total_comm_volume(), 0);
+        assert!(outcome.per_query[0].total_comm_volume() > 0);
+    }
+
+    #[test]
+    fn elision_chains_update_the_transfer_anchor() {
+        // Three queries, all transferring: the second check must be asked
+        // about (Q2, Q3), not (Q1, Q3) — the resident anchor advances even
+        // though the shards never move.
+        let queries = [loop_query(), square_query(), loop_query()];
+        let i = parse_instance("R(a, a). R(a, b).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let mut pairs = Vec::new();
+        let outcome = broadcast_engine(&broadcast).evaluate_queries(
+            &queries,
+            &i,
+            &mut |p: &ConjunctiveQuery, q: &ConjunctiveQuery| {
+                pairs.push((p.clone(), q.clone()));
+                true
+            },
+        );
+        assert_eq!(outcome.elided_reshuffles(), 2);
+        assert_eq!(
+            pairs,
+            vec![
+                (queries[0].clone(), queries[1].clone()),
+                (queries[1].clone(), queries[2].clone()),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_transferable_boundaries_reshard_from_scratch() {
+        let queries = [square_query(), loop_query()];
+        let i = parse_instance("R(a, a). R(a, b). R(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let outcome =
+            broadcast_engine(&broadcast).evaluate_queries(&queries, &i, &mut |_, _| false);
+        assert_eq!(outcome.transfer_checks, 1);
+        assert_eq!(outcome.elided_reshuffles(), 0);
+        assert_eq!(outcome.per_query[1].result, cq::evaluate(&queries[1], &i));
+        assert!(
+            outcome.per_query[1].total_comm_volume() > 0,
+            "a refused transfer must re-shard"
+        );
+    }
+
+    #[test]
+    fn reshuffle_always_never_consults_the_oracle() {
+        let queries = [loop_query(), square_query()];
+        let i = parse_instance("R(a, a). R(a, b).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let outcome = broadcast_engine(&broadcast)
+            .reshuffle_always(true)
+            .evaluate_queries(&queries, &i, &mut |_, _| {
+                panic!("the baseline must not check transferability")
+            });
+        assert_eq!(outcome.transfer_checks, 0);
+        assert_eq!(outcome.elided_reshuffles(), 0);
+    }
+
+    #[test]
+    fn unconverged_or_feedback_runs_leave_no_resident_shards() {
+        let queries = [loop_query(), square_query()];
+        let i = parse_instance("R(a, a). R(a, b). R(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        // Round cap 1: query 1 cannot converge, so its shards are an
+        // intermediate state and must not be reused.
+        let capped = MultiRoundEngine::new(RoundSchedule::repeat(&broadcast))
+            .rounds(1)
+            .evaluate_queries(&queries, &i, &mut |_, _| {
+                panic!("no resident shards, no transfer check")
+            });
+        assert_eq!(capped.transfer_checks, 0);
+        // A feedback rewrite renames the resident facts, so they are not
+        // the state either.
+        let feedback = broadcast_engine(&broadcast)
+            .rounds(8)
+            .feedback_into("R")
+            .evaluate_queries(&queries, &i, &mut |_, _| {
+                panic!("no resident shards, no transfer check")
+            });
+        assert_eq!(feedback.transfer_checks, 0);
+        assert_eq!(feedback.elided_reshuffles(), 0);
+    }
+
+    #[test]
+    fn elided_and_resharded_multi_query_runs_agree() {
+        // The elision is an optimization, never a semantics change: for a
+        // transferring sequence, per-query results and final states match
+        // the reshuffle-always baseline in both evaluation modes — while
+        // shipping strictly fewer fact-assignments.
+        let queries = [loop_query(), square_query()];
+        let i = parse_instance("R(a, a). R(a, b). R(b, c). R(c, a).").unwrap();
+        let network = Network::with_size(3);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        for semi in [false, true] {
+            let engine = || broadcast_engine(&broadcast).semi_naive(semi);
+            let elided = engine().evaluate_queries(&queries, &i, &mut |_, _| true);
+            let baseline =
+                engine()
+                    .reshuffle_always(true)
+                    .evaluate_queries(&queries, &i, &mut |_, _| true);
+            assert_eq!(elided.elided_reshuffles(), 1, "semi={semi}");
+            assert_eq!(baseline.elided_reshuffles(), 0);
+            for (e, b) in elided.per_query.iter().zip(&baseline.per_query) {
+                assert_eq!(e.result, b.result, "semi={semi}");
+                assert_eq!(e.final_state, b.final_state, "semi={semi}");
+                assert_eq!(e.converged, b.converged, "semi={semi}");
+            }
+            assert!(
+                elided.total_comm_volume() < baseline.total_comm_volume(),
+                "semi={semi}: elision must ship strictly less"
+            );
+        }
     }
 
     #[test]

@@ -88,9 +88,15 @@ pub struct NodeResult {
 /// `barrier`; callers must not read results before the barrier returns.
 pub trait Transport {
     /// Announces a new round: `query` is what every node will evaluate over
-    /// the chunk it is about to receive.
-    fn begin_round(&mut self, round: usize, query: &ConjunctiveQuery)
-        -> Result<(), TransportError>;
+    /// the chunk it is about to receive, and `options` is how — every node
+    /// must evaluate with exactly these [`EvalOptions`], so a run behaves
+    /// identically whether its nodes live in this process or behind a wire.
+    fn begin_round(
+        &mut self,
+        round: usize,
+        query: &ConjunctiveQuery,
+        options: EvalOptions,
+    ) -> Result<(), TransportError>;
 
     /// Ships `chunk` — the node's portion of `dist_P(I)` — to `node`.
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError>;
@@ -101,6 +107,22 @@ pub trait Transport {
     /// Collects `node`'s local output for the round. Each node's result can
     /// be received exactly once, after the [`Transport::barrier`].
     fn recv_chunk(&mut self, node: Node) -> Result<NodeResult, TransportError>;
+
+    /// Asks `node` to evaluate the round's query over the shard it
+    /// **already holds** — the chunk or accumulated delta state left
+    /// resident by a previous round — shipping zero input facts. This is
+    /// the reshuffle-elision primitive: when parallel correctness
+    /// transfers from the query that produced the resident shards, the new
+    /// query's answer is the union of these per-node results. Replies
+    /// arrive via [`Transport::recv_chunk`] after the barrier.
+    ///
+    /// The default declines: a transport must opt into resident rounds.
+    fn send_resident(&mut self, node: Node) -> Result<(), TransportError> {
+        let _ = node;
+        Err(TransportError::Protocol(
+            "this transport does not evaluate resident shards".to_string(),
+        ))
+    }
 
     /// Ships only the round's **delta** — the facts assigned to `node`
     /// that are new since the previous round — to a node that keeps its
@@ -200,10 +222,16 @@ pub struct InMemoryTransport {
     query: Option<ConjunctiveQuery>,
     pending: Vec<(Node, Instance)>,
     pending_deltas: Vec<(Node, Instance)>,
+    pending_resident: Vec<Node>,
     ready: BTreeMap<Node, NodeResult>,
     /// Persistent per-node incremental state (delta rounds only); cleared
     /// when a delta round numbered 0 begins.
     nodes: BTreeMap<Node, DeltaNode>,
+    /// The last full chunk each node evaluated (chunk rounds only) — the
+    /// node's resident shard, served back by [`Transport::send_resident`]
+    /// rounds. Shared `Arc`s, so a broadcast round pins one instance, not
+    /// one per node.
+    resident: BTreeMap<Node, std::sync::Arc<Instance>>,
     /// Shares one indexed instance between equal chunks (a broadcast round
     /// evaluates the same chunk at every node). Cleared at every
     /// `begin_round`: chunks can only repeat within a round, so holding
@@ -221,20 +249,14 @@ impl InMemoryTransport {
             query: None,
             pending: Vec::new(),
             pending_deltas: Vec::new(),
+            pending_resident: Vec::new(),
             ready: BTreeMap::new(),
             nodes: BTreeMap::new(),
+            resident: BTreeMap::new(),
             cache: IndexCache::default(),
             round: 0,
             eval_options: EvalOptions::default(),
         }
-    }
-
-    /// Sets the evaluation options every node chunk is evaluated with
-    /// (join strategy, ordering, indexing). Defaults to
-    /// [`EvalOptions::default()`].
-    pub fn eval_options(mut self, options: EvalOptions) -> Self {
-        self.eval_options = options;
-        self
     }
 
     /// Index-cache statistics: `(hits, misses)` of the shared chunk cache
@@ -266,6 +288,10 @@ impl InMemoryTransport {
                 } else {
                     std::sync::Arc::new(chunk)
                 };
+                // The chunk becomes the node's resident shard (replacing
+                // any incremental state — a full chunk supersedes it).
+                self.nodes.remove(&node);
+                self.resident.insert(node, shared.clone());
                 (node, shared)
             })
             .collect();
@@ -315,6 +341,41 @@ impl InMemoryTransport {
             })
             .collect()
     }
+
+    /// Evaluates the round's query over each requested node's resident
+    /// shard: the accumulated state of its [`DeltaNode`] if the node last
+    /// ran incremental rounds, else the last full chunk it evaluated, else
+    /// the empty instance (a node that was never shipped anything holds
+    /// nothing).
+    fn drain_resident(&mut self, query: &ConjunctiveQuery) -> Vec<(Node, NodeResult)> {
+        let pending = std::mem::take(&mut self.pending_resident);
+        let empty = Instance::new();
+        let jobs: Vec<(Node, &Instance)> = pending
+            .into_iter()
+            .map(|node| {
+                let shard = self
+                    .nodes
+                    .get(&node)
+                    .map(|state| state.data().full())
+                    .or_else(|| self.resident.get(&node).map(|arc| arc.as_ref()))
+                    .unwrap_or(&empty);
+                (node, shard)
+            })
+            .collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        let options = self.eval_options;
+        drain_pool(&jobs, workers, |(node, shard)| {
+            let start = Instant::now();
+            let output = evaluate_with(query, shard, options);
+            (
+                *node,
+                NodeResult {
+                    output,
+                    eval_time: start.elapsed(),
+                },
+            )
+        })
+    }
 }
 
 impl Transport for InMemoryTransport {
@@ -322,11 +383,14 @@ impl Transport for InMemoryTransport {
         &mut self,
         round: usize,
         query: &ConjunctiveQuery,
+        options: EvalOptions,
     ) -> Result<(), TransportError> {
         self.query = Some(query.clone());
         self.round = round;
+        self.eval_options = options;
         self.pending.clear();
         self.pending_deltas.clear();
+        self.pending_resident.clear();
         self.ready.clear();
         // Chunks can only repeat within one round; drop last round's.
         self.cache.clear();
@@ -335,6 +399,11 @@ impl Transport for InMemoryTransport {
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
         self.pending.push((node, chunk));
+        Ok(())
+    }
+
+    fn send_resident(&mut self, node: Node) -> Result<(), TransportError> {
+        self.pending_resident.push(node);
         Ok(())
     }
 
@@ -358,6 +427,8 @@ impl Transport for InMemoryTransport {
         self.ready.extend(full);
         let incremental = self.drain_deltas(&query);
         self.ready.extend(incremental);
+        let resident = self.drain_resident(&query);
+        self.ready.extend(resident);
         Ok(())
     }
 
@@ -402,7 +473,9 @@ mod tests {
 
         for workers in [1, 3] {
             let mut transport = InMemoryTransport::new(workers);
-            transport.begin_round(0, &q).unwrap();
+            transport
+                .begin_round(0, &q, EvalOptions::default())
+                .unwrap();
             for (node, chunk) in dist.chunks() {
                 transport.send_chunk(node, chunk.clone()).unwrap();
             }
@@ -417,7 +490,9 @@ mod tests {
     #[test]
     fn recv_without_send_reports_unknown_node() {
         let mut transport = InMemoryTransport::new(1);
-        transport.begin_round(0, &two_hop()).unwrap();
+        transport
+            .begin_round(0, &two_hop(), EvalOptions::default())
+            .unwrap();
         transport.barrier().unwrap();
         let node = Node::numbered(9);
         assert!(matches!(
@@ -442,7 +517,9 @@ mod tests {
         let mut transport = InMemoryTransport::new(2);
 
         // Round 0: R only — no joins yet.
-        transport.begin_round(0, &q).unwrap();
+        transport
+            .begin_round(0, &q, EvalOptions::default())
+            .unwrap();
         transport
             .send_delta(node, parse_instance("R(a, b).").unwrap())
             .unwrap();
@@ -451,7 +528,9 @@ mod tests {
 
         // Round 1: the S half arrives; the join closes against the state
         // retained from round 0.
-        transport.begin_round(1, &q).unwrap();
+        transport
+            .begin_round(1, &q, EvalOptions::default())
+            .unwrap();
         transport
             .send_delta(node, parse_instance("S(b, c).").unwrap())
             .unwrap();
@@ -460,7 +539,9 @@ mod tests {
         assert_eq!(result.output, parse_instance("T(a, c).").unwrap());
 
         // Round 2: a re-announced fact derives nothing new.
-        transport.begin_round(2, &q).unwrap();
+        transport
+            .begin_round(2, &q, EvalOptions::default())
+            .unwrap();
         transport
             .send_delta(node, parse_instance("R(a, b).").unwrap())
             .unwrap();
@@ -476,14 +557,18 @@ mod tests {
         for _run in 0..2 {
             // If state leaked between runs, the second run's round-1 output
             // would be empty (T(a, c) already shipped by the first run).
-            transport.begin_round(0, &q).unwrap();
+            transport
+                .begin_round(0, &q, EvalOptions::default())
+                .unwrap();
             transport
                 .send_delta(node, parse_instance("R(a, b).").unwrap())
                 .unwrap();
             transport.barrier().unwrap();
             assert!(transport.recv_delta(node).unwrap().output.is_empty());
 
-            transport.begin_round(1, &q).unwrap();
+            transport
+                .begin_round(1, &q, EvalOptions::default())
+                .unwrap();
             transport
                 .send_delta(node, parse_instance("S(b, c).").unwrap())
                 .unwrap();
@@ -505,7 +590,9 @@ mod tests {
         let policy = ExplicitPolicy::broadcast(&network, &i);
         let dist = policy.distribute(&i);
         let mut transport = InMemoryTransport::new(2);
-        transport.begin_round(0, &q).unwrap();
+        transport
+            .begin_round(0, &q, EvalOptions::default())
+            .unwrap();
         for (node, chunk) in dist.chunks() {
             transport.send_chunk(node, chunk.clone()).unwrap();
         }
@@ -526,7 +613,9 @@ mod tests {
         // be equal, so the transport must not pay to hash or retain them.
         let q = two_hop();
         let mut transport = InMemoryTransport::new(2);
-        transport.begin_round(0, &q).unwrap();
+        transport
+            .begin_round(0, &q, EvalOptions::default())
+            .unwrap();
         transport
             .send_chunk(Node::numbered(0), parse_instance("R(a, b).").unwrap())
             .unwrap();
@@ -554,6 +643,7 @@ mod tests {
                 &mut self,
                 _round: usize,
                 _query: &ConjunctiveQuery,
+                _options: EvalOptions,
             ) -> Result<(), TransportError> {
                 Ok(())
             }
@@ -576,7 +666,89 @@ mod tests {
             t.recv_delta(Node::numbered(0)),
             Err(TransportError::UnknownNode(_))
         ));
+        assert!(matches!(
+            t.send_resident(Node::numbered(0)),
+            Err(TransportError::Protocol(_))
+        ));
         assert_eq!(t.take_bytes_shipped(), 0);
+    }
+
+    #[test]
+    fn resident_rounds_reuse_chunks_from_the_previous_query() {
+        let loop_q = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z), R(y, y).").unwrap();
+        let path_q = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let i = parse_instance("R(a, a). R(a, b). R(b, c).").unwrap();
+        let node = Node::numbered(0);
+        let mut transport = InMemoryTransport::new(2);
+
+        transport
+            .begin_round(0, &loop_q, EvalOptions::default())
+            .unwrap();
+        transport.send_chunk(node, i.clone()).unwrap();
+        transport.barrier().unwrap();
+        let first = transport.recv_chunk(node).unwrap();
+        assert_eq!(first.output, cq::evaluate(&loop_q, &i));
+
+        // The next query runs over the shard the chunk left behind — no
+        // facts travel in this round.
+        transport
+            .begin_round(0, &path_q, EvalOptions::default())
+            .unwrap();
+        transport.send_resident(node).unwrap();
+        transport.barrier().unwrap();
+        let second = transport.recv_chunk(node).unwrap();
+        assert_eq!(second.output, cq::evaluate(&path_q, &i));
+    }
+
+    #[test]
+    fn resident_rounds_prefer_accumulated_delta_state() {
+        let q = two_hop();
+        let node = Node::numbered(0);
+        let mut transport = InMemoryTransport::new(1);
+
+        transport
+            .begin_round(0, &q, EvalOptions::default())
+            .unwrap();
+        transport
+            .send_delta(node, parse_instance("R(a, b).").unwrap())
+            .unwrap();
+        transport.barrier().unwrap();
+        transport.recv_delta(node).unwrap();
+        transport
+            .begin_round(1, &q, EvalOptions::default())
+            .unwrap();
+        transport
+            .send_delta(node, parse_instance("S(b, c).").unwrap())
+            .unwrap();
+        transport.barrier().unwrap();
+        transport.recv_delta(node).unwrap();
+
+        // The resident shard is the full accumulated state, not just the
+        // last delta.
+        transport
+            .begin_round(0, &q, EvalOptions::default())
+            .unwrap();
+        transport.send_resident(node).unwrap();
+        transport.barrier().unwrap();
+        assert_eq!(
+            transport.recv_chunk(node).unwrap().output,
+            parse_instance("T(a, c).").unwrap()
+        );
+    }
+
+    #[test]
+    fn resident_round_on_an_unknown_node_yields_empty_output() {
+        let mut transport = InMemoryTransport::new(1);
+        transport
+            .begin_round(0, &two_hop(), EvalOptions::default())
+            .unwrap();
+        transport.send_resident(Node::numbered(7)).unwrap();
+        transport.barrier().unwrap();
+        assert!(transport
+            .recv_chunk(Node::numbered(7))
+            .unwrap()
+            .output
+            .is_empty());
     }
 
     #[test]
@@ -584,7 +756,9 @@ mod tests {
         // NodeResult intentionally has no PartialEq (durations differ run to
         // run); equality checks go through `.output`.
         let mut transport = InMemoryTransport::new(2);
-        transport.begin_round(0, &two_hop()).unwrap();
+        transport
+            .begin_round(0, &two_hop(), EvalOptions::default())
+            .unwrap();
         transport
             .send_chunk(
                 Node::numbered(0),

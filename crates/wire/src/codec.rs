@@ -27,7 +27,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use cq::{Atom, ConjunctiveQuery, Fact, Instance, Symbol, Value, Variable};
+use cq::{
+    Atom, ConjunctiveQuery, EvalOptions, Fact, Instance, JoinOrdering, JoinStrategy, Symbol, Value,
+    Variable,
+};
 use distribution::{Network, Node};
 
 /// Errors raised while decoding wire data. Corrupted, truncated or
@@ -527,6 +530,57 @@ impl Decode for Network {
     }
 }
 
+impl Encode for EvalOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.byte(match self.ordering {
+            JoinOrdering::Naive => 0,
+            JoinOrdering::CostAware => 1,
+        });
+        enc.bool(self.use_indexes);
+        enc.byte(match self.join_strategy {
+            JoinStrategy::Binary => 0,
+            JoinStrategy::Multiway => 1,
+            JoinStrategy::Auto => 2,
+        });
+        enc.u64(u64::from(self.adaptive_factor));
+    }
+}
+
+impl Decode for EvalOptions {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let ordering = match dec.byte()? {
+            0 => JoinOrdering::Naive,
+            1 => JoinOrdering::CostAware,
+            tag => {
+                return Err(DecodeError::UnknownTag {
+                    context: "JoinOrdering",
+                    tag,
+                })
+            }
+        };
+        let use_indexes = dec.bool()?;
+        let join_strategy = match dec.byte()? {
+            0 => JoinStrategy::Binary,
+            1 => JoinStrategy::Multiway,
+            2 => JoinStrategy::Auto,
+            tag => {
+                return Err(DecodeError::UnknownTag {
+                    context: "JoinStrategy",
+                    tag,
+                })
+            }
+        };
+        let adaptive_factor = u32::try_from(dec.u64()?)
+            .map_err(|_| DecodeError::Invalid("adaptive factor exceeds u32".to_string()))?;
+        Ok(EvalOptions {
+            ordering,
+            use_indexes,
+            join_strategy,
+            adaptive_factor,
+        })
+    }
+}
+
 /// Encodes `value` as a bare codec body (symbol table + payload) without
 /// the frame header; see [`crate::frame::encode_frame`] for framed bytes.
 pub fn encode_body<T: Encode>(value: &T) -> Vec<u8> {
@@ -642,6 +696,64 @@ mod tests {
         body.push(0x00);
         let err = decode_body::<Fact>(&body).unwrap_err();
         assert_eq!(err, DecodeError::TrailingBytes { count: 1 });
+    }
+
+    #[test]
+    fn eval_options_round_trip_every_combination() {
+        for ordering in [JoinOrdering::Naive, JoinOrdering::CostAware] {
+            for use_indexes in [false, true] {
+                for join_strategy in [
+                    JoinStrategy::Binary,
+                    JoinStrategy::Multiway,
+                    JoinStrategy::Auto,
+                ] {
+                    for adaptive_factor in [0, 4, u32::MAX] {
+                        let options = EvalOptions {
+                            ordering,
+                            use_indexes,
+                            join_strategy,
+                            adaptive_factor,
+                        };
+                        let body = encode_body(&options);
+                        assert_eq!(decode_body::<EvalOptions>(&body).unwrap(), options);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_options_reject_unknown_enum_bytes() {
+        // An ordering byte nothing encodes
+        let mut enc = Encoder::new();
+        enc.byte(9);
+        let err = decode_body::<EvalOptions>(&enc.finish()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::UnknownTag {
+                    context: "JoinOrdering",
+                    tag: 9
+                }
+            ),
+            "{err}"
+        );
+        // A strategy byte nothing encodes
+        let mut enc = Encoder::new();
+        enc.byte(0);
+        enc.bool(true);
+        enc.byte(7);
+        let err = decode_body::<EvalOptions>(&enc.finish()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::UnknownTag {
+                    context: "JoinStrategy",
+                    tag: 7
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

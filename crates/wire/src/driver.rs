@@ -42,7 +42,7 @@ use std::process::Child;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cq::{ConjunctiveQuery, Instance};
+use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use distribution::{Node, NodeResult, TransportError};
 
 use crate::frame::{encode_frame, read_frame_counted, write_frame};
@@ -82,11 +82,13 @@ impl Endpoint {
 }
 
 /// One unit of work queued for a worker this round: a full chunk (classic
-/// rounds) or a delta (incremental rounds).
+/// rounds), a delta (incremental rounds), or a resident-shard evaluation
+/// (reshuffle-elided rounds, which ship no input facts at all).
 #[derive(Clone)]
 pub(crate) enum Job {
     Chunk(ChunkBatch),
     Delta(DeltaBatch),
+    Resident { round: u64, node: Node },
 }
 
 impl Job {
@@ -94,6 +96,7 @@ impl Job {
         match self {
             Job::Chunk(batch) => batch.node,
             Job::Delta(batch) => batch.node,
+            Job::Resident { node, .. } => *node,
         }
     }
 
@@ -104,13 +107,28 @@ impl Job {
         match self {
             Job::Chunk(batch) => batch.round,
             Job::Delta(batch) => batch.round,
+            Job::Resident { round, .. } => *round,
         }
     }
 
-    fn encode(&self, query: &ConjunctiveQuery) -> Vec<u8> {
+    fn encode(&self, query: &ConjunctiveQuery, options: EvalOptions) -> Vec<u8> {
         match self {
-            Job::Chunk(batch) => encode_frame(&EvalChunkRef { query, batch }),
-            Job::Delta(batch) => encode_frame(&EvalDeltaRef { query, batch }),
+            Job::Chunk(batch) => encode_frame(&EvalChunkRef {
+                query,
+                options,
+                batch,
+            }),
+            Job::Delta(batch) => encode_frame(&EvalDeltaRef {
+                query,
+                options,
+                batch,
+            }),
+            Job::Resident { round, node } => encode_frame(&Message::EvalResident {
+                round: *round,
+                node: *node,
+                query: query.clone(),
+                options,
+            }),
         }
     }
 }
@@ -188,13 +206,13 @@ fn read_reply(
         Err(e) => return Err(TransportError::Protocol(e.to_string())),
     };
     let (answered_round, answered_node, output, eval_us) = match (job, reply) {
-        (Job::Chunk(_), Message::ChunkResult { batch, eval_us }) => {
+        (Job::Chunk(_) | Job::Resident { .. }, Message::ChunkResult { batch, eval_us }) => {
             (batch.round, batch.node, batch.chunk, eval_us)
         }
         (Job::Delta(_), Message::DeltaResult { batch, eval_us }) => {
             (batch.round, batch.node, batch.delta, eval_us)
         }
-        (Job::Chunk(_), other) => {
+        (Job::Chunk(_) | Job::Resident { .. }, other) => {
             return Err(TransportError::Protocol(format!(
                 "expected a chunk-result, worker sent {}",
                 other.kind()
@@ -234,6 +252,7 @@ fn read_reply(
 pub(crate) fn drive(
     endpoint: &mut Endpoint,
     query: &ConjunctiveQuery,
+    options: EvalOptions,
     barrier_round: u64,
     jobs: &[Job],
     window: usize,
@@ -252,7 +271,7 @@ pub(crate) fn drive(
                     // writing so the thread can be joined.
                     return (sent, None);
                 }
-                let frame = job.encode(query);
+                let frame = job.encode(query, options);
                 sent += frame.len() as u64;
                 if let Err(e) = writer.write_all(&frame).and_then(|()| writer.flush()) {
                     return (
@@ -343,6 +362,7 @@ pub(crate) struct PipelinedCore {
     /// that connected on their own, and for reaped dead workers).
     children: Vec<Option<Child>>,
     query: Option<ConjunctiveQuery>,
+    options: EvalOptions,
     round: u64,
     /// Per-worker job queues for the current round.
     jobs: Vec<Vec<Job>>,
@@ -359,8 +379,10 @@ pub(crate) struct PipelinedCore {
     bytes_shipped: u64,
     window: usize,
     fault_tolerance: bool,
-    /// Every delta shipped per node this run (fault tolerance only): the
-    /// state to re-ship when the node's worker dies.
+    /// Every node's shipped state this run (fault tolerance only): the
+    /// accumulated deltas of an incremental run, or the last full chunk of
+    /// a classic run — what to re-ship when the node's worker dies, and
+    /// what a requeued resident job must fall back to.
     shipped_state: BTreeMap<Node, Instance>,
     /// Nodes whose worker died after they were shipped state; their next
     /// delta becomes a round-0 rebuild on the new worker.
@@ -376,6 +398,7 @@ impl PipelinedCore {
             endpoints: endpoints.into_iter().map(Some).collect(),
             children,
             query: None,
+            options: EvalOptions::default(),
             round: 0,
             jobs: vec![Vec::new(); count],
             worker_for: BTreeMap::new(),
@@ -475,7 +498,9 @@ impl PipelinedCore {
     /// Converts a job that died with its worker into the job to requeue on
     /// a survivor: chunks are stateless and go as-is; a delta's per-node
     /// state is gone, so it becomes a round-0 rebuild carrying the node's
-    /// full shipped state (which already includes this round's delta).
+    /// full shipped state (which already includes this round's delta); a
+    /// resident job's shard likewise died, so it becomes a full chunk
+    /// carrying the ledger copy of that shard.
     fn requeued_job(&mut self, job: Job) -> Job {
         match job {
             Job::Chunk(batch) => Job::Chunk(batch),
@@ -493,6 +518,11 @@ impl PipelinedCore {
                     delta,
                 })
             }
+            Job::Resident { round, node } => {
+                self.needs_rebuild.remove(&node);
+                let chunk = self.shipped_state.get(&node).cloned().unwrap_or_default();
+                Job::Chunk(ChunkBatch { round, node, chunk })
+            }
         }
     }
 
@@ -500,8 +530,10 @@ impl PipelinedCore {
         &mut self,
         round: usize,
         query: &ConjunctiveQuery,
+        options: EvalOptions,
     ) -> Result<(), TransportError> {
         self.query = Some(query.clone());
+        self.options = options;
         self.round = round as u64;
         for queue in &mut self.jobs {
             queue.clear();
@@ -511,11 +543,29 @@ impl PipelinedCore {
     }
 
     pub(crate) fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        if self.fault_tolerance {
+            // A full chunk replaces whatever the node held before — keep
+            // the ledger in step so resident jobs can be rebuilt from it.
+            self.shipped_state.insert(node, chunk.clone());
+            self.needs_rebuild.remove(&node);
+        }
         self.enqueue(Job::Chunk(ChunkBatch {
             round: self.round,
             node,
             chunk,
         }))
+    }
+
+    pub(crate) fn send_resident(&mut self, node: Node) -> Result<(), TransportError> {
+        let round = self.round;
+        if self.fault_tolerance && self.needs_rebuild.remove(&node) {
+            // The worker holding the node's shard died since it was
+            // shipped: re-ship the ledger copy as a full chunk instead of
+            // asking a fresh worker for state it does not have.
+            let chunk = self.shipped_state.get(&node).cloned().unwrap_or_default();
+            return self.enqueue(Job::Chunk(ChunkBatch { round, node, chunk }));
+        }
+        self.enqueue(Job::Resident { round, node })
     }
 
     pub(crate) fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
@@ -557,6 +607,7 @@ impl PipelinedCore {
             .query
             .clone()
             .ok_or_else(|| TransportError::Protocol("barrier before begin_round".to_string()))?;
+        let options = self.options;
         let round = self.round;
         let window = self.window;
         loop {
@@ -577,7 +628,9 @@ impl PipelinedCore {
                     .map(|((i, endpoint), queue)| {
                         let query = &query;
                         let endpoint = endpoint.as_mut().expect("filtered on live endpoints");
-                        scope.spawn(move || (i, drive(endpoint, query, round, queue, window)))
+                        scope.spawn(move || {
+                            (i, drive(endpoint, query, options, round, queue, window))
+                        })
                     })
                     .collect();
                 handles
@@ -689,13 +742,13 @@ mod tests {
         let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
         let mut core = inert_core(3);
 
-        core.begin_round(0, &query).unwrap();
+        core.begin_round(0, &query, EvalOptions::default()).unwrap();
         core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
         core.send_chunk(Node::numbered(1), Instance::new()).unwrap();
         assert_eq!(core.assignment_of(Node::numbered(0)), Some(0));
         assert_eq!(core.assignment_of(Node::numbered(1)), Some(1));
 
-        core.begin_round(1, &query).unwrap();
+        core.begin_round(1, &query, EvalOptions::default()).unwrap();
         core.send_chunk(Node::numbered(2), Instance::new()).unwrap();
         core.send_chunk(Node::numbered(3), Instance::new()).unwrap();
         assert_eq!(
@@ -719,9 +772,9 @@ mod tests {
     fn earlier_assignments_are_sticky() {
         let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
         let mut core = inert_core(2);
-        core.begin_round(0, &query).unwrap();
+        core.begin_round(0, &query, EvalOptions::default()).unwrap();
         core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
-        core.begin_round(1, &query).unwrap();
+        core.begin_round(1, &query, EvalOptions::default()).unwrap();
         core.send_chunk(Node::numbered(0), Instance::new()).unwrap();
         core.send_chunk(Node::numbered(1), Instance::new()).unwrap();
         assert_eq!(core.assignment_of(Node::numbered(0)), Some(0));

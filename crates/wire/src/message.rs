@@ -11,7 +11,7 @@
 //! the `Query`/`Instance`/`Scenario` variants are standalone payloads used
 //! by `pcq-analyze encode`/`decode`.
 
-use cq::{ConjunctiveQuery, Instance};
+use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use distribution::Node;
 
 use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
@@ -94,6 +94,10 @@ pub enum Message {
     EvalChunk {
         /// The query to evaluate locally.
         query: ConjunctiveQuery,
+        /// How to evaluate it (join strategy, ordering, indexing) — the
+        /// worker must honor these exactly, so a wire round behaves
+        /// identically to an in-process one.
+        options: EvalOptions,
         /// The chunk to evaluate it over.
         batch: ChunkBatch,
     },
@@ -122,6 +126,8 @@ pub enum Message {
     EvalDelta {
         /// The query of the incremental run.
         query: ConjunctiveQuery,
+        /// How to evaluate it (see [`Message::EvalChunk`]).
+        options: EvalOptions,
         /// The node's new facts for this round.
         batch: DeltaBatch,
     },
@@ -140,6 +146,21 @@ pub enum Message {
         /// The worker's slot index in the coordinator's pool.
         worker: u64,
     },
+    /// Coordinator → worker: evaluate `query` over the shard the node
+    /// **already holds** (the chunk or accumulated delta state left by a
+    /// previous round), shipping zero input facts — the reshuffle-elision
+    /// round of a multi-query run. The worker answers with an ordinary
+    /// `ChunkResult` carrying its full local output.
+    EvalResident {
+        /// The round the request belongs to.
+        round: u64,
+        /// The node whose resident shard is evaluated.
+        node: Node,
+        /// The query to evaluate over the resident shard.
+        query: ConjunctiveQuery,
+        /// How to evaluate it (see [`Message::EvalChunk`]).
+        options: EvalOptions,
+    },
 }
 
 const TAG_QUERY: u8 = 0;
@@ -153,6 +174,7 @@ const TAG_SHUTDOWN: u8 = 7;
 const TAG_EVAL_DELTA: u8 = 8;
 const TAG_DELTA_RESULT: u8 = 9;
 const TAG_HELLO: u8 = 10;
+const TAG_EVAL_RESIDENT: u8 = 11;
 
 impl Message {
     /// A short human-readable name for the message kind (log lines,
@@ -170,6 +192,7 @@ impl Message {
             Message::EvalDelta { .. } => "eval-delta",
             Message::DeltaResult { .. } => "delta-result",
             Message::Hello { .. } => "hello",
+            Message::EvalResident { .. } => "eval-resident",
         }
     }
 }
@@ -179,6 +202,8 @@ impl Message {
 pub struct EvalDeltaRef<'a> {
     /// The query of the incremental run.
     pub query: &'a ConjunctiveQuery,
+    /// How the worker must evaluate it.
+    pub options: EvalOptions,
     /// The delta (with its round/node routing) to absorb and evaluate.
     pub batch: &'a DeltaBatch,
 }
@@ -187,6 +212,7 @@ impl Encode for EvalDeltaRef<'_> {
     fn encode(&self, enc: &mut Encoder) {
         enc.byte(TAG_EVAL_DELTA);
         self.query.encode(enc);
+        self.options.encode(enc);
         self.batch.encode(enc);
     }
 }
@@ -198,6 +224,8 @@ impl Encode for EvalDeltaRef<'_> {
 pub struct EvalChunkRef<'a> {
     /// The query the worker should evaluate.
     pub query: &'a ConjunctiveQuery,
+    /// How the worker must evaluate it.
+    pub options: EvalOptions,
     /// The chunk (with its round/node routing) to evaluate it over.
     pub batch: &'a ChunkBatch,
 }
@@ -206,6 +234,7 @@ impl Encode for EvalChunkRef<'_> {
     fn encode(&self, enc: &mut Encoder) {
         enc.byte(TAG_EVAL_CHUNK);
         self.query.encode(enc);
+        self.options.encode(enc);
         self.batch.encode(enc);
     }
 }
@@ -225,7 +254,16 @@ impl Encode for Message {
                 enc.byte(TAG_SCENARIO);
                 scenario.encode(enc);
             }
-            Message::EvalChunk { query, batch } => EvalChunkRef { query, batch }.encode(enc),
+            Message::EvalChunk {
+                query,
+                options,
+                batch,
+            } => EvalChunkRef {
+                query,
+                options: *options,
+                batch,
+            }
+            .encode(enc),
             Message::ChunkResult { batch, eval_us } => {
                 enc.byte(TAG_CHUNK_RESULT);
                 batch.encode(enc);
@@ -240,7 +278,16 @@ impl Encode for Message {
                 enc.u64(*round);
             }
             Message::Shutdown => enc.byte(TAG_SHUTDOWN),
-            Message::EvalDelta { query, batch } => EvalDeltaRef { query, batch }.encode(enc),
+            Message::EvalDelta {
+                query,
+                options,
+                batch,
+            } => EvalDeltaRef {
+                query,
+                options: *options,
+                batch,
+            }
+            .encode(enc),
             Message::DeltaResult { batch, eval_us } => {
                 enc.byte(TAG_DELTA_RESULT);
                 batch.encode(enc);
@@ -249,6 +296,18 @@ impl Encode for Message {
             Message::Hello { worker } => {
                 enc.byte(TAG_HELLO);
                 enc.u64(*worker);
+            }
+            Message::EvalResident {
+                round,
+                node,
+                query,
+                options,
+            } => {
+                enc.byte(TAG_EVAL_RESIDENT);
+                enc.u64(*round);
+                node.encode(enc);
+                query.encode(enc);
+                options.encode(enc);
             }
         }
     }
@@ -262,6 +321,7 @@ impl Decode for Message {
             TAG_SCENARIO => Ok(Message::Scenario(Scenario::decode(dec)?)),
             TAG_EVAL_CHUNK => Ok(Message::EvalChunk {
                 query: ConjunctiveQuery::decode(dec)?,
+                options: EvalOptions::decode(dec)?,
                 batch: ChunkBatch::decode(dec)?,
             }),
             TAG_CHUNK_RESULT => Ok(Message::ChunkResult {
@@ -273,6 +333,7 @@ impl Decode for Message {
             TAG_SHUTDOWN => Ok(Message::Shutdown),
             TAG_EVAL_DELTA => Ok(Message::EvalDelta {
                 query: ConjunctiveQuery::decode(dec)?,
+                options: EvalOptions::decode(dec)?,
                 batch: DeltaBatch::decode(dec)?,
             }),
             TAG_DELTA_RESULT => Ok(Message::DeltaResult {
@@ -280,6 +341,12 @@ impl Decode for Message {
                 eval_us: dec.u64()?,
             }),
             TAG_HELLO => Ok(Message::Hello { worker: dec.u64()? }),
+            TAG_EVAL_RESIDENT => Ok(Message::EvalResident {
+                round: dec.u64()?,
+                node: Node::decode(dec)?,
+                query: ConjunctiveQuery::decode(dec)?,
+                options: EvalOptions::decode(dec)?,
+            }),
             tag => Err(DecodeError::UnknownTag {
                 context: "Message",
                 tag,
@@ -308,6 +375,7 @@ mod tests {
             Message::Instance(instance.clone()),
             Message::EvalChunk {
                 query: query.clone(),
+                options: EvalOptions::default(),
                 batch: batch.clone(),
             },
             Message::ChunkResult {
@@ -316,6 +384,10 @@ mod tests {
             },
             Message::EvalDelta {
                 query: query.clone(),
+                options: EvalOptions {
+                    join_strategy: cq::JoinStrategy::Multiway,
+                    ..EvalOptions::default()
+                },
                 batch: DeltaBatch {
                     round: 4,
                     node: Node::numbered(2),
@@ -334,6 +406,16 @@ mod tests {
             Message::BarrierAck { round: 7 },
             Message::Shutdown,
             Message::Hello { worker: 3 },
+            Message::EvalResident {
+                round: 0,
+                node: Node::numbered(4),
+                query: query.clone(),
+                options: EvalOptions {
+                    ordering: cq::JoinOrdering::Naive,
+                    use_indexes: false,
+                    ..EvalOptions::default()
+                },
+            },
         ];
         for message in &messages {
             let frame = encode_frame(message);
@@ -350,11 +432,20 @@ mod tests {
             node: Node::numbered(3),
             chunk: parse_instance("R(a, b). R(b, c).").unwrap(),
         };
+        let options = EvalOptions {
+            join_strategy: cq::JoinStrategy::Multiway,
+            ..EvalOptions::default()
+        };
         let borrowed = encode_frame(&EvalChunkRef {
             query: &query,
+            options,
             batch: &batch,
         });
-        let owned = encode_frame(&Message::EvalChunk { query, batch });
+        let owned = encode_frame(&Message::EvalChunk {
+            query,
+            options,
+            batch,
+        });
         assert_eq!(borrowed, owned);
     }
 
@@ -366,11 +457,17 @@ mod tests {
             node: Node::numbered(1),
             delta: parse_instance("R(a, b).").unwrap(),
         };
+        let options = EvalOptions::default();
         let borrowed = encode_frame(&EvalDeltaRef {
             query: &query,
+            options,
             batch: &batch,
         });
-        let owned = encode_frame(&Message::EvalDelta { query, batch });
+        let owned = encode_frame(&Message::EvalDelta {
+            query,
+            options,
+            batch,
+        });
         assert_eq!(borrowed, owned);
     }
 

@@ -35,7 +35,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
-use cq::{ConjunctiveQuery, Instance};
+use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use delta::DeltaNode;
 use distribution::{Node, NodeResult, Transport, TransportError};
 
@@ -143,12 +143,17 @@ impl Transport for ProcessTransport {
         &mut self,
         round: usize,
         query: &ConjunctiveQuery,
+        options: EvalOptions,
     ) -> Result<(), TransportError> {
-        self.core.begin_round(round, query)
+        self.core.begin_round(round, query, options)
     }
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
         self.core.send_chunk(node, chunk)
+    }
+
+    fn send_resident(&mut self, node: Node) -> Result<(), TransportError> {
+        self.core.send_resident(node)
     }
 
     fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
@@ -177,12 +182,16 @@ impl Transport for ProcessTransport {
 }
 
 /// The worker side of the protocol: reads [`Message`] frames from `input`,
-/// evaluates `EvalChunk`s statelessly and `EvalDelta`s against persistent
-/// per-node [`DeltaNode`] state (an `EvalDelta` for round 0 resets its
-/// node — the coordinator ships every node a round-0 delta, so one worker
-/// process can serve several incremental runs), acknowledges `Barrier`s,
-/// and exits on `Shutdown` or a clean EOF. Returns an error message on
-/// protocol or I/O failure (the CLI maps it to a non-zero exit).
+/// evaluates `EvalChunk`s with the frame's [`EvalOptions`] (retaining each
+/// node's chunk as its **resident shard**), `EvalDelta`s against
+/// persistent per-node [`DeltaNode`] state (an `EvalDelta` for round 0
+/// resets its node — the coordinator ships every node a round-0 delta, so
+/// one worker process can serve several incremental runs), and
+/// `EvalResident`s over whichever shard the node already holds (delta
+/// state first, else the retained chunk, else nothing) without receiving
+/// any facts; acknowledges `Barrier`s, and exits on `Shutdown` or a clean
+/// EOF. Returns an error message on protocol or I/O failure (the CLI maps
+/// it to a non-zero exit).
 pub fn run_worker(input: impl Read, output: impl Write) -> Result<(), String> {
     run_worker_with_fault(input, output, None)
 }
@@ -202,6 +211,9 @@ pub fn run_worker_with_fault(
     let mut input = BufReader::new(input);
     let mut output = BufWriter::new(output);
     let mut nodes: BTreeMap<Node, DeltaNode> = BTreeMap::new();
+    // Each node's last full chunk — its resident shard, evaluated in place
+    // by `EvalResident` requests without re-shipping any facts.
+    let mut resident: BTreeMap<Node, Instance> = BTreeMap::new();
     let mut evals_seen = 0u64;
     let mut note_eval = || -> Result<(), String> {
         evals_seen += 1;
@@ -215,10 +227,14 @@ pub fn run_worker_with_fault(
     loop {
         match read_frame::<Message>(&mut input) {
             Ok(None) | Ok(Some(Message::Shutdown)) => return Ok(()),
-            Ok(Some(Message::EvalChunk { query, batch })) => {
+            Ok(Some(Message::EvalChunk {
+                query,
+                options,
+                batch,
+            })) => {
                 note_eval()?;
                 let start = Instant::now();
-                let local = cq::evaluate(&query, &batch.chunk);
+                let local = cq::evaluate_with(&query, &batch.chunk, options);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let reply = Message::ChunkResult {
                     batch: ChunkBatch {
@@ -228,22 +244,57 @@ pub fn run_worker_with_fault(
                     },
                     eval_us,
                 };
+                // The chunk becomes the node's resident shard (a full chunk
+                // supersedes any incremental state).
+                nodes.remove(&batch.node);
+                resident.insert(batch.node, batch.chunk);
                 write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
             }
-            Ok(Some(Message::EvalDelta { query, batch })) => {
+            Ok(Some(Message::EvalDelta {
+                query,
+                options,
+                batch,
+            })) => {
                 note_eval()?;
                 if batch.round == 0 {
                     nodes.insert(batch.node, DeltaNode::new());
+                    resident.remove(&batch.node);
                 }
                 let state = nodes.entry(batch.node).or_default();
                 let start = Instant::now();
-                let fresh = state.step(&query, &batch.delta);
+                let fresh = state.step_with(&query, &batch.delta, options);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let reply = Message::DeltaResult {
                     batch: DeltaBatch {
                         round: batch.round,
                         node: batch.node,
                         delta: fresh,
+                    },
+                    eval_us,
+                };
+                write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
+            }
+            Ok(Some(Message::EvalResident {
+                round,
+                node,
+                query,
+                options,
+            })) => {
+                note_eval()?;
+                let empty = Instance::new();
+                let shard = nodes
+                    .get(&node)
+                    .map(|state| state.data().full())
+                    .or_else(|| resident.get(&node))
+                    .unwrap_or(&empty);
+                let start = Instant::now();
+                let local = cq::evaluate_with(&query, shard, options);
+                let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let reply = Message::ChunkResult {
+                    batch: ChunkBatch {
+                        round,
+                        node,
+                        chunk: local,
                     },
                     eval_us,
                 };
@@ -299,6 +350,7 @@ mod tests {
         let replies = worker_script(&[
             Message::EvalChunk {
                 query: query.clone(),
+                options: EvalOptions::default(),
                 batch: ChunkBatch {
                     round: 0,
                     node: Node::numbered(0),
@@ -326,6 +378,7 @@ mod tests {
         let node = Node::numbered(0);
         let delta = |round, text: &str| Message::EvalDelta {
             query: query.clone(),
+            options: EvalOptions::default(),
             batch: DeltaBatch {
                 round,
                 node,
@@ -359,6 +412,125 @@ mod tests {
     }
 
     #[test]
+    fn worker_evaluates_resident_shards_without_receiving_facts() {
+        let loop_q = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z), R(y, y).").unwrap();
+        let path_q = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
+        let node = Node::numbered(0);
+        let chunk = cq::parse_instance("R(a, a). R(a, b).").unwrap();
+        let replies = worker_script(&[
+            Message::EvalChunk {
+                query: loop_q,
+                options: EvalOptions::default(),
+                batch: ChunkBatch {
+                    round: 0,
+                    node,
+                    chunk: chunk.clone(),
+                },
+            },
+            // A different query over the shard the chunk left behind —
+            // no facts travel with this request.
+            Message::EvalResident {
+                round: 0,
+                node,
+                query: path_q.clone(),
+                options: EvalOptions::default(),
+            },
+            // A node never shipped anything holds the empty shard.
+            Message::EvalResident {
+                round: 0,
+                node: Node::numbered(9),
+                query: path_q.clone(),
+                options: EvalOptions::default(),
+            },
+            Message::Shutdown,
+        ])
+        .unwrap();
+        assert_eq!(replies.len(), 3);
+        match &replies[1] {
+            Message::ChunkResult { batch, .. } => {
+                assert_eq!(batch.node, node);
+                assert_eq!(batch.chunk, cq::evaluate(&path_q, &chunk));
+            }
+            other => panic!("expected a chunk-result, got {}", other.kind()),
+        }
+        match &replies[2] {
+            Message::ChunkResult { batch, .. } => {
+                assert_eq!(batch.node, Node::numbered(9));
+                assert!(batch.chunk.is_empty(), "unknown node must answer empty");
+            }
+            other => panic!("expected a chunk-result, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn resident_requests_prefer_accumulated_delta_state() {
+        let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), S(y, z).").unwrap();
+        let node = Node::numbered(0);
+        let delta = |round, text: &str| Message::EvalDelta {
+            query: query.clone(),
+            options: EvalOptions::default(),
+            batch: DeltaBatch {
+                round,
+                node,
+                delta: cq::parse_instance(text).unwrap(),
+            },
+        };
+        let replies = worker_script(&[
+            delta(0, "R(a, b)."),
+            delta(1, "S(b, c)."),
+            Message::EvalResident {
+                round: 0,
+                node,
+                query: query.clone(),
+                options: EvalOptions::default(),
+            },
+            Message::Shutdown,
+        ])
+        .unwrap();
+        match replies.last().unwrap() {
+            Message::ChunkResult { batch, .. } => {
+                // The shard is the accumulated R+S state, so the join closes.
+                assert_eq!(batch.chunk, cq::parse_instance("T(a, c).").unwrap());
+            }
+            other => panic!("expected a chunk-result, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn worker_honors_shipped_eval_options() {
+        // A chunk evaluated with multiway vs binary strategies must agree —
+        // and both must actually run (regression for the wire transports
+        // silently dropping eval options).
+        let query = ConjunctiveQuery::parse("T(x, y, z) :- R(x, y), S(y, z), U(z, x).").unwrap();
+        let chunk = cq::parse_instance("R(a, b). S(b, c). U(c, a). R(b, c).").unwrap();
+        let mut outputs = Vec::new();
+        for strategy in [cq::JoinStrategy::Binary, cq::JoinStrategy::Multiway] {
+            let replies = worker_script(&[
+                Message::EvalChunk {
+                    query: query.clone(),
+                    options: EvalOptions {
+                        join_strategy: strategy,
+                        ..EvalOptions::default()
+                    },
+                    batch: ChunkBatch {
+                        round: 0,
+                        node: Node::numbered(0),
+                        chunk: chunk.clone(),
+                    },
+                },
+                Message::Shutdown,
+            ])
+            .unwrap();
+            match &replies[0] {
+                Message::ChunkResult { batch, .. } => outputs.push(batch.chunk.clone()),
+                other => panic!("expected a chunk-result, got {}", other.kind()),
+            }
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], cq::evaluate(&query, &chunk));
+    }
+
+    #[test]
     fn worker_exits_cleanly_on_eof() {
         assert_eq!(worker_script(&[]), Ok(vec![]));
     }
@@ -379,6 +551,7 @@ mod tests {
         let query = ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap();
         let eval = |node| Message::EvalChunk {
             query: query.clone(),
+            options: EvalOptions::default(),
             batch: ChunkBatch {
                 round: 0,
                 node: Node::numbered(node),

@@ -10,6 +10,7 @@
 //! ```text
 //! scenario := stanza*
 //! stanza   := "query" QUERY                       # cq query, ends at '.'
+//!           | "queries" "{" QUERY+ "}"            # a query sequence
 //!           | "instance" "{" FACT* "}"            # cq instance syntax
 //!           | "policy" "{" entry* "}"             # explicit per-fact policy
 //!           | "schedule" policy ("," policy)*     # one entry per round
@@ -28,10 +29,13 @@
 //!           | "{" IDENT+ "}"                      # explicitly named nodes
 //! ```
 //!
-//! `query`, `instance` and `schedule` are required, each stanza at most
-//! once; `rounds` defaults to 1 and `feedback` to none. The schedule's
-//! last policy repeats past the end, exactly like
-//! [`distribution::RoundSchedule`].
+//! Exactly one of `query` / `queries` is required (the former is sugar for
+//! a one-element sequence; a multi-query scenario runs its queries in
+//! order, eliding reshuffles at transferable boundaries — see
+//! `MultiRoundEngine::evaluate_queries`), along with `instance` and
+//! `schedule`; each stanza appears at most once, `rounds` defaults to 1
+//! and `feedback` to none. The schedule's last policy repeats past the
+//! end, exactly like [`distribution::RoundSchedule`].
 //!
 //! The `policy` stanza is the scenario form of the `pc` policy-file format
 //! ("one line per node, an optional `default:` line assigns unlisted
@@ -328,8 +332,12 @@ impl fmt::Display for PolicySpec {
 /// needs, in one parseable, printable, binary-encodable value.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Scenario {
-    /// The conjunctive query to evaluate.
-    pub query: ConjunctiveQuery,
+    /// The conjunctive queries to evaluate, in order (non-empty). A
+    /// one-element sequence is the classic single-query scenario; longer
+    /// sequences run under the multi-query engine, which checks
+    /// transferability between consecutive queries and elides the
+    /// reshuffle where it holds.
+    pub queries: Vec<ConjunctiveQuery>,
     /// The initial database instance.
     pub instance: Instance,
     /// The explicit per-fact policy stanza, if the file has one (required
@@ -351,8 +359,18 @@ impl Scenario {
         Parser::new(text).scenario()
     }
 
+    /// The scenario's first (for most scenarios: only) query. The sequence
+    /// is non-empty by construction — both the parser and the binary
+    /// decoder reject empty `queries`.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.queries[0]
+    }
+
     /// Builds the concrete per-round policies of the schedule. `explicit`
-    /// entries are built from the scenario's policy stanza.
+    /// entries are built from the scenario's policy stanza; query-derived
+    /// policies (hash, hypercube) are shaped by the **first** query — in a
+    /// multi-query scenario later queries either run on the shards that
+    /// policy placed (elision) or re-shard under it.
     pub fn build_schedule(&self) -> Result<Vec<Box<dyn DistributionPolicy>>, String> {
         self.schedule
             .iter()
@@ -366,7 +384,7 @@ impl Scenario {
                                 .to_string()
                         })
                         .and_then(ExplicitSpec::build),
-                    other => other.build(&self.query, &self.instance),
+                    other => other.build(self.query(), &self.instance),
                 }
                 .map_err(|e| format!("schedule entry '{spec}': {e}"))
             })
@@ -377,7 +395,16 @@ impl Scenario {
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "% pcq scenario")?;
-        writeln!(f, "query {}", self.query)?;
+        match self.queries.as_slice() {
+            [query] => writeln!(f, "query {query}")?,
+            queries => {
+                writeln!(f, "queries {{")?;
+                for query in queries {
+                    writeln!(f, "  {query}")?;
+                }
+                writeln!(f, "}}")?;
+            }
+        }
         writeln!(f, "instance {{")?;
         for fact in self.instance.facts() {
             writeln!(f, "  {fact}.")?;
@@ -404,7 +431,10 @@ impl fmt::Display for Scenario {
 
 impl Encode for Scenario {
     fn encode(&self, enc: &mut Encoder) {
-        self.query.encode(enc);
+        enc.usize(self.queries.len());
+        for query in &self.queries {
+            query.encode(enc);
+        }
         self.instance.encode(enc);
         self.policy.encode(enc);
         enc.usize(self.schedule.len());
@@ -418,7 +448,14 @@ impl Encode for Scenario {
 
 impl Decode for Scenario {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        let query = ConjunctiveQuery::decode(dec)?;
+        let count = dec.usize()?;
+        if count == 0 {
+            return Err(DecodeError::Invalid("scenario has no queries".to_string()));
+        }
+        let mut queries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            queries.push(ConjunctiveQuery::decode(dec)?);
+        }
         let instance = Instance::decode(dec)?;
         let policy = Option::<ExplicitSpec>::decode(dec)?;
         let schedule = Vec::<PolicySpec>::decode(dec)?;
@@ -438,7 +475,7 @@ impl Decode for Scenario {
         }
         let feedback = Option::<Symbol>::decode(dec)?;
         Ok(Scenario {
-            query,
+            queries,
             instance,
             policy,
             schedule,
@@ -840,7 +877,7 @@ impl<'a> Parser<'a> {
     }
 
     fn scenario(&mut self) -> Result<Scenario, ScenarioError> {
-        let mut query: Option<ConjunctiveQuery> = None;
+        let mut queries: Option<Vec<ConjunctiveQuery>> = None;
         let mut instance: Option<Instance> = None;
         let mut policy: Option<ExplicitSpec> = None;
         let mut schedule: Option<Vec<PolicySpec>> = None;
@@ -859,15 +896,45 @@ impl<'a> Parser<'a> {
             };
             match keyword {
                 "query" => {
-                    if query.is_some() {
+                    if queries.is_some() {
                         return Err(duplicate(self));
                     }
                     // A query ends at its first '.', which cannot occur in
                     // an identifier — capture through it and let cq parse.
-                    query = Some(self.delegate(b'.', "query", |text| {
+                    queries = Some(vec![self.delegate(b'.', "query", |text| {
                         ConjunctiveQuery::parse(&format!("{text}."))
                             .map_err(|e| format!("in query stanza: {e}"))
-                    })?);
+                    })?]);
+                }
+                "queries" => {
+                    if queries.is_some() {
+                        return Err(duplicate(self));
+                    }
+                    self.skip_ws();
+                    self.expect(b'{')?;
+                    let mut sequence = Vec::new();
+                    loop {
+                        self.skip_ws();
+                        if self.eat(b'}') {
+                            break;
+                        }
+                        if self.pos == self.input.len() {
+                            return Err(
+                                self.error("unterminated queries stanza: expected '}'")
+                            );
+                        }
+                        sequence.push(self.delegate(b'.', "query", |text| {
+                            ConjunctiveQuery::parse(&format!("{text}."))
+                                .map_err(|e| format!("in queries stanza: {e}"))
+                        })?);
+                    }
+                    if sequence.is_empty() {
+                        return Err(ScenarioError {
+                            position: keyword_at,
+                            message: "the queries stanza lists no queries".to_string(),
+                        });
+                    }
+                    queries = Some(sequence);
                 }
                 "instance" => {
                     if instance.is_some() {
@@ -928,13 +995,13 @@ impl<'a> Parser<'a> {
                     return Err(ScenarioError {
                         position: keyword_at,
                         message: format!(
-                            "unknown stanza '{other}' (expected query, instance, policy, schedule, rounds or feedback)"
+                            "unknown stanza '{other}' (expected query, queries, instance, policy, schedule, rounds or feedback)"
                         ),
                     })
                 }
             }
         }
-        let query = query.ok_or(ScenarioError {
+        let queries = queries.ok_or(ScenarioError {
             position: self.input.len(),
             message: "scenario has no 'query' stanza".to_string(),
         })?;
@@ -954,7 +1021,7 @@ impl<'a> Parser<'a> {
             });
         }
         Ok(Scenario {
-            query,
+            queries,
             instance,
             policy,
             schedule,
@@ -970,7 +1037,7 @@ mod tests {
 
     fn sample() -> Scenario {
         Scenario {
-            query: ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
+            queries: vec![ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap()],
             instance: cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap(),
             policy: None,
             schedule: vec![
@@ -990,7 +1057,7 @@ mod tests {
         );
         assignments.insert(Symbol::new("n1"), cq::parse_instance("R(b, c).").unwrap());
         Scenario {
-            query: ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
+            queries: vec![ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap()],
             instance: cq::parse_instance("R(a, b). R(b, c). R(c, d).").unwrap(),
             policy: Some(ExplicitSpec {
                 assignments,
@@ -1002,12 +1069,88 @@ mod tests {
         }
     }
 
+    fn sample_multi() -> Scenario {
+        Scenario {
+            queries: vec![
+                ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z), R(y, y).").unwrap(),
+                ConjunctiveQuery::parse("T(x, z) :- R(x, y), R(y, z).").unwrap(),
+            ],
+            instance: cq::parse_instance("R(a, a). R(a, b). R(b, c).").unwrap(),
+            policy: None,
+            schedule: vec![PolicySpec::Broadcast(NetworkSpec::Size(2))],
+            rounds: 4,
+            feedback: None,
+        }
+    }
+
     #[test]
     fn pretty_printed_scenarios_re_parse_to_equal_values() {
-        let s = sample();
-        let text = s.to_string();
-        let back = Scenario::parse(&text).unwrap();
-        assert_eq!(back, s, "pretty-printer output:\n{text}");
+        for s in [sample(), sample_multi()] {
+            let text = s.to_string();
+            let back = Scenario::parse(&text).unwrap();
+            assert_eq!(back, s, "pretty-printer output:\n{text}");
+        }
+    }
+
+    #[test]
+    fn multi_query_scenarios_parse_print_and_encode() {
+        let text = "
+            % two-hop after the loop query: PC transfers, the reshuffle
+            % can be elided
+            queries {
+              T(x, z) :- R(x, y), R(y, z), R(y, y).
+              T(x, z) :- R(x, y), R(y, z).
+            }
+            instance { R(a, a). R(a, b). R(b, c). }
+            schedule broadcast(2)
+            rounds 4
+        ";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s, sample_multi());
+        assert_eq!(s.queries.len(), 2);
+        assert_eq!(s.query(), &s.queries[0]);
+        // printer output uses the block form and re-parses exactly
+        let printed = s.to_string();
+        assert!(printed.contains("queries {"), "{printed}");
+        assert_eq!(Scenario::parse(&printed).unwrap(), s);
+        // and the binary codec agrees
+        let bytes = crate::frame::encode_frame(&s);
+        assert_eq!(crate::frame::decode_frame::<Scenario>(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn single_query_scenarios_keep_the_query_stanza_form() {
+        // Backward compatibility: one query prints as `query …`, never as
+        // a one-element block.
+        let printed = sample().to_string();
+        assert!(printed.contains("query T("), "{printed}");
+        assert!(!printed.contains("queries {"), "{printed}");
+    }
+
+    #[test]
+    fn malformed_query_sequences_are_rejected() {
+        let tail = "instance { R(a). }\nschedule hash(2)";
+        for (text, needle) in [
+            (format!("queries {{ }}\n{tail}"), "lists no queries"),
+            (
+                "queries { T(x) :- R(x). T(y) :- R(y).".to_string(),
+                "unterminated queries stanza",
+            ),
+            (
+                format!("query T(x) :- R(x).\nqueries {{ T(x) :- R(x). }}\n{tail}"),
+                "duplicate",
+            ),
+            (
+                format!("queries {{ T(x) :- R(x). }}\nquery T(x) :- R(x).\n{tail}"),
+                "duplicate",
+            ),
+        ] {
+            let err = Scenario::parse(&text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?} gave {err} (wanted {needle:?})"
+            );
+        }
     }
 
     #[test]
@@ -1108,9 +1251,9 @@ mod tests {
         assert_eq!(policies[1].network().len(), 2);
         assert_eq!(policies[2].network().len(), 4);
         // a broadcast round is parallel-correct: one round must match
-        let outcome =
-            distribution::OneRoundEngine::new(policies[0].as_ref()).evaluate(&s.query, &s.instance);
-        assert_eq!(outcome.result, cq::evaluate(&s.query, &s.instance));
+        let outcome = distribution::OneRoundEngine::new(policies[0].as_ref())
+            .evaluate(s.query(), &s.instance);
+        assert_eq!(outcome.result, cq::evaluate(s.query(), &s.instance));
     }
 
     #[test]
@@ -1177,9 +1320,9 @@ mod tests {
         assert_eq!(spec.default.len(), 2);
         // Example 3.5: the policy is parallel-correct for the loop query.
         let policies = s.build_schedule().unwrap();
-        let outcome =
-            distribution::OneRoundEngine::new(policies[0].as_ref()).evaluate(&s.query, &s.instance);
-        assert_eq!(outcome.result, cq::evaluate(&s.query, &s.instance));
+        let outcome = distribution::OneRoundEngine::new(policies[0].as_ref())
+            .evaluate(s.query(), &s.instance);
+        assert_eq!(outcome.result, cq::evaluate(s.query(), &s.instance));
         // and the whole thing round-trips
         assert_eq!(Scenario::parse(&s.to_string()).unwrap(), s);
     }

@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
-use cq::{ConjunctiveQuery, Instance};
+use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use distribution::{Node, NodeResult, Transport, TransportError};
 
 use crate::driver::{Endpoint, PipelinedCore};
@@ -275,8 +275,9 @@ impl Transport for SocketTransport {
         &mut self,
         round: usize,
         query: &ConjunctiveQuery,
+        options: EvalOptions,
     ) -> Result<(), TransportError> {
-        self.core.begin_round(round, query)
+        self.core.begin_round(round, query, options)
     }
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
@@ -285,6 +286,10 @@ impl Transport for SocketTransport {
 
     fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
         self.core.send_delta(node, delta)
+    }
+
+    fn send_resident(&mut self, node: Node) -> Result<(), TransportError> {
+        self.core.send_resident(node)
     }
 
     fn barrier(&mut self) -> Result<(), TransportError> {

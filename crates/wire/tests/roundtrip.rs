@@ -103,7 +103,7 @@ fn explicit_spec_strategy() -> impl Strategy<Value = ExplicitSpec> {
 
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
-        query_strategy(),
+        proptest::collection::vec(query_strategy(), 1..4),
         instance_strategy(),
         proptest::collection::vec(policy_spec_strategy(), 1..4),
         1..9usize,
@@ -113,7 +113,7 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         (0..3usize, explicit_spec_strategy()),
     )
         .prop_map(
-            |(query, instance, mut schedule, rounds, feedback, (policy_mode, spec))| {
+            |(queries, instance, mut schedule, rounds, feedback, (policy_mode, spec))| {
                 let policy = (policy_mode > 0).then_some(spec);
                 // an `explicit` schedule entry is only well-formed alongside
                 // a policy stanza
@@ -124,8 +124,8 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                     // feedback must be a relation the printer/parser can
                     // round-trip; any body relation name works (the parser
                     // does not re-validate against the query, the CLI does).
-                    feedback: (feedback == 1).then(|| query.body()[0].relation),
-                    query,
+                    feedback: (feedback == 1).then(|| queries[0].body()[0].relation),
+                    queries,
                     instance,
                     policy,
                     schedule,
@@ -220,7 +220,8 @@ proptest! {
         // stays in range — a structurally valid other message) without
         // panicking or over-allocating.
         let batch = ChunkBatch { round: 0, node: Node::numbered(0), chunk: instance };
-        let mut framed = encode_frame(&Message::EvalChunk { query, batch });
+        let options = cq::EvalOptions::default();
+        let mut framed = encode_frame(&Message::EvalChunk { query, options, batch });
         let at = byte % framed.len();
         framed[at] ^= flip;
         let _ = decode_frame::<Message>(&framed);

@@ -112,6 +112,14 @@ pub fn named_instance(spec: &str, schema: &Schema) -> Result<Instance, String> {
                 "instance spec '{spec}': domain size must be at least 1"
             ));
         }
+        // Zero facts used to slip through and blow up downstream consumers
+        // that assume a generated workload is non-empty; reject it at parse
+        // time with the other arity/range errors instead.
+        if facts == 0 {
+            return Err(format!(
+                "instance spec '{spec}': facts per relation must be at least 1"
+            ));
+        }
         Ok(InstanceParams {
             domain_size: domain as usize,
             facts_per_relation: facts as usize,
@@ -231,8 +239,10 @@ mod tests {
             "random",
             "random:5",
             "random:0:20",
+            "random:5:0",
             "random:5:20:1:9",
             "zipf:5:20",
+            "zipf:5:0:150",
             "random:x:20",
             "uniform:5:20",
         ] {

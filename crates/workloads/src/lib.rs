@@ -22,6 +22,7 @@ pub use instances::{
 pub use policies::{random_explicit_policy, PolicyParams};
 pub use queries::{
     chain_query, chordal4_query, clique4_query, cycle_query, example_3_5_query, named_query,
-    random_query, star_query, triangle_query, QueryParams,
+    named_query_sequence, query_sequence_names, random_query, star_query, triangle_query,
+    QueryParams,
 };
 pub use schedules::{hash_join_policy, named_schedule, total_broadcast_policy};

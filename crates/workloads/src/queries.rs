@@ -124,6 +124,52 @@ pub fn named_query(spec: &str) -> Result<ConjunctiveQuery, String> {
     }
 }
 
+/// The names [`named_query_sequence`] resolves, for enumeration by the CLI
+/// and the differential suites.
+pub fn query_sequence_names() -> [&'static str; 3] {
+    ["relax", "projections", "selfloop"]
+}
+
+/// Resolves a named **multi-query workload**: a sequence of conjunctive
+/// queries run back to back over one instance by the multi-query engine
+/// (`MultiRoundEngine::evaluate_queries`), which checks at each boundary
+/// whether parallel correctness transfers (paper §4) and elides the
+/// reshuffle where it does.
+///
+/// Every family deliberately mixes both kinds of boundary:
+///
+/// * `relax` — loop query, then its relaxation, then the loop again:
+///   dropping the `R(y, y)` constraint transfers (elide), re-adding it
+///   does not (re-shard).
+/// * `projections` — a two-hop join, a projection of it (transfers), then
+///   a three-hop extension over a fresh relation (does not).
+/// * `selfloop` — the identity copy of `R`, then its self-loop restriction
+///   (transfers).
+pub fn named_query_sequence(spec: &str) -> Result<Vec<ConjunctiveQuery>, String> {
+    let parse = |texts: &[&str]| -> Vec<ConjunctiveQuery> {
+        texts
+            .iter()
+            .map(|t| ConjunctiveQuery::parse(t).expect("workload sequences are well-formed"))
+            .collect()
+    };
+    match spec {
+        "relax" => Ok(parse(&[
+            "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+            "T(x, z) :- R(x, y), R(y, z).",
+            "T(x, z) :- R(x, y), R(y, z), R(y, y).",
+        ])),
+        "projections" => Ok(parse(&[
+            "T(x, y, z) :- R(x, y), S(y, z).",
+            "U(x, y) :- R(x, y).",
+            "U(x, y, z, w) :- R(x, y), S(y, z), V(z, w).",
+        ])),
+        "selfloop" => Ok(parse(&["T(x, y) :- R(x, y).", "U(x) :- R(x, x)."])),
+        other => Err(format!(
+            "unknown query sequence '{other}' (expected relax, projections or selfloop)"
+        )),
+    }
+}
+
 /// Shape parameters for random conjunctive queries.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryParams {
@@ -219,6 +265,46 @@ mod tests {
         assert_eq!(named_query("clique4").unwrap(), clique4_query());
         for bad in ["chain", "chain:0", "chain:x", "cycle:1", "nope", "star:0"] {
             assert!(named_query(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn named_query_sequences_resolve_and_share_a_schema() {
+        for name in query_sequence_names() {
+            let queries = named_query_sequence(name).unwrap();
+            assert!(queries.len() >= 2, "{name} must be a real sequence");
+            // every query's body must be readable from the first query's
+            // input relations or fresh relations — the multi-query engine
+            // runs them over one shared instance
+            for q in &queries {
+                assert!(q.body_size() >= 1);
+            }
+        }
+        assert!(named_query_sequence("nope").is_err());
+    }
+
+    #[test]
+    fn query_sequences_mix_transfer_verdicts() {
+        // The multi-query workloads exist to exercise both elision
+        // (transfer holds) and re-sharding (it fails); pin each family's
+        // boundary verdicts so a workload edit cannot silently turn the
+        // mixed families into all-elide or all-reshard ones.
+        let expected: [(&str, &[bool]); 3] = [
+            ("relax", &[true, false]),
+            ("projections", &[true, false]),
+            ("selfloop", &[true]),
+        ];
+        let mut cache = pc_core::TransferCache::new();
+        for (name, verdicts) in expected {
+            let queries = named_query_sequence(name).unwrap();
+            assert_eq!(queries.len(), verdicts.len() + 1, "{name}");
+            for (i, &verdict) in verdicts.iter().enumerate() {
+                assert_eq!(
+                    cache.transfers(&queries[i], &queries[i + 1]),
+                    verdict,
+                    "{name}: boundary {i}"
+                );
+            }
         }
     }
 

@@ -48,7 +48,7 @@ fn main() {
     if let Some(feedback) = scenario.feedback {
         engine = engine.feedback_into(feedback.as_str());
     }
-    let outcome = engine.evaluate(&scenario.query, &scenario.instance);
+    let outcome = engine.evaluate(scenario.query(), &scenario.instance);
 
     println!(
         "rounds run:  {} (converged: {})",
@@ -59,7 +59,7 @@ fn main() {
     assert_eq!(
         outcome.result,
         engine
-            .reference_fixpoint(&scenario.query, &scenario.instance)
+            .reference_fixpoint(scenario.query(), &scenario.instance)
             .result,
         "the distributed run matches the centralized fixpoint"
     );

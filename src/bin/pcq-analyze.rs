@@ -16,7 +16,7 @@
 //!                          [--fault-inject N]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
 //!                          [--rounds N] [--feedback R] [--semi-naive]
-//!                          [--transport T]
+//!                          [--transport T] [--reshuffle-always]
 //!   pcq-analyze encode     (query|instance|scenario) <spec>
 //!   pcq-analyze decode
 //!   pcq-analyze worker     [--connect host:port --token K] [--fail-after N]
@@ -37,7 +37,8 @@
 //!                  zipf:<domain>:<facts>:<exponent-percent>[:seed], a file
 //!                  of facts, or literal facts such as "R(a, b). R(b, c)."
 //!   <file.pcq>     a scenario file in the wire crate's textual format:
-//!                  query, instance, schedule, rounds, feedback in one file.
+//!                  query (or a `queries { … }` sequence), instance,
+//!                  schedule, rounds, feedback in one file.
 //! ```
 //!
 //! `run` reshuffles the instance under the policy and evaluates the query
@@ -56,12 +57,12 @@
 //! accumulated state across rounds, and each local evaluation is one
 //! differential pass over the delta — the final result is identical to
 //! full re-evaluation, the late-round work is not (requires a
-//! single-policy schedule); `--distribute-workers` shards the reshuffle
+//! `--distribute-workers` shards the reshuffle
 //! phase. `--join-strategy` picks the local join algorithm every node runs
 //! (`binary` = pairwise hash joins, `multiway` = the leapfrog-style
 //! worst-case-optimal join, `auto` = multiway exactly for cyclic queries;
-//! default auto) — a single-round, in-memory option: wire workers and the
-//! multi-round engine evaluate with their own defaults. With
+//! default auto); the options travel with every round, so wire workers
+//! and the multi-round engine honor them too. With
 //! `--transport process` local evaluation leaves this process entirely:
 //! chunks are binary-encoded and shipped over stdio pipes to `--workers N`
 //! `pcq-analyze worker` subprocesses; `--transport socket` carries the
@@ -72,6 +73,15 @@
 //! `--fault-inject N` demonstrates that path by making worker 0 die after
 //! N eval jobs (requires ≥ 2 workers and a wire transport). `--scenario
 //! file.pcq` replaces the three positional specs with one scenario file.
+//! A scenario may list several queries in a `queries { … }` block: the
+//! engine runs them in sequence over the same instance and checks
+//! **pc-transferability** between consecutive queries — when
+//! parallel-correctness transfers, the next query's reshuffle is elided
+//! and it evaluates directly on the shards resident from its predecessor;
+//! when it does not transfer, the instance is re-distributed from
+//! scratch. `--reshuffle-always` disables the elision (the baseline its
+//! communication saving is measured against), and the JSON report gains
+//! `transfer_checks` and `elided_reshuffles`.
 //!
 //! `encode` writes one binary frame (magic `PCQW`) for a query, an
 //! instance or a scenario to stdout; `decode` reads one frame from stdin
@@ -121,7 +131,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T] [--reshuffle-always]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -283,6 +293,9 @@ struct RunOptions {
     /// `--join-strategy`: the local join algorithm every node evaluates
     /// with (`None` = the evaluator's default, auto).
     join_strategy: Option<JoinStrategy>,
+    /// `--reshuffle-always`: disable transferability-driven reshuffle
+    /// elision in multi-query scenarios (the measurement baseline).
+    reshuffle_always: bool,
 }
 
 /// The per-worker `pcq-analyze worker …` argument lists for a wire
@@ -389,6 +402,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         transport: TransportChoice::Memory,
         fault_inject: None,
         join_strategy: None,
+        reshuffle_always: false,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -405,6 +419,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--streaming" => opts.streaming = true,
+            "--reshuffle-always" => opts.reshuffle_always = true,
             "--semi-naive" => opts.semi_naive = true,
             "--workers" => opts.workers = parse_count("--workers", iter.next())?,
             "--distribute-workers" => {
@@ -477,23 +492,14 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             );
         }
     }
-    if opts.join_strategy.is_some() {
-        if !matches!(opts.transport, TransportChoice::Memory) {
-            // The options are not part of the wire protocol; workers would
-            // silently evaluate with their own defaults.
-            return Err(
-                "--join-strategy cannot be combined with a wire transport (workers evaluate \
-                 with their own defaults)"
-                    .to_string(),
-            );
-        }
-        if opts.rounds.is_some() || opts.scenario.is_some() {
-            return Err(
-                "--join-strategy applies to single-round runs only (the multi-round engine \
-                 evaluates with its own defaults)"
-                    .to_string(),
-            );
-        }
+    if opts.reshuffle_always && opts.scenario.is_none() {
+        // Elision only ever happens between the queries of a multi-query
+        // scenario; anywhere else the flag would silently do nothing.
+        return Err(
+            "--reshuffle-always requires --scenario (it disables the reshuffle \
+                    elision between a scenario's queries)"
+                .to_string(),
+        );
     }
     if opts.semi_naive {
         if opts.rounds.is_none() && opts.scenario.is_none() {
@@ -535,8 +541,20 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
+        if scenario.queries.len() > 1 {
+            return run_multi_query(
+                &scenario.queries,
+                Some(schedule_label),
+                &path,
+                &scenario.instance,
+                policies,
+                rounds,
+                feedback.as_deref(),
+                &opts,
+            );
+        }
         return run_multi_round(
-            &scenario.query,
+            scenario.query(),
             &format!("scenario:{path}"),
             Some(schedule_label),
             &path,
@@ -589,10 +607,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     }
 
     let policy = load_run_policy(policy_spec, &query, &instance)?;
-    let eval_options = EvalOptions {
-        join_strategy: opts.join_strategy.unwrap_or_default(),
-        ..EvalOptions::default()
-    };
+    let eval_options = run_eval_options(&opts);
     let resolved = eval_options.resolved_strategy(&query);
     let engine = OneRoundEngine::new(policy.as_ref())
         .workers(opts.workers)
@@ -757,6 +772,192 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     Ok(correct)
 }
 
+/// The evaluation options every node runs with, as selected by the `run`
+/// flags — shipped with each round, so they hold across wire transports
+/// and the multi-round engine alike.
+fn run_eval_options(opts: &RunOptions) -> EvalOptions {
+    EvalOptions {
+        join_strategy: opts.join_strategy.unwrap_or_default(),
+        ..EvalOptions::default()
+    }
+}
+
+/// Rejects a `--feedback` relation the query never reads — or reads at a
+/// different arity — which would make the recursion silently inert; the
+/// user asked for iteration, so that is a usage error.
+fn validate_feedback(query: &ConjunctiveQuery, feedback: &str) -> Result<(), String> {
+    let head_arity = query.head().arity();
+    match query.schema().arity(Symbol::new(feedback)) {
+        Some(arity) if arity == head_arity => Ok(()),
+        Some(arity) => Err(format!(
+            "--feedback {feedback}: the query reads '{feedback}' with arity {arity}, but the head has arity {head_arity}"
+        )),
+        None => Err(format!(
+            "--feedback {feedback}: the query does not read relation '{feedback}'"
+        )),
+    }
+}
+
+/// The multi-query arm of `run --scenario`: the queries run in sequence
+/// over the same instance; between consecutive queries the engine checks
+/// pc-transferability and elides the reshuffle when it holds (the next
+/// query evaluates on the shards resident from its predecessor).
+///
+/// Exit-code contract: 0 = every query's distributed result equals the
+/// global fixpoint of its centralized iterated form.
+#[allow(clippy::too_many_arguments)]
+fn run_multi_query(
+    queries: &[ConjunctiveQuery],
+    schedule_label: Option<String>,
+    scenario_label: &str,
+    instance: &Instance,
+    policies: Vec<Box<dyn DistributionPolicy>>,
+    rounds: usize,
+    feedback: Option<&str>,
+    opts: &RunOptions,
+) -> Result<bool, String> {
+    let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
+    let mut engine = MultiRoundEngine::new(RoundSchedule::of(refs))
+        .rounds(rounds)
+        .workers(opts.workers)
+        .distribute_workers(opts.distribute_workers)
+        .streaming(opts.streaming)
+        .semi_naive(opts.semi_naive)
+        .eval_options(run_eval_options(opts))
+        .reshuffle_always(opts.reshuffle_always);
+    if let Some(feedback) = feedback {
+        for (i, query) in queries.iter().enumerate() {
+            validate_feedback(query, feedback).map_err(|e| format!("query {i}: {e}"))?;
+        }
+        engine = engine.feedback_into(feedback);
+    }
+
+    // Memoized so repeated query pairs (common in alternating workloads)
+    // pay for the containment checks once.
+    let mut cache = TransferCache::new();
+    let total_start = std::time::Instant::now();
+    let outcome = match opts.transport {
+        TransportChoice::Memory => {
+            engine.evaluate_queries(queries, instance, &mut |p, q| cache.transfers(p, q))
+        }
+        TransportChoice::Process => {
+            let mut transport = spawn_process_transport(opts)?;
+            engine
+                .evaluate_queries_via(&mut transport, queries, instance, &mut |p, q| {
+                    cache.transfers(p, q)
+                })
+                .map_err(|e| e.to_string())?
+        }
+        TransportChoice::Socket => {
+            let mut transport = spawn_socket_transport(opts)?;
+            engine
+                .evaluate_queries_via(&mut transport, queries, instance, &mut |p, q| {
+                    cache.transfers(p, q)
+                })
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let total = total_start.elapsed();
+
+    let transfer_checks = outcome.transfer_checks;
+    let elided = outcome.elided_reshuffles();
+    let reshards = outcome.reshard_rounds();
+    let comm_volume = outcome.total_comm_volume();
+    let comm_bytes = outcome.total_comm_bytes();
+    let reports: Vec<MultiRoundInstanceReport> = outcome
+        .per_query
+        .into_iter()
+        .zip(queries)
+        .map(|(o, query)| MultiRoundInstanceReport::from_outcome(query, &engine, instance, o))
+        .collect();
+    let correct = reports.iter().all(|r| r.correct);
+
+    if opts.json {
+        let per_query = JsonValue::array(queries.iter().zip(&reports).map(|(query, report)| {
+            let o = &report.outcome;
+            JsonValue::object([
+                ("query", JsonValue::from(query.to_string())),
+                ("rounds_run", JsonValue::from(o.rounds_run())),
+                ("converged", JsonValue::from(o.converged)),
+                ("elided_reshuffles", JsonValue::from(o.elided_reshuffles)),
+                ("reshard_rounds", JsonValue::from(o.reshard_rounds.len())),
+                ("result_size", JsonValue::from(o.result.len())),
+                ("correct", JsonValue::from(report.correct)),
+                ("comm_volume", JsonValue::from(o.total_comm_volume())),
+                ("comm_bytes", JsonValue::from(o.total_comm_bytes())),
+            ])
+        }));
+        let doc = JsonValue::object([
+            ("scenario", JsonValue::from(scenario_label)),
+            ("schedule", JsonValue::from(schedule_label)),
+            ("queries", JsonValue::from(queries.len())),
+            ("instance_facts", JsonValue::from(instance.len())),
+            ("workers", JsonValue::from(opts.workers)),
+            ("semi_naive", JsonValue::from(opts.semi_naive)),
+            ("transport", JsonValue::from(opts.transport.label())),
+            ("reshuffle_always", JsonValue::from(opts.reshuffle_always)),
+            ("rounds_requested", JsonValue::from(rounds)),
+            ("transfer_checks", JsonValue::from(transfer_checks)),
+            ("elided_reshuffles", JsonValue::from(elided)),
+            ("reshard_rounds", JsonValue::from(reshards)),
+            ("multi_round_correct", JsonValue::from(correct)),
+            ("total_comm_volume", JsonValue::from(comm_volume)),
+            ("total_comm_bytes", JsonValue::from(comm_bytes)),
+            ("total_us", JsonValue::from(total.as_micros())),
+            ("per_query", per_query),
+        ]);
+        println!("{doc}");
+    } else {
+        println!("scenario:    {scenario_label} ({} queries)", queries.len());
+        if let Some(s) = &schedule_label {
+            println!("schedule:    {s}");
+        }
+        if let Some(feedback) = feedback {
+            println!("feedback:    outputs re-enter as {feedback}");
+        }
+        println!("instance:    {} facts", instance.len());
+        println!("transport:   {}", opts.transport.label());
+        if opts.semi_naive {
+            println!("mode:        semi-naive (rounds ship deltas, nodes keep state)");
+        }
+        if opts.reshuffle_always {
+            println!("mode:        reshuffle-always (transferability elision disabled)");
+        }
+        println!(
+            "transfer:    {transfer_checks} check(s), {elided} reshuffle(s) elided, \
+             {reshards} re-shard round(s)"
+        );
+        println!(
+            "correct:     {}",
+            if correct {
+                "yes (every query equals its global fixpoint)"
+            } else {
+                "NO (some query's distributed result differs from its fixpoint)"
+            }
+        );
+        println!(
+            "comm volume: {comm_volume} fact-assignments over all queries \
+             ({comm_bytes} bytes on the wire)"
+        );
+        println!("timings:     total={}µs", total.as_micros());
+        for (i, (query, report)) in queries.iter().zip(&reports).enumerate() {
+            let o = &report.outcome;
+            println!(
+                "  query {i}: {query} — {} round(s), {}, output={}{}",
+                o.rounds_run(),
+                if o.elided_reshuffles > 0 {
+                    "elided (ran on resident shards)"
+                } else {
+                    "resharded"
+                },
+                o.result.len(),
+                if report.correct { "" } else { " INCORRECT" },
+            );
+        }
+    }
+    Ok(correct)
+}
+
 /// The multi-round arm of `run`: iterated distribute→evaluate cycles under
 /// a resolved policy schedule, compared against the global fixpoint of the
 /// centralized iterated query.
@@ -772,39 +973,16 @@ fn run_multi_round(
     feedback: Option<&str>,
     opts: &RunOptions,
 ) -> Result<bool, String> {
-    if opts.semi_naive && policies.len() > 1 {
-        // The engine would panic on this; surface it as a usage error.
-        return Err(
-            "--semi-naive requires a single-policy schedule: a policy switch would re-route \
-             facts that were already shipped"
-                .to_string(),
-        );
-    }
     let refs: Vec<&dyn DistributionPolicy> = policies.iter().map(Box::as_ref).collect();
     let mut engine = MultiRoundEngine::new(RoundSchedule::of(refs))
         .rounds(rounds)
         .workers(opts.workers)
         .distribute_workers(opts.distribute_workers)
         .streaming(opts.streaming)
-        .semi_naive(opts.semi_naive);
+        .semi_naive(opts.semi_naive)
+        .eval_options(run_eval_options(opts));
     if let Some(feedback) = feedback {
-        // A feedback relation the query never reads — or reads at a
-        // different arity — would make the recursion silently inert; the
-        // user asked for iteration, so that is a usage error.
-        let head_arity = query.head().arity();
-        match query.schema().arity(Symbol::new(feedback)) {
-            Some(arity) if arity == head_arity => {}
-            Some(arity) => {
-                return Err(format!(
-                    "--feedback {feedback}: the query reads '{feedback}' with arity {arity}, but the head has arity {head_arity}"
-                ))
-            }
-            None => {
-                return Err(format!(
-                    "--feedback {feedback}: the query does not read relation '{feedback}'"
-                ))
-            }
-        }
+        validate_feedback(query, feedback)?;
         engine = engine.feedback_into(feedback);
     }
 

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use delta::{CacheStats, DeltaInstance, DeltaNode, IndexCache};
     pub use distribution::{
         ChunkStream, DistributionPolicy, ExplicitPolicy, FinitePolicy, HypercubeFamily,
-        HypercubePolicy, InMemoryTransport, MultiRoundEngine, MultiRoundOutcome, Network, Node,
-        OneRoundEngine, RoundSchedule, RuleBasedPolicy, Transport, TransportError,
+        HypercubePolicy, InMemoryTransport, MultiQueryOutcome, MultiRoundEngine, MultiRoundOutcome,
+        Network, Node, OneRoundEngine, RoundSchedule, RuleBasedPolicy, Transport, TransportError,
     };
     pub use pc_core::{
         check_parallel_correctness, check_parallel_correctness_bounded,
@@ -69,15 +69,15 @@ pub mod prelude {
         check_transfer, check_transfer_strongly_minimal, holds_c0, holds_c1, holds_c2, holds_c3,
         hypercube_parallel_correct, is_minimal_valuation, is_minimal_valuation_cached,
         is_strongly_minimal, multi_round_correct_on, validate_hypercube_family,
-        IncrementalPcReport, IncrementalPcStats, MultiRoundInstanceReport, PcReport,
+        IncrementalPcReport, IncrementalPcStats, MultiRoundInstanceReport, PcReport, TransferCache,
         TransferReport,
     };
     pub use wire::{
         DeltaBatch, ExplicitSpec, JsonValue, ProcessTransport, Scenario, SocketTransport,
     };
     pub use workloads::{
-        chain_query, example_3_5_query, named_instance, named_query, named_schedule,
-        random_instance, random_query, star_query, triangle_query, zipf_instance, InstanceParams,
-        QueryParams,
+        chain_query, example_3_5_query, named_instance, named_query, named_query_sequence,
+        named_schedule, query_sequence_names, random_instance, random_query, star_query,
+        triangle_query, zipf_instance, InstanceParams, QueryParams,
     };
 }

@@ -432,34 +432,39 @@ fn run_join_strategy_flag_is_validated() {
         ]),
         2
     );
-    // wire workers evaluate with their own defaults
-    assert_eq!(
-        pcq_analyze(&[
-            "run",
-            "chain:2",
-            "hypercube:2",
-            CHAIN_FACTS,
-            "--join-strategy",
-            "multiway",
-            "--transport",
-            "process"
-        ]),
-        2
-    );
-    // the multi-round engine evaluates with its own defaults
-    assert_eq!(
-        pcq_analyze(&[
-            "run",
-            "chain:2",
-            "hypercube:2",
-            CHAIN_FACTS,
-            "--join-strategy",
-            "multiway",
-            "--rounds",
-            "2"
-        ]),
-        2
-    );
+}
+
+#[test]
+fn run_join_strategy_rides_wire_transports_and_multi_round_runs() {
+    // The options travel with every round now: wire workers and the
+    // multi-round engine evaluate with the strategy the coordinator chose
+    // (both combinations used to be usage errors).
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--join-strategy",
+        "multiway",
+        "--transport",
+        "process",
+        "--workers",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("correct:     yes"), "{stdout}");
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--join-strategy",
+        "multiway",
+        "--rounds",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("correct:     yes"), "{stdout}");
 }
 
 #[test]
@@ -765,7 +770,7 @@ fn run_semi_naive_flag_combinations_are_validated() {
         pcq_analyze(&["run", "chain:2", "hypercube:2", CHAIN_FACTS, "--semi-naive"]),
         2
     );
-    // …that materializes its (small) deltas…
+    // …that materializes its (small) deltas.
     assert_eq!(
         pcq_analyze(&[
             "run",
@@ -779,21 +784,25 @@ fn run_semi_naive_flag_combinations_are_validated() {
         ]),
         2
     );
-    // …and requires a single-policy schedule.
-    assert_eq!(
-        pcq_analyze(&[
-            "run",
-            "chain:2",
-            "hypercube:2",
-            CHAIN_FACTS,
-            "--rounds",
-            "4",
-            "--semi-naive",
-            "--schedule",
-            "broadcast:2,hypercube:2",
-        ]),
-        2
-    );
+}
+
+#[test]
+fn run_semi_naive_accepts_multi_policy_schedules() {
+    // A policy switch now triggers an explicit re-shard round instead of
+    // being rejected; the run must still match the fixpoint.
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "chain:2",
+        "hypercube:2",
+        CHAIN_FACTS,
+        "--rounds",
+        "4",
+        "--semi-naive",
+        "--schedule",
+        "broadcast:2,hypercube:2",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("correct:     yes"), "{stdout}");
 }
 
 #[test]
@@ -921,6 +930,107 @@ fn run_scenario_conflicts_are_usage_errors() {
         2
     );
     assert_eq!(pcq_analyze(&["run", "--scenario", "/nonexistent.pcq"]), 2);
+    let _ = std::fs::remove_file(path);
+}
+
+/// A transferring pair (loop → path, paper §4) followed by a
+/// non-transferring boundary (path → loop): exactly one reshuffle can be
+/// elided, and both boundaries must be checked.
+const MULTI_QUERY_SCENARIO: &str = "queries {\n\
+      T(x, z) :- R(x, y), R(y, z), R(y, y).\n\
+      T(x, z) :- R(x, y), R(y, z).\n\
+      T(x, z) :- R(x, y), R(y, z), R(y, y).\n\
+    }\n\
+    instance { R(a, b). R(b, c). R(b, b). R(c, d). }\n\
+    schedule broadcast(2)\n\
+    rounds 4\n";
+
+#[test]
+fn run_multi_query_scenario_elides_transferable_reshuffles() {
+    let path = write_temp("multi-query.pcq", MULTI_QUERY_SCENARIO);
+    let file = path.to_str().unwrap();
+    let (code, stdout) = pcq_analyze_output(&["run", "--scenario", file, "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    for key in [
+        "\"queries\":3",
+        "\"transfer_checks\":2",
+        "\"elided_reshuffles\":1",
+        "\"multi_round_correct\":true",
+        "\"reshuffle_always\":false",
+        "\"per_query\":[{",
+        "\"total_comm_volume\":",
+        "\"total_comm_bytes\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+
+    // The baseline disables the elision and consults no oracle.
+    let (code, stdout) =
+        pcq_analyze_output(&["run", "--scenario", file, "--reshuffle-always", "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"transfer_checks\":0"), "{stdout}");
+    assert!(stdout.contains("\"elided_reshuffles\":0"), "{stdout}");
+    assert!(stdout.contains("\"reshuffle_always\":true"), "{stdout}");
+
+    // The human-readable arm names the elision decisions per query.
+    let (code, stdout) = pcq_analyze_output(&["run", "--scenario", file]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("transfer:    2 check(s), 1 reshuffle(s) elided"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("elided (ran on resident shards)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("resharded"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_multi_query_scenario_rides_wire_transports() {
+    let path = write_temp("multi-query-wire.pcq", MULTI_QUERY_SCENARIO);
+    let file = path.to_str().unwrap();
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        "--scenario",
+        file,
+        "--transport",
+        "process",
+        "--workers",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"elided_reshuffles\":1"), "{stdout}");
+    assert!(stdout.contains("\"multi_round_correct\":true"), "{stdout}");
+    // real bytes crossed the pipes
+    assert!(!stdout.contains("\"total_comm_bytes\":0"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_reshuffle_always_and_malformed_query_blocks_are_usage_errors() {
+    // --reshuffle-always only means something for a scenario's queries
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            "chain:2",
+            "hypercube:2",
+            CHAIN_FACTS,
+            "--reshuffle-always"
+        ]),
+        2
+    );
+    // an empty queries block is a parse error
+    let path = write_temp(
+        "empty-queries.pcq",
+        "queries { }\ninstance { R(a, b). }\nschedule broadcast(2)\n",
+    );
+    assert_eq!(
+        pcq_analyze(&["run", "--scenario", path.to_str().unwrap()]),
+        2
+    );
     let _ = std::fs::remove_file(path);
 }
 

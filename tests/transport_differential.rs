@@ -280,10 +280,10 @@ fn scenario_files_drive_identical_runs_across_transports() {
     }
 
     let in_memory =
-        build_engine(refs.clone(), &scenario).evaluate(&scenario.query, &scenario.instance);
+        build_engine(refs.clone(), &scenario).evaluate(scenario.query(), &scenario.instance);
     let mut transport = spawn_transport(2);
     let cross_process = build_engine(refs, &scenario)
-        .evaluate_via(&mut transport, &scenario.query, &scenario.instance)
+        .evaluate_via(&mut transport, scenario.query(), &scenario.instance)
         .unwrap();
     assert_eq!(
         cross_process.result.to_string(),
@@ -444,6 +444,7 @@ fn comm_bytes_exceed_request_frames_alone_on_both_wire_transports() {
             };
             pcq::wire::encode_frame(&pcq::wire::EvalChunkRef {
                 query: &query,
+                options: EvalOptions::default(),
                 batch: &batch,
             })
             .len() as u64
@@ -475,6 +476,208 @@ fn comm_bytes_exceed_request_frames_alone_on_both_wire_transports() {
         request_bytes
     );
     assert_eq!(via_socket.result, via_process.result);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped evaluation options: wire workers must honor the coordinator's
+// EvalOptions instead of silently falling back to their own defaults.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_workers_honor_the_coordinators_join_strategy() {
+    // The options travel with every round since they joined the wire
+    // protocol; under an explicitly forced multiway strategy all three
+    // transports must produce the centralized answers on every family.
+    let options = EvalOptions {
+        join_strategy: JoinStrategy::Multiway,
+        ..EvalOptions::default()
+    };
+    let mut process = spawn_transport(2);
+    let mut socket = spawn_socket_transport(2);
+    for (name, _) in named_workloads() {
+        let query = named_query(name).unwrap();
+        let instance = instance_for(&query, 43);
+        let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+        let engine = OneRoundEngine::new(&policy)
+            .workers(2)
+            .eval_options(options);
+
+        let in_memory = engine.evaluate(&query, &instance);
+        assert_eq!(
+            in_memory.result,
+            cq::evaluate(&query, &instance),
+            "{name}: multiway in-memory run lost answers"
+        );
+        let via_process = engine
+            .evaluate_via(&mut process, 0, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: process transport failed: {e}"));
+        let via_socket = engine
+            .evaluate_via(&mut socket, 0, &query, &instance)
+            .unwrap_or_else(|e| panic!("{name}: socket transport failed: {e}"));
+        assert_eq!(
+            via_process.result, in_memory.result,
+            "{name}: process transport diverged under multiway"
+        );
+        assert_eq!(
+            via_socket.result, in_memory.result,
+            "{name}: socket transport diverged under multiway"
+        );
+    }
+}
+
+#[test]
+fn multi_round_wire_runs_honor_the_coordinators_join_strategy() {
+    // The multi-round engine forwards its options into every round's
+    // transport calls — including delta rounds of an incremental run.
+    let options = EvalOptions {
+        join_strategy: JoinStrategy::Multiway,
+        ..EvalOptions::default()
+    };
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 43);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    for semi_naive in [false, true] {
+        let build_engine = || {
+            MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                .rounds(6)
+                .feedback_into("R")
+                .semi_naive(semi_naive)
+                .eval_options(options)
+        };
+        let in_memory = build_engine().evaluate(&query, &instance);
+        let mut process = spawn_transport(2);
+        let via_process = build_engine()
+            .evaluate_via(&mut process, &query, &instance)
+            .unwrap();
+        assert_eq!(
+            via_process.result.to_string(),
+            in_memory.result.to_string(),
+            "semi_naive={semi_naive}: multiway multi-round answers diverged"
+        );
+        assert_eq!(via_process.rounds_run(), in_memory.rounds_run());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query runs: transferability-driven reshuffle elision must be
+// answer-invisible against the reshuffle-always baseline, on every named
+// query sequence, every transport, in full and semi-naive mode.
+// ---------------------------------------------------------------------------
+
+/// One instance covering every relation any query of the sequence reads:
+/// the union of per-query generations under one seed, so shared relations
+/// get identical facts.
+fn instance_for_sequence(queries: &[ConjunctiveQuery], seed: u64) -> Instance {
+    let mut all = Instance::new();
+    for query in queries {
+        all = all.union(&instance_for(query, seed));
+    }
+    all
+}
+
+#[test]
+fn multi_query_elision_matches_reshuffle_always_on_all_sequences_and_transports() {
+    let mut process = spawn_transport(2);
+    let mut socket = spawn_socket_transport(2);
+    for name in query_sequence_names() {
+        let queries = named_query_sequence(name).unwrap();
+        let instance = instance_for_sequence(&queries, 19);
+        let policy = workloads::total_broadcast_policy(3).unwrap();
+        for semi_naive in [false, true] {
+            let build = |reshuffle_always: bool| {
+                MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+                    .rounds(4)
+                    .semi_naive(semi_naive)
+                    .reshuffle_always(reshuffle_always)
+            };
+            let mut cache = TransferCache::new();
+
+            let baseline = build(true)
+                .evaluate_queries(&queries, &instance, &mut |p, q| cache.transfers(p, q));
+            let elided_memory = build(false)
+                .evaluate_queries(&queries, &instance, &mut |p, q| cache.transfers(p, q));
+            let baseline_process = build(true)
+                .evaluate_queries_via(&mut process, &queries, &instance, &mut |p, q| {
+                    cache.transfers(p, q)
+                })
+                .unwrap_or_else(|e| panic!("{name}: process baseline failed: {e}"));
+            let elided_process = build(false)
+                .evaluate_queries_via(&mut process, &queries, &instance, &mut |p, q| {
+                    cache.transfers(p, q)
+                })
+                .unwrap_or_else(|e| panic!("{name}: process transport failed: {e}"));
+            let elided_socket = build(false)
+                .evaluate_queries_via(&mut socket, &queries, &instance, &mut |p, q| {
+                    cache.transfers(p, q)
+                })
+                .unwrap_or_else(|e| panic!("{name}: socket transport failed: {e}"));
+
+            // Every named sequence contains a transferring pair, so the
+            // engine must actually elide — otherwise this differential
+            // silently compares reshuffle-always to itself.
+            assert_eq!(baseline.elided_reshuffles(), 0, "{name}");
+            assert!(
+                elided_memory.elided_reshuffles() >= 1,
+                "{name} semi_naive={semi_naive}: no reshuffle was elided"
+            );
+            assert!(
+                elided_memory.total_comm_volume() < baseline.total_comm_volume(),
+                "{name} semi_naive={semi_naive}: elision did not reduce comm volume \
+                 ({} vs {})",
+                elided_memory.total_comm_volume(),
+                baseline.total_comm_volume()
+            );
+
+            for (i, (b, e)) in baseline
+                .per_query
+                .iter()
+                .zip(&elided_memory.per_query)
+                .enumerate()
+            {
+                assert_eq!(
+                    e.result.to_string(),
+                    b.result.to_string(),
+                    "{name}[{i}] semi_naive={semi_naive}: elided answers diverged"
+                );
+                assert_eq!(
+                    e.final_state, b.final_state,
+                    "{name}[{i}] semi_naive={semi_naive}"
+                );
+                assert_eq!(e.converged, b.converged, "{name}[{i}]");
+            }
+            for (label, run) in [("process", &elided_process), ("socket", &elided_socket)] {
+                assert_eq!(
+                    run.elided_reshuffles(),
+                    elided_memory.elided_reshuffles(),
+                    "{name}/{label} semi_naive={semi_naive}: elision decisions diverged"
+                );
+                assert_eq!(
+                    run.transfer_checks, elided_memory.transfer_checks,
+                    "{name}/{label}"
+                );
+                for (i, (m, w)) in elided_memory
+                    .per_query
+                    .iter()
+                    .zip(&run.per_query)
+                    .enumerate()
+                {
+                    assert_eq!(
+                        w.result.to_string(),
+                        m.result.to_string(),
+                        "{name}[{i}]/{label} semi_naive={semi_naive}: wire answers diverged"
+                    );
+                }
+            }
+            // The headline saving, measured on real serialized frames: the
+            // elided run ships strictly fewer bytes than the baseline.
+            assert!(
+                elided_process.total_comm_bytes() < baseline_process.total_comm_bytes(),
+                "{name} semi_naive={semi_naive}: elision shipped {} bytes, baseline {}",
+                elided_process.total_comm_bytes(),
+                baseline_process.total_comm_bytes()
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
