@@ -181,10 +181,92 @@ fn bench_multi_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The <2% disabled-overhead guard for the observability layer. With no
+/// active trace every instrumentation site costs one relaxed atomic load
+/// (arguments stay unevaluated), so the product
+///
+/// ```text
+/// (cost of one disabled site) × (sites a traced closure run hits)
+/// ```
+///
+/// must stay under 2% of the untraced closure run itself. The site count
+/// is not guessed: a traced run records exactly one event per site hit,
+/// so its event total *is* the per-run site count.
+fn bench_disabled_tracing_overhead(c: &mut Criterion) {
+    let q = square_query();
+    let instance = closure_instance(48, 0);
+    let policy = HypercubePolicy::uniform(&q, 2).unwrap();
+    let run = || {
+        let outcome = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(12)
+            .feedback_into("R")
+            .evaluate(&q, &instance);
+        assert!(outcome.converged);
+        outcome.result.len()
+    };
+
+    // Keep the disabled fast path itself on the bench-diff trajectory.
+    let mut group = c.benchmark_group("multiround_obs");
+    group.sample_size(10);
+    group.bench_function("disabled_sites_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let _ = std::hint::black_box(obs::span!("bench_site", i = i));
+            }
+        })
+    });
+    group.finish();
+
+    assert!(
+        !obs::enabled(),
+        "no trace may be active while the overhead guard measures"
+    );
+
+    // Sites hit per run = events a traced run records.
+    obs::start_trace();
+    std::hint::black_box(run());
+    let sites = obs::end_trace().len() as u64;
+    assert!(sites > 0, "the closure run hits no instrumentation sites");
+
+    // Per-site disabled cost, amortized over enough calls to resolve
+    // (black_box keeps the guard from being optimized away; its own cost
+    // only overestimates the overhead, never hides it).
+    const CALLS: u64 = 1_000_000;
+    let start = std::time::Instant::now();
+    for i in 0..CALLS {
+        let _ = std::hint::black_box(obs::span!("bench_site", i = i));
+    }
+    let per_site = start.elapsed().as_secs_f64() / CALLS as f64;
+
+    // The untraced run: best of several to damp scheduler noise.
+    let baseline = (0..5)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(run());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::MAX, f64::min);
+
+    let overhead = per_site * sites as f64 / baseline;
+    println!(
+        "disabled-tracing overhead: {} sites x {:.1}ns = {:.4}% of a {:.2}ms run",
+        sites,
+        per_site * 1e9,
+        overhead * 100.0,
+        baseline * 1e3,
+    );
+    assert!(
+        overhead < 0.02,
+        "disabled tracing costs {:.3}% of the cq_multiround closure run (limit 2%)",
+        overhead * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_distribute_modes,
     bench_one_round_paths,
-    bench_multi_round
+    bench_multi_round,
+    bench_disabled_tracing_overhead
 );
 criterion_main!(benches);

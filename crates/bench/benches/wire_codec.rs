@@ -51,6 +51,7 @@ fn bench_encode_decode(c: &mut Criterion) {
         let message = Message::EvalChunk {
             query: query.clone(),
             options: cq::EvalOptions::default(),
+            trace: wire::TraceContext::default(),
             batch: ChunkBatch {
                 round: 0,
                 node: Node::numbered(0),

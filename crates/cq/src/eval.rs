@@ -407,6 +407,12 @@ where
         if (observed as f64) <= factor * self.estimates[depth].max(1.0) {
             return;
         }
+        obs::instant!(
+            "adaptive_reorder",
+            depth = depth,
+            observed = observed,
+            estimate = self.estimates[depth]
+        );
         // Remember the surprise so sibling subtrees with similar observed
         // counts do not replan over and over.
         self.estimates[depth] = observed as f64;
@@ -760,6 +766,11 @@ pub fn evaluate_seminaive_step_with(
     delta: &Instance,
     opts: EvalOptions,
 ) -> Instance {
+    let _span = obs::span!(
+        "seminaive_step",
+        strategy = opts.resolved_strategy(query).label(),
+        delta_facts = delta.len()
+    );
     let mut out = Instance::new();
     let vars = query.variables();
     for pivot in 0..query.body_size() {
@@ -835,6 +846,11 @@ pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Instance {
 
 /// Evaluates `query` on `instance` under explicit evaluation options.
 pub fn evaluate_with(query: &ConjunctiveQuery, instance: &Instance, opts: EvalOptions) -> Instance {
+    let _span = obs::span!(
+        "evaluate",
+        strategy = opts.resolved_strategy(query).label(),
+        facts = instance.len()
+    );
     let mut out = Instance::new();
     let _ = for_each_satisfying(query, instance, &Valuation::new(), opts, |v| {
         out.insert(v.derived_fact(query));

@@ -4,6 +4,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use cq::Instance;
+use obs::Counter;
 
 /// A small LRU cache that lets repeated `evaluate` calls on **equal**
 /// instances share one instance value — and therefore share its lazily
@@ -24,8 +25,11 @@ pub struct IndexCache {
     capacity: usize,
     /// Most-recently used first.
     entries: Vec<(u64, Arc<Instance>)>,
-    hits: u64,
-    misses: u64,
+    /// Hit/miss counters are shared [`Counter`] handles, so a transport
+    /// can register the same values in its metrics registry — the cache
+    /// increments, the registry reports, one source of truth.
+    hits: Counter,
+    misses: Counter,
 }
 
 /// A snapshot of an [`IndexCache`]'s hit/miss counters, suitable for
@@ -55,13 +59,23 @@ fn fingerprint(instance: &Instance) -> u64 {
 }
 
 impl IndexCache {
-    /// A cache holding at most `capacity` instances (at least 1).
+    /// A cache holding at most `capacity` instances (at least 1), with
+    /// standalone (unregistered) counters.
     pub fn new(capacity: usize) -> IndexCache {
+        IndexCache::with_counters(capacity, Counter::detached(), Counter::detached())
+    }
+
+    /// A cache whose hit/miss counters are caller-provided handles —
+    /// typically `registry.counter("index_cache_hits")` /
+    /// `registry.counter("index_cache_misses")` — so the owning
+    /// transport's metrics registry reads the very counts the cache
+    /// increments.
+    pub fn with_counters(capacity: usize, hits: Counter, misses: Counter) -> IndexCache {
         IndexCache {
             capacity: capacity.max(1),
             entries: Vec::new(),
-            hits: 0,
-            misses: 0,
+            hits,
+            misses,
         }
     }
 
@@ -72,7 +86,7 @@ impl IndexCache {
             .entries
             .iter()
             .position(|(k, cached)| *k == key && &**cached == instance)?;
-        self.hits += 1;
+        self.hits.inc();
         let entry = self.entries.remove(at);
         let handle = entry.1.clone();
         self.entries.insert(0, entry);
@@ -80,7 +94,7 @@ impl IndexCache {
     }
 
     fn admit(&mut self, key: u64, instance: Instance) -> Arc<Instance> {
-        self.misses += 1;
+        self.misses.inc();
         let handle = Arc::new(instance);
         self.entries.insert(0, (key, handle.clone()));
         self.entries.truncate(self.capacity);
@@ -110,19 +124,19 @@ impl IndexCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
     /// A copyable snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 
@@ -201,6 +215,25 @@ mod tests {
         assert_eq!(cache.hits(), 2, "a must still be resident");
         cache.warm(&b);
         assert_eq!(cache.misses(), 4, "b must have been evicted");
+    }
+
+    #[test]
+    fn registry_backed_counters_report_the_same_values() {
+        // The migration contract: a cache built over registry counters
+        // makes `hits()`/`misses()` and the registry's view one value.
+        let registry = obs::Registry::new();
+        let mut cache = IndexCache::with_counters(
+            4,
+            registry.counter("index_cache_hits"),
+            registry.counter("index_cache_misses"),
+        );
+        let a = parse_instance("R(a, b).").unwrap();
+        cache.warm(&a);
+        cache.warm(&a.clone());
+        cache.warm(&a.clone());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert_eq!(registry.counter_value("index_cache_hits"), cache.hits());
+        assert_eq!(registry.counter_value("index_cache_misses"), cache.misses());
     }
 
     #[test]

@@ -222,10 +222,13 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         query: &ConjunctiveQuery,
         instance: &Instance,
     ) -> Result<OneRoundOutcome, TransportError> {
+        let _round_span = obs::span!("one_round", round = round, facts = instance.len());
         let distribute_start = Instant::now();
-        let distribution = self
-            .policy
-            .distribute_parallel(instance, self.distribute_workers);
+        let distribution = {
+            let _span = obs::span!("distribute", facts = instance.len());
+            self.policy
+                .distribute_parallel(instance, self.distribute_workers)
+        };
         let stats = distribution.stats(instance);
         let distribute_time = distribute_start.elapsed();
 
@@ -283,10 +286,13 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
         query: &ConjunctiveQuery,
         delta: &Instance,
     ) -> Result<OneRoundOutcome, TransportError> {
+        let _round_span = obs::span!("delta_round", round = round, delta_facts = delta.len());
         let distribute_start = Instant::now();
-        let distribution = self
-            .policy
-            .distribute_parallel(delta, self.distribute_workers);
+        let distribution = {
+            let _span = obs::span!("distribute", facts = delta.len());
+            self.policy
+                .distribute_parallel(delta, self.distribute_workers)
+        };
         let stats = distribution.stats(delta);
         let distribute_time = distribute_start.elapsed();
 
@@ -337,6 +343,7 @@ impl<'a, P: DistributionPolicy + ?Sized> OneRoundEngine<'a, P> {
     /// each worker materialize, evaluate and drop one chunk at a time. At
     /// most `workers` owned chunks are alive at any moment.
     fn evaluate_streaming(&self, query: &ConjunctiveQuery, instance: &Instance) -> OneRoundOutcome {
+        let _round_span = obs::span!("one_round_streaming", facts = instance.len());
         let distribute_start = Instant::now();
         let stream = self
             .policy

@@ -235,6 +235,12 @@ pub struct MultiRoundEngine<'a> {
     semi_naive: bool,
     eval_options: EvalOptions,
     reshuffle_always: bool,
+    /// The engine's metrics registry: `transfer_checks`, `transfer_hits`,
+    /// `transfer_misses` and `elided_reshuffles` accumulate here across
+    /// every run, and [`MultiQueryOutcome::transfer_checks`] is derived
+    /// from the `transfer_checks` counter — the registry is the single
+    /// source of truth, not a parallel tally.
+    registry: std::sync::Arc<obs::Registry>,
 }
 
 impl<'a> MultiRoundEngine<'a> {
@@ -254,7 +260,14 @@ impl<'a> MultiRoundEngine<'a> {
             semi_naive: false,
             eval_options: EvalOptions::default(),
             reshuffle_always: false,
+            registry: std::sync::Arc::new(obs::Registry::new()),
         }
+    }
+
+    /// The engine's metrics registry (transfer-oracle and elision
+    /// counters; see the field docs).
+    pub fn registry(&self) -> std::sync::Arc<obs::Registry> {
+        self.registry.clone()
     }
 
     /// Sets the [`EvalOptions`] every round's local evaluation runs with —
@@ -521,18 +534,36 @@ impl<'a> MultiRoundEngine<'a> {
         transfer: TransferOracle<'_>,
     ) -> Result<MultiQueryOutcome, TransportError> {
         let mut per_query = Vec::with_capacity(queries.len());
-        let mut transfer_checks = 0;
+        let checks = self.registry.counter("transfer_checks");
+        let check_hits = self.registry.counter("transfer_hits");
+        let check_misses = self.registry.counter("transfer_misses");
+        let elisions = self.registry.counter("elided_reshuffles");
+        // The registry accumulates across runs; the outcome reports only
+        // this run's checks, so count from the entry value.
+        let checks_base = checks.get();
         // The query whose fixpoint is currently sharded across the nodes,
         // and which nodes hold a piece of it.
         let mut resident: Option<(ConjunctiveQuery, Vec<Node>)> = None;
-        for query in queries {
+        for (index, query) in queries.iter().enumerate() {
+            let _query_span = obs::span!("query", index = index);
             let elide = match &resident {
                 Some((prev, nodes)) if !self.reshuffle_always && !nodes.is_empty() => {
-                    transfer_checks += 1;
-                    transfer(prev, query)
+                    checks.inc();
+                    let transferable = transfer(prev, query);
+                    if transferable {
+                        check_hits.inc();
+                    } else {
+                        check_misses.inc();
+                    }
+                    obs::instant!("transfer_check", transferable = transferable);
+                    transferable
                 }
                 _ => false,
             };
+            if elide {
+                elisions.inc();
+                obs::instant!("reshuffle_elided");
+            }
             let outcome = if elide {
                 let (_, nodes) = resident.as_ref().expect("elide implies resident shards");
                 let round = self.resident_round(transport, query, &nodes.clone())?;
@@ -563,7 +594,7 @@ impl<'a> MultiRoundEngine<'a> {
         }
         Ok(MultiQueryOutcome {
             per_query,
-            transfer_checks,
+            transfer_checks: (checks.get() - checks_base) as usize,
         })
     }
 
@@ -601,6 +632,7 @@ impl<'a> MultiRoundEngine<'a> {
         query: &ConjunctiveQuery,
         nodes: &[Node],
     ) -> Result<OneRoundOutcome, TransportError> {
+        let _span = obs::span!("resident_round", nodes = nodes.len());
         let local_start = Instant::now();
         transport.begin_round(0, query, self.eval_options)?;
         for &node in nodes {
@@ -668,6 +700,7 @@ impl<'a> MultiRoundEngine<'a> {
         let mut transport_round = 0;
         let mut active_policy = self.schedule.policy_index(0);
         for round in 0..self.max_rounds {
+            let _round_span = obs::span!("eval_round", round = round, semi_naive = true);
             let policy_index = self.schedule.policy_index(round);
             let reshard = round > 0 && policy_index != active_policy;
             active_policy = policy_index;
@@ -675,6 +708,7 @@ impl<'a> MultiRoundEngine<'a> {
             let round_delta = if reshard {
                 // A policy switch re-routes facts that were already
                 // shipped: reset the nodes and re-shard everything.
+                obs::instant!("reshard", round = round);
                 reshard_rounds.push(round);
                 transport_round = 0;
                 let _ = acc.take_delta();
@@ -733,6 +767,7 @@ impl<'a> MultiRoundEngine<'a> {
         let mut rounds = Vec::new();
         let mut converged = false;
         for round in 0..self.max_rounds {
+            let _round_span = obs::span!("eval_round", round = round, facts = state.len());
             let policy = self.schedule.policy_for(round);
             let engine = OneRoundEngine::new(policy)
                 .distribute_workers(self.distribute_workers)
@@ -1257,6 +1292,41 @@ mod tests {
         assert!(
             outcome.per_query[1].total_comm_volume() > 0,
             "a refused transfer must re-shard"
+        );
+    }
+
+    #[test]
+    fn registry_counters_agree_with_outcome_fields() {
+        // The migration contract: the outcome's transfer/elision numbers
+        // are derived from the engine's metrics registry, so the two views
+        // can never drift.
+        let queries = [loop_query(), square_query(), loop_query()];
+        let i = parse_instance("R(a, a). R(a, b). R(b, c).").unwrap();
+        let network = Network::with_size(2);
+        let broadcast = ExplicitPolicy::new(network.clone()).with_default(network.nodes());
+        let engine = broadcast_engine(&broadcast);
+        let registry = engine.registry();
+        let mut verdicts = [true, false].iter().copied().cycle();
+        let outcome = engine.evaluate_queries(&queries, &i, &mut |_, _| verdicts.next().unwrap());
+        assert_eq!(
+            registry.counter_value("transfer_checks") as usize,
+            outcome.transfer_checks
+        );
+        assert_eq!(
+            registry.counter_value("elided_reshuffles") as usize,
+            outcome.elided_reshuffles()
+        );
+        assert_eq!(
+            registry.counter_value("transfer_hits") + registry.counter_value("transfer_misses"),
+            registry.counter_value("transfer_checks")
+        );
+        // A second run on the same engine accumulates in the registry but
+        // still reports only its own checks in the outcome.
+        let again = engine.evaluate_queries(&queries, &i, &mut |_, _| true);
+        assert_eq!(again.transfer_checks, 2);
+        assert_eq!(
+            registry.counter_value("transfer_checks") as usize,
+            outcome.transfer_checks + again.transfer_checks
         );
     }
 

@@ -237,6 +237,11 @@ pub struct InMemoryTransport {
     /// `begin_round`: chunks can only repeat within a round, so holding
     /// them longer would pin memory without ever hitting.
     cache: IndexCache,
+    /// The transport's metrics registry; the index cache's hit/miss
+    /// counters live here (`index_cache_hits` / `index_cache_misses`),
+    /// so [`InMemoryTransport::cache_stats`] and the registry report one
+    /// value.
+    registry: std::sync::Arc<obs::Registry>,
     round: usize,
     eval_options: EvalOptions,
 }
@@ -244,6 +249,12 @@ pub struct InMemoryTransport {
 impl InMemoryTransport {
     /// A transport evaluating on a pool of up to `workers` threads.
     pub fn new(workers: usize) -> InMemoryTransport {
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let cache = IndexCache::with_counters(
+            16,
+            registry.counter("index_cache_hits"),
+            registry.counter("index_cache_misses"),
+        );
         InMemoryTransport {
             workers: workers.max(1),
             query: None,
@@ -253,7 +264,8 @@ impl InMemoryTransport {
             ready: BTreeMap::new(),
             nodes: BTreeMap::new(),
             resident: BTreeMap::new(),
-            cache: IndexCache::default(),
+            cache,
+            registry,
             round: 0,
             eval_options: EvalOptions::default(),
         }
@@ -263,6 +275,13 @@ impl InMemoryTransport {
     /// (diagnostic hook for tests and benches).
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache.hits(), self.cache.misses())
+    }
+
+    /// The transport's metrics registry — the single source of truth
+    /// behind [`InMemoryTransport::cache_stats`] and any future
+    /// transport-level counters.
+    pub fn registry(&self) -> std::sync::Arc<obs::Registry> {
+        self.registry.clone()
     }
 
     /// Evaluates the buffered full chunks on the pool, sharing indexes
@@ -298,6 +317,7 @@ impl InMemoryTransport {
         let workers = self.workers.min(jobs.len()).max(1);
         let options = self.eval_options;
         drain_pool(&jobs, workers, |(node, chunk)| {
+            let _span = obs::span!("eval_chunk", node = node, facts = chunk.len());
             let start = Instant::now();
             let output = evaluate_with(query, chunk, options);
             (
@@ -329,6 +349,7 @@ impl InMemoryTransport {
                 .expect("delta job mutex poisoned")
                 .take()
                 .expect("each delta job is drained exactly once");
+            let _span = obs::span!("eval_delta", node = node, delta_facts = chunk.len());
             let start = Instant::now();
             let fresh = state.step(query, &chunk);
             (node, state, fresh, start.elapsed())
@@ -365,6 +386,7 @@ impl InMemoryTransport {
         let workers = self.workers.min(jobs.len()).max(1);
         let options = self.eval_options;
         drain_pool(&jobs, workers, |(node, shard)| {
+            let _span = obs::span!("eval_resident", node = node, facts = shard.len());
             let start = Instant::now();
             let output = evaluate_with(query, shard, options);
             (
@@ -421,6 +443,11 @@ impl Transport for InMemoryTransport {
             .query
             .clone()
             .ok_or_else(|| TransportError::Protocol("barrier before begin_round".into()))?;
+        let _span = obs::span!(
+            "barrier",
+            round = self.round,
+            chunks = self.pending.len() + self.pending_deltas.len() + self.pending_resident.len()
+        );
         // The pool is bounded by the chunk count: asking for more workers
         // than chunks costs nothing.
         let full = self.drain_chunks(&query);

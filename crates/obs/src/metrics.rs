@@ -1,0 +1,247 @@
+//! The metrics half: named [`Counter`]s and [`Histogram`]s behind a
+//! [`Registry`].
+//!
+//! A registry is an *instance*, not a process global: each transport or
+//! engine owns one (usually behind an [`Arc`]), hands counter handles to
+//! the components it instruments, and reads them back for reports. Two
+//! engines running side by side — the normal situation under `cargo
+//! test` — therefore never pollute each other's counts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared monotonically-increasing counter. Cloning yields another
+/// handle onto the same underlying value, so a component can hold the
+/// handle while the registry (and its reports) read the same number —
+/// one source of truth.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere — for components that work
+    /// standalone but can be handed registry-backed handles instead.
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A shared count/sum/min/max histogram (no buckets: the rollups the
+/// trace summarizer computes need exactly these four, and four atomics
+/// keep `record` lock-free).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// A point-in-time reading of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current count/sum/min/max.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        let s = self.snapshot();
+        s.sum.checked_div(s.count).unwrap_or(0)
+    }
+}
+
+/// A named collection of counters and histograms. `counter(name)`
+/// returns the existing handle when the name is already registered, so
+/// every component asking for `"index_cache_hits"` shares one value.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. The returned handle stays live after the registry is gone.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().expect("metrics registry poisoned");
+        counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, creating it empty on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.histograms.lock().expect("metrics registry poisoned");
+        histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Current value of the counter under `name` (0 when absent — an
+    /// unregistered counter has never been incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().expect("metrics registry poisoned");
+        counters.get(name).map(Counter::get).unwrap_or(0)
+    }
+
+    /// A snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        let counters = self.counters.lock().expect("metrics registry poisoned");
+        counters
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// A snapshot of every histogram, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        let histograms = self.histograms.lock().expect("metrics registry poisoned");
+        histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_value() {
+        let registry = Registry::new();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter_value("hits"), 3);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let registry = Registry::new();
+        let h = registry.histogram("wait_us");
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.record(10);
+        h.record(4);
+        h.record(7);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 21);
+        assert_eq!(snap.min, 4);
+        assert_eq!(snap.max, 10);
+        assert_eq!(h.mean(), 7);
+    }
+
+    #[test]
+    fn registries_are_isolated_instances() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("n").inc();
+        assert_eq!(a.counter_value("n"), 1);
+        assert_eq!(b.counter_value("n"), 0);
+    }
+
+    #[test]
+    fn snapshots_list_everything_by_name() {
+        let registry = Registry::new();
+        registry.counter("b").add(2);
+        registry.counter("a").inc();
+        registry.histogram("h").record(5);
+        let counters = registry.counters();
+        assert_eq!(
+            counters.keys().collect::<Vec<_>>(),
+            vec![&"a".to_string(), &"b".to_string()]
+        );
+        assert_eq!(counters["a"], 1);
+        assert_eq!(registry.histograms()["h"].sum, 5);
+    }
+
+    #[test]
+    fn counters_survive_concurrent_increments() {
+        let registry = Registry::new();
+        let counter = registry.counter("races");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter_value("races"), 4000);
+    }
+}

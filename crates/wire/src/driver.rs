@@ -44,9 +44,10 @@ use std::time::{Duration, Instant};
 
 use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use distribution::{Node, NodeResult, TransportError};
+use obs::TraceEvent;
 
 use crate::frame::{encode_frame, read_frame_counted, write_frame};
-use crate::message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
+use crate::message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message, TraceContext};
 
 /// Default number of jobs the writer may run ahead of the replies.
 pub(crate) const DEFAULT_WINDOW: usize = 8;
@@ -54,6 +55,83 @@ pub(crate) const DEFAULT_WINDOW: usize = 8;
 /// Default bound on how long `Drop` waits for a worker to exit after
 /// `Shutdown` before killing it.
 pub(crate) const DEFAULT_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// How many bytes of a worker's stderr the coordinator keeps (the tail —
+/// the last lines are the ones that explain a crash).
+const STDERR_TAIL_LIMIT: usize = 8 * 1024;
+
+/// How long [`StderrTail::tail`] waits for the reader thread to hit EOF
+/// before settling for whatever has arrived so far. A dead worker's
+/// stderr pipe closes almost immediately after its stdout does, so this
+/// bound only matters for protocol errors from a still-live worker.
+const STDERR_TAIL_WAIT: Duration = Duration::from_millis(500);
+
+struct StderrTailInner {
+    buf: Mutex<String>,
+    /// Set once the reader thread sees EOF (worker exited).
+    done: std::sync::atomic::AtomicBool,
+}
+
+/// The bounded tail of one spawned worker's stderr stream, filled by a
+/// detached reader thread. Without this, a worker that panics before its
+/// first reply takes its diagnostics to the grave: `spawn` pipes stderr
+/// into the coordinator, and nobody used to read it.
+#[derive(Clone)]
+pub(crate) struct StderrTail {
+    inner: std::sync::Arc<StderrTailInner>,
+}
+
+impl StderrTail {
+    /// Spawns a detached thread that drains `stream` into a bounded
+    /// buffer until EOF.
+    pub(crate) fn capture(mut stream: impl Read + Send + 'static) -> StderrTail {
+        let inner = std::sync::Arc::new(StderrTailInner {
+            buf: Mutex::new(String::new()),
+            done: std::sync::atomic::AtomicBool::new(false),
+        });
+        let shared = inner.clone();
+        std::thread::spawn(move || {
+            let mut chunk = [0u8; 4096];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        let mut buf = shared.buf.lock().expect("stderr tail poisoned");
+                        buf.push_str(&String::from_utf8_lossy(&chunk[..n]));
+                        if buf.len() > STDERR_TAIL_LIMIT {
+                            let cut = buf.len() - STDERR_TAIL_LIMIT;
+                            let cut = (cut..buf.len())
+                                .find(|&i| buf.is_char_boundary(i))
+                                .unwrap_or(buf.len());
+                            buf.drain(..cut);
+                        }
+                    }
+                }
+            }
+            shared
+                .done
+                .store(true, std::sync::atomic::Ordering::Release);
+        });
+        StderrTail { inner }
+    }
+
+    /// The captured tail, waiting briefly for the stream to close so a
+    /// crashing worker's final lines are included.
+    fn tail(&self) -> String {
+        let deadline = Instant::now() + STDERR_TAIL_WAIT;
+        while !self.inner.done.load(std::sync::atomic::Ordering::Acquire)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.inner
+            .buf
+            .lock()
+            .expect("stderr tail poisoned")
+            .trim()
+            .to_string()
+    }
+}
 
 /// One worker's two stream halves. For a subprocess these are its stdin
 /// and stdout pipes; for a socket worker, the two clones of the TCP
@@ -111,23 +189,31 @@ impl Job {
         }
     }
 
-    fn encode(&self, query: &ConjunctiveQuery, options: EvalOptions) -> Vec<u8> {
+    fn encode(
+        &self,
+        query: &ConjunctiveQuery,
+        options: EvalOptions,
+        trace: TraceContext,
+    ) -> Vec<u8> {
         match self {
             Job::Chunk(batch) => encode_frame(&EvalChunkRef {
                 query,
                 options,
                 batch,
+                trace,
             }),
             Job::Delta(batch) => encode_frame(&EvalDeltaRef {
                 query,
                 options,
                 batch,
+                trace,
             }),
             Job::Resident { round, node } => encode_frame(&Message::EvalResident {
                 round: *round,
                 node: *node,
                 query: query.clone(),
                 options,
+                trace,
             }),
         }
     }
@@ -187,24 +273,38 @@ pub(crate) struct DriveReport {
     failed: Vec<Job>,
     /// The failure that ended the drive, if any.
     error: Option<TransportError>,
+    /// Trace events the worker flushed during the drive (empty when
+    /// tracing is off — untraced workers never send `TraceFlush`).
+    events: Vec<TraceEvent>,
 }
 
-/// Decodes one reply frame and validates it against the job it answers.
-/// Returns the node's result plus the reply frame's wire length.
+/// Decodes one reply frame and validates it against the job it answers,
+/// absorbing any `TraceFlush` frames the worker interleaved (their events
+/// go into `events`). Returns the node's result plus the frames' total
+/// wire length.
 fn read_reply(
     reader: &mut BufReader<Box<dyn Read + Send>>,
     job: &Job,
+    events: &mut Vec<TraceEvent>,
 ) -> Result<(Node, NodeResult, u64), TransportError> {
     let node = job.node();
-    let (reply, reply_bytes) = match read_frame_counted::<Message>(reader) {
-        Ok(Some(reply)) => reply,
-        Ok(None) => {
-            return Err(TransportError::Io(
-                "worker closed its connection mid-round".to_string(),
-            ))
+    let mut total_bytes = 0u64;
+    let (reply, reply_bytes) = loop {
+        match read_frame_counted::<Message>(reader) {
+            Ok(Some((Message::TraceFlush { events: flushed }, bytes))) => {
+                total_bytes += bytes;
+                events.extend(flushed);
+            }
+            Ok(Some(reply)) => break reply,
+            Ok(None) => {
+                return Err(TransportError::Io(
+                    "worker closed its connection mid-round".to_string(),
+                ))
+            }
+            Err(e) => return Err(TransportError::Protocol(e.to_string())),
         }
-        Err(e) => return Err(TransportError::Protocol(e.to_string())),
     };
+    let reply_bytes = total_bytes + reply_bytes;
     let (answered_round, answered_node, output, eval_us) = match (job, reply) {
         (Job::Chunk(_) | Job::Resident { .. }, Message::ChunkResult { batch, eval_us }) => {
             (batch.round, batch.node, batch.chunk, eval_us)
@@ -256,22 +356,27 @@ pub(crate) fn drive(
     barrier_round: u64,
     jobs: &[Job],
     window: usize,
+    trace: TraceContext,
 ) -> DriveReport {
     let window = window.max(1);
     let gate = WindowGate::new();
     let Endpoint { writer, reader } = endpoint;
 
-    let (results, bytes, error) = std::thread::scope(|scope| {
+    let (results, bytes, error, events) = std::thread::scope(|scope| {
         let gate = &gate;
         let writer_handle = scope.spawn(move || -> (u64, Option<TransportError>) {
             let mut sent = 0u64;
             for job in jobs {
-                if !gate.acquire(window) {
+                let acquired = {
+                    let _wait = obs::span!("window_wait", node = job.node());
+                    gate.acquire(window)
+                };
+                if !acquired {
                     // The reader failed and aborted the round; stop
                     // writing so the thread can be joined.
                     return (sent, None);
                 }
-                let frame = job.encode(query, options);
+                let frame = job.encode(query, options, trace);
                 sent += frame.len() as u64;
                 if let Err(e) = writer.write_all(&frame).and_then(|()| writer.flush()) {
                     return (
@@ -298,10 +403,11 @@ pub(crate) fn drive(
         });
 
         let mut results = Vec::with_capacity(jobs.len());
+        let mut events: Vec<TraceEvent> = Vec::new();
         let mut reply_bytes = 0u64;
         let mut error: Option<TransportError> = None;
         for job in jobs {
-            match read_reply(reader, job) {
+            match read_reply(reader, job, &mut events) {
                 Ok((node, result, bytes)) => {
                     reply_bytes += bytes;
                     results.push((node, result));
@@ -314,16 +420,30 @@ pub(crate) fn drive(
             }
         }
         if error.is_none() {
-            error = match read_frame_counted::<Message>(reader) {
-                Ok(Some((Message::BarrierAck { round }, _))) if round == barrier_round => None,
-                Ok(Some((other, _))) => Some(TransportError::Protocol(format!(
-                    "expected barrier-ack for round {barrier_round}, worker sent {}",
-                    other.kind()
-                ))),
-                Ok(None) => Some(TransportError::Io(
-                    "worker closed its connection at the barrier".to_string(),
-                )),
-                Err(e) => Some(TransportError::Protocol(e.to_string())),
+            // Workers flush their trace buffers right before acking the
+            // barrier; absorb those frames here.
+            error = loop {
+                match read_frame_counted::<Message>(reader) {
+                    Ok(Some((Message::TraceFlush { events: flushed }, bytes))) => {
+                        reply_bytes += bytes;
+                        events.extend(flushed);
+                    }
+                    Ok(Some((Message::BarrierAck { round }, _))) if round == barrier_round => {
+                        break None
+                    }
+                    Ok(Some((other, _))) => {
+                        break Some(TransportError::Protocol(format!(
+                            "expected barrier-ack for round {barrier_round}, worker sent {}",
+                            other.kind()
+                        )))
+                    }
+                    Ok(None) => {
+                        break Some(TransportError::Io(
+                            "worker closed its connection at the barrier".to_string(),
+                        ))
+                    }
+                    Err(e) => break Some(TransportError::Protocol(e.to_string())),
+                }
             };
         }
         if error.is_some() {
@@ -334,7 +454,7 @@ pub(crate) fn drive(
         if error.is_none() {
             error = write_error;
         }
-        (results, request_bytes + reply_bytes, error)
+        (results, request_bytes + reply_bytes, error, events)
     });
 
     let failed = if error.is_some() {
@@ -347,6 +467,7 @@ pub(crate) fn drive(
         bytes,
         failed,
         error,
+        events,
     }
 }
 
@@ -388,6 +509,15 @@ pub(crate) struct PipelinedCore {
     /// delta becomes a round-0 rebuild on the new worker.
     needs_rebuild: BTreeSet<Node>,
     shutdown_grace: Duration,
+    /// Trace context captured at `begin_round` and stamped on every eval
+    /// frame, so worker spans parent under the coordinator's round span.
+    trace: TraceContext,
+    /// Unified metrics for the driver: `driver_requeues`, `worker_deaths`
+    /// and `state_rebuilds` accumulate here over the transport's lifetime.
+    registry: std::sync::Arc<obs::Registry>,
+    /// Captured stderr tails for spawned workers (`None` for external
+    /// socket workers); appended to the error when a worker dies.
+    stderr_tails: Vec<Option<StderrTail>>,
 }
 
 impl PipelinedCore {
@@ -410,7 +540,23 @@ impl PipelinedCore {
             shipped_state: BTreeMap::new(),
             needs_rebuild: BTreeSet::new(),
             shutdown_grace: DEFAULT_SHUTDOWN_GRACE,
+            trace: TraceContext::default(),
+            registry: std::sync::Arc::new(obs::Registry::new()),
+            stderr_tails: vec![None; count],
         }
+    }
+
+    /// Installs the captured stderr tails for spawned workers (index-
+    /// aligned with the endpoints; `None` for external workers).
+    pub(crate) fn set_stderr_tails(&mut self, tails: Vec<Option<StderrTail>>) {
+        debug_assert_eq!(tails.len(), self.endpoints.len());
+        self.stderr_tails = tails;
+    }
+
+    /// The driver's metrics registry (requeues, worker deaths, state
+    /// rebuilds).
+    pub(crate) fn registry(&self) -> std::sync::Arc<obs::Registry> {
+        self.registry.clone()
     }
 
     pub(crate) fn set_window(&mut self, window: usize) {
@@ -474,6 +620,26 @@ impl PipelinedCore {
         ))
     }
 
+    /// Appends the tail of a spawned worker's captured stderr to the
+    /// error that ended its drive, so a panic message or abort reason is
+    /// not silently lost with the process.
+    fn stderr_annotated(&self, worker: usize, error: TransportError) -> TransportError {
+        let tail = match self.stderr_tails.get(worker).and_then(|t| t.as_ref()) {
+            Some(tail) => tail.tail(),
+            None => String::new(),
+        };
+        if tail.is_empty() {
+            return error;
+        }
+        match error {
+            TransportError::Io(msg) => TransportError::Io(format!("{msg}; worker stderr: {tail}")),
+            TransportError::Protocol(msg) => {
+                TransportError::Protocol(format!("{msg}; worker stderr: {tail}"))
+            }
+            other => other,
+        }
+    }
+
     /// Tears down a dead worker: closes its endpoint, reaps its process,
     /// and orphans its nodes so they get reassigned (and, for stateful
     /// delta nodes, rebuilt) on their next job.
@@ -506,6 +672,8 @@ impl PipelinedCore {
             Job::Chunk(batch) => Job::Chunk(batch),
             Job::Delta(batch) => {
                 let node = batch.node;
+                self.registry.counter("state_rebuilds").inc();
+                obs::instant!("state_rebuild", node = node);
                 self.needs_rebuild.remove(&node);
                 let delta = self
                     .shipped_state
@@ -519,6 +687,8 @@ impl PipelinedCore {
                 })
             }
             Job::Resident { round, node } => {
+                self.registry.counter("state_rebuilds").inc();
+                obs::instant!("state_rebuild", node = node);
                 self.needs_rebuild.remove(&node);
                 let chunk = self.shipped_state.get(&node).cloned().unwrap_or_default();
                 Job::Chunk(ChunkBatch { round, node, chunk })
@@ -535,6 +705,10 @@ impl PipelinedCore {
         self.query = Some(query.clone());
         self.options = options;
         self.round = round as u64;
+        // Capture the active trace (if any) once per round: every frame
+        // this round ships the same context, and workers parent their
+        // spans under whatever span the engine has open right now.
+        self.trace = TraceContext::capture(obs::current_span());
         for queue in &mut self.jobs {
             queue.clear();
         }
@@ -610,6 +784,7 @@ impl PipelinedCore {
         let options = self.options;
         let round = self.round;
         let window = self.window;
+        let trace = self.trace;
         loop {
             let count = self.endpoints.len();
             let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); count]);
@@ -629,7 +804,10 @@ impl PipelinedCore {
                         let query = &query;
                         let endpoint = endpoint.as_mut().expect("filtered on live endpoints");
                         scope.spawn(move || {
-                            (i, drive(endpoint, query, options, round, queue, window))
+                            (
+                                i,
+                                drive(endpoint, query, options, round, queue, window, trace),
+                            )
                         })
                     })
                     .collect();
@@ -649,10 +827,27 @@ impl PipelinedCore {
             for (worker, report) in reports {
                 self.bytes_shipped += report.bytes;
                 self.results.extend(report.results);
+                if !report.events.is_empty() {
+                    // Worker events arrive with pid 0 (set at recording
+                    // time by a process that does not know its index);
+                    // stamp them with a stable per-worker pid so the
+                    // merged timeline keeps the processes apart.
+                    let pid = (worker + 1) as u32;
+                    let mut events = report.events;
+                    for event in &mut events {
+                        if event.pid == 0 {
+                            event.pid = pid;
+                        }
+                    }
+                    obs::submit_events(events);
+                }
                 if let Some(error) = report.error {
+                    let error = self.stderr_annotated(worker, error);
                     if !self.fault_tolerance {
                         return Err(error);
                     }
+                    self.registry.counter("worker_deaths").inc();
+                    obs::instant!("worker_dead", worker = worker, error = error);
                     self.mark_dead(worker);
                     requeue.extend(report.failed);
                 }
@@ -667,6 +862,8 @@ impl PipelinedCore {
                 )));
             }
             for job in requeue {
+                self.registry.counter("driver_requeues").inc();
+                obs::instant!("requeue", node = job.node());
                 let job = self.requeued_job(job);
                 self.enqueue(job)?;
             }

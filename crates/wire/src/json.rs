@@ -64,6 +64,264 @@ impl JsonValue {
     }
 }
 
+impl JsonValue {
+    /// Parses a JSON document — the inverse of the `Display` rendering,
+    /// for tools that read documents this crate (or anything else) wrote:
+    /// `pcq-analyze trace summarize` loads Chrome-trace files through
+    /// this. Non-negative integers parse as [`JsonValue::UInt`]; any other
+    /// number (negative, fractional, exponent) parses as
+    /// [`JsonValue::Fixed`] keeping its printed decimal count.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.at != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.at));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for non-arrays).
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload of a `UInt` that fits in a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// A recursive-descent JSON parser over raw bytes (JSON structure is
+/// ASCII; string contents pass through as UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.at) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.at
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected '{}' at byte {}",
+                char::from(other),
+                self.at
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not produced by our
+                            // emitter; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar so multi-byte text
+                    // survives the byte-wise walk.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.at += 1;
+        }
+        let mut decimals = 0u8;
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.at += 1;
+            while let Some(b'0'..=b'9') = self.peek() {
+                self.at += 1;
+                decimals = decimals.saturating_add(1);
+            }
+        }
+        if let Some(b'e' | b'E') = self.peek() {
+            fractional = true;
+            self.at += 1;
+            if let Some(b'+' | b'-') = self.peek() {
+                self.at += 1;
+            }
+            while let Some(b'0'..=b'9') = self.peek() {
+                self.at += 1;
+            }
+            // Exponent notation loses the printed-decimals round-trip;
+            // render with enough digits to stay faithful.
+            decimals = decimals.max(6);
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits are ASCII");
+        if !fractional && !text.starts_with('-') {
+            return text
+                .parse::<u128>()
+                .map(JsonValue::UInt)
+                .map_err(|e| format!("bad number '{text}': {e}"));
+        }
+        text.parse::<f64>()
+            .map(|value| JsonValue::Fixed { value, decimals })
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
 impl From<bool> for JsonValue {
     fn from(value: bool) -> JsonValue {
         JsonValue::Bool(value)
@@ -167,6 +425,72 @@ impl fmt::Display for JsonValue {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_inverts_display() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::from("T(x) :- R(x, \"y\").\n")),
+            ("count", JsonValue::from(42usize)),
+            ("ratio", JsonValue::fixed(1.5, 4)),
+            ("ok", JsonValue::from(true)),
+            ("missing", JsonValue::Null),
+            (
+                "items",
+                JsonValue::array([JsonValue::from(0u64), JsonValue::from("x")]),
+            ),
+        ]);
+        let reparsed = JsonValue::parse(&doc.to_string()).unwrap();
+        assert_eq!(reparsed, doc);
+        assert_eq!(reparsed.get("count").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(
+            reparsed.get("name").and_then(JsonValue::as_str),
+            Some("T(x) :- R(x, \"y\").\n")
+        );
+        assert_eq!(
+            reparsed
+                .get("items")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_unicode() {
+        let parsed = JsonValue::parse(
+            " { \"a\" : [ 1 , -2.5 , \"\\u0041\\\\\" , \"é\" ] ,\n \"b\" : { } } ",
+        )
+        .unwrap();
+        let items = parsed.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items[0], JsonValue::UInt(1));
+        assert_eq!(
+            items[1],
+            JsonValue::Fixed {
+                value: -2.5,
+                decimals: 1
+            }
+        );
+        assert_eq!(items[2].as_str(), Some("A\\"));
+        assert_eq!(items[3].as_str(), Some("é"));
+        assert_eq!(parsed.get("b"), Some(&JsonValue::Object(Vec::new())));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
 
     #[test]
     fn renders_compact_json() {

@@ -14,7 +14,11 @@
 //! * [`Scenario`] — the textual scenario format: one file describing
 //!   query, instance, network/policy schedule, round cap and feedback
 //!   relation, with a pretty-printer that is the parser's exact inverse,
-//! * [`json`] — the JSON emitter behind `pcq-analyze run --json`,
+//! * [`json`] — the JSON emitter (and parser) behind `pcq-analyze run
+//!   --json` and the Chrome-trace tooling,
+//! * [`trace_export`] — Chrome-trace-event export of merged coordinator
+//!   + worker timelines, plus the rollups behind `pcq-analyze trace
+//!   summarize`,
 //! * [`ProcessTransport`] — a [`distribution::Transport`] that spawns
 //!   `pcq-analyze worker` subprocesses and ships binary-encoded chunks
 //!   over their stdio pipes, making engine rounds genuinely cross-process
@@ -63,11 +67,13 @@ mod message;
 mod process;
 mod scenario;
 mod socket;
+pub mod trace_export;
 
 pub use codec::{decode_body, encode_body, Decode, DecodeError, Decoder, Encode, Encoder};
 pub use frame::{decode_frame, encode_frame, read_frame, read_frame_counted, write_frame};
 pub use json::JsonValue;
-pub use message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message};
+pub use message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message, TraceContext};
 pub use process::{run_worker, run_worker_with_fault, ProcessTransport};
 pub use scenario::{ExplicitSpec, NetworkSpec, PolicySpec, Scenario, ScenarioError};
 pub use socket::{run_worker_connect, SocketTransport};
+pub use trace_export::{check_well_formed, chrome_trace, parse_chrome_trace, TraceSummary};

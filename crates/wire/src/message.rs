@@ -11,11 +11,142 @@
 //! the `Query`/`Instance`/`Scenario` variants are standalone payloads used
 //! by `pcq-analyze encode`/`decode`.
 
-use cq::{ConjunctiveQuery, EvalOptions, Instance};
+use cq::{ConjunctiveQuery, EvalOptions, Instance, Symbol};
 use distribution::Node;
+use obs::{EventKind, TraceEvent};
 
 use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use crate::scenario::Scenario;
+
+/// The trace context an eval message carries across the process boundary:
+/// enough for the worker to join the coordinator's trace and parent its
+/// local spans under the span that shipped the work.
+///
+/// `trace_id == 0` means tracing is off — workers skip recording and the
+/// other fields are meaningless (encoded as zeros).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The coordinator's active trace id (0 = tracing off).
+    pub trace_id: u64,
+    /// The coordinator-side span the work item belongs to (0 = root).
+    pub parent_span: u64,
+    /// The coordinator's trace clock at send time, microseconds — the
+    /// worker offsets its monotonic clock onto this timeline
+    /// ([`obs::adopt_trace`]).
+    pub clock_us: u64,
+}
+
+impl TraceContext {
+    /// Captures the current trace (id + clock) with `parent_span` as the
+    /// remote parent. All-zeros when tracing is off.
+    pub fn capture(parent_span: u64) -> TraceContext {
+        let trace_id = obs::current_trace();
+        if trace_id == 0 {
+            return TraceContext::default();
+        }
+        TraceContext {
+            trace_id,
+            parent_span,
+            clock_us: obs::now_us(),
+        }
+    }
+
+    /// Whether the context carries an active trace.
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Worker side: joins the carried trace (no-op when inactive).
+    pub fn adopt(&self) {
+        obs::adopt_trace(self.trace_id, self.clock_us);
+    }
+}
+
+impl Encode for TraceContext {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.trace_id);
+        enc.u64(self.parent_span);
+        enc.u64(self.clock_us);
+    }
+}
+
+impl Decode for TraceContext {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TraceContext {
+            trace_id: dec.u64()?,
+            parent_span: dec.u64()?,
+            clock_us: dec.u64()?,
+        })
+    }
+}
+
+const KIND_SPAN: u8 = 0;
+const KIND_INSTANT: u8 = 1;
+
+impl Encode for TraceEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.symbol(Symbol::new(&self.name));
+        enc.byte(match self.kind {
+            EventKind::Span => KIND_SPAN,
+            EventKind::Instant => KIND_INSTANT,
+        });
+        enc.u64(self.ts_us);
+        enc.u64(self.dur_us);
+        enc.u64(u64::from(self.pid));
+        enc.u64(self.tid);
+        enc.u64(self.id);
+        enc.u64(self.parent);
+        enc.usize(self.args.len());
+        for (key, value) in &self.args {
+            enc.symbol(Symbol::new(key));
+            enc.symbol(Symbol::new(value));
+        }
+    }
+}
+
+impl Decode for TraceEvent {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let name = dec.symbol()?.as_str().to_string();
+        let kind = match dec.byte()? {
+            KIND_SPAN => EventKind::Span,
+            KIND_INSTANT => EventKind::Instant,
+            tag => {
+                return Err(DecodeError::UnknownTag {
+                    context: "EventKind",
+                    tag,
+                })
+            }
+        };
+        let ts_us = dec.u64()?;
+        let dur_us = dec.u64()?;
+        let pid = u32::try_from(dec.u64()?)
+            .map_err(|_| DecodeError::Invalid("trace event pid exceeds u32".to_string()))?;
+        let tid = dec.u64()?;
+        let id = dec.u64()?;
+        let parent = dec.u64()?;
+        let len = dec.usize()?;
+        if len > dec.remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let mut args = Vec::with_capacity(len);
+        for _ in 0..len {
+            let key = dec.symbol()?.as_str().to_string();
+            let value = dec.symbol()?.as_str().to_string();
+            args.push((key, value));
+        }
+        Ok(TraceEvent {
+            name,
+            kind,
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            id,
+            parent,
+            args,
+        })
+    }
+}
 
 /// One node's data chunk for one round — the unit the reshuffle phase
 /// ships across the wire.
@@ -100,6 +231,8 @@ pub enum Message {
         options: EvalOptions,
         /// The chunk to evaluate it over.
         batch: ChunkBatch,
+        /// The coordinator's trace context (all-zeros when tracing is off).
+        trace: TraceContext,
     },
     /// Worker → coordinator: the local output for one chunk.
     ChunkResult {
@@ -130,6 +263,8 @@ pub enum Message {
         options: EvalOptions,
         /// The node's new facts for this round.
         batch: DeltaBatch,
+        /// The coordinator's trace context (all-zeros when tracing is off).
+        trace: TraceContext,
     },
     /// Worker → coordinator: the node's new derivations for one delta.
     DeltaResult {
@@ -160,6 +295,17 @@ pub enum Message {
         query: ConjunctiveQuery,
         /// How to evaluate it (see [`Message::EvalChunk`]).
         options: EvalOptions,
+        /// The coordinator's trace context (all-zeros when tracing is off).
+        trace: TraceContext,
+    },
+    /// Worker → coordinator: the worker's locally recorded trace events,
+    /// flushed just before each `BarrierAck` (and at shutdown). The
+    /// coordinator stamps the events with the worker's lane and merges
+    /// them into its own timeline. Workers send this only while a trace
+    /// is active, so untraced runs pay nothing.
+    TraceFlush {
+        /// The worker's buffered events since its previous flush.
+        events: Vec<TraceEvent>,
     },
 }
 
@@ -175,6 +321,7 @@ const TAG_EVAL_DELTA: u8 = 8;
 const TAG_DELTA_RESULT: u8 = 9;
 const TAG_HELLO: u8 = 10;
 const TAG_EVAL_RESIDENT: u8 = 11;
+const TAG_TRACE_FLUSH: u8 = 12;
 
 impl Message {
     /// A short human-readable name for the message kind (log lines,
@@ -193,6 +340,7 @@ impl Message {
             Message::DeltaResult { .. } => "delta-result",
             Message::Hello { .. } => "hello",
             Message::EvalResident { .. } => "eval-resident",
+            Message::TraceFlush { .. } => "trace-flush",
         }
     }
 }
@@ -206,6 +354,8 @@ pub struct EvalDeltaRef<'a> {
     pub options: EvalOptions,
     /// The delta (with its round/node routing) to absorb and evaluate.
     pub batch: &'a DeltaBatch,
+    /// The coordinator's trace context.
+    pub trace: TraceContext,
 }
 
 impl Encode for EvalDeltaRef<'_> {
@@ -214,6 +364,7 @@ impl Encode for EvalDeltaRef<'_> {
         self.query.encode(enc);
         self.options.encode(enc);
         self.batch.encode(enc);
+        self.trace.encode(enc);
     }
 }
 
@@ -228,6 +379,8 @@ pub struct EvalChunkRef<'a> {
     pub options: EvalOptions,
     /// The chunk (with its round/node routing) to evaluate it over.
     pub batch: &'a ChunkBatch,
+    /// The coordinator's trace context.
+    pub trace: TraceContext,
 }
 
 impl Encode for EvalChunkRef<'_> {
@@ -236,6 +389,7 @@ impl Encode for EvalChunkRef<'_> {
         self.query.encode(enc);
         self.options.encode(enc);
         self.batch.encode(enc);
+        self.trace.encode(enc);
     }
 }
 
@@ -258,10 +412,12 @@ impl Encode for Message {
                 query,
                 options,
                 batch,
+                trace,
             } => EvalChunkRef {
                 query,
                 options: *options,
                 batch,
+                trace: *trace,
             }
             .encode(enc),
             Message::ChunkResult { batch, eval_us } => {
@@ -282,10 +438,12 @@ impl Encode for Message {
                 query,
                 options,
                 batch,
+                trace,
             } => EvalDeltaRef {
                 query,
                 options: *options,
                 batch,
+                trace: *trace,
             }
             .encode(enc),
             Message::DeltaResult { batch, eval_us } => {
@@ -302,12 +460,18 @@ impl Encode for Message {
                 node,
                 query,
                 options,
+                trace,
             } => {
                 enc.byte(TAG_EVAL_RESIDENT);
                 enc.u64(*round);
                 node.encode(enc);
                 query.encode(enc);
                 options.encode(enc);
+                trace.encode(enc);
+            }
+            Message::TraceFlush { events } => {
+                enc.byte(TAG_TRACE_FLUSH);
+                events.encode(enc);
             }
         }
     }
@@ -323,6 +487,7 @@ impl Decode for Message {
                 query: ConjunctiveQuery::decode(dec)?,
                 options: EvalOptions::decode(dec)?,
                 batch: ChunkBatch::decode(dec)?,
+                trace: TraceContext::decode(dec)?,
             }),
             TAG_CHUNK_RESULT => Ok(Message::ChunkResult {
                 batch: ChunkBatch::decode(dec)?,
@@ -335,6 +500,7 @@ impl Decode for Message {
                 query: ConjunctiveQuery::decode(dec)?,
                 options: EvalOptions::decode(dec)?,
                 batch: DeltaBatch::decode(dec)?,
+                trace: TraceContext::decode(dec)?,
             }),
             TAG_DELTA_RESULT => Ok(Message::DeltaResult {
                 batch: DeltaBatch::decode(dec)?,
@@ -346,6 +512,10 @@ impl Decode for Message {
                 node: Node::decode(dec)?,
                 query: ConjunctiveQuery::decode(dec)?,
                 options: EvalOptions::decode(dec)?,
+                trace: TraceContext::decode(dec)?,
+            }),
+            TAG_TRACE_FLUSH => Ok(Message::TraceFlush {
+                events: Vec::<TraceEvent>::decode(dec)?,
             }),
             tag => Err(DecodeError::UnknownTag {
                 context: "Message",
@@ -377,6 +547,11 @@ mod tests {
                 query: query.clone(),
                 options: EvalOptions::default(),
                 batch: batch.clone(),
+                trace: TraceContext {
+                    trace_id: 77,
+                    parent_span: 12,
+                    clock_us: 99_000,
+                },
             },
             Message::ChunkResult {
                 batch,
@@ -393,6 +568,7 @@ mod tests {
                     node: Node::numbered(2),
                     delta: instance.clone(),
                 },
+                trace: TraceContext::default(),
             },
             Message::DeltaResult {
                 batch: DeltaBatch {
@@ -415,7 +591,39 @@ mod tests {
                     use_indexes: false,
                     ..EvalOptions::default()
                 },
+                trace: TraceContext {
+                    trace_id: 5,
+                    parent_span: 0,
+                    clock_us: 1,
+                },
             },
+            Message::TraceFlush {
+                events: vec![
+                    TraceEvent {
+                        name: "eval_chunk".to_string(),
+                        kind: EventKind::Span,
+                        ts_us: 10,
+                        dur_us: 25,
+                        pid: 0,
+                        tid: 2,
+                        id: 9,
+                        parent: 4,
+                        args: vec![("node".to_string(), "n1".to_string())],
+                    },
+                    TraceEvent {
+                        name: "requeue".to_string(),
+                        kind: EventKind::Instant,
+                        ts_us: 40,
+                        dur_us: 0,
+                        pid: 3,
+                        tid: 1,
+                        id: 4,
+                        parent: 0,
+                        args: vec![],
+                    },
+                ],
+            },
+            Message::TraceFlush { events: vec![] },
         ];
         for message in &messages {
             let frame = encode_frame(message);
@@ -436,15 +644,22 @@ mod tests {
             join_strategy: cq::JoinStrategy::Multiway,
             ..EvalOptions::default()
         };
+        let trace = TraceContext {
+            trace_id: 3,
+            parent_span: 8,
+            clock_us: 500,
+        };
         let borrowed = encode_frame(&EvalChunkRef {
             query: &query,
             options,
             batch: &batch,
+            trace,
         });
         let owned = encode_frame(&Message::EvalChunk {
             query,
             options,
             batch,
+            trace,
         });
         assert_eq!(borrowed, owned);
     }
@@ -458,17 +673,53 @@ mod tests {
             delta: parse_instance("R(a, b).").unwrap(),
         };
         let options = EvalOptions::default();
+        let trace = TraceContext::default();
         let borrowed = encode_frame(&EvalDeltaRef {
             query: &query,
             options,
             batch: &batch,
+            trace,
         });
         let owned = encode_frame(&Message::EvalDelta {
             query,
             options,
             batch,
+            trace,
         });
         assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn truncated_trace_flush_frames_error_without_panicking() {
+        let flush = Message::TraceFlush {
+            events: vec![TraceEvent {
+                name: "eval_chunk".to_string(),
+                kind: EventKind::Span,
+                ts_us: 10,
+                dur_us: 25,
+                pid: 0,
+                tid: 2,
+                id: 9,
+                parent: 4,
+                args: vec![("node".to_string(), "n1".to_string())],
+            }],
+        };
+        let frame = encode_frame(&flush);
+        // Every proper prefix must decode to an error, never a panic.
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame::<Message>(&frame[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        // Corrupting the event-count varint to a huge value must be caught
+        // by the remaining-bytes pre-check, not attempt a giant allocation.
+        let mut enc = Encoder::new();
+        enc.byte(super::TAG_TRACE_FLUSH);
+        enc.usize(usize::MAX / 2);
+        let body = enc.finish();
+        let err = crate::codec::decode_body::<Message>(&body).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated);
     }
 
     #[test]

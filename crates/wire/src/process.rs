@@ -39,7 +39,7 @@ use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use delta::DeltaNode;
 use distribution::{Node, NodeResult, Transport, TransportError};
 
-use crate::driver::{Endpoint, PipelinedCore};
+use crate::driver::{Endpoint, PipelinedCore, StderrTail};
 use crate::frame::{read_frame, write_frame};
 use crate::message::{ChunkBatch, DeltaBatch, Message};
 
@@ -80,11 +80,13 @@ impl ProcessTransport {
     ) -> Result<ProcessTransport, TransportError> {
         let mut endpoints = Vec::with_capacity(per_worker_args.len());
         let mut children = Vec::with_capacity(per_worker_args.len());
+        let mut tails = Vec::with_capacity(per_worker_args.len());
         for args in per_worker_args {
             let mut child = Command::new(&program)
                 .args(args)
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
                 .spawn()
                 .map_err(|e| {
                     TransportError::Io(format!("cannot spawn worker {}: {e}", program.display()))
@@ -97,12 +99,16 @@ impl ProcessTransport {
                 .stdout
                 .take()
                 .ok_or_else(|| TransportError::Io("worker stdout not piped".to_string()))?;
+            // Keep the worker's stderr instead of inheriting it: the tail
+            // is appended to the round error if the worker dies, so panic
+            // messages are not lost with the process.
+            tails.push(child.stderr.take().map(StderrTail::capture));
             endpoints.push(Endpoint::new(stdin, stdout));
             children.push(Some(child));
         }
-        Ok(ProcessTransport {
-            core: PipelinedCore::new(endpoints, children),
-        })
+        let mut core = PipelinedCore::new(endpoints, children);
+        core.set_stderr_tails(tails);
+        Ok(ProcessTransport { core })
     }
 
     /// Number of worker subprocesses in the pool.
@@ -135,6 +141,12 @@ impl ProcessTransport {
     pub fn shutdown_grace(mut self, grace: Duration) -> ProcessTransport {
         self.core.set_shutdown_grace(grace);
         self
+    }
+
+    /// The driver's metrics registry: `driver_requeues`, `worker_deaths`
+    /// and `state_rebuilds` accumulate here over the transport's lifetime.
+    pub fn metrics_registry(&self) -> std::sync::Arc<obs::Registry> {
+        self.core.registry()
     }
 }
 
@@ -231,10 +243,20 @@ pub fn run_worker_with_fault(
                 query,
                 options,
                 batch,
+                trace,
             })) => {
                 note_eval()?;
+                trace.adopt();
                 let start = Instant::now();
+                let _span = obs::span_under("worker_eval_chunk", trace.parent_span, || {
+                    vec![
+                        ("node".to_string(), batch.node.to_string()),
+                        ("round".to_string(), batch.round.to_string()),
+                        ("facts".to_string(), batch.chunk.len().to_string()),
+                    ]
+                });
                 let local = cq::evaluate_with(&query, &batch.chunk, options);
+                drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let reply = Message::ChunkResult {
                     batch: ChunkBatch {
@@ -254,15 +276,25 @@ pub fn run_worker_with_fault(
                 query,
                 options,
                 batch,
+                trace,
             })) => {
                 note_eval()?;
+                trace.adopt();
                 if batch.round == 0 {
                     nodes.insert(batch.node, DeltaNode::new());
                     resident.remove(&batch.node);
                 }
                 let state = nodes.entry(batch.node).or_default();
                 let start = Instant::now();
+                let _span = obs::span_under("worker_eval_delta", trace.parent_span, || {
+                    vec![
+                        ("node".to_string(), batch.node.to_string()),
+                        ("round".to_string(), batch.round.to_string()),
+                        ("delta_facts".to_string(), batch.delta.len().to_string()),
+                    ]
+                });
                 let fresh = state.step_with(&query, &batch.delta, options);
+                drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let reply = Message::DeltaResult {
                     batch: DeltaBatch {
@@ -279,8 +311,10 @@ pub fn run_worker_with_fault(
                 node,
                 query,
                 options,
+                trace,
             })) => {
                 note_eval()?;
+                trace.adopt();
                 let empty = Instance::new();
                 let shard = nodes
                     .get(&node)
@@ -288,7 +322,15 @@ pub fn run_worker_with_fault(
                     .or_else(|| resident.get(&node))
                     .unwrap_or(&empty);
                 let start = Instant::now();
+                let _span = obs::span_under("worker_eval_resident", trace.parent_span, || {
+                    vec![
+                        ("node".to_string(), node.to_string()),
+                        ("round".to_string(), round.to_string()),
+                        ("facts".to_string(), shard.len().to_string()),
+                    ]
+                });
                 let local = cq::evaluate_with(&query, shard, options);
+                drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let reply = Message::ChunkResult {
                     batch: ChunkBatch {
@@ -301,6 +343,16 @@ pub fn run_worker_with_fault(
                 write_frame(&mut output, &reply).map_err(|e| e.to_string())?;
             }
             Ok(Some(Message::Barrier { round })) => {
+                // Flush this round's trace buffers to the coordinator
+                // right before the ack — the driver absorbs `TraceFlush`
+                // frames while waiting for the barrier.
+                if obs::enabled() {
+                    let events = obs::take_events();
+                    if !events.is_empty() {
+                        write_frame(&mut output, &Message::TraceFlush { events })
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
                 write_frame(&mut output, &Message::BarrierAck { round })
                     .map_err(|e| e.to_string())?;
             }
@@ -316,6 +368,7 @@ pub fn run_worker_with_fault(
 mod tests {
     use super::*;
     use crate::frame::encode_frame;
+    use crate::message::TraceContext;
 
     /// Drives `run_worker` entirely in memory (no subprocess): feed it a
     /// frame script, collect its reply frames.
@@ -356,6 +409,7 @@ mod tests {
                     node: Node::numbered(0),
                     chunk: chunk.clone(),
                 },
+                trace: TraceContext::default(),
             },
             Message::Barrier { round: 0 },
             Message::Shutdown,
@@ -384,6 +438,7 @@ mod tests {
                 node,
                 delta: cq::parse_instance(text).unwrap(),
             },
+            trace: TraceContext::default(),
         };
         let replies = worker_script(&[
             // Run 1: the join closes in round 1 against round-0 state.
@@ -426,6 +481,7 @@ mod tests {
                     node,
                     chunk: chunk.clone(),
                 },
+                trace: TraceContext::default(),
             },
             // A different query over the shard the chunk left behind —
             // no facts travel with this request.
@@ -434,6 +490,7 @@ mod tests {
                 node,
                 query: path_q.clone(),
                 options: EvalOptions::default(),
+                trace: TraceContext::default(),
             },
             // A node never shipped anything holds the empty shard.
             Message::EvalResident {
@@ -441,6 +498,7 @@ mod tests {
                 node: Node::numbered(9),
                 query: path_q.clone(),
                 options: EvalOptions::default(),
+                trace: TraceContext::default(),
             },
             Message::Shutdown,
         ])
@@ -474,6 +532,7 @@ mod tests {
                 node,
                 delta: cq::parse_instance(text).unwrap(),
             },
+            trace: TraceContext::default(),
         };
         let replies = worker_script(&[
             delta(0, "R(a, b)."),
@@ -483,6 +542,7 @@ mod tests {
                 node,
                 query: query.clone(),
                 options: EvalOptions::default(),
+                trace: TraceContext::default(),
             },
             Message::Shutdown,
         ])
@@ -517,6 +577,7 @@ mod tests {
                         node: Node::numbered(0),
                         chunk: chunk.clone(),
                     },
+                    trace: TraceContext::default(),
                 },
                 Message::Shutdown,
             ])
@@ -557,6 +618,7 @@ mod tests {
                 node: Node::numbered(node),
                 chunk: cq::parse_instance("R(a, b). R(b, c).").unwrap(),
             },
+            trace: TraceContext::default(),
         };
         // Barriers must not count toward the limit: with fail-after 2 the
         // worker answers two evals (and the barrier between them), then

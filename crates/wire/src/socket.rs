@@ -26,13 +26,13 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::process::{Child, Command};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use cq::{ConjunctiveQuery, EvalOptions, Instance};
 use distribution::{Node, NodeResult, Transport, TransportError};
 
-use crate::driver::{Endpoint, PipelinedCore};
+use crate::driver::{Endpoint, PipelinedCore, StderrTail};
 use crate::frame::{read_frame, write_frame};
 use crate::message::Message;
 use crate::process::run_worker_with_fault;
@@ -86,17 +86,22 @@ impl SocketTransport {
         let listener = bind("127.0.0.1:0")?;
         let addr = local_addr(&listener)?;
         let mut children = Vec::with_capacity(per_worker_args.len());
+        let mut tails = Vec::with_capacity(per_worker_args.len());
         for (token, args) in per_worker_args.iter().enumerate() {
-            let child = Command::new(&program)
+            let mut child = Command::new(&program)
                 .args(args)
                 .arg("--connect")
                 .arg(addr.to_string())
                 .arg("--token")
                 .arg(token.to_string())
+                .stderr(Stdio::piped())
                 .spawn()
                 .map_err(|e| {
                     TransportError::Io(format!("cannot spawn worker {}: {e}", program.display()))
                 })?;
+            // Same crash-diagnostics capture as the process transport: a
+            // dead worker's stderr tail rides along on the round error.
+            tails.push(child.stderr.take().map(StderrTail::capture));
             children.push(Some(child));
         }
         let endpoints = accept_workers(
@@ -105,9 +110,9 @@ impl SocketTransport {
             SPAWN_ACCEPT_DEADLINE,
             Some(&mut children),
         )?;
-        Ok(SocketTransport {
-            core: PipelinedCore::new(endpoints, children),
-        })
+        let mut core = PipelinedCore::new(endpoints, children);
+        core.set_stderr_tails(tails);
+        Ok(SocketTransport { core })
     }
 
     /// Binds `addr` and waits (up to a minute) for `workers` external
@@ -156,6 +161,12 @@ impl SocketTransport {
     pub fn shutdown_grace(mut self, grace: Duration) -> SocketTransport {
         self.core.set_shutdown_grace(grace);
         self
+    }
+
+    /// The driver's metrics registry: `driver_requeues`, `worker_deaths`
+    /// and `state_rebuilds` accumulate here over the transport's lifetime.
+    pub fn metrics_registry(&self) -> std::sync::Arc<obs::Registry> {
+        self.core.registry()
     }
 }
 

@@ -221,7 +221,8 @@ proptest! {
         // panicking or over-allocating.
         let batch = ChunkBatch { round: 0, node: Node::numbered(0), chunk: instance };
         let options = cq::EvalOptions::default();
-        let mut framed = encode_frame(&Message::EvalChunk { query, options, batch });
+        let trace = wire::TraceContext::default();
+        let mut framed = encode_frame(&Message::EvalChunk { query, options, batch, trace });
         let at = byte % framed.len();
         framed[at] ^= flip;
         let _ = decode_frame::<Message>(&framed);

@@ -13,10 +13,12 @@
 //!                          [--distribute-workers N]
 //!                          [--join-strategy binary|multiway|auto]
 //!                          [--transport memory|process|socket]
-//!                          [--fault-inject N]
+//!                          [--fault-inject N] [--trace FILE]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
 //!                          [--rounds N] [--feedback R] [--semi-naive]
 //!                          [--transport T] [--reshuffle-always]
+//!                          [--trace FILE]
+//!   pcq-analyze trace      summarize <trace.json> [--json]
 //!   pcq-analyze encode     (query|instance|scenario) <spec>
 //!   pcq-analyze decode
 //!   pcq-analyze worker     [--connect host:port --token K] [--fail-after N]
@@ -83,6 +85,17 @@
 //! communication saving is measured against), and the JSON report gains
 //! `transfer_checks` and `elided_reshuffles`.
 //!
+//! `--trace FILE` records a distributed trace of the whole run: engine
+//! rounds, distribute/reshuffle phases, per-node joins, cache and
+//! transfer-oracle decisions on the coordinator, plus every wire worker's
+//! evaluation spans (shipped back at each barrier and merged onto the
+//! coordinator's timeline). The output is Chrome trace-event JSON — open
+//! it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`, or
+//! roll it up with `pcq-analyze trace summarize FILE [--json]`: per-phase
+//! aggregates, per-process totals, and the round-by-round critical path.
+//! Tracing off (the default) costs nothing but one relaxed atomic load
+//! per instrumentation site.
+//!
 //! `encode` writes one binary frame (magic `PCQW`) for a query, an
 //! instance or a scenario to stdout; `decode` reads one frame from stdin
 //! and prints its textual form — `encode … | decode` is the identity.
@@ -104,6 +117,7 @@
 
 use std::process::ExitCode;
 
+use pcq::obs;
 use pcq::prelude::*;
 use pcq::wire;
 
@@ -131,7 +145,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T] [--reshuffle-always]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N] [--trace FILE]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T] [--reshuffle-always]\n                         [--trace FILE]\n  pcq-analyze trace      summarize <trace.json> [--json]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -158,6 +172,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok(hypercube(&query, &prime))
         }
         "run" => run_command(&args[1..]),
+        "trace" => trace_command(&args[1..]),
         "encode" => encode_command(&args[1..]),
         "decode" => decode_command(&args[1..]),
         "worker" => worker_command(&args[1..]),
@@ -296,6 +311,89 @@ struct RunOptions {
     /// `--reshuffle-always`: disable transferability-driven reshuffle
     /// elision in multi-query scenarios (the measurement baseline).
     reshuffle_always: bool,
+    /// `--trace FILE`: record a distributed trace of the run — coordinator
+    /// spans plus every worker's, merged onto one timeline — and write it
+    /// as Chrome trace-event JSON (loadable in Perfetto, summarizable with
+    /// `pcq-analyze trace summarize`).
+    trace: Option<String>,
+}
+
+/// Brackets a traced `run`: starts the process-wide trace recorder and the
+/// root span before the selected arm executes, and on finish drains the
+/// merged timeline and writes the Chrome trace-event file.
+struct TraceSession {
+    path: Option<String>,
+    root: Option<obs::Span>,
+}
+
+impl TraceSession {
+    fn begin(path: Option<&str>) -> TraceSession {
+        let root = path.map(|_| {
+            obs::start_trace();
+            obs::span!("run")
+        });
+        TraceSession {
+            path: path.map(str::to_string),
+            root,
+        }
+    }
+
+    fn finish(self, result: Result<bool, String>) -> Result<bool, String> {
+        let Some(path) = self.path else {
+            return result;
+        };
+        drop(self.root);
+        let events = obs::end_trace();
+        let dropped = obs::dropped_events();
+        if dropped > 0 {
+            eprintln!("trace: {dropped} events dropped (per-thread buffer full)");
+        }
+        let doc = wire::trace_export::chrome_trace(&events);
+        match std::fs::write(&path, format!("{doc}\n")) {
+            // A failed run is the primary error; only surface a write
+            // failure when it would otherwise be silently lost.
+            Ok(()) => result,
+            Err(e) => result.and(Err(format!("cannot write trace to {path}: {e}"))),
+        }
+    }
+}
+
+/// The `trace` subcommand: offline tooling over Chrome trace-event files
+/// written by `run --trace`. `summarize` validates the document (parse,
+/// reconstruction, span-nesting well-formedness) and prints per-phase,
+/// per-process and per-round rollups (`--json` for machine-readable
+/// output).
+fn trace_command(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let mut json = false;
+            let mut path: Option<&String> = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag '{other}'"))
+                    }
+                    _ if path.is_none() => path = Some(arg),
+                    other => return Err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let path = path.ok_or("trace summarize needs a trace file")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let events = wire::parse_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+            wire::check_well_formed(&events).map_err(|e| format!("{path}: {e}"))?;
+            let summary = wire::TraceSummary::from_events(&events);
+            if json {
+                println!("{}", summary.to_json());
+            } else {
+                print!("{summary}");
+            }
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown trace subcommand '{other}'")),
+        None => Err("trace needs a subcommand (summarize)".to_string()),
+    }
 }
 
 /// The per-worker `pcq-analyze worker …` argument lists for a wire
@@ -403,6 +501,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         fault_inject: None,
         join_strategy: None,
         reshuffle_always: false,
+        trace: None,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -463,6 +562,13 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             "--fault-inject" => {
                 opts.fault_inject = Some(parse_count("--fault-inject", iter.next())?)
             }
+            "--trace" => {
+                opts.trace = Some(
+                    iter.next()
+                        .ok_or("--trace needs an output file path")?
+                        .to_string(),
+                )
+            }
             "--join-strategy" => {
                 let name = iter.next().ok_or("--join-strategy needs a name")?;
                 opts.join_strategy = Some(JoinStrategy::parse(name).ok_or(format!(
@@ -512,6 +618,15 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         }
     }
 
+    let session = TraceSession::begin(opts.trace.as_deref());
+    session.finish(run_dispatch(&positional, &opts))
+}
+
+/// The selected `run` arm — multi-query scenario, single-query
+/// multi-round, or plain one-round evaluation — after flag parsing and
+/// validation. Split out of [`run_command`] so a [`TraceSession`] can
+/// bracket every arm uniformly.
+fn run_dispatch(positional: &[&String], opts: &RunOptions) -> Result<bool, String> {
     if let Some(path) = opts.scenario.clone() {
         if !positional.is_empty() {
             return Err(
@@ -550,7 +665,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                 policies,
                 rounds,
                 feedback.as_deref(),
-                &opts,
+                opts,
             );
         }
         return run_multi_round(
@@ -562,7 +677,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             policies,
             rounds,
             feedback.as_deref(),
-            &opts,
+            opts,
         );
     }
 
@@ -602,12 +717,12 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             policies,
             rounds,
             opts.feedback.as_deref(),
-            &opts,
+            opts,
         );
     }
 
     let policy = load_run_policy(policy_spec, &query, &instance)?;
-    let eval_options = run_eval_options(&opts);
+    let eval_options = run_eval_options(opts);
     let resolved = eval_options.resolved_strategy(&query);
     let engine = OneRoundEngine::new(policy.as_ref())
         .workers(opts.workers)
@@ -620,13 +735,13 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let outcome = match opts.transport {
         TransportChoice::Memory => engine.evaluate(&query, &instance),
         TransportChoice::Process => {
-            let mut transport = spawn_process_transport(&opts)?;
+            let mut transport = spawn_process_transport(opts)?;
             engine
                 .evaluate_via(&mut transport, 0, &query, &instance)
                 .map_err(|e| e.to_string())?
         }
         TransportChoice::Socket => {
-            let mut transport = spawn_socket_transport(&opts)?;
+            let mut transport = spawn_socket_transport(opts)?;
             engine
                 .evaluate_via(&mut transport, 0, &query, &instance)
                 .map_err(|e| e.to_string())?

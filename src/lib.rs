@@ -16,6 +16,8 @@
 //! * [`pc_core`] — the paper's contribution: parallel-correctness,
 //!   transferability, strong minimality, conditions C0–C3.
 //! * [`logic`] — SAT / QBF solvers used as ground-truth oracles.
+//! * [`obs`] — the observability substrate: distributed tracing spans and
+//!   the unified metrics registry, zero-dependency and free when disabled.
 //! * [`reductions`] — the paper's hardness reductions as instance generators.
 //! * [`wire`] — the serialization subsystem: binary codec and framing,
 //!   textual scenario format, JSON emitter and the cross-process transport.
@@ -44,6 +46,7 @@ pub use cq;
 pub use delta;
 pub use distribution;
 pub use logic;
+pub use obs;
 pub use pc_core;
 pub use reductions;
 pub use wire;

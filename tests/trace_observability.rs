@@ -1,0 +1,334 @@
+//! Trace correctness across the whole stack: spans must nest, timelines
+//! from coordinator and workers must merge into one coherent, time-ordered
+//! trace on every transport (including a fault-injected run), the Chrome
+//! export must round-trip, and the metrics registry must agree with what
+//! the trace records.
+//!
+//! The span recorder is process-global, so every traced test serializes on
+//! [`TRACE_GATE`]; untraced tests (stderr-tail surfacing) run freely.
+
+use pcq::obs;
+use pcq::prelude::*;
+use pcq::wire::trace_export;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pcq-analyze"))
+}
+
+/// Argument lists for a worker pool whose worker 0 dies after
+/// `fail_after` eval jobs.
+fn faulty_argv(workers: usize, fail_after: u64) -> Vec<Vec<String>> {
+    (0..workers)
+        .map(|i| {
+            if i == 0 {
+                vec![
+                    "worker".to_string(),
+                    "--fail-after".to_string(),
+                    fail_after.to_string(),
+                ]
+            } else {
+                vec!["worker".to_string()]
+            }
+        })
+        .collect()
+}
+
+fn instance_for(query: &ConjunctiveQuery, seed: u64) -> Instance {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_instance(
+        &mut rng,
+        &query.schema(),
+        InstanceParams {
+            domain_size: 8,
+            facts_per_relation: 30,
+        },
+    )
+}
+
+/// Runs `f` under an active trace with a `"run"` root span and returns
+/// its result together with the merged timeline.
+fn traced<R>(f: impl FnOnce() -> R) -> (R, Vec<obs::TraceEvent>) {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    obs::start_trace();
+    let result = {
+        let _root = obs::span!("run");
+        f()
+    };
+    (result, obs::end_trace())
+}
+
+fn names(events: &[obs::TraceEvent]) -> Vec<&str> {
+    events.iter().map(|e| e.name.as_str()).collect()
+}
+
+fn assert_time_ordered(events: &[obs::TraceEvent]) {
+    assert!(
+        events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+        "merged timeline is not time-ordered"
+    );
+}
+
+#[test]
+fn in_memory_trace_nests_rounds_under_the_root_span() {
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+        .rounds(6)
+        .workers(2)
+        .feedback_into("R");
+
+    let (outcome, events) = traced(|| engine.evaluate(&query, &instance));
+    assert!(outcome.converged);
+    assert!(!events.is_empty(), "a traced run must record events");
+    assert_time_ordered(&events);
+    trace_export::check_well_formed(&events).unwrap();
+    assert!(
+        events.iter().all(|e| e.pid == 0),
+        "an in-memory run has exactly one process lane"
+    );
+
+    let root = events.iter().find(|e| e.name == "run").expect("root span");
+    let rounds: Vec<_> = events.iter().filter(|e| e.name == "eval_round").collect();
+    assert!(rounds.len() >= 2, "feedback run must trace several rounds");
+    for round in &rounds {
+        assert_eq!(
+            round.parent, root.id,
+            "every round span nests directly under the root"
+        );
+    }
+    let all = names(&events);
+    for expected in ["distribute", "eval_chunk", "evaluate"] {
+        assert!(all.contains(&expected), "missing {expected} span: {all:?}");
+    }
+}
+
+#[test]
+fn process_transport_merges_worker_timelines_into_the_coordinator_trace() {
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let build_engine = || {
+        MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(6)
+            .feedback_into("R")
+    };
+    let reference = build_engine().evaluate(&query, &instance);
+
+    let mut transport =
+        ProcessTransport::spawn_command(worker_binary(), &["worker".to_string()], 2).unwrap();
+    let (outcome, events) =
+        traced(|| build_engine().evaluate_via(&mut transport, &query, &instance));
+    let outcome = outcome.unwrap();
+    assert_eq!(outcome.result, reference.result);
+
+    assert_time_ordered(&events);
+    trace_export::check_well_formed(&events).unwrap();
+    let mut pids: Vec<u32> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(
+        pids,
+        vec![0, 1, 2],
+        "the merged trace must contain the coordinator and both workers"
+    );
+    // Worker lanes carry the worker-side evaluation spans, and each one
+    // links back to a coordinator span (well-formedness already resolved
+    // the parent; pin the cross-process shape explicitly).
+    let coordinator_spans: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.pid == 0 && e.kind == obs::EventKind::Span)
+        .map(|e| e.id)
+        .collect();
+    let worker_events: Vec<_> = events.iter().filter(|e| e.pid > 0).collect();
+    assert!(!worker_events.is_empty());
+    let mut cross_process_links = 0;
+    for event in &worker_events {
+        if coordinator_spans.contains(&event.parent) {
+            // The top of each worker lane: the shipped trace context makes
+            // the worker's evaluation span a child of the coordinator span
+            // that sent the job.
+            assert!(
+                event.name.starts_with("worker_eval"),
+                "unexpected worker-side root event {}",
+                event.name
+            );
+            cross_process_links += 1;
+        }
+    }
+    assert!(
+        cross_process_links >= 2,
+        "worker spans must link under coordinator spans across the process boundary"
+    );
+}
+
+#[test]
+fn fault_injected_socket_trace_records_requeues_and_registry_agrees() {
+    // Worker 0 dies after its first job; the trace must show the death
+    // and the requeues, and the metrics registry — the single source of
+    // truth behind those counters — must report exactly what the trace
+    // recorded.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let network = Network::with_size(6);
+    let policy = ExplicitPolicy::round_robin(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+    let reference = engine.evaluate(&query, &instance);
+
+    let mut transport =
+        SocketTransport::spawn_commands(worker_binary(), &faulty_argv(3, 1)).unwrap();
+    let (outcome, events) = traced(|| engine.evaluate_via(&mut transport, 0, &query, &instance));
+    let outcome = outcome.expect("round must survive the death");
+    assert_eq!(outcome.result, reference.result);
+    assert!(transport.alive_workers() < 3, "the fault never fired");
+
+    assert_time_ordered(&events);
+    trace_export::check_well_formed(&events).unwrap();
+    let deaths = events.iter().filter(|e| e.name == "worker_dead").count() as u64;
+    let requeues = events.iter().filter(|e| e.name == "requeue").count() as u64;
+    assert!(
+        deaths >= 1,
+        "no worker_dead instant in {:?}",
+        names(&events)
+    );
+    assert!(requeues >= 1, "no requeue instant in {:?}", names(&events));
+
+    let registry = transport.metrics_registry();
+    assert_eq!(registry.counter_value("worker_deaths"), deaths);
+    assert_eq!(registry.counter_value("driver_requeues"), requeues);
+}
+
+#[test]
+fn chrome_export_of_a_live_run_round_trips_and_summarizes() {
+    let query = named_query("triangle").unwrap();
+    let instance = instance_for(&query, 7);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let engine = OneRoundEngine::new(&policy).workers(2);
+
+    let (_, events) = traced(|| engine.evaluate(&query, &instance));
+    let doc = trace_export::chrome_trace(&events).to_string();
+    let parsed = trace_export::parse_chrome_trace(&doc).unwrap();
+    assert_eq!(parsed, events, "Chrome export must round-trip losslessly");
+
+    let summary = trace_export::TraceSummary::from_events(&events);
+    assert_eq!(summary.events, events.len() as u64);
+    let spans = events
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::Span)
+        .count() as u64;
+    assert_eq!(
+        summary.processes.values().map(|p| p.spans).sum::<u64>(),
+        spans
+    );
+    assert_eq!(
+        summary.rounds.len(),
+        1,
+        "one-round run, one critical-path row"
+    );
+}
+
+#[test]
+fn a_dead_workers_stderr_surfaces_in_the_transport_error() {
+    // Without fault tolerance a death is a clean error — and since the
+    // worker is a spawned child, its last words must ride along instead
+    // of vanishing with the process.
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let network = Network::with_size(6);
+    let policy = ExplicitPolicy::round_robin(&network, &instance);
+    let engine = OneRoundEngine::new(&policy);
+
+    let mut process = ProcessTransport::spawn_commands(worker_binary(), &faulty_argv(2, 0))
+        .unwrap()
+        .fault_tolerance(false);
+    let err = engine
+        .evaluate_via(&mut process, 0, &query, &instance)
+        .expect_err("a dead worker without fault tolerance must error")
+        .to_string();
+    assert!(err.contains("worker stderr"), "no stderr tail in: {err}");
+    assert!(err.contains("injected fault"), "tail lost the cause: {err}");
+
+    let mut socket = SocketTransport::spawn_commands(worker_binary(), &faulty_argv(2, 0))
+        .unwrap()
+        .fault_tolerance(false);
+    let err = engine
+        .evaluate_via(&mut socket, 0, &query, &instance)
+        .expect_err("socket transport must surface the death too")
+        .to_string();
+    assert!(err.contains("worker stderr"), "no stderr tail in: {err}");
+    assert!(err.contains("injected fault"), "tail lost the cause: {err}");
+}
+
+#[test]
+fn cli_traced_socket_multi_query_run_produces_one_valid_merged_trace() {
+    // The acceptance scenario end to end: a multi-query scenario over the
+    // socket transport with --trace must yield a single Chrome-trace JSON
+    // containing coordinator and every worker's spans, and `trace
+    // summarize` must accept it.
+    use std::process::Command;
+
+    let dir = std::env::temp_dir();
+    let scenario = dir.join(format!("pcq-trace-{}.pcq", std::process::id()));
+    let trace = dir.join(format!("pcq-trace-{}.json", std::process::id()));
+    std::fs::write(
+        &scenario,
+        "queries {\n  T(x, z) :- R(x, y), R(y, z).\n  T(x, z) :- R(x, y), R(y, z).\n}\n\
+         instance { R(a, b). R(b, c). R(c, a). R(b, a). }\nschedule hash(2)\nrounds 3\n",
+    )
+    .unwrap();
+
+    let run = Command::new(worker_binary())
+        .args([
+            "run",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--transport",
+            "socket",
+            "--workers",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "traced run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events = trace_export::parse_chrome_trace(&text).unwrap();
+    trace_export::check_well_formed(&events).unwrap();
+    let mut pids: Vec<u32> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(
+        pids,
+        vec![0, 1, 2],
+        "trace must merge the coordinator and both workers"
+    );
+    assert!(events.iter().any(|e| e.name == "query"));
+    assert!(events.iter().any(|e| e.name == "transfer_check"));
+
+    let summarize = Command::new(worker_binary())
+        .args(["trace", "summarize", trace.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        summarize.status.success(),
+        "summarize failed: {}",
+        String::from_utf8_lossy(&summarize.stderr)
+    );
+    let doc = JsonValue::parse(&String::from_utf8_lossy(&summarize.stdout)).unwrap();
+    assert!(doc.get("processes").is_some());
+
+    let _ = std::fs::remove_file(scenario);
+    let _ = std::fs::remove_file(trace);
+}

@@ -446,6 +446,7 @@ fn comm_bytes_exceed_request_frames_alone_on_both_wire_transports() {
                 query: &query,
                 options: EvalOptions::default(),
                 batch: &batch,
+                trace: pcq::wire::TraceContext::default(),
             })
             .len() as u64
         })
