@@ -2,7 +2,7 @@
 //!
 //! The paper is a theory paper without measured tables or figures; its
 //! "results" are characterizations and completeness theorems. This crate
-//! regenerates the experiment tables defined in `DESIGN.md` (T1–T8), each of
+//! regenerates the experiment tables defined in `DESIGN.md` (T1–T9), each of
 //! which exercises one of the paper's results end-to-end and reports
 //! agreement with an independent oracle together with wall-clock timings.
 //!
@@ -17,7 +17,9 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use cq::{ConjunctiveQuery, Instance, Schema};
-use distribution::{DistributionPolicy, HypercubePolicy, OneRoundEngine};
+use distribution::{
+    DistributionPolicy, HypercubePolicy, MultiRoundEngine, OneRoundEngine, RoundSchedule,
+};
 use pc_core::{
     check_parallel_correctness, check_parallel_correctness_on_instance, check_transfer,
     check_transfer_strongly_minimal, holds_c0, holds_c1, holds_c3, is_strongly_minimal,
@@ -539,6 +541,174 @@ pub fn table_t8() -> String {
     out
 }
 
+/// Span names that mark a round's extent on the coordinator timeline.
+const ROUND_SPANS: [&str; 2] = ["eval_round", "resident_round"];
+/// Span names attributed to communication: the reshuffle of the instance
+/// (or delta) under the round's distribution policy.
+const COMM_SPANS: [&str; 1] = ["distribute"];
+/// Span names attributed to local compute — chunk/delta/resident
+/// evaluation, in-process or shipped back from a wire worker.
+const COMPUTE_SPANS: [&str; 6] = [
+    "eval_chunk",
+    "eval_delta",
+    "eval_resident",
+    "worker_eval_chunk",
+    "worker_eval_delta",
+    "worker_eval_resident",
+];
+
+/// Where one round's wall clock went, derived purely from trace spans
+/// (see [`attribute_rounds`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundAttribution {
+    /// Round number (from the span's `round` argument, else its ordinal).
+    pub round: usize,
+    /// The round span's wall-clock duration in microseconds.
+    pub wall_us: u64,
+    /// Total time inside `distribute` spans contained in the round.
+    pub comm_us: u64,
+    /// Total time inside evaluation spans contained in the round. With
+    /// parallel workers this is aggregate busy time and may exceed the
+    /// wall clock.
+    pub compute_us: u64,
+    /// `wall - comm - compute`, floored at zero: coordination, barrier
+    /// waits, result assembly — everything the named phases don't cover.
+    pub wait_us: u64,
+}
+
+/// Derives a per-round comm/compute/wait breakdown from raw trace events:
+/// each `eval_round`/`resident_round` span defines a round interval, and
+/// every span temporally contained in it is attributed by name —
+/// `distribute` to communication, the evaluation spans to compute, and
+/// the remainder of the wall clock to wait. Works on any event source
+/// with the engine's span vocabulary (live [`obs::end_trace`] output or a
+/// re-parsed trace file).
+pub fn attribute_rounds(events: &[obs::TraceEvent]) -> Vec<RoundAttribution> {
+    let spans: Vec<&obs::TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::Span)
+        .collect();
+    let mut rounds: Vec<(usize, u64, u64)> = Vec::new();
+    for e in &spans {
+        if ROUND_SPANS.contains(&e.name.as_str()) {
+            let round = e
+                .args
+                .iter()
+                .find(|(k, _)| k == "round")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(rounds.len());
+            rounds.push((round, e.ts_us, e.ts_us + e.dur_us));
+        }
+    }
+    rounds.sort_by_key(|&(_, start, _)| start);
+    rounds
+        .into_iter()
+        .map(|(round, start, end)| {
+            let mut comm_us = 0;
+            let mut compute_us = 0;
+            for e in spans
+                .iter()
+                .filter(|e| e.ts_us >= start && e.ts_us + e.dur_us <= end)
+            {
+                if COMM_SPANS.contains(&e.name.as_str()) {
+                    comm_us += e.dur_us;
+                } else if COMPUTE_SPANS.contains(&e.name.as_str()) {
+                    compute_us += e.dur_us;
+                }
+            }
+            let wall_us = end - start;
+            RoundAttribution {
+                round,
+                wall_us,
+                comm_us,
+                compute_us,
+                wait_us: wall_us.saturating_sub(comm_us + compute_us),
+            }
+        })
+        .collect()
+}
+
+fn share(part_us: u64, wall_us: u64) -> String {
+    match (part_us * 100).checked_div(wall_us) {
+        Some(pct) => format!("{pct}%"),
+        None => "-".to_string(),
+    }
+}
+
+/// T9 — span-derived per-round attribution: runs named multi-round
+/// workloads under an in-process trace and breaks every round's wall
+/// clock into communication (reshuffle), local compute and wait, straight
+/// from the span timeline — the observability pipeline auditing the
+/// engine it instruments.
+pub fn table_t9() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## T9 — span-derived per-round attribution (comm / compute / wait)\n"
+    );
+    let _ = writeln!(
+        out,
+        "Derived from an in-process trace of each run: `distribute` spans \
+         count as communication, evaluation spans as compute (aggregate \
+         busy time — parallel workers can push it past 100%), and the \
+         unattributed remainder of each round's wall clock as wait.\n"
+    );
+    let _ = writeln!(
+        out,
+        "| workload | round | wall ms | comm ms | compute ms | wait ms | comm | compute | wait |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    let mut rng = StdRng::seed_from_u64(109);
+    let edge_schema = Schema::from_relations([("E", 2)]);
+    let chain_schema = Schema::from_relations([("R", 2)]);
+    let params = InstanceParams {
+        domain_size: 24,
+        facts_per_relation: 240,
+    };
+    let triangle_instance = workloads::random_instance(&mut rng, &edge_schema, params);
+    let chain_instance = workloads::random_instance(&mut rng, &chain_schema, params);
+    let triangle = triangle_query();
+    let chain = chain_query(2);
+    let runs: Vec<(&str, &ConjunctiveQuery, &Instance, bool)> = vec![
+        ("triangle", &triangle, &triangle_instance, false),
+        ("2-chain + feedback", &chain, &chain_instance, false),
+        (
+            "2-chain + feedback, semi-naive",
+            &chain,
+            &chain_instance,
+            true,
+        ),
+    ];
+    for (name, query, instance, semi_naive) in runs {
+        let policy = HypercubePolicy::uniform(query, 2).expect("policy");
+        let mut engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+            .rounds(8)
+            .workers(2)
+            .semi_naive(semi_naive);
+        if name.contains("feedback") {
+            engine = engine.feedback_into("R");
+        }
+        obs::start_trace();
+        let _outcome = engine.evaluate(query, instance);
+        let events = obs::end_trace();
+        for row in attribute_rounds(&events) {
+            let _ = writeln!(
+                out,
+                "| {name} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} |",
+                row.round,
+                row.wall_us as f64 / 1000.0,
+                row.comm_us as f64 / 1000.0,
+                row.compute_us as f64 / 1000.0,
+                row.wait_us as f64 / 1000.0,
+                share(row.comm_us, row.wall_us),
+                share(row.compute_us, row.wall_us),
+                share(row.wait_us, row.wall_us),
+            );
+        }
+    }
+    out
+}
+
 /// All experiment tables in order, as one markdown document body.
 pub fn all_tables() -> String {
     let mut out = String::new();
@@ -551,6 +721,7 @@ pub fn all_tables() -> String {
         table_t6(),
         table_t7(),
         table_t8(),
+        table_t9(),
     ] {
         out.push_str(&table);
         out.push('\n');
@@ -575,5 +746,70 @@ mod tests {
         let t6 = table_t6();
         assert!(t6.contains("| triangle | edge projection | true |"));
         assert!(t6.contains("| triangle | true | true | true |"));
+    }
+
+    fn span(name: &str, ts_us: u64, dur_us: u64, args: &[(&str, &str)]) -> obs::TraceEvent {
+        obs::TraceEvent {
+            name: name.to_string(),
+            kind: obs::EventKind::Span,
+            ts_us,
+            dur_us,
+            pid: 0,
+            tid: 1,
+            id: ts_us + 1,
+            parent: 0,
+            args: args
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn attribution_splits_rounds_into_comm_compute_and_wait() {
+        // Round 0: 100µs wall — 30µs distribute, two 20µs evals (parallel
+        // workers overlapping in time), 30µs unaccounted.
+        // Round 1: 50µs wall, all wait (an elided-reshuffle resident round).
+        let events = vec![
+            span("eval_round", 0, 100, &[("round", "0")]),
+            span("distribute", 5, 30, &[]),
+            span("eval_chunk", 40, 20, &[]),
+            span("worker_eval_chunk", 45, 20, &[]),
+            span("resident_round", 200, 50, &[]),
+            // Outside every round: must not be attributed anywhere.
+            span("distribute", 500, 40, &[]),
+        ];
+        let rows = attribute_rounds(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            RoundAttribution {
+                round: 0,
+                wall_us: 100,
+                comm_us: 30,
+                compute_us: 40,
+                wait_us: 30,
+            }
+        );
+        // The resident round has no `round` argument: it takes its ordinal.
+        assert_eq!(rows[1].round, 1);
+        assert_eq!(rows[1].wall_us, 50);
+        assert_eq!(rows[1].comm_us, 0);
+        assert_eq!(rows[1].wait_us, 50);
+    }
+
+    #[test]
+    fn attribution_wait_floors_at_zero_when_compute_overlaps() {
+        // Three 80µs evals inside a 100µs round: aggregate busy time
+        // exceeds the wall clock, so wait saturates instead of wrapping.
+        let events = vec![
+            span("eval_round", 0, 100, &[("round", "0")]),
+            span("eval_chunk", 10, 80, &[]),
+            span("eval_chunk", 12, 80, &[]),
+            span("eval_chunk", 14, 80, &[]),
+        ];
+        let rows = attribute_rounds(&events);
+        assert_eq!(rows[0].compute_us, 240);
+        assert_eq!(rows[0].wait_us, 0);
     }
 }

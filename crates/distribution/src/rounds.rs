@@ -699,7 +699,9 @@ impl<'a> MultiRoundEngine<'a> {
         // full accumulated state under the new policy.
         let mut transport_round = 0;
         let mut active_policy = self.schedule.policy_index(0);
+        let round_latency = self.registry.histogram("round_latency_us");
         for round in 0..self.max_rounds {
+            let round_started = Instant::now();
             let _round_span = obs::span!("eval_round", round = round, semi_naive = true);
             let policy_index = self.schedule.policy_index(round);
             let reshard = round > 0 && policy_index != active_policy;
@@ -726,6 +728,8 @@ impl<'a> MultiRoundEngine<'a> {
             result.extend(outcome.result.facts().cloned());
             acc.absorb(contribution.facts().cloned());
             rounds.push(outcome);
+            round_latency
+                .record(u64::try_from(round_started.elapsed().as_micros()).unwrap_or(u64::MAX));
             if acc.is_quiescent() {
                 converged = true;
                 break;
@@ -766,7 +770,9 @@ impl<'a> MultiRoundEngine<'a> {
         let mut result = Instance::new();
         let mut rounds = Vec::new();
         let mut converged = false;
+        let round_latency = self.registry.histogram("round_latency_us");
         for round in 0..self.max_rounds {
+            let round_started = Instant::now();
             let _round_span = obs::span!("eval_round", round = round, facts = state.len());
             let policy = self.schedule.policy_for(round);
             let engine = OneRoundEngine::new(policy)
@@ -781,6 +787,8 @@ impl<'a> MultiRoundEngine<'a> {
                 &mut visited,
             );
             rounds.push(outcome);
+            round_latency
+                .record(u64::try_from(round_started.elapsed().as_micros()).unwrap_or(u64::MAX));
             if done {
                 converged = true;
                 break;

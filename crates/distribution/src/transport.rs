@@ -420,6 +420,9 @@ impl Transport for InMemoryTransport {
     }
 
     fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.registry
+            .histogram("chunk_facts")
+            .record(chunk.len() as u64);
         self.pending.push((node, chunk));
         Ok(())
     }
@@ -430,6 +433,9 @@ impl Transport for InMemoryTransport {
     }
 
     fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        self.registry
+            .histogram("chunk_facts")
+            .record(delta.len() as u64);
         if self.round == 0 {
             // Round 0 opens a fresh incremental run: the node starts over.
             self.nodes.remove(&node);

@@ -41,21 +41,36 @@ impl Counter {
     }
 }
 
+/// How many samples a histogram retains for quantile estimation. Beyond
+/// this, the reservoir becomes a ring over the most recent samples —
+/// `count`/`sum`/`min`/`max` stay exact over everything ever recorded,
+/// the quantiles describe the trailing window.
+const RESERVOIR_CAPACITY: usize = 4096;
+
 #[derive(Debug)]
 struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Retained samples for quantiles: a ring buffer over the most recent
+    /// [`RESERVOIR_CAPACITY`] recordings (see the constant's docs).
+    samples: Mutex<Vec<u64>>,
+    /// Ring cursor into `samples` once the reservoir is full.
+    cursor: AtomicU64,
 }
 
-/// A shared count/sum/min/max histogram (no buckets: the rollups the
-/// trace summarizer computes need exactly these four, and four atomics
-/// keep `record` lock-free).
+/// A shared histogram: count/sum/min/max behind four lock-free atomics
+/// (exact over every sample), plus a bounded reservoir of recent samples
+/// behind a mutex so snapshots can report p50/p90/p99 quantiles.
 #[derive(Clone, Debug)]
 pub struct Histogram(Arc<HistogramInner>);
 
 /// A point-in-time reading of a [`Histogram`].
+///
+/// The quantiles are nearest-rank over the retained reservoir (the most
+/// recent ≤ [`RESERVOIR_CAPACITY`] samples); with fewer recordings than
+/// the capacity they are exact. An empty histogram reads all zeros.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
@@ -66,6 +81,19 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
+    /// Median of the retained samples.
+    pub p50: u64,
+    /// 90th percentile of the retained samples.
+    pub p90: u64,
+    /// 99th percentile of the retained samples.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
 }
 
 impl Default for Histogram {
@@ -75,8 +103,17 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+            cursor: AtomicU64::new(0),
         }))
     }
+}
+
+/// Nearest-rank quantile (lower interpolation) over a sorted non-empty
+/// slice: `p` in percent.
+fn quantile(sorted: &[u64], p: u64) -> u64 {
+    let index = (sorted.len() as u64 - 1) * p / 100;
+    sorted[index as usize]
 }
 
 impl Histogram {
@@ -92,12 +129,33 @@ impl Histogram {
         inner.sum.fetch_add(value, Ordering::Relaxed);
         inner.min.fetch_min(value, Ordering::Relaxed);
         inner.max.fetch_max(value, Ordering::Relaxed);
+        let mut samples = inner.samples.lock().expect("histogram reservoir poisoned");
+        if samples.len() < RESERVOIR_CAPACITY {
+            samples.push(value);
+        } else {
+            let at = inner.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            samples[at % RESERVOIR_CAPACITY] = value;
+        }
     }
 
-    /// The current count/sum/min/max.
+    /// The current count/sum/min/max plus reservoir quantiles.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
         let count = inner.count.load(Ordering::Relaxed);
+        let (p50, p90, p99) = {
+            let samples = inner.samples.lock().expect("histogram reservoir poisoned");
+            if samples.is_empty() {
+                (0, 0, 0)
+            } else {
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                (
+                    quantile(&sorted, 50),
+                    quantile(&sorted, 90),
+                    quantile(&sorted, 99),
+                )
+            }
+        };
         HistogramSnapshot {
             count,
             sum: inner.sum.load(Ordering::Relaxed),
@@ -107,13 +165,15 @@ impl Histogram {
                 inner.min.load(Ordering::Relaxed)
             },
             max: inner.max.load(Ordering::Relaxed),
+            p50,
+            p90,
+            p99,
         }
     }
 
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> u64 {
-        let s = self.snapshot();
-        s.sum.checked_div(s.count).unwrap_or(0)
+        self.snapshot().mean()
     }
 }
 
@@ -202,6 +262,49 @@ mod tests {
         assert_eq!(snap.min, 4);
         assert_eq!(snap.max, 10);
         assert_eq!(h.mean(), 7);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_over_all_samples() {
+        let h = Histogram::detached();
+        for value in 1..=100 {
+            h.record(value);
+        }
+        let snap = h.snapshot();
+        // (len - 1) * p / 100 over the sorted values 1..=100.
+        assert_eq!(snap.p50, 50);
+        assert_eq!(snap.p90, 90);
+        assert_eq!(snap.p99, 99);
+        assert_eq!(snap.max, 100);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.max);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_collapse_to_it() {
+        let h = Histogram::detached();
+        h.record(42);
+        let snap = h.snapshot();
+        assert_eq!((snap.p50, snap.p90, snap.p99), (42, 42, 42));
+    }
+
+    #[test]
+    fn reservoir_keeps_only_recent_samples_but_exact_totals() {
+        let h = Histogram::detached();
+        // Overfill the reservoir: the first RESERVOIR_CAPACITY zeros are
+        // overwritten by the trailing ones, so quantiles see only ones
+        // while count/sum stay exact.
+        for _ in 0..RESERVOIR_CAPACITY {
+            h.record(0);
+        }
+        for _ in 0..RESERVOIR_CAPACITY {
+            h.record(1);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2 * RESERVOIR_CAPACITY as u64);
+        assert_eq!(snap.sum, RESERVOIR_CAPACITY as u64);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.p50, 1);
+        assert_eq!(snap.p99, 1);
     }
 
     #[test]

@@ -342,6 +342,17 @@ fn read_reply(
     ))
 }
 
+/// Histogram handles [`drive`] records into while streaming a round:
+/// how long the writer blocked on the pipeline window, and how large the
+/// request frames were. Cloned from the core's registry per barrier (the
+/// handles share the registry's storage), so every worker thread feeds
+/// the same two histograms.
+#[derive(Clone)]
+pub(crate) struct DriveMetrics {
+    pub(crate) window_wait_us: obs::Histogram,
+    pub(crate) frame_bytes: obs::Histogram,
+}
+
 /// Drives one worker's queue with up to `window` jobs in flight: a scoped
 /// writer thread streams request frames under the gate's backpressure
 /// (then closes the round with `Barrier`), while the calling thread reads
@@ -349,6 +360,7 @@ fn read_reply(
 /// reader drains the reply pipe concurrently, so the writer cannot wedge
 /// on a full buffer, and a dead worker surfaces as a write error or a
 /// read-side EOF, never a hang.
+#[allow(clippy::too_many_arguments)] // one call site, in barrier()
 pub(crate) fn drive(
     endpoint: &mut Endpoint,
     query: &ConjunctiveQuery,
@@ -357,6 +369,7 @@ pub(crate) fn drive(
     jobs: &[Job],
     window: usize,
     trace: TraceContext,
+    metrics: &DriveMetrics,
 ) -> DriveReport {
     let window = window.max(1);
     let gate = WindowGate::new();
@@ -367,16 +380,21 @@ pub(crate) fn drive(
         let writer_handle = scope.spawn(move || -> (u64, Option<TransportError>) {
             let mut sent = 0u64;
             for job in jobs {
+                let wait_started = Instant::now();
                 let acquired = {
                     let _wait = obs::span!("window_wait", node = job.node());
                     gate.acquire(window)
                 };
+                metrics
+                    .window_wait_us
+                    .record(u64::try_from(wait_started.elapsed().as_micros()).unwrap_or(u64::MAX));
                 if !acquired {
                     // The reader failed and aborted the round; stop
                     // writing so the thread can be joined.
                     return (sent, None);
                 }
                 let frame = job.encode(query, options, trace);
+                metrics.frame_bytes.record(frame.len() as u64);
                 sent += frame.len() as u64;
                 if let Err(e) = writer.write_all(&frame).and_then(|()| writer.flush()) {
                     return (
@@ -717,6 +735,9 @@ impl PipelinedCore {
     }
 
     pub(crate) fn send_chunk(&mut self, node: Node, chunk: Instance) -> Result<(), TransportError> {
+        self.registry
+            .histogram("chunk_facts")
+            .record(chunk.len() as u64);
         if self.fault_tolerance {
             // A full chunk replaces whatever the node held before — keep
             // the ledger in step so resident jobs can be rebuilt from it.
@@ -743,6 +764,9 @@ impl PipelinedCore {
     }
 
     pub(crate) fn send_delta(&mut self, node: Node, delta: Instance) -> Result<(), TransportError> {
+        self.registry
+            .histogram("chunk_facts")
+            .record(delta.len() as u64);
         let round = self.round;
         if self.fault_tolerance {
             // Ledger first: the rebuild snapshot below must already
@@ -785,6 +809,10 @@ impl PipelinedCore {
         let round = self.round;
         let window = self.window;
         let trace = self.trace;
+        let metrics = DriveMetrics {
+            window_wait_us: self.registry.histogram("window_wait_us"),
+            frame_bytes: self.registry.histogram("frame_bytes"),
+        };
         loop {
             let count = self.endpoints.len();
             let jobs = std::mem::replace(&mut self.jobs, vec![Vec::new(); count]);
@@ -802,11 +830,14 @@ impl PipelinedCore {
                     .filter(|((_, endpoint), queue)| endpoint.is_some() && !queue.is_empty())
                     .map(|((i, endpoint), queue)| {
                         let query = &query;
+                        let metrics = &metrics;
                         let endpoint = endpoint.as_mut().expect("filtered on live endpoints");
                         scope.spawn(move || {
                             (
                                 i,
-                                drive(endpoint, query, options, round, queue, window, trace),
+                                drive(
+                                    endpoint, query, options, round, queue, window, trace, metrics,
+                                ),
                             )
                         })
                     })

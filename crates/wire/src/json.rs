@@ -75,6 +75,7 @@ impl JsonValue {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             at: 0,
+            depth: 0,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -118,11 +119,17 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting the parser accepts. Recursive descent uses
+/// the call stack, so unbounded input like `[[[[…` would otherwise
+/// overflow it; 128 levels is far beyond any document we emit.
+const MAX_DEPTH: usize = 128;
+
 /// A recursive-descent JSON parser over raw bytes (JSON structure is
 /// ASCII; string contents pass through as UTF-8).
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -164,8 +171,8 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(other) => Err(format!(
                 "unexpected '{}' at byte {}",
@@ -174,6 +181,24 @@ impl Parser<'_> {
             )),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    /// Runs a container parser one nesting level deeper, enforcing
+    /// [`MAX_DEPTH`] so hostile input cannot overflow the call stack.
+    fn nested(
+        &mut self,
+        parse: impl FnOnce(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.at
+            ));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -197,17 +222,25 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.at + 1..self.at + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            // Surrogate pairs are not produced by our
-                            // emitter; map lone surrogates to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4(self.at + 1)?;
                             self.at += 4;
+                            let scalar = if (0xd800..0xdc00).contains(&code) {
+                                // A high surrogate: combine with a
+                                // following `\uDC00`-`\uDFFF` escape into
+                                // one supplementary-plane scalar. A lone
+                                // (or mismatched) surrogate maps to
+                                // U+FFFD rather than failing the parse.
+                                match self.low_surrogate() {
+                                    Some(low) => {
+                                        self.at += 6;
+                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                                    }
+                                    None => 0xfffd,
+                                }
+                            } else {
+                                code
+                            };
+                            out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(format!("bad escape at byte {}", self.at)),
                     }
@@ -225,6 +258,25 @@ impl Parser<'_> {
                 None => return Err("unterminated string".to_string()),
             }
         }
+    }
+
+    /// Reads four hex digits starting at byte `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
+    }
+
+    /// When the bytes after the current `\uXXXX` escape (whose last hex
+    /// digit `self.at` sits on) spell another `\uXXXX` escape carrying a
+    /// low surrogate, returns its code without consuming anything.
+    fn low_surrogate(&self) -> Option<u32> {
+        if self.bytes.get(self.at + 1) != Some(&b'\\') || self.bytes.get(self.at + 2) != Some(&b'u')
+        {
+            return None;
+        }
+        let code = self.hex4(self.at + 3).ok()?;
+        (0xdc00..0xe000).contains(&code).then_some(code)
     }
 
     fn number(&mut self) -> Result<JsonValue, String> {
@@ -490,6 +542,70 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let hostile = "[".repeat(4096);
+        let err = JsonValue::parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+        let hostile_objects = "{\"a\":".repeat(4096);
+        let err = JsonValue::parse(&hostile_objects).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+        // Reasonable nesting still parses fine.
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_into_one_scalar() {
+        let parsed = JsonValue::parse("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("😀"));
+        // A pair followed by ordinary text keeps its position.
+        let parsed = JsonValue::parse("\"a\\uD834\\uDD1Eb\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("a\u{1d11e}b"));
+    }
+
+    #[test]
+    fn lone_surrogates_map_to_replacement_character() {
+        // A high surrogate with no low after it.
+        assert_eq!(
+            JsonValue::parse("\"\\uD800x\"").unwrap().as_str(),
+            Some("\u{fffd}x")
+        );
+        // A high surrogate followed by a non-surrogate escape: the escape
+        // survives on its own.
+        assert_eq!(
+            JsonValue::parse("\"\\uD800\\u0041\"").unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        // A low surrogate on its own.
+        assert_eq!(
+            JsonValue::parse("\"\\uDC00\"").unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn escape_sequences_cover_the_full_set() {
+        let parsed = JsonValue::parse("\"\\b\\f\\n\\r\\t\\/\\\\\\\"\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{8}\u{c}\n\r\t/\\\""));
+        assert!(JsonValue::parse("\"\\x\"").is_err());
+        assert!(JsonValue::parse("\"\\u12\"").is_err());
+        assert!(JsonValue::parse("\"\\uZZZZ\"").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_valid_document_is_rejected() {
+        for bad in ["{\"a\":1}x", "[1] [2]", "truefalse", "42,", "null}"] {
+            let err = JsonValue::parse(bad).unwrap_err();
+            assert!(
+                err.contains("trailing data") || err.contains("bad literal"),
+                "{bad:?} gave: {err}"
+            );
+        }
+        // Trailing whitespace is fine.
+        assert!(JsonValue::parse("{\"a\":1}  \n").is_ok());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`trace_export`] — Chrome-trace-event export of merged coordinator
 //!   + worker timelines, plus the rollups behind `pcq-analyze trace
 //!   summarize`,
+//! * [`trace_diff`] — phase/process/round comparison of two trace
+//!   summaries with cause attribution, behind `pcq-analyze trace diff`,
+//! * [`metrics_export`] — JSON export of [`obs::Registry`] counters and
+//!   histogram quantiles, behind `pcq-analyze run --metrics`,
 //! * [`ProcessTransport`] — a [`distribution::Transport`] that spawns
 //!   `pcq-analyze worker` subprocesses and ships binary-encoded chunks
 //!   over their stdio pipes, making engine rounds genuinely cross-process
@@ -64,16 +68,23 @@ mod driver;
 pub mod frame;
 pub mod json;
 mod message;
+pub mod metrics_export;
 mod process;
 mod scenario;
 mod socket;
+pub mod trace_diff;
 pub mod trace_export;
 
 pub use codec::{decode_body, encode_body, Decode, DecodeError, Decoder, Encode, Encoder};
 pub use frame::{decode_frame, encode_frame, read_frame, read_frame_counted, write_frame};
 pub use json::JsonValue;
 pub use message::{ChunkBatch, DeltaBatch, EvalChunkRef, EvalDeltaRef, Message, TraceContext};
-pub use process::{run_worker, run_worker_with_fault, ProcessTransport};
+pub use metrics_export::{merged_registry_json, registry_json};
+pub use process::{run_worker, run_worker_slowed, run_worker_with_fault, ProcessTransport};
 pub use scenario::{ExplicitSpec, NetworkSpec, PolicySpec, Scenario, ScenarioError};
 pub use socket::{run_worker_connect, SocketTransport};
-pub use trace_export::{check_well_formed, chrome_trace, parse_chrome_trace, TraceSummary};
+pub use trace_diff::{diff_summaries, DiffOptions, TraceDiff};
+pub use trace_export::{
+    check_well_formed, chrome_trace, dropped_events_field, events_from_doc, parse_chrome_trace,
+    TraceSummary,
+};

@@ -220,6 +220,28 @@ pub fn run_worker_with_fault(
     output: impl Write,
     fail_after: Option<u64>,
 ) -> Result<(), String> {
+    run_worker_slowed(input, output, fail_after, 0)
+}
+
+/// [`run_worker_with_fault`] plus latency injection: `slow_eval_us > 0`
+/// sleeps that long inside every eval span (before the real work), so a
+/// deliberately slowed worker shows up in traces as grown
+/// `worker_eval_*` phases — the fixture behind `trace diff`'s
+/// regression-detection tests. Exposed through `pcq-analyze worker
+/// --slow-eval-us N` and forwarded by `run --slow-eval-us N`.
+pub fn run_worker_slowed(
+    input: impl Read,
+    output: impl Write,
+    fail_after: Option<u64>,
+    slow_eval_us: u64,
+) -> Result<(), String> {
+    // The sleep sits inside the span so the injected latency is
+    // attributed to the eval phase, exactly like a genuinely slow eval.
+    let slow = || {
+        if slow_eval_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(slow_eval_us));
+        }
+    };
     let mut input = BufReader::new(input);
     let mut output = BufWriter::new(output);
     let mut nodes: BTreeMap<Node, DeltaNode> = BTreeMap::new();
@@ -255,6 +277,7 @@ pub fn run_worker_with_fault(
                         ("facts".to_string(), batch.chunk.len().to_string()),
                     ]
                 });
+                slow();
                 let local = cq::evaluate_with(&query, &batch.chunk, options);
                 drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -293,6 +316,7 @@ pub fn run_worker_with_fault(
                         ("delta_facts".to_string(), batch.delta.len().to_string()),
                     ]
                 });
+                slow();
                 let fresh = state.step_with(&query, &batch.delta, options);
                 drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -329,6 +353,7 @@ pub fn run_worker_with_fault(
                         ("facts".to_string(), shard.len().to_string()),
                     ]
                 });
+                slow();
                 let local = cq::evaluate_with(&query, shard, options);
                 drop(_span);
                 let eval_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);

@@ -35,7 +35,7 @@ use distribution::{Node, NodeResult, Transport, TransportError};
 use crate::driver::{Endpoint, PipelinedCore, StderrTail};
 use crate::frame::{read_frame, write_frame};
 use crate::message::Message;
-use crate::process::run_worker_with_fault;
+use crate::process::run_worker_slowed;
 
 /// How long the coordinator waits for spawned workers to connect back.
 const SPAWN_ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
@@ -328,9 +328,15 @@ impl Transport for SocketTransport {
 /// `addr`, introduces itself with `Hello { worker: token }`, then runs the
 /// ordinary worker loop over the connection (see
 /// [`run_worker`](crate::run_worker)). `fail_after` injects a
-/// mid-round death after that many eval jobs, for fault-tolerance tests.
+/// mid-round death after that many eval jobs, for fault-tolerance tests;
+/// `slow_eval_us` injects per-eval latency, for `trace diff` fixtures.
 /// Backs `pcq-analyze worker --connect addr --token k`.
-pub fn run_worker_connect(addr: &str, token: u64, fail_after: Option<u64>) -> Result<(), String> {
+pub fn run_worker_connect(
+    addr: &str,
+    token: u64,
+    fail_after: Option<u64>,
+    slow_eval_us: u64,
+) -> Result<(), String> {
     let stream = TcpStream::connect(addr)
         .map_err(|e| format!("cannot connect to coordinator at {addr}: {e}"))?;
     stream
@@ -341,5 +347,5 @@ pub fn run_worker_connect(addr: &str, token: u64, fail_after: Option<u64>) -> Re
         .map_err(|e| format!("cannot clone stream: {e}"))?;
     write_frame(&mut writer, &Message::Hello { worker: token })
         .map_err(|e| format!("cannot send hello: {e}"))?;
-    run_worker_with_fault(stream, writer, fail_after)
+    run_worker_slowed(stream, writer, fail_after, slow_eval_us)
 }

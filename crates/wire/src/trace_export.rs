@@ -97,7 +97,23 @@ pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
 /// are an error so corrupted files fail loudly rather than summarize
 /// silently wrong.
 pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
-    let doc = JsonValue::parse(text)?;
+    let doc = JsonValue::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    events_from_doc(&doc)
+}
+
+/// The `droppedEvents` count a trace document carries when the recording
+/// session overflowed its per-thread buffers (0 when absent — complete
+/// timelines omit the field).
+pub fn dropped_events_field(doc: &JsonValue) -> u64 {
+    doc.get("droppedEvents")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+}
+
+/// Extracts events from an already-parsed trace document — the
+/// building block behind [`parse_chrome_trace`] for callers that also
+/// need document-level fields like `droppedEvents`.
+pub fn events_from_doc(doc: &JsonValue) -> Result<Vec<TraceEvent>, String> {
     let items = doc
         .get("traceEvents")
         .and_then(|v| v.as_array())
@@ -261,6 +277,10 @@ pub struct TraceSummary {
     /// Coordinator `eval_round` / `one_round` spans in timeline order:
     /// the round-by-round critical path.
     pub rounds: Vec<RoundStats>,
+    /// Events the recording session dropped (per-thread buffer
+    /// overflow): when nonzero the timeline is incomplete and every
+    /// rollup above is a lower bound.
+    pub dropped_events: u64,
 }
 
 impl TraceSummary {
@@ -364,6 +384,7 @@ impl TraceSummary {
             .collect();
         JsonValue::object([
             ("events", JsonValue::from(self.events)),
+            ("dropped_events", JsonValue::from(self.dropped_events)),
             ("phases", JsonValue::Object(phases)),
             ("instants", JsonValue::Object(instants)),
             ("processes", JsonValue::Object(processes)),
@@ -375,6 +396,13 @@ impl TraceSummary {
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "events: {}", self.events)?;
+        if self.dropped_events > 0 {
+            writeln!(
+                f,
+                "WARNING: {} events dropped (per-thread buffer full) — totals are lower bounds",
+                self.dropped_events
+            )?;
+        }
         if !self.processes.is_empty() {
             writeln!(f, "\nprocesses:")?;
             for (pid, s) in &self.processes {
@@ -540,6 +568,44 @@ mod tests {
             }]
         );
         // json rendering parses back
+        JsonValue::parse(&summary.to_json().to_string()).unwrap();
+    }
+
+    #[test]
+    fn dropped_events_round_trip_through_the_document() {
+        let mut doc = chrome_trace(&sample());
+        assert_eq!(dropped_events_field(&doc), 0);
+        doc.push("droppedEvents", JsonValue::from(7u64));
+        let reparsed = JsonValue::parse(&doc.to_string()).unwrap();
+        assert_eq!(dropped_events_field(&reparsed), 7);
+        let mut summary = TraceSummary::from_events(&events_from_doc(&reparsed).unwrap());
+        summary.dropped_events = dropped_events_field(&reparsed);
+        assert!(summary.to_string().contains("WARNING: 7 events dropped"));
+        let json = summary.to_json();
+        assert_eq!(
+            json.get("dropped_events").and_then(JsonValue::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_timelines_summarize_cleanly() {
+        // A trace with no events at all.
+        let empty = parse_chrome_trace("{\"traceEvents\":[]}").unwrap();
+        let summary = TraceSummary::from_events(&empty);
+        assert_eq!(summary.events, 0);
+        assert!(summary.to_string().contains("events: 0"));
+        // Zero-duration rounds must not divide by zero in the share
+        // column, and a process lane with only instants (zero spans)
+        // must render.
+        let degenerate = vec![
+            span("eval_round", 0, 0, 0, 1, 0),
+            instant("requeue", 0, 1, 0),
+        ];
+        let summary = TraceSummary::from_events(&degenerate);
+        let text = summary.to_string();
+        assert!(text.contains("round"), "{text}");
+        assert_eq!(summary.processes[&1].spans, 0);
         JsonValue::parse(&summary.to_json().to_string()).unwrap();
     }
 

@@ -14,14 +14,18 @@
 //!                          [--join-strategy binary|multiway|auto]
 //!                          [--transport memory|process|socket]
 //!                          [--fault-inject N] [--trace FILE]
+//!                          [--metrics FILE] [--slow-eval-us N]
 //!   pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]
 //!                          [--rounds N] [--feedback R] [--semi-naive]
 //!                          [--transport T] [--reshuffle-always]
-//!                          [--trace FILE]
+//!                          [--trace FILE] [--metrics FILE]
 //!   pcq-analyze trace      summarize <trace.json> [--json]
+//!   pcq-analyze trace      diff <base.json> <new.json> [--json]
+//!                          [--threshold PCT] [--min-us N]
 //!   pcq-analyze encode     (query|instance|scenario) <spec>
 //!   pcq-analyze decode
 //!   pcq-analyze worker     [--connect host:port --token K] [--fail-after N]
+//!                          [--slow-eval-us N]
 //!   pcq-analyze bench-diff <trajectory-file> [--threshold-pct P]
 //!                          [--min-ns N] [--window N] [--bench NAME]...
 //!
@@ -94,7 +98,27 @@
 //! roll it up with `pcq-analyze trace summarize FILE [--json]`: per-phase
 //! aggregates, per-process totals, and the round-by-round critical path.
 //! Tracing off (the default) costs nothing but one relaxed atomic load
-//! per instrumentation site.
+//! per instrumentation site. If the per-thread trace buffers overflow,
+//! the run warns on stderr and stamps `droppedEvents` into the trace file
+//! (and `dropped_events` into `--json` output) so incomplete timelines
+//! are never mistaken for complete ones.
+//!
+//! `trace diff` aligns two trace summaries — per-phase totals, per-round
+//! durations, per-process wall clock — and reports the deltas *with
+//! causes*: each regressed round names the phases that grew inside it.
+//! Exit code 1 means at least one phase or round grew by more than
+//! `--threshold` percent (default 25; `--min-us` filters noise, default
+//! 1000µs) — point it at a stored baseline trace in CI to gate on
+//! distributed-performance regressions, not just result correctness.
+//!
+//! `run --metrics FILE` writes the merged metrics registries (engine +
+//! transport) as one JSON document: every counter, and for every
+//! histogram (`round_latency_us`, `chunk_facts`, `window_wait_us`,
+//! `frame_bytes`) the exact count/sum/min/max plus p50/p90/p99
+//! nearest-rank quantiles over the most recent 4096 samples. The same
+//! block appears under `"histograms"` in `run --json` output.
+//! `--slow-eval-us N` makes every wire worker sleep N µs per eval job —
+//! an injected-latency knob for exercising `trace diff` end to end.
 //!
 //! `encode` writes one binary frame (magic `PCQW`) for a query, an
 //! instance or a scenario to stdout; `decode` reads one frame from stdin
@@ -145,7 +169,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N] [--trace FILE]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T] [--reshuffle-always]\n                         [--trace FILE]\n  pcq-analyze trace      summarize <trace.json> [--json]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
+    "usage:\n  pcq-analyze analyze    <query>\n  pcq-analyze pc         <query> <policy-file>\n  pcq-analyze transfer   <query-from> <query-to> [--no-skip | --strongly-minimal]\n  pcq-analyze hypercube  <query> <query-prime>\n  pcq-analyze run        <query> <policy> <instance> [--workers N] [--json]\n                         [--rounds N] [--schedule S] [--feedback R]\n                         [--streaming] [--semi-naive]\n                         [--distribute-workers N]\n                         [--join-strategy binary|multiway|auto]\n                         [--transport memory|process|socket]\n                         [--fault-inject N] [--trace FILE]\n                         [--metrics FILE] [--slow-eval-us N]\n  pcq-analyze run        --scenario <file.pcq> [--json] [--workers N]\n                         [--rounds N] [--feedback R] [--semi-naive]\n                         [--transport T] [--reshuffle-always]\n                         [--trace FILE] [--metrics FILE]\n  pcq-analyze trace      summarize <trace.json> [--json]\n  pcq-analyze trace      diff <base.json> <new.json> [--json]\n                         [--threshold PCT] [--min-us N]\n  pcq-analyze encode     (query|instance|scenario) <spec>\n  pcq-analyze decode\n  pcq-analyze worker     [--connect host:port --token K] [--fail-after N]\n                         [--slow-eval-us N]\n  pcq-analyze bench-diff <trajectory-file> [--threshold-pct P] [--min-ns N]\n                         [--window N] [--bench NAME]...\n\nrun specs:\n  <query>    triangle | example3.5 | chain:<len> | star:<rays> | cycle:<len> | file | literal\n  <policy>   hypercube:<budget> | broadcast:<nodes> | round-robin:<nodes> | policy-file\n  <instance> random:<domain>:<facts>[:seed] | zipf:<domain>:<facts>:<exp-percent>[:seed] | file | literal\n  <schedule> comma-separated per-round policies: hash-join:<k> | hypercube:<b> | broadcast:<n>\n  <file.pcq> a textual scenario file (see the README's wire-format section)"
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -316,6 +340,13 @@ struct RunOptions {
     /// as Chrome trace-event JSON (loadable in Perfetto, summarizable with
     /// `pcq-analyze trace summarize`).
     trace: Option<String>,
+    /// `--metrics FILE`: write the merged metrics registries (counters +
+    /// histogram quantiles) as a JSON document after the run.
+    metrics: Option<String>,
+    /// `--slow-eval-us N`: every worker sleeps N microseconds inside each
+    /// eval span — an artificial latency regression for `trace diff`
+    /// fixtures (requires a wire transport).
+    slow_eval_us: Option<u64>,
 }
 
 /// Brackets a traced `run`: starts the process-wide trace recorder and the
@@ -345,10 +376,14 @@ impl TraceSession {
         drop(self.root);
         let events = obs::end_trace();
         let dropped = obs::dropped_events();
+        let mut doc = wire::trace_export::chrome_trace(&events);
         if dropped > 0 {
-            eprintln!("trace: {dropped} events dropped (per-thread buffer full)");
+            eprintln!(
+                "trace: WARNING: {dropped} events dropped (per-thread buffer full) — \
+                 the timeline in {path} is incomplete"
+            );
+            doc.push("droppedEvents", JsonValue::from(dropped));
         }
-        let doc = wire::trace_export::chrome_trace(&events);
         match std::fs::write(&path, format!("{doc}\n")) {
             // A failed run is the primary error; only surface a write
             // failure when it would otherwise be silently lost.
@@ -358,11 +393,26 @@ impl TraceSession {
     }
 }
 
+/// Loads a Chrome trace-event file into a summary, carrying the
+/// document's `droppedEvents` marker along — shared by `trace summarize`
+/// and `trace diff`. Malformed JSON and corrupted documents surface as
+/// clean errors (exit 2), never a parser panic.
+fn load_trace_summary(path: &str) -> Result<wire::TraceSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let events = wire::events_from_doc(&doc).map_err(|e| format!("{path}: {e}"))?;
+    wire::check_well_formed(&events).map_err(|e| format!("{path}: {e}"))?;
+    let mut summary = wire::TraceSummary::from_events(&events);
+    summary.dropped_events = wire::dropped_events_field(&doc);
+    Ok(summary)
+}
+
 /// The `trace` subcommand: offline tooling over Chrome trace-event files
 /// written by `run --trace`. `summarize` validates the document (parse,
 /// reconstruction, span-nesting well-formedness) and prints per-phase,
 /// per-process and per-round rollups (`--json` for machine-readable
-/// output).
+/// output). `diff` compares two such files phase by phase and round by
+/// round, failing (exit 1) when anything regressed past the threshold.
 fn trace_command(args: &[String]) -> Result<bool, String> {
     match args.first().map(String::as_str) {
         Some("summarize") => {
@@ -379,11 +429,7 @@ fn trace_command(args: &[String]) -> Result<bool, String> {
                 }
             }
             let path = path.ok_or("trace summarize needs a trace file")?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let events = wire::parse_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
-            wire::check_well_formed(&events).map_err(|e| format!("{path}: {e}"))?;
-            let summary = wire::TraceSummary::from_events(&events);
+            let summary = load_trace_summary(path)?;
             if json {
                 println!("{}", summary.to_json());
             } else {
@@ -391,14 +437,62 @@ fn trace_command(args: &[String]) -> Result<bool, String> {
             }
             Ok(true)
         }
+        Some("diff") => {
+            let mut json = false;
+            let mut options = wire::DiffOptions::default();
+            let mut paths: Vec<&String> = Vec::new();
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--threshold" => {
+                        let value = iter.next().ok_or("--threshold needs a percentage")?;
+                        options.threshold_pct = value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|pct| pct.is_finite() && *pct >= 0.0)
+                            .ok_or(format!(
+                                "--threshold: '{value}' is not a non-negative percentage"
+                            ))?;
+                    }
+                    "--min-us" => {
+                        let value = iter.next().ok_or("--min-us needs a number")?;
+                        options.min_us = value
+                            .parse()
+                            .map_err(|_| format!("--min-us: '{value}' is not a number"))?;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag '{other}'"))
+                    }
+                    _ => paths.push(arg),
+                }
+            }
+            let [base_path, new_path] = paths[..] else {
+                return Err("trace diff needs <base.json> <new.json>".to_string());
+            };
+            let base = load_trace_summary(base_path)?;
+            let new = load_trace_summary(new_path)?;
+            let diff = wire::diff_summaries(&base, &new, options);
+            if json {
+                println!("{}", diff.to_json());
+            } else {
+                print!("{diff}");
+            }
+            Ok(diff.clean())
+        }
         Some(other) => Err(format!("unknown trace subcommand '{other}'")),
-        None => Err("trace needs a subcommand (summarize)".to_string()),
+        None => Err("trace needs a subcommand (summarize | diff)".to_string()),
     }
 }
 
 /// The per-worker `pcq-analyze worker …` argument lists for a wire
-/// transport: with fault injection, worker 0 gets `--fail-after N`.
-fn worker_argv(workers: usize, fault_inject: Option<usize>) -> Vec<Vec<String>> {
+/// transport: with fault injection, worker 0 gets `--fail-after N`; with
+/// latency injection, every worker gets `--slow-eval-us N`.
+fn worker_argv(
+    workers: usize,
+    fault_inject: Option<usize>,
+    slow_eval_us: Option<u64>,
+) -> Vec<Vec<String>> {
     (0..workers)
         .map(|i| {
             let mut args = vec!["worker".to_string()];
@@ -407,6 +501,10 @@ fn worker_argv(workers: usize, fault_inject: Option<usize>) -> Vec<Vec<String>> 
                     args.push("--fail-after".to_string());
                     args.push(n.to_string());
                 }
+            }
+            if let Some(us) = slow_eval_us {
+                args.push("--slow-eval-us".to_string());
+                args.push(us.to_string());
             }
             args
         })
@@ -421,7 +519,7 @@ fn coordinator_exe() -> Result<std::path::PathBuf, String> {
 fn spawn_process_transport(opts: &RunOptions) -> Result<ProcessTransport, String> {
     ProcessTransport::spawn_commands(
         coordinator_exe()?,
-        &worker_argv(opts.workers, opts.fault_inject),
+        &worker_argv(opts.workers, opts.fault_inject, opts.slow_eval_us),
     )
     .map_err(|e| format!("cannot start process transport: {e}"))
 }
@@ -430,7 +528,7 @@ fn spawn_process_transport(opts: &RunOptions) -> Result<ProcessTransport, String
 fn spawn_socket_transport(opts: &RunOptions) -> Result<SocketTransport, String> {
     SocketTransport::spawn_commands(
         coordinator_exe()?,
-        &worker_argv(opts.workers, opts.fault_inject),
+        &worker_argv(opts.workers, opts.fault_inject, opts.slow_eval_us),
     )
     .map_err(|e| format!("cannot start socket transport: {e}"))
 }
@@ -444,6 +542,7 @@ fn worker_command(args: &[String]) -> Result<bool, String> {
     let mut connect: Option<String> = None;
     let mut token: u64 = 0;
     let mut fail_after: Option<u64> = None;
+    let mut slow_eval_us: u64 = 0;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -464,15 +563,22 @@ fn worker_command(args: &[String]) -> Result<bool, String> {
                         .map_err(|_| format!("--fail-after: '{value}' is not a number"))?,
                 );
             }
+            "--slow-eval-us" => {
+                let value = iter.next().ok_or("--slow-eval-us needs a number")?;
+                slow_eval_us = value
+                    .parse()
+                    .map_err(|_| format!("--slow-eval-us: '{value}' is not a number"))?;
+            }
             other => return Err(format!("unknown worker argument '{other}'")),
         }
     }
     match connect {
-        Some(addr) => wire::run_worker_connect(&addr, token, fail_after),
-        None => wire::run_worker_with_fault(
+        Some(addr) => wire::run_worker_connect(&addr, token, fail_after, slow_eval_us),
+        None => wire::run_worker_slowed(
             std::io::stdin().lock(),
             std::io::stdout().lock(),
             fail_after,
+            slow_eval_us,
         ),
     }
     .map(|()| true)
@@ -502,6 +608,8 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         join_strategy: None,
         reshuffle_always: false,
         trace: None,
+        metrics: None,
+        slow_eval_us: None,
     };
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -569,6 +677,21 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                         .to_string(),
                 )
             }
+            "--metrics" => {
+                opts.metrics = Some(
+                    iter.next()
+                        .ok_or("--metrics needs an output file path")?
+                        .to_string(),
+                )
+            }
+            "--slow-eval-us" => {
+                let value = iter.next().ok_or("--slow-eval-us needs a number")?;
+                opts.slow_eval_us = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--slow-eval-us: '{value}' is not a number"))?,
+                );
+            }
             "--join-strategy" => {
                 let name = iter.next().ok_or("--join-strategy needs a name")?;
                 opts.join_strategy = Some(JoinStrategy::parse(name).ok_or(format!(
@@ -597,6 +720,13 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                     .to_string(),
             );
         }
+    }
+    if opts.slow_eval_us.is_some() && matches!(opts.transport, TransportChoice::Memory) {
+        // The sleep is injected on the worker side of the wire protocol;
+        // in-memory evaluation has no worker process to slow down.
+        return Err(
+            "--slow-eval-us needs a wire transport (--transport process|socket)".to_string(),
+        );
     }
     if opts.reshuffle_always && opts.scenario.is_none() {
         // Elision only ever happens between the queries of a multi-query
@@ -732,22 +862,36 @@ fn run_dispatch(positional: &[&String], opts: &RunOptions) -> Result<bool, Strin
     // `total` covers only the one-round run; the centralized evaluation
     // below is a correctness check, not part of the round being measured.
     let total_start = std::time::Instant::now();
+    let mut registries: Vec<std::sync::Arc<obs::Registry>> = Vec::new();
     let outcome = match opts.transport {
-        TransportChoice::Memory => engine.evaluate(&query, &instance),
+        TransportChoice::Memory if opts.streaming => engine.evaluate(&query, &instance),
+        TransportChoice::Memory => {
+            // The same transport `evaluate` would construct internally,
+            // held here so its metrics registry outlives the round.
+            let mut transport = InMemoryTransport::new(opts.workers);
+            let outcome = engine
+                .evaluate_via(&mut transport, 0, &query, &instance)
+                .expect("the in-memory transport is infallible");
+            registries.push(transport.registry());
+            outcome
+        }
         TransportChoice::Process => {
             let mut transport = spawn_process_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_via(&mut transport, 0, &query, &instance)
                 .map_err(|e| e.to_string())?
         }
         TransportChoice::Socket => {
             let mut transport = spawn_socket_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_via(&mut transport, 0, &query, &instance)
                 .map_err(|e| e.to_string())?
         }
     };
     let total = total_start.elapsed();
+    let metrics = export_metrics(opts, &registries)?;
     let correct = outcome.result == cq::evaluate(&query, &instance);
 
     if opts.json {
@@ -836,7 +980,9 @@ fn run_dispatch(positional: &[&String], opts: &RunOptions) -> Result<bool, Strin
                 ]),
             ),
             ("per_node", per_node),
+            ("histograms", histograms_block(&metrics)),
         ]);
+        let doc = with_dropped_events(doc, opts);
         println!("{doc}");
     } else {
         println!("query:       {query}");
@@ -897,6 +1043,43 @@ fn run_eval_options(opts: &RunOptions) -> EvalOptions {
     }
 }
 
+/// Collects the run's metrics registries into one JSON document
+/// (counters summed, histograms unioned), writing it to `--metrics` when
+/// requested. Returns the document so the `--json` arms can lift its
+/// `histograms` block into their reports.
+fn export_metrics(
+    opts: &RunOptions,
+    registries: &[std::sync::Arc<obs::Registry>],
+) -> Result<JsonValue, String> {
+    let refs: Vec<&obs::Registry> = registries.iter().map(AsRef::as_ref).collect();
+    let doc = wire::merged_registry_json(&refs);
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
+    Ok(doc)
+}
+
+/// The `histograms` block of a metrics document — per-name count / sum /
+/// min / max / mean / p50 / p90 / p99, identical to the `--metrics`
+/// file's block.
+fn histograms_block(metrics: &JsonValue) -> JsonValue {
+    metrics
+        .get("histograms")
+        .cloned()
+        .unwrap_or(JsonValue::Null)
+}
+
+/// Appends a `dropped_events` field to a traced run's JSON report: the
+/// machine-readable counterpart of the stderr warning, so automation
+/// learns the trace is incomplete without scraping stderr.
+fn with_dropped_events(mut doc: JsonValue, opts: &RunOptions) -> JsonValue {
+    if opts.trace.is_some() {
+        doc.push("dropped_events", JsonValue::from(obs::dropped_events()));
+    }
+    doc
+}
+
 /// Rejects a `--feedback` relation the query never reads — or reads at a
 /// different arity — which would make the recursion silently inert; the
 /// user asked for iteration, so that is a usage error.
@@ -951,12 +1134,14 @@ fn run_multi_query(
     // pay for the containment checks once.
     let mut cache = TransferCache::new();
     let total_start = std::time::Instant::now();
+    let mut registries: Vec<std::sync::Arc<obs::Registry>> = vec![engine.registry()];
     let outcome = match opts.transport {
         TransportChoice::Memory => {
             engine.evaluate_queries(queries, instance, &mut |p, q| cache.transfers(p, q))
         }
         TransportChoice::Process => {
             let mut transport = spawn_process_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_queries_via(&mut transport, queries, instance, &mut |p, q| {
                     cache.transfers(p, q)
@@ -965,6 +1150,7 @@ fn run_multi_query(
         }
         TransportChoice::Socket => {
             let mut transport = spawn_socket_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_queries_via(&mut transport, queries, instance, &mut |p, q| {
                     cache.transfers(p, q)
@@ -973,6 +1159,7 @@ fn run_multi_query(
         }
     };
     let total = total_start.elapsed();
+    let metrics = export_metrics(opts, &registries)?;
 
     let transfer_checks = outcome.transfer_checks;
     let elided = outcome.elided_reshuffles();
@@ -1020,7 +1207,9 @@ fn run_multi_query(
             ("total_comm_bytes", JsonValue::from(comm_bytes)),
             ("total_us", JsonValue::from(total.as_micros())),
             ("per_query", per_query),
+            ("histograms", histograms_block(&metrics)),
         ]);
+        let doc = with_dropped_events(doc, opts);
         println!("{doc}");
     } else {
         println!("scenario:    {scenario_label} ({} queries)", queries.len());
@@ -1105,22 +1294,26 @@ fn run_multi_round(
     // the one-round arm); the centralized reference fixpoint inside the
     // report is a correctness check, not part of the rounds being measured.
     let total_start = std::time::Instant::now();
+    let mut registries: Vec<std::sync::Arc<obs::Registry>> = vec![engine.registry()];
     let outcome = match opts.transport {
         TransportChoice::Memory => engine.evaluate(query, instance),
         TransportChoice::Process => {
             let mut transport = spawn_process_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_via(&mut transport, query, instance)
                 .map_err(|e| e.to_string())?
         }
         TransportChoice::Socket => {
             let mut transport = spawn_socket_transport(opts)?;
+            registries.push(transport.metrics_registry());
             engine
                 .evaluate_via(&mut transport, query, instance)
                 .map_err(|e| e.to_string())?
         }
     };
     let total = total_start.elapsed();
+    let metrics = export_metrics(opts, &registries)?;
     let report = MultiRoundInstanceReport::from_outcome(query, &engine, instance, outcome);
     let outcome = &report.outcome;
 
@@ -1192,7 +1385,9 @@ fn run_multi_round(
                 ]),
             ),
             ("rounds", per_round),
+            ("histograms", histograms_block(&metrics)),
         ]);
+        let doc = with_dropped_events(doc, opts);
         println!("{doc}");
     } else {
         println!("query:       {query}");

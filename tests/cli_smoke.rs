@@ -1147,3 +1147,126 @@ fn bench_diff_window_still_catches_real_regressions() {
     assert_eq!(pcq_analyze(&["bench-diff", file, "--window", "3"]), 1);
     let _ = std::fs::remove_file(path);
 }
+
+#[test]
+fn run_json_carries_a_histograms_block_with_ordered_quantiles() {
+    use pcq::wire::json::JsonValue;
+
+    let dir = std::env::temp_dir();
+    let metrics = dir.join(format!("pcq-smoke-metrics-{}.json", std::process::id()));
+    let (code, stdout) = pcq_analyze_output(&[
+        "run",
+        PATH_2,
+        "hypercube:4",
+        "random:12:80",
+        "--rounds",
+        "4",
+        "--feedback",
+        "R",
+        "--json",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    let doc = JsonValue::parse(stdout.trim()).expect("run --json must stay valid JSON");
+    let latency = doc
+        .get("histograms")
+        .and_then(|h| h.get("round_latency_us"))
+        .expect("multi-round run --json must report round_latency_us");
+    let field = |key: &str| {
+        latency
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("missing {key} in {latency}"))
+    };
+    assert!(field("count") >= 2, "several rounds, several samples");
+    assert!(field("min") <= field("p50"));
+    assert!(field("p50") <= field("p90"));
+    assert!(field("p90") <= field("p99"));
+    assert!(field("p99") <= field("max"));
+
+    // --metrics writes the same registry export to a file.
+    let text = std::fs::read_to_string(&metrics).expect("--metrics must write the file");
+    let exported = JsonValue::parse(text.trim()).expect("metrics file must be valid JSON");
+    assert_eq!(
+        exported
+            .get("histograms")
+            .and_then(|h| h.get("round_latency_us")),
+        Some(latency),
+        "the metrics file and the --json block are the same export"
+    );
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn trace_summarize_handles_degenerate_inputs_without_panicking() {
+    // An empty trace, a process with zero spans, and a zero-duration round
+    // are all summarizable; malformed JSON is a clean usage error.
+    let empty = write_temp("empty-trace.json", r#"{"traceEvents":[]}"#);
+    let (code, stdout) = pcq_analyze_output(&["trace", "summarize", empty.to_str().unwrap()]);
+    assert_eq!(code, 0, "an empty trace summarizes cleanly");
+    assert!(stdout.contains("events: 0"), "wrong summary: {stdout}");
+
+    let degenerate = write_temp(
+        "degenerate-trace.json",
+        r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"idle"}},
+            {"name":"eval_round","ph":"X","ts":10,"dur":0,"pid":0,"tid":1,
+             "args":{"id":"1","parent":"0","round":"0"}}
+        ]}"#,
+    );
+    let (code, stdout) = pcq_analyze_output(&["trace", "summarize", degenerate.to_str().unwrap()]);
+    assert_eq!(code, 0, "zero-duration rounds must not divide by zero");
+    assert!(stdout.contains("eval_round"), "missing phase: {stdout}");
+
+    let garbage = write_temp("garbage-trace.json", "this is not json");
+    assert_eq!(
+        pcq_analyze(&["trace", "summarize", garbage.to_str().unwrap()]),
+        2,
+        "malformed JSON is a usage error, not a panic"
+    );
+
+    for path in [empty, degenerate, garbage] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn trace_diff_validates_its_arguments() {
+    let empty = write_temp("diff-empty.json", r#"{"traceEvents":[]}"#);
+    let file = empty.to_str().unwrap();
+    // Two empty traces diff clean.
+    assert_eq!(pcq_analyze(&["trace", "diff", file, file]), 0);
+    // Missing operands, bad threshold, unreadable file: usage errors.
+    assert_eq!(pcq_analyze(&["trace", "diff", file]), 2);
+    assert_eq!(
+        pcq_analyze(&["trace", "diff", file, file, "--threshold", "-5"]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&["trace", "diff", file, file, "--threshold", "x"]),
+        2
+    );
+    assert_eq!(
+        pcq_analyze(&["trace", "diff", file, "/no/such/trace.json"]),
+        2
+    );
+    assert_eq!(pcq_analyze(&["trace"]), 2);
+    let _ = std::fs::remove_file(empty);
+}
+
+#[test]
+fn slow_eval_needs_a_wire_transport() {
+    assert_eq!(
+        pcq_analyze(&[
+            "run",
+            PATH_2,
+            "hypercube:4",
+            "random:8:40",
+            "--slow-eval-us",
+            "100",
+        ]),
+        2,
+        "--slow-eval-us on the in-memory transport is a usage error"
+    );
+}

@@ -266,6 +266,127 @@ fn a_dead_workers_stderr_surfaces_in_the_transport_error() {
 }
 
 #[test]
+fn round_latency_quantiles_in_the_export_match_the_registry_exactly() {
+    let query = named_query("chain:2").unwrap();
+    let instance = instance_for(&query, 11);
+    let policy = HypercubePolicy::uniform(&query, 2).unwrap();
+    let engine = MultiRoundEngine::new(RoundSchedule::repeat(&policy))
+        .rounds(6)
+        .feedback_into("R");
+    let outcome = engine.evaluate(&query, &instance);
+    assert!(outcome.rounds_run() >= 2, "need several rounds of latency");
+
+    let registry = engine.registry();
+    let snapshot = registry.histogram("round_latency_us").snapshot();
+    assert_eq!(
+        snapshot.count,
+        outcome.rounds_run() as u64,
+        "one latency sample per executed round"
+    );
+    assert!(snapshot.p50 <= snapshot.p90);
+    assert!(snapshot.p90 <= snapshot.p99);
+    assert!(snapshot.p99 <= snapshot.max);
+    assert!(snapshot.min <= snapshot.p50);
+
+    // The wire export must carry the registry's quantiles bit-for-bit —
+    // the pinned contract behind `run --metrics` and the `histograms`
+    // block of `run --json`.
+    let doc = pcq::wire::registry_json(&registry);
+    let exported = doc
+        .get("histograms")
+        .and_then(|h| h.get("round_latency_us"))
+        .expect("export must carry round_latency_us");
+    for (key, value) in [
+        ("count", snapshot.count),
+        ("sum", snapshot.sum),
+        ("min", snapshot.min),
+        ("max", snapshot.max),
+        ("p50", snapshot.p50),
+        ("p90", snapshot.p90),
+        ("p99", snapshot.p99),
+    ] {
+        assert_eq!(
+            exported.get(key),
+            Some(&JsonValue::from(value)),
+            "exported {key} must equal the registry snapshot"
+        );
+    }
+}
+
+#[test]
+fn cli_trace_diff_catches_an_injected_worker_slowdown() {
+    // The acceptance scenario: trace the same process-transport run twice,
+    // the second time with every worker slowed by 5ms per eval job.
+    // `trace diff --threshold 25` must flag the slow run (exit 1) and name
+    // the worker evaluation phase as the cause, while diffing a run
+    // against itself stays clean (exit 0).
+    use std::process::Command;
+
+    let dir = std::env::temp_dir();
+    let base = dir.join(format!("pcq-diff-base-{}.json", std::process::id()));
+    let slow = dir.join(format!("pcq-diff-slow-{}.json", std::process::id()));
+    let run = |trace: &PathBuf, extra: &[&str]| {
+        let mut args = vec![
+            "run",
+            "T(x, z) :- R(x, y), R(y, z).",
+            "hypercube:4",
+            "random:20:300:7",
+            "--workers",
+            "2",
+            "--transport",
+            "process",
+            "--trace",
+            trace.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let output = Command::new(worker_binary()).args(&args).output().unwrap();
+        assert!(
+            output.status.success(),
+            "traced run failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    run(&base, &[]);
+    run(&slow, &["--slow-eval-us", "5000"]);
+
+    let diff = |a: &PathBuf, b: &PathBuf| {
+        let output = Command::new(worker_binary())
+            .args([
+                "trace",
+                "diff",
+                a.to_str().unwrap(),
+                b.to_str().unwrap(),
+                "--threshold",
+                "25",
+            ])
+            .output()
+            .unwrap();
+        (
+            output.status.code().unwrap(),
+            String::from_utf8_lossy(&output.stdout).into_owned(),
+        )
+    };
+
+    let (code, report) = diff(&base, &slow);
+    assert_eq!(code, 1, "the slowed run must register as a regression");
+    assert!(
+        report.contains("worker_eval_chunk"),
+        "the diff must name the slowed phase: {report}"
+    );
+    assert!(
+        report.contains("REGRESSION"),
+        "no regression line: {report}"
+    );
+
+    let (code, report) = diff(&base, &base);
+    assert_eq!(code, 0, "a trace diffed against itself must be clean");
+    assert!(report.contains("clean"), "no clean verdict: {report}");
+
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(slow);
+}
+
+#[test]
 fn cli_traced_socket_multi_query_run_produces_one_valid_merged_trace() {
     // The acceptance scenario end to end: a multi-query scenario over the
     // socket transport with --trace must yield a single Chrome-trace JSON
